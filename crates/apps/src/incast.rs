@@ -1,0 +1,743 @@
+//! The TCP Incast benchmark (§4.1).
+//!
+//! A client fetches a fixed block (256 KB in the paper) striped over `N`
+//! servers: each iteration it requests `block/N` bytes from every server
+//! and waits for *all* fragments before starting the next iteration — the
+//! synchronized-read pattern of scale-out storage. As `N` grows past the
+//! switch's ability to buffer the synchronized responses, application
+//! goodput collapses.
+//!
+//! Two client implementations mirror the paper's comparison (§4.1,
+//! Figure 6(b)):
+//!
+//! * [`IncastMaster`] + [`IncastWorker`] — the original benchmark's
+//!   *pthread* structure: one blocking-socket thread per server plus a
+//!   coordinator, synchronized through futex eventcounts (what pthread
+//!   barriers compile to). Costs: per-thread syscalls, wakeups and context
+//!   switches.
+//! * [`IncastEpollClient`] — a single thread multiplexing nonblocking
+//!   sockets with `epoll`, like modern WSC applications.
+//!
+//! Responses are streamed in 32 KB application chunks so socket-buffer
+//! backpressure behaves like a real `write()` loop.
+
+use diablo_engine::time::{SimDuration, SimTime};
+use diablo_net::payload::AppMessage;
+use diablo_net::SockAddr;
+use diablo_stack::process::{
+    Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall,
+};
+use diablo_stack::socket::EventMask;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Request message kind.
+pub const KIND_REQ: u32 = 10;
+/// Response-chunk message kind.
+pub const KIND_RESP: u32 = 11;
+/// Server port.
+pub const INCAST_PORT: u16 = 5001;
+/// Application write chunk (bytes per `send`).
+pub const CHUNK: u32 = 32 * 1024;
+/// Futex key: iteration start signal.
+const FUTEX_START: u64 = 0xA;
+/// Futex key: iteration completion signal.
+const FUTEX_DONE: u64 = 0xB;
+
+/// Per-request instruction cost of server-side application logic.
+const SERVER_WORK: u64 = 3_000;
+
+/// State shared between the incast client threads on one node.
+#[derive(Debug)]
+pub struct IncastShared {
+    /// Workers still owing a fragment this iteration (or still connecting
+    /// during setup).
+    pub remaining: usize,
+    /// Set by the master when all iterations are done.
+    pub finished: bool,
+}
+
+/// Handle to the client-side shared state.
+pub type SharedHandle = Arc<Mutex<IncastShared>>;
+
+/// Creates the shared state for `n` workers.
+pub fn shared(n: usize) -> SharedHandle {
+    Arc::new(Mutex::new(IncastShared { remaining: n, finished: false }))
+}
+
+// ====================================================================
+// Server
+// ====================================================================
+
+/// The incast storage server: accepts one connection at a time; for every
+/// request of `arg0` bytes it streams back that many bytes in [`CHUNK`]
+/// pieces.
+#[derive(Debug)]
+pub struct IncastServer {
+    /// Listening port.
+    pub port: u16,
+    /// Requests served.
+    pub served: u64,
+    state: SrvState,
+    listen_fd: Option<Fd>,
+    to_send: VecDeque<AppMessage>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SrvState {
+    Start,
+    Socketed,
+    Bound,
+    Listening,
+    Accepting,
+    Recv(Fd),
+    Respond(Fd),
+    Closing(Fd),
+}
+
+impl IncastServer {
+    /// Creates a server on [`INCAST_PORT`].
+    pub fn new() -> Self {
+        IncastServer {
+            port: INCAST_PORT,
+            served: 0,
+            state: SrvState::Start,
+            listen_fd: None,
+            to_send: VecDeque::new(),
+        }
+    }
+}
+
+impl Default for IncastServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Process for IncastServer {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                SrvState::Start => {
+                    self.state = SrvState::Socketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Tcp));
+                }
+                SrvState::Socketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.listen_fd = Some(fd);
+                    self.state = SrvState::Bound;
+                    return Step::Syscall(Syscall::Bind { fd, port: self.port });
+                }
+                SrvState::Bound => {
+                    assert_eq!(ctx.result, SysResult::Done, "bind failed");
+                    self.state = SrvState::Listening;
+                    return Step::Syscall(Syscall::Listen {
+                        fd: self.listen_fd.expect("no listen fd"),
+                        backlog: 8,
+                    });
+                }
+                SrvState::Listening => {
+                    self.state = SrvState::Accepting;
+                    return Step::Syscall(Syscall::Accept {
+                        fd: self.listen_fd.expect("no listen fd"),
+                        accept4: false,
+                    });
+                }
+                SrvState::Accepting => {
+                    let SysResult::Accepted { fd, .. } = ctx.result else {
+                        panic!("accept failed: {:?}", ctx.result)
+                    };
+                    self.state = SrvState::Recv(fd);
+                    return Step::Syscall(Syscall::Recv { fd, max_msgs: 4 });
+                }
+                SrvState::Recv(fd) => match std::mem::replace(&mut ctx.result, SysResult::Done) {
+                    SysResult::Messages { msgs, eof } => {
+                        for req in &msgs {
+                            assert_eq!(req.kind, KIND_REQ);
+                            let mut left = req.arg0 as u32;
+                            let mut chunk_idx = 0u64;
+                            while left > 0 {
+                                let this = left.min(CHUNK);
+                                let m = AppMessage::new(KIND_RESP, req.id, this, ctx.now)
+                                    .with_arg0(chunk_idx);
+                                self.to_send.push_back(m);
+                                left -= this;
+                                chunk_idx += 1;
+                            }
+                            self.served += 1;
+                        }
+                        if msgs.is_empty() && eof && self.to_send.is_empty() {
+                            self.state = SrvState::Closing(fd);
+                            continue;
+                        }
+                        self.state = SrvState::Respond(fd);
+                        return Step::Compute(SERVER_WORK);
+                    }
+                    SysResult::Err(Errno::ConnReset) => {
+                        self.state = SrvState::Closing(fd);
+                        continue;
+                    }
+                    other => panic!("server recv failed: {other:?}"),
+                },
+                SrvState::Respond(fd) => match self.to_send.pop_front() {
+                    Some(msg) => {
+                        return Step::Syscall(Syscall::Send { fd, msg });
+                    }
+                    None => {
+                        self.state = SrvState::Recv(fd);
+                        return Step::Syscall(Syscall::Recv { fd, max_msgs: 4 });
+                    }
+                },
+                SrvState::Closing(fd) => {
+                    self.state = SrvState::Listening;
+                    return Step::Syscall(Syscall::Close { fd });
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "incast-server"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ====================================================================
+// pthread-style client: master + one worker thread per server
+// ====================================================================
+
+/// One blocking-socket worker thread of the pthread-style incast client.
+#[derive(Debug)]
+pub struct IncastWorker {
+    /// The server this worker reads from.
+    pub server: SockAddr,
+    /// Fragment bytes requested per iteration (`block / N`).
+    pub fragment: u32,
+    shared: SharedHandle,
+    state: WrkState,
+    fd: Option<Fd>,
+    start_seen: u64,
+    iter: u64,
+    got_bytes: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WrkState {
+    Start,
+    Socketed,
+    Connected,
+    WaitStart,
+    SendReq,
+    RecvResp,
+    Closing,
+    Done,
+}
+
+impl IncastWorker {
+    /// Creates a worker fetching `fragment` bytes per iteration.
+    pub fn new(server: SockAddr, fragment: u32, shared: SharedHandle) -> Self {
+        IncastWorker {
+            server,
+            fragment,
+            shared,
+            state: WrkState::Start,
+            fd: None,
+            start_seen: 0,
+            iter: 0,
+            got_bytes: 0,
+        }
+    }
+
+    /// Decrements the shared countdown; returns `true` for the last
+    /// finisher.
+    fn finish_one(&self) -> bool {
+        let mut s = self.shared.lock().expect("shared state poisoned");
+        s.remaining -= 1;
+        s.remaining == 0
+    }
+}
+
+impl Process for IncastWorker {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                WrkState::Start => {
+                    self.state = WrkState::Socketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Tcp));
+                }
+                WrkState::Socketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.fd = Some(fd);
+                    self.state = WrkState::Connected;
+                    return Step::Syscall(Syscall::Connect { fd, to: self.server });
+                }
+                WrkState::Connected => {
+                    assert_eq!(ctx.result, SysResult::Done, "connect failed: {:?}", ctx.result);
+                    self.state = WrkState::WaitStart;
+                    if self.finish_one() {
+                        return Step::Syscall(Syscall::FutexWake { key: FUTEX_DONE });
+                    }
+                    continue;
+                }
+                WrkState::WaitStart => {
+                    if self.shared.lock().expect("poisoned").finished {
+                        self.state = WrkState::Closing;
+                        continue;
+                    }
+                    self.state = WrkState::SendReq;
+                    return Step::Syscall(Syscall::FutexWait {
+                        key: FUTEX_START,
+                        seen: self.start_seen,
+                    });
+                }
+                WrkState::SendReq => {
+                    if let SysResult::FutexVal(v) = ctx.result {
+                        self.start_seen = v;
+                    }
+                    if self.shared.lock().expect("poisoned").finished {
+                        self.state = WrkState::Closing;
+                        continue;
+                    }
+                    let msg = AppMessage::new(KIND_REQ, self.iter, 32, ctx.now)
+                        .with_arg0(self.fragment as u64);
+                    self.iter += 1;
+                    self.got_bytes = 0;
+                    self.state = WrkState::RecvResp;
+                    return Step::Syscall(Syscall::Send { fd: self.fd.expect("no fd"), msg });
+                }
+                WrkState::RecvResp => {
+                    match std::mem::replace(&mut ctx.result, SysResult::Done) {
+                        SysResult::Done => {
+                            return Step::Syscall(Syscall::Recv {
+                                fd: self.fd.expect("no fd"),
+                                max_msgs: 16,
+                            });
+                        }
+                        SysResult::Messages { msgs, eof } => {
+                            for m in &msgs {
+                                assert_eq!(m.kind, KIND_RESP);
+                                self.got_bytes += m.len;
+                            }
+                            if self.got_bytes >= self.fragment {
+                                self.state = WrkState::WaitStart;
+                                if self.finish_one() {
+                                    return Step::Syscall(Syscall::FutexWake {
+                                        key: FUTEX_DONE,
+                                    });
+                                }
+                                continue;
+                            }
+                            if eof {
+                                self.state = WrkState::Closing;
+                                continue;
+                            }
+                            return Step::Syscall(Syscall::Recv {
+                                fd: self.fd.expect("no fd"),
+                                max_msgs: 16,
+                            });
+                        }
+                        other => panic!("worker recv failed: {other:?}"),
+                    }
+                }
+                WrkState::Closing => {
+                    self.state = WrkState::Done;
+                    return Step::Syscall(Syscall::Close { fd: self.fd.expect("no fd") });
+                }
+                WrkState::Done => return Step::Exit,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "incast-worker"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// The pthread-style client coordinator: releases the worker barrier each
+/// iteration and records per-iteration block completion times.
+#[derive(Debug)]
+pub struct IncastMaster {
+    /// Workers (= servers).
+    pub n: usize,
+    /// Iterations to run.
+    pub iterations: u64,
+    /// Wall-clock duration of each completed iteration.
+    pub iteration_times: Vec<SimDuration>,
+    /// All iterations completed.
+    pub done: bool,
+    shared: SharedHandle,
+    state: MstState,
+    done_seen: u64,
+    iter_started: SimTime,
+    iter: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MstState {
+    AwaitConnects,
+    StartIter,
+    AwaitDone,
+    Finish,
+    Exit,
+}
+
+impl IncastMaster {
+    /// Creates a coordinator for `n` workers running `iterations`.
+    pub fn new(n: usize, iterations: u64, shared: SharedHandle) -> Self {
+        IncastMaster {
+            n,
+            iterations,
+            iteration_times: Vec::new(),
+            done: false,
+            shared,
+            state: MstState::AwaitConnects,
+            done_seen: 0,
+            iter_started: SimTime::ZERO,
+            iter: 0,
+        }
+    }
+
+    /// Mean goodput in bits per second for a striped block of
+    /// `block_bytes` per iteration.
+    pub fn goodput_bps(&self, block_bytes: u64) -> f64 {
+        let total: f64 = self.iteration_times.iter().map(|d| d.as_secs_f64()).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            (block_bytes * self.iteration_times.len() as u64) as f64 * 8.0 / total
+        }
+    }
+}
+
+impl Process for IncastMaster {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                MstState::AwaitConnects => {
+                    self.state = MstState::StartIter;
+                    return Step::Syscall(Syscall::FutexWait {
+                        key: FUTEX_DONE,
+                        seen: self.done_seen,
+                    });
+                }
+                MstState::StartIter => {
+                    if let SysResult::FutexVal(v) = ctx.result {
+                        self.done_seen = v;
+                    }
+                    if self.iter > 0 {
+                        self.iteration_times
+                            .push(ctx.now.saturating_duration_since(self.iter_started));
+                    }
+                    if self.iter >= self.iterations {
+                        self.state = MstState::Finish;
+                        continue;
+                    }
+                    self.iter += 1;
+                    self.shared.lock().expect("poisoned").remaining = self.n;
+                    self.iter_started = ctx.now;
+                    self.state = MstState::AwaitDone;
+                    return Step::Syscall(Syscall::FutexWake { key: FUTEX_START });
+                }
+                MstState::AwaitDone => {
+                    self.state = MstState::StartIter;
+                    return Step::Syscall(Syscall::FutexWait {
+                        key: FUTEX_DONE,
+                        seen: self.done_seen,
+                    });
+                }
+                MstState::Finish => {
+                    self.shared.lock().expect("poisoned").finished = true;
+                    self.done = true;
+                    self.state = MstState::Exit;
+                    return Step::Syscall(Syscall::FutexWake { key: FUTEX_START });
+                }
+                MstState::Exit => return Step::Exit,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "incast-master"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ====================================================================
+// epoll client
+// ====================================================================
+
+/// Single-threaded incast client multiplexing all servers with `epoll`,
+/// like memcached-era WSC software (Figure 6(b)'s `epoll` curves).
+#[derive(Debug)]
+pub struct IncastEpollClient {
+    /// Servers to stripe over.
+    pub servers: Vec<SockAddr>,
+    /// Fragment bytes per server per iteration.
+    pub fragment: u32,
+    /// Iterations to run.
+    pub iterations: u64,
+    /// Wall-clock duration of each completed iteration.
+    pub iteration_times: Vec<SimDuration>,
+    /// All iterations completed.
+    pub done: bool,
+    state: EpState,
+    fds: Vec<Fd>,
+    got: Vec<u32>,
+    epfd: Option<Fd>,
+    connect_idx: usize,
+    send_idx: usize,
+    ready_queue: VecDeque<Fd>,
+    completed: usize,
+    iter: u64,
+    iter_started: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EpState {
+    Start,
+    Socketed,
+    Connected,
+    NonblockSet,
+    EpollCreated,
+    CtlAdded,
+    SendNext,
+    Wait,
+    Drain,
+    Closing(usize),
+    Done,
+}
+
+impl IncastEpollClient {
+    /// Creates an epoll client striping `fragment` bytes over `servers`.
+    pub fn new(servers: Vec<SockAddr>, fragment: u32, iterations: u64) -> Self {
+        IncastEpollClient {
+            servers,
+            fragment,
+            iterations,
+            iteration_times: Vec::new(),
+            done: false,
+            state: EpState::Start,
+            fds: Vec::new(),
+            got: Vec::new(),
+            epfd: None,
+            connect_idx: 0,
+            send_idx: 0,
+            ready_queue: VecDeque::new(),
+            completed: 0,
+            iter: 0,
+            iter_started: SimTime::ZERO,
+        }
+    }
+
+    /// Mean goodput in bits per second for the whole striped block.
+    pub fn goodput_bps(&self) -> f64 {
+        let block = self.fragment as u64 * self.servers.len() as u64;
+        let total: f64 = self.iteration_times.iter().map(|d| d.as_secs_f64()).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            (block * self.iteration_times.len() as u64) as f64 * 8.0 / total
+        }
+    }
+
+    fn fd_index(&self, fd: Fd) -> usize {
+        self.fds.iter().position(|f| *f == fd).expect("unknown fd")
+    }
+}
+
+impl Process for IncastEpollClient {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                EpState::Start => {
+                    if self.connect_idx == self.servers.len() {
+                        self.state = EpState::EpollCreated;
+                        return Step::Syscall(Syscall::EpollCreate);
+                    }
+                    self.state = EpState::Socketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Tcp));
+                }
+                EpState::Socketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.fds.push(fd);
+                    self.got.push(0);
+                    self.state = EpState::Connected;
+                    return Step::Syscall(Syscall::Connect {
+                        fd,
+                        to: self.servers[self.connect_idx],
+                    });
+                }
+                EpState::Connected => {
+                    assert_eq!(ctx.result, SysResult::Done, "connect failed: {:?}", ctx.result);
+                    self.state = EpState::NonblockSet;
+                    return Step::Syscall(Syscall::SetNonblocking {
+                        fd: self.fds[self.connect_idx],
+                        on: true,
+                    });
+                }
+                EpState::NonblockSet => {
+                    self.connect_idx += 1;
+                    self.state = EpState::Start;
+                    continue;
+                }
+                EpState::EpollCreated => {
+                    let SysResult::NewFd(ep) = ctx.result else { panic!("epoll failed") };
+                    self.epfd = Some(ep);
+                    self.connect_idx = 0;
+                    self.state = EpState::CtlAdded;
+                    continue;
+                }
+                EpState::CtlAdded => {
+                    if self.connect_idx < self.fds.len() {
+                        let fd = self.fds[self.connect_idx];
+                        self.connect_idx += 1;
+                        return Step::Syscall(Syscall::EpollCtl {
+                            epfd: self.epfd.expect("no epfd"),
+                            fd,
+                            interest: EventMask::READ,
+                        });
+                    }
+                    // Begin the first iteration.
+                    self.iter += 1;
+                    self.iter_started = ctx.now;
+                    self.send_idx = 0;
+                    self.state = EpState::SendNext;
+                    continue;
+                }
+                EpState::SendNext => {
+                    if self.send_idx < self.fds.len() {
+                        let fd = self.fds[self.send_idx];
+                        self.send_idx += 1;
+                        let msg = AppMessage::new(KIND_REQ, self.iter - 1, 32, ctx.now)
+                            .with_arg0(self.fragment as u64);
+                        return Step::Syscall(Syscall::Send { fd, msg });
+                    }
+                    self.state = EpState::Wait;
+                    return Step::Syscall(Syscall::EpollWait {
+                        epfd: self.epfd.expect("no epfd"),
+                        max_events: 64,
+                        timeout: None,
+                    });
+                }
+                EpState::Wait => {
+                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                        SysResult::Events(evs) => {
+                            for (fd, mask) in evs {
+                                if mask.readable {
+                                    self.ready_queue.push_back(fd);
+                                }
+                            }
+                            self.state = EpState::Drain;
+                            continue;
+                        }
+                        other => panic!("epoll_wait failed: {other:?}"),
+                    }
+                }
+                EpState::Drain => {
+                    // Consume one Recv result if we just issued one.
+                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                        SysResult::Messages { msgs, .. } => {
+                            let fd = self
+                                .ready_queue
+                                .pop_front()
+                                .expect("recv result without pending fd");
+                            let idx = self.fd_index(fd);
+                            for m in &msgs {
+                                self.got[idx] += m.len;
+                            }
+                            if self.got[idx] >= self.fragment {
+                                self.got[idx] = 0;
+                                self.completed += 1;
+                            }
+                        }
+                        SysResult::Err(Errno::WouldBlock) => {
+                            self.ready_queue.pop_front();
+                        }
+                        _ => {}
+                    }
+                    if self.completed == self.fds.len() {
+                        // Iteration complete.
+                        self.iteration_times
+                            .push(ctx.now.saturating_duration_since(self.iter_started));
+                        self.completed = 0;
+                        self.ready_queue.clear();
+                        if self.iter >= self.iterations {
+                            self.state = EpState::Closing(0);
+                            continue;
+                        }
+                        self.iter += 1;
+                        self.iter_started = ctx.now;
+                        self.send_idx = 0;
+                        self.state = EpState::SendNext;
+                        continue;
+                    }
+                    match self.ready_queue.front() {
+                        Some(&fd) => {
+                            return Step::Syscall(Syscall::Recv { fd, max_msgs: 16 });
+                        }
+                        None => {
+                            self.state = EpState::Wait;
+                            return Step::Syscall(Syscall::EpollWait {
+                                epfd: self.epfd.expect("no epfd"),
+                                max_events: 64,
+                                timeout: None,
+                            });
+                        }
+                    }
+                }
+                EpState::Closing(i) => {
+                    if i < self.fds.len() {
+                        self.state = EpState::Closing(i + 1);
+                        return Step::Syscall(Syscall::Close { fd: self.fds[i] });
+                    }
+                    self.done = true;
+                    self.state = EpState::Done;
+                    continue;
+                }
+                EpState::Done => return Step::Exit,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "incast-epoll-client"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_state_countdown() {
+        let s = shared(3);
+        assert_eq!(s.lock().unwrap().remaining, 3);
+        let w = IncastWorker::new(SockAddr::default(), 1024, s.clone());
+        assert!(!w.finish_one());
+        assert!(!w.finish_one());
+        assert!(w.finish_one());
+    }
+
+    #[test]
+    fn goodput_math() {
+        let s = shared(1);
+        let mut m = IncastMaster::new(1, 2, s);
+        m.iteration_times = vec![SimDuration::from_millis(2), SimDuration::from_millis(2)];
+        let expected = 2.0 * 256.0 * 1024.0 * 8.0 / 0.004;
+        assert!((m.goodput_bps(256 * 1024) - expected).abs() < 1.0);
+    }
+}

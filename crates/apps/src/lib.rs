@@ -1,0 +1,20 @@
+//! # diablo-apps — guest applications for the DIABLO simulator
+//!
+//! Deterministic state-machine models of the paper's workloads:
+//!
+//! * [`echo`] — TCP/UDP echo servers and clients plus a CPU spinner;
+//!   building blocks and smoke tests.
+//! * [`incast`] — the fixed-block synchronized-read benchmark behind the
+//!   TCP Incast case study (§4.1), with `pthread`-blocking and `epoll`
+//!   client variants.
+//! * [`memcached`] — a behavioural model of memcached 1.4.15/1.4.17 over
+//!   TCP and UDP with worker threads.
+//! * [`workload`] — statistical samplers (GEV, generalized Pareto, Zipf)
+//!   and the Facebook-ETC-style key-value workload generator (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod echo;
+pub mod incast;
+pub mod memcached;
+pub mod workload;

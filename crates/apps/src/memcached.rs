@@ -1,0 +1,963 @@
+//! A behavioural model of memcached (§4.2).
+//!
+//! Mirrors the architecture of the real server: a *dispatcher* thread
+//! accepts TCP connections and hands them to `epoll`-driven *worker*
+//! threads (by registering the socket in the worker's epoll instance, the
+//! moral equivalent of memcached's notify pipe); UDP mode shares one
+//! socket across all workers. Version differences follow the paper:
+//!
+//! * **1.4.15** — `accept()` followed by a separate
+//!   `fcntl(O_NONBLOCK)` per new connection;
+//! * **1.4.17** — `accept4(SOCK_NONBLOCK)`, one syscall fewer per
+//!   connection (Figure 15's effect).
+//!
+//! The client is a closed-loop load generator: each request picks a
+//! uniformly random server (the paper's setup), sends a GET or SET drawn
+//! from the ETC workload model, waits for the reply and records the
+//! latency in HDR histograms — overall and per hop-class (Figure 10).
+
+use crate::workload::{etc_value_size_for_key, EtcWorkload, KvOp};
+use diablo_engine::prelude::Histogram;
+use diablo_engine::rng::DetRng;
+use diablo_engine::time::{SimDuration, SimTime};
+use diablo_net::addr::NodeAddr;
+use diablo_net::payload::AppMessage;
+use diablo_net::SockAddr;
+use diablo_stack::process::{
+    Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall,
+};
+use diablo_stack::socket::EventMask;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// GET request kind.
+pub const KIND_GET: u32 = 20;
+/// SET request kind.
+pub const KIND_SET: u32 = 21;
+/// Reply kind.
+pub const KIND_REPLY: u32 = 22;
+/// Default memcached port.
+pub const MEMCACHED_PORT: u16 = 11211;
+/// Reply protocol overhead bytes.
+const REPLY_OVERHEAD: u32 = 32;
+/// Small reply (SET acknowledgement / miss).
+const SMALL_REPLY: u32 = 8;
+
+/// Which memcached release is being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McVersion {
+    /// 1.4.15: `accept` + `fcntl`.
+    V1_4_15,
+    /// 1.4.17: `accept4`.
+    V1_4_17,
+}
+
+impl McVersion {
+    /// Human-readable version string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            McVersion::V1_4_15 => "1.4.15",
+            McVersion::V1_4_17 => "1.4.17",
+        }
+    }
+}
+
+/// State shared between the dispatcher and workers of one server.
+#[derive(Debug, Default)]
+pub struct McShared {
+    /// Worker epoll fds, published as workers start.
+    pub worker_epfds: Vec<Option<Fd>>,
+    /// The shared UDP socket, once created by the dispatcher.
+    pub udp_fd: Option<Fd>,
+    /// Requests served (all workers).
+    pub served: u64,
+}
+
+/// Handle to a server's shared state.
+pub type McSharedHandle = Arc<Mutex<McShared>>;
+
+/// Creates shared state for `workers` worker threads.
+pub fn mc_shared(workers: usize) -> McSharedHandle {
+    Arc::new(Mutex::new(McShared {
+        worker_epfds: vec![None; workers],
+        udp_fd: None,
+        served: 0,
+    }))
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct McServerConfig {
+    /// TCP (and UDP) port.
+    pub port: u16,
+    /// Worker threads (the paper tests 4 and 8).
+    pub workers: usize,
+    /// Modeled release.
+    pub version: McVersion,
+    /// Also serve UDP.
+    pub udp: bool,
+    /// Instructions of application logic per request (hash, LRU, item
+    /// handling).
+    pub request_work: u64,
+}
+
+impl Default for McServerConfig {
+    fn default() -> Self {
+        McServerConfig {
+            port: MEMCACHED_PORT,
+            workers: 4,
+            version: McVersion::V1_4_17,
+            udp: true,
+            request_work: 2_500,
+        }
+    }
+}
+
+// ====================================================================
+// Dispatcher thread
+// ====================================================================
+
+/// The memcached dispatcher: accepts connections and assigns them
+/// round-robin to worker epolls; creates the shared UDP socket.
+#[derive(Debug)]
+pub struct McDispatcher {
+    cfg: McServerConfig,
+    shared: McSharedHandle,
+    state: DispState,
+    listen_fd: Option<Fd>,
+    udp_fd: Option<Fd>,
+    next_worker: usize,
+    udp_reg_idx: usize,
+    pending_conn: Option<Fd>,
+    /// Connections accepted.
+    pub accepted: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispState {
+    Start,
+    TcpSocketed,
+    TcpBound,
+    TcpListening,
+    UdpSocketed,
+    UdpBound,
+    RegisterUdp,
+    WaitWorkers,
+    Accepting,
+    SetNb,
+    Assign,
+}
+
+impl McDispatcher {
+    /// Creates the dispatcher.
+    pub fn new(cfg: McServerConfig, shared: McSharedHandle) -> Self {
+        McDispatcher {
+            cfg,
+            shared,
+            state: DispState::Start,
+            listen_fd: None,
+            udp_fd: None,
+            next_worker: 0,
+            udp_reg_idx: 0,
+            pending_conn: None,
+            accepted: 0,
+        }
+    }
+
+    fn worker_epfd(&self, i: usize) -> Option<Fd> {
+        self.shared.lock().expect("poisoned").worker_epfds[i]
+    }
+
+    fn all_workers_ready(&self) -> bool {
+        self.shared.lock().expect("poisoned").worker_epfds.iter().all(|e| e.is_some())
+    }
+}
+
+impl Process for McDispatcher {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                DispState::Start => {
+                    self.state = DispState::TcpSocketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Tcp));
+                }
+                DispState::TcpSocketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.listen_fd = Some(fd);
+                    self.state = DispState::TcpBound;
+                    return Step::Syscall(Syscall::Bind { fd, port: self.cfg.port });
+                }
+                DispState::TcpBound => {
+                    assert_eq!(ctx.result, SysResult::Done, "bind failed");
+                    self.state = DispState::TcpListening;
+                    return Step::Syscall(Syscall::Listen {
+                        fd: self.listen_fd.expect("no fd"),
+                        backlog: 1024,
+                    });
+                }
+                DispState::TcpListening => {
+                    if self.cfg.udp {
+                        self.state = DispState::UdpSocketed;
+                        return Step::Syscall(Syscall::Socket(Proto::Udp));
+                    }
+                    self.state = DispState::WaitWorkers;
+                    continue;
+                }
+                DispState::UdpSocketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.udp_fd = Some(fd);
+                    self.state = DispState::UdpBound;
+                    return Step::Syscall(Syscall::Bind { fd, port: self.cfg.port });
+                }
+                DispState::UdpBound => {
+                    assert_eq!(ctx.result, SysResult::Done, "udp bind failed");
+                    self.shared.lock().expect("poisoned").udp_fd = self.udp_fd;
+                    self.state = DispState::WaitWorkers;
+                    continue;
+                }
+                DispState::WaitWorkers => {
+                    if !self.all_workers_ready() {
+                        return Step::Syscall(Syscall::Nanosleep(SimDuration::from_micros(
+                            100,
+                        )));
+                    }
+                    if self.cfg.udp && self.udp_reg_idx < self.cfg.workers {
+                        self.state = DispState::RegisterUdp;
+                        continue;
+                    }
+                    self.state = DispState::Accepting;
+                    return Step::Syscall(Syscall::Accept {
+                        fd: self.listen_fd.expect("no fd"),
+                        accept4: self.cfg.version == McVersion::V1_4_17,
+                    });
+                }
+                DispState::RegisterUdp => {
+                    let i = self.udp_reg_idx;
+                    self.udp_reg_idx += 1;
+                    let epfd = self.worker_epfd(i).expect("worker not ready");
+                    self.state = DispState::WaitWorkers;
+                    return Step::Syscall(Syscall::EpollCtl {
+                        epfd,
+                        fd: self.udp_fd.expect("no udp fd"),
+                        interest: EventMask::READ,
+                    });
+                }
+                DispState::Accepting => {
+                    let SysResult::Accepted { fd, .. } = ctx.result else {
+                        panic!("accept failed: {:?}", ctx.result)
+                    };
+                    self.accepted += 1;
+                    self.pending_conn = Some(fd);
+                    if self.cfg.version == McVersion::V1_4_15 {
+                        // Extra fcntl per connection.
+                        self.state = DispState::SetNb;
+                        return Step::Syscall(Syscall::SetNonblocking { fd, on: true });
+                    }
+                    self.state = DispState::Assign;
+                    continue;
+                }
+                DispState::SetNb => {
+                    self.state = DispState::Assign;
+                    continue;
+                }
+                DispState::Assign => {
+                    let fd = self.pending_conn.take().expect("no pending conn");
+                    let w = self.next_worker % self.cfg.workers;
+                    self.next_worker += 1;
+                    let epfd = self.worker_epfd(w).expect("worker not ready");
+                    // The EpollCtl is the "notify worker" step; afterwards
+                    // loop back through WaitWorkers to the next accept.
+                    self.state = DispState::WaitWorkers;
+                    return Step::Syscall(Syscall::EpollCtl {
+                        epfd,
+                        fd,
+                        interest: EventMask::READ,
+                    });
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "memcached-dispatcher"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ====================================================================
+// Worker thread
+// ====================================================================
+
+/// Pending work unit inside a worker.
+#[derive(Debug, Clone, PartialEq)]
+enum Act {
+    RecvTcp(Fd),
+    RecvUdp(Fd),
+    Flush(Fd),
+    Ctl(Fd, EventMask),
+    SendUdp(Fd, SockAddr, AppMessage),
+    CloseConn(Fd),
+}
+
+#[derive(Debug, Default)]
+struct ConnOut {
+    outbox: VecDeque<AppMessage>,
+    write_registered: bool,
+}
+
+/// A memcached worker thread: drains its epoll, parses requests, touches
+/// the item table and sends replies.
+#[derive(Debug)]
+pub struct McWorker {
+    /// This worker's index.
+    pub index: usize,
+    cfg: McServerConfig,
+    shared: McSharedHandle,
+    state: WkState,
+    epfd: Option<Fd>,
+    conns: HashMap<Fd, ConnOut>,
+    queue: VecDeque<Act>,
+    inflight: Option<Act>,
+    store: HashMap<u64, u32>,
+    /// Requests this worker served.
+    pub served: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WkState {
+    Start,
+    Publish,
+    Wait,
+    Run,
+}
+
+impl McWorker {
+    /// Creates worker `index`.
+    pub fn new(index: usize, cfg: McServerConfig, shared: McSharedHandle) -> Self {
+        McWorker {
+            index,
+            cfg,
+            shared,
+            state: WkState::Start,
+            epfd: None,
+            conns: HashMap::new(),
+            queue: VecDeque::new(),
+            inflight: None,
+            store: HashMap::new(),
+            served: 0,
+        }
+    }
+
+    /// Builds the reply for one request and the compute cost it incurs.
+    fn serve(&mut self, req: &AppMessage, now: SimTime) -> (AppMessage, u64) {
+        self.served += 1;
+        self.shared.lock().expect("poisoned").served += 1;
+        let key = req.arg0;
+        let reply_len = match req.kind {
+            KIND_GET => {
+                let size = self
+                    .store
+                    .get(&key)
+                    .copied()
+                    .unwrap_or_else(|| etc_value_size_for_key(key));
+                REPLY_OVERHEAD + size
+            }
+            KIND_SET => {
+                self.store.insert(key, req.arg1 as u32);
+                SMALL_REPLY
+            }
+            other => panic!("unknown request kind {other}"),
+        };
+        let mut reply = AppMessage::new(KIND_REPLY, req.id, reply_len, now);
+        reply.arg0 = key;
+        reply.arg1 = req.created_at.as_picos();
+        (reply, self.cfg.request_work)
+    }
+
+    fn udp_fd(&self) -> Option<Fd> {
+        self.shared.lock().expect("poisoned").udp_fd
+    }
+}
+
+impl Process for McWorker {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                WkState::Start => {
+                    self.state = WkState::Publish;
+                    return Step::Syscall(Syscall::EpollCreate);
+                }
+                WkState::Publish => {
+                    let SysResult::NewFd(ep) = ctx.result else { panic!("epoll failed") };
+                    self.epfd = Some(ep);
+                    self.shared.lock().expect("poisoned").worker_epfds[self.index] = Some(ep);
+                    self.state = WkState::Wait;
+                    return Step::Syscall(Syscall::EpollWait {
+                        epfd: ep,
+                        max_events: 64,
+                        timeout: None,
+                    });
+                }
+                WkState::Wait => {
+                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                        SysResult::Events(evs) => {
+                            let udp = self.udp_fd();
+                            for (fd, mask) in evs {
+                                if Some(fd) == udp {
+                                    if !self.queue.contains(&Act::RecvUdp(fd)) {
+                                        self.queue.push_back(Act::RecvUdp(fd));
+                                    }
+                                } else {
+                                    // Track the connection from first sight
+                                    // so stale queue entries for recycled
+                                    // descriptors can be recognized.
+                                    self.conns.entry(fd).or_default();
+                                    if mask.readable
+                                        && !self.queue.contains(&Act::RecvTcp(fd))
+                                    {
+                                        self.queue.push_back(Act::RecvTcp(fd));
+                                    }
+                                    if mask.writable
+                                        && !self.queue.contains(&Act::Flush(fd))
+                                    {
+                                        self.queue.push_back(Act::Flush(fd));
+                                    }
+                                }
+                            }
+                            self.state = WkState::Run;
+                            continue;
+                        }
+                        other => panic!("epoll_wait failed: {other:?}"),
+                    }
+                }
+                WkState::Run => {
+                    // Interpret the result of the in-flight action, then
+                    // issue the next one.
+                    if let Some(act) = self.inflight.take() {
+                        let result = std::mem::replace(&mut ctx.result, SysResult::Computed);
+                        let mut compute = 0u64;
+                        match (act, result) {
+                            (Act::RecvTcp(fd), SysResult::Messages { msgs, eof }) => {
+                                if msgs.is_empty() && eof {
+                                    self.queue.push_back(Act::CloseConn(fd));
+                                } else {
+                                    let now = ctx.now;
+                                    for req in &msgs {
+                                        let (reply, work) = self.serve(req, now);
+                                        compute += work;
+                                        self.conns
+                                            .entry(fd)
+                                            .or_default()
+                                            .outbox
+                                            .push_back(reply);
+                                    }
+                                    self.queue.push_back(Act::Flush(fd));
+                                }
+                            }
+                            (Act::RecvTcp(_), SysResult::Err(Errno::WouldBlock)) => {}
+                            (Act::RecvTcp(fd), SysResult::Err(Errno::BadFd)) => {
+                                self.conns.remove(&fd);
+                            }
+                            (Act::RecvTcp(fd), SysResult::Err(_)) => {
+                                self.queue.push_back(Act::CloseConn(fd));
+                            }
+                            (Act::RecvUdp(fd), SysResult::Datagram { from, msg }) => {
+                                let now = ctx.now;
+                                let (reply, work) = self.serve(&msg, now);
+                                compute += work;
+                                self.queue.push_back(Act::SendUdp(fd, from, reply));
+                                self.queue.push_back(Act::RecvUdp(fd));
+                            }
+                            (Act::RecvUdp(_), SysResult::Err(Errno::WouldBlock)) => {}
+                            (Act::Flush(fd), SysResult::Done) => {
+                                let conn = self.conns.entry(fd).or_default();
+                                conn.outbox.pop_front();
+                                if !conn.outbox.is_empty() {
+                                    self.queue.push_back(Act::Flush(fd));
+                                } else if conn.write_registered {
+                                    conn.write_registered = false;
+                                    self.queue.push_back(Act::Ctl(fd, EventMask::READ));
+                                }
+                            }
+                            (Act::Flush(fd), SysResult::Err(Errno::WouldBlock)) => {
+                                let conn = self.conns.entry(fd).or_default();
+                                if !conn.write_registered {
+                                    conn.write_registered = true;
+                                    self.queue.push_back(Act::Ctl(fd, EventMask::BOTH));
+                                }
+                            }
+                            (Act::Flush(fd), SysResult::Err(Errno::BadFd)) => {
+                                self.conns.remove(&fd);
+                            }
+                            (Act::Flush(fd), SysResult::Err(_)) => {
+                                self.queue.push_back(Act::CloseConn(fd));
+                            }
+                            (Act::Ctl(..), _) => {}
+                            (Act::SendUdp(..), _) => {}
+                            (Act::CloseConn(..), _) => {}
+                            (act, other) => {
+                                panic!("worker {act:?} got unexpected result {other:?}")
+                            }
+                        }
+                        if compute > 0 {
+                            return Step::Compute(compute);
+                        }
+                    }
+                    // Issue the next queued action.
+                    match self.queue.pop_front() {
+                        Some(Act::RecvTcp(fd)) => {
+                            if !self.conns.contains_key(&fd) {
+                                continue; // stale: connection already closed
+                            }
+                            self.inflight = Some(Act::RecvTcp(fd));
+                            return Step::Syscall(Syscall::Recv { fd, max_msgs: 8 });
+                        }
+                        Some(Act::RecvUdp(fd)) => {
+                            self.inflight = Some(Act::RecvUdp(fd));
+                            return Step::Syscall(Syscall::RecvFrom { fd });
+                        }
+                        Some(Act::Flush(fd)) => {
+                            let Some(conn) = self.conns.get_mut(&fd) else {
+                                continue; // stale
+                            };
+                            // The message stays queued until Send succeeds,
+                            // so a WouldBlock retries it on writability.
+                            match conn.outbox.front().copied() {
+                                Some(msg) => {
+                                    self.inflight = Some(Act::Flush(fd));
+                                    return Step::Syscall(Syscall::Send { fd, msg });
+                                }
+                                None => continue,
+                            }
+                        }
+                        Some(Act::Ctl(fd, mask)) => {
+                            self.inflight = Some(Act::Ctl(fd, mask));
+                            return Step::Syscall(Syscall::EpollCtl {
+                                epfd: self.epfd.expect("no epfd"),
+                                fd,
+                                interest: mask,
+                            });
+                        }
+                        Some(Act::SendUdp(fd, to, msg)) => {
+                            self.inflight = Some(Act::SendUdp(fd, to, msg));
+                            return Step::Syscall(Syscall::SendTo { fd, to, msg });
+                        }
+                        Some(Act::CloseConn(fd)) => {
+                            if self.conns.remove(&fd).is_none() {
+                                continue; // stale: already closed
+                            }
+                            self.inflight = Some(Act::CloseConn(fd));
+                            return Step::Syscall(Syscall::Close { fd });
+                        }
+                        None => {
+                            self.state = WkState::Wait;
+                            return Step::Syscall(Syscall::EpollWait {
+                                epfd: self.epfd.expect("no epfd"),
+                                max_events: 64,
+                                timeout: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "memcached-worker"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ====================================================================
+// Client
+// ====================================================================
+
+/// Client configuration.
+#[derive(Clone)]
+pub struct McClientConfig {
+    /// The memcached fleet.
+    pub servers: Vec<SockAddr>,
+    /// Transport (the paper compares both).
+    pub proto: Proto,
+    /// Requests to issue (30,000 in the paper; reduce for quick runs).
+    pub requests: u64,
+    /// Key space size.
+    pub keyspace: usize,
+    /// Instructions of client-side think time between requests.
+    pub think: u64,
+    /// Delay before the first request (stagger startup).
+    pub start_delay: SimDuration,
+    /// UDP: how long to wait for a reply before retrying.
+    pub udp_timeout: SimDuration,
+    /// UDP: retries before counting a failure.
+    pub udp_max_retries: u32,
+    /// TCP: close and re-open a server connection after this many uses
+    /// (connection churn keeps the server's accept path hot — the code
+    /// path `accept4` shortens).
+    pub reconnect_every: Option<u64>,
+    /// Maps a server node to a hop class index (0 = local, 1 = one-hop,
+    /// 2 = two-hop) for Figure 10's breakdown.
+    pub classify: Option<Arc<dyn Fn(NodeAddr) -> usize + Send + Sync>>,
+}
+
+impl std::fmt::Debug for McClientConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McClientConfig")
+            .field("servers", &self.servers.len())
+            .field("proto", &self.proto)
+            .field("requests", &self.requests)
+            .finish()
+    }
+}
+
+impl McClientConfig {
+    /// A TCP client issuing `requests` requests over `servers`.
+    pub fn tcp(servers: Vec<SockAddr>, requests: u64) -> Self {
+        McClientConfig {
+            servers,
+            proto: Proto::Tcp,
+            requests,
+            keyspace: 100_000,
+            think: 6_000,
+            start_delay: SimDuration::ZERO,
+            udp_timeout: SimDuration::from_millis(250),
+            udp_max_retries: 2,
+            reconnect_every: None,
+            classify: None,
+        }
+    }
+
+    /// A UDP client issuing `requests` requests over `servers`.
+    pub fn udp(servers: Vec<SockAddr>, requests: u64) -> Self {
+        McClientConfig { proto: Proto::Udp, ..Self::tcp(servers, requests) }
+    }
+}
+
+/// The closed-loop memcached client.
+#[derive(Debug)]
+pub struct McClient {
+    cfg: McClientConfig,
+    rng: DetRng,
+    workload: EtcWorkload,
+    state: CliState,
+    /// TCP connections by server index, with per-connection use counts.
+    conns: HashMap<usize, (Fd, u64)>,
+    udp_fd: Option<Fd>,
+    epfd: Option<Fd>,
+    current_server: usize,
+    current_op: Option<KvOp>,
+    issued: u64,
+    sent_at: SimTime,
+    retries_left: u32,
+    /// Request latency histogram (nanoseconds).
+    pub latency: Histogram,
+    /// Latency by hop class: local / one-hop / two-hop.
+    pub latency_by_class: [Histogram; 3],
+    /// Requests completed.
+    pub completed: u64,
+    /// UDP retransmissions performed.
+    pub udp_retries: u64,
+    /// Requests abandoned after exhausting retries.
+    pub failures: u64,
+    /// Finished cleanly.
+    pub done: bool,
+    /// When the last request completed.
+    pub finished_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CliState {
+    Start,
+    UdpSocketed,
+    UdpEpoll,
+    UdpCtl,
+    Think,
+    PickAndConnect,
+    CloseStale(usize),
+    TcpSocketed,
+    Connected,
+    SendReq,
+    AwaitTcp,
+    UdpAwait,
+    UdpRecv,
+    Done,
+}
+
+impl McClient {
+    /// Creates a client with a deterministic RNG stream.
+    pub fn new(cfg: McClientConfig, rng: DetRng) -> Self {
+        let workload = EtcWorkload::new(rng.derive(1), cfg.keyspace);
+        McClient {
+            workload,
+            rng,
+            state: CliState::Start,
+            conns: HashMap::new(),
+            udp_fd: None,
+            epfd: None,
+            current_server: 0,
+            current_op: None,
+            issued: 0,
+            sent_at: SimTime::ZERO,
+            retries_left: 0,
+            latency: Histogram::new(),
+            latency_by_class: [Histogram::new(), Histogram::new(), Histogram::new()],
+            completed: 0,
+            udp_retries: 0,
+            failures: 0,
+            done: false,
+            finished_at: SimTime::ZERO,
+            cfg,
+        }
+    }
+
+    fn record(&mut self, now: SimTime) {
+        let ns = now.saturating_duration_since(self.sent_at).as_nanos();
+        self.latency.record(ns);
+        if let Some(classify) = &self.cfg.classify {
+            let class = classify(self.cfg.servers[self.current_server].node).min(2);
+            self.latency_by_class[class].record(ns);
+        }
+        self.completed += 1;
+    }
+
+    fn request_msg(&self, now: SimTime) -> AppMessage {
+        let op = self.current_op.expect("no op in flight");
+        let kind = match op {
+            KvOp::Get { .. } => KIND_GET,
+            KvOp::Set { .. } => KIND_SET,
+        };
+        let mut m = AppMessage::new(kind, self.issued - 1, op.request_size(), now);
+        m.arg0 = op.key();
+        if let KvOp::Set { value_size, .. } = op {
+            m.arg1 = value_size as u64;
+        }
+        m
+    }
+}
+
+impl Process for McClient {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                CliState::Start => {
+                    if self.cfg.proto == Proto::Udp {
+                        self.state = CliState::UdpSocketed;
+                        return Step::Syscall(Syscall::Socket(Proto::Udp));
+                    }
+                    self.state = CliState::Think;
+                    if !self.cfg.start_delay.is_zero() {
+                        return Step::Syscall(Syscall::Nanosleep(self.cfg.start_delay));
+                    }
+                    continue;
+                }
+                CliState::UdpSocketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.udp_fd = Some(fd);
+                    self.state = CliState::UdpEpoll;
+                    return Step::Syscall(Syscall::EpollCreate);
+                }
+                CliState::UdpEpoll => {
+                    let SysResult::NewFd(ep) = ctx.result else { panic!("epoll failed") };
+                    self.epfd = Some(ep);
+                    self.state = CliState::UdpCtl;
+                    return Step::Syscall(Syscall::EpollCtl {
+                        epfd: ep,
+                        fd: self.udp_fd.expect("no udp fd"),
+                        interest: EventMask::READ,
+                    });
+                }
+                CliState::UdpCtl => {
+                    self.state = CliState::Think;
+                    if !self.cfg.start_delay.is_zero() {
+                        return Step::Syscall(Syscall::Nanosleep(self.cfg.start_delay));
+                    }
+                    continue;
+                }
+                CliState::Think => {
+                    if self.issued >= self.cfg.requests {
+                        self.state = CliState::Done;
+                        continue;
+                    }
+                    self.state = CliState::PickAndConnect;
+                    return Step::Compute(self.cfg.think);
+                }
+                CliState::PickAndConnect => {
+                    self.current_server =
+                        self.rng.next_below(self.cfg.servers.len() as u64) as usize;
+                    self.current_op = Some(self.workload.next_op());
+                    self.issued += 1;
+                    self.retries_left = self.cfg.udp_max_retries;
+                    if self.cfg.proto == Proto::Udp {
+                        self.state = CliState::SendReq;
+                        continue;
+                    }
+                    if let Some(&(fd, uses)) = self.conns.get(&self.current_server) {
+                        if let Some(limit) = self.cfg.reconnect_every {
+                            if uses >= limit {
+                                self.conns.remove(&self.current_server);
+                                self.state = CliState::CloseStale(self.current_server);
+                                return Step::Syscall(Syscall::Close { fd });
+                            }
+                        }
+                        self.state = CliState::SendReq;
+                        continue;
+                    }
+                    self.state = CliState::TcpSocketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Tcp));
+                }
+                CliState::CloseStale(_) => {
+                    self.state = CliState::TcpSocketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Tcp));
+                }
+                CliState::TcpSocketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.conns.insert(self.current_server, (fd, 0));
+                    self.state = CliState::Connected;
+                    return Step::Syscall(Syscall::Connect {
+                        fd,
+                        to: self.cfg.servers[self.current_server],
+                    });
+                }
+                CliState::Connected => {
+                    assert_eq!(ctx.result, SysResult::Done, "connect failed: {:?}", ctx.result);
+                    self.state = CliState::SendReq;
+                    continue;
+                }
+                CliState::SendReq => {
+                    self.sent_at = ctx.now;
+                    let msg = self.request_msg(ctx.now);
+                    if self.cfg.proto == Proto::Udp {
+                        self.state = CliState::UdpAwait;
+                        return Step::Syscall(Syscall::SendTo {
+                            fd: self.udp_fd.expect("no udp fd"),
+                            to: self.cfg.servers[self.current_server],
+                            msg,
+                        });
+                    }
+                    self.state = CliState::AwaitTcp;
+                    let entry = self.conns.get_mut(&self.current_server).expect("no conn");
+                    entry.1 += 1;
+                    let fd = entry.0;
+                    return Step::Syscall(Syscall::Send { fd, msg });
+                }
+                CliState::AwaitTcp => {
+                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                        SysResult::Done => {
+                            let fd = self.conns[&self.current_server].0;
+                            return Step::Syscall(Syscall::Recv { fd, max_msgs: 1 });
+                        }
+                        SysResult::Messages { msgs, .. } => {
+                            assert_eq!(msgs.len(), 1);
+                            assert_eq!(msgs[0].id, self.issued - 1, "reply id mismatch");
+                            self.record(ctx.now);
+                            self.state = CliState::Think;
+                            continue;
+                        }
+                        other => panic!("tcp request failed: {other:?}"),
+                    }
+                }
+                CliState::UdpAwait => {
+                    // SendTo completed; wait for readability with timeout.
+                    self.state = CliState::UdpRecv;
+                    return Step::Syscall(Syscall::EpollWait {
+                        epfd: self.epfd.expect("no epfd"),
+                        max_events: 4,
+                        timeout: Some(self.cfg.udp_timeout),
+                    });
+                }
+                CliState::UdpRecv => {
+                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                        SysResult::Events(evs) => {
+                            if evs.is_empty() {
+                                // Timeout: retry or give up.
+                                if self.retries_left > 0 {
+                                    self.retries_left -= 1;
+                                    self.udp_retries += 1;
+                                    let msg = self.request_msg(ctx.now);
+                                    self.state = CliState::UdpAwait;
+                                    return Step::Syscall(Syscall::SendTo {
+                                        fd: self.udp_fd.expect("no udp fd"),
+                                        to: self.cfg.servers[self.current_server],
+                                        msg,
+                                    });
+                                }
+                                self.failures += 1;
+                                self.record(ctx.now);
+                                self.state = CliState::Think;
+                                continue;
+                            }
+                            return Step::Syscall(Syscall::RecvFrom {
+                                fd: self.udp_fd.expect("no udp fd"),
+                            });
+                        }
+                        SysResult::Datagram { msg, .. } => {
+                            if msg.id != self.issued - 1 {
+                                // Stale reply from an earlier retry; wait on.
+                                self.state = CliState::UdpAwait;
+                                continue;
+                            }
+                            self.record(ctx.now);
+                            self.state = CliState::Think;
+                            continue;
+                        }
+                        SysResult::Err(Errno::WouldBlock) => {
+                            self.state = CliState::UdpAwait;
+                            continue;
+                        }
+                        other => panic!("udp request failed: {other:?}"),
+                    }
+                }
+                CliState::Done => {
+                    self.done = true;
+                    self.finished_at = ctx.now;
+                    return Step::Exit;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "memcached-client"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_state_starts_empty() {
+        let s = mc_shared(4);
+        let g = s.lock().unwrap();
+        assert_eq!(g.worker_epfds.len(), 4);
+        assert!(g.worker_epfds.iter().all(Option::is_none));
+        assert!(g.udp_fd.is_none());
+    }
+
+    #[test]
+    fn versions_have_names() {
+        assert_eq!(McVersion::V1_4_15.as_str(), "1.4.15");
+        assert_eq!(McVersion::V1_4_17.as_str(), "1.4.17");
+    }
+
+    #[test]
+    fn client_config_builders() {
+        let servers = vec![SockAddr::new(NodeAddr(1), MEMCACHED_PORT)];
+        let t = McClientConfig::tcp(servers.clone(), 100);
+        assert_eq!(t.proto, Proto::Tcp);
+        let u = McClientConfig::udp(servers, 100);
+        assert_eq!(u.proto, Proto::Udp);
+        assert_eq!(u.requests, 100);
+    }
+}

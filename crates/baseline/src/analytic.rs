@@ -1,0 +1,136 @@
+//! Analytical models (§2.2, "Analytical simulation models").
+//!
+//! Stochastic queueing models "raise the level of abstraction" and are much
+//! faster than simulation, but struggle to capture HW/SW interactions at
+//! scale. Two such models are implemented as comparison baselines:
+//!
+//! * a fluid incast-goodput estimate in the spirit of the
+//!   Phanishayee/Vasudevan analyses: ideal pipeline time plus an expected
+//!   RTO stall once the synchronized windows exceed the bottleneck buffer;
+//! * an M/M/k (Erlang-C) latency model of a memcached server with `k`
+//!   worker threads.
+
+/// Estimates incast goodput (bits/s) for `n` synchronized senders.
+///
+/// Model: each iteration moves `block_bytes` through a `link_bps`
+/// bottleneck whose port buffer holds `buffer_bytes`. The synchronized
+/// first bursts total `n * init_window_bytes`; the fraction that overflows
+/// the buffer is lost, and when a sender loses its whole burst it stalls
+/// for `rto_s`. Expected stalls per iteration grow with the overflow
+/// fraction; goodput is `block / (ideal_time + stall_time)`.
+///
+/// # Panics
+///
+/// Panics if any parameter is non-positive.
+pub fn incast_goodput_analytic(
+    link_bps: f64,
+    block_bytes: f64,
+    buffer_bytes: f64,
+    n: usize,
+    init_window_bytes: f64,
+    rto_s: f64,
+    base_rtt_s: f64,
+) -> f64 {
+    assert!(link_bps > 0.0 && block_bytes > 0.0 && buffer_bytes > 0.0, "invalid parameters");
+    assert!(n > 0 && init_window_bytes > 0.0 && rto_s > 0.0, "invalid parameters");
+    let ideal = block_bytes * 8.0 / link_bps + base_rtt_s;
+    let burst = n as f64 * init_window_bytes;
+    // Fraction of the synchronized burst that cannot be buffered or
+    // drained within one RTT.
+    let drainable = buffer_bytes + link_bps * base_rtt_s / 8.0;
+    let overflow = ((burst - drainable) / burst).max(0.0);
+    // Probability that at least one sender loses enough of its window to
+    // need an RTO this iteration (full-window loss); senders are
+    // independent targets of the tail-drop process.
+    let p_sender_rto = overflow.powf(2.0_f64.min(init_window_bytes / 1460.0));
+    let p_any_rto = 1.0 - (1.0 - p_sender_rto).powi(n as i32);
+    // Serialized stalls: after the first RTO the survivors finish, so one
+    // stall dominates; deep collapse adds a second round.
+    let stalls = p_any_rto * (1.0 + overflow);
+    block_bytes * 8.0 / (ideal + stalls * rto_s)
+}
+
+/// Erlang-C: expected sojourn time (wait + service) in an M/M/k queue.
+///
+/// # Panics
+///
+/// Panics unless `lambda > 0`, `mu > 0`, `k > 0`, and the system is stable
+/// (`lambda < k*mu`).
+pub fn mmk_sojourn_time(lambda: f64, mu: f64, k: usize) -> f64 {
+    assert!(lambda > 0.0 && mu > 0.0 && k > 0, "invalid parameters");
+    let rho = lambda / (k as f64 * mu);
+    assert!(rho < 1.0, "unstable queue: rho = {rho}");
+    let a = lambda / mu;
+    // P(wait) via Erlang C.
+    let mut sum = 0.0;
+    let mut term = 1.0; // a^j / j!
+    for j in 0..k {
+        if j > 0 {
+            term *= a / j as f64;
+        }
+        sum += term;
+    }
+    let ak_kfact = term * a / k as f64; // a^k / k!
+    let c = ak_kfact / (1.0 - rho) / (sum + ak_kfact / (1.0 - rho));
+    c / (k as f64 * mu - lambda) + 1.0 / mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn goodput(n: usize) -> f64 {
+        incast_goodput_analytic(
+            1e9,          // 1 Gbps
+            256.0 * 1024.0,
+            4096.0,       // shallow 4 KB port buffer
+            n,
+            10.0 * 1460.0, // IW10
+            0.2,          // 200 ms RTO
+            200e-6,
+        )
+    }
+
+    #[test]
+    fn analytic_incast_collapses_with_fanin() {
+        let g2 = goodput(2);
+        let g16 = goodput(16);
+        assert!(g2 > 5.0 * g16, "expected collapse: g(2)={g2:.2e} g(16)={g16:.2e}");
+    }
+
+    #[test]
+    fn deep_buffers_prevent_analytic_collapse() {
+        let g = incast_goodput_analytic(
+            1e9,
+            256.0 * 1024.0,
+            4_000_000.0,
+            16,
+            10.0 * 1460.0,
+            0.2,
+            200e-6,
+        );
+        assert!(g > 0.5e9, "deep buffers should approach line rate, got {g:.2e}");
+    }
+
+    #[test]
+    fn mm1_matches_closed_form() {
+        // M/M/1: T = 1/(mu - lambda).
+        let t = mmk_sojourn_time(50.0, 100.0, 1);
+        assert!((t - 1.0 / 50.0).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn more_servers_reduce_waiting() {
+        let t1 = mmk_sojourn_time(150.0, 100.0, 2);
+        let t2 = mmk_sojourn_time(150.0, 100.0, 8);
+        assert!(t2 < t1);
+        // With many servers, sojourn approaches pure service time.
+        assert!((t2 - 0.01).abs() < 0.002, "got {t2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_queue_panics() {
+        let _ = mmk_sojourn_time(300.0, 100.0, 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! The incast scenario on the network-only baseline simulator.
+//!
+//! Same switches, same topology, same synchronized-read workload as the
+//! full-stack experiment — but endpoints are zero-cost ns2-style agents.
+//! Comparing this against `diablo-apps::incast` reproduces the
+//! DIABLO-vs-ns2 comparison of Figure 6(a).
+
+use crate::agent::{AgentOut, TcpSender, TcpSink, PKT_SIZE};
+use diablo_engine::component::{Component, Ctx};
+use diablo_engine::event::{PortNo, TimerKey};
+use diablo_engine::prelude::{DetRng, SimDuration, SimTime, Simulation};
+use diablo_net::addr::NodeAddr;
+use diablo_net::frame::Frame;
+use diablo_net::link::{LinkParams, PortPeer, TxPort};
+use diablo_net::payload::{AppMessage, IpPacket, Transport, UdpDatagram};
+use diablo_net::switch::{PacketSwitch, SwitchConfig};
+use diablo_net::topology::{Topology, TopologyConfig};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Port used for transfer-request datagrams.
+const REQ_PORT: u16 = 9;
+/// TCP port pair used by the agents.
+const DATA_PORT: u16 = 5001;
+
+/// A baseline storage server: an idle TCP sender agent that transmits
+/// `arg0` packets toward the client whenever a request datagram arrives.
+#[derive(Debug)]
+pub struct BaselineServer {
+    addr: NodeAddr,
+    client: NodeAddr,
+    tx: TxPort,
+    topo: Arc<Topology>,
+    sender: TcpSender,
+    /// Transfers requested so far.
+    pub requests: u64,
+}
+
+impl BaselineServer {
+    /// Creates a server wired to `uplink`, sending to `client`.
+    pub fn new(addr: NodeAddr, client: NodeAddr, uplink: PortPeer, topo: Arc<Topology>) -> Self {
+        BaselineServer {
+            addr,
+            client,
+            tx: TxPort::new(uplink),
+            topo,
+            sender: TcpSender::new(DATA_PORT, DATA_PORT),
+            requests: 0,
+        }
+    }
+
+    /// The sender agent (for stats).
+    pub fn sender(&self) -> &TcpSender {
+        &self.sender
+    }
+
+    fn flush(&mut self, out: AgentOut, ctx: &mut Ctx<'_, Frame>) {
+        for seg in out.segs {
+            let pkt = IpPacket::tcp(self.addr, self.client, seg);
+            let route = self.topo.route(self.addr, self.client);
+            let wire = pkt.wire_bytes();
+            let timing = self.tx.transmit(ctx.now(), wire);
+            ctx.send_at(self.tx.peer.component, self.tx.peer.port, timing.arrival, {
+                Frame::new(pkt, route)
+            });
+        }
+        if let Some(at) = out.arm_rto {
+            ctx.set_timer_at(at, self.sender.rto_gen());
+        }
+    }
+}
+
+impl Component<Frame> for BaselineServer {
+    fn on_timer(&mut self, key: TimerKey, ctx: &mut Ctx<'_, Frame>) {
+        let mut out = AgentOut::default();
+        self.sender.on_rto(key, ctx.now(), &mut out);
+        self.flush(out, ctx);
+    }
+
+    fn on_message(&mut self, _port: PortNo, frame: Frame, ctx: &mut Ctx<'_, Frame>) {
+        let mut out = AgentOut::default();
+        match &frame.packet.transport {
+            Transport::Udp(d) => {
+                // A transfer request.
+                self.requests += 1;
+                self.sender.start_transfer(d.msg.arg0, ctx.now(), &mut out);
+            }
+            Transport::Tcp(seg) => {
+                let seg = seg.clone();
+                self.sender.on_ack(&seg, ctx.now(), &mut out);
+            }
+        }
+        self.flush(out, ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The baseline incast client: requests `fragment` packets from every
+/// server each iteration and waits for all of them.
+#[derive(Debug)]
+pub struct BaselineIncastClient {
+    addr: NodeAddr,
+    servers: Vec<NodeAddr>,
+    tx: TxPort,
+    topo: Arc<Topology>,
+    frag_pkts: u64,
+    iterations: u64,
+    sinks: HashMap<NodeAddr, TcpSink>,
+    pending: HashSet<NodeAddr>,
+    iter: u64,
+    iter_started: SimTime,
+    /// Duration of each completed iteration.
+    pub iteration_times: Vec<SimDuration>,
+    /// All iterations done.
+    pub done: bool,
+}
+
+impl BaselineIncastClient {
+    /// Creates a client fetching `frag_pkts` packets from each server per
+    /// iteration.
+    pub fn new(
+        addr: NodeAddr,
+        servers: Vec<NodeAddr>,
+        frag_pkts: u64,
+        iterations: u64,
+        uplink: PortPeer,
+        topo: Arc<Topology>,
+    ) -> Self {
+        BaselineIncastClient {
+            addr,
+            sinks: servers.iter().map(|&s| (s, TcpSink::new())).collect(),
+            servers,
+            tx: TxPort::new(uplink),
+            topo,
+            frag_pkts,
+            iterations,
+            pending: HashSet::new(),
+            iter: 0,
+            iter_started: SimTime::ZERO,
+            iteration_times: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Mean goodput in bits per second for the striped block.
+    pub fn goodput_bps(&self) -> f64 {
+        let block = self.frag_pkts * self.servers.len() as u64 * PKT_SIZE as u64;
+        let total: f64 = self.iteration_times.iter().map(|d| d.as_secs_f64()).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            (block * self.iteration_times.len() as u64) as f64 * 8.0 / total
+        }
+    }
+
+    fn send_packet(&mut self, dst: NodeAddr, pkt: IpPacket, ctx: &mut Ctx<'_, Frame>) {
+        let route = self.topo.route(self.addr, dst);
+        let timing = self.tx.transmit(ctx.now(), pkt.wire_bytes());
+        ctx.send_at(
+            self.tx.peer.component,
+            self.tx.peer.port,
+            timing.arrival,
+            Frame::new(pkt, route),
+        );
+    }
+
+    fn start_iteration(&mut self, ctx: &mut Ctx<'_, Frame>) {
+        self.iter += 1;
+        self.iter_started = ctx.now();
+        self.pending = self.servers.iter().copied().collect();
+        let servers = self.servers.clone();
+        for s in servers {
+            let d = UdpDatagram {
+                src_port: REQ_PORT,
+                dst_port: REQ_PORT,
+                msg: AppMessage::new(1, self.iter, 32, ctx.now()).with_arg0(self.frag_pkts),
+            };
+            self.send_packet(s, IpPacket::udp(self.addr, s, d), ctx);
+        }
+    }
+}
+
+impl Component<Frame> for BaselineIncastClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Frame>) {
+        self.start_iteration(ctx);
+    }
+
+    fn on_timer(&mut self, _key: TimerKey, _ctx: &mut Ctx<'_, Frame>) {}
+
+    fn on_message(&mut self, _port: PortNo, frame: Frame, ctx: &mut Ctx<'_, Frame>) {
+        let src = frame.packet.src;
+        let Transport::Tcp(seg) = &frame.packet.transport else { return };
+        let seg = seg.clone();
+        let Some(sink) = self.sinks.get_mut(&src) else { return };
+        let ack = sink.on_data(&seg);
+        let delivered = sink.delivered;
+        self.send_packet(src, IpPacket::tcp(self.addr, src, ack), ctx);
+        if delivered >= self.frag_pkts * self.iter && self.pending.remove(&src)
+            && self.pending.is_empty() {
+                self.iteration_times
+                    .push(ctx.now().saturating_duration_since(self.iter_started));
+                if self.iter >= self.iterations {
+                    self.done = true;
+                } else {
+                    self.start_iteration(ctx);
+                }
+            }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Runs the baseline incast on a single switch (client on port 0, servers
+/// on ports 1..=n), returning mean goodput in Mbps.
+///
+/// # Panics
+///
+/// Panics if the simulation fails or the client does not complete.
+pub fn run_baseline_incast(
+    n_servers: usize,
+    iterations: u64,
+    block_bytes: u64,
+    switch_cfg: SwitchConfig,
+    link: LinkParams,
+) -> f64 {
+    let topo = Arc::new(
+        Topology::new(TopologyConfig {
+            racks: 1,
+            servers_per_rack: n_servers + 1,
+            racks_per_array: 1,
+        })
+        .expect("valid topology"),
+    );
+    let mut sim = Simulation::<Frame>::new();
+    let switch = sim.add_component(Box::new(PacketSwitch::new(switch_cfg, DetRng::new(3))));
+    let frag_pkts = (block_bytes / n_servers as u64).div_ceil(PKT_SIZE as u64).max(1);
+    let servers: Vec<NodeAddr> = (1..=n_servers).map(|i| NodeAddr(i as u32)).collect();
+    let client_uplink = PortPeer { component: switch, port: PortNo(0), params: link };
+    let client_id = sim.add_component(Box::new(BaselineIncastClient::new(
+        NodeAddr(0),
+        servers.clone(),
+        frag_pkts,
+        iterations,
+        client_uplink,
+        topo.clone(),
+    )));
+    let mut ids = vec![client_id];
+    for (i, &s) in servers.iter().enumerate() {
+        let uplink = PortPeer { component: switch, port: PortNo((i + 1) as u16), params: link };
+        ids.push(sim.add_component(Box::new(BaselineServer::new(
+            s,
+            NodeAddr(0),
+            uplink,
+            topo.clone(),
+        ))));
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        sim.component_mut::<PacketSwitch>(switch).expect("switch").connect_port(
+            i as u16,
+            PortPeer { component: id, port: PortNo(0), params: link },
+        );
+    }
+    sim.run_until(SimTime::from_secs(900)).expect("baseline run failed");
+    let client = sim.component::<BaselineIncastClient>(client_id).expect("client");
+    assert!(client.done, "baseline incast did not complete with {n_servers} servers");
+    client.goodput_bps() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_net::switch::BufferConfig;
+
+    #[test]
+    fn uncongested_baseline_runs_near_line_rate() {
+        let mut cfg = SwitchConfig::shallow_gbe("t", 8);
+        cfg.buffer = BufferConfig::PerPort { bytes_per_port: 1024 * 1024 };
+        let gp = run_baseline_incast(3, 5, 256 * 1024, cfg, LinkParams::gbe(500));
+        assert!(gp > 500.0, "baseline goodput {gp} Mbps too low");
+    }
+
+    #[test]
+    fn shallow_buffers_collapse_baseline_too() {
+        let cfg = SwitchConfig::shallow_gbe("t", 16);
+        let small = run_baseline_incast(2, 3, 256 * 1024, cfg.clone(), LinkParams::gbe(500));
+        let cfg2 = SwitchConfig::shallow_gbe("t", 16);
+        let big = run_baseline_incast(12, 3, 256 * 1024, cfg2, LinkParams::gbe(500));
+        assert!(
+            big < small / 2.0,
+            "baseline must also collapse: goodput(2)={small:.0} goodput(12)={big:.0}"
+        );
+    }
+
+    #[test]
+    fn deterministic_goodput() {
+        let mk = || {
+            let cfg = SwitchConfig::shallow_gbe("t", 8);
+            run_baseline_incast(4, 3, 256 * 1024, cfg, LinkParams::gbe(500))
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,126 @@
+//! Microbenchmarks of the network substrate: switch forwarding rate and
+//! TCP engine segment processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diablo_engine::prelude::*;
+use diablo_net::addr::NodeAddr;
+use diablo_net::frame::{Frame, Route};
+use diablo_net::link::{LinkParams, PortPeer};
+use diablo_net::payload::{AppMessage, IpPacket, UdpDatagram};
+use diablo_net::switch::{BufferConfig, PacketSwitch, SwitchConfig};
+use diablo_net::SockAddr;
+use diablo_stack::tcp::{TcpConn, TcpOutput, TcpParams};
+use std::any::Any;
+use std::hint::black_box;
+
+struct Sink;
+impl Component<Frame> for Sink {
+    fn on_timer(&mut self, _k: TimerKey, _c: &mut Ctx<'_, Frame>) {}
+    fn on_message(&mut self, _p: PortNo, _f: Frame, _c: &mut Ctx<'_, Frame>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn bench_switch_forwarding(c: &mut Criterion) {
+    c.bench_function("network/switch_forward_10k_frames", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::<Frame>::new();
+            let mut cfg = SwitchConfig::shallow_gbe("t", 4);
+            cfg.buffer = BufferConfig::PerPort { bytes_per_port: 1 << 24 };
+            let mut sw = PacketSwitch::new(cfg, DetRng::new(1));
+            let link = LinkParams::gbe(0);
+            sw.connect_port(0, PortPeer { component: ComponentId(1), port: PortNo(0), params: link });
+            sw.connect_port(1, PortPeer { component: ComponentId(1), port: PortNo(0), params: link });
+            let swid = sim.add_component(Box::new(sw));
+            sim.add_component(Box::new(Sink));
+            let d = UdpDatagram {
+                src_port: 1,
+                dst_port: 2,
+                msg: AppMessage::new(0, 0, 100, SimTime::ZERO),
+            };
+            let frame =
+                Frame::new(IpPacket::udp(NodeAddr(0), NodeAddr(1), d), Route::new(vec![1]));
+            for i in 0..10_000u64 {
+                sim.inject_message(
+                    SimTime::from_nanos(i * 2_000),
+                    swid,
+                    PortNo(0),
+                    frame.clone(),
+                );
+            }
+            sim.run().unwrap();
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    c.bench_function("network/tcp_1mb_transfer_inmemory", |b| {
+        b.iter(|| {
+            // Directly pump segments between two engines (no network).
+            let params = TcpParams::default();
+            let a_addr = SockAddr::new(NodeAddr(0), 1);
+            let b_addr = SockAddr::new(NodeAddr(1), 2);
+            let mut out = TcpOutput::default();
+            let now = SimTime::from_micros(1);
+            let mut a = TcpConn::client(params.clone(), a_addr, b_addr, now, &mut out);
+            let syn = out.segs.remove(0);
+            let mut out_b = TcpOutput::default();
+            let mut bc =
+                TcpConn::server_from_syn(params, b_addr, a_addr, &syn, now, &mut out_b);
+            // Handshake.
+            let mut to_a: Vec<_> = out_b.segs.drain(..).collect();
+            let mut to_b: Vec<_> = Vec::new();
+            let mut t = now;
+            for _ in 0..4 {
+                t += SimDuration::from_micros(10);
+                let mut oa = TcpOutput::default();
+                for s in to_a.drain(..) {
+                    a.on_segment(t, s, &mut oa);
+                }
+                to_b.extend(oa.segs);
+                let mut ob = TcpOutput::default();
+                for s in to_b.drain(..) {
+                    bc.on_segment(t, s, &mut ob);
+                }
+                to_a.extend(ob.segs);
+            }
+            // 1 MB in 16 KB messages.
+            let mut sent = 0u32;
+            let mut oa = TcpOutput::default();
+            while sent < 1_048_576 {
+                if a
+                    .app_send(AppMessage::new(1, 0, 16_384, t), t, &mut oa)
+                    .is_err()
+                {
+                    // Drain the network.
+                    t += SimDuration::from_micros(10);
+                    let mut ob = TcpOutput::default();
+                    for s in oa.segs.drain(..) {
+                        bc.on_segment(t, s, &mut ob);
+                    }
+                    let (_msgs, _) = bc.app_recv(usize::MAX, t, &mut ob);
+                    let mut oa2 = TcpOutput::default();
+                    for s in ob.segs {
+                        a.on_segment(t, s, &mut oa2);
+                    }
+                    oa = oa2;
+                    continue;
+                }
+                sent += 16_384;
+            }
+            black_box(a.stats().bytes_out)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_switch_forwarding, bench_tcp_transfer
+}
+criterion_main!(benches);

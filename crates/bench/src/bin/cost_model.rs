@@ -1,0 +1,52 @@
+//! C1: the paper's cost claims (§1, §3.4): the 3,000-node BEE3 prototype
+//! (~$140K), the projected 32,000-node modern system (~$150K), and the
+//! CAPEX/OPEX of the real warehouse-scale array they substitute for
+//! ($36M + $800K/month).
+
+use diablo_bench::{banner, results_dir};
+use diablo_core::report::{fmt_f, Table};
+use diablo_fpga::{RealArrayCost, SystemPlan};
+
+fn main() {
+    banner("Cost model", "DIABLO vs building the real array");
+    let real = RealArrayCost::default();
+    let mut t = Table::new(vec![
+        "system",
+        "servers",
+        "boards",
+        "rack FPGAs",
+        "switch FPGAs",
+        "DRAM GiB",
+        "cost $",
+        "power W",
+        "real CAPEX $",
+        "capex ratio",
+    ]);
+    for plan in [SystemPlan::prototype_3000(), SystemPlan::projected_32000()] {
+        let name = match plan.generation {
+            diablo_fpga::Generation::Bee3 => "BEE3 prototype",
+            diablo_fpga::Generation::Modern2015 => "2015 projection",
+        };
+        t.row(vec![
+            name.into(),
+            plan.target_servers.to_string(),
+            plan.boards.to_string(),
+            plan.rack_fpgas.to_string(),
+            plan.switch_fpgas.to_string(),
+            plan.dram_gib.to_string(),
+            plan.cost_usd.to_string(),
+            plan.power_w.to_string(),
+            fmt_f(real.capex(plan.target_servers), 0),
+            fmt_f(real.capex_ratio(&plan), 0),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "\nreal-array OPEX at prototype scale: ${}/month (paper: ~$800K/month)",
+        fmt_f(real.opex_per_month(2_976), 0)
+    );
+    println!("paper reference points: 9-board prototype ~$140K; 32k-node projection ~$150K");
+    let path = results_dir().join("cost_model.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,30 @@
+//! Figure 2: size of physical testbeds used in SIGCOMM datacenter papers,
+//! 2008–2013 (reconstructed dataset; the paper's summary statistics —
+//! median 16 servers, 6 switches — are preserved exactly).
+
+use diablo_bench::{banner, results_dir};
+use diablo_core::report::Table;
+use diablo_core::survey::{median_servers, median_switches, sigcomm_survey};
+
+fn main() {
+    banner("Figure 2", "Size of physical testbeds in recent SIGCOMM papers");
+    let entries = sigcomm_survey();
+    let mut t = Table::new(vec!["year", "servers", "switches", "workload"]);
+    for e in &entries {
+        t.row(vec![
+            e.year.to_string(),
+            e.servers.to_string(),
+            e.switches.to_string(),
+            e.workload.to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "\nmedian servers = {} (paper: 16), median switches = {} (paper: 6)",
+        median_servers(&entries),
+        median_switches(&entries)
+    );
+    let path = results_dir().join("fig02_testbeds.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,24 @@
+//! Table 1: workload types used by recent SIGCOMM datacenter-networking
+//! papers.
+
+use diablo_bench::{banner, results_dir};
+use diablo_core::report::Table;
+use diablo_core::survey::{sigcomm_survey, workload_counts};
+
+fn main() {
+    banner("Table 1", "Workload in recent SIGCOMM papers");
+    let entries = sigcomm_survey();
+    let (micro, trace, app) = workload_counts(&entries);
+    let mut t = Table::new(vec!["Types", "Microbenchmark", "Trace", "Application"]);
+    t.row(vec![
+        "Number of Papers".into(),
+        micro.to_string(),
+        trace.to_string(),
+        app.to_string(),
+    ]);
+    print!("{t}");
+    println!("\npaper: 16 / 3 / 2");
+    let path = results_dir().join("tab01_survey.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("csv: {}", path.display());
+}

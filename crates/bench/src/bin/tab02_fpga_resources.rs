@@ -1,0 +1,46 @@
+//! Table 2: Rack FPGA resource utilization on a Xilinx Virtex-5 LX155T,
+//! regenerated from the parametric FAME resource model.
+
+use diablo_bench::{banner, results_dir, Args};
+use diablo_core::report::{fmt_f, Table};
+use diablo_fpga::{Device, RackFpgaDesign};
+
+fn main() {
+    let args = Args::parse();
+    banner("Table 2", "Rack FPGA resource utilization (Virtex-5 LX155T)");
+    let design = RackFpgaDesign {
+        pipelines: args.get("--pipelines", 4),
+        threads: args.get("--threads", 32),
+    };
+    let device = Device::virtex5_lx155t();
+    let mut t = Table::new(vec!["Component Name", "LUT", "Register", "BRAM", "LUTRAM"]);
+    for (name, r) in design.rows() {
+        t.row(vec![
+            name.to_string(),
+            r.lut.to_string(),
+            r.reg.to_string(),
+            r.bram.to_string(),
+            r.lutram.to_string(),
+        ]);
+    }
+    let total = design.total();
+    t.row(vec![
+        "Total".into(),
+        total.lut.to_string(),
+        total.reg.to_string(),
+        total.bram.to_string(),
+        total.lutram.to_string(),
+    ]);
+    print!("{t}");
+    println!(
+        "\nsimulates {} servers in {} racks; estimated slice occupancy {}% \
+         (paper: 95% of slices at 90 MHz)",
+        design.servers(),
+        design.racks(),
+        fmt_f(device.slice_occupancy(total) * 100.0, 1)
+    );
+    println!("fits on {}: {}", device.name, device.fits(total));
+    let path = results_dir().join("tab02_fpga_resources.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,143 @@
+//! `wsc_sim` — the general-purpose simulator front end: run either paper
+//! workload on an arbitrary configuration from the command line.
+//!
+//! ```console
+//! $ wsc_sim memcached --racks 32 --requests 200 --proto tcp --kernel 3.5 --10g
+//! $ wsc_sim incast --servers 12 --iterations 10 --client epoll --ghz 2 --10g
+//! $ wsc_sim memcached --parallel 4        # partition-parallel, identical results
+//! ```
+
+use diablo_apps::memcached::McVersion;
+use diablo_bench::{banner, Args};
+use diablo_core::report::percentiles_us;
+use diablo_core::{
+    run_incast, run_memcached, IncastClientKind, IncastConfig, McExperimentConfig, RunMode,
+};
+use diablo_engine::time::{Frequency, SimDuration};
+use diablo_stack::process::Proto;
+use diablo_stack::profile::KernelProfile;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wsc_sim <memcached|incast> [options]\n\
+         \n\
+         memcached options:\n\
+           --racks N (16)  --spr N (6)  --mc-per-rack N (1)  --requests N (150)\n\
+           --proto tcp|udp (udp)  --kernel 2.6|3.5 (2.6)  --version 1.4.15|1.4.17\n\
+           --workers N (4)  --10g  --parallel N  --seed N\n\
+         \n\
+         incast options:\n\
+           --servers N (8)  --iterations N (10)  --block BYTES (262144)\n\
+           --client pthread|epoll (pthread)  --ghz 2|4 (4)  --10g  --seed N"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let args = Args::parse();
+    match mode.as_str() {
+        "memcached" => memcached(&args),
+        "incast" => incast(&args),
+        _ => usage(),
+    }
+}
+
+fn memcached(args: &Args) {
+    banner("wsc_sim", "memcached at scale");
+    let mut cfg = McExperimentConfig::mini(args.get("--racks", 16), args.get("--requests", 150));
+    cfg.servers_per_rack = args.get("--spr", cfg.servers_per_rack);
+    cfg.mc_per_rack = args.get("--mc-per-rack", cfg.mc_per_rack);
+    cfg.workers = args.get("--workers", cfg.workers);
+    cfg.seed = args.get("--seed", cfg.seed);
+    cfg.ten_gig = args.flag("--10g");
+    cfg.proto = match args.get("--proto", "udp".to_string()).as_str() {
+        "tcp" => Proto::Tcp,
+        "udp" => Proto::Udp,
+        _ => usage(),
+    };
+    cfg.kernel = match args.get("--kernel", "2.6".to_string()).as_str() {
+        "2.6" => KernelProfile::linux_2_6_39(),
+        "3.5" => KernelProfile::linux_3_5_7(),
+        _ => usage(),
+    };
+    cfg.version = match args.get("--version", "1.4.17".to_string()).as_str() {
+        "1.4.15" => McVersion::V1_4_15,
+        "1.4.17" => McVersion::V1_4_17,
+        _ => usage(),
+    };
+    let partitions: usize = args.get("--parallel", 0);
+    if partitions > 1 {
+        cfg.mode = RunMode::Parallel { partitions, quantum: SimDuration::from_nanos(500) };
+    }
+    println!(
+        "{} nodes ({} racks x {}), {} memcached servers, {:?}, kernel {}, memcached {}, {}",
+        cfg.nodes(),
+        cfg.racks,
+        cfg.servers_per_rack,
+        cfg.racks * cfg.mc_per_rack,
+        cfg.proto,
+        cfg.kernel.name,
+        cfg.version.as_str(),
+        if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
+    );
+    let r = run_memcached(&cfg);
+    println!(
+        "\n{} requests in {} simulated ({} events, {:.2}s wall)",
+        r.latency.count(),
+        r.completed_at,
+        r.events,
+        r.wall.as_secs_f64()
+    );
+    println!("served={} udp_retries={} failures={}", r.served, r.udp_retries, r.failures);
+    for (name, v) in percentiles_us(&r.latency) {
+        println!("  {name:>6}: {v:>12.1} us");
+    }
+    let labels = ["local", "1-hop", "2-hop"];
+    for (label, h) in labels.iter().zip(&r.by_class) {
+        if !h.is_empty() {
+            println!(
+                "  {label:>6}: n={:<8} p50={:.1}us p99={:.1}us",
+                h.count(),
+                h.quantile(0.5) as f64 / 1e3,
+                h.quantile(0.99) as f64 / 1e3
+            );
+        }
+    }
+}
+
+fn incast(args: &Args) {
+    banner("wsc_sim", "TCP incast");
+    let client = match args.get("--client", "pthread".to_string()).as_str() {
+        "pthread" => IncastClientKind::Pthread,
+        "epoll" => IncastClientKind::Epoll,
+        _ => usage(),
+    };
+    let mut cfg = IncastConfig::fig6a(args.get("--servers", 8));
+    cfg.iterations = args.get("--iterations", 10);
+    cfg.block_bytes = args.get("--block", 256 * 1024);
+    cfg.client = client;
+    cfg.cpu = Frequency::ghz(args.get("--ghz", 4));
+    cfg.ten_gig = args.flag("--10g");
+    cfg.seed = args.get("--seed", cfg.seed);
+    println!(
+        "{} servers, {} iterations, {} B blocks, {:?} client, {} CPU, {}",
+        cfg.servers,
+        cfg.iterations,
+        cfg.block_bytes,
+        cfg.client,
+        cfg.cpu,
+        if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
+    );
+    let r = run_incast(&cfg);
+    println!(
+        "\ngoodput {:.1} Mbps over {} iterations ({} switch drops, {} events)",
+        r.goodput_mbps,
+        r.iteration_times.len(),
+        r.switch_drops,
+        r.events
+    );
+    for (i, d) in r.iteration_times.iter().enumerate() {
+        println!("  iteration {:>2}: {d}", i + 1);
+    }
+}

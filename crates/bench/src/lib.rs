@@ -1,0 +1,115 @@
+//! # diablo-bench — the paper-regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation (see
+//! `src/bin/`), plus Criterion microbenchmarks covering the §5 simulator
+//! performance claims (`benches/`). This library holds the shared
+//! plumbing: a tiny argument parser and result-file conventions.
+//!
+//! Every binary prints the series the corresponding figure plots and
+//! writes a CSV under `results/`. Default parameters are scaled down from
+//! the paper's (documented per-figure in `EXPERIMENTS.md`); pass
+//! `--requests`/`--racks`/`--iterations` to scale up.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Minimal command-line argument access: `--key value` pairs and flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// From an explicit vector (tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Args { raw }
+    }
+
+    /// `true` if `--name` appears.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// The value following `--name`, parsed; `default` otherwise.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Directory where regenerators drop CSV outputs (`results/` at the
+/// workspace root, or `$DIABLO_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("DIABLO_RESULTS") {
+        return PathBuf::from(d);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("DIABLO reproduction — {id}: {title}");
+    println!("==============================================================");
+}
+
+/// Builds a memcached experiment configuration from CLI arguments, scaled
+/// down by default (`--full` restores the paper's 31-servers-per-rack,
+/// 2-memcached-per-rack shape; `--requests` sets per-client request count).
+pub fn mc_config_from_args(
+    args: &Args,
+    default_racks: usize,
+    default_requests: u64,
+) -> diablo_core::McExperimentConfig {
+    use diablo_core::McExperimentConfig;
+    let racks = args.get("--racks", default_racks);
+    let requests = args.get("--requests", default_requests);
+    let mut cfg = if args.flag("--full") {
+        McExperimentConfig::paper(racks, requests)
+    } else {
+        let mut c = McExperimentConfig::mini(racks, requests);
+        c.servers_per_rack = args.get("--spr", c.servers_per_rack);
+        c.mc_per_rack = args.get("--mc-per-rack", c.mc_per_rack);
+        c
+    };
+    cfg.workers = args.get("--workers", cfg.workers);
+    cfg.seed = args.get("--seed", cfg.seed);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::from_vec(vec!["--racks".into(), "8".into(), "--full".into()]);
+        assert_eq!(a.get("--racks", 2usize), 8);
+        assert_eq!(a.get("--requests", 100u64), 100);
+        assert!(a.flag("--full"));
+        assert!(!a.flag("--quick"));
+    }
+
+    #[test]
+    fn results_dir_is_somewhere() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

@@ -1,0 +1,442 @@
+//! Cluster construction: instantiating a WSC array topology as engine
+//! components, on either executor.
+
+use diablo_engine::event::{ComponentId, EventKind, PortNo};
+use diablo_engine::parallel::{ComponentHost, ParallelSimulation};
+use diablo_engine::prelude::{DetRng, EngineError, RunStats, Simulation};
+use diablo_engine::time::{SimDuration, SimTime};
+use diablo_net::frame::Frame;
+use diablo_net::link::{LinkParams, PortPeer};
+use diablo_net::switch::{BufferConfig, ForwardingMode, PacketSwitch, RoutingMode, SwitchConfig};
+use diablo_net::topology::{Endpoint, SwitchLevel, Topology, TopologyConfig};
+use diablo_net::NodeAddr;
+use diablo_nic::NicConfig;
+use diablo_node::ServerNode;
+use diablo_stack::kernel::NodeConfig;
+use diablo_stack::process::Process;
+use diablo_stack::profile::KernelProfile;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Executor selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Single-threaded.
+    Serial,
+    /// Partition-parallel with the given worker count and quantum.
+    Parallel {
+        /// Host threads.
+        partitions: usize,
+        /// Synchronization quantum (must not exceed the smallest
+        /// cross-partition link latency; see
+        /// [`ClusterSpec::safe_quantum`]).
+        quantum: SimDuration,
+    },
+}
+
+/// A simulation under either executor, with a uniform interface.
+pub enum SimHost {
+    /// Single-threaded executor.
+    Serial(Simulation<Frame>),
+    /// Partition-parallel executor.
+    Parallel(ParallelSimulation<Frame>),
+}
+
+impl std::fmt::Debug for SimHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimHost::Serial(s) => write!(f, "SimHost::Serial({s:?})"),
+            SimHost::Parallel(p) => write!(f, "SimHost::Parallel({p:?})"),
+        }
+    }
+}
+
+impl SimHost {
+    /// Creates a host for the given mode.
+    pub fn new(mode: RunMode) -> Self {
+        match mode {
+            RunMode::Serial => SimHost::Serial(Simulation::new()),
+            RunMode::Parallel { partitions, quantum } => {
+                SimHost::Parallel(ParallelSimulation::new(partitions, quantum))
+            }
+        }
+    }
+
+    /// Number of partitions (1 for serial).
+    pub fn partition_count(&self) -> usize {
+        match self {
+            SimHost::Serial(_) => 1,
+            SimHost::Parallel(p) => p.partition_count(),
+        }
+    }
+
+    /// Runs until `limit` simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor errors (unknown components, quantum
+    /// violations).
+    pub fn run_until(&mut self, limit: SimTime) -> Result<RunStats, EngineError> {
+        match self {
+            SimHost::Serial(s) => s.run_until(limit),
+            SimHost::Parallel(p) => p.run_until(limit),
+        }
+    }
+
+    /// Total events dispatched.
+    pub fn events_processed(&self) -> u64 {
+        match self {
+            SimHost::Serial(s) => s.events_processed(),
+            SimHost::Parallel(p) => p.events_processed(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        match self {
+            SimHost::Serial(s) => s.now(),
+            SimHost::Parallel(p) => p.now(),
+        }
+    }
+
+    /// Downcasts a component for inspection.
+    pub fn component<T: Any>(&self, id: ComponentId) -> Option<&T> {
+        match self {
+            SimHost::Serial(s) => s.component::<T>(id),
+            SimHost::Parallel(p) => p.component::<T>(id),
+        }
+    }
+
+    /// Mutable downcast.
+    pub fn component_mut<T: Any>(&mut self, id: ComponentId) -> Option<&mut T> {
+        match self {
+            SimHost::Serial(s) => s.component_mut::<T>(id),
+            SimHost::Parallel(p) => p.component_mut::<T>(id),
+        }
+    }
+}
+
+impl ComponentHost<Frame> for SimHost {
+    fn add_in_partition(
+        &mut self,
+        partition: usize,
+        component: Box<dyn diablo_engine::component::Component<Frame>>,
+    ) -> ComponentId {
+        match self {
+            SimHost::Serial(s) => s.add_in_partition(partition, component),
+            SimHost::Parallel(p) => p.add_in_partition(partition, component),
+        }
+    }
+
+    fn inject(&mut self, at: SimTime, target: ComponentId, kind: EventKind<Frame>) {
+        match self {
+            SimHost::Serial(s) => s.inject(at, target, kind),
+            SimHost::Parallel(p) => p.inject(at, target, kind),
+        }
+    }
+}
+
+/// Per-level switch timing/buffer template (port count comes from the
+/// topology).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchTemplate {
+    /// Port-to-port latency.
+    pub latency: SimDuration,
+    /// Buffer organization.
+    pub buffer: BufferConfig,
+    /// Forwarding discipline.
+    pub forwarding: ForwardingMode,
+}
+
+impl SwitchTemplate {
+    /// The paper's commodity GbE configuration: 1 µs latency, 4 KB/port,
+    /// store-and-forward.
+    pub fn gbe_shallow() -> Self {
+        SwitchTemplate {
+            latency: SimDuration::from_micros(1),
+            buffer: BufferConfig::PerPort { bytes_per_port: 4096 },
+            forwarding: ForwardingMode::StoreAndForward,
+        }
+    }
+
+    /// The paper's simulated 10 GbE fabric: 100 ns latency, cut-through.
+    pub fn ten_gbe_fast() -> Self {
+        SwitchTemplate {
+            latency: SimDuration::from_nanos(100),
+            buffer: BufferConfig::PerPort { bytes_per_port: 4096 },
+            forwarding: ForwardingMode::CutThrough,
+        }
+    }
+
+    fn to_config(self, name: String, ports: u16) -> SwitchConfig {
+        SwitchConfig {
+            name,
+            ports,
+            latency: self.latency,
+            buffer: self.buffer,
+            forwarding: self.forwarding,
+            routing: RoutingMode::Source,
+        }
+    }
+}
+
+/// Everything needed to instantiate one simulated WSC array.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Array shape.
+    pub topology: TopologyConfig,
+    /// Guest kernel.
+    pub kernel: KernelProfile,
+    /// Server CPU clock.
+    pub cpu: diablo_engine::time::Frequency,
+    /// Server NIC parameters.
+    pub nic: NicConfig,
+    /// Server-to-ToR links.
+    pub node_link: LinkParams,
+    /// ToR-to-array links.
+    pub rack_uplink: LinkParams,
+    /// Array-to-datacenter links.
+    pub array_uplink: LinkParams,
+    /// ToR switch template.
+    pub tor: SwitchTemplate,
+    /// Array switch template.
+    pub array: SwitchTemplate,
+    /// Datacenter switch template.
+    pub datacenter: SwitchTemplate,
+    /// Master seed for all derived RNG streams.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// The paper's 1 Gbps setup: GbE links, shallow store-and-forward
+    /// switches with 1 µs port latency.
+    pub fn gbe(topology: TopologyConfig) -> Self {
+        ClusterSpec {
+            topology,
+            kernel: KernelProfile::linux_2_6_39(),
+            cpu: diablo_engine::time::Frequency::ghz(4),
+            nic: NicConfig::default(),
+            node_link: LinkParams::gbe(500),
+            rack_uplink: LinkParams::gbe(500),
+            array_uplink: LinkParams::gbe(500),
+            tor: SwitchTemplate::gbe_shallow(),
+            array: SwitchTemplate::gbe_shallow(),
+            datacenter: SwitchTemplate::gbe_shallow(),
+            seed: 0x00D1_AB10,
+        }
+    }
+
+    /// The paper's upgraded 10 Gbps setup: 10x bandwidth, 10x lower switch
+    /// latency, cut-through.
+    pub fn ten_gbe(topology: TopologyConfig) -> Self {
+        ClusterSpec {
+            node_link: LinkParams::ten_gbe(500),
+            rack_uplink: LinkParams::ten_gbe(500),
+            array_uplink: LinkParams::ten_gbe(500),
+            tor: SwitchTemplate::ten_gbe_fast(),
+            array: SwitchTemplate::ten_gbe_fast(),
+            datacenter: SwitchTemplate::ten_gbe_fast(),
+            ..Self::gbe(topology)
+        }
+    }
+
+    /// Adds extra port-to-port latency at every switch level (Figure 12's
+    /// sweep).
+    #[must_use]
+    pub fn with_extra_switch_latency(mut self, extra: SimDuration) -> Self {
+        self.tor.latency += extra;
+        self.array.latency += extra;
+        self.datacenter.latency += extra;
+        self
+    }
+
+    /// The largest safe parallel quantum for this spec: cross-partition
+    /// messages travel ToR↔array or array↔DC links, whose delivery lags
+    /// the send by at least the propagation delay.
+    pub fn safe_quantum(&self) -> SimDuration {
+        self.rack_uplink.propagation.min(self.array_uplink.propagation)
+    }
+}
+
+/// A constructed cluster: component ids plus the topology.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The validated topology.
+    pub topo: Arc<Topology>,
+    /// Per-node component ids (indexed by `NodeAddr`).
+    pub nodes: Vec<ComponentId>,
+    /// Per-switch component ids (topology switch indexing).
+    pub switches: Vec<ComponentId>,
+}
+
+impl Cluster {
+    /// Builds the cluster described by `spec` into `host`.
+    ///
+    /// Partition placement mirrors DIABLO's FPGA mapping: each rack (its
+    /// servers plus ToR) lives in one partition; array and datacenter
+    /// switches live in partition 0 (the "Switch FPGAs").
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid topology.
+    pub fn build(host: &mut SimHost, spec: &ClusterSpec) -> Cluster {
+        let topo =
+            Arc::new(Topology::new(spec.topology).expect("invalid topology configuration"));
+        let nparts = host.partition_count();
+        let rack_partition =
+            |rack: usize| -> usize { if nparts <= 1 { 0 } else { rack % nparts } };
+        let root_rng = DetRng::new(spec.seed);
+
+        // 1. Switches.
+        let mut switches = Vec::with_capacity(topo.switch_count());
+        for s in 0..topo.switch_count() {
+            let (template, name, partition) = match topo.switch_level(s) {
+                SwitchLevel::Tor { rack } => {
+                    (spec.tor, format!("tor{rack}"), rack_partition(rack))
+                }
+                SwitchLevel::Array { array } => (spec.array, format!("array{array}"), 0),
+                SwitchLevel::Datacenter => (spec.datacenter, "datacenter".to_string(), 0),
+            };
+            let cfg = template.to_config(name, topo.switch_ports(s));
+            let sw = PacketSwitch::new(cfg, root_rng.derive(1_000_000 + s as u64));
+            switches.push(host.add_in_partition(partition, Box::new(sw)));
+        }
+
+        // 2. Nodes.
+        let mut nodes = Vec::with_capacity(topo.nodes());
+        for n in 0..topo.nodes() {
+            let addr = NodeAddr(n as u32);
+            let (tor, port) = topo.node_attachment(addr);
+            let uplink = PortPeer {
+                component: switches[tor],
+                port: PortNo(port),
+                params: spec.node_link,
+            };
+            let cfg = NodeConfig {
+                addr,
+                cpu: spec.cpu,
+                cpi: 1,
+                profile: spec.kernel.clone(),
+                nic: spec.nic,
+                loopback_delay: SimDuration::from_micros(5),
+            };
+            let node = ServerNode::new(cfg, uplink, topo.clone());
+            let partition = rack_partition(topo.rack_of(addr));
+            nodes.push(host.add_in_partition(partition, Box::new(node)));
+        }
+
+        // 3. Wire every switch port according to the topology.
+        for s in 0..topo.switch_count() {
+            for port in 0..topo.switch_ports(s) {
+                let peer = match topo.peer_of(s, port) {
+                    Endpoint::Node(n) => PortPeer {
+                        component: nodes[n.index()],
+                        port: PortNo(0),
+                        params: spec.node_link,
+                    },
+                    Endpoint::Switch { index, port: pport } => {
+                        let params = match (topo.switch_level(s), topo.switch_level(index)) {
+                            (SwitchLevel::Array { .. }, SwitchLevel::Datacenter)
+                            | (SwitchLevel::Datacenter, SwitchLevel::Array { .. }) => {
+                                spec.array_uplink
+                            }
+                            _ => spec.rack_uplink,
+                        };
+                        PortPeer {
+                            component: switches[index],
+                            port: PortNo(pport),
+                            params,
+                        }
+                    }
+                    Endpoint::Unwired => continue,
+                };
+                host.component_mut::<PacketSwitch>(switches[s])
+                    .expect("switch vanished")
+                    .connect_port(port, peer);
+            }
+        }
+
+        Cluster { topo, nodes, switches }
+    }
+
+    /// Component id of a node.
+    pub fn node(&self, addr: NodeAddr) -> ComponentId {
+        self.nodes[addr.index()]
+    }
+
+    /// Spawns a guest process on `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn spawn(&self, host: &mut SimHost, addr: NodeAddr, process: Box<dyn Process>) {
+        host.component_mut::<ServerNode>(self.node(addr))
+            .expect("node vanished")
+            .spawn(process);
+    }
+
+    /// Reads a guest process's state on `addr`.
+    pub fn process<'h, T: Any>(
+        &self,
+        host: &'h SimHost,
+        addr: NodeAddr,
+        tid: diablo_stack::process::Tid,
+    ) -> Option<&'h T> {
+        host.component::<ServerNode>(self.node(addr))?.kernel().process::<T>(tid)
+    }
+
+    /// Sums switch buffer drops over all switches.
+    pub fn total_switch_drops(&self, host: &SimHost) -> u64 {
+        self.switches
+            .iter()
+            .map(|&id| {
+                host.component::<PacketSwitch>(id)
+                    .map(|s| s.stats().drops_buffer.get())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_paper_memcached_topology() {
+        let spec = ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 4, racks_per_array: 2 });
+        let mut host = SimHost::new(RunMode::Serial);
+        let cluster = Cluster::build(&mut host, &spec);
+        assert_eq!(cluster.nodes.len(), 16);
+        assert_eq!(cluster.switches.len(), 4 + 2 + 1);
+        // All ids distinct.
+        let mut all: Vec<_> =
+            cluster.nodes.iter().chain(cluster.switches.iter()).copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 16 + 7);
+    }
+
+    #[test]
+    fn parallel_build_places_racks_in_partitions() {
+        let spec = ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 2, racks_per_array: 2 });
+        let quantum = spec.safe_quantum();
+        assert_eq!(quantum, SimDuration::from_nanos(500));
+        let mut host = SimHost::new(RunMode::Parallel { partitions: 2, quantum });
+        let cluster = Cluster::build(&mut host, &spec);
+        // Runs without quantum violations even with nothing scheduled.
+        assert_eq!(cluster.nodes.len(), 8);
+        host.run_until(SimTime::from_millis(1)).unwrap();
+    }
+
+    #[test]
+    fn ten_gbe_spec_has_faster_everything() {
+        let topo = TopologyConfig::memcached_paper(16);
+        let g1 = ClusterSpec::gbe(topo);
+        let g10 = ClusterSpec::ten_gbe(topo);
+        assert!(g10.node_link.bandwidth.bits_per_sec() > g1.node_link.bandwidth.bits_per_sec());
+        assert!(g10.tor.latency < g1.tor.latency);
+        let with_extra = g10.clone().with_extra_switch_latency(SimDuration::from_nanos(50));
+        assert_eq!(with_extra.tor.latency, g10.tor.latency + SimDuration::from_nanos(50));
+    }
+}

@@ -1,0 +1,449 @@
+//! Experiment harnesses: assembled scenarios matching the paper's case
+//! studies (§4), returning the measurements the figures plot.
+
+use crate::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+use diablo_apps::incast::{
+    shared, IncastEpollClient, IncastMaster, IncastServer, IncastWorker, INCAST_PORT,
+};
+use diablo_apps::memcached::{
+    mc_shared, McClient, McClientConfig, McDispatcher, McServerConfig, McSharedHandle,
+    McVersion, McWorker, MEMCACHED_PORT,
+};
+use diablo_engine::prelude::{DetRng, Frequency, Histogram, SimDuration, SimTime};
+use diablo_net::topology::{HopClass, TopologyConfig};
+use diablo_net::{NodeAddr, SockAddr};
+use diablo_stack::process::{Proto, Tid};
+use diablo_stack::profile::KernelProfile;
+use std::sync::Arc;
+
+// ====================================================================
+// Incast (§4.1, Figure 6)
+// ====================================================================
+
+/// Which client implementation drives the incast benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncastClientKind {
+    /// One blocking-socket thread per server plus a coordinator.
+    Pthread,
+    /// Single-threaded nonblocking epoll loop.
+    Epoll,
+}
+
+/// One incast experiment configuration.
+#[derive(Debug, Clone)]
+pub struct IncastConfig {
+    /// Fan-in: number of storage servers.
+    pub servers: usize,
+    /// Synchronized-read iterations (40 in the paper).
+    pub iterations: u64,
+    /// Total block bytes striped per iteration (256 KB in the paper).
+    pub block_bytes: u32,
+    /// Client structure.
+    pub client: IncastClientKind,
+    /// Server CPU clock (2 or 4 GHz in Figure 6(b)).
+    pub cpu: Frequency,
+    /// Guest kernel.
+    pub kernel: KernelProfile,
+    /// Use the 10 Gbps fabric instead of 1 Gbps.
+    pub ten_gig: bool,
+    /// Override the ToR buffer (defaults to the paper's 4 KB/port).
+    pub switch: Option<SwitchTemplate>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl IncastConfig {
+    /// The paper's Figure 6(a) point: 1 Gbps shallow-buffer switch,
+    /// 4 GHz CPU, pthread client.
+    pub fn fig6a(servers: usize) -> Self {
+        IncastConfig {
+            servers,
+            iterations: 10,
+            block_bytes: 256 * 1024,
+            client: IncastClientKind::Pthread,
+            cpu: Frequency::ghz(4),
+            kernel: KernelProfile::linux_2_6_39(),
+            ten_gig: false,
+            switch: None,
+            seed: 0x0001_ca57,
+        }
+    }
+
+    /// A Figure 6(b) point: 10 Gbps fabric with the given CPU and client.
+    pub fn fig6b(servers: usize, ghz: u64, client: IncastClientKind) -> Self {
+        IncastConfig {
+            cpu: Frequency::ghz(ghz),
+            ten_gig: true,
+            client,
+            ..Self::fig6a(servers)
+        }
+    }
+}
+
+/// Incast measurements.
+#[derive(Debug, Clone)]
+pub struct IncastResult {
+    /// Application goodput in Mbps.
+    pub goodput_mbps: f64,
+    /// Per-iteration completion times.
+    pub iteration_times: Vec<SimDuration>,
+    /// Switch tail drops across the run.
+    pub switch_drops: u64,
+    /// Events processed (simulator-performance reporting).
+    pub events: u64,
+}
+
+/// Runs one incast configuration to completion.
+///
+/// # Panics
+///
+/// Panics if the scenario deadlocks (client never finishes within the
+/// generous simulated-time budget).
+pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
+    let n = cfg.servers;
+    let topo = TopologyConfig { racks: 1, servers_per_rack: n + 1, racks_per_array: 1 };
+    let mut spec =
+        if cfg.ten_gig { ClusterSpec::ten_gbe(topo) } else { ClusterSpec::gbe(topo) };
+    spec.cpu = cfg.cpu;
+    spec.kernel = cfg.kernel.clone();
+    spec.seed = cfg.seed;
+    if let Some(sw) = cfg.switch {
+        spec.tor = sw;
+    }
+    let mut host = SimHost::new(RunMode::Serial);
+    let cluster = Cluster::build(&mut host, &spec);
+
+    let client_addr = NodeAddr(0);
+    let servers: Vec<SockAddr> =
+        (1..=n).map(|i| SockAddr::new(NodeAddr(i as u32), INCAST_PORT)).collect();
+    for s in &servers {
+        cluster.spawn(&mut host, s.node, Box::new(IncastServer::new()));
+    }
+    let fragment = cfg.block_bytes / n as u32;
+    match cfg.client {
+        IncastClientKind::Pthread => {
+            let sh = shared(n);
+            cluster.spawn(
+                &mut host,
+                client_addr,
+                Box::new(IncastMaster::new(n, cfg.iterations, sh.clone())),
+            );
+            for s in &servers {
+                cluster.spawn(
+                    &mut host,
+                    client_addr,
+                    Box::new(IncastWorker::new(*s, fragment, sh.clone())),
+                );
+            }
+        }
+        IncastClientKind::Epoll => {
+            cluster.spawn(
+                &mut host,
+                client_addr,
+                Box::new(IncastEpollClient::new(servers.clone(), fragment, cfg.iterations)),
+            );
+        }
+    }
+
+    // Worst case: every iteration eats several RTO backoffs.
+    let budget = SimTime::from_secs(10 + 3 * cfg.iterations);
+    let mut done = false;
+    let mut horizon = SimTime::from_millis(500);
+    let (goodput_bps, iteration_times) = loop {
+        host.run_until(horizon).expect("incast run failed");
+        let (finished, result) = match cfg.client {
+            IncastClientKind::Pthread => {
+                let m: &IncastMaster =
+                    cluster.process(&host, client_addr, Tid(0)).expect("master missing");
+                (m.done, (m.goodput_bps(cfg.block_bytes as u64), m.iteration_times.clone()))
+            }
+            IncastClientKind::Epoll => {
+                let c: &IncastEpollClient =
+                    cluster.process(&host, client_addr, Tid(0)).expect("client missing");
+                (c.done, (c.goodput_bps(), c.iteration_times.clone()))
+            }
+        };
+        if finished {
+            done = true;
+            break result;
+        }
+        if horizon >= budget {
+            break result;
+        }
+        horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
+    };
+    assert!(done, "incast did not finish within {budget} ({} servers)", cfg.servers);
+    IncastResult {
+        goodput_mbps: goodput_bps / 1e6,
+        iteration_times,
+        switch_drops: cluster.total_switch_drops(&host),
+        events: host.events_processed(),
+    }
+}
+
+// ====================================================================
+// memcached (§4.2, Figures 8-15)
+// ====================================================================
+
+/// One memcached-at-scale experiment configuration.
+#[derive(Debug, Clone)]
+pub struct McExperimentConfig {
+    /// Racks (16 ≈ "500-node", 32 ≈ "1000-node", 64 ≈ "2000-node").
+    pub racks: usize,
+    /// Servers per rack (31 in the paper).
+    pub servers_per_rack: usize,
+    /// memcached server nodes per rack (2 in the paper: 128 servers over
+    /// 64 racks).
+    pub mc_per_rack: usize,
+    /// Requests per client (30,000 in the paper; default far smaller).
+    pub requests_per_client: u64,
+    /// Transport.
+    pub proto: Proto,
+    /// Guest kernel.
+    pub kernel: KernelProfile,
+    /// memcached release.
+    pub version: McVersion,
+    /// Worker threads per server.
+    pub workers: usize,
+    /// 10 Gbps fabric instead of 1 Gbps.
+    pub ten_gig: bool,
+    /// Extra switch latency at every level (Figure 12).
+    pub extra_switch_latency: SimDuration,
+    /// Instructions of server-side application logic per request.
+    pub request_work: u64,
+    /// TCP clients re-open a server connection after this many uses.
+    pub reconnect_every: Option<u64>,
+    /// Execution mode.
+    pub mode: RunMode,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl McExperimentConfig {
+    /// The paper's §4.2 setup at the given rack count, scaled down to
+    /// `requests_per_client` requests.
+    pub fn paper(racks: usize, requests_per_client: u64) -> Self {
+        McExperimentConfig {
+            racks,
+            servers_per_rack: 31,
+            mc_per_rack: 2,
+            requests_per_client,
+            proto: Proto::Udp,
+            kernel: KernelProfile::linux_2_6_39(),
+            version: McVersion::V1_4_17,
+            workers: 4,
+            ten_gig: false,
+            extra_switch_latency: SimDuration::ZERO,
+            request_work: 2_500,
+            reconnect_every: None,
+            mode: RunMode::Serial,
+            seed: 0x9eca_c4ed,
+        }
+    }
+
+    /// A laptop-friendly miniature of the same shape (fewer, smaller
+    /// racks) for tests and examples.
+    pub fn mini(racks: usize, requests_per_client: u64) -> Self {
+        McExperimentConfig {
+            servers_per_rack: 6,
+            mc_per_rack: 1,
+            ..Self::paper(racks, requests_per_client)
+        }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.racks * self.servers_per_rack
+    }
+}
+
+/// Aggregated memcached measurements.
+#[derive(Debug, Clone)]
+pub struct McExperimentResult {
+    /// All client request latencies (nanoseconds).
+    pub latency: Histogram,
+    /// Latencies split by hop class (local / one-hop / two-hop).
+    pub by_class: [Histogram; 3],
+    /// Requests served by all memcached servers.
+    pub served: u64,
+    /// Client-side failures (UDP retry exhaustion).
+    pub failures: u64,
+    /// UDP retransmissions.
+    pub udp_retries: u64,
+    /// Simulated time consumed (run horizon).
+    pub sim_time: SimTime,
+    /// When the last client finished its final request.
+    pub completed_at: SimTime,
+    /// Events processed.
+    pub events: u64,
+    /// Host wall-clock time.
+    pub wall: std::time::Duration,
+}
+
+/// Runs one memcached experiment to completion.
+///
+/// # Panics
+///
+/// Panics if clients fail to finish within the simulated-time budget.
+pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
+    let wall_start = std::time::Instant::now();
+    let topo_cfg = TopologyConfig {
+        racks: cfg.racks,
+        servers_per_rack: cfg.servers_per_rack,
+        racks_per_array: 16.min(cfg.racks),
+    };
+    let mut spec =
+        if cfg.ten_gig { ClusterSpec::ten_gbe(topo_cfg) } else { ClusterSpec::gbe(topo_cfg) };
+    spec.kernel = cfg.kernel.clone();
+    spec.seed = cfg.seed;
+    spec = spec.with_extra_switch_latency(cfg.extra_switch_latency);
+    let mut host = SimHost::new(cfg.mode);
+    let cluster = Cluster::build(&mut host, &spec);
+    let topo = cluster.topo.clone();
+    let root_rng = DetRng::new(cfg.seed);
+
+    // memcached servers: the first `mc_per_rack` nodes of each rack.
+    let mut server_addrs = Vec::new();
+    let mut shareds: Vec<McSharedHandle> = Vec::new();
+    for rack in 0..cfg.racks {
+        for slot in 0..cfg.mc_per_rack {
+            let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
+            let scfg = McServerConfig {
+                port: MEMCACHED_PORT,
+                workers: cfg.workers,
+                version: cfg.version,
+                udp: cfg.proto == Proto::Udp,
+                request_work: cfg.request_work,
+            };
+            let sh = mc_shared(scfg.workers);
+            cluster.spawn(&mut host, addr, Box::new(McDispatcher::new(scfg.clone(), sh.clone())));
+            for w in 0..scfg.workers {
+                cluster.spawn(&mut host, addr, Box::new(McWorker::new(w, scfg.clone(), sh.clone())));
+            }
+            shareds.push(sh);
+            server_addrs.push(SockAddr::new(addr, MEMCACHED_PORT));
+        }
+    }
+
+    // Clients: every remaining node.
+    let mut client_addrs = Vec::new();
+    for rack in 0..cfg.racks {
+        for slot in cfg.mc_per_rack..cfg.servers_per_rack {
+            let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
+            let mut ccfg = match cfg.proto {
+                Proto::Tcp => McClientConfig::tcp(server_addrs.clone(), cfg.requests_per_client),
+                Proto::Udp => McClientConfig::udp(server_addrs.clone(), cfg.requests_per_client),
+            };
+            // Stagger client start over ~2 ms to avoid a synchronized
+            // thundering herd at t=0.
+            ccfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
+            ccfg.reconnect_every = cfg.reconnect_every;
+            let topo2 = topo.clone();
+            ccfg.classify = Some(Arc::new(move |server: NodeAddr| {
+                match topo2.hop_class(addr, server) {
+                    HopClass::Local => 0,
+                    HopClass::OneHop => 1,
+                    HopClass::TwoHop => 2,
+                }
+            }));
+            let rng = root_rng.derive(addr.0 as u64);
+            cluster.spawn(&mut host, addr, Box::new(McClient::new(ccfg, rng)));
+            client_addrs.push(addr);
+        }
+    }
+
+    // Run until all clients complete.
+    let budget = SimTime::from_secs(5 + cfg.requests_per_client / 2);
+    let mut horizon = SimTime::from_millis(200);
+    loop {
+        host.run_until(horizon).expect("memcached run failed");
+        let all_done = client_addrs.iter().all(|&a| {
+            cluster.process::<McClient>(&host, a, Tid(0)).map(|c| c.done).unwrap_or(false)
+        });
+        if all_done {
+            break;
+        }
+        assert!(
+            horizon < budget,
+            "memcached clients stuck past {budget} at {} racks",
+            cfg.racks
+        );
+        horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
+    }
+
+    // Aggregate.
+    let mut latency = Histogram::new();
+    let mut by_class = [Histogram::new(), Histogram::new(), Histogram::new()];
+    let mut failures = 0;
+    let mut udp_retries = 0;
+    let mut completed_at = SimTime::ZERO;
+    for &a in &client_addrs {
+        let c: &McClient = cluster.process(&host, a, Tid(0)).expect("client missing");
+        latency.merge(&c.latency);
+        for (dst, src) in by_class.iter_mut().zip(&c.latency_by_class) {
+            dst.merge(src);
+        }
+        failures += c.failures;
+        udp_retries += c.udp_retries;
+        completed_at = completed_at.max(c.finished_at);
+    }
+    let served = shareds.iter().map(|s| s.lock().expect("poisoned").served).sum();
+    McExperimentResult {
+        latency,
+        by_class,
+        served,
+        failures,
+        udp_retries,
+        sim_time: host.now(),
+        completed_at,
+        events: host.events_processed(),
+        wall: wall_start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_fig6a_point_runs() {
+        let mut cfg = IncastConfig::fig6a(4);
+        cfg.iterations = 3;
+        let r = run_incast(&cfg);
+        assert_eq!(r.iteration_times.len(), 3);
+        assert!(r.goodput_mbps > 0.0);
+        assert!(r.events > 1_000);
+    }
+
+    #[test]
+    fn incast_collapse_at_higher_fanin() {
+        let mut small = IncastConfig::fig6a(2);
+        small.iterations = 3;
+        let mut big = IncastConfig::fig6a(12);
+        big.iterations = 3;
+        let gs = run_incast(&small).goodput_mbps;
+        let gb = run_incast(&big).goodput_mbps;
+        assert!(gb < gs / 3.0, "expected collapse: g(2)={gs:.1} g(12)={gb:.1}");
+    }
+
+    #[test]
+    fn memcached_mini_experiment_completes() {
+        let cfg = McExperimentConfig::mini(2, 20);
+        let r = run_memcached(&cfg);
+        // 2 racks x 5 clients x 20 requests.
+        assert_eq!(r.latency.count(), 200);
+        assert!(r.served >= 200);
+        // Hop classes are populated: with one array there are local and
+        // one-hop requests.
+        assert!(r.by_class[0].count() + r.by_class[1].count() + r.by_class[2].count() == 200);
+    }
+
+    #[test]
+    fn memcached_tcp_mini_completes() {
+        let mut cfg = McExperimentConfig::mini(2, 15);
+        cfg.proto = Proto::Tcp;
+        let r = run_memcached(&cfg);
+        assert_eq!(r.latency.count(), 150);
+        assert_eq!(r.failures, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # diablo-core — the DIABLO simulator product
+//!
+//! Ties the substrates together into the tool the paper describes: build a
+//! warehouse-scale array (servers + NICs + three switch levels) from a
+//! [`cluster::ClusterSpec`], run it deterministically on one thread or
+//! partition-parallel across many ([`cluster::SimHost`]), drive it with
+//! the paper's workloads ([`experiments`]), and render results
+//! ([`report`]). The [`survey`] module carries the paper's motivation
+//! data (Figure 2 / Table 1).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod experiments;
+pub mod report;
+pub mod survey;
+
+pub use cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+pub use experiments::{
+    run_incast, run_memcached, IncastClientKind, IncastConfig, IncastResult,
+    McExperimentConfig, McExperimentResult,
+};

@@ -1,0 +1,120 @@
+//! The paper's motivation data: testbed sizes and workload types in
+//! SIGCOMM datacenter-networking papers, 2008–2013 (Figure 2, Table 1).
+//!
+//! The paper reports the summary statistics — a median physical testbed of
+//! 16 servers and 6 switches, and a 16/3/2 split between microbenchmark,
+//! trace and application workloads over 21 surveyed papers — without
+//! listing the underlying entries. The dataset below is a reconstruction
+//! with exactly those summary statistics; individual rows are
+//! representative, not attributions.
+
+/// Workload category used in an evaluation (Table 1's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadType {
+    /// Synthetic microbenchmarks or pattern generators.
+    Microbenchmark,
+    /// Production trace replay.
+    Trace,
+    /// Real applications.
+    Application,
+}
+
+impl core::fmt::Display for WorkloadType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WorkloadType::Microbenchmark => write!(f, "Microbenchmark"),
+            WorkloadType::Trace => write!(f, "Trace"),
+            WorkloadType::Application => write!(f, "Application"),
+        }
+    }
+}
+
+/// One surveyed evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurveyEntry {
+    /// Publication year.
+    pub year: u16,
+    /// Physical servers (VMs counted as physical, per the paper's
+    /// generous accounting).
+    pub servers: u32,
+    /// Maximum switches.
+    pub switches: u32,
+    /// Workload category.
+    pub workload: WorkloadType,
+}
+
+/// The reconstructed survey (21 entries; medians: 16 servers, 6 switches;
+/// workload split 16/3/2).
+pub fn sigcomm_survey() -> Vec<SurveyEntry> {
+    use WorkloadType::*;
+    vec![
+        SurveyEntry { year: 2008, servers: 4, switches: 2, workload: Microbenchmark },
+        SurveyEntry { year: 2008, servers: 10, switches: 3, workload: Microbenchmark },
+        SurveyEntry { year: 2009, servers: 16, switches: 5, workload: Microbenchmark },
+        SurveyEntry { year: 2009, servers: 40, switches: 14, workload: Microbenchmark },
+        SurveyEntry { year: 2009, servers: 16, switches: 10, workload: Microbenchmark },
+        SurveyEntry { year: 2009, servers: 3, switches: 1, workload: Microbenchmark },
+        SurveyEntry { year: 2010, servers: 24, switches: 9, workload: Microbenchmark },
+        SurveyEntry { year: 2010, servers: 16, switches: 6, workload: Trace },
+        SurveyEntry { year: 2010, servers: 80, switches: 16, workload: Application },
+        SurveyEntry { year: 2011, servers: 8, switches: 2, workload: Microbenchmark },
+        SurveyEntry { year: 2011, servers: 45, switches: 8, workload: Microbenchmark },
+        SurveyEntry { year: 2011, servers: 12, switches: 4, workload: Microbenchmark },
+        SurveyEntry { year: 2011, servers: 100, switches: 20, workload: Trace },
+        SurveyEntry { year: 2012, servers: 16, switches: 6, workload: Microbenchmark },
+        SurveyEntry { year: 2012, servers: 20, switches: 7, workload: Microbenchmark },
+        SurveyEntry { year: 2012, servers: 6, switches: 2, workload: Microbenchmark },
+        SurveyEntry { year: 2012, servers: 64, switches: 12, workload: Application },
+        SurveyEntry { year: 2013, servers: 14, switches: 5, workload: Microbenchmark },
+        SurveyEntry { year: 2013, servers: 32, switches: 10, workload: Microbenchmark },
+        SurveyEntry { year: 2013, servers: 5, switches: 1, workload: Microbenchmark },
+        SurveyEntry { year: 2013, servers: 18, switches: 6, workload: Trace },
+    ]
+}
+
+fn median(mut v: Vec<u32>) -> u32 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Median physical-testbed server count (the paper: 16).
+pub fn median_servers(entries: &[SurveyEntry]) -> u32 {
+    median(entries.iter().map(|e| e.servers).collect())
+}
+
+/// Median switch count (the paper: 6).
+pub fn median_switches(entries: &[SurveyEntry]) -> u32 {
+    median(entries.iter().map(|e| e.switches).collect())
+}
+
+/// Paper counts per workload type (Table 1: 16 / 3 / 2).
+pub fn workload_counts(entries: &[SurveyEntry]) -> (usize, usize, usize) {
+    let count = |w: WorkloadType| entries.iter().filter(|e| e.workload == w).count();
+    (
+        count(WorkloadType::Microbenchmark),
+        count(WorkloadType::Trace),
+        count(WorkloadType::Application),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics_match_the_paper() {
+        let s = sigcomm_survey();
+        assert_eq!(s.len(), 21);
+        assert_eq!(median_servers(&s), 16, "median testbed servers");
+        assert_eq!(median_switches(&s), 6, "median testbed switches");
+        assert_eq!(workload_counts(&s), (16, 3, 2), "Table 1 split");
+    }
+
+    #[test]
+    fn all_entries_within_survey_years() {
+        for e in sigcomm_survey() {
+            assert!((2008..=2013).contains(&e.year));
+            assert!(e.servers > 0);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The [`Component`] trait and the scheduling context handed to handlers.
+//!
+//! A component is a simulated hardware/software entity that owns private
+//! state and reacts to exactly two stimuli: its own timers, and messages
+//! arriving on its ports. DIABLO's FPGA models (server pipelines, NIC
+//! models, switch models) have the same shape: a model advances only when
+//! the scheduler hands it a target-clock edge or an inter-model token.
+
+use crate::event::{ComponentId, Event, EventKey, EventKind, PortNo, TimerKey};
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// A simulated entity driven by timers and port messages.
+///
+/// `M` is the inter-component message currency (the network layer
+/// instantiates it with its frame type). Handlers receive a [`Ctx`] used to
+/// set timers and emit messages; all scheduling is deferred and routed by
+/// the executor after the handler returns, which keeps handlers pure with
+/// respect to the event queue and makes execution order deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use diablo_engine::prelude::*;
+///
+/// /// Counts its own heartbeats.
+/// struct Heart { beats: u64 }
+///
+/// impl Component<()> for Heart {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+///         ctx.set_timer(SimDuration::from_millis(1), 0);
+///     }
+///     fn on_timer(&mut self, _key: TimerKey, ctx: &mut Ctx<'_, ()>) {
+///         self.beats += 1;
+///         if self.beats < 3 {
+///             ctx.set_timer(SimDuration::from_millis(1), 0);
+///         }
+///     }
+///     fn on_message(&mut self, _port: PortNo, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut sim = Simulation::<()>::new();
+/// let id = sim.add_component(Box::new(Heart { beats: 0 }));
+/// sim.run().unwrap();
+/// assert_eq!(sim.component::<Heart>(id).unwrap().beats, 3);
+/// ```
+pub trait Component<M>: Send + 'static {
+    /// Called once when the simulation starts, before any event is
+    /// processed. Schedule initial timers here.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// A timer set by this component (or injected externally) fired.
+    fn on_timer(&mut self, key: TimerKey, ctx: &mut Ctx<'_, M>);
+
+    /// A message arrived on `port`.
+    fn on_message(&mut self, port: PortNo, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Upcast for post-run inspection of concrete component state.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for post-run inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Scheduling context passed to component handlers.
+///
+/// All operations are buffered; the executor validates and routes them when
+/// the handler returns.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: ComponentId,
+    seq: &'a mut u64,
+    pending: &'a mut Vec<Event<M>>,
+    stop: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    pub(crate) fn new(
+        now: SimTime,
+        self_id: ComponentId,
+        seq: &'a mut u64,
+        pending: &'a mut Vec<Event<M>>,
+        stop: &'a mut bool,
+    ) -> Self {
+        Ctx { now, self_id, seq, pending, stop }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component whose handler is running.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    fn push(&mut self, time: SimTime, target: ComponentId, kind: EventKind<M>) {
+        let key = EventKey { time, target, source: self.self_id, source_seq: *self.seq };
+        *self.seq += 1;
+        self.pending.push(Event { key, kind });
+    }
+
+    /// Sets a timer that fires `after` from now with the given key.
+    pub fn set_timer(&mut self, after: SimDuration, key: TimerKey) {
+        self.push(self.now + after, self.self_id, EventKind::Timer(key));
+    }
+
+    /// Sets a timer at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn set_timer_at(&mut self, at: SimTime, key: TimerKey) {
+        assert!(at >= self.now, "timer scheduled in the past: {at} < {}", self.now);
+        self.push(at, self.self_id, EventKind::Timer(key));
+    }
+
+    /// Delivers `msg` to `(to, port)` at absolute time `at`.
+    ///
+    /// The caller is responsible for computing the arrival time
+    /// (serialization + propagation + receiver-side latency) — links are
+    /// modeled sender-side, exactly like DIABLO's time-shared serial
+    /// transceivers carry tokens stamped with target-clock arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn send_at(&mut self, to: ComponentId, port: PortNo, at: SimTime, msg: M) {
+        assert!(at >= self.now, "message scheduled in the past: {at} < {}", self.now);
+        self.push(at, to, EventKind::Message(port, msg));
+    }
+
+    /// Delivers `msg` to `(to, port)` after a relative delay.
+    pub fn send_after(&mut self, to: ComponentId, port: PortNo, after: SimDuration, msg: M) {
+        self.push(self.now + after, to, EventKind::Message(port, msg));
+    }
+
+    /// Requests that the whole simulation stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_buffers_events_with_increasing_seq() {
+        let mut seq = 0u64;
+        let mut pending = Vec::new();
+        let mut stop = false;
+        let mut ctx: Ctx<'_, u32> = Ctx::new(
+            SimTime::from_nanos(100),
+            ComponentId(7),
+            &mut seq,
+            &mut pending,
+            &mut stop,
+        );
+        ctx.set_timer(SimDuration::from_nanos(10), 42);
+        ctx.send_after(ComponentId(9), PortNo(1), SimDuration::from_nanos(5), 1234);
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].key.source_seq, 0);
+        assert_eq!(pending[1].key.source_seq, 1);
+        assert_eq!(pending[0].key.target, ComponentId(7));
+        assert_eq!(pending[1].key.target, ComponentId(9));
+        assert_eq!(pending[1].key.time, SimTime::from_nanos(105));
+        assert!(!stop);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn send_in_past_panics() {
+        let mut seq = 0u64;
+        let mut pending: Vec<Event<u32>> = Vec::new();
+        let mut stop = false;
+        let mut ctx = Ctx::new(
+            SimTime::from_nanos(100),
+            ComponentId(0),
+            &mut seq,
+            &mut pending,
+            &mut stop,
+        );
+        ctx.send_at(ComponentId(1), PortNo(0), SimTime::from_nanos(99), 0);
+    }
+}

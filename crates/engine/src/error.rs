@@ -1,0 +1,65 @@
+//! Engine error types.
+
+use crate::event::ComponentId;
+use crate::time::SimTime;
+use core::fmt;
+
+/// Errors surfaced by the simulation executors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A component scheduled a cross-partition message that would arrive
+    /// inside the current synchronization quantum. Cross-partition links
+    /// must have latency at least one quantum (the parallel analogue of
+    /// DIABLO's inter-FPGA transceiver latency floor).
+    CrossPartitionTooSoon {
+        /// Scheduling component.
+        source: ComponentId,
+        /// Receiving component.
+        target: ComponentId,
+        /// Offending delivery time.
+        at: SimTime,
+        /// First legal delivery time (the quantum boundary).
+        window_end: SimTime,
+    },
+    /// An unknown component id was referenced.
+    UnknownComponent(ComponentId),
+    /// A worker thread panicked during a parallel run.
+    WorkerPanicked,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::CrossPartitionTooSoon { source, target, at, window_end } => write!(
+                f,
+                "cross-partition message {source} -> {target} at {at} precedes quantum \
+                 boundary {window_end}; increase the link latency or shrink the quantum"
+            ),
+            EngineError::UnknownComponent(id) => write!(f, "unknown component {id}"),
+            EngineError::WorkerPanicked => write!(f, "a parallel worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::CrossPartitionTooSoon {
+            source: ComponentId(1),
+            target: ComponentId(2),
+            at: SimTime::from_nanos(100),
+            window_end: SimTime::from_nanos(500),
+        };
+        let s = e.to_string();
+        assert!(s.contains("c1"));
+        assert!(s.contains("c2"));
+        assert!(s.contains("quantum"));
+        assert!(EngineError::UnknownComponent(ComponentId(9)).to_string().contains("c9"));
+    }
+}

@@ -1,0 +1,652 @@
+//! Partition-parallel simulation executor.
+//!
+//! DIABLO distributes its target over many FPGAs (Rack FPGAs and Switch
+//! FPGAs) whose simulation schedulers synchronize over serial links "at a
+//! fine granularity" (§3.2). The software analogue implemented here assigns
+//! components to *partitions*, runs one host thread per partition, and
+//! synchronizes them with a barrier every *quantum* of simulated time.
+//! Cross-partition messages must arrive at least one quantum after they are
+//! sent — exactly the conservative-lookahead condition the FPGA prototype
+//! satisfies physically, because inter-FPGA links have ≥1.6 µs round-trip
+//! latency while each model synchronizes far more often.
+//!
+//! The executor is *deterministic*: because events are dispatched in the
+//! schedule-independent total order of [`crate::event::EventKey`], a
+//! parallel run produces bit-identical component state to a serial run of
+//! the same configuration (see the cross-executor tests in the workspace
+//! `tests/` directory).
+
+use crate::component::{Component, Ctx};
+use crate::error::EngineError;
+use crate::event::{ComponentId, Event, EventKey, EventKind, HeapEntry, PortNo, TimerKey};
+use crate::sim::{RunStats, Simulation};
+use crate::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Abstracts over the serial and parallel executors so cluster builders can
+/// target either.
+///
+/// Partition hints are ignored by the serial executor.
+pub trait ComponentHost<M> {
+    /// Registers `component`, placing it in `partition` when the host is
+    /// partitioned.
+    fn add_in_partition(
+        &mut self,
+        partition: usize,
+        component: Box<dyn Component<M>>,
+    ) -> ComponentId;
+
+    /// Injects an external event.
+    fn inject(&mut self, at: SimTime, target: ComponentId, kind: EventKind<M>);
+
+    /// Convenience: injects an external timer event.
+    fn inject_timer(&mut self, at: SimTime, target: ComponentId, key: TimerKey) {
+        self.inject(at, target, EventKind::Timer(key));
+    }
+
+    /// Convenience: injects an external message event.
+    fn inject_message(&mut self, at: SimTime, target: ComponentId, port: PortNo, msg: M) {
+        self.inject(at, target, EventKind::Message(port, msg));
+    }
+}
+
+impl<M: 'static> ComponentHost<M> for Simulation<M> {
+    fn add_in_partition(
+        &mut self,
+        _partition: usize,
+        component: Box<dyn Component<M>>,
+    ) -> ComponentId {
+        self.add_component(component)
+    }
+
+    fn inject(&mut self, at: SimTime, target: ComponentId, kind: EventKind<M>) {
+        self.schedule_external(at, target, kind);
+    }
+}
+
+struct PartitionState<M> {
+    /// (global id, component) pairs owned by this partition.
+    components: Vec<(ComponentId, Box<dyn Component<M>>)>,
+    /// Per-owned-component sequence counters, parallel to `components`.
+    seqs: Vec<u64>,
+    queue: BinaryHeap<HeapEntry<M>>,
+    events_processed: u64,
+    last_time: SimTime,
+}
+
+impl<M> PartitionState<M> {
+    fn new() -> Self {
+        PartitionState {
+            components: Vec::new(),
+            seqs: Vec::new(),
+            queue: BinaryHeap::new(),
+            events_processed: 0,
+            last_time: SimTime::ZERO,
+        }
+    }
+}
+
+/// Routes one outgoing event: same partition -> local heap; other partition
+/// -> outbox, provided it lands at or after the current window's end.
+fn route_one<M>(
+    directory: &[(u32, u32)],
+    me: usize,
+    queue: &mut BinaryHeap<HeapEntry<M>>,
+    outboxes: &mut [Vec<Event<M>>],
+    window_end: SimTime,
+    ev: Event<M>,
+) -> Result<(), EngineError> {
+    let idx = ev.key.target.index();
+    if idx >= directory.len() {
+        return Err(EngineError::UnknownComponent(ev.key.target));
+    }
+    let (p, _) = directory[idx];
+    if p as usize == me {
+        queue.push(HeapEntry(ev));
+        Ok(())
+    } else if ev.key.time >= window_end {
+        outboxes[p as usize].push(ev);
+        Ok(())
+    } else {
+        Err(EngineError::CrossPartitionTooSoon {
+            source: ev.key.source,
+            target: ev.key.target,
+            at: ev.key.time,
+            window_end,
+        })
+    }
+}
+
+/// The multi-threaded executor: components grouped into partitions, one host
+/// thread per partition, barrier synchronization every quantum.
+///
+/// # Examples
+///
+/// ```
+/// use diablo_engine::prelude::*;
+/// use diablo_engine::parallel::ParallelSimulation;
+///
+/// struct Silent;
+/// impl Component<()> for Silent {
+///     fn on_timer(&mut self, _k: TimerKey, _c: &mut Ctx<'_, ()>) {}
+///     fn on_message(&mut self, _p: PortNo, _m: (), _c: &mut Ctx<'_, ()>) {}
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// }
+///
+/// let mut sim = ParallelSimulation::<()>::new(2, SimDuration::from_micros(1));
+/// sim.add_in_partition(0, Box::new(Silent));
+/// sim.add_in_partition(1, Box::new(Silent));
+/// let stats = sim.run_until(SimTime::from_millis(1)).unwrap();
+/// assert_eq!(stats.events, 0);
+/// ```
+pub struct ParallelSimulation<M> {
+    partitions: Vec<PartitionState<M>>,
+    /// Global component id -> (partition, local index).
+    directory: Vec<(u32, u32)>,
+    quantum: SimDuration,
+    now: SimTime,
+    started: bool,
+    external_seq: u64,
+}
+
+impl<M> std::fmt::Debug for ParallelSimulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelSimulation")
+            .field("partitions", &self.partitions.len())
+            .field("components", &self.directory.len())
+            .field("quantum", &self.quantum)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+const FLAG_STOP: u64 = 1;
+const FLAG_ERR: u64 = 2;
+
+impl<M: Send + 'static> ParallelSimulation<M> {
+    /// Creates an executor with `partitions` host threads synchronizing
+    /// every `quantum` of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero or `quantum` is zero.
+    pub fn new(partitions: usize, quantum: SimDuration) -> Self {
+        assert!(partitions > 0, "at least one partition required");
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        ParallelSimulation {
+            partitions: (0..partitions).map(|_| PartitionState::new()).collect(),
+            directory: Vec::new(),
+            quantum,
+            now: SimTime::ZERO,
+            started: false,
+            external_seq: 0,
+        }
+    }
+
+    /// The synchronization quantum.
+    pub fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// Number of partitions (host threads).
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Downcasts a component to its concrete type for inspection.
+    pub fn component<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        let &(p, l) = self.directory.get(id.index())?;
+        self.partitions[p as usize].components[l as usize].1.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`ParallelSimulation::component`].
+    pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        let &(p, l) = self.directory.get(id.index())?;
+        self.partitions[p as usize].components[l as usize].1.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.partitions.iter().map(|p| p.events_processed).sum()
+    }
+
+    /// Current simulated time (the last completed horizon or event time).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Runs until the queues drain or a component stops the run.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelSimulation::run_until`].
+    pub fn run(&mut self) -> Result<RunStats, EngineError> {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until simulated time exceeds `limit` (events at exactly `limit`
+    /// are processed), the queues drain, or a component stops the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::CrossPartitionTooSoon`] if a component sends a
+    /// cross-partition message with less than one quantum of latency, and
+    /// [`EngineError::UnknownComponent`] for events targeting unregistered
+    /// components.
+    pub fn run_until(&mut self, limit: SimTime) -> Result<RunStats, EngineError> {
+        let n = self.partitions.len();
+        let quantum = self.quantum;
+        let first_run = !self.started;
+        self.started = true;
+        let directory: &[(u32, u32)] = &self.directory;
+
+        let barrier = Barrier::new(n);
+        let mins: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let flags: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let inboxes: Vec<Mutex<Vec<Event<M>>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let errors: Vec<Mutex<Option<EngineError>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        let start_now = self.now;
+        let exclusive_end = if limit == SimTime::MAX {
+            u64::MAX
+        } else {
+            limit.as_picos().saturating_add(1)
+        };
+
+        let results: Vec<(SimTime, bool)> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (pidx, part) in self.partitions.iter_mut().enumerate() {
+                let barrier = &barrier;
+                let mins = &mins;
+                let flags = &flags;
+                let inboxes = &inboxes;
+                let errors = &errors;
+                handles.push(scope.spawn(move |_| {
+                    run_partition(
+                        part,
+                        pidx,
+                        n,
+                        directory,
+                        quantum,
+                        start_now,
+                        exclusive_end,
+                        first_run,
+                        barrier,
+                        mins,
+                        flags,
+                        inboxes,
+                        errors,
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .map_err(|_| EngineError::WorkerPanicked)?;
+
+        for err_slot in &errors {
+            if let Some(e) = err_slot.lock().take() {
+                return Err(e);
+            }
+        }
+
+        let stopped = results.iter().any(|&(_, s)| s);
+        let event_max = results.iter().map(|&(t, _)| t).max().unwrap_or(start_now);
+        if !stopped && limit < SimTime::MAX {
+            self.now = limit.max(event_max);
+        } else {
+            self.now = event_max.max(start_now);
+        }
+        Ok(RunStats { events: self.events_processed(), final_time: self.now, stopped })
+    }
+}
+
+/// Per-thread body of the parallel run. See the module docs for the
+/// barrier protocol; in brief, each round is:
+/// publish `(min, flags)` → barrier → snapshot → process window →
+/// flush outboxes → barrier → drain inbox.
+#[allow(clippy::too_many_arguments)]
+fn run_partition<M: Send + 'static>(
+    part: &mut PartitionState<M>,
+    pidx: usize,
+    n: usize,
+    directory: &[(u32, u32)],
+    quantum: SimDuration,
+    start_now: SimTime,
+    exclusive_end: u64,
+    first_run: bool,
+    barrier: &Barrier,
+    mins: &[AtomicU64],
+    flags: &[AtomicU64],
+    inboxes: &[Mutex<Vec<Event<M>>>],
+    errors: &[Mutex<Option<EngineError>>],
+) -> (SimTime, bool) {
+    let mut outboxes: Vec<Vec<Event<M>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut pending: Vec<Event<M>> = Vec::new();
+    let mut local_now = start_now;
+    let mut stopped = false;
+    let mut pending_stop = false;
+    let mut pending_err: Option<EngineError> = None;
+
+    if first_run {
+        // Phase 0: component starts. The resulting events are exchanged
+        // before any window is processed, so cross-partition deliveries have
+        // no lower bound here (window_end = start_now admits everything).
+        for i in 0..part.components.len() {
+            let id = part.components[i].0;
+            let mut stop = false;
+            let mut ctx = Ctx::new(start_now, id, &mut part.seqs[i], &mut pending, &mut stop);
+            part.components[i].1.on_start(&mut ctx);
+            pending_stop |= stop;
+        }
+        for ev in pending.drain(..) {
+            if let Err(e) =
+                route_one(directory, pidx, &mut part.queue, &mut outboxes, start_now, ev)
+            {
+                pending_err.get_or_insert(e);
+                break;
+            }
+        }
+        for (q, out) in outboxes.iter_mut().enumerate() {
+            if !out.is_empty() {
+                inboxes[q].lock().append(out);
+            }
+        }
+        barrier.wait();
+        for ev in inboxes[pidx].lock().drain(..) {
+            part.queue.push(HeapEntry(ev));
+        }
+    }
+
+    loop {
+        // Publish local minimum and flags, then snapshot after the barrier.
+        let my_min = part.queue.peek().map_or(u64::MAX, |e| e.0.key.time.as_picos());
+        mins[pidx].store(my_min, Ordering::Relaxed);
+        let mut f = 0;
+        if pending_stop {
+            f |= FLAG_STOP;
+        }
+        if let Some(e) = pending_err.take() {
+            f |= FLAG_ERR;
+            errors[pidx].lock().get_or_insert(e);
+        }
+        flags[pidx].store(f, Ordering::Release);
+        barrier.wait();
+        let global_min = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
+        let any_flags = flags.iter().fold(0, |acc, fl| acc | fl.load(Ordering::Acquire));
+        if any_flags & FLAG_ERR != 0 {
+            break;
+        }
+        if any_flags & FLAG_STOP != 0 {
+            stopped = true;
+            break;
+        }
+        if global_min >= exclusive_end {
+            break;
+        }
+
+        // Window: [global_min, next quantum boundary after global_min),
+        // capped by the horizon. Skipping directly to global_min avoids
+        // spinning through empty quanta while idle timers (e.g. 200 ms TCP
+        // RTOs) are pending.
+        let window_start = SimTime::from_picos(global_min);
+        let qb = window_start.align_up(quantum);
+        let window_end_ps =
+            if qb == window_start { (qb + quantum).as_picos() } else { qb.as_picos() }
+                .min(exclusive_end);
+        let window_end = SimTime::from_picos(window_end_ps);
+
+        // Process local events inside the window.
+        #[allow(clippy::while_let_loop)]
+        'window: loop {
+            let Some(head) = part.queue.peek() else { break };
+            if head.0.key.time >= window_end {
+                break;
+            }
+            let ev = part.queue.pop().expect("peeked entry vanished").0;
+            local_now = ev.key.time;
+            let target = ev.key.target;
+            let (_, lidx) = directory[target.index()];
+            let lidx = lidx as usize;
+            let mut stop = false;
+            {
+                let (id_check, comp) = &mut part.components[lidx];
+                debug_assert_eq!(*id_check, target);
+                let mut ctx =
+                    Ctx::new(local_now, target, &mut part.seqs[lidx], &mut pending, &mut stop);
+                match ev.kind {
+                    EventKind::Timer(key) => comp.on_timer(key, &mut ctx),
+                    EventKind::Message(port, msg) => comp.on_message(port, msg, &mut ctx),
+                }
+            }
+            part.events_processed += 1;
+            pending_stop |= stop;
+            for out in pending.drain(..) {
+                if let Err(e) =
+                    route_one(directory, pidx, &mut part.queue, &mut outboxes, window_end, out)
+                {
+                    pending_err.get_or_insert(e);
+                    break 'window;
+                }
+            }
+        }
+        part.last_time = part.last_time.max(local_now);
+
+        // Exchange cross-partition events.
+        for (q, out) in outboxes.iter_mut().enumerate() {
+            if !out.is_empty() {
+                inboxes[q].lock().append(out);
+            }
+        }
+        barrier.wait();
+        for ev in inboxes[pidx].lock().drain(..) {
+            part.queue.push(HeapEntry(ev));
+        }
+    }
+    (part.last_time, stopped)
+}
+
+impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
+    fn add_in_partition(
+        &mut self,
+        partition: usize,
+        component: Box<dyn Component<M>>,
+    ) -> ComponentId {
+        assert!(!self.started, "components must be added before the run starts");
+        assert!(partition < self.partitions.len(), "partition {partition} out of range");
+        let id = ComponentId(u32::try_from(self.directory.len()).expect("too many components"));
+        assert!(id != ComponentId::EXTERNAL, "component id space exhausted");
+        let part = &mut self.partitions[partition];
+        let local = part.components.len() as u32;
+        part.components.push((id, component));
+        part.seqs.push(0);
+        self.directory.push((partition as u32, local));
+        id
+    }
+
+    fn inject(&mut self, at: SimTime, target: ComponentId, kind: EventKind<M>) {
+        assert!(at >= self.now, "external event scheduled in the past");
+        assert!(target.index() < self.directory.len(), "unknown component {target}");
+        let key = EventKey {
+            time: at,
+            target,
+            source: ComponentId::EXTERNAL,
+            source_seq: self.external_seq,
+        };
+        self.external_seq += 1;
+        let (p, _) = self.directory[target.index()];
+        self.partitions[p as usize].queue.push(HeapEntry(Event { key, kind }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    /// Sends `count` messages to a peer with `latency`, records receptions.
+    struct Chatter {
+        peer: Option<ComponentId>,
+        latency: SimDuration,
+        remaining: u64,
+        received: Vec<(SimTime, u64)>,
+    }
+
+    impl Component<u64> for Chatter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.remaining > 0 {
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+        }
+        fn on_timer(&mut self, _key: TimerKey, ctx: &mut Ctx<'_, u64>) {
+            if let Some(peer) = self.peer {
+                ctx.send_after(peer, PortNo(0), self.latency, self.remaining);
+            }
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.set_timer(SimDuration::from_nanos(100), 0);
+            }
+        }
+        fn on_message(&mut self, _port: PortNo, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            self.received.push((ctx.now(), msg));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn chatter(latency_ns: u64, count: u64) -> Chatter {
+        Chatter {
+            peer: None,
+            latency: SimDuration::from_nanos(latency_ns),
+            remaining: count,
+            received: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn two_partitions_exchange_messages() {
+        let quantum = SimDuration::from_micros(1);
+        let mut sim = ParallelSimulation::<u64>::new(2, quantum);
+        let a = sim.add_in_partition(0, Box::new(chatter(2_000, 10)));
+        let b = sim.add_in_partition(1, Box::new(chatter(2_000, 10)));
+        sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
+        sim.component_mut::<Chatter>(b).unwrap().peer = Some(a);
+        let stats = sim.run().unwrap();
+        assert!(!stats.stopped);
+        let ca = sim.component::<Chatter>(a).unwrap();
+        let cb = sim.component::<Chatter>(b).unwrap();
+        assert_eq!(ca.received.len(), 10);
+        assert_eq!(cb.received.len(), 10);
+        assert!(ca.received.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn too_fast_cross_partition_link_is_an_error() {
+        let quantum = SimDuration::from_micros(1);
+        let mut sim = ParallelSimulation::<u64>::new(2, quantum);
+        // First send happens at t=1ns (inside window 0); 10 ns latency <
+        // 1 us quantum: illegal across partitions.
+        let a = sim.add_in_partition(0, Box::new(chatter(10, 1)));
+        let b = sim.add_in_partition(1, Box::new(chatter(10, 0)));
+        sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
+        let _ = b;
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, EngineError::CrossPartitionTooSoon { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn same_partition_fast_links_are_fine() {
+        let quantum = SimDuration::from_micros(1);
+        let mut sim = ParallelSimulation::<u64>::new(2, quantum);
+        let a = sim.add_in_partition(0, Box::new(chatter(10, 5)));
+        let b = sim.add_in_partition(0, Box::new(chatter(10, 0)));
+        sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
+        sim.run().unwrap();
+        assert_eq!(sim.component::<Chatter>(b).unwrap().received.len(), 5);
+    }
+
+    #[test]
+    fn matches_serial_execution_exactly() {
+        // Build the same 8-component ring under both executors and compare
+        // full reception logs.
+        fn build<H: ComponentHost<u64>>(host: &mut H, parts: usize) -> Vec<ComponentId> {
+            (0..8).map(|i| host.add_in_partition(i % parts, Box::new(chatter(2_000, 20)))).collect()
+        }
+        let mut serial = Simulation::<u64>::new();
+        let ids_s = build(&mut serial, 1);
+        for (i, &id) in ids_s.iter().enumerate() {
+            serial.component_mut::<Chatter>(id).unwrap().peer = Some(ids_s[(i + 1) % 8]);
+        }
+        let st_s = serial.run().unwrap();
+
+        let mut par = ParallelSimulation::<u64>::new(4, SimDuration::from_micros(1));
+        let ids_p = build(&mut par, 4);
+        for (i, &id) in ids_p.iter().enumerate() {
+            par.component_mut::<Chatter>(id).unwrap().peer = Some(ids_p[(i + 1) % 8]);
+        }
+        let st_p = par.run().unwrap();
+
+        assert_eq!(st_s.events, st_p.events);
+        for (&ids, &idp) in ids_s.iter().zip(&ids_p) {
+            let cs = serial.component::<Chatter>(ids).unwrap();
+            let cp = par.component::<Chatter>(idp).unwrap();
+            assert_eq!(cs.received, cp.received, "logs diverged for {ids}");
+        }
+    }
+
+    #[test]
+    fn run_until_caps_time() {
+        let mut sim = ParallelSimulation::<u64>::new(2, SimDuration::from_micros(1));
+        let a = sim.add_in_partition(0, Box::new(chatter(2_000, 1_000)));
+        let b = sim.add_in_partition(1, Box::new(chatter(2_000, 0)));
+        sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
+        let stats = sim.run_until(SimTime::from_micros(10)).unwrap();
+        assert!(stats.final_time >= SimTime::from_micros(10));
+        let got = sim.component::<Chatter>(b).unwrap().received.len();
+        assert!(got < 1_000 && got > 0, "got {got}");
+        // Resuming continues from the horizon.
+        sim.run().unwrap();
+        assert_eq!(sim.component::<Chatter>(b).unwrap().received.len(), 1_000);
+    }
+
+    #[test]
+    fn external_injection_routes_to_owning_partition() {
+        let mut sim = ParallelSimulation::<u64>::new(2, SimDuration::from_micros(1));
+        let a = sim.add_in_partition(0, Box::new(chatter(0, 0)));
+        let b = sim.add_in_partition(1, Box::new(chatter(0, 0)));
+        sim.inject_message(SimTime::from_nanos(5), b, PortNo(0), 77);
+        sim.inject_message(SimTime::from_nanos(5), a, PortNo(0), 88);
+        sim.run().unwrap();
+        assert_eq!(
+            sim.component::<Chatter>(b).unwrap().received,
+            vec![(SimTime::from_nanos(5), 77)]
+        );
+        assert_eq!(
+            sim.component::<Chatter>(a).unwrap().received,
+            vec![(SimTime::from_nanos(5), 88)]
+        );
+    }
+
+    #[test]
+    fn single_partition_equals_serial() {
+        let mut sim = ParallelSimulation::<u64>::new(1, SimDuration::from_nanos(10));
+        let a = sim.add_in_partition(0, Box::new(chatter(3, 50)));
+        let b = sim.add_in_partition(0, Box::new(chatter(3, 50)));
+        sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
+        sim.component_mut::<Chatter>(b).unwrap().peer = Some(a);
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.events, 100 + 100);
+    }
+}

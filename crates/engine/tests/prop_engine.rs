@@ -1,0 +1,107 @@
+//! Property-based tests of the engine's core invariants.
+
+use diablo_engine::prelude::*;
+use proptest::prelude::*;
+use std::any::Any;
+
+/// Collects every delivery with its timestamp.
+struct Recorder {
+    got: Vec<(SimTime, u64)>,
+}
+
+impl Component<u64> for Recorder {
+    fn on_timer(&mut self, _k: TimerKey, _c: &mut Ctx<'_, u64>) {}
+    fn on_message(&mut self, _p: PortNo, m: u64, ctx: &mut Ctx<'_, u64>) {
+        self.got.push((ctx.now(), m));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Injected events are always delivered in nondecreasing time order,
+    /// and ties preserve injection order.
+    #[test]
+    fn deliveries_are_time_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut sim = Simulation::<u64>::new();
+        let r = sim.add_component(Box::new(Recorder { got: Vec::new() }));
+        for (i, &t) in times.iter().enumerate() {
+            sim.inject_message(SimTime::from_nanos(t), r, PortNo(0), i as u64);
+        }
+        sim.run().unwrap();
+        let got = &sim.component::<Recorder>(r).unwrap().got;
+        prop_assert_eq!(got.len(), times.len());
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke injection order");
+            }
+        }
+    }
+
+    /// Histogram quantiles are within the structure's relative error of the
+    /// exact empirical quantiles.
+    #[test]
+    fn histogram_quantiles_are_accurate(
+        mut values in proptest::collection::vec(1u64..1_000_000_000, 10..500),
+        q in 0.01f64..0.99
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let approx = h.quantile(q);
+        // Bucket upper bounds can exceed the exact value by <=1/128 and
+        // can never be below it by more than one bucket width.
+        let tolerance = exact / 64 + 2;
+        prop_assert!(
+            approx + tolerance >= exact && approx <= exact + exact / 64 + 2,
+            "q={} exact={} approx={}", q, exact, approx
+        );
+    }
+
+    /// Histogram counts and extremes are exact.
+    #[test]
+    fn histogram_count_min_max_exact(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    /// The deterministic RNG's bounded draw is always in range, and the
+    /// same seed yields the same sequence.
+    #[test]
+    fn rng_bounded_and_reproducible(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..100 {
+            let x = a.next_below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.next_below(bound));
+        }
+    }
+
+    /// Bandwidth transmit-time then bytes_in round-trips on exact
+    /// boundaries.
+    #[test]
+    fn bandwidth_roundtrip(bytes in 1u64..1_000_000, gbps in 1u64..100) {
+        let bw = Bandwidth::gbps(gbps);
+        let t = bw.transmit_time(bytes);
+        let back = bw.bytes_in(t);
+        // Ceil rounding in transmit_time can add at most one byte-time.
+        prop_assert!(back >= bytes && back <= bytes + 1, "bytes={} back={}", bytes, back);
+    }
+}

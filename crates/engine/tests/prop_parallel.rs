@@ -1,0 +1,142 @@
+//! Property test: for arbitrary component meshes whose cross-component
+//! latencies respect the quantum, the partition-parallel executor is
+//! bit-identical to the serial one under every partitioning.
+
+use diablo_engine::parallel::{ComponentHost, ParallelSimulation};
+use diablo_engine::prelude::*;
+use proptest::prelude::*;
+use std::any::Any;
+
+/// Sends `budget` messages to pseudo-random peers at a fixed latency,
+/// echoing every message it receives once (with decreasing TTL).
+struct Gossip {
+    peers: Vec<ComponentId>,
+    latency: SimDuration,
+    budget: u32,
+    rng: DetRng,
+    log: Vec<(SimTime, u64)>,
+}
+
+impl Component<u64> for Gossip {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        for i in 0..self.budget {
+            let peer = *self.rng.choose(&self.peers).expect("has peers");
+            ctx.send_after(
+                peer,
+                PortNo(0),
+                self.latency * (1 + i as u64),
+                3, // TTL
+            );
+        }
+    }
+    fn on_timer(&mut self, _k: TimerKey, _c: &mut Ctx<'_, u64>) {}
+    fn on_message(&mut self, _p: PortNo, ttl: u64, ctx: &mut Ctx<'_, u64>) {
+        self.log.push((ctx.now(), ttl));
+        if ttl > 0 {
+            let peer = *self.rng.choose(&self.peers).expect("has peers");
+            ctx.send_after(peer, PortNo(0), self.latency, ttl - 1);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run_mesh(
+    n: usize,
+    latency: SimDuration,
+    budget: u32,
+    seed: u64,
+    partitions: usize,
+    quantum: SimDuration,
+) -> (u64, Vec<Vec<(SimTime, u64)>>) {
+    enum Host {
+        S(Simulation<u64>),
+        P(ParallelSimulation<u64>),
+    }
+    let mut host = if partitions <= 1 {
+        Host::S(Simulation::new())
+    } else {
+        Host::P(ParallelSimulation::new(partitions, quantum))
+    };
+    let root = DetRng::new(seed);
+    let ids: Vec<ComponentId> = (0..n)
+        .map(|i| {
+            let g = Gossip {
+                peers: Vec::new(),
+                latency,
+                budget,
+                rng: root.derive(i as u64),
+                log: Vec::new(),
+            };
+            match &mut host {
+                Host::S(s) => s.add_in_partition(0, Box::new(g)),
+                Host::P(p) => p.add_in_partition(i % partitions, Box::new(g)),
+            }
+        })
+        .collect();
+    for &id in &ids {
+        let peers: Vec<ComponentId> = ids.iter().copied().filter(|&x| x != id).collect();
+        match &mut host {
+            Host::S(s) => s.component_mut::<Gossip>(id).expect("gossip").peers = peers,
+            Host::P(p) => p.component_mut::<Gossip>(id).expect("gossip").peers = peers,
+        }
+    }
+    match &mut host {
+        Host::S(s) => {
+            s.run().expect("serial run");
+        }
+        Host::P(p) => {
+            p.run().expect("parallel run");
+        }
+    }
+    let logs = ids
+        .iter()
+        .map(|&id| match &host {
+            Host::S(s) => s.component::<Gossip>(id).expect("gossip").log.clone(),
+            Host::P(p) => p.component::<Gossip>(id).expect("gossip").log.clone(),
+        })
+        .collect();
+    let events = match &host {
+        Host::S(s) => s.events_processed(),
+        Host::P(p) => p.events_processed(),
+    };
+    (events, logs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_equals_serial_for_random_meshes(
+        n in 2usize..10,
+        latency_ns in 1_000u64..50_000,
+        budget in 1u32..8,
+        seed in any::<u64>(),
+        partitions in 2usize..5,
+    ) {
+        let latency = SimDuration::from_nanos(latency_ns);
+        // Quantum must not exceed the message latency.
+        let quantum = SimDuration::from_nanos(latency_ns.min(5_000));
+        let (es, logs_s) = run_mesh(n, latency, budget, seed, 1, quantum);
+        let (ep, logs_p) = run_mesh(n, latency, budget, seed, partitions, quantum);
+        prop_assert_eq!(es, ep, "event counts diverged");
+        prop_assert_eq!(logs_s, logs_p, "reception logs diverged");
+    }
+
+    #[test]
+    fn quantum_size_never_changes_results(
+        n in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let latency = SimDuration::from_micros(20);
+        let reference = run_mesh(n, latency, 4, seed, 2, SimDuration::from_micros(20));
+        for quantum_us in [1u64, 5, 10] {
+            let got = run_mesh(n, latency, 4, seed, 3, SimDuration::from_micros(quantum_us));
+            prop_assert_eq!(&reference.1, &got.1, "quantum {}us diverged", quantum_us);
+        }
+    }
+}

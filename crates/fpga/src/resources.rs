@@ -1,0 +1,169 @@
+//! FPGA resource vectors and device descriptions.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul};
+
+/// A bundle of FPGA resources: LUTs, registers, 36-kbit BRAMs and
+/// LUTRAM-configured LUTs (the four columns of the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// Logic LUTs.
+    pub lut: u64,
+    /// Flip-flops.
+    pub reg: u64,
+    /// Block RAMs (36 kbit equivalents).
+    pub bram: u64,
+    /// LUTs configured as distributed RAM.
+    pub lutram: u64,
+}
+
+impl Resources {
+    /// The zero bundle.
+    pub const ZERO: Resources = Resources { lut: 0, reg: 0, bram: 0, lutram: 0 };
+
+    /// Creates a bundle.
+    pub const fn new(lut: u64, reg: u64, bram: u64, lutram: u64) -> Self {
+        Resources { lut, reg, bram, lutram }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, o: Resources) -> Resources {
+        Resources {
+            lut: self.lut + o.lut,
+            reg: self.reg + o.reg,
+            bram: self.bram + o.bram,
+            lutram: self.lutram + o.lutram,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, o: Resources) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, n: u64) -> Resources {
+        Resources {
+            lut: self.lut * n,
+            reg: self.reg * n,
+            bram: self.bram * n,
+            lutram: self.lutram * n,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT / {} FF / {} BRAM / {} LUTRAM",
+            self.lut, self.reg, self.bram, self.lutram
+        )
+    }
+}
+
+/// An FPGA device's capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Total logic LUTs.
+    pub luts: u64,
+    /// Total flip-flops.
+    pub regs: u64,
+    /// Total 36-kbit BRAMs.
+    pub bram: u64,
+    /// Achievable host clock for DIABLO-style designs (MHz).
+    pub clock_mhz: u32,
+    /// Fraction of LUTs usable before routing/placement fails; Table 2's
+    /// design occupies 95% of slices at 47% raw LUT usage, i.e. packing
+    /// efficiency ≈ 0.63 for this design style.
+    pub packing_efficiency: f64,
+    /// DRAM attached per FPGA (GiB).
+    pub dram_gib: u32,
+}
+
+impl Device {
+    /// The BEE3's Xilinx Virtex-5 LX155T (2007-era, as used by the
+    /// prototype).
+    pub fn virtex5_lx155t() -> Self {
+        Device {
+            name: "Virtex-5 LX155T",
+            luts: 97_280,
+            regs: 97_280,
+            bram: 212,
+            clock_mhz: 90,
+            packing_efficiency: 0.634,
+            dram_gib: 16,
+        }
+    }
+
+    /// A projected 2015 20 nm device (the paper's §5 "new FPGA board using
+    /// upcoming 20 nm FPGAs").
+    pub fn modern_20nm() -> Self {
+        Device {
+            name: "20nm UltraScale-class",
+            luts: 1_182_000,
+            regs: 2_364_000,
+            bram: 2_160,
+            clock_mhz: 180,
+            packing_efficiency: 0.70,
+            dram_gib: 64,
+        }
+    }
+
+    /// `true` when `r` fits on this device (within packing limits).
+    pub fn fits(&self, r: Resources) -> bool {
+        self.slice_occupancy(r) <= 1.0 && r.reg <= self.regs && r.bram <= self.bram
+    }
+
+    /// Estimated fraction of logic slices occupied (LUT + LUTRAM demand
+    /// over packable LUTs).
+    pub fn slice_occupancy(&self, r: Resources) -> f64 {
+        (r.lut + r.lutram) as f64 / (self.luts as f64 * self.packing_efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(10, 20, 1, 2);
+        let b = a * 3;
+        assert_eq!(b, Resources::new(30, 60, 3, 6));
+        assert_eq!(a + b, Resources::new(40, 80, 4, 8));
+        let total: Resources = [a, b].into_iter().sum();
+        assert_eq!(total, Resources::new(40, 80, 4, 8));
+        assert_eq!(a.to_string(), "10 LUT / 20 FF / 1 BRAM / 2 LUTRAM");
+    }
+
+    #[test]
+    fn lx155t_capacity_sanity() {
+        let d = Device::virtex5_lx155t();
+        assert!(d.fits(Resources::new(45_818, 62_811, 189, 12_739)));
+        assert!(!d.fits(Resources::new(97_281, 0, 0, 0)));
+        assert!(!d.fits(Resources::new(0, 0, 213, 0)));
+    }
+
+    #[test]
+    fn paper_design_occupies_95_percent_of_slices() {
+        let d = Device::virtex5_lx155t();
+        let table2_total = Resources::new(45_818, 62_811, 189, 12_739);
+        let occ = d.slice_occupancy(table2_total);
+        assert!((0.93..=0.97).contains(&occ), "slice occupancy {occ}");
+    }
+}

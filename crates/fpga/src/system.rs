@@ -1,0 +1,228 @@
+//! Whole-system planning: how many FPGAs and boards a target WSC array
+//! needs, what it costs, and how that compares to building the real thing
+//! (§1 and §3.4 of the paper).
+
+use crate::models::RackFpgaDesign;
+use crate::resources::Device;
+
+/// Hardware generation the plan targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generation {
+    /// 2007-era BEE3 boards (four Virtex-5 LX155T each) — the prototype.
+    Bee3,
+    /// The projected 2015 single-FPGA 20 nm board (§5).
+    Modern2015,
+}
+
+/// A complete deployment plan for simulating a target array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemPlan {
+    /// Hardware generation.
+    pub generation: Generation,
+    /// Target simulated servers.
+    pub target_servers: u64,
+    /// Simulated ToR switches.
+    pub target_racks: u64,
+    /// Array + datacenter switch models required.
+    pub big_switches: u64,
+    /// FPGAs running the Rack-FPGA configuration.
+    pub rack_fpgas: u64,
+    /// FPGAs running the Switch-FPGA configuration.
+    pub switch_fpgas: u64,
+    /// Boards (4 FPGAs per BEE3; 1 per modern board).
+    pub boards: u64,
+    /// Total DRAM (GiB).
+    pub dram_gib: u64,
+    /// Capital cost in dollars.
+    pub cost_usd: u64,
+    /// Active power (watts).
+    pub power_w: u64,
+}
+
+/// Per-generation planning parameters.
+#[derive(Debug, Clone)]
+struct GenParams {
+    device: Device,
+    fpgas_per_board: u64,
+    board_cost_usd: u64,
+    servers_per_fpga: u64,
+    racks_per_fpga: u64,
+    /// Array/DC switch models per Switch FPGA (SERDES-limited, not
+    /// logic-limited: the prototype dedicates FPGAs to connectivity).
+    switches_per_fpga: u64,
+    /// The datacenter switch gets its own board (its transceivers fan in
+    /// to every array switch) — true for the BEE3 prototype.
+    dedicated_dc_board: bool,
+    board_power_w: u64,
+    /// Front-end infrastructure (control servers, GbE switch).
+    frontend_cost_usd: u64,
+}
+
+fn params(generation: Generation) -> GenParams {
+    match generation {
+        Generation::Bee3 => GenParams {
+            device: Device::virtex5_lx155t(),
+            fpgas_per_board: 4,
+            board_cost_usd: 15_000,
+            servers_per_fpga: RackFpgaDesign::default().servers(),
+            racks_per_fpga: RackFpgaDesign::default().racks(),
+            switches_per_fpga: 1,
+            dedicated_dc_board: true,
+            board_power_w: 167, // 9 boards ~ 1.5 kW
+            frontend_cost_usd: 11_000,
+        },
+        Generation::Modern2015 => GenParams {
+            device: Device::modern_20nm(),
+            fpgas_per_board: 1,
+            board_cost_usd: 4_200, // incl. DRAM, amortized board NRE
+            servers_per_fpga: 1_000,
+            racks_per_fpga: 33,
+            switches_per_fpga: 32,
+            dedicated_dc_board: false,
+            board_power_w: 90,
+            frontend_cost_usd: 15_000,
+        },
+    }
+}
+
+impl SystemPlan {
+    /// Plans a system simulating `servers` servers in racks of
+    /// `servers_per_rack`, with `racks_per_array` racks per array switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` or `servers_per_rack` is zero.
+    pub fn for_target(
+        generation: Generation,
+        servers: u64,
+        servers_per_rack: u64,
+        racks_per_array: u64,
+    ) -> SystemPlan {
+        assert!(servers > 0 && servers_per_rack > 0, "target must be nonempty");
+        let p = params(generation);
+        let racks = servers.div_ceil(servers_per_rack);
+        let arrays = racks.div_ceil(racks_per_array.max(1));
+        let big_switches = arrays + u64::from(arrays > 1);
+        let rack_fpgas = servers.div_ceil(p.servers_per_fpga).max(racks.div_ceil(p.racks_per_fpga));
+        let has_dc = arrays > 1;
+        let dc_boards = u64::from(has_dc && p.dedicated_dc_board);
+        let boardable_switches =
+            if p.dedicated_dc_board { arrays } else { big_switches };
+        let rack_boards = rack_fpgas.div_ceil(p.fpgas_per_board);
+        let switch_boards = boardable_switches
+            .div_ceil(p.switches_per_fpga * p.fpgas_per_board)
+            + dc_boards;
+        let boards = rack_boards + switch_boards;
+        let switch_fpgas = switch_boards * p.fpgas_per_board;
+        SystemPlan {
+            generation,
+            target_servers: servers,
+            target_racks: racks,
+            big_switches,
+            rack_fpgas,
+            switch_fpgas,
+            boards,
+            // Every FPGA on every board carries its DIMMs (the prototype:
+            // 9 boards x 4 FPGAs x 16 GiB = 576 GiB).
+            dram_gib: boards * p.fpgas_per_board * p.device.dram_gib as u64,
+            cost_usd: boards * p.board_cost_usd + p.frontend_cost_usd,
+            power_w: boards * p.board_power_w,
+        }
+    }
+
+    /// The paper's 3,000-node prototype (2,976 servers, 96 racks, 6 array
+    /// switches + 1 datacenter switch on 9 BEE3 boards).
+    pub fn prototype_3000() -> SystemPlan {
+        SystemPlan::for_target(Generation::Bee3, 2_976, 31, 16)
+    }
+
+    /// The paper's §3.4 projection: a 32,000-node system on 32 modern
+    /// FPGAs for about $150K.
+    pub fn projected_32000() -> SystemPlan {
+        SystemPlan::for_target(Generation::Modern2015, 32_000, 31, 16)
+    }
+}
+
+/// Cost of building and running the *real* target array (the paper's
+/// comparison: "$36M in CAPEX and $800K in OPEX/month" for an array).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealArrayCost {
+    /// Capital per server, including its share of network and facility
+    /// (calibrated to the paper's $36M for a ~3,000-server array).
+    pub capex_per_server_usd: f64,
+    /// Monthly operating cost per server (power, cooling, staff;
+    /// calibrated to $800K/month for the same array).
+    pub opex_per_server_month_usd: f64,
+}
+
+impl Default for RealArrayCost {
+    fn default() -> Self {
+        RealArrayCost { capex_per_server_usd: 12_000.0, opex_per_server_month_usd: 268.0 }
+    }
+}
+
+impl RealArrayCost {
+    /// CAPEX of a real array of `servers` servers.
+    pub fn capex(&self, servers: u64) -> f64 {
+        self.capex_per_server_usd * servers as f64
+    }
+
+    /// Monthly OPEX of a real array of `servers` servers.
+    pub fn opex_per_month(&self, servers: u64) -> f64 {
+        self.opex_per_server_month_usd * servers as f64
+    }
+
+    /// How many times cheaper the simulator's CAPEX is than the real
+    /// array's.
+    pub fn capex_ratio(&self, plan: &SystemPlan) -> f64 {
+        self.capex(plan.target_servers) / plan.cost_usd as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper_shape() {
+        let p = SystemPlan::prototype_3000();
+        assert_eq!(p.target_servers, 2_976);
+        assert_eq!(p.target_racks, 96);
+        assert_eq!(p.big_switches, 7, "6 array switches + 1 DC switch");
+        assert_eq!(p.rack_fpgas, 24, "six boards of rack FPGAs");
+        // Nine boards (6 rack + 2 array + 1 DC), ~$146K, ~1.5 kW, 576 GiB:
+        // the paper's prototype exactly.
+        assert_eq!(p.boards, 9, "boards");
+        assert_eq!(p.dram_gib, 576, "DRAM GiB");
+        assert!((135_000..=155_000).contains(&p.cost_usd), "cost = {}", p.cost_usd);
+        assert!((1_400..=1_600).contains(&p.power_w), "power = {}", p.power_w);
+    }
+
+    #[test]
+    fn projection_hits_150k_for_32000_nodes() {
+        let p = SystemPlan::projected_32000();
+        assert_eq!(p.target_servers, 32_000);
+        assert!((30..=36).contains(&p.boards), "boards = {}", p.boards);
+        assert!((130_000..=165_000).contains(&p.cost_usd), "cost = {}", p.cost_usd);
+    }
+
+    #[test]
+    fn real_array_costs_orders_of_magnitude_more() {
+        let real = RealArrayCost::default();
+        let plan = SystemPlan::prototype_3000();
+        let capex = real.capex(plan.target_servers);
+        assert!((30e6..=40e6).contains(&capex), "CAPEX {capex}");
+        let opex = real.opex_per_month(plan.target_servers);
+        assert!((700e3..=900e3).contains(&opex), "OPEX {opex}");
+        let ratio = real.capex_ratio(&plan);
+        assert!(ratio > 100.0, "simulator should be >100x cheaper, got {ratio}");
+    }
+
+    #[test]
+    fn bigger_targets_need_more_boards() {
+        let small = SystemPlan::for_target(Generation::Bee3, 496, 31, 16);
+        let big = SystemPlan::for_target(Generation::Bee3, 11_904, 31, 16);
+        assert!(big.boards > small.boards * 10);
+        assert_eq!(big.target_racks, 384);
+    }
+}

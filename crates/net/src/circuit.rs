@@ -1,0 +1,397 @@
+//! Connection-oriented virtual-circuit switch model.
+//!
+//! Besides packet switches, DIABLO models the circuit-switching designs
+//! researchers have proposed for WSCs "to provide more predictable
+//! latencies and to take advantage of new high-speed switching
+//! technologies" (§3.3). A virtual-circuit switch forwards data only over
+//! pre-established circuits, each with admission-controlled reserved
+//! bandwidth — so a frame's transit time depends only on its own circuit,
+//! never on cross traffic.
+//!
+//! The model is deliberately simple and fully deterministic: circuits are
+//! established by the control plane (the experiment harness, standing in
+//! for the functional-model control processor the prototype runs on a
+//! spare server pipeline), frames on unknown circuits are dropped and
+//! counted, and each circuit serializes frames at its reserved rate.
+
+use crate::frame::Frame;
+use crate::link::{PortPeer, TxPort};
+use diablo_engine::component::{Component, Ctx};
+use diablo_engine::event::{PortNo, TimerKey};
+use diablo_engine::prelude::Counter;
+use diablo_engine::time::{Bandwidth, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Errors from circuit management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// The output port's reserved bandwidth would exceed its capacity.
+    InsufficientBandwidth {
+        /// Requested reservation.
+        requested: u64,
+        /// Bits per second still unreserved on the port.
+        available: u64,
+    },
+    /// A circuit for this (input, output) pair already exists.
+    AlreadyEstablished,
+    /// Port number out of range or unwired.
+    BadPort,
+    /// No such circuit.
+    NoSuchCircuit,
+}
+
+impl core::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CircuitError::InsufficientBandwidth { requested, available } => {
+                write!(f, "insufficient bandwidth: requested {requested}, available {available}")
+            }
+            CircuitError::AlreadyEstablished => write!(f, "circuit already established"),
+            CircuitError::BadPort => write!(f, "bad port"),
+            CircuitError::NoSuchCircuit => write!(f, "no such circuit"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Static configuration of a circuit switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitSwitchConfig {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of ports.
+    pub ports: u16,
+    /// Fixed port-to-port forwarding latency (the Sun-style 300 ns class).
+    pub latency: SimDuration,
+    /// Physical capacity of each port.
+    pub port_bandwidth: Bandwidth,
+}
+
+impl CircuitSwitchConfig {
+    /// A supercomputer-style low-latency circuit switch: 300 ns
+    /// port-to-port (the Sun datacenter InfiniBand class the paper cites),
+    /// 10 Gbps ports.
+    pub fn infiniband_class(name: impl Into<String>, ports: u16) -> Self {
+        CircuitSwitchConfig {
+            name: name.into(),
+            ports,
+            latency: SimDuration::from_nanos(300),
+            port_bandwidth: Bandwidth::gbps(10),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Circuit {
+    out_port: u16,
+    /// Reserved rate; serialization happens at this rate, independent of
+    /// other circuits (the predictability property).
+    tx: TxPort,
+    reserved_bps: u64,
+}
+
+/// Per-switch statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitStats {
+    /// Frames forwarded.
+    pub forwarded: Counter,
+    /// Frames dropped for lack of a circuit.
+    pub no_circuit_drops: Counter,
+    /// Bytes forwarded.
+    pub bytes: Counter,
+}
+
+/// The virtual-circuit switch component.
+///
+/// # Examples
+///
+/// ```
+/// use diablo_net::circuit::{CircuitSwitch, CircuitSwitchConfig};
+/// let sw = CircuitSwitch::new(CircuitSwitchConfig::infiniband_class("cx", 8));
+/// assert_eq!(sw.reserved_on_port(0), 0);
+/// ```
+#[derive(Debug)]
+pub struct CircuitSwitch {
+    cfg: CircuitSwitchConfig,
+    ports: Vec<Option<PortPeer>>,
+    /// Circuits keyed by (input port, output port from the source route).
+    circuits: HashMap<(u16, u16), Circuit>,
+    reserved: Vec<u64>,
+    stats: CircuitStats,
+}
+
+impl CircuitSwitch {
+    /// Creates a switch with all ports unwired and no circuits.
+    pub fn new(cfg: CircuitSwitchConfig) -> Self {
+        let n = cfg.ports as usize;
+        CircuitSwitch {
+            ports: vec![None; n],
+            circuits: HashMap::new(),
+            reserved: vec![0; n],
+            stats: CircuitStats::default(),
+            cfg,
+        }
+    }
+
+    /// Wires output `port` to a peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn connect_port(&mut self, port: u16, peer: PortPeer) {
+        self.ports[port as usize] = Some(peer);
+    }
+
+    /// Bits per second currently reserved on `port`.
+    pub fn reserved_on_port(&self, port: u16) -> u64 {
+        self.reserved.get(port as usize).copied().unwrap_or(0)
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CircuitStats {
+        &self.stats
+    }
+
+    /// Establishes a circuit from `in_port` to `out_port` with
+    /// `reserved_bps` of the output port's bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ports are invalid/unwired, the pair already has a
+    /// circuit, or the port lacks unreserved bandwidth.
+    pub fn establish(
+        &mut self,
+        in_port: u16,
+        out_port: u16,
+        reserved_bps: u64,
+    ) -> Result<(), CircuitError> {
+        if in_port >= self.cfg.ports || out_port >= self.cfg.ports {
+            return Err(CircuitError::BadPort);
+        }
+        let Some(peer) = self.ports[out_port as usize] else {
+            return Err(CircuitError::BadPort);
+        };
+        if self.circuits.contains_key(&(in_port, out_port)) {
+            return Err(CircuitError::AlreadyEstablished);
+        }
+        let capacity = self.cfg.port_bandwidth.bits_per_sec();
+        let available = capacity.saturating_sub(self.reserved[out_port as usize]);
+        if reserved_bps == 0 || reserved_bps > available {
+            return Err(CircuitError::InsufficientBandwidth {
+                requested: reserved_bps,
+                available,
+            });
+        }
+        self.reserved[out_port as usize] += reserved_bps;
+        // The circuit's private serializer runs at the reserved rate over
+        // the same physical wiring.
+        let mut circuit_peer = peer;
+        circuit_peer.params.bandwidth = Bandwidth::from_bps(reserved_bps);
+        self.circuits.insert(
+            (in_port, out_port),
+            Circuit { out_port, tx: TxPort::new(circuit_peer), reserved_bps },
+        );
+        Ok(())
+    }
+
+    /// Tears down the circuit from `in_port` to `out_port`, releasing its
+    /// reservation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such circuit exists.
+    pub fn teardown(&mut self, in_port: u16, out_port: u16) -> Result<(), CircuitError> {
+        match self.circuits.remove(&(in_port, out_port)) {
+            Some(c) => {
+                self.reserved[c.out_port as usize] -= c.reserved_bps;
+                Ok(())
+            }
+            None => Err(CircuitError::NoSuchCircuit),
+        }
+    }
+
+    /// Number of established circuits.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.len()
+    }
+
+    fn forward(&mut self, in_port: u16, mut frame: Frame, now: SimTime) -> Option<(PortPeer, SimTime, Frame)> {
+        let out = frame.route.port_at(frame.hop)?;
+        let circuit = self.circuits.get_mut(&(in_port, out))?;
+        frame.hop += 1;
+        let wire = frame.wire_bytes();
+        let timing = circuit.tx.transmit(now + self.cfg.latency, wire);
+        let peer = circuit.tx.peer;
+        self.stats.forwarded.incr();
+        self.stats.bytes.add(frame.packet.ip_bytes() as u64);
+        Some((peer, timing.arrival, frame))
+    }
+}
+
+impl Component<Frame> for CircuitSwitch {
+    fn on_timer(&mut self, _key: TimerKey, _ctx: &mut Ctx<'_, Frame>) {}
+
+    fn on_message(&mut self, in_port: PortNo, frame: Frame, ctx: &mut Ctx<'_, Frame>) {
+        match self.forward(in_port.0, frame, ctx.now()) {
+            Some((peer, at, frame)) => ctx.send_at(peer.component, peer.port, at, frame),
+            None => self.stats.no_circuit_drops.incr(),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NodeAddr;
+    use crate::frame::Route;
+    use crate::link::LinkParams;
+    use crate::payload::{AppMessage, IpPacket, UdpDatagram};
+    use diablo_engine::event::ComponentId;
+    use diablo_engine::prelude::*;
+
+    struct Sink {
+        got: Vec<(SimTime, Frame)>,
+    }
+    impl Component<Frame> for Sink {
+        fn on_timer(&mut self, _k: TimerKey, _c: &mut Ctx<'_, Frame>) {}
+        fn on_message(&mut self, _p: PortNo, f: Frame, ctx: &mut Ctx<'_, Frame>) {
+            self.got.push((ctx.now(), f));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn frame(bytes: u32, out: u16) -> Frame {
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            msg: AppMessage::new(0, 0, bytes, SimTime::ZERO),
+        };
+        Frame::new(IpPacket::udp(NodeAddr(0), NodeAddr(1), d), Route::new(vec![out]))
+    }
+
+    fn wired_switch() -> CircuitSwitch {
+        let mut sw = CircuitSwitch::new(CircuitSwitchConfig::infiniband_class("cx", 4));
+        for p in 0..4 {
+            sw.connect_port(
+                p,
+                PortPeer {
+                    component: ComponentId(1),
+                    port: PortNo(0),
+                    params: LinkParams::ten_gbe(100),
+                },
+            );
+        }
+        sw
+    }
+
+    #[test]
+    fn admission_control_enforces_port_capacity() {
+        let mut sw = wired_switch();
+        sw.establish(0, 1, 6_000_000_000).unwrap();
+        sw.establish(2, 1, 4_000_000_000).unwrap();
+        let err = sw.establish(3, 1, 1).unwrap_err();
+        assert!(matches!(err, CircuitError::InsufficientBandwidth { available: 0, .. }));
+        // Teardown frees the reservation.
+        sw.teardown(2, 1).unwrap();
+        assert_eq!(sw.reserved_on_port(1), 6_000_000_000);
+        sw.establish(3, 1, 4_000_000_000).unwrap();
+        assert_eq!(sw.circuit_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_missing_circuits_error() {
+        let mut sw = wired_switch();
+        sw.establish(0, 1, 1_000_000).unwrap();
+        assert_eq!(sw.establish(0, 1, 1_000_000), Err(CircuitError::AlreadyEstablished));
+        assert_eq!(sw.teardown(1, 0), Err(CircuitError::NoSuchCircuit));
+        assert_eq!(sw.establish(0, 9, 1), Err(CircuitError::BadPort));
+    }
+
+    #[test]
+    fn frames_without_a_circuit_are_dropped() {
+        let mut sim = Simulation::<Frame>::new();
+        let sw = wired_switch(); // no circuits
+        let swid = sim.add_component(Box::new(sw));
+        sim.add_component(Box::new(Sink { got: Vec::new() }));
+        sim.inject_message(SimTime::from_nanos(10), swid, PortNo(0), frame(100, 1));
+        sim.run().unwrap();
+        let sw = sim.component::<CircuitSwitch>(swid).unwrap();
+        assert_eq!(sw.stats().no_circuit_drops.get(), 1);
+        assert_eq!(sw.stats().forwarded.get(), 0);
+    }
+
+    #[test]
+    fn circuit_latency_is_independent_of_cross_traffic() {
+        // Two circuits share output port 1's wire via separate
+        // reservations; traffic on one never perturbs the other's timing.
+        let run = |with_cross: bool| -> Vec<SimTime> {
+            let mut sim = Simulation::<Frame>::new();
+            let mut sw = wired_switch();
+            // Deliver to a sink as component 1.
+            sw.establish(0, 1, 2_000_000_000).unwrap();
+            sw.establish(2, 3, 2_000_000_000).unwrap();
+            let swid = sim.add_component(Box::new(sw));
+            let sink = sim.add_component(Box::new(Sink { got: Vec::new() }));
+            for i in 0..5u64 {
+                sim.inject_message(
+                    SimTime::from_micros(10 * (i + 1)),
+                    swid,
+                    PortNo(0),
+                    frame(1000, 1),
+                );
+            }
+            if with_cross {
+                for i in 0..50u64 {
+                    sim.inject_message(
+                        SimTime::from_micros(2 * (i + 1)),
+                        swid,
+                        PortNo(2),
+                        frame(1400, 3),
+                    );
+                }
+            }
+            sim.run().unwrap();
+            sim.component::<Sink>(sink)
+                .unwrap()
+                .got
+                .iter()
+                .filter(|(_, f)| f.route.port_at(0) == Some(1))
+                .map(|(t, _)| *t)
+                .collect()
+        };
+        assert_eq!(run(false), run(true), "cross traffic perturbed circuit timing");
+    }
+
+    #[test]
+    fn reserved_rate_paces_back_to_back_frames() {
+        let mut sim = Simulation::<Frame>::new();
+        let mut sw = wired_switch();
+        sw.establish(0, 1, 1_000_000_000).unwrap(); // 1 Gbps reservation
+        let swid = sim.add_component(Box::new(sw));
+        let sink = sim.add_component(Box::new(Sink { got: Vec::new() }));
+        // Two frames at the same instant: second is paced one
+        // serialization later (1066B wire at 1 Gbps = 8.528 us).
+        sim.inject_message(SimTime::from_micros(1), swid, PortNo(0), frame(1000, 1));
+        sim.inject_message(SimTime::from_micros(1), swid, PortNo(0), frame(1000, 1));
+        sim.run().unwrap();
+        let got = &sim.component::<Sink>(sink).unwrap().got;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].0 - got[0].0, SimDuration::from_nanos(8_528));
+    }
+}

@@ -1,0 +1,234 @@
+//! d-left hash tables for switch flow tables.
+//!
+//! "To emulate more complicated flow-table operations, we could implement
+//! d-left hash tables using host DRAM. This technique has already been
+//! applied by recent datacenter switches implementing large flow tables"
+//! (§3.3, citing Mitzenmacher & Broder). A d-left table splits storage
+//! into `d` sub-tables; an insert hashes the key once per sub-table and
+//! places it in the least-loaded candidate bucket (breaking ties to the
+//! left), which keeps bucket occupancy — and therefore worst-case lookup
+//! time in TCAM-less hardware — tightly bounded.
+
+use std::fmt;
+
+fn hash_with(seed: u64, key: u64) -> u64 {
+    // SplitMix64-style mixing with a per-subtable seed.
+    let mut z = key ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Insertion failure: every candidate bucket was full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFull;
+
+impl fmt::Display for TableFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "all candidate buckets are full")
+    }
+}
+
+impl std::error::Error for TableFull {}
+
+/// A d-left hash table mapping `u64` keys to values.
+///
+/// # Examples
+///
+/// ```
+/// use diablo_net::dleft::DLeftTable;
+/// let mut t: DLeftTable<u16> = DLeftTable::new(4, 128, 4);
+/// t.insert(42, 7).unwrap();
+/// assert_eq!(t.lookup(42), Some(&7));
+/// assert_eq!(t.lookup(43), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DLeftTable<V> {
+    d: usize,
+    buckets_per_subtable: usize,
+    bucket_size: usize,
+    /// `d` sub-tables, each `buckets` of at most `bucket_size` entries.
+    slots: Vec<Vec<Vec<(u64, V)>>>,
+    len: usize,
+}
+
+impl<V> DLeftTable<V> {
+    /// Creates a table with `d` sub-tables of `buckets_per_subtable`
+    /// buckets holding up to `bucket_size` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(d: usize, buckets_per_subtable: usize, bucket_size: usize) -> Self {
+        assert!(d > 0 && buckets_per_subtable > 0 && bucket_size > 0, "zero parameter");
+        DLeftTable {
+            d,
+            buckets_per_subtable,
+            bucket_size,
+            slots: (0..d)
+                .map(|_| (0..buckets_per_subtable).map(|_| Vec::new()).collect())
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Total entries stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.d * self.buckets_per_subtable * self.bucket_size
+    }
+
+    fn bucket_of(&self, sub: usize, key: u64) -> usize {
+        (hash_with(sub as u64 + 1, key) % self.buckets_per_subtable as u64) as usize
+    }
+
+    /// Inserts or replaces `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableFull`] when every candidate bucket is at capacity
+    /// (the hardware flow-table "slow path" case).
+    pub fn insert(&mut self, key: u64, value: V) -> Result<(), TableFull> {
+        // Replace in place if present.
+        for sub in 0..self.d {
+            let b = self.bucket_of(sub, key);
+            if let Some(slot) = self.slots[sub][b].iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value;
+                return Ok(());
+            }
+        }
+        // d-left placement: least-loaded candidate, leftmost on ties.
+        let mut best: Option<(usize, usize, usize)> = None; // (load, sub, bucket)
+        for sub in 0..self.d {
+            let b = self.bucket_of(sub, key);
+            let load = self.slots[sub][b].len();
+            if load < self.bucket_size && best.is_none_or(|(l, ..)| load < l) {
+                best = Some((load, sub, b));
+            }
+        }
+        match best {
+            Some((_, sub, b)) => {
+                self.slots[sub][b].push((key, value));
+                self.len += 1;
+                Ok(())
+            }
+            None => Err(TableFull),
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn lookup(&self, key: u64) -> Option<&V> {
+        for sub in 0..self.d {
+            let b = self.bucket_of(sub, key);
+            if let Some((_, v)) = self.slots[sub][b].iter().find(|(k, _)| *k == key) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        for sub in 0..self.d {
+            let b = self.bucket_of(sub, key);
+            if let Some(pos) = self.slots[sub][b].iter().position(|(k, _)| *k == key) {
+                self.len -= 1;
+                return Some(self.slots[sub][b].swap_remove(pos).1);
+            }
+        }
+        None
+    }
+
+    /// Highest bucket occupancy — the metric d-left bounds (worst-case
+    /// lookup cost in a hardware pipeline).
+    pub fn max_bucket_load(&self) -> usize {
+        self.slots
+            .iter()
+            .flat_map(|sub| sub.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_crud() {
+        let mut t: DLeftTable<u32> = DLeftTable::new(2, 16, 2);
+        assert!(t.is_empty());
+        t.insert(1, 100).unwrap();
+        t.insert(2, 200).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(1), Some(&100));
+        t.insert(1, 101).unwrap(); // replace
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(1), Some(&101));
+        assert_eq!(t.remove(1), Some(101));
+        assert_eq!(t.lookup(1), None);
+        assert_eq!(t.remove(1), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fills_to_high_load_before_failing() {
+        // 4-left with 256x4 cells per sub-table: the first insertion
+        // failure should not occur before ~80% aggregate load.
+        let mut t: DLeftTable<u64> = DLeftTable::new(4, 256, 4);
+        let cap = t.capacity();
+        let mut inserted = 0;
+        for k in 0..cap as u64 {
+            if t.insert(k, k).is_err() {
+                break;
+            }
+            inserted += 1;
+        }
+        assert!(
+            inserted as f64 > cap as f64 * 0.8,
+            "d-left should reach >80% load, got {inserted}/{cap}"
+        );
+        // Everything inserted is findable.
+        for k in 0..inserted as u64 {
+            assert_eq!(t.lookup(k), Some(&k));
+        }
+    }
+
+    #[test]
+    fn dleft_balances_better_than_single_hash() {
+        let keys: Vec<u64> = (0..2_000).map(|i| i * 2_654_435_761).collect();
+        let mut dleft: DLeftTable<()> = DLeftTable::new(4, 1024, 64);
+        for &k in &keys {
+            dleft.insert(k, ()).unwrap();
+        }
+        let mut single: DLeftTable<()> = DLeftTable::new(1, 4096, 64);
+        for &k in &keys {
+            single.insert(k, ()).unwrap();
+        }
+        assert!(
+            dleft.max_bucket_load() <= single.max_bucket_load(),
+            "d-left max load {} must not exceed single-hash {}",
+            dleft.max_bucket_load(),
+            single.max_bucket_load()
+        );
+        assert!(dleft.max_bucket_load() <= 4, "d-left load should be tiny at 50% fill");
+    }
+
+    #[test]
+    fn table_full_reports() {
+        let mut t: DLeftTable<u8> = DLeftTable::new(1, 1, 1);
+        t.insert(1, 1).unwrap();
+        let err = t.insert(2, 2).unwrap_err();
+        assert_eq!(err, TableFull);
+        assert_eq!(err.to_string(), "all candidate buckets are full");
+    }
+}

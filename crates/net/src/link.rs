@@ -1,0 +1,219 @@
+//! Point-to-point link modeling.
+//!
+//! Links are modeled sender-side: the transmitting device serializes frames
+//! through a [`TxPort`] (one frame at a time, at link bandwidth) and
+//! schedules delivery at the peer after the propagation delay. This mirrors
+//! DIABLO's approach of carrying target-time-stamped tokens over host
+//! serial links.
+
+use crate::payload::wire_bytes;
+use diablo_engine::event::{ComponentId, PortNo};
+use diablo_engine::time::{Bandwidth, SimDuration, SimTime};
+
+/// Physical parameters of one link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Serialization rate.
+    pub bandwidth: Bandwidth,
+    /// Signal propagation delay (≈5 ns/m of cable).
+    pub propagation: SimDuration,
+    /// Probability that a transmitted frame is corrupted and dropped by the
+    /// receiver. The BEE3 prototype observed such soft errors "a few times
+    /// per day" and protected links with checksums and retries (§3.4);
+    /// failure-injection experiments set this non-zero.
+    pub loss_rate: f64,
+}
+
+impl LinkParams {
+    /// Creates loss-free link parameters.
+    pub fn new(bandwidth: Bandwidth, propagation: SimDuration) -> Self {
+        LinkParams { bandwidth, propagation, loss_rate: 0.0 }
+    }
+
+    /// A 1 Gbps link with `prop_ns` nanoseconds of propagation delay.
+    pub fn gbe(prop_ns: u64) -> Self {
+        Self::new(Bandwidth::gbps(1), SimDuration::from_nanos(prop_ns))
+    }
+
+    /// A 10 Gbps link with `prop_ns` nanoseconds of propagation delay.
+    pub fn ten_gbe(prop_ns: u64) -> Self {
+        Self::new(Bandwidth::gbps(10), SimDuration::from_nanos(prop_ns))
+    }
+
+    /// Builder-style setter for the frame loss rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    #[must_use]
+    pub fn with_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0,1]");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Serialization time of an IP packet of `ip_bytes` on this link.
+    pub fn transmit_time_ip(&self, ip_bytes: u32) -> SimDuration {
+        self.bandwidth.transmit_time(wire_bytes(ip_bytes) as u64)
+    }
+}
+
+/// Where a port is wired to: the peer component and its port, plus the link
+/// physics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortPeer {
+    /// Receiving component.
+    pub component: ComponentId,
+    /// Port number on the receiving component.
+    pub port: PortNo,
+    /// Physical link parameters.
+    pub params: LinkParams,
+}
+
+/// Transmit side of a full-duplex port: serializes frames one at a time.
+///
+/// # Examples
+///
+/// ```
+/// use diablo_net::link::{LinkParams, PortPeer, TxPort};
+/// use diablo_engine::event::{ComponentId, PortNo};
+/// use diablo_engine::time::SimTime;
+///
+/// let peer = PortPeer {
+///     component: ComponentId(1),
+///     port: PortNo(0),
+///     params: LinkParams::gbe(500),
+/// };
+/// let mut tx = TxPort::new(peer);
+/// // Two back-to-back 1538-byte frames at 1 Gbps: 12.304 us each.
+/// let t0 = SimTime::ZERO;
+/// let first = tx.transmit(t0, 1538);
+/// let second = tx.transmit(t0, 1538);
+/// assert_eq!(first.end.as_nanos(), 12_304);
+/// assert_eq!(second.start, first.end);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxPort {
+    /// Wiring and physics.
+    pub peer: PortPeer,
+    busy_until: SimTime,
+}
+
+/// Timing of one frame transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxTiming {
+    /// First bit on the wire.
+    pub start: SimTime,
+    /// Last bit on the wire.
+    pub end: SimTime,
+    /// Last bit arrives at the peer.
+    pub arrival: SimTime,
+}
+
+impl TxPort {
+    /// Creates an idle transmit port.
+    pub fn new(peer: PortPeer) -> Self {
+        TxPort { peer, busy_until: SimTime::ZERO }
+    }
+
+    /// Earliest instant a new transmission could start.
+    pub fn next_free(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// `true` if a transmission started at `now` would begin immediately.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Reserves the wire for a frame of `wire_len` bytes starting no earlier
+    /// than `now`, returning the transmission timing.
+    pub fn transmit(&mut self, now: SimTime, wire_len: u32) -> TxTiming {
+        let start = now.max(self.busy_until);
+        let end = start + self.peer.params.bandwidth.transmit_time(wire_len as u64);
+        self.busy_until = end;
+        TxTiming { start, end, arrival: end + self.peer.params.propagation }
+    }
+
+    /// Reserves the wire with an extra constraint on when the last bit may
+    /// leave (used by cut-through forwarding, where a frame cannot finish
+    /// leaving before it has finished arriving upstream).
+    pub fn transmit_constrained(
+        &mut self,
+        earliest_start: SimTime,
+        min_end: SimTime,
+        wire_len: u32,
+    ) -> TxTiming {
+        let start = earliest_start.max(self.busy_until);
+        let end = (start + self.peer.params.bandwidth.transmit_time(wire_len as u64)).max(min_end);
+        self.busy_until = end;
+        TxTiming { start, end, arrival: end + self.peer.params.propagation }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_engine::time::Bandwidth;
+
+    fn peer(bw_gbps: u64, prop_ns: u64) -> PortPeer {
+        PortPeer {
+            component: ComponentId(9),
+            port: PortNo(3),
+            params: LinkParams::new(Bandwidth::gbps(bw_gbps), SimDuration::from_nanos(prop_ns)),
+        }
+    }
+
+    #[test]
+    fn serialization_and_propagation_add_up() {
+        let mut tx = TxPort::new(peer(10, 100));
+        let t = tx.transmit(SimTime::from_micros(1), 1250);
+        // 1250B at 10 Gbps = 1 us.
+        assert_eq!(t.start, SimTime::from_micros(1));
+        assert_eq!(t.end, SimTime::from_micros(2));
+        assert_eq!(t.arrival, SimTime::from_micros(2) + SimDuration::from_nanos(100));
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_the_wire() {
+        let mut tx = TxPort::new(peer(1, 0));
+        let a = tx.transmit(SimTime::ZERO, 125); // 1 us at 1 Gbps
+        let b = tx.transmit(SimTime::ZERO, 125);
+        assert_eq!(a.end, SimTime::from_micros(1));
+        assert_eq!(b.start, SimTime::from_micros(1));
+        assert_eq!(b.end, SimTime::from_micros(2));
+        assert!(!tx.is_idle_at(SimTime::from_micros(1)));
+        assert!(tx.is_idle_at(SimTime::from_micros(2)));
+    }
+
+    #[test]
+    fn constrained_transmit_respects_min_end() {
+        let mut tx = TxPort::new(peer(10, 0));
+        let t = tx.transmit_constrained(
+            SimTime::ZERO,
+            SimTime::from_micros(5),
+            125, // 100 ns at 10 Gbps
+        );
+        assert_eq!(t.end, SimTime::from_micros(5));
+        assert_eq!(tx.next_free(), SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn loss_rate_validation() {
+        let p = LinkParams::gbe(0).with_loss_rate(0.25);
+        assert_eq!(p.loss_rate, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn invalid_loss_rate_panics() {
+        let _ = LinkParams::gbe(0).with_loss_rate(1.5);
+    }
+
+    #[test]
+    fn transmit_time_ip_includes_overhead() {
+        let p = LinkParams::gbe(0);
+        // 1500B IP -> 1538B wire -> 12.304 us at 1 Gbps.
+        assert_eq!(p.transmit_time_ip(1500).as_nanos(), 12_304);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the network substrate: route validity over
+//! arbitrary topologies and frame conservation through switches.
+
+use diablo_engine::prelude::*;
+use diablo_net::addr::NodeAddr;
+use diablo_net::frame::Frame;
+use diablo_net::link::{LinkParams, PortPeer};
+use diablo_net::payload::{AppMessage, IpPacket, UdpDatagram};
+use diablo_net::switch::{BufferConfig, PacketSwitch, SwitchConfig};
+use diablo_net::topology::{Endpoint, Topology, TopologyConfig};
+use proptest::prelude::*;
+use std::any::Any;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every route in every topology terminates at its destination.
+    #[test]
+    fn routes_terminate_at_destination(
+        racks in 1usize..12,
+        spr in 1usize..8,
+        rpa in 1usize..6,
+        pairs in proptest::collection::vec((0u32..1000, 0u32..1000), 1..32)
+    ) {
+        let topo = Topology::new(TopologyConfig {
+            racks,
+            servers_per_rack: spr,
+            racks_per_array: rpa,
+        }).unwrap();
+        let n = topo.nodes() as u32;
+        for (a, b) in pairs {
+            let src = NodeAddr(a % n);
+            let dst = NodeAddr(b % n);
+            let route = topo.route(src, dst);
+            if src == dst {
+                prop_assert_eq!(route.hops(), 0);
+                continue;
+            }
+            // Walk the wiring.
+            let (mut sw, _) = topo.node_attachment(src);
+            let mut landed = false;
+            for (i, &port) in route.ports().iter().enumerate() {
+                match topo.peer_of(sw, port) {
+                    Endpoint::Node(nd) => {
+                        prop_assert_eq!(i, route.hops() - 1);
+                        prop_assert_eq!(nd, dst);
+                        landed = true;
+                        break;
+                    }
+                    Endpoint::Switch { index, .. } => sw = index,
+                    Endpoint::Unwired => prop_assert!(false, "unwired hop"),
+                }
+            }
+            prop_assert!(landed, "route never reached a node");
+        }
+    }
+
+    /// Hop class is symmetric and consistent with route length.
+    #[test]
+    fn hop_class_matches_route_length(racks in 1usize..10, spr in 1usize..6, rpa in 1usize..5) {
+        use diablo_net::topology::HopClass;
+        let topo = Topology::new(TopologyConfig {
+            racks,
+            servers_per_rack: spr,
+            racks_per_array: rpa,
+        }).unwrap();
+        let n = topo.nodes() as u32;
+        for a in 0..n.min(20) {
+            for b in 0..n.min(20) {
+                let (a, b) = (NodeAddr(a), NodeAddr(b));
+                prop_assert_eq!(topo.hop_class(a, b), topo.hop_class(b, a));
+                if a == b { continue; }
+                let expect = match topo.hop_class(a, b) {
+                    HopClass::Local => 1,
+                    HopClass::OneHop => 3,
+                    HopClass::TwoHop => 5,
+                };
+                prop_assert_eq!(topo.route(a, b).hops(), expect);
+            }
+        }
+    }
+}
+
+/// Counts frames received.
+struct Counter9 {
+    got: u64,
+}
+impl Component<Frame> for Counter9 {
+    fn on_timer(&mut self, _k: TimerKey, _c: &mut Ctx<'_, Frame>) {}
+    fn on_message(&mut self, _p: PortNo, _f: Frame, _c: &mut Ctx<'_, Frame>) {
+        self.got += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Frame conservation: every frame offered to a switch is either
+    /// delivered or counted in exactly one drop category.
+    #[test]
+    fn switch_conserves_frames(
+        buffer in 2_000u32..200_000,
+        sizes in proptest::collection::vec(1u32..1400, 1..120),
+        gap_ns in 0u64..20_000
+    ) {
+        let mut sim = Simulation::<Frame>::new();
+        let mut cfg = SwitchConfig::shallow_gbe("t", 4);
+        cfg.buffer = BufferConfig::PerPort { bytes_per_port: buffer };
+        let mut sw = PacketSwitch::new(cfg, DetRng::new(5));
+        let link = LinkParams::gbe(100);
+        sw.connect_port(0, PortPeer { component: ComponentId(1), port: PortNo(0), params: link });
+        sw.connect_port(1, PortPeer { component: ComponentId(1), port: PortNo(0), params: link });
+        let swid = sim.add_component(Box::new(sw));
+        let sink = sim.add_component(Box::new(Counter9 { got: 0 }));
+        for (i, &len) in sizes.iter().enumerate() {
+            let d = UdpDatagram {
+                src_port: 1,
+                dst_port: 2,
+                msg: AppMessage::new(0, i as u64, len, SimTime::ZERO),
+            };
+            let f = Frame::new(
+                IpPacket::udp(NodeAddr(0), NodeAddr(1), d),
+                diablo_net::frame::Route::new(vec![1]),
+            );
+            sim.inject_message(
+                SimTime::from_nanos(1 + i as u64 * gap_ns),
+                swid,
+                PortNo(0),
+                f,
+            );
+        }
+        sim.run().unwrap();
+        let delivered = sim.component::<Counter9>(sink).unwrap().got;
+        let st = sim.component::<PacketSwitch>(swid).unwrap().stats();
+        prop_assert_eq!(st.rx_frames.get(), sizes.len() as u64);
+        prop_assert_eq!(
+            delivered + st.drops_buffer.get() + st.drops_error.get() + st.drops_route.get(),
+            sizes.len() as u64,
+            "conservation violated"
+        );
+        prop_assert_eq!(st.tx_frames.get(), delivered);
+        prop_assert_eq!(sim.component::<PacketSwitch>(swid).unwrap().buffered_bytes(), 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! # diablo-nic — the abstracted network interface card model
+//!
+//! DIABLO's NIC model (§3.3, Figure 4) resembles the Intel 8254x Gigabit
+//! Ethernet controller: scatter/gather DMA with ring-based packet buffers in
+//! host DRAM, RX/TX descriptor rings, interrupt mitigation and a NAPI-style
+//! polling interface. This crate implements that device as a passive model
+//! embedded in the server component (`diablo-node`): the server's event
+//! handlers drive it and route its timer requests.
+//!
+//! Timing model:
+//!
+//! * **TX**: the driver posts frames to a bounded TX descriptor ring. The
+//!   DMA engine streams them onto the wire back-to-back; a per-packet DMA
+//!   fetch latency applies before the first bit of each frame.
+//! * **RX**: arriving frames consume RX descriptors; when the ring is full
+//!   frames are dropped (the overload behaviour behind receive livelock).
+//!   An interrupt is asserted after `intr_delay`, but no sooner than
+//!   `intr_mitigation` after the previous interrupt (ITR-style moderation).
+//!   Under NAPI the driver masks interrupts and polls with a budget,
+//!   re-enabling them only once the ring drains.
+
+#![warn(missing_docs)]
+
+use diablo_engine::prelude::{Counter, SimDuration, SimTime};
+use diablo_net::link::{PortPeer, TxPort};
+use diablo_net::Frame;
+use std::collections::VecDeque;
+
+/// Timer sub-keys the NIC asks its hosting component to schedule.
+pub mod keys {
+    /// TX DMA engine completion: call [`Nic::on_tx_done`](super::Nic::on_tx_done).
+    pub const TX_DONE: u64 = 1;
+    /// RX interrupt assertion: call [`Nic::on_rx_interrupt`](super::Nic::on_rx_interrupt).
+    pub const RX_INTR: u64 = 2;
+}
+
+/// Static NIC parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicConfig {
+    /// TX descriptor ring entries.
+    pub tx_ring: usize,
+    /// RX descriptor ring entries.
+    pub rx_ring: usize,
+    /// Per-packet DMA descriptor fetch latency before transmission.
+    pub dma_latency: SimDuration,
+    /// Delay from frame stored to interrupt assertion.
+    pub intr_delay: SimDuration,
+    /// Minimum spacing between consecutive interrupts (interrupt
+    /// throttling / mitigation).
+    pub intr_mitigation: SimDuration,
+}
+
+impl Default for NicConfig {
+    /// Values modeled after a server-class GbE adapter: 256-entry rings,
+    /// 1 µs DMA latency, 2 µs interrupt delay, 10 µs mitigation.
+    fn default() -> Self {
+        NicConfig {
+            tx_ring: 256,
+            rx_ring: 256,
+            dma_latency: SimDuration::from_micros(1),
+            intr_delay: SimDuration::from_micros(2),
+            intr_mitigation: SimDuration::from_micros(10),
+        }
+    }
+}
+
+/// NIC statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NicStats {
+    /// Frames fully transmitted.
+    pub tx_frames: Counter,
+    /// Frames accepted into the RX ring.
+    pub rx_frames: Counter,
+    /// Frames dropped because the RX ring was full.
+    pub rx_ring_drops: Counter,
+    /// Frames rejected because the TX ring was full.
+    pub tx_ring_rejects: Counter,
+    /// Interrupts asserted.
+    pub interrupts: Counter,
+    /// High-water mark of RX ring occupancy.
+    pub rx_ring_highwater: usize,
+}
+
+/// Actions the hosting component must perform on the NIC's behalf.
+///
+/// The NIC is a passive model: it cannot schedule events itself, so its
+/// methods return requests that the server component translates into engine
+/// timers and frame sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NicAction {
+    /// Schedule a timer at the given absolute time with the given sub-key
+    /// (see [`keys`]).
+    SetTimer(SimTime, u64),
+    /// Deliver `frame` to the wired peer at the given absolute time.
+    SendFrame(SimTime, Frame),
+}
+
+/// Outcome of offering a received frame to the RX path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Stored in the RX ring.
+    Stored,
+    /// Dropped: the ring was full.
+    Dropped,
+}
+
+/// The NIC device model. See the crate docs for the timing model.
+///
+/// # Examples
+///
+/// ```
+/// use diablo_nic::{Nic, NicConfig};
+/// use diablo_net::link::{LinkParams, PortPeer};
+/// use diablo_engine::prelude::*;
+///
+/// let peer = PortPeer {
+///     component: ComponentId(1),
+///     port: PortNo(0),
+///     params: LinkParams::gbe(500),
+/// };
+/// let nic = Nic::new(NicConfig::default(), peer);
+/// assert_eq!(nic.rx_queue_len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Nic {
+    cfg: NicConfig,
+    tx_port: TxPort,
+    tx_ring: VecDeque<Frame>,
+    tx_busy: bool,
+    rx_ring: VecDeque<Frame>,
+    intr_masked: bool,
+    intr_pending: bool,
+    last_intr: Option<SimTime>,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// Creates a NIC wired to `peer` (the ToR switch port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either ring size is zero.
+    pub fn new(cfg: NicConfig, peer: PortPeer) -> Self {
+        assert!(cfg.tx_ring > 0 && cfg.rx_ring > 0, "rings must be nonempty");
+        Nic {
+            cfg,
+            tx_port: TxPort::new(peer),
+            tx_ring: VecDeque::new(),
+            tx_busy: false,
+            rx_ring: VecDeque::new(),
+            intr_masked: false,
+            intr_pending: false,
+            last_intr: None,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NicStats {
+        &self.stats
+    }
+
+    /// Frames waiting in the RX ring.
+    pub fn rx_queue_len(&self) -> usize {
+        self.rx_ring.len()
+    }
+
+    /// Free TX descriptors.
+    pub fn tx_free(&self) -> usize {
+        self.cfg.tx_ring - self.tx_ring.len()
+    }
+
+    /// The wired peer (for route/link introspection).
+    pub fn peer(&self) -> PortPeer {
+        self.tx_port.peer
+    }
+
+    // ---------------------------------------------------------------- TX --
+
+    /// Driver posts a frame for transmission.
+    ///
+    /// Returns `false` (and counts a reject) when the TX ring is full — the
+    /// driver must back off and retry after a TX completion, which is how
+    /// the OS queue discipline applies backpressure.
+    pub fn tx_enqueue(&mut self, frame: Frame, now: SimTime, actions: &mut Vec<NicAction>) -> bool {
+        if self.tx_ring.len() >= self.cfg.tx_ring {
+            self.stats.tx_ring_rejects.incr();
+            return false;
+        }
+        self.tx_ring.push_back(frame);
+        if !self.tx_busy {
+            self.start_tx(now, actions);
+        }
+        true
+    }
+
+    fn start_tx(&mut self, now: SimTime, actions: &mut Vec<NicAction>) {
+        let Some(frame) = self.tx_ring.pop_front() else {
+            self.tx_busy = false;
+            return;
+        };
+        self.tx_busy = true;
+        let wire = frame.wire_bytes();
+        let timing = self.tx_port.transmit(now + self.cfg.dma_latency, wire);
+        self.stats.tx_frames.incr();
+        actions.push(NicAction::SendFrame(timing.arrival, frame));
+        actions.push(NicAction::SetTimer(timing.end, keys::TX_DONE));
+    }
+
+    /// Handles the TX completion timer: starts the next transmission if any.
+    ///
+    /// Returns `true` if TX descriptors were freed (the stack may have
+    /// backlogged output to flush).
+    pub fn on_tx_done(&mut self, now: SimTime, actions: &mut Vec<NicAction>) -> bool {
+        self.start_tx(now, actions);
+        true
+    }
+
+    // ---------------------------------------------------------------- RX --
+
+    /// A frame arrived from the wire.
+    pub fn rx_frame(
+        &mut self,
+        frame: Frame,
+        now: SimTime,
+        actions: &mut Vec<NicAction>,
+    ) -> RxOutcome {
+        if self.rx_ring.len() >= self.cfg.rx_ring {
+            self.stats.rx_ring_drops.incr();
+            return RxOutcome::Dropped;
+        }
+        self.rx_ring.push_back(frame);
+        self.stats.rx_frames.incr();
+        self.stats.rx_ring_highwater = self.stats.rx_ring_highwater.max(self.rx_ring.len());
+        if !self.intr_masked && !self.intr_pending {
+            let at = self.next_intr_time(now);
+            self.intr_pending = true;
+            self.last_intr = Some(at);
+            actions.push(NicAction::SetTimer(at, keys::RX_INTR));
+        }
+        RxOutcome::Stored
+    }
+
+    /// Handles the RX interrupt timer.
+    ///
+    /// Returns `true` if the interrupt is live (the driver should mask and
+    /// schedule a NAPI poll); `false` for stale interrupts (already masked
+    /// or ring already drained).
+    pub fn on_rx_interrupt(&mut self) -> bool {
+        self.intr_pending = false;
+        if self.intr_masked || self.rx_ring.is_empty() {
+            return false;
+        }
+        self.stats.interrupts.incr();
+        self.intr_masked = true;
+        true
+    }
+
+    /// NAPI poll: removes up to `budget` frames from the RX ring.
+    pub fn rx_poll(&mut self, budget: usize) -> Vec<Frame> {
+        let n = budget.min(self.rx_ring.len());
+        self.rx_ring.drain(..n).collect()
+    }
+
+    /// Re-enables interrupts after a NAPI poll cycle that drained the ring.
+    ///
+    /// If frames raced in meanwhile, an immediate interrupt is scheduled
+    /// (subject to mitigation).
+    pub fn unmask_interrupts(&mut self, now: SimTime, actions: &mut Vec<NicAction>) {
+        self.intr_masked = false;
+        if !self.rx_ring.is_empty() && !self.intr_pending {
+            let at = self.next_intr_time(now);
+            self.intr_pending = true;
+            self.last_intr = Some(at);
+            actions.push(NicAction::SetTimer(at, keys::RX_INTR));
+        }
+    }
+
+    /// Earliest legal assertion time for a new interrupt: after the
+    /// assertion delay, and no closer than the mitigation interval to the
+    /// previous interrupt.
+    fn next_intr_time(&self, now: SimTime) -> SimTime {
+        let at = now + self.cfg.intr_delay;
+        match self.last_intr {
+            Some(prev) => at.max(prev + self.cfg.intr_mitigation),
+            None => at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_engine::event::{ComponentId, PortNo};
+    use diablo_net::addr::NodeAddr;
+    use diablo_net::frame::Route;
+    use diablo_net::link::LinkParams;
+    use diablo_net::payload::{AppMessage, IpPacket, UdpDatagram};
+
+    fn frame(payload: u32) -> Frame {
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            msg: AppMessage::new(0, 0, payload, SimTime::ZERO),
+        };
+        Frame::new(IpPacket::udp(NodeAddr(0), NodeAddr(1), d), Route::new(vec![0]))
+    }
+
+    fn nic(cfg: NicConfig) -> Nic {
+        let peer = PortPeer {
+            component: ComponentId(1),
+            port: PortNo(0),
+            params: LinkParams::gbe(500),
+        };
+        Nic::new(cfg, peer)
+    }
+
+    fn send_times(actions: &[NicAction]) -> Vec<SimTime> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                NicAction::SendFrame(t, _) => Some(*t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tx_serializes_back_to_back_with_dma_prefix() {
+        let mut n = nic(NicConfig::default());
+        let mut actions = Vec::new();
+        let t0 = SimTime::from_micros(100);
+        assert!(n.tx_enqueue(frame(1000), t0, &mut actions));
+        assert!(n.tx_enqueue(frame(1000), t0, &mut actions));
+        // First frame: dma 1 us, then 1066B wire = 8.528 us, prop 500 ns.
+        assert_eq!(send_times(&actions), vec![SimTime::from_nanos(100_000 + 1_000 + 8_528 + 500)]);
+        // Completion timer fires; second frame goes out after its own DMA.
+        let done = actions
+            .iter()
+            .find_map(|a| match a {
+                NicAction::SetTimer(t, k) if *k == keys::TX_DONE => Some(*t),
+                _ => None,
+            })
+            .unwrap();
+        actions.clear();
+        n.on_tx_done(done, &mut actions);
+        let second = send_times(&actions)[0];
+        assert_eq!(second, done + SimDuration::from_nanos(1_000 + 8_528 + 500));
+    }
+
+    #[test]
+    fn tx_ring_rejects_when_full() {
+        let cfg = NicConfig { tx_ring: 2, ..NicConfig::default() };
+        let mut n = nic(cfg);
+        let mut actions = Vec::new();
+        let t0 = SimTime::ZERO;
+        assert!(n.tx_enqueue(frame(100), t0, &mut actions)); // popped into flight
+        assert!(n.tx_enqueue(frame(100), t0, &mut actions));
+        assert!(n.tx_enqueue(frame(100), t0, &mut actions));
+        assert!(!n.tx_enqueue(frame(100), t0, &mut actions));
+        assert_eq!(n.stats().tx_ring_rejects.get(), 1);
+        assert_eq!(n.tx_free(), 0);
+    }
+
+    #[test]
+    fn rx_ring_drops_when_full() {
+        let cfg = NicConfig { rx_ring: 3, ..NicConfig::default() };
+        let mut n = nic(cfg);
+        let mut actions = Vec::new();
+        for _ in 0..3 {
+            assert_eq!(n.rx_frame(frame(100), SimTime::ZERO, &mut actions), RxOutcome::Stored);
+        }
+        assert_eq!(n.rx_frame(frame(100), SimTime::ZERO, &mut actions), RxOutcome::Dropped);
+        assert_eq!(n.stats().rx_ring_drops.get(), 1);
+        assert_eq!(n.stats().rx_ring_highwater, 3);
+    }
+
+    #[test]
+    fn interrupts_are_mitigated() {
+        let mut n = nic(NicConfig::default());
+        let mut actions = Vec::new();
+        // First frame: interrupt at t+2us.
+        n.rx_frame(frame(100), SimTime::from_micros(0), &mut actions);
+        assert_eq!(actions, vec![NicAction::SetTimer(SimTime::from_micros(2), keys::RX_INTR)]);
+        assert!(n.on_rx_interrupt()); // live; driver masks
+        // While masked, arrivals are silent.
+        actions.clear();
+        n.rx_frame(frame(100), SimTime::from_micros(3), &mut actions);
+        assert!(actions.is_empty());
+        // Poll everything, unmask at t=4us with empty ring: nothing pending.
+        assert_eq!(n.rx_poll(64).len(), 2);
+        n.unmask_interrupts(SimTime::from_micros(4), &mut actions);
+        assert!(actions.is_empty());
+        // Next frame at 5us: mitigation forces the interrupt to 2+10=12us.
+        n.rx_frame(frame(100), SimTime::from_micros(5), &mut actions);
+        assert_eq!(actions, vec![NicAction::SetTimer(SimTime::from_micros(12), keys::RX_INTR)]);
+    }
+
+    #[test]
+    fn stale_interrupt_after_drain_is_ignored() {
+        let mut n = nic(NicConfig::default());
+        let mut actions = Vec::new();
+        n.rx_frame(frame(100), SimTime::ZERO, &mut actions);
+        // Driver polls before the interrupt fires (e.g. from a TX path).
+        assert_eq!(n.rx_poll(64).len(), 1);
+        assert!(!n.on_rx_interrupt(), "interrupt on drained ring must be stale");
+    }
+
+    #[test]
+    fn unmask_with_backlog_rearms() {
+        let mut n = nic(NicConfig::default());
+        let mut actions = Vec::new();
+        n.rx_frame(frame(100), SimTime::ZERO, &mut actions);
+        assert!(n.on_rx_interrupt());
+        n.rx_frame(frame(100), SimTime::from_micros(1), &mut actions);
+        // Poll only one of two; unmask must re-arm.
+        assert_eq!(n.rx_poll(1).len(), 1);
+        actions.clear();
+        n.unmask_interrupts(SimTime::from_micros(5), &mut actions);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], NicAction::SetTimer(_, keys::RX_INTR)));
+    }
+
+    #[test]
+    fn poll_respects_budget() {
+        let mut n = nic(NicConfig::default());
+        let mut actions = Vec::new();
+        for _ in 0..10 {
+            n.rx_frame(frame(100), SimTime::ZERO, &mut actions);
+        }
+        assert_eq!(n.rx_poll(4).len(), 4);
+        assert_eq!(n.rx_queue_len(), 6);
+        assert_eq!(n.rx_poll(100).len(), 6);
+    }
+}

@@ -1,0 +1,1563 @@
+//! The modeled OS kernel: one CPU, a round-robin scheduler, softirq packet
+//! processing, the syscall layer, and TCP/UDP demultiplexing.
+//!
+//! The kernel is a passive model, driven by its hosting server component
+//! (`diablo-node`) through three entry points: [`Kernel::boot`],
+//! [`Kernel::on_timer`] and [`Kernel::on_frame`]. All externally visible
+//! effects (timers, frame transmissions) go through the [`KernelEnv`]
+//! callback interface, which the server component maps onto engine
+//! scheduling.
+//!
+//! ## CPU model
+//!
+//! The paper's servers are single-core fixed-CPI machines (§3.3): every
+//! instruction takes `CPI` cycles at the configured frequency. The kernel
+//! tracks one CPU that is either idle or executing a *burst*: a softirq
+//! run (NAPI poll plus protocol processing for up to `napi_budget`
+//! packets), an application compute burst, or a syscall. Softirq work
+//! preempts user work at burst granularity, which bounds interrupt latency
+//! by the largest application compute burst — microseconds, matching real
+//! interrupt behaviour.
+//!
+//! This explicit CPU accounting is what DIABLO's case studies hinge on:
+//! with a 10 Gbps link a slow CPU cannot drain the NIC ring, the ring
+//! overflows, packets drop, and TCP collapses (Figure 6(b)) — none of
+//! which network-only simulators reproduce.
+
+use crate::process::{
+    Errno, Fd, Proto, Process, ProcessCtx, Step, SysResult, Syscall, Tid,
+};
+use crate::profile::KernelProfile;
+use crate::socket::{EventMask, SockId, Socket, SocketKind};
+use crate::tcp::{TcpConn, TcpOutput, TcpParams, TcpState};
+use diablo_engine::prelude::{Counter, Frequency, SimDuration, SimTime};
+use diablo_net::addr::{NodeAddr, SockAddr};
+use diablo_net::frame::{Frame, Route};
+use diablo_net::link::PortPeer;
+use diablo_net::payload::{AppMessage, IpPacket, TcpFlags, TcpSegment, Transport, UdpDatagram};
+use diablo_nic::{Nic, NicAction, NicConfig};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Route provider: maps a (source, destination) node pair to a source
+/// route through the switch hierarchy.
+pub trait Router: Send + Sync {
+    /// The route `src` must stamp on frames for `dst`.
+    fn route(&self, src: NodeAddr, dst: NodeAddr) -> Route;
+}
+
+impl Router for diablo_net::topology::Topology {
+    fn route(&self, src: NodeAddr, dst: NodeAddr) -> Route {
+        diablo_net::topology::Topology::route(self, src, dst)
+    }
+}
+
+/// Callback surface the hosting component provides to the kernel.
+pub trait KernelEnv {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Schedule a kernel timer at an absolute instant.
+    fn set_timer_at(&mut self, at: SimTime, key: u64);
+    /// Deliver a frame to the node's uplink peer at an absolute instant
+    /// (the NIC has already accounted serialization).
+    fn send_frame(&mut self, at: SimTime, frame: Frame);
+}
+
+/// Node-level configuration: CPU, kernel profile, NIC.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's address.
+    pub addr: NodeAddr,
+    /// CPU clock (the paper simulates 2 GHz and 4 GHz servers).
+    pub cpu: Frequency,
+    /// Fixed cycles-per-instruction of the server timing model.
+    pub cpi: u32,
+    /// Kernel profile.
+    pub profile: KernelProfile,
+    /// NIC parameters.
+    pub nic: NicConfig,
+    /// One-way latency of the in-kernel loopback path.
+    pub loopback_delay: SimDuration,
+}
+
+impl NodeConfig {
+    /// A 4 GHz fixed-CPI server running the given kernel, as used in most
+    /// of the paper's experiments.
+    pub fn new(addr: NodeAddr, profile: KernelProfile) -> Self {
+        NodeConfig {
+            addr,
+            cpu: Frequency::ghz(4),
+            cpi: 1,
+            profile,
+            nic: NicConfig::default(),
+            loopback_delay: SimDuration::from_micros(5),
+        }
+    }
+}
+
+/// One record in the kernel's execution trace (the software analogue of
+/// DIABLO's hardware performance counters and event logs: the simulator is
+/// "fully instrumented", §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Kinds of traced kernel events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Thread `tid` executed the named syscall.
+    Syscall(Tid, &'static str),
+    /// A softirq run processed this many packets.
+    Softirq(u32),
+    /// Thread woken.
+    Wakeup(Tid),
+    /// Scheduler switched to this thread.
+    Switch(Tid),
+}
+
+/// Bounded kernel trace ring.
+#[derive(Debug, Default)]
+struct TraceRing {
+    cap: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    fn push(&mut self, r: TraceRecord) {
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(r);
+    }
+}
+
+/// Aggregate kernel statistics.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Syscalls executed.
+    pub syscalls: Counter,
+    /// Softirq runs.
+    pub softirq_runs: Counter,
+    /// Packets processed in softirq context.
+    pub softirq_packets: Counter,
+    /// Task wakeups.
+    pub wakeups: Counter,
+    /// Context switches between different threads.
+    pub context_switches: Counter,
+    /// UDP datagrams dropped at the socket buffer.
+    pub udp_rcv_drops: Counter,
+    /// TCP segments addressed to nonexistent flows.
+    pub tcp_bad_segments: Counter,
+    /// Frames dropped because the TX ring rejected them.
+    pub tx_drops: Counter,
+    /// Total time the CPU was busy.
+    pub cpu_busy: SimDuration,
+}
+
+// Timer key classes (low 8 bits). Payload packing: class | a<<8 | b<<32.
+const K_CPU_DONE: u64 = 0;
+const K_NIC_TX: u64 = 1;
+const K_NIC_RX_INTR: u64 = 2;
+const K_TCP_RTO: u64 = 3;
+const K_TCP_DELACK: u64 = 4;
+const K_SLEEP: u64 = 5;
+const K_EPOLL_TO: u64 = 6;
+const K_LOOPBACK: u64 = 7;
+
+fn key(class: u64, a: u32, b: u32) -> u64 {
+    class | ((a as u64 & 0xFF_FFFF) << 8) | ((b as u64) << 32)
+}
+
+fn unpack(k: u64) -> (u64, u32, u32) {
+    (k & 0xFF, ((k >> 8) & 0xFF_FFFF) as u32, (k >> 32) as u32)
+}
+
+/// How a runnable process resumes.
+#[derive(Debug)]
+enum Resume {
+    /// Call `step` with the stored result.
+    Step,
+    /// Re-execute a syscall that previously blocked.
+    Retry(Syscall),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Runnable,
+    Blocked,
+    Exited,
+}
+
+struct ProcSlot {
+    process: Box<dyn Process>,
+    state: ProcState,
+    resume: Resume,
+    result: SysResult,
+    /// Instructions charged before the next burst (wakeup costs, copies,
+    /// context switches).
+    extra_cost: u64,
+    slice_used: SimDuration,
+    /// Guards stale epoll-timeout timers.
+    wait_gen: u32,
+    /// The last epoll wait timed out.
+    timed_out: bool,
+}
+
+/// What the CPU is currently executing (with the burst's duration, for
+/// timeslice accounting).
+enum CpuWork {
+    Softirq { frames: Vec<Frame> },
+    ProcBurst { tid: Tid, dur: SimDuration },
+    ProcSyscall { tid: Tid, call: Syscall, dur: SimDuration },
+}
+
+/// The kernel. See the module docs.
+pub struct Kernel {
+    cfg: NodeConfig,
+    nic: Nic,
+    router: Arc<dyn Router>,
+
+    procs: Vec<ProcSlot>,
+    run_queue: VecDeque<Tid>,
+    current: Option<Tid>,
+    last_ran: Option<Tid>,
+
+    cpu_work: Option<CpuWork>,
+    softirq_pending: bool,
+
+    sockets: Vec<Socket>,
+    free_socks: Vec<SockId>,
+    conns: HashMap<(u16, SockAddr), SockId>,
+    listeners: HashMap<u16, SockId>,
+    udp_ports: HashMap<u16, SockId>,
+    used_tcp_ports: HashSet<u16>,
+    next_ephemeral: u16,
+
+    loopback: VecDeque<(SimTime, Frame)>,
+    /// Futex-style eventcounts: key -> (counter, waiters).
+    futexes: HashMap<u64, (u64, Vec<Tid>)>,
+    /// Round-robin cursor for wake-one notification fairness.
+    notify_rr: u64,
+    trace: Option<TraceRing>,
+    /// Time of the entry point currently executing (for trace stamps on
+    /// paths without an env handle).
+    now_cache: SimTime,
+
+    stats: KernelStats,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("addr", &self.cfg.addr)
+            .field("procs", &self.procs.len())
+            .field("sockets", &self.sockets.len())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel for a node wired to `uplink` (its ToR port).
+    pub fn new(cfg: NodeConfig, uplink: PortPeer, router: Arc<dyn Router>) -> Self {
+        let nic = Nic::new(cfg.nic, uplink);
+        Kernel {
+            cfg,
+            nic,
+            router,
+            procs: Vec::new(),
+            run_queue: VecDeque::new(),
+            current: None,
+            last_ran: None,
+            cpu_work: None,
+            softirq_pending: false,
+            sockets: Vec::new(),
+            free_socks: Vec::new(),
+            conns: HashMap::new(),
+            listeners: HashMap::new(),
+            udp_ports: HashMap::new(),
+            used_tcp_ports: HashSet::new(),
+            next_ephemeral: 32768,
+            loopback: VecDeque::new(),
+            futexes: HashMap::new(),
+            notify_rr: 0,
+            trace: None,
+            now_cache: SimTime::ZERO,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> NodeAddr {
+        self.cfg.addr
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Kernel statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// NIC statistics.
+    pub fn nic_stats(&self) -> &diablo_nic::NicStats {
+        self.nic.stats()
+    }
+
+    /// Enables the bounded execution trace, keeping the most recent
+    /// `capacity` records (syscalls, softirq runs, wakeups, context
+    /// switches).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceRing { cap: capacity.max(1), ..TraceRing::default() });
+    }
+
+    /// The recorded trace, oldest first (empty unless enabled).
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        self.trace.as_ref().map(|t| t.records.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Trace records evicted due to the capacity bound.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map(|t| t.dropped).unwrap_or(0)
+    }
+
+    fn trace_push(&mut self, at: SimTime, kind: TraceKind) {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceRecord { at, kind });
+        }
+    }
+
+    /// Registers a guest thread before boot. Returns its tid.
+    pub fn spawn(&mut self, process: Box<dyn Process>) -> Tid {
+        let tid = Tid(self.procs.len() as u32);
+        self.procs.push(ProcSlot {
+            process,
+            state: ProcState::Runnable,
+            resume: Resume::Step,
+            result: SysResult::Started,
+            extra_cost: 0,
+            slice_used: SimDuration::ZERO,
+            wait_gen: 0,
+            timed_out: false,
+        });
+        self.run_queue.push_back(tid);
+        tid
+    }
+
+    /// Inspects a guest thread's concrete state after a run.
+    pub fn process<T: 'static>(&self, tid: Tid) -> Option<&T> {
+        self.procs.get(tid.0 as usize)?.process.as_any().downcast_ref::<T>()
+    }
+
+    /// Number of spawned guest threads.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` once every guest thread has exited.
+    pub fn all_exited(&self) -> bool {
+        self.procs.iter().all(|p| p.state == ProcState::Exited)
+    }
+
+    // ------------------------------------------------------- entry points
+
+    /// Starts the kernel: schedules the first dispatch.
+    pub fn boot(&mut self, env: &mut dyn KernelEnv) {
+        self.maybe_dispatch(env);
+    }
+
+    /// Handles a kernel timer.
+    pub fn on_timer(&mut self, k: u64, env: &mut dyn KernelEnv) {
+        self.now_cache = env.now();
+        let (class, a, b) = unpack(k);
+        match class {
+            K_CPU_DONE => self.on_cpu_done(env),
+            K_NIC_TX => {
+                let mut actions = Vec::new();
+                self.nic.on_tx_done(env.now(), &mut actions);
+                self.apply_nic_actions(actions, env);
+            }
+            K_NIC_RX_INTR => {
+                if self.nic.on_rx_interrupt() {
+                    self.softirq_pending = true;
+                }
+            }
+            K_TCP_RTO => {
+                let sid = a;
+                let now = env.now();
+                if let Some(out) = self.with_conn(sid, |conn| {
+                    let mut out = TcpOutput::default();
+                    conn.on_rto_timer(now, Self::widen_gen(conn.rto_gen(), b), &mut out);
+                    out
+                }) {
+                    self.apply_tcp_output(sid, out, env);
+                }
+            }
+            K_TCP_DELACK => {
+                let sid = a;
+                let now = env.now();
+                if let Some(out) = self.with_conn(sid, |conn| {
+                    let mut out = TcpOutput::default();
+                    conn.on_delack_timer(now, Self::widen_gen(conn.delack_gen(), b), &mut out);
+                    out
+                }) {
+                    self.apply_tcp_output(sid, out, env);
+                }
+            }
+            K_SLEEP => {
+                let tid = Tid(a);
+                self.wake_with(tid, Resume::Step, SysResult::Done);
+            }
+            K_EPOLL_TO => {
+                let tid = Tid(a);
+                if let Some(slot) = self.procs.get_mut(tid.0 as usize) {
+                    if slot.state == ProcState::Blocked && slot.wait_gen == b {
+                        slot.timed_out = true;
+                        self.wake(tid);
+                    }
+                }
+            }
+            K_LOOPBACK => {
+                self.softirq_pending = true;
+            }
+            other => panic!("unknown kernel timer class {other}"),
+        }
+        self.maybe_dispatch(env);
+    }
+
+    /// Handles a frame arriving from the wire.
+    pub fn on_frame(&mut self, frame: Frame, env: &mut dyn KernelEnv) {
+        self.now_cache = env.now();
+        let mut actions = Vec::new();
+        self.nic.rx_frame(frame, env.now(), &mut actions);
+        self.apply_nic_actions(actions, env);
+        self.maybe_dispatch(env);
+    }
+
+    // ------------------------------------------------------- helper: gens
+
+    /// Reconstructs a full generation from its low 32 bits by matching the
+    /// connection's current generation (collisions would need 2^32
+    /// rearms between firing and delivery — impossible within a run).
+    fn widen_gen(current: u64, low: u32) -> u64 {
+        if current as u32 == low {
+            current
+        } else {
+            // Stale: return something that cannot match.
+            current.wrapping_add(1 << 33)
+        }
+    }
+
+    fn apply_nic_actions(&mut self, actions: Vec<NicAction>, env: &mut dyn KernelEnv) {
+        for a in actions {
+            match a {
+                NicAction::SetTimer(at, sub) => {
+                    let class = match sub {
+                        diablo_nic::keys::TX_DONE => K_NIC_TX,
+                        diablo_nic::keys::RX_INTR => K_NIC_RX_INTR,
+                        other => panic!("unknown NIC sub-key {other}"),
+                    };
+                    env.set_timer_at(at, key(class, 0, 0));
+                }
+                NicAction::SendFrame(at, frame) => env.send_frame(at, frame),
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- CPU core
+
+    fn instr_time(&self, instructions: u64) -> SimDuration {
+        self.cfg.cpu.cycles_time(instructions * self.cfg.cpi as u64)
+    }
+
+    /// Occupies the CPU for `cost` instructions; `work` receives the
+    /// computed duration for slice accounting.
+    fn start_cpu(&mut self, cost: u64, mut work: CpuWork, env: &mut dyn KernelEnv) {
+        debug_assert!(self.cpu_work.is_none());
+        let dur = self.instr_time(cost.max(1));
+        self.stats.cpu_busy += dur;
+        match &mut work {
+            CpuWork::ProcBurst { dur: d, .. } | CpuWork::ProcSyscall { dur: d, .. } => *d = dur,
+            CpuWork::Softirq { .. } => {}
+        }
+        self.cpu_work = Some(work);
+        env.set_timer_at(env.now() + dur, key(K_CPU_DONE, 0, 0));
+    }
+
+    fn maybe_dispatch(&mut self, env: &mut dyn KernelEnv) {
+        loop {
+            if self.cpu_work.is_some() {
+                return;
+            }
+            // Softirqs preempt user work at burst granularity.
+            if self.softirq_pending
+                && (self.nic.rx_queue_len() > 0 || self.loopback_ready(env.now()))
+            {
+                self.softirq_pending = false;
+                let budget = self.cfg.profile.napi_budget;
+                let mut frames = Vec::new();
+                while frames.len() < budget {
+                    if let Some(f) = self.pop_loopback(env.now()) {
+                        frames.push(f);
+                    } else {
+                        break;
+                    }
+                }
+                if frames.len() < budget {
+                    frames.extend(self.nic.rx_poll(budget - frames.len()));
+                }
+                let cost = self.cfg.profile.softirq_entry_cost
+                    + self.cfg.profile.rx_packet_cost * frames.len() as u64;
+                self.stats.softirq_runs.incr();
+                self.stats.softirq_packets.add(frames.len() as u64);
+                self.trace_push(env.now(), TraceKind::Softirq(frames.len() as u32));
+                self.start_cpu(cost, CpuWork::Softirq { frames }, env);
+                return;
+            }
+            self.softirq_pending = false;
+
+            // Pick (or continue) a thread.
+            let tid = match self.current {
+                Some(t) => t,
+                None => {
+                    let Some(t) = self.run_queue.pop_front() else { return };
+                    if self.last_ran != Some(t) {
+                        self.stats.context_switches.incr();
+                        self.trace_push(env.now(), TraceKind::Switch(t));
+                        self.procs[t.0 as usize].extra_cost +=
+                            self.cfg.profile.context_switch_cost;
+                    }
+                    self.current = Some(t);
+                    self.last_ran = Some(t);
+                    self.procs[t.0 as usize].slice_used = SimDuration::ZERO;
+                    t
+                }
+            };
+
+            // Resolve retries without consuming CPU (the cost was charged
+            // when the syscall first executed).
+            let slot = &mut self.procs[tid.0 as usize];
+            if let Resume::Retry(call) = std::mem::replace(&mut slot.resume, Resume::Step) {
+                match self.execute_syscall(tid, call, env) {
+                    ExecOutcome::Ready(res) => {
+                        self.procs[tid.0 as usize].result = res;
+                        // fall through to step on the next loop iteration
+                        continue;
+                    }
+                    ExecOutcome::Block(call) => {
+                        let slot = &mut self.procs[tid.0 as usize];
+                        slot.state = ProcState::Blocked;
+                        slot.resume = Resume::Retry(call);
+                        self.current = None;
+                        continue;
+                    }
+                }
+            }
+
+            // One burst: step the process.
+            let slot = &mut self.procs[tid.0 as usize];
+            let result = std::mem::replace(&mut slot.result, SysResult::Computed);
+            let mut pctx = ProcessCtx { now: env.now(), result, tid };
+            let step = slot.process.step(&mut pctx);
+            let prefix = std::mem::take(&mut self.procs[tid.0 as usize].extra_cost);
+            match step {
+                Step::Compute(n) => {
+                    let work = CpuWork::ProcBurst { tid, dur: SimDuration::ZERO };
+                    self.start_cpu(prefix + n, work, env);
+                    return;
+                }
+                Step::Syscall(call) => {
+                    self.stats.syscalls.incr();
+                    self.trace_push(env.now(), TraceKind::Syscall(tid, call.name()));
+                    let cost = prefix + self.cfg.profile.syscall_cost + self.op_cost(&call);
+                    let work = CpuWork::ProcSyscall { tid, call, dur: SimDuration::ZERO };
+                    self.start_cpu(cost, work, env);
+                    return;
+                }
+                Step::Exit => {
+                    self.procs[tid.0 as usize].state = ProcState::Exited;
+                    self.current = None;
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Syscall-specific CPU charge on top of the base syscall cost.
+    fn op_cost(&self, call: &Syscall) -> u64 {
+        let p = &self.cfg.profile;
+        match call {
+            Syscall::Send { msg, .. } => {
+                if p.zero_copy_tx {
+                    0
+                } else {
+                    p.copy_cost(msg.len as u64)
+                }
+            }
+            Syscall::SendTo { msg, .. } => {
+                p.tx_packet_cost
+                    + if p.zero_copy_tx { 0 } else { p.copy_cost(msg.len as u64) }
+            }
+            Syscall::SetNonblocking { .. } => p.fcntl_cost,
+            Syscall::EpollWait { .. } => p.epoll_wait_cost,
+            _ => 0,
+        }
+    }
+
+    fn on_cpu_done(&mut self, env: &mut dyn KernelEnv) {
+        let work = self.cpu_work.take().expect("CPU_DONE without work");
+        match work {
+            CpuWork::Softirq { frames } => {
+                for frame in frames {
+                    self.handle_packet(frame.packet, env);
+                }
+                // NAPI: keep polling while backlogged, else re-enable
+                // interrupts.
+                if self.nic.rx_queue_len() > 0 || self.loopback_ready(env.now()) {
+                    self.softirq_pending = true;
+                } else {
+                    let mut actions = Vec::new();
+                    self.nic.unmask_interrupts(env.now(), &mut actions);
+                    self.apply_nic_actions(actions, env);
+                }
+            }
+            CpuWork::ProcBurst { tid, dur } => {
+                self.procs[tid.0 as usize].result = SysResult::Computed;
+                self.finish_burst(tid, dur);
+            }
+            CpuWork::ProcSyscall { tid, call, dur } => {
+                match self.execute_syscall(tid, call, env) {
+                    ExecOutcome::Ready(res) => {
+                        self.procs[tid.0 as usize].result = res;
+                    }
+                    ExecOutcome::Block(call) => {
+                        let slot = &mut self.procs[tid.0 as usize];
+                        slot.state = ProcState::Blocked;
+                        slot.resume = Resume::Retry(call);
+                        self.current = None;
+                    }
+                }
+                if self.current == Some(tid) {
+                    self.finish_burst(tid, dur);
+                }
+            }
+        }
+    }
+
+    /// Slice accounting and preemption after a process burst.
+    fn finish_burst(&mut self, tid: Tid, dur: SimDuration) {
+        let slice = self.cfg.profile.timeslice;
+        let slot = &mut self.procs[tid.0 as usize];
+        slot.slice_used += dur;
+        if slot.slice_used >= slice && !self.run_queue.is_empty() {
+            slot.slice_used = SimDuration::ZERO;
+            if slot.state == ProcState::Runnable {
+                self.run_queue.push_back(tid);
+            }
+            self.current = None;
+        }
+    }
+
+    // ------------------------------------------------------ socket layer
+
+    fn alloc_socket(&mut self, kind: SocketKind) -> SockId {
+        // Delay descriptor reuse (FIFO, with a floor): applications with
+        // in-flight references to a just-closed fd must not observe it
+        // rebound to an unrelated connection.
+        if self.free_socks.len() > 512 {
+            let sid = self.free_socks.remove(0);
+            self.sockets[sid as usize] = Socket::new(kind);
+            sid
+        } else {
+            self.sockets.push(Socket::new(kind));
+            (self.sockets.len() - 1) as SockId
+        }
+    }
+
+    fn free_socket(&mut self, sid: SockId) {
+        // Drop epoll registrations pointing at this descriptor, like the
+        // kernel does when the last reference to a file goes away.
+        let watchers = std::mem::take(&mut self.sockets[sid as usize].watchers);
+        for ep in watchers {
+            if let Some(sock) = self.sockets.get_mut(ep as usize) {
+                if let SocketKind::Epoll { watched } = &mut sock.kind {
+                    watched.retain(|(s, _)| *s != sid);
+                }
+            }
+        }
+        self.sockets[sid as usize] = Socket::new(SocketKind::Free);
+        self.free_socks.push(sid);
+    }
+
+    fn with_conn<R>(&mut self, sid: SockId, f: impl FnOnce(&mut TcpConn) -> R) -> Option<R> {
+        match self.sockets.get_mut(sid as usize).map(|s| &mut s.kind) {
+            Some(SocketKind::Tcp { conn, .. }) => Some(f(conn)),
+            _ => None,
+        }
+    }
+
+    fn ephemeral_port(&mut self) -> u16 {
+        for _ in 0..u16::MAX {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = if p == u16::MAX { 32768 } else { p + 1 };
+            if !self.used_tcp_ports.contains(&p) && !self.listeners.contains_key(&p) {
+                return p;
+            }
+        }
+        panic!("ephemeral ports exhausted");
+    }
+
+    fn readiness(&self, sid: SockId) -> EventMask {
+        match &self.sockets[sid as usize].kind {
+            SocketKind::Tcp { conn, .. } => EventMask {
+                readable: conn.readable(),
+                writable: conn.writable(1) || conn.state() == TcpState::Closed,
+            },
+            SocketKind::TcpListen { queue, .. } => {
+                EventMask { readable: !queue.is_empty(), writable: false }
+            }
+            SocketKind::Udp { rx, .. } => {
+                EventMask { readable: !rx.is_empty(), writable: true }
+            }
+            _ => EventMask::default(),
+        }
+    }
+
+    // -------------------------------------------------------- wakeups
+
+    fn wake(&mut self, tid: Tid) {
+        let slot = &mut self.procs[tid.0 as usize];
+        if slot.state == ProcState::Blocked {
+            slot.state = ProcState::Runnable;
+            slot.wait_gen = slot.wait_gen.wrapping_add(1);
+            slot.extra_cost += self.cfg.profile.wakeup_cost;
+            self.stats.wakeups.incr();
+            self.run_queue.push_back(tid);
+            self.trace_push(self.now_cache, TraceKind::Wakeup(tid));
+        }
+    }
+
+    fn wake_with(&mut self, tid: Tid, resume: Resume, result: SysResult) {
+        let slot = &mut self.procs[tid.0 as usize];
+        if slot.state == ProcState::Blocked {
+            slot.resume = resume;
+            slot.result = result;
+            slot.state = ProcState::Runnable;
+            slot.wait_gen = slot.wait_gen.wrapping_add(1);
+            slot.extra_cost += self.cfg.profile.wakeup_cost;
+            self.stats.wakeups.incr();
+            self.run_queue.push_back(tid);
+        }
+    }
+
+    /// Wakes blocked readers/writers and epoll waiters after a readiness
+    /// change on `sid`.
+    ///
+    /// Datagram sockets use wake-one semantics: a single datagram can only
+    /// be consumed by one of the workers sharing the socket, so the kernel
+    /// wakes exactly one waiter per arrival (the behaviour memcached
+    /// deployments rely on to avoid a thundering herd on the shared UDP
+    /// socket).
+    fn notify(&mut self, sid: SockId, what: EventMask) {
+        let wake_one = matches!(self.sockets[sid as usize].kind, SocketKind::Udp { .. })
+            && what.readable
+            && !what.writable;
+        let (readers, writers, watchers) = {
+            let s = &mut self.sockets[sid as usize];
+            let readers = if what.readable {
+                if wake_one && !s.wait_readers.is_empty() {
+                    vec![s.wait_readers.remove(0)]
+                } else {
+                    std::mem::take(&mut s.wait_readers)
+                }
+            } else {
+                Vec::new()
+            };
+            (
+                readers,
+                if what.writable { std::mem::take(&mut s.wait_writers) } else { Vec::new() },
+                s.watchers.clone(),
+            )
+        };
+        let direct_woken = !readers.is_empty();
+        for t in readers {
+            self.wake(t);
+        }
+        for t in writers {
+            self.wake(t);
+        }
+        if wake_one && direct_woken {
+            return;
+        }
+        // Rotate the starting watcher so wake-one load-balances workers.
+        let start = (self.notify_rr as usize) % watchers.len().max(1);
+        self.notify_rr = self.notify_rr.wrapping_add(1);
+        for i in 0..watchers.len() {
+            let ep = watchers[(start + i) % watchers.len()];
+            let interest = match &self.sockets[ep as usize].kind {
+                SocketKind::Epoll { watched } => watched
+                    .iter()
+                    .find(|(s, _)| *s == sid)
+                    .map(|(_, m)| *m)
+                    .unwrap_or_default(),
+                _ => EventMask::default(),
+            };
+            if !interest.intersect(what).is_empty() {
+                if wake_one {
+                    let s = &mut self.sockets[ep as usize];
+                    if !s.wait_readers.is_empty() {
+                        let t = s.wait_readers.remove(0);
+                        self.wake(t);
+                        return;
+                    }
+                } else {
+                    let waiters = std::mem::take(&mut self.sockets[ep as usize].wait_readers);
+                    for t in waiters {
+                        self.wake(t);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- datapath
+
+    fn loopback_ready(&self, now: SimTime) -> bool {
+        self.loopback.front().is_some_and(|(t, _)| *t <= now)
+    }
+
+    fn pop_loopback(&mut self, now: SimTime) -> Option<Frame> {
+        if self.loopback_ready(now) {
+            self.loopback.pop_front().map(|(_, f)| f)
+        } else {
+            None
+        }
+    }
+
+    /// Sends an IP packet: loopback if local, NIC otherwise. Returns
+    /// `false` if the TX ring rejected it.
+    fn tx_packet(&mut self, pkt: IpPacket, env: &mut dyn KernelEnv) -> bool {
+        if pkt.dst == self.cfg.addr {
+            let at = env.now() + self.cfg.loopback_delay;
+            self.loopback.push_back((at, Frame::new(pkt, Route::empty())));
+            env.set_timer_at(at, key(K_LOOPBACK, 0, 0));
+            return true;
+        }
+        let route = self.router.route(self.cfg.addr, pkt.dst);
+        let frame = Frame::new(pkt, route);
+        let mut actions = Vec::new();
+        let ok = self.nic.tx_enqueue(frame, env.now(), &mut actions);
+        if !ok {
+            self.stats.tx_drops.incr();
+        }
+        self.apply_nic_actions(actions, env);
+        ok
+    }
+
+    /// Protocol processing for one received packet (softirq context; CPU
+    /// time already charged).
+    fn handle_packet(&mut self, pkt: IpPacket, env: &mut dyn KernelEnv) {
+        match pkt.transport {
+            Transport::Tcp(seg) => self.handle_tcp(pkt.src, seg, env),
+            Transport::Udp(d) => self.handle_udp(pkt.src, d),
+        }
+    }
+
+    fn handle_udp(&mut self, src: NodeAddr, d: UdpDatagram) {
+        let Some(&sid) = self.udp_ports.get(&d.dst_port) else {
+            return; // no listener; silently dropped (no ICMP model)
+        };
+        let cap = self.cfg.profile.udp_rcvbuf as u64;
+        let from = SockAddr::new(src, d.src_port);
+        let fits = match &mut self.sockets[sid as usize].kind {
+            SocketKind::Udp { rx, rx_bytes, .. } => {
+                if *rx_bytes + d.msg.len as u64 > cap {
+                    false
+                } else {
+                    *rx_bytes += d.msg.len as u64;
+                    rx.push_back((from, d.msg));
+                    true
+                }
+            }
+            _ => false,
+        };
+        if fits {
+            self.notify(sid, EventMask::READ);
+        } else {
+            self.stats.udp_rcv_drops.incr();
+        }
+    }
+
+    fn handle_tcp(&mut self, src: NodeAddr, seg: TcpSegment, env: &mut dyn KernelEnv) {
+        let remote = SockAddr::new(src, seg.src_port);
+        let flow = (seg.dst_port, remote);
+        if let Some(&sid) = self.conns.get(&flow) {
+            let now = env.now();
+            if let Some(out) = self.with_conn(sid, |conn| {
+                let mut out = TcpOutput::default();
+                conn.on_segment(now, seg, &mut out);
+                out
+            }) {
+                self.apply_tcp_output(sid, out, env);
+            }
+            return;
+        }
+        if seg.flags.syn && !seg.flags.ack {
+            if let Some(&lid) = self.listeners.get(&seg.dst_port) {
+                let (can_accept, local) = match &self.sockets[lid as usize].kind {
+                    SocketKind::TcpListen { backlog, queue, embryos, port } => (
+                        queue.len() as u32 + embryos < *backlog,
+                        SockAddr::new(self.cfg.addr, *port),
+                    ),
+                    _ => (false, SockAddr::default()),
+                };
+                if !can_accept {
+                    return; // backlog full: silently drop; client retries
+                }
+                let mut out = TcpOutput::default();
+                let conn = TcpConn::server_from_syn(
+                    TcpParams::from_profile(&self.cfg.profile),
+                    local,
+                    remote,
+                    &seg,
+                    env.now(),
+                    &mut out,
+                );
+                let sid = self.alloc_socket(SocketKind::Tcp {
+                    conn: Box::new(conn),
+                    embryo: true,
+                    listener: Some(lid),
+                    app_closed: false,
+                });
+                if let SocketKind::TcpListen { embryos, .. } =
+                    &mut self.sockets[lid as usize].kind
+                {
+                    *embryos += 1;
+                }
+                self.conns.insert(flow, sid);
+                self.apply_tcp_output(sid, out, env);
+                return;
+            }
+            // No listener: refuse.
+            self.send_rst(&seg, remote, env);
+            return;
+        }
+        if !seg.flags.rst {
+            self.stats.tcp_bad_segments.incr();
+            self.send_rst(&seg, remote, env);
+        }
+    }
+
+    fn send_rst(&mut self, seg: &TcpSegment, remote: SockAddr, env: &mut dyn KernelEnv) {
+        let rst = TcpSegment {
+            src_port: seg.dst_port,
+            dst_port: seg.src_port,
+            seq: seg.ack,
+            ack: seg.seq_end(),
+            flags: TcpFlags::RST,
+            wnd: 0,
+            payload_len: 0,
+            markers: Vec::new(),
+        };
+        let pkt = IpPacket::tcp(self.cfg.addr, remote.node, rst);
+        self.tx_packet(pkt, env);
+    }
+
+    /// Applies the effects of a TCP engine call: transmit segments, arm
+    /// timers, wake waiters, tear down.
+    fn apply_tcp_output(&mut self, sid: SockId, out: TcpOutput, env: &mut dyn KernelEnv) {
+        let (remote, rto_gen, delack_gen, state, embryo, listener, app_closed) =
+            match &self.sockets[sid as usize].kind {
+                SocketKind::Tcp { conn, embryo, listener, app_closed } => (
+                    conn.remote,
+                    conn.rto_gen(),
+                    conn.delack_gen(),
+                    conn.state(),
+                    *embryo,
+                    *listener,
+                    *app_closed,
+                ),
+                _ => return,
+            };
+        for seg in out.segs {
+            let pkt = IpPacket::tcp(self.cfg.addr, remote.node, seg);
+            self.tx_packet(pkt, env);
+        }
+        if let Some(at) = out.arm_rto {
+            env.set_timer_at(at, key(K_TCP_RTO, sid, rto_gen as u32));
+        }
+        if let Some(at) = out.arm_delack {
+            env.set_timer_at(at, key(K_TCP_DELACK, sid, delack_gen as u32));
+        }
+        if out.established {
+            if embryo {
+                // Server side: move to the listener's accept queue.
+                if let Some(lid) = listener {
+                    if let SocketKind::Tcp { embryo, .. } = &mut self.sockets[sid as usize].kind
+                    {
+                        *embryo = false;
+                    }
+                    if let SocketKind::TcpListen { queue, embryos, .. } =
+                        &mut self.sockets[lid as usize].kind
+                    {
+                        queue.push_back(sid);
+                        *embryos = embryos.saturating_sub(1);
+                    }
+                    self.notify(lid, EventMask::READ);
+                }
+            } else {
+                // Client side: unblock connect (registered as writer).
+                self.notify(sid, EventMask::BOTH);
+            }
+        }
+        let mut mask = EventMask::default();
+        if out.readable {
+            mask.readable = true;
+        }
+        if out.writable {
+            mask.writable = true;
+        }
+        if out.reset || out.closed {
+            mask = EventMask::BOTH;
+        }
+        if !mask.is_empty() {
+            self.notify(sid, mask);
+        }
+        if (out.closed || state == TcpState::Closed) && app_closed {
+            self.teardown_tcp(sid);
+        }
+    }
+
+    /// Removes a fully dead connection from the tables and frees the slot
+    /// (only when the application has already closed the descriptor).
+    fn teardown_tcp(&mut self, sid: SockId) {
+        let (local_port, remote) = match &self.sockets[sid as usize].kind {
+            SocketKind::Tcp { conn, .. } => (conn.local.port, conn.remote),
+            _ => return,
+        };
+        self.conns.remove(&(local_port, remote));
+        // Keep listener-owned ports; release ephemeral client ports.
+        if !self.listeners.contains_key(&local_port) {
+            self.used_tcp_ports.remove(&local_port);
+        }
+        self.free_socket(sid);
+    }
+
+    // --------------------------------------------------------- syscalls
+
+    fn execute_syscall(
+        &mut self,
+        tid: Tid,
+        call: Syscall,
+        env: &mut dyn KernelEnv,
+    ) -> ExecOutcome {
+        match call {
+            Syscall::Socket(proto) => {
+                let kind = match proto {
+                    Proto::Tcp => SocketKind::RawTcp { port: None },
+                    Proto::Udp => {
+                        SocketKind::Udp { port: 0, rx: VecDeque::new(), rx_bytes: 0 }
+                    }
+                };
+                let sid = self.alloc_socket(kind);
+                ExecOutcome::Ready(SysResult::NewFd(Fd(sid)))
+            }
+            Syscall::Bind { fd, port } => self.sys_bind(fd, port),
+            Syscall::Listen { fd, backlog } => self.sys_listen(fd, backlog),
+            Syscall::Accept { fd, accept4 } => self.sys_accept(tid, fd, accept4),
+            Syscall::Connect { fd, to } => self.sys_connect(tid, fd, to, env),
+            Syscall::Send { fd, msg } => self.sys_send(tid, fd, msg, env),
+            Syscall::Recv { fd, max_msgs } => self.sys_recv(tid, fd, max_msgs, env),
+            Syscall::SendTo { fd, to, msg } => self.sys_sendto(fd, to, msg, env),
+            Syscall::RecvFrom { fd } => self.sys_recvfrom(tid, fd),
+            Syscall::SetNonblocking { fd, on } => {
+                match self.sockets.get_mut(fd.0 as usize) {
+                    Some(s) if !matches!(s.kind, SocketKind::Free) => {
+                        s.nonblocking = on;
+                        ExecOutcome::Ready(SysResult::Done)
+                    }
+                    _ => ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+                }
+            }
+            Syscall::EpollCreate => {
+                let sid = self.alloc_socket(SocketKind::Epoll { watched: Vec::new() });
+                ExecOutcome::Ready(SysResult::NewFd(Fd(sid)))
+            }
+            Syscall::EpollCtl { epfd, fd, interest } => self.sys_epoll_ctl(epfd, fd, interest),
+            Syscall::EpollWait { epfd, max_events, timeout } => {
+                self.sys_epoll_wait(tid, epfd, max_events, timeout, env)
+            }
+            Syscall::Close { fd } => self.sys_close(fd, env),
+            Syscall::FutexWait { key: fkey, seen } => {
+                let entry = self.futexes.entry(fkey).or_insert((0, Vec::new()));
+                if entry.0 != seen {
+                    ExecOutcome::Ready(SysResult::FutexVal(entry.0))
+                } else {
+                    entry.1.push(tid);
+                    ExecOutcome::Block(Syscall::FutexWait { key: fkey, seen })
+                }
+            }
+            Syscall::FutexWake { key: fkey } => {
+                let entry = self.futexes.entry(fkey).or_insert((0, Vec::new()));
+                entry.0 += 1;
+                let val = entry.0;
+                let waiters = std::mem::take(&mut entry.1);
+                for t in waiters {
+                    self.wake(t);
+                }
+                ExecOutcome::Ready(SysResult::FutexVal(val))
+            }
+            Syscall::Nanosleep(d) => {
+                env.set_timer_at(env.now() + d, key(K_SLEEP, tid.0, 0));
+                ExecOutcome::Block(Syscall::Nanosleep(d))
+            }
+            Syscall::Yield => {
+                // Spend the rest of the slice.
+                self.procs[tid.0 as usize].slice_used = self.cfg.profile.timeslice;
+                ExecOutcome::Ready(SysResult::Done)
+            }
+        }
+    }
+
+    fn sys_bind(&mut self, fd: Fd, port: u16) -> ExecOutcome {
+        let sid = fd.0;
+        match self.sockets.get_mut(sid as usize).map(|s| &mut s.kind) {
+            Some(SocketKind::RawTcp { port: p }) => {
+                if self.used_tcp_ports.contains(&port) || self.listeners.contains_key(&port) {
+                    return ExecOutcome::Ready(SysResult::Err(Errno::AddrInUse));
+                }
+                *p = Some(port);
+                self.used_tcp_ports.insert(port);
+                ExecOutcome::Ready(SysResult::Done)
+            }
+            Some(SocketKind::Udp { port: p, .. }) => {
+                if self.udp_ports.contains_key(&port) {
+                    return ExecOutcome::Ready(SysResult::Err(Errno::AddrInUse));
+                }
+                *p = port;
+                self.udp_ports.insert(port, sid);
+                ExecOutcome::Ready(SysResult::Done)
+            }
+            _ => ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        }
+    }
+
+    fn sys_listen(&mut self, fd: Fd, backlog: u32) -> ExecOutcome {
+        let sid = fd.0;
+        let port = match self.sockets.get(sid as usize).map(|s| &s.kind) {
+            Some(SocketKind::RawTcp { port: Some(p) }) => *p,
+            Some(SocketKind::RawTcp { port: None }) => {
+                return ExecOutcome::Ready(SysResult::Err(Errno::Invalid))
+            }
+            _ => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        self.sockets[sid as usize].kind = SocketKind::TcpListen {
+            port,
+            backlog: backlog.max(1),
+            queue: VecDeque::new(),
+            embryos: 0,
+        };
+        self.listeners.insert(port, sid);
+        ExecOutcome::Ready(SysResult::Done)
+    }
+
+    fn sys_accept(&mut self, tid: Tid, fd: Fd, accept4: bool) -> ExecOutcome {
+        let sid = fd.0;
+        let nonblocking = match self.sockets.get(sid as usize) {
+            Some(s) => s.nonblocking,
+            None => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        let popped = match &mut self.sockets[sid as usize].kind {
+            SocketKind::TcpListen { queue, .. } => queue.pop_front(),
+            _ => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        match popped {
+            Some(new_sid) => {
+                if accept4 {
+                    self.sockets[new_sid as usize].nonblocking = true;
+                }
+                let peer = match &self.sockets[new_sid as usize].kind {
+                    SocketKind::Tcp { conn, .. } => conn.remote,
+                    _ => SockAddr::default(),
+                };
+                ExecOutcome::Ready(SysResult::Accepted { fd: Fd(new_sid), peer })
+            }
+            None => {
+                if nonblocking {
+                    ExecOutcome::Ready(SysResult::Err(Errno::WouldBlock))
+                } else {
+                    self.sockets[sid as usize].wait_readers.push(tid);
+                    ExecOutcome::Block(Syscall::Accept { fd, accept4 })
+                }
+            }
+        }
+    }
+
+    fn sys_connect(
+        &mut self,
+        tid: Tid,
+        fd: Fd,
+        to: SockAddr,
+        env: &mut dyn KernelEnv,
+    ) -> ExecOutcome {
+        let sid = fd.0;
+        let nonblocking = match self.sockets.get(sid as usize) {
+            Some(s) => s.nonblocking,
+            None => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        match &self.sockets[sid as usize].kind {
+            SocketKind::RawTcp { port } => {
+                let lport = match port {
+                    Some(p) => *p,
+                    None => {
+                        let p = self.ephemeral_port();
+                        self.used_tcp_ports.insert(p);
+                        p
+                    }
+                };
+                let local = SockAddr::new(self.cfg.addr, lport);
+                let mut out = TcpOutput::default();
+                let conn = TcpConn::client(
+                    TcpParams::from_profile(&self.cfg.profile),
+                    local,
+                    to,
+                    env.now(),
+                    &mut out,
+                );
+                self.sockets[sid as usize].kind = SocketKind::Tcp {
+                    conn: Box::new(conn),
+                    embryo: false,
+                    listener: None,
+                    app_closed: false,
+                };
+                self.conns.insert((lport, to), sid);
+                self.apply_tcp_output(sid, out, env);
+                if nonblocking {
+                    ExecOutcome::Ready(SysResult::Err(Errno::WouldBlock))
+                } else {
+                    self.sockets[sid as usize].wait_writers.push(tid);
+                    ExecOutcome::Block(Syscall::Connect { fd, to })
+                }
+            }
+            SocketKind::Tcp { conn, .. } => match conn.state() {
+                TcpState::Established => ExecOutcome::Ready(SysResult::Done),
+                TcpState::Closed => ExecOutcome::Ready(SysResult::Err(Errno::ConnRefused)),
+                _ => {
+                    if nonblocking {
+                        ExecOutcome::Ready(SysResult::Err(Errno::WouldBlock))
+                    } else {
+                        self.sockets[sid as usize].wait_writers.push(tid);
+                        ExecOutcome::Block(Syscall::Connect { fd, to })
+                    }
+                }
+            },
+            _ => ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        }
+    }
+
+    fn sys_send(
+        &mut self,
+        tid: Tid,
+        fd: Fd,
+        msg: AppMessage,
+        env: &mut dyn KernelEnv,
+    ) -> ExecOutcome {
+        let sid = fd.0;
+        let nonblocking = match self.sockets.get(sid as usize) {
+            Some(s) => s.nonblocking,
+            None => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        let now = env.now();
+        let attempt = self.with_conn(sid, |conn| match conn.state() {
+            TcpState::Established => {
+                let mut out = TcpOutput::default();
+                let r = conn.app_send(msg, now, &mut out);
+                (r.is_ok(), out, TcpState::Established)
+            }
+            s => (false, TcpOutput::default(), s),
+        });
+        match attempt {
+            None => ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+            Some((true, out, _)) => {
+                // Charge TX processing for the emitted segments.
+                let n = out.segs.len() as u64;
+                self.procs[tid.0 as usize].extra_cost += self.cfg.profile.tx_packet_cost * n;
+                self.apply_tcp_output(sid, out, env);
+                ExecOutcome::Ready(SysResult::Done)
+            }
+            Some((false, _, TcpState::Established)) => {
+                if nonblocking {
+                    ExecOutcome::Ready(SysResult::Err(Errno::WouldBlock))
+                } else {
+                    self.sockets[sid as usize].wait_writers.push(tid);
+                    ExecOutcome::Block(Syscall::Send { fd, msg })
+                }
+            }
+            Some((false, _, TcpState::Closed)) => {
+                ExecOutcome::Ready(SysResult::Err(Errno::ConnReset))
+            }
+            Some((false, _, _)) => ExecOutcome::Ready(SysResult::Err(Errno::NotConnected)),
+        }
+    }
+
+    fn sys_recv(
+        &mut self,
+        tid: Tid,
+        fd: Fd,
+        max_msgs: usize,
+        env: &mut dyn KernelEnv,
+    ) -> ExecOutcome {
+        let sid = fd.0;
+        let nonblocking = match self.sockets.get(sid as usize) {
+            Some(s) => s.nonblocking,
+            None => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        let now = env.now();
+        let got = self.with_conn(sid, |conn| {
+            let mut out = TcpOutput::default();
+            let (msgs, eof) = conn.app_recv(max_msgs, now, &mut out);
+            (msgs, eof, out, conn.state())
+        });
+        match got {
+            None => ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+            Some((msgs, eof, out, state)) => {
+                self.apply_tcp_output(sid, out, env);
+                if !msgs.is_empty() || eof {
+                    let bytes: u64 = msgs.iter().map(|m| m.len as u64).sum();
+                    self.procs[tid.0 as usize].extra_cost +=
+                        self.cfg.profile.copy_cost(bytes);
+                    ExecOutcome::Ready(SysResult::Messages { msgs, eof })
+                } else if state == TcpState::Closed {
+                    ExecOutcome::Ready(SysResult::Err(Errno::ConnReset))
+                } else if nonblocking {
+                    ExecOutcome::Ready(SysResult::Err(Errno::WouldBlock))
+                } else {
+                    self.sockets[sid as usize].wait_readers.push(tid);
+                    ExecOutcome::Block(Syscall::Recv { fd, max_msgs })
+                }
+            }
+        }
+    }
+
+    fn sys_sendto(
+        &mut self,
+        fd: Fd,
+        to: SockAddr,
+        msg: AppMessage,
+        env: &mut dyn KernelEnv,
+    ) -> ExecOutcome {
+        let sid = fd.0;
+        if msg.len > 65_507 {
+            return ExecOutcome::Ready(SysResult::Err(Errno::MessageTooBig));
+        }
+        let src_port = match self.sockets.get_mut(sid as usize).map(|s| &mut s.kind) {
+            Some(SocketKind::Udp { port, .. }) => {
+                if *port == 0 {
+                    // Auto-bind an ephemeral UDP port.
+                    let mut p = 32768u16;
+                    while self.udp_ports.contains_key(&p) {
+                        p = p.wrapping_add(1);
+                    }
+                    *port = p;
+                    self.udp_ports.insert(p, sid);
+                    p
+                } else {
+                    *port
+                }
+            }
+            _ => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        let d = UdpDatagram { src_port, dst_port: to.port, msg };
+        let pkt = IpPacket::udp(self.cfg.addr, to.node, d);
+        self.tx_packet(pkt, env);
+        ExecOutcome::Ready(SysResult::Done)
+    }
+
+    fn sys_recvfrom(&mut self, tid: Tid, fd: Fd) -> ExecOutcome {
+        let sid = fd.0;
+        let nonblocking = match self.sockets.get(sid as usize) {
+            Some(s) => s.nonblocking,
+            None => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        match self.sockets.get_mut(sid as usize).map(|s| &mut s.kind) {
+            Some(SocketKind::Udp { rx, rx_bytes, .. }) => match rx.pop_front() {
+                Some((from, msg)) => {
+                    *rx_bytes -= msg.len as u64;
+                    self.procs[tid.0 as usize].extra_cost +=
+                        self.cfg.profile.copy_cost(msg.len as u64);
+                    ExecOutcome::Ready(SysResult::Datagram { from, msg })
+                }
+                None => {
+                    if nonblocking {
+                        ExecOutcome::Ready(SysResult::Err(Errno::WouldBlock))
+                    } else {
+                        self.sockets[sid as usize].wait_readers.push(tid);
+                        ExecOutcome::Block(Syscall::RecvFrom { fd })
+                    }
+                }
+            },
+            _ => ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        }
+    }
+
+    fn sys_epoll_ctl(&mut self, epfd: Fd, fd: Fd, interest: EventMask) -> ExecOutcome {
+        let ep = epfd.0;
+        let target = fd.0;
+        if target as usize >= self.sockets.len() {
+            return ExecOutcome::Ready(SysResult::Err(Errno::BadFd));
+        }
+        match &mut self.sockets[ep as usize].kind {
+            SocketKind::Epoll { watched } => {
+                watched.retain(|(s, _)| *s != target);
+                if !interest.is_empty() {
+                    watched.push((target, interest));
+                }
+            }
+            _ => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        }
+        let w = &mut self.sockets[target as usize].watchers;
+        if interest.is_empty() {
+            w.retain(|x| *x != ep);
+        } else if !w.contains(&ep) {
+            w.push(ep);
+        }
+        // Level-triggered semantics: if the newly watched socket is already
+        // ready, waiters on this epoll must re-evaluate (memcached's
+        // dispatcher registers accepted connections from another thread).
+        if !interest.is_empty() && !self.readiness(target).intersect(interest).is_empty() {
+            let waiters = std::mem::take(&mut self.sockets[ep as usize].wait_readers);
+            for t in waiters {
+                self.wake(t);
+            }
+        }
+        ExecOutcome::Ready(SysResult::Done)
+    }
+
+    fn sys_epoll_wait(
+        &mut self,
+        tid: Tid,
+        epfd: Fd,
+        max_events: usize,
+        timeout: Option<SimDuration>,
+        env: &mut dyn KernelEnv,
+    ) -> ExecOutcome {
+        let ep = epfd.0;
+        let watched = match &self.sockets[ep as usize].kind {
+            SocketKind::Epoll { watched } => watched.clone(),
+            _ => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        let mut events = Vec::new();
+        for (sid, interest) in watched {
+            let ready = self.readiness(sid).intersect(interest);
+            if !ready.is_empty() {
+                events.push((Fd(sid), ready));
+                if events.len() >= max_events {
+                    break;
+                }
+            }
+        }
+        let slot = &mut self.procs[tid.0 as usize];
+        if !events.is_empty() {
+            slot.timed_out = false;
+            return ExecOutcome::Ready(SysResult::Events(events));
+        }
+        if slot.timed_out {
+            slot.timed_out = false;
+            return ExecOutcome::Ready(SysResult::Events(Vec::new()));
+        }
+        if timeout == Some(SimDuration::ZERO) {
+            return ExecOutcome::Ready(SysResult::Events(Vec::new()));
+        }
+        if let Some(t) = timeout {
+            let gen = slot.wait_gen;
+            env.set_timer_at(env.now() + t, key(K_EPOLL_TO, tid.0, gen));
+        }
+        self.sockets[ep as usize].wait_readers.push(tid);
+        ExecOutcome::Block(Syscall::EpollWait { epfd, max_events, timeout })
+    }
+
+    fn sys_close(&mut self, fd: Fd, env: &mut dyn KernelEnv) -> ExecOutcome {
+        let sid = fd.0;
+        let kind_tag = match self.sockets.get(sid as usize).map(|s| &s.kind) {
+            Some(SocketKind::Tcp { .. }) => 0,
+            Some(SocketKind::TcpListen { .. }) => 1,
+            Some(SocketKind::Udp { .. }) => 2,
+            Some(SocketKind::Epoll { .. }) => 3,
+            Some(SocketKind::RawTcp { .. }) => 4,
+            _ => return ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+        };
+        match kind_tag {
+            0 => {
+                let now = env.now();
+                let (out, closed) = self
+                    .with_conn(sid, |conn| {
+                        let mut out = TcpOutput::default();
+                        conn.app_close(now, &mut out);
+                        (out, conn.state() == TcpState::Closed)
+                    })
+                    .expect("tcp socket vanished");
+                if let SocketKind::Tcp { app_closed, .. } = &mut self.sockets[sid as usize].kind
+                {
+                    *app_closed = true;
+                }
+                self.apply_tcp_output(sid, out, env);
+                if closed {
+                    self.teardown_tcp(sid);
+                }
+            }
+            1 => {
+                if let SocketKind::TcpListen { port, .. } = &self.sockets[sid as usize].kind {
+                    let port = *port;
+                    self.listeners.remove(&port);
+                    self.used_tcp_ports.remove(&port);
+                }
+                self.free_socket(sid);
+            }
+            2 => {
+                if let SocketKind::Udp { port, .. } = &self.sockets[sid as usize].kind {
+                    let port = *port;
+                    if port != 0 {
+                        self.udp_ports.remove(&port);
+                    }
+                }
+                self.free_socket(sid);
+            }
+            3 => {
+                // Unregister from watched sockets.
+                if let SocketKind::Epoll { watched } = &self.sockets[sid as usize].kind {
+                    let targets: Vec<SockId> = watched.iter().map(|(s, _)| *s).collect();
+                    for t in targets {
+                        if let Some(sock) = self.sockets.get_mut(t as usize) {
+                            sock.watchers.retain(|x| *x != sid);
+                        }
+                    }
+                }
+                self.free_socket(sid);
+            }
+            _ => {
+                if let SocketKind::RawTcp { port: Some(p) } = &self.sockets[sid as usize].kind {
+                    let p = *p;
+                    self.used_tcp_ports.remove(&p);
+                }
+                self.free_socket(sid);
+            }
+        }
+        ExecOutcome::Ready(SysResult::Done)
+    }
+}
+
+/// Result of executing a syscall.
+enum ExecOutcome {
+    /// Completed with this result.
+    Ready(SysResult),
+    /// The calling thread blocks; retry this call on wakeup.
+    Block(Syscall),
+}

@@ -1,0 +1,23 @@
+//! # diablo-stack — the modeled guest operating system
+//!
+//! DIABLO runs unmodified Linux on simulated SPARC servers; this software
+//! reproduction models the OS explicitly instead: a round-robin process
+//! scheduler over a single fixed-CPI CPU, a faithful syscall subset
+//! (sockets, `epoll`, `accept4`...), softirq/NAPI-driven packet
+//! processing, and full TCP (NewReno) and UDP transports — all
+//! parameterized by [`profile::KernelProfile`]s capturing the differences
+//! between the Linux versions the paper measures.
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod process;
+pub mod profile;
+pub mod socket;
+pub mod tcp;
+
+pub use kernel::{Kernel, KernelEnv, KernelStats, NodeConfig, Router, TraceKind, TraceRecord};
+pub use process::{Errno, Fd, Proto, Process, ProcessCtx, Step, SysResult, Syscall, Tid};
+pub use profile::KernelProfile;
+pub use socket::EventMask;
+pub use tcp::{TcpConn, TcpOutput, TcpParams, TcpState, TcpStats};

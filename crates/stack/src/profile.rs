@@ -1,0 +1,208 @@
+//! Kernel profiles: the timing and protocol parameters that distinguish one
+//! Linux version from another.
+//!
+//! DIABLO runs unmodified Linux 2.6.39.3 and 3.5.7 kernels and finds that
+//! the kernel version has a first-order effect on request latency at scale
+//! (§4.2, Figure 14). Our modeled OS captures a kernel as a *profile*: the
+//! per-operation CPU costs (in instructions, scaled by the server's
+//! fixed-CPI timing model), scheduler parameters, NAPI configuration, and
+//! TCP defaults. The 3.5.7 profile reflects the measured direction of
+//! change — cheaper per-packet stack traversal, cheaper syscall entry,
+//! lower wakeup overhead, and a smaller scheduling quantum — which is what
+//! produces the halved average latency and thinner tail the paper reports.
+
+use diablo_engine::time::SimDuration;
+
+/// Per-operation instruction costs and policy parameters for a modeled
+/// kernel.
+///
+/// Costs are in *instructions*; the server model converts them to time with
+/// its fixed-CPI clock, so a 2 GHz server genuinely spends twice as long in
+/// the stack as a 4 GHz one — the mechanism behind Figure 6(b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Profile name for reports (e.g. `linux-2.6.39.3`).
+    pub name: &'static str,
+
+    // ----------------------------------------------------------- CPU costs
+    /// Syscall entry/exit overhead.
+    pub syscall_cost: u64,
+    /// Extra cost of `fcntl(O_NONBLOCK)`; `accept4` avoids exactly one of
+    /// these per accepted connection (memcached 1.4.17, Figure 15).
+    pub fcntl_cost: u64,
+    /// Context-switch cost (register/TLB/cache effects folded in).
+    pub context_switch_cost: u64,
+    /// Per-packet cost of RX protocol processing in softirq context.
+    pub rx_packet_cost: u64,
+    /// Per-packet cost of TX protocol processing (segment build + qdisc +
+    /// driver handoff).
+    pub tx_packet_cost: u64,
+    /// Per-byte copy cost between user and kernel space (both directions);
+    /// zeroed on the TX path when the socket uses zero-copy.
+    pub copy_cost_per_byte_num: u64,
+    /// Denominator for the per-byte copy cost (cost = num/den per byte),
+    /// letting profiles express sub-instruction-per-byte copies.
+    pub copy_cost_per_byte_den: u64,
+    /// Fixed cost of one softirq dispatch (irq entry, NAPI bookkeeping).
+    pub softirq_entry_cost: u64,
+    /// Cost of waking a blocked task (enqueue, priority bookkeeping).
+    pub wakeup_cost: u64,
+    /// Cost of one epoll_wait returning (scan + copy events).
+    pub epoll_wait_cost: u64,
+
+    // ------------------------------------------------------------ scheduler
+    /// Round-robin scheduling quantum.
+    pub timeslice: SimDuration,
+    /// NAPI poll budget (packets per softirq run).
+    pub napi_budget: usize,
+
+    // ------------------------------------------------------------------ TCP
+    /// Initial congestion window in segments (IW10 in both modeled
+    /// kernels).
+    pub initial_cwnd_segments: u32,
+    /// Minimum retransmission timeout (Linux default 200 ms — the classic
+    /// Incast ingredient).
+    pub rto_min: SimDuration,
+    /// Initial RTO before any RTT sample (Linux: 1 s).
+    pub rto_initial: SimDuration,
+    /// Maximum RTO backoff ceiling.
+    pub rto_max: SimDuration,
+    /// Delayed-ACK timeout.
+    pub delayed_ack: SimDuration,
+    /// Default socket send buffer (bytes).
+    pub sndbuf: u32,
+    /// Default socket receive buffer (bytes).
+    pub rcvbuf: u32,
+    /// Default UDP socket receive buffer (bytes).
+    pub udp_rcvbuf: u32,
+    /// Whether the TX path uses scatter/gather zero-copy (skips the
+    /// per-byte TX copy; the NIC model supports it, §3.3).
+    pub zero_copy_tx: bool,
+}
+
+impl KernelProfile {
+    /// Linux 2.6.39.3 — the kernel used for most of the paper's
+    /// experiments.
+    pub fn linux_2_6_39() -> Self {
+        KernelProfile {
+            name: "linux-2.6.39.3",
+            syscall_cost: 6_000,
+            fcntl_cost: 3_000,
+            context_switch_cost: 12_000,
+            rx_packet_cost: 9_000,
+            tx_packet_cost: 7_500,
+            copy_cost_per_byte_num: 1,
+            copy_cost_per_byte_den: 2,
+            softirq_entry_cost: 4_000,
+            wakeup_cost: 4_000,
+            epoll_wait_cost: 5_000,
+            timeslice: SimDuration::from_millis(4),
+            napi_budget: 64,
+            initial_cwnd_segments: 10,
+            rto_min: SimDuration::from_millis(200),
+            rto_initial: SimDuration::from_secs(1),
+            rto_max: SimDuration::from_secs(60),
+            delayed_ack: SimDuration::from_millis(40),
+            sndbuf: 128 * 1024,
+            rcvbuf: 128 * 1024,
+            udp_rcvbuf: 160 * 1024,
+            zero_copy_tx: true,
+        }
+    }
+
+    /// Linux 3.5.7 — the newer kernel of Figure 14: leaner stack traversal,
+    /// cheaper wakeups, finer scheduling.
+    pub fn linux_3_5_7() -> Self {
+        KernelProfile {
+            name: "linux-3.5.7",
+            syscall_cost: 4_500,
+            fcntl_cost: 2_500,
+            context_switch_cost: 9_000,
+            rx_packet_cost: 5_500,
+            tx_packet_cost: 4_500,
+            copy_cost_per_byte_num: 2,
+            copy_cost_per_byte_den: 5,
+            softirq_entry_cost: 2_500,
+            wakeup_cost: 2_000,
+            epoll_wait_cost: 3_500,
+            timeslice: SimDuration::from_millis(3),
+            napi_budget: 64,
+            initial_cwnd_segments: 10,
+            rto_min: SimDuration::from_millis(200),
+            rto_initial: SimDuration::from_secs(1),
+            rto_max: SimDuration::from_secs(60),
+            delayed_ack: SimDuration::from_millis(40),
+            sndbuf: 128 * 1024,
+            rcvbuf: 128 * 1024,
+            udp_rcvbuf: 160 * 1024,
+            zero_copy_tx: true,
+        }
+    }
+
+    /// An idealized zero-cost OS: every operation is free. This is what a
+    /// network-only simulator like ns-2 implicitly assumes; the baseline
+    /// crate uses it for ablation.
+    pub fn zero_cost() -> Self {
+        KernelProfile {
+            name: "zero-cost",
+            syscall_cost: 0,
+            fcntl_cost: 0,
+            context_switch_cost: 0,
+            rx_packet_cost: 0,
+            tx_packet_cost: 0,
+            copy_cost_per_byte_num: 0,
+            copy_cost_per_byte_den: 1,
+            softirq_entry_cost: 0,
+            wakeup_cost: 0,
+            epoll_wait_cost: 0,
+            timeslice: SimDuration::from_millis(4),
+            napi_budget: usize::MAX,
+            initial_cwnd_segments: 10,
+            rto_min: SimDuration::from_millis(200),
+            rto_initial: SimDuration::from_secs(1),
+            rto_max: SimDuration::from_secs(60),
+            delayed_ack: SimDuration::from_millis(40),
+            sndbuf: 128 * 1024,
+            rcvbuf: 128 * 1024,
+            udp_rcvbuf: 160 * 1024,
+            zero_copy_tx: true,
+        }
+    }
+
+    /// Per-byte copy instructions for `bytes` bytes.
+    pub fn copy_cost(&self, bytes: u64) -> u64 {
+        (bytes * self.copy_cost_per_byte_num)
+            .checked_div(self.copy_cost_per_byte_den)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_kernel_is_cheaper_per_packet() {
+        let old = KernelProfile::linux_2_6_39();
+        let new = KernelProfile::linux_3_5_7();
+        assert!(new.rx_packet_cost < old.rx_packet_cost);
+        assert!(new.tx_packet_cost < old.tx_packet_cost);
+        assert!(new.syscall_cost < old.syscall_cost);
+        assert!(new.wakeup_cost < old.wakeup_cost);
+        assert_eq!(new.rto_min, old.rto_min, "transport defaults unchanged");
+    }
+
+    #[test]
+    fn copy_cost_scales() {
+        let p = KernelProfile::linux_2_6_39();
+        assert_eq!(p.copy_cost(0), 0);
+        assert_eq!(p.copy_cost(1000), 500);
+        let z = KernelProfile::zero_cost();
+        assert_eq!(z.copy_cost(1_000_000), 0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(KernelProfile::linux_2_6_39().name, KernelProfile::linux_3_5_7().name);
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a two-rack simulated array, run a TCP echo exchange
+//! across racks, and read back timing and kernel statistics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use diablo::prelude::*;
+
+fn main() -> Result<(), EngineError> {
+    // 1. Describe the target: 2 racks x 8 servers under the paper's GbE
+    //    switches (1 us port latency, 4 KB/port buffers).
+    let spec = ClusterSpec::gbe(TopologyConfig {
+        racks: 2,
+        servers_per_rack: 8,
+        racks_per_array: 2,
+    });
+
+    // 2. Instantiate it on the serial executor.
+    let mut host = SimHost::new(RunMode::Serial);
+    let cluster = Cluster::build(&mut host, &spec);
+    println!(
+        "built {} servers, {} switches ({} arrays)",
+        cluster.nodes.len(),
+        cluster.switches.len(),
+        cluster.topo.arrays()
+    );
+
+    // 3. Guest software: an echo server on rack 0, a client on rack 1.
+    let server_addr = NodeAddr(0);
+    let client_addr = NodeAddr(9);
+    cluster.spawn(&mut host, server_addr, Box::new(TcpEchoServer::new(7)));
+    cluster.spawn(
+        &mut host,
+        client_addr,
+        Box::new(TcpEchoClient::new(SockAddr::new(server_addr, 7), 50, 4_000)),
+    );
+
+    // 4. Run (simulated time).
+    let stats = host.run_until(SimTime::from_secs(5))?;
+    println!("simulated {} in {} events", stats.final_time, stats.events);
+
+    // 5. Inspect results.
+    let client: &TcpEchoClient =
+        cluster.process(&host, client_addr, Tid(0)).expect("client state");
+    assert!(client.done, "client did not finish");
+    let mean_ns: u64 =
+        client.rtts.iter().map(|d| d.as_nanos()).sum::<u64>() / client.rtts.len() as u64;
+    println!(
+        "echoed {} messages of 4000 B cross-rack; mean RTT {:.1} us (min {} max {})",
+        client.rtts.len(),
+        mean_ns as f64 / 1_000.0,
+        client.rtts.iter().min().expect("nonempty"),
+        client.rtts.iter().max().expect("nonempty"),
+    );
+
+    // The kernel is fully instrumented, like the FPGA prototype's
+    // performance counters.
+    let k = host
+        .component::<ServerNode>(cluster.node(server_addr))
+        .expect("server node")
+        .kernel();
+    println!(
+        "server kernel: {} syscalls, {} softirq runs, {} wakeups, cpu busy {}",
+        k.stats().syscalls,
+        k.stats().softirq_runs,
+        k.stats().wakeups,
+        k.stats().cpu_busy
+    );
+    Ok(())
+}

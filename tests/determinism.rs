@@ -1,0 +1,91 @@
+//! DIABLO's headline methodological property: fully deterministic,
+//! repeatable experiments — including bit-identical results between the
+//! serial and partition-parallel executors (the software analogue of the
+//! paper's multi-FPGA synchronization).
+
+use diablo::prelude::*;
+
+fn echo_workload(host: &mut SimHost, cluster: &Cluster) {
+    cluster.spawn(host, NodeAddr(0), Box::new(TcpEchoServer::new(7)));
+    cluster.spawn(host, NodeAddr(1), Box::new(UdpEchoServer::new(9)));
+    for rack in 0..cluster.topo.config().racks {
+        let base = rack * cluster.topo.config().servers_per_rack;
+        cluster.spawn(
+            host,
+            NodeAddr((base + 2) as u32),
+            Box::new(TcpEchoClient::new(SockAddr::new(NodeAddr(0), 7), 15, 2_000)),
+        );
+        cluster.spawn(
+            host,
+            NodeAddr((base + 3) as u32),
+            Box::new(UdpPingClient::new(SockAddr::new(NodeAddr(1), 9), 15, 500)),
+        );
+    }
+}
+
+fn run_echo(mode: RunMode) -> (u64, Vec<Vec<u64>>) {
+    let spec = ClusterSpec::gbe(TopologyConfig {
+        racks: 4,
+        servers_per_rack: 6,
+        racks_per_array: 2,
+    });
+    let mut host = SimHost::new(mode);
+    let cluster = Cluster::build(&mut host, &spec);
+    echo_workload(&mut host, &cluster);
+    host.run_until(SimTime::from_secs(10)).expect("run failed");
+    let mut rtts = Vec::new();
+    for rack in 0..4 {
+        let tcp_client = NodeAddr((rack * 6 + 2) as u32);
+        let c: &TcpEchoClient =
+            cluster.process(&host, tcp_client, Tid(0)).expect("client state");
+        assert!(c.done, "client on {tcp_client} unfinished");
+        rtts.push(c.rtts.iter().map(|d| d.as_picos()).collect());
+    }
+    (host.events_processed(), rtts)
+}
+
+#[test]
+fn serial_runs_replay_bit_identically() {
+    let (e1, r1) = run_echo(RunMode::Serial);
+    let (e2, r2) = run_echo(RunMode::Serial);
+    assert_eq!(e1, e2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn parallel_matches_serial_exactly() {
+    let spec = ClusterSpec::gbe(TopologyConfig {
+        racks: 4,
+        servers_per_rack: 6,
+        racks_per_array: 2,
+    });
+    let (es, rs) = run_echo(RunMode::Serial);
+    for partitions in [2usize, 4] {
+        let (ep, rp) =
+            run_echo(RunMode::Parallel { partitions, quantum: spec.safe_quantum() });
+        assert_eq!(es, ep, "event count diverged at {partitions} partitions");
+        assert_eq!(rs, rp, "per-message RTTs diverged at {partitions} partitions");
+    }
+}
+
+#[test]
+fn memcached_experiment_is_deterministic() {
+    use diablo::core::{run_memcached, McExperimentConfig};
+    let run = || {
+        let cfg = McExperimentConfig::mini(2, 25);
+        let r = run_memcached(&cfg);
+        (r.latency.count(), r.latency.quantile(0.5), r.latency.quantile(0.99), r.served, r.events)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn seeds_change_results() {
+    use diablo::core::{run_memcached, McExperimentConfig};
+    let run = |seed: u64| {
+        let mut cfg = McExperimentConfig::mini(2, 25);
+        cfg.seed = seed;
+        run_memcached(&cfg).events
+    };
+    assert_ne!(run(1), run(2), "different seeds must explore different schedules");
+}

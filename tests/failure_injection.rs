@@ -1,0 +1,113 @@
+//! Failure injection: lossy physical links (the prototype observed soft
+//! errors "a few times per day" and protected its links, §3.4). In the
+//! target network, loss is visible to the transports: TCP must recover
+//! transparently; UDP applications see timeouts and retries.
+
+use diablo::prelude::*;
+use diablo::net::link::{LinkParams, PortPeer};
+use diablo::net::switch::{BufferConfig, PacketSwitch, SwitchConfig};
+use diablo::stack::kernel::NodeConfig;
+use std::sync::Arc;
+
+/// Two nodes under one ToR whose node-facing links drop frames at `loss`.
+fn lossy_rack(loss: f64) -> (SimHost, Vec<diablo::engine::event::ComponentId>) {
+    let topo = Arc::new(
+        Topology::new(TopologyConfig { racks: 1, servers_per_rack: 2, racks_per_array: 1 })
+            .expect("topology"),
+    );
+    let mut host = SimHost::new(RunMode::Serial);
+    let clean = LinkParams::gbe(500);
+    let lossy = LinkParams::gbe(500).with_loss_rate(loss);
+    let mut cfg = SwitchConfig::shallow_gbe("tor", 3);
+    cfg.buffer = BufferConfig::PerPort { bytes_per_port: 256 * 1024 };
+    let mut sw = PacketSwitch::new(cfg, DetRng::new(11));
+    let mut nodes = Vec::new();
+    // Build switch first so ids are predictable.
+    let sw_placeholder = {
+        use diablo_engine::parallel::ComponentHost;
+        // Temporarily wire after adding nodes.
+        sw.connect_port(0, PortPeer {
+            component: diablo_engine::event::ComponentId(1),
+            port: PortNo(0),
+            params: lossy,
+        });
+        sw.connect_port(1, PortPeer {
+            component: diablo_engine::event::ComponentId(2),
+            port: PortNo(0),
+            params: lossy,
+        });
+        host.add_in_partition(0, Box::new(sw))
+    };
+    for i in 0..2u32 {
+        use diablo_engine::parallel::ComponentHost;
+        let uplink =
+            PortPeer { component: sw_placeholder, port: PortNo(i as u16), params: clean };
+        let node = ServerNode::new(
+            NodeConfig::new(NodeAddr(i), KernelProfile::linux_2_6_39()),
+            uplink,
+            topo.clone(),
+        );
+        nodes.push(host.add_in_partition(0, Box::new(node)));
+    }
+    (host, nodes)
+}
+
+#[test]
+fn tcp_survives_lossy_links() {
+    let (mut host, nodes) = lossy_rack(0.02); // 2% frame loss
+    host.component_mut::<ServerNode>(nodes[0])
+        .expect("node")
+        .spawn(Box::new(TcpEchoServer::new(7)));
+    host.component_mut::<ServerNode>(nodes[1])
+        .expect("node")
+        .spawn(Box::new(TcpEchoClient::new(SockAddr::new(NodeAddr(0), 7), 30, 2_000)));
+    host.run_until(SimTime::from_secs(120)).expect("run");
+    let k = host.component::<ServerNode>(nodes[1]).expect("node").kernel();
+    let c = k.process::<TcpEchoClient>(Tid(0)).expect("client");
+    assert!(c.done, "TCP must deliver everything despite loss");
+    assert_eq!(c.rtts.len(), 30);
+    // Loss manifests as retransmission-inflated RTTs somewhere.
+    let max = c.rtts.iter().max().expect("nonempty");
+    assert!(
+        *max > SimDuration::from_millis(100),
+        "some exchange should have eaten an RTO, max {max}"
+    );
+}
+
+#[test]
+fn udp_applications_see_the_loss() {
+    let (mut host, nodes) = lossy_rack(0.05); // 5% frame loss
+    host.component_mut::<ServerNode>(nodes[0])
+        .expect("node")
+        .spawn(Box::new(UdpEchoServer::new(9)));
+    // The stop-and-wait ping client has no retry: it will hang on the
+    // first lost datagram; bound the run and check partial progress.
+    host.component_mut::<ServerNode>(nodes[1])
+        .expect("node")
+        .spawn(Box::new(UdpPingClient::new(SockAddr::new(NodeAddr(0), 9), 1_000, 200)));
+    host.run_until(SimTime::from_secs(2)).expect("run");
+    let k = host.component::<ServerNode>(nodes[1]).expect("node").kernel();
+    let c = k.process::<UdpPingClient>(Tid(0)).expect("client");
+    assert!(
+        !c.done && !c.rtts.is_empty(),
+        "UDP must make progress then stall on loss (got {} echoes, done={})",
+        c.rtts.len(),
+        c.done
+    );
+}
+
+#[test]
+fn clean_links_have_no_drops() {
+    let (mut host, nodes) = lossy_rack(0.0);
+    host.component_mut::<ServerNode>(nodes[0])
+        .expect("node")
+        .spawn(Box::new(TcpEchoServer::new(7)));
+    host.component_mut::<ServerNode>(nodes[1])
+        .expect("node")
+        .spawn(Box::new(TcpEchoClient::new(SockAddr::new(NodeAddr(0), 7), 20, 1_000)));
+    host.run_until(SimTime::from_secs(10)).expect("run");
+    let sw_id = diablo_engine::event::ComponentId(0);
+    let sw = host.component::<PacketSwitch>(sw_id).expect("switch");
+    assert_eq!(sw.stats().drops_error.get(), 0);
+    assert_eq!(sw.stats().drops_buffer.get(), 0);
+}

@@ -1,0 +1,99 @@
+//! End-to-end checks that the paper's qualitative phenomena reproduce:
+//! incast collapse, buffer ablation, the latency long tail, hop-class
+//! ordering, and the software-dominates-hardware findings.
+
+use diablo::core::{run_incast, run_memcached, IncastConfig, McExperimentConfig, SwitchTemplate};
+use diablo::net::switch::BufferConfig;
+use diablo::prelude::*;
+
+#[test]
+fn incast_collapse_and_buffer_ablation() {
+    // Shallow buffers collapse; deep buffers do not (Fig. 6a + §3.3's
+    // configurable-buffer claim).
+    let mut shallow = IncastConfig::fig6a(8);
+    shallow.iterations = 3;
+    let g_shallow = run_incast(&shallow).goodput_mbps;
+
+    let mut deep = IncastConfig::fig6a(8);
+    deep.iterations = 3;
+    deep.switch = Some(SwitchTemplate {
+        buffer: BufferConfig::PerPort { bytes_per_port: 1024 * 1024 },
+        ..SwitchTemplate::gbe_shallow()
+    });
+    let g_deep = run_incast(&deep).goodput_mbps;
+
+    assert!(g_shallow < 50.0, "shallow buffers must collapse, got {g_shallow:.1} Mbps");
+    assert!(g_deep > 500.0, "deep buffers must sustain goodput, got {g_deep:.1} Mbps");
+}
+
+#[test]
+fn slower_cpu_cannot_reach_10g_line_rate() {
+    // Figure 6(b)'s plateau: at 10 Gbps the 2 GHz CPU is the bottleneck.
+    let mk = |ghz: u64| {
+        let mut cfg = IncastConfig::fig6b(2, ghz, diablo::core::IncastClientKind::Epoll);
+        cfg.iterations = 4;
+        cfg.switch = Some(SwitchTemplate {
+            buffer: BufferConfig::PerPort { bytes_per_port: 256 * 1024 },
+            ..SwitchTemplate::ten_gbe_fast()
+        });
+        run_incast(&cfg).goodput_mbps
+    };
+    let fast = mk(4);
+    let slow = mk(2);
+    assert!(slow < fast * 0.7, "2 GHz ({slow:.0}) must trail 4 GHz ({fast:.0})");
+    assert!(slow < 4_000.0, "2 GHz cannot approach line rate, got {slow:.0} Mbps");
+}
+
+#[test]
+fn memcached_has_a_long_tail_and_hop_ordering() {
+    let mut cfg = McExperimentConfig::mini(20, 80);
+    cfg.proto = Proto::Udp;
+    let r = run_memcached(&cfg);
+    let p50 = r.latency.quantile(0.5);
+    let max = r.latency.max();
+    assert!(
+        max > p50 * 20,
+        "long tail expected: p50={p50}ns max={max}ns"
+    );
+    // Hop classes: local p50 <= 1-hop p50 <= 2-hop p50.
+    let p50s: Vec<u64> = r.by_class.iter().map(|h| h.quantile(0.5)).collect();
+    assert!(r.by_class[0].count() > 0 && r.by_class[2].count() > 0);
+    assert!(p50s[0] <= p50s[1], "local must beat 1-hop: {p50s:?}");
+    assert!(p50s[1] <= p50s[2], "1-hop must beat 2-hop: {p50s:?}");
+    // Cross-array traffic dominates (random server selection).
+    assert!(r.by_class[2].count() > r.by_class[0].count());
+}
+
+#[test]
+fn newer_kernel_improves_latency() {
+    let run = |kernel: KernelProfile| {
+        let mut cfg = McExperimentConfig::mini(4, 60);
+        cfg.kernel = kernel;
+        cfg.ten_gig = true;
+        let r = run_memcached(&cfg);
+        r.latency.quantile(0.5)
+    };
+    let old = run(KernelProfile::linux_2_6_39());
+    let new = run(KernelProfile::linux_3_5_7());
+    assert!(new < old, "3.5.7 median ({new}ns) must beat 2.6.39 ({old}ns)");
+}
+
+#[test]
+fn network_upgrade_helps_less_than_2x() {
+    // §4.2: "the improvement is no more than 2x — the full OS networking
+    // stack dominates the request latency."
+    let run = |ten_gig: bool| {
+        let mut cfg = McExperimentConfig::mini(8, 80);
+        cfg.ten_gig = ten_gig;
+        let r = run_memcached(&cfg);
+        r.latency.quantile(0.5)
+    };
+    let g1 = run(false);
+    let g10 = run(true);
+    assert!(g10 < g1, "10G must improve the median");
+    let ratio = g1 as f64 / g10 as f64;
+    assert!(
+        ratio < 3.0,
+        "10x hardware must NOT give 10x latency (got {ratio:.2}x): software dominates"
+    );
+}
