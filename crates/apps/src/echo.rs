@@ -5,9 +5,7 @@
 use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::payload::AppMessage;
 use diablo_net::SockAddr;
-use diablo_stack::process::{
-    Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall,
-};
+use diablo_stack::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall};
 use std::collections::VecDeque;
 
 /// Message kind used by the echo applications.
@@ -433,22 +431,18 @@ impl Process for UdpPingClient {
                         msg,
                     });
                 }
-                UdpCliState::Await => {
-                    match std::mem::replace(&mut ctx.result, SysResult::Done) {
-                        SysResult::Done => {
-                            return Step::Syscall(Syscall::RecvFrom {
-                                fd: self.fd.expect("no fd"),
-                            });
-                        }
-                        SysResult::Datagram { msg, .. } => {
-                            assert_eq!(msg.id, self.next_id - 1);
-                            self.rtts.push(ctx.now.saturating_duration_since(self.sent_at));
-                            self.state = UdpCliState::Send;
-                            continue;
-                        }
-                        other => panic!("udp exchange failed: {other:?}"),
+                UdpCliState::Await => match std::mem::replace(&mut ctx.result, SysResult::Done) {
+                    SysResult::Done => {
+                        return Step::Syscall(Syscall::RecvFrom { fd: self.fd.expect("no fd") });
                     }
-                }
+                    SysResult::Datagram { msg, .. } => {
+                        assert_eq!(msg.id, self.next_id - 1);
+                        self.rtts.push(ctx.now.saturating_duration_since(self.sent_at));
+                        self.state = UdpCliState::Send;
+                        continue;
+                    }
+                    other => panic!("udp exchange failed: {other:?}"),
+                },
                 UdpCliState::Done => {
                     self.done = true;
                     return Step::Exit;

@@ -24,9 +24,7 @@
 use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::payload::AppMessage;
 use diablo_net::SockAddr;
-use diablo_stack::process::{
-    Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall,
-};
+use diablo_stack::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall};
 use diablo_stack::socket::EventMask;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -308,40 +306,36 @@ impl Process for IncastWorker {
                     self.state = WrkState::RecvResp;
                     return Step::Syscall(Syscall::Send { fd: self.fd.expect("no fd"), msg });
                 }
-                WrkState::RecvResp => {
-                    match std::mem::replace(&mut ctx.result, SysResult::Done) {
-                        SysResult::Done => {
-                            return Step::Syscall(Syscall::Recv {
-                                fd: self.fd.expect("no fd"),
-                                max_msgs: 16,
-                            });
-                        }
-                        SysResult::Messages { msgs, eof } => {
-                            for m in &msgs {
-                                assert_eq!(m.kind, KIND_RESP);
-                                self.got_bytes += m.len;
-                            }
-                            if self.got_bytes >= self.fragment {
-                                self.state = WrkState::WaitStart;
-                                if self.finish_one() {
-                                    return Step::Syscall(Syscall::FutexWake {
-                                        key: FUTEX_DONE,
-                                    });
-                                }
-                                continue;
-                            }
-                            if eof {
-                                self.state = WrkState::Closing;
-                                continue;
-                            }
-                            return Step::Syscall(Syscall::Recv {
-                                fd: self.fd.expect("no fd"),
-                                max_msgs: 16,
-                            });
-                        }
-                        other => panic!("worker recv failed: {other:?}"),
+                WrkState::RecvResp => match std::mem::replace(&mut ctx.result, SysResult::Done) {
+                    SysResult::Done => {
+                        return Step::Syscall(Syscall::Recv {
+                            fd: self.fd.expect("no fd"),
+                            max_msgs: 16,
+                        });
                     }
-                }
+                    SysResult::Messages { msgs, eof } => {
+                        for m in &msgs {
+                            assert_eq!(m.kind, KIND_RESP);
+                            self.got_bytes += m.len;
+                        }
+                        if self.got_bytes >= self.fragment {
+                            self.state = WrkState::WaitStart;
+                            if self.finish_one() {
+                                return Step::Syscall(Syscall::FutexWake { key: FUTEX_DONE });
+                            }
+                            continue;
+                        }
+                        if eof {
+                            self.state = WrkState::Closing;
+                            continue;
+                        }
+                        return Step::Syscall(Syscall::Recv {
+                            fd: self.fd.expect("no fd"),
+                            max_msgs: 16,
+                        });
+                    }
+                    other => panic!("worker recv failed: {other:?}"),
+                },
                 WrkState::Closing => {
                     self.state = WrkState::Done;
                     return Step::Syscall(Syscall::Close { fd: self.fd.expect("no fd") });
@@ -629,20 +623,18 @@ impl Process for IncastEpollClient {
                         timeout: None,
                     });
                 }
-                EpState::Wait => {
-                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
-                        SysResult::Events(evs) => {
-                            for (fd, mask) in evs {
-                                if mask.readable {
-                                    self.ready_queue.push_back(fd);
-                                }
+                EpState::Wait => match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                    SysResult::Events(evs) => {
+                        for (fd, mask) in evs {
+                            if mask.readable {
+                                self.ready_queue.push_back(fd);
                             }
-                            self.state = EpState::Drain;
-                            continue;
                         }
-                        other => panic!("epoll_wait failed: {other:?}"),
+                        self.state = EpState::Drain;
+                        continue;
                     }
-                }
+                    other => panic!("epoll_wait failed: {other:?}"),
+                },
                 EpState::Drain => {
                     // Consume one Recv result if we just issued one.
                     match std::mem::replace(&mut ctx.result, SysResult::Computed) {

@@ -23,9 +23,7 @@ use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::addr::NodeAddr;
 use diablo_net::payload::AppMessage;
 use diablo_net::SockAddr;
-use diablo_stack::process::{
-    Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall,
-};
+use diablo_stack::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall};
 use diablo_stack::socket::EventMask;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -78,11 +76,7 @@ pub type McSharedHandle = Arc<Mutex<McShared>>;
 
 /// Creates shared state for `workers` worker threads.
 pub fn mc_shared(workers: usize) -> McSharedHandle {
-    Arc::new(Mutex::new(McShared {
-        worker_epfds: vec![None; workers],
-        udp_fd: None,
-        served: 0,
-    }))
+    Arc::new(Mutex::new(McShared { worker_epfds: vec![None; workers], udp_fd: None, served: 0 }))
 }
 
 /// Server configuration.
@@ -217,9 +211,7 @@ impl Process for McDispatcher {
                 }
                 DispState::WaitWorkers => {
                     if !self.all_workers_ready() {
-                        return Step::Syscall(Syscall::Nanosleep(SimDuration::from_micros(
-                            100,
-                        )));
+                        return Step::Syscall(Syscall::Nanosleep(SimDuration::from_micros(100)));
                     }
                     if self.cfg.udp && self.udp_reg_idx < self.cfg.workers {
                         self.state = DispState::RegisterUdp;
@@ -358,11 +350,8 @@ impl McWorker {
         let key = req.arg0;
         let reply_len = match req.kind {
             KIND_GET => {
-                let size = self
-                    .store
-                    .get(&key)
-                    .copied()
-                    .unwrap_or_else(|| etc_value_size_for_key(key));
+                let size =
+                    self.store.get(&key).copied().unwrap_or_else(|| etc_value_size_for_key(key));
                 REPLY_OVERHEAD + size
             }
             KIND_SET => {
@@ -415,14 +404,10 @@ impl Process for McWorker {
                                     // so stale queue entries for recycled
                                     // descriptors can be recognized.
                                     self.conns.entry(fd).or_default();
-                                    if mask.readable
-                                        && !self.queue.contains(&Act::RecvTcp(fd))
-                                    {
+                                    if mask.readable && !self.queue.contains(&Act::RecvTcp(fd)) {
                                         self.queue.push_back(Act::RecvTcp(fd));
                                     }
-                                    if mask.writable
-                                        && !self.queue.contains(&Act::Flush(fd))
-                                    {
+                                    if mask.writable && !self.queue.contains(&Act::Flush(fd)) {
                                         self.queue.push_back(Act::Flush(fd));
                                     }
                                 }
@@ -448,11 +433,7 @@ impl Process for McWorker {
                                     for req in &msgs {
                                         let (reply, work) = self.serve(req, now);
                                         compute += work;
-                                        self.conns
-                                            .entry(fd)
-                                            .or_default()
-                                            .outbox
-                                            .push_back(reply);
+                                        self.conns.entry(fd).or_default().outbox.push_back(reply);
                                     }
                                     self.queue.push_back(Act::Flush(fd));
                                 }

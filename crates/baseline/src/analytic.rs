@@ -81,12 +81,12 @@ mod tests {
 
     fn goodput(n: usize) -> f64 {
         incast_goodput_analytic(
-            1e9,          // 1 Gbps
+            1e9, // 1 Gbps
             256.0 * 1024.0,
-            4096.0,       // shallow 4 KB port buffer
+            4096.0, // shallow 4 KB port buffer
             n,
             10.0 * 1460.0, // IW10
-            0.2,          // 200 ms RTO
+            0.2,           // 200 ms RTO
             200e-6,
         )
     }

@@ -203,16 +203,17 @@ impl Component<Frame> for BaselineIncastClient {
         let ack = sink.on_data(&seg);
         let delivered = sink.delivered;
         self.send_packet(src, IpPacket::tcp(self.addr, src, ack), ctx);
-        if delivered >= self.frag_pkts * self.iter && self.pending.remove(&src)
-            && self.pending.is_empty() {
-                self.iteration_times
-                    .push(ctx.now().saturating_duration_since(self.iter_started));
-                if self.iter >= self.iterations {
-                    self.done = true;
-                } else {
-                    self.start_iteration(ctx);
-                }
+        if delivered >= self.frag_pkts * self.iter
+            && self.pending.remove(&src)
+            && self.pending.is_empty()
+        {
+            self.iteration_times.push(ctx.now().saturating_duration_since(self.iter_started));
+            if self.iter >= self.iterations {
+                self.done = true;
+            } else {
+                self.start_iteration(ctx);
             }
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -269,10 +270,9 @@ pub fn run_baseline_incast(
         ))));
     }
     for (i, &id) in ids.iter().enumerate() {
-        sim.component_mut::<PacketSwitch>(switch).expect("switch").connect_port(
-            i as u16,
-            PortPeer { component: id, port: PortNo(0), params: link },
-        );
+        sim.component_mut::<PacketSwitch>(switch)
+            .expect("switch")
+            .connect_port(i as u16, PortPeer { component: id, port: PortNo(0), params: link });
     }
     sim.run_until(SimTime::from_secs(900)).expect("baseline run failed");
     let client = sim.component::<BaselineIncastClient>(client_id).expect("client");

@@ -7,18 +7,27 @@ use diablo_engine::prelude::*;
 use std::any::Any;
 use std::hint::black_box;
 
-/// A component that keeps one self-timer bouncing forever.
+/// A component that keeps one self-timer bouncing forever. Periods are
+/// staggered per component (like real NICs/links with distinct rates) so
+/// pending events spread over time instead of all landing at one instant.
 struct Bouncer {
+    period: SimDuration,
     fired: u64,
+}
+
+impl Bouncer {
+    fn new(index: u64) -> Self {
+        Bouncer { period: SimDuration::from_picos(10_000 + 97 * (index % 64)), fired: 0 }
+    }
 }
 
 impl Component<()> for Bouncer {
     fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
-        ctx.set_timer(SimDuration::from_nanos(10), 0);
+        ctx.set_timer(self.period, 0);
     }
     fn on_timer(&mut self, _k: TimerKey, ctx: &mut Ctx<'_, ()>) {
         self.fired += 1;
-        ctx.set_timer(SimDuration::from_nanos(10), 0);
+        ctx.set_timer(self.period, 0);
     }
     fn on_message(&mut self, _p: PortNo, _m: (), _c: &mut Ctx<'_, ()>) {}
     fn as_any(&self) -> &dyn Any {
@@ -29,18 +38,84 @@ impl Component<()> for Bouncer {
     }
 }
 
+/// Drives `components` bouncers until ~100k events have been dispatched,
+/// through whichever scheduler `Q` selects.
+fn dispatch_100k<Q: EventQueue<()> + Default>(components: usize) -> u64 {
+    let mut sim = Simulation::<(), Q>::new();
+    for i in 0..components {
+        sim.add_component(Box::new(Bouncer::new(i as u64)));
+    }
+    // `components` timers at ~10ns period: ~100k events by this horizon.
+    let horizon = SimTime::from_nanos(10 * 100_000 / components as u64);
+    sim.run_until(horizon).unwrap();
+    sim.events_processed()
+}
+
 fn bench_event_dispatch(c: &mut Criterion) {
-    c.bench_function("engine/dispatch_100k_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::<()>::new();
-            for _ in 0..16 {
-                sim.add_component(Box::new(Bouncer { fired: 0 }));
-            }
-            // 16 components x 10ns period: 100k events by ~62.5 us.
-            sim.run_until(SimTime::from_nanos(62_500)).unwrap();
-            black_box(sim.events_processed())
-        })
+    // Paired calendar-vs-heap runs of the identical workload: the ratio is
+    // the serial scheduler speedup. 16 components is the shallow-queue
+    // case; 4096 components (warehouse-scale models keep thousands of
+    // timers pending) is where the heap pays log-depth sifts over an
+    // L2-sized array per operation and the calendar queue stays flat.
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("dispatch_100k_events/calendar", |b| {
+        b.iter(|| black_box(dispatch_100k::<CalendarQueue<()>>(16)))
     });
+    g.bench_function("dispatch_100k_events/heap", |b| {
+        b.iter(|| black_box(dispatch_100k::<HeapQueue<()>>(16)))
+    });
+    g.bench_function("dispatch_100k_wide/calendar", |b| {
+        b.iter(|| black_box(dispatch_100k::<CalendarQueue<()>>(4096)))
+    });
+    g.bench_function("dispatch_100k_wide/heap", |b| {
+        b.iter(|| black_box(dispatch_100k::<HeapQueue<()>>(4096)))
+    });
+    g.finish();
+}
+
+/// Raw scheduler ops with no component dispatch in the way: push/pop 100k
+/// timer events with a spread of delivery offsets.
+fn queue_churn<Q: EventQueue<()> + Default>() -> usize {
+    use diablo_engine::event::{ComponentId, Event, EventKey, EventKind};
+    let mut q = Q::default();
+    let mut popped = 0usize;
+    let mut now = 0u64;
+    let mut x: u64 = 0x1234_5678;
+    for seq in 0..100_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        // Mostly near-future offsets (up to ~1us), a 1-in-64 tail of 200us
+        // far timers that exercise the overflow tier.
+        let off = if x >> 58 == 0 { 200_000_000 } else { (x >> 40) & 0xF_FFFF };
+        q.push(Event {
+            key: EventKey {
+                time: diablo_engine::time::SimTime::from_picos(now + off),
+                target: ComponentId(0),
+                source: ComponentId(0),
+                source_seq: seq,
+            },
+            kind: EventKind::Timer(0),
+        });
+        if seq % 2 == 1 {
+            let e = q.pop().expect("queue non-empty");
+            now = e.key.time.as_picos();
+            popped += 1;
+        }
+    }
+    while q.pop().is_some() {
+        popped += 1;
+    }
+    popped
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("queue_churn_100k/calendar", |b| {
+        b.iter(|| black_box(queue_churn::<CalendarQueue<()>>()))
+    });
+    g.bench_function("queue_churn_100k/heap", |b| {
+        b.iter(|| black_box(queue_churn::<HeapQueue<()>>()))
+    });
+    g.finish();
 }
 
 fn bench_histogram(c: &mut Criterion) {
@@ -73,6 +148,6 @@ fn bench_rng(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_event_dispatch, bench_histogram, bench_rng
+    targets = bench_event_dispatch, bench_queue_ops, bench_histogram, bench_rng
 }
 criterion_main!(benches);

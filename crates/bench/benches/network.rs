@@ -33,8 +33,14 @@ fn bench_switch_forwarding(c: &mut Criterion) {
             cfg.buffer = BufferConfig::PerPort { bytes_per_port: 1 << 24 };
             let mut sw = PacketSwitch::new(cfg, DetRng::new(1));
             let link = LinkParams::gbe(0);
-            sw.connect_port(0, PortPeer { component: ComponentId(1), port: PortNo(0), params: link });
-            sw.connect_port(1, PortPeer { component: ComponentId(1), port: PortNo(0), params: link });
+            sw.connect_port(
+                0,
+                PortPeer { component: ComponentId(1), port: PortNo(0), params: link },
+            );
+            sw.connect_port(
+                1,
+                PortPeer { component: ComponentId(1), port: PortNo(0), params: link },
+            );
             let swid = sim.add_component(Box::new(sw));
             sim.add_component(Box::new(Sink));
             let d = UdpDatagram {
@@ -42,15 +48,9 @@ fn bench_switch_forwarding(c: &mut Criterion) {
                 dst_port: 2,
                 msg: AppMessage::new(0, 0, 100, SimTime::ZERO),
             };
-            let frame =
-                Frame::new(IpPacket::udp(NodeAddr(0), NodeAddr(1), d), Route::new(vec![1]));
+            let frame = Frame::new(IpPacket::udp(NodeAddr(0), NodeAddr(1), d), Route::new(vec![1]));
             for i in 0..10_000u64 {
-                sim.inject_message(
-                    SimTime::from_nanos(i * 2_000),
-                    swid,
-                    PortNo(0),
-                    frame.clone(),
-                );
+                sim.inject_message(SimTime::from_nanos(i * 2_000), swid, PortNo(0), frame.clone());
             }
             sim.run().unwrap();
             black_box(sim.events_processed())
@@ -70,8 +70,7 @@ fn bench_tcp_transfer(c: &mut Criterion) {
             let mut a = TcpConn::client(params.clone(), a_addr, b_addr, now, &mut out);
             let syn = out.segs.remove(0);
             let mut out_b = TcpOutput::default();
-            let mut bc =
-                TcpConn::server_from_syn(params, b_addr, a_addr, &syn, now, &mut out_b);
+            let mut bc = TcpConn::server_from_syn(params, b_addr, a_addr, &syn, now, &mut out_b);
             // Handshake.
             let mut to_a: Vec<_> = out_b.segs.drain(..).collect();
             let mut to_b: Vec<_> = Vec::new();
@@ -93,10 +92,7 @@ fn bench_tcp_transfer(c: &mut Criterion) {
             let mut sent = 0u32;
             let mut oa = TcpOutput::default();
             while sent < 1_048_576 {
-                if a
-                    .app_send(AppMessage::new(1, 0, 16_384, t), t, &mut oa)
-                    .is_err()
-                {
+                if a.app_send(AppMessage::new(1, 0, 16_384, t), t, &mut oa).is_err() {
                     // Drain the network.
                     t += SimDuration::from_micros(10);
                     let mut ob = TcpOutput::default();

@@ -40,10 +40,8 @@ fn main() {
     for partitions in [2usize, 4] {
         for quantum_ns in [100u64, 250, 500] {
             let mut cfg = base.clone();
-            cfg.mode = RunMode::Parallel {
-                partitions,
-                quantum: SimDuration::from_nanos(quantum_ns),
-            };
+            cfg.mode =
+                RunMode::Parallel { partitions, quantum: SimDuration::from_nanos(quantum_ns) };
             let r = run_memcached(&cfg);
             let identical = r.events == serial.events
                 && r.latency.quantile(0.99) == serial.latency.quantile(0.99)

@@ -28,13 +28,8 @@ fn main() {
         vec![1, 2, 3, 4, 6, 8, 12, 16, 20, 24]
     };
 
-    let mut t = Table::new(vec![
-        "servers",
-        "diablo_mbps",
-        "ns2like_mbps",
-        "analytic_mbps",
-        "diablo_drops",
-    ]);
+    let mut t =
+        Table::new(vec!["servers", "diablo_mbps", "ns2like_mbps", "analytic_mbps", "diablo_drops"]);
     for &n in &servers {
         let mut cfg = IncastConfig::fig6a(n);
         cfg.iterations = iterations;
@@ -44,15 +39,8 @@ fn main() {
         let sw = SwitchConfig::shallow_gbe("tor", (n + 2) as u16);
         let ns2 = run_baseline_incast(n, iterations, block as u64, sw, LinkParams::gbe(500));
 
-        let analytic = incast_goodput_analytic(
-            1e9,
-            block as f64,
-            4096.0,
-            n,
-            10.0 * 1460.0,
-            0.2,
-            200e-6,
-        ) / 1e6;
+        let analytic =
+            incast_goodput_analytic(1e9, block as f64, 4096.0, n, 10.0 * 1460.0, 0.2, 200e-6) / 1e6;
 
         t.row(vec![
             n.to_string(),

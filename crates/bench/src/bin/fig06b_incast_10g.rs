@@ -20,11 +20,8 @@ fn main() {
     // collapse is partial (Gbps-scale), i.e. fast-retransmit-bound, not
     // RTO-bound.
     let buffer_kb: u32 = args.get("--buffer-kb", 256);
-    let servers: Vec<usize> = if args.flag("--fine") {
-        (1..=23).collect()
-    } else {
-        vec![1, 2, 4, 6, 9, 12, 16, 20, 23]
-    };
+    let servers: Vec<usize> =
+        if args.flag("--fine") { (1..=23).collect() } else { vec![1, 2, 4, 6, 9, 12, 16, 20, 23] };
     let configs = [
         ("4GHz-pthread", 4, IncastClientKind::Pthread),
         ("4GHz-epoll", 4, IncastClientKind::Epoll),
@@ -32,13 +29,8 @@ fn main() {
         ("2GHz-epoll", 2, IncastClientKind::Epoll),
     ];
 
-    let mut t = Table::new(vec![
-        "servers",
-        "4GHz-pthread",
-        "4GHz-epoll",
-        "2GHz-pthread",
-        "2GHz-epoll",
-    ]);
+    let mut t =
+        Table::new(vec!["servers", "4GHz-pthread", "4GHz-epoll", "2GHz-pthread", "2GHz-epoll"]);
     for &n in &servers {
         let mut row = vec![n.to_string()];
         let mut printed = format!("n={n:>2} ");

@@ -34,23 +34,11 @@ fn main() {
     let max_clients: usize = args.get("--clients", 14);
     let seed: u64 = args.get("--seed", 7);
 
-    let mut t = Table::new(vec![
-        "clients",
-        "tput_4w_ops",
-        "lat_4w_us",
-        "tput_8w_ops",
-        "lat_8w_us",
-    ]);
+    let mut t = Table::new(vec!["clients", "tput_4w_ops", "lat_4w_us", "tput_8w_ops", "lat_8w_us"]);
     for clients in (1..=max_clients).step_by(if max_clients > 8 { 2 } else { 1 }) {
         let (t4, l4) = run_point(clients, 4, requests, seed);
         let (t8, l8) = run_point(clients, 8, requests, seed);
-        t.row(vec![
-            clients.to_string(),
-            fmt_f(t4, 0),
-            fmt_f(l4, 1),
-            fmt_f(t8, 0),
-            fmt_f(l8, 1),
-        ]);
+        t.row(vec![clients.to_string(), fmt_f(t4, 0), fmt_f(l4, 1), fmt_f(t8, 0), fmt_f(l8, 1)]);
         println!(
             "clients={clients:>2}  4w: {t4:>9.0} ops/s {l4:>8.1} us   8w: {t8:>9.0} ops/s {l8:>8.1} us"
         );

@@ -46,11 +46,7 @@ fn main() {
             r.latency.count()
         );
         for (us, q) in tail_cdf_us(&r.latency, 0.98) {
-            cdf_rows.row(vec![
-                version.as_str().into(),
-                format!("{us:.1}"),
-                format!("{q:.5}"),
-            ]);
+            cdf_rows.row(vec![version.as_str().into(), format!("{us:.1}"), format!("{q:.5}")]);
         }
     }
     println!();

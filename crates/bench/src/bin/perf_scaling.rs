@@ -7,19 +7,57 @@
 //! showed no performance drop from 500 to 2,000 nodes; an equivalent
 //! software simulator would take "almost two weeks" per simulated 10 s.
 //! This binary measures what *this* software reproduction achieves.
+//!
+//! Outputs:
+//! * `results/perf_scaling.csv` — the node-scaling table printed above.
+//! * `results/bench_engine.json` — machine-readable engine-scaling record:
+//!   events/sec, simulation rate (simulated seconds per wall second), and
+//!   wall time for a fixed workload at 1, 2, 4, and 8 partitions plus the
+//!   serial baseline. Downstream tooling tracks regressions from this file.
 
 use diablo_bench::{banner, results_dir, Args};
 use diablo_core::report::{fmt_f, Table};
 use diablo_core::{run_memcached, McExperimentConfig, RunMode};
 use diablo_stack::process::Proto;
+use std::fmt::Write as _;
 
-fn measure(cfg: &McExperimentConfig) -> (f64, f64, u64) {
+struct Measurement {
+    events: u64,
+    wall_s: f64,
+    sim_s: f64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+    /// Simulated seconds advanced per wall-clock second (1/slowdown).
+    fn sim_rate(&self) -> f64 {
+        self.sim_s / self.wall_s.max(1e-9)
+    }
+    fn slowdown(&self) -> f64 {
+        self.wall_s / self.sim_s.max(1e-9)
+    }
+}
+
+fn measure(cfg: &McExperimentConfig) -> Measurement {
     let r = run_memcached(cfg);
-    let sim_s = r.completed_at.as_secs_f64().max(1e-9);
-    let wall_s = r.wall.as_secs_f64();
-    let slowdown = wall_s / sim_s;
-    let events_per_sec = r.events as f64 / wall_s.max(1e-9);
-    (slowdown, events_per_sec, r.events)
+    Measurement {
+        events: r.events,
+        wall_s: r.wall.as_secs_f64(),
+        sim_s: r.completed_at.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Serializes one measurement as a JSON object body (no surrounding braces).
+fn json_fields(m: &Measurement) -> String {
+    format!(
+        "\"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \"sim_rate\": {:.6}",
+        m.events,
+        m.wall_s,
+        m.events_per_sec(),
+        m.sim_rate()
+    )
 }
 
 fn main() {
@@ -28,21 +66,16 @@ fn main() {
     let requests: u64 = args.get("--requests", 60);
     let threads: usize = args.get("--threads", 4);
 
-    let mut t = Table::new(vec![
-        "racks",
-        "nodes",
-        "mode",
-        "events",
-        "events/s",
-        "slowdown (wall/sim)",
-    ]);
+    let mut t =
+        Table::new(vec!["racks", "nodes", "mode", "events", "events/s", "slowdown (wall/sim)"]);
     for racks in [4usize, 8, 16] {
         let mut cfg = McExperimentConfig::mini(racks, requests);
         cfg.proto = Proto::Udp;
         let nodes = cfg.nodes();
 
         cfg.mode = RunMode::Serial;
-        let (sd, eps, ev) = measure(&cfg);
+        let m = measure(&cfg);
+        let (sd, eps, ev) = (m.slowdown(), m.events_per_sec(), m.events);
         t.row(vec![
             racks.to_string(),
             nodes.to_string(),
@@ -60,7 +93,8 @@ fn main() {
             racks_per_array: 16.min(racks),
         });
         pcfg.mode = RunMode::Parallel { partitions: threads, quantum: spec.safe_quantum() };
-        let (sd, eps, ev) = measure(&pcfg);
+        let m = measure(&pcfg);
+        let (sd, eps, ev) = (m.slowdown(), m.events_per_sec(), m.events);
         t.row(vec![
             racks.to_string(),
             nodes.to_string(),
@@ -80,4 +114,64 @@ fn main() {
     let path = results_dir().join("perf_scaling.csv");
     t.write_csv(&path).expect("write csv");
     println!("csv: {}", path.display());
+
+    // Engine scaling: fixed workload, partitions swept 1 -> 8, with a
+    // serial baseline. This is the machine-readable record CI and the
+    // roadmap's perf tracking consume.
+    let scale_racks: usize = args.get("--scale-racks", 8);
+    let mut base = McExperimentConfig::mini(scale_racks, requests);
+    base.proto = Proto::Udp;
+    let spec = diablo_core::ClusterSpec::gbe(diablo_net::topology::TopologyConfig {
+        racks: scale_racks,
+        servers_per_rack: base.servers_per_rack,
+        racks_per_array: 16.min(scale_racks),
+    });
+    let quantum = spec.safe_quantum();
+
+    println!("\nengine scaling (racks={scale_racks}, requests={requests}):");
+    base.mode = RunMode::Serial;
+    let serial = measure(&base);
+    println!(
+        "  serial:        {:>12.0} ev/s  sim-rate={:.3e}",
+        serial.events_per_sec(),
+        serial.sim_rate()
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"engine_scaling\",").unwrap();
+    writeln!(json, "  \"workload\": \"memcached_udp\",").unwrap();
+    writeln!(json, "  \"racks\": {scale_racks},").unwrap();
+    writeln!(json, "  \"nodes\": {},", base.nodes()).unwrap();
+    writeln!(json, "  \"requests_per_client\": {requests},").unwrap();
+    writeln!(json, "  \"quantum_ps\": {},", quantum.as_picos()).unwrap();
+    writeln!(json, "  \"serial\": {{ {} }},", json_fields(&serial)).unwrap();
+    writeln!(json, "  \"parallel\": [").unwrap();
+    let parts = [1usize, 2, 4, 8];
+    for (i, &partitions) in parts.iter().enumerate() {
+        let mut cfg = base.clone();
+        cfg.mode = RunMode::Parallel { partitions, quantum };
+        let m = measure(&cfg);
+        let speedup = m.events_per_sec() / serial.events_per_sec().max(1e-9);
+        println!(
+            "  parallel x{partitions}:   {:>12.0} ev/s  sim-rate={:.3e}  ({speedup:.2}x serial)",
+            m.events_per_sec(),
+            m.sim_rate()
+        );
+        writeln!(
+            json,
+            "    {{ \"partitions\": {partitions}, {}, \"speedup_vs_serial\": {:.3} }}{}",
+            json_fields(&m),
+            speedup,
+            if i + 1 < parts.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let jpath = results_dir().join("bench_engine.json");
+    std::fs::create_dir_all(jpath.parent().expect("results dir parent")).expect("mkdir results");
+    std::fs::write(&jpath, json).expect("write json");
+    println!("json: {}", jpath.display());
 }

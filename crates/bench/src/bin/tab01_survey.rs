@@ -10,12 +10,7 @@ fn main() {
     let entries = sigcomm_survey();
     let (micro, trace, app) = workload_counts(&entries);
     let mut t = Table::new(vec!["Types", "Microbenchmark", "Trace", "Application"]);
-    t.row(vec![
-        "Number of Papers".into(),
-        micro.to_string(),
-        trace.to_string(),
-        app.to_string(),
-    ]);
+    t.row(vec!["Number of Papers".into(), micro.to_string(), trace.to_string(), app.to_string()]);
     print!("{t}");
     println!("\npaper: 16 / 3 / 2");
     let path = results_dir().join("tab01_survey.csv");

@@ -36,16 +36,49 @@ impl Args {
         self.raw.iter().any(|a| a == name)
     }
 
-    /// The value following `--name`, parsed; `default` otherwise.
+    /// The value following `--name`, parsed; `default` when the flag is
+    /// absent. A present-but-unparsable value is an error — silently
+    /// falling back to the default would make e.g. `--racks abc` run a
+    /// differently-shaped experiment than requested.
+    pub fn try_get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        let Some(i) = self.raw.iter().position(|a| a == name) else {
+            return Ok(default);
+        };
+        let Some(value) = self.raw.get(i + 1) else {
+            return Err(ArgError { flag: name.to_string(), value: None });
+        };
+        value.parse().map_err(|_| ArgError { flag: name.to_string(), value: Some(value.clone()) })
+    }
+
+    /// Like [`Args::try_get`], but reports the offending flag on stderr and
+    /// exits non-zero on a malformed value (for binary entry points).
     pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.raw
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.raw.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        self.try_get(name, default).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 }
+
+/// A flag whose value was missing or failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    /// The offending flag, e.g. `--racks`.
+    pub flag: String,
+    /// The value that failed to parse, or `None` if the flag was last.
+    pub value: Option<String>,
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.value {
+            Some(v) => write!(f, "invalid value {v:?} for {}", self.flag),
+            None => write!(f, "missing value for {}", self.flag),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
 
 /// Directory where regenerators drop CSV outputs (`results/` at the
 /// workspace root, or `$DIABLO_RESULTS`).
@@ -106,6 +139,24 @@ mod tests {
         assert_eq!(a.get("--requests", 100u64), 100);
         assert!(a.flag("--full"));
         assert!(!a.flag("--quick"));
+    }
+
+    #[test]
+    fn malformed_values_are_errors_not_defaults() {
+        let a = Args::from_vec(vec!["--racks".into(), "abc".into()]);
+        let err = a.try_get("--racks", 2usize).unwrap_err();
+        assert_eq!(err.flag, "--racks");
+        assert_eq!(err.value.as_deref(), Some("abc"));
+        assert!(err.to_string().contains("--racks"), "{err}");
+        assert!(err.to_string().contains("abc"), "{err}");
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_an_error() {
+        let a = Args::from_vec(vec!["--racks".into()]);
+        let err = a.try_get("--racks", 2usize).unwrap_err();
+        assert_eq!(err.value, None);
+        assert!(err.to_string().contains("missing value"), "{err}");
     }
 
     #[test]

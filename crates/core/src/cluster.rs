@@ -280,20 +280,22 @@ impl Cluster {
     ///
     /// Panics on an invalid topology.
     pub fn build(host: &mut SimHost, spec: &ClusterSpec) -> Cluster {
-        let topo =
-            Arc::new(Topology::new(spec.topology).expect("invalid topology configuration"));
+        let topo = Arc::new(Topology::new(spec.topology).expect("invalid topology configuration"));
         let nparts = host.partition_count();
-        let rack_partition =
-            |rack: usize| -> usize { if nparts <= 1 { 0 } else { rack % nparts } };
+        let rack_partition = |rack: usize| -> usize {
+            if nparts <= 1 {
+                0
+            } else {
+                rack % nparts
+            }
+        };
         let root_rng = DetRng::new(spec.seed);
 
         // 1. Switches.
         let mut switches = Vec::with_capacity(topo.switch_count());
         for s in 0..topo.switch_count() {
             let (template, name, partition) = match topo.switch_level(s) {
-                SwitchLevel::Tor { rack } => {
-                    (spec.tor, format!("tor{rack}"), rack_partition(rack))
-                }
+                SwitchLevel::Tor { rack } => (spec.tor, format!("tor{rack}"), rack_partition(rack)),
                 SwitchLevel::Array { array } => (spec.array, format!("array{array}"), 0),
                 SwitchLevel::Datacenter => (spec.datacenter, "datacenter".to_string(), 0),
             };
@@ -307,11 +309,8 @@ impl Cluster {
         for n in 0..topo.nodes() {
             let addr = NodeAddr(n as u32);
             let (tor, port) = topo.node_attachment(addr);
-            let uplink = PortPeer {
-                component: switches[tor],
-                port: PortNo(port),
-                params: spec.node_link,
-            };
+            let uplink =
+                PortPeer { component: switches[tor], port: PortNo(port), params: spec.node_link };
             let cfg = NodeConfig {
                 addr,
                 cpu: spec.cpu,
@@ -342,11 +341,7 @@ impl Cluster {
                             }
                             _ => spec.rack_uplink,
                         };
-                        PortPeer {
-                            component: switches[index],
-                            port: PortNo(pport),
-                            params,
-                        }
+                        PortPeer { component: switches[index], port: PortNo(pport), params }
                     }
                     Endpoint::Unwired => continue,
                 };
@@ -370,9 +365,7 @@ impl Cluster {
     ///
     /// Panics if the node does not exist.
     pub fn spawn(&self, host: &mut SimHost, addr: NodeAddr, process: Box<dyn Process>) {
-        host.component_mut::<ServerNode>(self.node(addr))
-            .expect("node vanished")
-            .spawn(process);
+        host.component_mut::<ServerNode>(self.node(addr)).expect("node vanished").spawn(process);
     }
 
     /// Reads a guest process's state on `addr`.
@@ -404,7 +397,8 @@ mod tests {
 
     #[test]
     fn builds_paper_memcached_topology() {
-        let spec = ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 4, racks_per_array: 2 });
+        let spec =
+            ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 4, racks_per_array: 2 });
         let mut host = SimHost::new(RunMode::Serial);
         let cluster = Cluster::build(&mut host, &spec);
         assert_eq!(cluster.nodes.len(), 16);
@@ -419,7 +413,8 @@ mod tests {
 
     #[test]
     fn parallel_build_places_racks_in_partitions() {
-        let spec = ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 2, racks_per_array: 2 });
+        let spec =
+            ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 2, racks_per_array: 2 });
         let quantum = spec.safe_quantum();
         assert_eq!(quantum, SimDuration::from_nanos(500));
         let mut host = SimHost::new(RunMode::Parallel { partitions: 2, quantum });

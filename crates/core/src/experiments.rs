@@ -6,8 +6,8 @@ use diablo_apps::incast::{
     shared, IncastEpollClient, IncastMaster, IncastServer, IncastWorker, INCAST_PORT,
 };
 use diablo_apps::memcached::{
-    mc_shared, McClient, McClientConfig, McDispatcher, McServerConfig, McSharedHandle,
-    McVersion, McWorker, MEMCACHED_PORT,
+    mc_shared, McClient, McClientConfig, McDispatcher, McServerConfig, McSharedHandle, McVersion,
+    McWorker, MEMCACHED_PORT,
 };
 use diablo_engine::prelude::{DetRng, Frequency, Histogram, SimDuration, SimTime};
 use diablo_net::topology::{HopClass, TopologyConfig};
@@ -71,12 +71,7 @@ impl IncastConfig {
 
     /// A Figure 6(b) point: 10 Gbps fabric with the given CPU and client.
     pub fn fig6b(servers: usize, ghz: u64, client: IncastClientKind) -> Self {
-        IncastConfig {
-            cpu: Frequency::ghz(ghz),
-            ten_gig: true,
-            client,
-            ..Self::fig6a(servers)
-        }
+        IncastConfig { cpu: Frequency::ghz(ghz), ten_gig: true, client, ..Self::fig6a(servers) }
     }
 }
 
@@ -102,8 +97,7 @@ pub struct IncastResult {
 pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
     let n = cfg.servers;
     let topo = TopologyConfig { racks: 1, servers_per_rack: n + 1, racks_per_array: 1 };
-    let mut spec =
-        if cfg.ten_gig { ClusterSpec::ten_gbe(topo) } else { ClusterSpec::gbe(topo) };
+    let mut spec = if cfg.ten_gig { ClusterSpec::ten_gbe(topo) } else { ClusterSpec::gbe(topo) };
     spec.cpu = cfg.cpu;
     spec.kernel = cfg.kernel.clone();
     spec.seed = cfg.seed;
@@ -318,7 +312,11 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
             let sh = mc_shared(scfg.workers);
             cluster.spawn(&mut host, addr, Box::new(McDispatcher::new(scfg.clone(), sh.clone())));
             for w in 0..scfg.workers {
-                cluster.spawn(&mut host, addr, Box::new(McWorker::new(w, scfg.clone(), sh.clone())));
+                cluster.spawn(
+                    &mut host,
+                    addr,
+                    Box::new(McWorker::new(w, scfg.clone(), sh.clone())),
+                );
             }
             shareds.push(sh);
             server_addrs.push(SockAddr::new(addr, MEMCACHED_PORT));
@@ -339,13 +337,12 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
             ccfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
             ccfg.reconnect_every = cfg.reconnect_every;
             let topo2 = topo.clone();
-            ccfg.classify = Some(Arc::new(move |server: NodeAddr| {
-                match topo2.hop_class(addr, server) {
+            ccfg.classify =
+                Some(Arc::new(move |server: NodeAddr| match topo2.hop_class(addr, server) {
                     HopClass::Local => 0,
                     HopClass::OneHop => 1,
                     HopClass::TwoHop => 2,
-                }
-            }));
+                }));
             let rng = root_rng.derive(addr.0 as u64);
             cluster.spawn(&mut host, addr, Box::new(McClient::new(ccfg, rng)));
             client_addrs.push(addr);
@@ -363,11 +360,7 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
         if all_done {
             break;
         }
-        assert!(
-            horizon < budget,
-            "memcached clients stuck past {budget} at {} racks",
-            cfg.racks
-        );
+        assert!(horizon < budget, "memcached clients stuck past {budget} at {} racks", cfg.racks);
         horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
     }
 

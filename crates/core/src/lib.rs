@@ -17,6 +17,6 @@ pub mod survey;
 
 pub use cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
 pub use experiments::{
-    run_incast, run_memcached, IncastClientKind, IncastConfig, IncastResult,
-    McExperimentConfig, McExperimentResult,
+    run_incast, run_memcached, IncastClientKind, IncastConfig, IncastResult, McExperimentConfig,
+    McExperimentResult,
 };

@@ -116,17 +116,10 @@ pub fn tail_cdf_us(hist: &Histogram, from_q: f64) -> Vec<(f64, f64)> {
 
 /// Standard percentile summary of a nanosecond histogram, in microseconds.
 pub fn percentiles_us(hist: &Histogram) -> Vec<(&'static str, f64)> {
-    [
-        ("p50", 0.50),
-        ("p90", 0.90),
-        ("p95", 0.95),
-        ("p99", 0.99),
-        ("p99.9", 0.999),
-        ("max", 1.0),
-    ]
-    .into_iter()
-    .map(|(name, q)| (name, hist.quantile(q) as f64 / 1_000.0))
-    .collect()
+    [("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99), ("p99.9", 0.999), ("max", 1.0)]
+        .into_iter()
+        .map(|(name, q)| (name, hist.quantile(q) as f64 / 1_000.0))
+        .collect()
 }
 
 /// Formats a float with the given number of decimals.

@@ -154,13 +154,8 @@ mod tests {
         let mut seq = 0u64;
         let mut pending = Vec::new();
         let mut stop = false;
-        let mut ctx: Ctx<'_, u32> = Ctx::new(
-            SimTime::from_nanos(100),
-            ComponentId(7),
-            &mut seq,
-            &mut pending,
-            &mut stop,
-        );
+        let mut ctx: Ctx<'_, u32> =
+            Ctx::new(SimTime::from_nanos(100), ComponentId(7), &mut seq, &mut pending, &mut stop);
         ctx.set_timer(SimDuration::from_nanos(10), 42);
         ctx.send_after(ComponentId(9), PortNo(1), SimDuration::from_nanos(5), 1234);
         assert_eq!(pending.len(), 2);
@@ -178,13 +173,8 @@ mod tests {
         let mut seq = 0u64;
         let mut pending: Vec<Event<u32>> = Vec::new();
         let mut stop = false;
-        let mut ctx = Ctx::new(
-            SimTime::from_nanos(100),
-            ComponentId(0),
-            &mut seq,
-            &mut pending,
-            &mut stop,
-        );
+        let mut ctx =
+            Ctx::new(SimTime::from_nanos(100), ComponentId(0), &mut seq, &mut pending, &mut stop);
         ctx.send_at(ComponentId(1), PortNo(0), SimTime::from_nanos(99), 0);
     }
 }

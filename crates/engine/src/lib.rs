@@ -53,6 +53,7 @@ pub mod error;
 pub mod event;
 pub mod parallel;
 pub mod rng;
+pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::event::{ComponentId, EventKind, PortNo, TimerKey};
     pub use crate::parallel::{ComponentHost, ParallelSimulation};
     pub use crate::rng::DetRng;
+    pub use crate::sched::{CalendarQueue, EventQueue, HeapQueue};
     pub use crate::sim::{RunStats, Simulation};
     pub use crate::stats::{Counter, Histogram, Series};
     pub use crate::time::{Bandwidth, Frequency, SimDuration, SimTime};

@@ -4,27 +4,69 @@
 //! FPGAs) whose simulation schedulers synchronize over serial links "at a
 //! fine granularity" (§3.2). The software analogue implemented here assigns
 //! components to *partitions*, runs one host thread per partition, and
-//! synchronizes them with a barrier every *quantum* of simulated time.
-//! Cross-partition messages must arrive at least one quantum after they are
-//! sent — exactly the conservative-lookahead condition the FPGA prototype
-//! satisfies physically, because inter-FPGA links have ≥1.6 µs round-trip
-//! latency while each model synchronizes far more often.
+//! synchronizes them every *quantum* of simulated time. Cross-partition
+//! messages must arrive at least one quantum after they are sent — exactly
+//! the conservative-lookahead condition the FPGA prototype satisfies
+//! physically, because inter-FPGA links have ≥1.6 µs round-trip latency
+//! while each model synchronizes far more often.
+//!
+//! # Execution machinery
+//!
+//! Three mechanisms keep the per-window synchronization cost near the
+//! hardware floor (this is the SimBricks-identified bottleneck of software
+//! co-simulation — per-quantum sync plus message exchange):
+//!
+//! * **Persistent worker pool.** Worker threads are spawned once, on the
+//!   first [`ParallelSimulation::run_until`] call, and parked on a condvar
+//!   between runs. Repeated `run_until` calls (the common
+//!   advance-inspect-advance experiment loop) reuse the same OS threads —
+//!   no per-call spawn/join. [`ParallelSimulation::workers_spawned`]
+//!   exposes the thread count for tests.
+//! * **Lock-free cross-partition lanes.** Each ordered partition pair owns
+//!   a cache-line-aligned, *parity double-buffered* SPSC lane. During a
+//!   window, partition `s` appends outbound events to a thread-local
+//!   outbox and then *swaps* it into lane `(s, d)` of the current parity —
+//!   no mutex, no per-event synchronization. The receiver drains the lane
+//!   one barrier later. Because lanes alternate parity each window, a
+//!   writer's round-`r` swap and the reader's round-`r+1` drain of the
+//!   same buffer are always separated by an intervening barrier, which is
+//!   the entire safety argument (see `Lane`).
+//! * **One barrier per window.** The classic conservative protocol costs
+//!   two barriers per window: one to agree on the next window from
+//!   published queue minima, one to exchange messages. Here the published
+//!   minimum of partition `s` already *includes* the events `s` just wrote
+//!   into its outgoing lanes (`sent_min`), so the exchange needs no
+//!   separate rendezvous: receivers drain their lanes immediately after
+//!   the *decision* barrier. The min/flag slots are parity
+//!   double-buffered like the lanes, so a fast worker's round-`r+1`
+//!   publication can never clobber a value a slow worker is still reading
+//!   for round `r`.
+//!
+//! The pool's barrier is *poisonable*: if a component handler panics on a
+//! worker, the barrier wakes every other worker with an error instead of
+//! deadlocking, the run returns [`EngineError::WorkerPanicked`], and the
+//! executor refuses further runs.
+//!
+//! # Determinism
 //!
 //! The executor is *deterministic*: because events are dispatched in the
 //! schedule-independent total order of [`crate::event::EventKey`], a
 //! parallel run produces bit-identical component state to a serial run of
 //! the same configuration (see the cross-executor tests in the workspace
-//! `tests/` directory).
+//! `tests/` directory). Each partition schedules through the same
+//! [`CalendarQueue`] as the serial executor.
 
 use crate::component::{Component, Ctx};
 use crate::error::EngineError;
-use crate::event::{ComponentId, Event, EventKey, EventKind, HeapEntry, PortNo, TimerKey};
+use crate::event::{ComponentId, Event, EventKey, EventKind, PortNo, TimerKey};
+use crate::sched::{CalendarQueue, EventQueue};
 use crate::sim::{RunStats, Simulation};
 use crate::time::{SimDuration, SimTime};
-use parking_lot::Mutex;
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// Abstracts over the serial and parallel executors so cluster builders can
 /// target either.
@@ -53,7 +95,7 @@ pub trait ComponentHost<M> {
     }
 }
 
-impl<M: 'static> ComponentHost<M> for Simulation<M> {
+impl<M: 'static, Q: EventQueue<M> + Default> ComponentHost<M> for Simulation<M, Q> {
     fn add_in_partition(
         &mut self,
         _partition: usize,
@@ -72,7 +114,10 @@ struct PartitionState<M> {
     components: Vec<(ComponentId, Box<dyn Component<M>>)>,
     /// Per-owned-component sequence counters, parallel to `components`.
     seqs: Vec<u64>,
-    queue: BinaryHeap<HeapEntry<M>>,
+    queue: CalendarQueue<M>,
+    /// Per-destination outboxes, swapped into lanes at window end. Kept in
+    /// the state so buffer capacity survives across windows and runs.
+    outboxes: Vec<Vec<Event<M>>>,
     events_processed: u64,
     last_time: SimTime,
 }
@@ -82,19 +127,33 @@ impl<M> PartitionState<M> {
         PartitionState {
             components: Vec::new(),
             seqs: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
+            outboxes: Vec::new(),
+            events_processed: 0,
+            last_time: SimTime::ZERO,
+        }
+    }
+
+    /// A cheap placeholder left behind while the real state is loaned to a
+    /// worker thread.
+    fn hollow() -> Self {
+        PartitionState {
+            components: Vec::new(),
+            seqs: Vec::new(),
+            queue: CalendarQueue::with_params(16, 1),
+            outboxes: Vec::new(),
             events_processed: 0,
             last_time: SimTime::ZERO,
         }
     }
 }
 
-/// Routes one outgoing event: same partition -> local heap; other partition
+/// Routes one outgoing event: same partition -> local queue; other partition
 /// -> outbox, provided it lands at or after the current window's end.
 fn route_one<M>(
     directory: &[(u32, u32)],
     me: usize,
-    queue: &mut BinaryHeap<HeapEntry<M>>,
+    queue: &mut CalendarQueue<M>,
     outboxes: &mut [Vec<Event<M>>],
     window_end: SimTime,
     ev: Event<M>,
@@ -105,7 +164,7 @@ fn route_one<M>(
     }
     let (p, _) = directory[idx];
     if p as usize == me {
-        queue.push(HeapEntry(ev));
+        queue.push(ev);
         Ok(())
     } else if ev.key.time >= window_end {
         outboxes[p as usize].push(ev);
@@ -120,8 +179,442 @@ fn route_one<M>(
     }
 }
 
-/// The multi-threaded executor: components grouped into partitions, one host
-/// thread per partition, barrier synchronization every quantum.
+/// A ticket barrier that can be *poisoned* by a panicking worker so its
+/// siblings return an error instead of waiting forever.
+///
+/// Tickets are monotonic, so there is no reset race between consecutive
+/// rounds; waiters spin briefly on the generation counter, then block on a
+/// condvar.
+struct PoisonBarrier {
+    n: u64,
+    tickets: AtomicU64,
+    generation: AtomicU64,
+    poisoned: AtomicBool,
+    mu: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Returned by [`PoisonBarrier::wait`] when a sibling worker panicked.
+struct BarrierPoisoned;
+
+impl PoisonBarrier {
+    fn new(n: usize) -> Self {
+        PoisonBarrier {
+            n: n as u64,
+            tickets: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            mu: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Result<(), BarrierPoisoned> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(BarrierPoisoned);
+        }
+        let ticket = self.tickets.fetch_add(1, Ordering::AcqRel);
+        let target = ticket / self.n + 1;
+        if (ticket + 1).is_multiple_of(self.n) {
+            // Last arriver releases the round. The RMW chain on `tickets`
+            // makes every earlier arriver's writes visible here; the
+            // release store republishes them to all waiters.
+            self.generation.store(target, Ordering::Release);
+            drop(self.mu.lock().expect("barrier mutex"));
+            self.cv.notify_all();
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) < target {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return Err(BarrierPoisoned);
+                }
+                spins += 1;
+                if spins < 4_096 {
+                    std::hint::spin_loop();
+                } else {
+                    // Block; re-check the predicate under the lock.
+                    let guard = self.mu.lock().expect("barrier mutex");
+                    let _guard = self
+                        .cv
+                        .wait_timeout(guard, std::time::Duration::from_millis(1))
+                        .expect("barrier condvar");
+                }
+            }
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(BarrierPoisoned);
+        }
+        Ok(())
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        drop(self.mu.lock().expect("barrier mutex"));
+        self.cv.notify_all();
+    }
+}
+
+/// One direction of a cross-partition exchange: a buffer written only by
+/// its source partition and drained only by its destination partition.
+///
+/// # Safety protocol
+///
+/// Lanes are allocated per `(parity, source, destination)` triple. During
+/// round `r` a writer only swaps into parity `r % 2` lanes and a reader
+/// only drains parity `(r - 1) % 2` lanes (written the previous round), so
+/// accesses to one buffer from the two threads are always separated by at
+/// least one intervening pool barrier, which provides the happens-before
+/// edge. The alignment keeps neighboring lanes off each other's cache
+/// lines.
+#[repr(align(128))]
+struct Lane<M>(UnsafeCell<Vec<Event<M>>>);
+
+// SAFETY: the parity protocol above guarantees exclusive access between
+// barriers; `Event<M>` moves between threads, requiring `M: Send`.
+unsafe impl<M: Send> Sync for Lane<M> {}
+
+impl<M> Lane<M> {
+    fn new() -> Self {
+        Lane(UnsafeCell::new(Vec::new()))
+    }
+}
+
+#[inline]
+fn lane_idx(n: usize, parity: usize, src: usize, dst: usize) -> usize {
+    (parity * n + src) * n + dst
+}
+
+/// Parameters of one `run_until` call, published to the workers.
+#[derive(Clone, Copy, Default)]
+struct JobSpec {
+    start_now: SimTime,
+    exclusive_end: u64,
+    first_run: bool,
+}
+
+struct JobCtl {
+    epoch: u64,
+    done: usize,
+    shutdown: bool,
+    spec: JobSpec,
+}
+
+/// State shared between the coordinating thread and the workers.
+struct PoolShared<M> {
+    n: usize,
+    quantum: SimDuration,
+    /// Global component id -> (partition, local index); frozen at pool
+    /// creation (components cannot be added after the first run).
+    directory: Vec<(u32, u32)>,
+    barrier: PoisonBarrier,
+    /// Published per-partition queue minima, parity double-buffered:
+    /// `mins[parity * n + partition]`.
+    mins: Vec<AtomicU64>,
+    /// Published stop/error flags, same layout as `mins`.
+    flags: Vec<AtomicU64>,
+    /// SPSC exchange lanes, `2 * n * n` of them (see [`Lane`]).
+    lanes: Vec<Lane<M>>,
+    /// Handoff cells loaning each partition's state to its worker.
+    slots: Vec<Mutex<Option<PartitionState<M>>>>,
+    /// Per-worker `(last event time, stopped)` results.
+    results: Vec<Mutex<(SimTime, bool)>>,
+    /// First error raised by each worker.
+    errors: Vec<Mutex<Option<EngineError>>>,
+    job: Mutex<JobCtl>,
+    job_cv: Condvar,
+    done_cv: Condvar,
+    panicked: AtomicBool,
+}
+
+/// The persistent worker pool: one OS thread per partition, spawned on the
+/// first run and parked between runs.
+struct WorkerPool<M> {
+    shared: Arc<PoolShared<M>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> WorkerPool<M> {
+    fn spawn(n: usize, quantum: SimDuration, directory: Vec<(u32, u32)>) -> Self {
+        let shared = Arc::new(PoolShared {
+            n,
+            quantum,
+            directory,
+            barrier: PoisonBarrier::new(n),
+            mins: (0..2 * n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            flags: (0..2 * n).map(|_| AtomicU64::new(0)).collect(),
+            lanes: (0..2 * n * n).map(|_| Lane::new()).collect(),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            results: (0..n).map(|_| Mutex::new((SimTime::ZERO, false))).collect(),
+            errors: (0..n).map(|_| Mutex::new(None)).collect(),
+            job: Mutex::new(JobCtl {
+                epoch: 0,
+                done: 0,
+                shutdown: false,
+                spec: JobSpec::default(),
+            }),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (0..n)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("diablo-part-{me}"))
+                    .spawn(move || worker_main(shared, me))
+                    .expect("spawn partition worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+}
+
+impl<M> Drop for WorkerPool<M> {
+    fn drop(&mut self) {
+        {
+            let mut job = self.shared.job.lock().expect("pool job mutex");
+            job.shutdown = true;
+        }
+        self.shared.job_cv.notify_all();
+        for h in self.handles.drain(..) {
+            // A worker stuck in a poisoned barrier has already been woken
+            // with an error; joining is safe. Ignore panicked workers.
+            let _ = h.join();
+        }
+    }
+}
+
+/// Body of each pool thread: wait for a job epoch, run the partition, hand
+/// the state back, report completion.
+fn worker_main<M: Send + 'static>(shared: Arc<PoolShared<M>>, me: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let spec = {
+            let mut job = shared.job.lock().expect("pool job mutex");
+            loop {
+                if job.shutdown {
+                    return;
+                }
+                if job.epoch != seen_epoch {
+                    break;
+                }
+                job = shared.job_cv.wait(job).expect("pool job condvar");
+            }
+            seen_epoch = job.epoch;
+            job.spec
+        };
+        let mut part = shared.slots[me]
+            .lock()
+            .expect("slot mutex")
+            .take()
+            .expect("partition state was not loaned");
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| run_partition(&shared, me, &mut part, &spec)));
+        match outcome {
+            Ok(result) => *shared.results[me].lock().expect("result mutex") = result,
+            Err(_) => {
+                shared.panicked.store(true, Ordering::SeqCst);
+                shared.barrier.poison();
+            }
+        }
+        *shared.slots[me].lock().expect("slot mutex") = Some(part);
+        let mut job = shared.job.lock().expect("pool job mutex");
+        job.done += 1;
+        if job.done == shared.n {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+const FLAG_STOP: u64 = 1;
+const FLAG_ERR: u64 = 2;
+
+/// Per-thread body of one parallel run. Each round is:
+/// publish `(min incl. sent, flags)` at the current parity → **single
+/// barrier** → drain incoming lanes of that parity → decide (stop / error /
+/// horizon / window) → flip parity → process window → swap outboxes into
+/// outgoing lanes of the new parity.
+fn run_partition<M: Send + 'static>(
+    shared: &PoolShared<M>,
+    me: usize,
+    part: &mut PartitionState<M>,
+    spec: &JobSpec,
+) -> (SimTime, bool) {
+    let n = shared.n;
+    let directory: &[(u32, u32)] = &shared.directory;
+    let quantum = shared.quantum;
+    let mut pending: Vec<Event<M>> = Vec::new();
+    let mut local_now = spec.start_now;
+    let mut stopped = false;
+    let mut pending_stop = false;
+    let mut pending_err: Option<EngineError> = None;
+    // Parity the *next* publish/drain round uses; flipped each round.
+    let mut parity = 0usize;
+    // Minimum delivery time among events flushed to lanes since the last
+    // publish; folded into the published minimum so the decision barrier
+    // also covers in-flight messages.
+    let mut sent_min = u64::MAX;
+
+    part.outboxes.resize_with(n, Vec::new);
+
+    if spec.first_run {
+        // Phase 0: component starts. The resulting events are exchanged
+        // through the lanes before any window is processed, so
+        // cross-partition deliveries have no lower bound here
+        // (window_end = start_now admits everything).
+        for i in 0..part.components.len() {
+            let id = part.components[i].0;
+            let mut stop = false;
+            let mut ctx = Ctx::new(spec.start_now, id, &mut part.seqs[i], &mut pending, &mut stop);
+            part.components[i].1.on_start(&mut ctx);
+            pending_stop |= stop;
+        }
+        for ev in pending.drain(..) {
+            if let Err(e) =
+                route_one(directory, me, &mut part.queue, &mut part.outboxes, spec.start_now, ev)
+            {
+                pending_err.get_or_insert(e);
+                break;
+            }
+        }
+        flush_outboxes(shared, me, parity, &mut part.outboxes, &mut sent_min);
+    }
+
+    loop {
+        // Publish local minimum (queue head plus freshly sent events) and
+        // flags into this round's parity slots.
+        let queue_min = part.queue.peek_key().map_or(u64::MAX, |k| k.time.as_picos());
+        let my_min = queue_min.min(sent_min);
+        sent_min = u64::MAX;
+        shared.mins[parity * n + me].store(my_min, Ordering::Release);
+        let mut f = 0;
+        if pending_stop {
+            f |= FLAG_STOP;
+        }
+        if let Some(e) = pending_err.take() {
+            f |= FLAG_ERR;
+            shared.errors[me].lock().expect("error mutex").get_or_insert(e);
+        }
+        shared.flags[parity * n + me].store(f, Ordering::Release);
+
+        if shared.barrier.wait().is_err() {
+            // A sibling panicked; bail out with whatever state we have.
+            break;
+        }
+
+        // Drain lanes written toward us before the barrier (same parity).
+        for src in 0..n {
+            if src == me {
+                continue;
+            }
+            // SAFETY: per the Lane protocol, the writer's last access to
+            // this parity's buffer happened before the barrier we just
+            // crossed, and its next access is after the barrier we cross
+            // next round.
+            let buf = unsafe { &mut *shared.lanes[lane_idx(n, parity, src, me)].0.get() };
+            for ev in buf.drain(..) {
+                part.queue.push(ev);
+            }
+        }
+
+        // Decide from this round's published snapshot.
+        let mut global_min = u64::MAX;
+        let mut any_flags = 0u64;
+        for i in 0..n {
+            global_min = global_min.min(shared.mins[parity * n + i].load(Ordering::Acquire));
+            any_flags |= shared.flags[parity * n + i].load(Ordering::Acquire);
+        }
+        if any_flags & FLAG_ERR != 0 {
+            break;
+        }
+        if any_flags & FLAG_STOP != 0 {
+            stopped = true;
+            break;
+        }
+        if global_min >= spec.exclusive_end {
+            break;
+        }
+        parity = 1 - parity;
+
+        // Window: [global_min, next quantum boundary after global_min),
+        // capped by the horizon. Skipping directly to global_min avoids
+        // spinning through empty quanta while idle timers (e.g. 200 ms TCP
+        // RTOs) are pending.
+        let window_start = SimTime::from_picos(global_min);
+        let qb = window_start.align_up(quantum);
+        let window_end_ps =
+            if qb == window_start { (qb + quantum).as_picos() } else { qb.as_picos() }
+                .min(spec.exclusive_end);
+        let window_end = SimTime::from_picos(window_end_ps);
+
+        // Process local events inside the window.
+        'window: loop {
+            let Some(ev) = part.queue.pop_before(window_end_ps) else { break };
+            local_now = ev.key.time;
+            let target = ev.key.target;
+            let (_, lidx) = directory[target.index()];
+            let lidx = lidx as usize;
+            let mut stop = false;
+            {
+                let (id_check, comp) = &mut part.components[lidx];
+                debug_assert_eq!(*id_check, target);
+                let mut ctx =
+                    Ctx::new(local_now, target, &mut part.seqs[lidx], &mut pending, &mut stop);
+                match ev.kind {
+                    EventKind::Timer(key) => comp.on_timer(key, &mut ctx),
+                    EventKind::Message(port, msg) => comp.on_message(port, msg, &mut ctx),
+                }
+            }
+            part.events_processed += 1;
+            pending_stop |= stop;
+            for out in pending.drain(..) {
+                if let Err(e) =
+                    route_one(directory, me, &mut part.queue, &mut part.outboxes, window_end, out)
+                {
+                    pending_err.get_or_insert(e);
+                    break 'window;
+                }
+            }
+        }
+        part.last_time = part.last_time.max(local_now);
+
+        // Hand this window's cross-partition events to their destinations:
+        // swap each non-empty outbox into the matching lane of the *new*
+        // parity (drained by the receiver after the next barrier).
+        flush_outboxes(shared, me, parity, &mut part.outboxes, &mut sent_min);
+    }
+    (part.last_time, stopped)
+}
+
+/// Swaps non-empty outboxes into this partition's outgoing lanes of the
+/// given parity, folding sent delivery times into `sent_min`.
+fn flush_outboxes<M: Send>(
+    shared: &PoolShared<M>,
+    me: usize,
+    parity: usize,
+    outboxes: &mut [Vec<Event<M>>],
+    sent_min: &mut u64,
+) {
+    let n = shared.n;
+    for (dst, out) in outboxes.iter_mut().enumerate() {
+        if out.is_empty() {
+            continue;
+        }
+        for ev in out.iter() {
+            *sent_min = (*sent_min).min(ev.key.time.as_picos());
+        }
+        // SAFETY: we are the only writer of (me, dst) lanes, and the
+        // receiver drained this parity's buffer before the previous
+        // barrier; see the Lane protocol.
+        let lane = unsafe { &mut *shared.lanes[lane_idx(n, parity, me, dst)].0.get() };
+        debug_assert!(lane.is_empty(), "lane reused before the receiver drained it");
+        std::mem::swap(lane, out);
+    }
+}
+
+/// The multi-threaded executor: components grouped into partitions, one
+/// persistent host thread per partition, one barrier per synchronization
+/// window.
 ///
 /// # Examples
 ///
@@ -151,6 +644,7 @@ pub struct ParallelSimulation<M> {
     now: SimTime,
     started: bool,
     external_seq: u64,
+    pool: Option<WorkerPool<M>>,
 }
 
 impl<M> std::fmt::Debug for ParallelSimulation<M> {
@@ -160,16 +654,15 @@ impl<M> std::fmt::Debug for ParallelSimulation<M> {
             .field("components", &self.directory.len())
             .field("quantum", &self.quantum)
             .field("now", &self.now)
+            .field("pool_running", &self.pool.is_some())
             .finish()
     }
 }
 
-const FLAG_STOP: u64 = 1;
-const FLAG_ERR: u64 = 2;
-
 impl<M: Send + 'static> ParallelSimulation<M> {
     /// Creates an executor with `partitions` host threads synchronizing
-    /// every `quantum` of simulated time.
+    /// every `quantum` of simulated time. Threads are spawned lazily on
+    /// the first run and persist until the executor is dropped.
     ///
     /// # Panics
     ///
@@ -184,6 +677,7 @@ impl<M: Send + 'static> ParallelSimulation<M> {
             now: SimTime::ZERO,
             started: false,
             external_seq: 0,
+            pool: None,
         }
     }
 
@@ -197,20 +691,27 @@ impl<M: Send + 'static> ParallelSimulation<M> {
         self.partitions.len()
     }
 
+    /// Total worker threads spawned so far. Zero before the first run, and
+    /// exactly [`ParallelSimulation::partition_count`] afterwards no matter
+    /// how many runs have executed — the pool is persistent.
+    pub fn workers_spawned(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.handles.len())
+    }
+
     /// Number of registered components.
     pub fn component_count(&self) -> usize {
-        self.directory.len()
+        self.directory().len()
     }
 
     /// Downcasts a component to its concrete type for inspection.
     pub fn component<T: 'static>(&self, id: ComponentId) -> Option<&T> {
-        let &(p, l) = self.directory.get(id.index())?;
+        let &(p, l) = self.directory().get(id.index())?;
         self.partitions[p as usize].components[l as usize].1.as_any().downcast_ref::<T>()
     }
 
     /// Mutable variant of [`ParallelSimulation::component`].
     pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
-        let &(p, l) = self.directory.get(id.index())?;
+        let &(p, l) = self.directory().get(id.index())?;
         self.partitions[p as usize].components[l as usize].1.as_any_mut().downcast_mut::<T>()
     }
 
@@ -235,69 +736,71 @@ impl<M: Send + 'static> ParallelSimulation<M> {
 
     /// Runs until simulated time exceeds `limit` (events at exactly `limit`
     /// are processed), the queues drain, or a component stops the run.
+    /// Repeated calls reuse the same worker threads.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::CrossPartitionTooSoon`] if a component sends a
-    /// cross-partition message with less than one quantum of latency, and
+    /// cross-partition message with less than one quantum of latency,
     /// [`EngineError::UnknownComponent`] for events targeting unregistered
-    /// components.
+    /// components, and [`EngineError::WorkerPanicked`] if a component
+    /// handler panicked on a worker thread (further runs refuse to start).
     pub fn run_until(&mut self, limit: SimTime) -> Result<RunStats, EngineError> {
         let n = self.partitions.len();
-        let quantum = self.quantum;
         let first_run = !self.started;
         self.started = true;
-        let directory: &[(u32, u32)] = &self.directory;
-
-        let barrier = Barrier::new(n);
-        let mins: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-        let flags: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-        let inboxes: Vec<Mutex<Vec<Event<M>>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let errors: Vec<Mutex<Option<EngineError>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        if self.pool.is_none() {
+            self.pool =
+                Some(WorkerPool::spawn(n, self.quantum, std::mem::take(&mut self.directory)));
+        }
+        let shared = Arc::clone(&self.pool.as_ref().expect("pool running").shared);
+        if shared.panicked.load(Ordering::SeqCst) {
+            return Err(EngineError::WorkerPanicked);
+        }
 
         let start_now = self.now;
-        let exclusive_end = if limit == SimTime::MAX {
-            u64::MAX
-        } else {
-            limit.as_picos().saturating_add(1)
-        };
+        let exclusive_end =
+            if limit == SimTime::MAX { u64::MAX } else { limit.as_picos().saturating_add(1) };
 
-        let results: Vec<(SimTime, bool)> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for (pidx, part) in self.partitions.iter_mut().enumerate() {
-                let barrier = &barrier;
-                let mins = &mins;
-                let flags = &flags;
-                let inboxes = &inboxes;
-                let errors = &errors;
-                handles.push(scope.spawn(move |_| {
-                    run_partition(
-                        part,
-                        pidx,
-                        n,
-                        directory,
-                        quantum,
-                        start_now,
-                        exclusive_end,
-                        first_run,
-                        barrier,
-                        mins,
-                        flags,
-                        inboxes,
-                        errors,
-                    )
-                }));
+        // Loan the partition states to the workers and publish the job.
+        for (i, part) in self.partitions.iter_mut().enumerate() {
+            let state = std::mem::replace(part, PartitionState::hollow());
+            *shared.slots[i].lock().expect("slot mutex") = Some(state);
+        }
+        {
+            let mut job = shared.job.lock().expect("pool job mutex");
+            job.spec = JobSpec { start_now, exclusive_end, first_run };
+            job.done = 0;
+            job.epoch += 1;
+        }
+        shared.job_cv.notify_all();
+
+        // Wait for every worker to hand its state back.
+        {
+            let mut job = shared.job.lock().expect("pool job mutex");
+            while job.done < n {
+                job = shared.done_cv.wait(job).expect("pool done condvar");
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .map_err(|_| EngineError::WorkerPanicked)?;
+        }
+        for (i, part) in self.partitions.iter_mut().enumerate() {
+            *part = shared.slots[i]
+                .lock()
+                .expect("slot mutex")
+                .take()
+                .expect("worker returned partition state");
+        }
 
-        for err_slot in &errors {
-            if let Some(e) = err_slot.lock().take() {
+        if shared.panicked.load(Ordering::SeqCst) {
+            return Err(EngineError::WorkerPanicked);
+        }
+        for err_slot in shared.errors.iter() {
+            if let Some(e) = err_slot.lock().expect("error mutex").take() {
                 return Err(e);
             }
         }
 
+        let results: Vec<(SimTime, bool)> =
+            shared.results.iter().map(|r| *r.lock().expect("result mutex")).collect();
         let stopped = results.iter().any(|&(_, s)| s);
         let event_max = results.iter().map(|&(t, _)| t).max().unwrap_or(start_now);
         if !stopped && limit < SimTime::MAX {
@@ -307,151 +810,15 @@ impl<M: Send + 'static> ParallelSimulation<M> {
         }
         Ok(RunStats { events: self.events_processed(), final_time: self.now, stopped })
     }
-}
 
-/// Per-thread body of the parallel run. See the module docs for the
-/// barrier protocol; in brief, each round is:
-/// publish `(min, flags)` → barrier → snapshot → process window →
-/// flush outboxes → barrier → drain inbox.
-#[allow(clippy::too_many_arguments)]
-fn run_partition<M: Send + 'static>(
-    part: &mut PartitionState<M>,
-    pidx: usize,
-    n: usize,
-    directory: &[(u32, u32)],
-    quantum: SimDuration,
-    start_now: SimTime,
-    exclusive_end: u64,
-    first_run: bool,
-    barrier: &Barrier,
-    mins: &[AtomicU64],
-    flags: &[AtomicU64],
-    inboxes: &[Mutex<Vec<Event<M>>>],
-    errors: &[Mutex<Option<EngineError>>],
-) -> (SimTime, bool) {
-    let mut outboxes: Vec<Vec<Event<M>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut pending: Vec<Event<M>> = Vec::new();
-    let mut local_now = start_now;
-    let mut stopped = false;
-    let mut pending_stop = false;
-    let mut pending_err: Option<EngineError> = None;
-
-    if first_run {
-        // Phase 0: component starts. The resulting events are exchanged
-        // before any window is processed, so cross-partition deliveries have
-        // no lower bound here (window_end = start_now admits everything).
-        for i in 0..part.components.len() {
-            let id = part.components[i].0;
-            let mut stop = false;
-            let mut ctx = Ctx::new(start_now, id, &mut part.seqs[i], &mut pending, &mut stop);
-            part.components[i].1.on_start(&mut ctx);
-            pending_stop |= stop;
-        }
-        for ev in pending.drain(..) {
-            if let Err(e) =
-                route_one(directory, pidx, &mut part.queue, &mut outboxes, start_now, ev)
-            {
-                pending_err.get_or_insert(e);
-                break;
-            }
-        }
-        for (q, out) in outboxes.iter_mut().enumerate() {
-            if !out.is_empty() {
-                inboxes[q].lock().append(out);
-            }
-        }
-        barrier.wait();
-        for ev in inboxes[pidx].lock().drain(..) {
-            part.queue.push(HeapEntry(ev));
+    /// Component directory lookup that works both before the pool exists
+    /// (directory owned locally) and after (directory owned by the pool).
+    fn directory(&self) -> &[(u32, u32)] {
+        match &self.pool {
+            Some(pool) => &pool.shared.directory,
+            None => &self.directory,
         }
     }
-
-    loop {
-        // Publish local minimum and flags, then snapshot after the barrier.
-        let my_min = part.queue.peek().map_or(u64::MAX, |e| e.0.key.time.as_picos());
-        mins[pidx].store(my_min, Ordering::Relaxed);
-        let mut f = 0;
-        if pending_stop {
-            f |= FLAG_STOP;
-        }
-        if let Some(e) = pending_err.take() {
-            f |= FLAG_ERR;
-            errors[pidx].lock().get_or_insert(e);
-        }
-        flags[pidx].store(f, Ordering::Release);
-        barrier.wait();
-        let global_min = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap();
-        let any_flags = flags.iter().fold(0, |acc, fl| acc | fl.load(Ordering::Acquire));
-        if any_flags & FLAG_ERR != 0 {
-            break;
-        }
-        if any_flags & FLAG_STOP != 0 {
-            stopped = true;
-            break;
-        }
-        if global_min >= exclusive_end {
-            break;
-        }
-
-        // Window: [global_min, next quantum boundary after global_min),
-        // capped by the horizon. Skipping directly to global_min avoids
-        // spinning through empty quanta while idle timers (e.g. 200 ms TCP
-        // RTOs) are pending.
-        let window_start = SimTime::from_picos(global_min);
-        let qb = window_start.align_up(quantum);
-        let window_end_ps =
-            if qb == window_start { (qb + quantum).as_picos() } else { qb.as_picos() }
-                .min(exclusive_end);
-        let window_end = SimTime::from_picos(window_end_ps);
-
-        // Process local events inside the window.
-        #[allow(clippy::while_let_loop)]
-        'window: loop {
-            let Some(head) = part.queue.peek() else { break };
-            if head.0.key.time >= window_end {
-                break;
-            }
-            let ev = part.queue.pop().expect("peeked entry vanished").0;
-            local_now = ev.key.time;
-            let target = ev.key.target;
-            let (_, lidx) = directory[target.index()];
-            let lidx = lidx as usize;
-            let mut stop = false;
-            {
-                let (id_check, comp) = &mut part.components[lidx];
-                debug_assert_eq!(*id_check, target);
-                let mut ctx =
-                    Ctx::new(local_now, target, &mut part.seqs[lidx], &mut pending, &mut stop);
-                match ev.kind {
-                    EventKind::Timer(key) => comp.on_timer(key, &mut ctx),
-                    EventKind::Message(port, msg) => comp.on_message(port, msg, &mut ctx),
-                }
-            }
-            part.events_processed += 1;
-            pending_stop |= stop;
-            for out in pending.drain(..) {
-                if let Err(e) =
-                    route_one(directory, pidx, &mut part.queue, &mut outboxes, window_end, out)
-                {
-                    pending_err.get_or_insert(e);
-                    break 'window;
-                }
-            }
-        }
-        part.last_time = part.last_time.max(local_now);
-
-        // Exchange cross-partition events.
-        for (q, out) in outboxes.iter_mut().enumerate() {
-            if !out.is_empty() {
-                inboxes[q].lock().append(out);
-            }
-        }
-        barrier.wait();
-        for ev in inboxes[pidx].lock().drain(..) {
-            part.queue.push(HeapEntry(ev));
-        }
-    }
-    (part.last_time, stopped)
 }
 
 impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
@@ -474,7 +841,11 @@ impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
 
     fn inject(&mut self, at: SimTime, target: ComponentId, kind: EventKind<M>) {
         assert!(at >= self.now, "external event scheduled in the past");
-        assert!(target.index() < self.directory.len(), "unknown component {target}");
+        let (p, _) = {
+            let directory = self.directory();
+            assert!(target.index() < directory.len(), "unknown component {target}");
+            directory[target.index()]
+        };
         let key = EventKey {
             time: at,
             target,
@@ -482,8 +853,7 @@ impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
             source_seq: self.external_seq,
         };
         self.external_seq += 1;
-        let (p, _) = self.directory[target.index()];
-        self.partitions[p as usize].queue.push(HeapEntry(Event { key, kind }));
+        self.partitions[p as usize].queue.push(Event { key, kind });
     }
 }
 
@@ -648,5 +1018,46 @@ mod tests {
         sim.component_mut::<Chatter>(b).unwrap().peer = Some(a);
         let stats = sim.run().unwrap();
         assert_eq!(stats.events, 100 + 100);
+    }
+
+    /// A component whose handler panics at a given event count, to exercise
+    /// barrier poisoning.
+    struct Bomb {
+        fuse: u64,
+    }
+
+    impl Component<u64> for Bomb {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.set_timer(SimDuration::from_nanos(10), 0);
+        }
+        fn on_timer(&mut self, _key: TimerKey, ctx: &mut Ctx<'_, u64>) {
+            if self.fuse == 0 {
+                panic!("bomb went off");
+            }
+            self.fuse -= 1;
+            ctx.set_timer(SimDuration::from_nanos(10), 0);
+        }
+        fn on_message(&mut self, _p: PortNo, _m: u64, _c: &mut Ctx<'_, u64>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn component_panic_poisons_the_pool_instead_of_deadlocking() {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut sim = ParallelSimulation::<u64>::new(2, SimDuration::from_micros(1));
+        sim.add_in_partition(0, Box::new(Bomb { fuse: 3 }));
+        sim.add_in_partition(1, Box::new(chatter(2_000, 100)));
+        let err = sim.run().unwrap_err();
+        std::panic::set_hook(prev_hook);
+        assert!(matches!(err, EngineError::WorkerPanicked), "got {err:?}");
+        // The pool stays poisoned: later runs fail fast rather than hang.
+        let err2 = sim.run_until(SimTime::from_millis(1)).unwrap_err();
+        assert!(matches!(err2, EngineError::WorkerPanicked), "got {err2:?}");
     }
 }

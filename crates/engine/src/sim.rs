@@ -2,9 +2,9 @@
 
 use crate::component::{Component, Ctx};
 use crate::error::EngineError;
-use crate::event::{ComponentId, Event, EventKey, EventKind, HeapEntry, TimerKey};
+use crate::event::{ComponentId, Event, EventKey, EventKind, TimerKey};
+use crate::sched::{CalendarQueue, EventQueue};
 use crate::time::SimTime;
-use std::collections::BinaryHeap;
 
 /// Statistics returned by a completed run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -21,17 +21,20 @@ pub struct RunStats {
 ///
 /// Components are registered before the first run; events are then
 /// dispatched in the deterministic total order described in
-/// [`crate::event`]. For multi-million-node experiments the
-/// [`ParallelSimulation`](crate::parallel::ParallelSimulation) executor
+/// [`crate::event`]. Scheduling goes through the [`EventQueue`] trait and
+/// defaults to the two-tier [`CalendarQueue`] (amortized O(1) dispatch for
+/// near-future events); instantiate `Simulation<M, HeapQueue<M>>` to run on
+/// the reference binary heap instead. For multi-million-node experiments
+/// the [`ParallelSimulation`](crate::parallel::ParallelSimulation) executor
 /// distributes partitions over host threads with identical results.
 ///
 /// # Examples
 ///
 /// See [`Component`] for a complete runnable example.
-pub struct Simulation<M> {
+pub struct Simulation<M, Q: EventQueue<M> = CalendarQueue<M>> {
     components: Vec<Box<dyn Component<M>>>,
     seqs: Vec<u64>,
-    queue: BinaryHeap<HeapEntry<M>>,
+    queue: Q,
     now: SimTime,
     started: bool,
     stop: bool,
@@ -40,13 +43,13 @@ pub struct Simulation<M> {
     pending: Vec<Event<M>>,
 }
 
-impl<M: 'static> Default for Simulation<M> {
+impl<M: 'static, Q: EventQueue<M> + Default> Default for Simulation<M, Q> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> std::fmt::Debug for Simulation<M> {
+impl<M, Q: EventQueue<M>> std::fmt::Debug for Simulation<M, Q> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("components", &self.components.len())
@@ -57,13 +60,13 @@ impl<M> std::fmt::Debug for Simulation<M> {
     }
 }
 
-impl<M: 'static> Simulation<M> {
+impl<M: 'static, Q: EventQueue<M> + Default> Simulation<M, Q> {
     /// Creates an empty simulation at time zero.
     pub fn new() -> Self {
         Simulation {
             components: Vec::new(),
             seqs: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: Q::default(),
             now: SimTime::ZERO,
             started: false,
             stop: false,
@@ -118,7 +121,7 @@ impl<M: 'static> Simulation<M> {
             source_seq: self.external_seq,
         };
         self.external_seq += 1;
-        self.queue.push(HeapEntry(Event { key, kind }));
+        self.queue.push(Event { key, kind });
     }
 
     /// Convenience: injects an external timer.
@@ -153,7 +156,7 @@ impl<M: 'static> Simulation<M> {
             self.components[i].on_start(&mut ctx);
         }
         for ev in self.pending.drain(..) {
-            self.queue.push(HeapEntry(ev));
+            self.queue.push(ev);
         }
     }
 
@@ -176,13 +179,14 @@ impl<M: 'static> Simulation<M> {
     /// unregistered component.
     pub fn run_until(&mut self, limit: SimTime) -> Result<RunStats, EngineError> {
         self.start_if_needed();
+        // Events at exactly `limit` are processed: the bound is exclusive,
+        // one past the limit. (At `SimTime::MAX` the +1 saturates; an event
+        // at the final representable picosecond — 584 years in — would stay
+        // queued, which no model approaches.)
+        let bound_ps = limit.as_picos().saturating_add(1);
         while !self.stop {
-            let Some(head) = self.queue.peek() else { break };
-            let t = head.0.key.time;
-            if t > limit {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked entry vanished").0;
+            let Some(ev) = self.queue.pop_before(bound_ps) else { break };
+            let t = ev.key.time;
             debug_assert!(t >= self.now, "event queue went backwards");
             self.now = t;
             let target = ev.key.target;
@@ -207,7 +211,7 @@ impl<M: 'static> Simulation<M> {
             }
             self.events_processed += 1;
             for out in self.pending.drain(..) {
-                self.queue.push(HeapEntry(out));
+                self.queue.push(out);
             }
         }
         if self.now < limit && limit < SimTime::MAX && !self.stop && self.queue.is_empty() {
@@ -221,8 +225,8 @@ impl<M: 'static> Simulation<M> {
 
 #[cfg(test)]
 mod tests {
-    use crate::event::PortNo;
     use super::*;
+    use crate::event::PortNo;
     use crate::time::SimDuration;
     use std::any::Any;
 
@@ -354,11 +358,7 @@ mod tests {
         let mut sim = Simulation::<u64>::new();
         let a = sim.add_component(Box::new(pinger(0)));
         for i in 0..10u64 {
-            sim.schedule_external(
-                SimTime::from_nanos(100),
-                a,
-                EventKind::Message(PortNo(0), i),
-            );
+            sim.schedule_external(SimTime::from_nanos(100), a, EventKind::Message(PortNo(0), i));
         }
         sim.run().unwrap();
         // All ten delivered at the same instant in injection order.

@@ -98,14 +98,7 @@ impl Histogram {
     /// Panics unless `1 <= precision_bits <= 14`.
     pub fn with_precision(precision_bits: u32) -> Self {
         assert!((1..=14).contains(&precision_bits), "precision_bits out of range");
-        Histogram {
-            precision_bits,
-            buckets: Vec::new(),
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
+        Histogram { precision_bits, buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 
     fn index_of(&self, value: u64) -> usize {

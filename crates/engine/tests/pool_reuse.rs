@@ -1,0 +1,132 @@
+//! The parallel executor's worker pool is persistent: repeated `run_until`
+//! calls must reuse the same threads and produce exactly the state a single
+//! long run — or the serial executor — would.
+
+use diablo_engine::parallel::{ComponentHost, ParallelSimulation};
+use diablo_engine::prelude::*;
+use std::any::Any;
+
+/// Deterministic gossip node: every 100 ns it messages both mesh neighbors
+/// with a running checksum folded from everything it has heard so far.
+struct Gossip {
+    peers: Vec<ComponentId>,
+    sent: u64,
+    limit: u64,
+    acc: u64,
+    log: Vec<(SimTime, u64)>,
+}
+
+impl Gossip {
+    fn new(limit: u64) -> Self {
+        Gossip { peers: Vec::new(), sent: 0, limit, acc: 0x9E3779B9, log: Vec::new() }
+    }
+}
+
+impl Component<u64> for Gossip {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.set_timer(SimDuration::from_nanos(100), 0);
+    }
+    fn on_timer(&mut self, _key: TimerKey, ctx: &mut Ctx<'_, u64>) {
+        for &p in &self.peers {
+            ctx.send_after(p, PortNo(0), SimDuration::from_micros(2), self.acc);
+        }
+        self.sent += 1;
+        if self.sent < self.limit {
+            ctx.set_timer(SimDuration::from_nanos(100), 0);
+        }
+    }
+    fn on_message(&mut self, _port: PortNo, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        self.acc = self.acc.rotate_left(7) ^ msg;
+        self.log.push((ctx.now(), self.acc));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn build<H: ComponentHost<u64>>(host: &mut H, parts: usize, n: usize) -> Vec<ComponentId> {
+    let ids: Vec<ComponentId> =
+        (0..n).map(|i| host.add_in_partition(i % parts, Box::new(Gossip::new(50)))).collect();
+    ids
+}
+
+fn wire(set_peer: &mut dyn FnMut(usize, Vec<ComponentId>), ids: &[ComponentId]) {
+    let n = ids.len();
+    for i in 0..n {
+        set_peer(i, vec![ids[(i + 1) % n], ids[(i + n - 1) % n]]);
+    }
+}
+
+fn snapshot_parallel(
+    sim: &ParallelSimulation<u64>,
+    ids: &[ComponentId],
+) -> Vec<(u64, Vec<(SimTime, u64)>)> {
+    ids.iter()
+        .map(|&id| {
+            let g = sim.component::<Gossip>(id).unwrap();
+            (g.acc, g.log.clone())
+        })
+        .collect()
+}
+
+#[test]
+fn split_runs_match_one_long_run_and_serial() {
+    let quantum = SimDuration::from_micros(1);
+    let end = SimTime::from_micros(40);
+    let mid = SimTime::from_micros(7);
+
+    // (a) Parallel, two consecutive run_until calls over the same pool.
+    let mut split = ParallelSimulation::<u64>::new(4, quantum);
+    let ids = build(&mut split, 4, 8);
+    wire(&mut |i, peers| split.component_mut::<Gossip>(ids[i]).unwrap().peers = peers, &ids);
+    assert_eq!(split.workers_spawned(), 0, "pool must be lazy");
+    split.run_until(mid).unwrap();
+    assert_eq!(split.workers_spawned(), 4);
+    let stats_split = split.run_until(end).unwrap();
+    assert_eq!(split.workers_spawned(), 4, "second run must reuse the pool");
+
+    // (b) Parallel, one long run.
+    let mut long = ParallelSimulation::<u64>::new(4, quantum);
+    let ids_l = build(&mut long, 4, 8);
+    wire(&mut |i, peers| long.component_mut::<Gossip>(ids_l[i]).unwrap().peers = peers, &ids_l);
+    let stats_long = long.run_until(end).unwrap();
+
+    // (c) Serial reference.
+    let mut serial = Simulation::<u64>::new();
+    let ids_s = build(&mut serial, 1, 8);
+    wire(&mut |i, peers| serial.component_mut::<Gossip>(ids_s[i]).unwrap().peers = peers, &ids_s);
+    let stats_serial = serial.run_until(end).unwrap();
+
+    assert_eq!(stats_split.events, stats_long.events);
+    assert_eq!(stats_split.events, stats_serial.events);
+    assert_eq!(stats_split.final_time, stats_long.final_time);
+
+    let snap_split = snapshot_parallel(&split, &ids);
+    let snap_long = snapshot_parallel(&long, &ids_l);
+    let snap_serial: Vec<(u64, Vec<(SimTime, u64)>)> = ids_s
+        .iter()
+        .map(|&id| {
+            let g = serial.component::<Gossip>(id).unwrap();
+            (g.acc, g.log.clone())
+        })
+        .collect();
+    assert_eq!(snap_split, snap_long, "split runs diverged from one long run");
+    assert_eq!(snap_split, snap_serial, "parallel diverged from serial");
+}
+
+#[test]
+fn many_short_runs_spawn_no_extra_workers() {
+    let mut sim = ParallelSimulation::<u64>::new(3, SimDuration::from_micros(1));
+    let ids = build(&mut sim, 3, 6);
+    wire(&mut |i, peers| sim.component_mut::<Gossip>(ids[i]).unwrap().peers = peers, &ids);
+    for step in 1..=20u64 {
+        sim.run_until(SimTime::from_micros(step * 2)).unwrap();
+        assert_eq!(sim.workers_spawned(), 3, "run {step} spawned extra workers");
+    }
+    // Finish and sanity-check the mesh actually communicated.
+    sim.run().unwrap();
+    assert!(sim.component::<Gossip>(ids[0]).unwrap().log.len() >= 50);
+}

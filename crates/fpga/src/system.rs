@@ -106,12 +106,10 @@ impl SystemPlan {
         let rack_fpgas = servers.div_ceil(p.servers_per_fpga).max(racks.div_ceil(p.racks_per_fpga));
         let has_dc = arrays > 1;
         let dc_boards = u64::from(has_dc && p.dedicated_dc_board);
-        let boardable_switches =
-            if p.dedicated_dc_board { arrays } else { big_switches };
+        let boardable_switches = if p.dedicated_dc_board { arrays } else { big_switches };
         let rack_boards = rack_fpgas.div_ceil(p.fpgas_per_board);
-        let switch_boards = boardable_switches
-            .div_ceil(p.switches_per_fpga * p.fpgas_per_board)
-            + dc_boards;
+        let switch_boards =
+            boardable_switches.div_ceil(p.switches_per_fpga * p.fpgas_per_board) + dc_boards;
         let boards = rack_boards + switch_boards;
         let switch_fpgas = switch_boards * p.fpgas_per_board;
         SystemPlan {

@@ -180,10 +180,7 @@ impl CircuitSwitch {
         let capacity = self.cfg.port_bandwidth.bits_per_sec();
         let available = capacity.saturating_sub(self.reserved[out_port as usize]);
         if reserved_bps == 0 || reserved_bps > available {
-            return Err(CircuitError::InsufficientBandwidth {
-                requested: reserved_bps,
-                available,
-            });
+            return Err(CircuitError::InsufficientBandwidth { requested: reserved_bps, available });
         }
         self.reserved[out_port as usize] += reserved_bps;
         // The circuit's private serializer runs at the reserved rate over
@@ -218,7 +215,12 @@ impl CircuitSwitch {
         self.circuits.len()
     }
 
-    fn forward(&mut self, in_port: u16, mut frame: Frame, now: SimTime) -> Option<(PortPeer, SimTime, Frame)> {
+    fn forward(
+        &mut self,
+        in_port: u16,
+        mut frame: Frame,
+        now: SimTime,
+    ) -> Option<(PortPeer, SimTime, Frame)> {
         let out = frame.route.port_at(frame.hop)?;
         let circuit = self.circuits.get_mut(&(in_port, out))?;
         frame.hop += 1;

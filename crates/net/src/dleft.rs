@@ -151,11 +151,7 @@ impl<V> DLeftTable<V> {
     /// Highest bucket occupancy — the metric d-left bounds (worst-case
     /// lookup cost in a hardware pipeline).
     pub fn max_bucket_load(&self) -> usize {
-        self.slots
-            .iter()
-            .flat_map(|sub| sub.iter().map(Vec::len))
-            .max()
-            .unwrap_or(0)
+        self.slots.iter().flat_map(|sub| sub.iter().map(Vec::len)).max().unwrap_or(0)
     }
 }
 

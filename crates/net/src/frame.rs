@@ -105,11 +105,8 @@ mod tests {
 
     #[test]
     fn frame_starts_at_hop_zero() {
-        let dgram = UdpDatagram {
-            src_port: 1,
-            dst_port: 2,
-            msg: AppMessage::new(0, 1, 10, SimTime::ZERO),
-        };
+        let dgram =
+            UdpDatagram { src_port: 1, dst_port: 2, msg: AppMessage::new(0, 1, 10, SimTime::ZERO) };
         let f = Frame::new(IpPacket::udp(NodeAddr(0), NodeAddr(1), dgram), Route::empty());
         assert_eq!(f.hop, 0);
     }

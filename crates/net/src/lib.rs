@@ -23,10 +23,10 @@ pub mod switch;
 pub mod topology;
 
 pub use addr::{NodeAddr, SockAddr};
+pub use circuit::{CircuitSwitch, CircuitSwitchConfig};
+pub use dleft::DLeftTable;
 pub use frame::{Frame, Route};
 pub use link::{LinkParams, PortPeer, TxPort};
 pub use payload::{AppMessage, IpPacket, TcpFlags, TcpSegment, Transport, UdpDatagram};
-pub use circuit::{CircuitSwitch, CircuitSwitchConfig};
-pub use dleft::DLeftTable;
 pub use switch::{BufferConfig, ForwardingMode, PacketSwitch, RoutingMode, SwitchConfig};
 pub use topology::{HopClass, Topology, TopologyConfig};

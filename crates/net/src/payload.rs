@@ -160,10 +160,7 @@ impl TcpSegment {
     /// Stream offset one past the last payload byte (SYN/FIN occupy one
     /// sequence number like real TCP).
     pub fn seq_end(&self) -> u64 {
-        self.seq
-            + self.payload_len as u64
-            + u64::from(self.flags.syn)
-            + u64::from(self.flags.fin)
+        self.seq + self.payload_len as u64 + u64::from(self.flags.syn) + u64::from(self.flags.fin)
     }
 }
 

@@ -635,12 +635,8 @@ mod voq_tests {
         let srcs = &sim.component::<OrderSink>(sink).unwrap().srcs;
         assert_eq!(srcs.len(), 16);
         // Strict alternation across the backlogged region.
-        let alternations =
-            srcs.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(
-            alternations >= 13,
-            "round-robin should alternate inputs, got {srcs:?}"
-        );
+        let alternations = srcs.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(alternations >= 13, "round-robin should alternate inputs, got {srcs:?}");
         let a = srcs.iter().filter(|&&s| s == 100).count();
         assert_eq!(a, 8, "both inputs fully served");
     }

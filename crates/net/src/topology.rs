@@ -293,10 +293,7 @@ impl Topology {
             SwitchLevel::Array { array } => {
                 if (port as usize) < self.racks_in_array(array) {
                     let rack = array * self.cfg.racks_per_array + port as usize;
-                    Endpoint::Switch {
-                        index: self.tor_index(rack),
-                        port: self.tor_uplink_port(),
-                    }
+                    Endpoint::Switch { index: self.tor_index(rack), port: self.tor_uplink_port() }
                 } else if port == self.array_uplink_port() && self.has_datacenter_switch() {
                     Endpoint::Switch { index: self.datacenter_index(), port: array as u16 }
                 } else {
@@ -447,12 +444,8 @@ mod tests {
 
     #[test]
     fn all_routes_terminate_at_destination() {
-        let t = Topology::new(TopologyConfig {
-            racks: 6,
-            servers_per_rack: 4,
-            racks_per_array: 2,
-        })
-        .unwrap();
+        let t = Topology::new(TopologyConfig { racks: 6, servers_per_rack: 4, racks_per_array: 2 })
+            .unwrap();
         for s in 0..t.nodes() as u32 {
             for d in 0..t.nodes() as u32 {
                 walk(&t, NodeAddr(s), NodeAddr(d));
@@ -462,12 +455,8 @@ mod tests {
 
     #[test]
     fn partial_last_array() {
-        let t = Topology::new(TopologyConfig {
-            racks: 5,
-            servers_per_rack: 2,
-            racks_per_array: 2,
-        })
-        .unwrap();
+        let t = Topology::new(TopologyConfig { racks: 5, servers_per_rack: 2, racks_per_array: 2 })
+            .unwrap();
         assert_eq!(t.arrays(), 3);
         assert_eq!(t.racks_in_array(2), 1);
         for s in 0..t.nodes() as u32 {

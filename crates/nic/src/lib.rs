@@ -312,11 +312,8 @@ mod tests {
     }
 
     fn nic(cfg: NicConfig) -> Nic {
-        let peer = PortPeer {
-            component: ComponentId(1),
-            port: PortNo(0),
-            params: LinkParams::gbe(500),
-        };
+        let peer =
+            PortPeer { component: ComponentId(1), port: PortNo(0), params: LinkParams::gbe(500) };
         Nic::new(cfg, peer)
     }
 
@@ -388,7 +385,7 @@ mod tests {
         n.rx_frame(frame(100), SimTime::from_micros(0), &mut actions);
         assert_eq!(actions, vec![NicAction::SetTimer(SimTime::from_micros(2), keys::RX_INTR)]);
         assert!(n.on_rx_interrupt()); // live; driver masks
-        // While masked, arrivals are silent.
+                                      // While masked, arrivals are silent.
         actions.clear();
         n.rx_frame(frame(100), SimTime::from_micros(3), &mut actions);
         assert!(actions.is_empty());

@@ -39,10 +39,9 @@ fn build_rack(n: usize, buffer: BufferConfig) -> Rack {
         nodes.push(id);
     }
     for (i, &node_id) in nodes.iter().enumerate() {
-        sim.component_mut::<PacketSwitch>(switch).unwrap().connect_port(
-            i as u16,
-            PortPeer { component: node_id, port: PortNo(0), params: link },
-        );
+        sim.component_mut::<PacketSwitch>(switch)
+            .unwrap()
+            .connect_port(i as u16, PortPeer { component: node_id, port: PortNo(0), params: link });
     }
     Rack { sim, nodes }
 }
@@ -63,11 +62,7 @@ fn run_pthread_incast(n_servers: usize, iters: u64, buffer: BufferConfig) -> f64
         node.spawn(Box::new(IncastMaster::new(n_servers, iters, sh.clone())));
         for s in 1..=n_servers {
             let server = SockAddr::new(NodeAddr(s as u32), INCAST_PORT);
-            node.spawn(Box::new(IncastWorker::new(
-                server,
-                block / n_servers as u32,
-                sh.clone(),
-            )));
+            node.spawn(Box::new(IncastWorker::new(server, block / n_servers as u32, sh.clone())));
         }
     }
     rack.sim.run_until(SimTime::from_secs(60)).unwrap();
@@ -89,8 +84,7 @@ fn pthread_incast_completes_with_deep_buffers() {
 fn epoll_incast_completes() {
     let n_servers = 3;
     let block: u32 = 256 * 1024;
-    let mut rack =
-        build_rack(n_servers + 1, BufferConfig::PerPort { bytes_per_port: 1024 * 1024 });
+    let mut rack = build_rack(n_servers + 1, BufferConfig::PerPort { bytes_per_port: 1024 * 1024 });
     for s in 1..=n_servers {
         let id = rack.nodes[s];
         rack.sim.component_mut::<ServerNode>(id).unwrap().spawn(Box::new(IncastServer::new()));
@@ -98,9 +92,11 @@ fn epoll_incast_completes() {
     let servers: Vec<SockAddr> =
         (1..=n_servers).map(|s| SockAddr::new(NodeAddr(s as u32), INCAST_PORT)).collect();
     let client = rack.nodes[0];
-    rack.sim.component_mut::<ServerNode>(client).unwrap().spawn(Box::new(
-        IncastEpollClient::new(servers, block / n_servers as u32, 5),
-    ));
+    rack.sim.component_mut::<ServerNode>(client).unwrap().spawn(Box::new(IncastEpollClient::new(
+        servers,
+        block / n_servers as u32,
+        5,
+    )));
     rack.sim.run_until(SimTime::from_secs(60)).unwrap();
     let k = rack.sim.component::<ServerNode>(client).unwrap().kernel();
     let c = k.process::<IncastEpollClient>(diablo_stack::process::Tid(0)).unwrap();

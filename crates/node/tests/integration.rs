@@ -41,10 +41,8 @@ fn build_rack(n: usize, cfg_of: impl Fn(NodeAddr) -> NodeConfig) -> Rack {
     }
     for (i, &node_id) in nodes.iter().enumerate() {
         let sw_ref = sim.component_mut::<PacketSwitch>(switch).unwrap();
-        sw_ref.connect_port(
-            i as u16,
-            PortPeer { component: node_id, port: PortNo(0), params: link },
-        );
+        sw_ref
+            .connect_port(i as u16, PortPeer { component: node_id, port: PortNo(0), params: link });
     }
     Rack { sim, nodes, switch }
 }

@@ -38,10 +38,9 @@ fn build_rack(n: usize) -> Rack {
         nodes.push(sim.add_component(Box::new(ServerNode::new(cfg, uplink, topo.clone()))));
     }
     for (i, &node_id) in nodes.iter().enumerate() {
-        sim.component_mut::<PacketSwitch>(switch).unwrap().connect_port(
-            i as u16,
-            PortPeer { component: node_id, port: PortNo(0), params: link },
-        );
+        sim.component_mut::<PacketSwitch>(switch)
+            .unwrap()
+            .connect_port(i as u16, PortPeer { component: node_id, port: PortNo(0), params: link });
     }
     Rack { sim, nodes }
 }

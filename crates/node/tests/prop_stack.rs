@@ -40,12 +40,12 @@ fn run_lossy_echo(loss_centi: u32, count: u64, len: u32, seed: u64) -> (bool, us
         );
         nodes.push(sim.add_component(Box::new(node)));
     }
-    sim.component_mut::<ServerNode>(nodes[0])
-        .expect("node")
-        .spawn(Box::new(TcpEchoServer::new(7)));
-    sim.component_mut::<ServerNode>(nodes[1])
-        .expect("node")
-        .spawn(Box::new(TcpEchoClient::new(SockAddr::new(NodeAddr(0), 7), count, len)));
+    sim.component_mut::<ServerNode>(nodes[0]).expect("node").spawn(Box::new(TcpEchoServer::new(7)));
+    sim.component_mut::<ServerNode>(nodes[1]).expect("node").spawn(Box::new(TcpEchoClient::new(
+        SockAddr::new(NodeAddr(0), 7),
+        count,
+        len,
+    )));
     sim.run_until(SimTime::from_secs(600)).expect("run");
     let k = sim.component::<ServerNode>(nodes[1]).expect("node").kernel();
     let c = k.process::<TcpEchoClient>(Tid(0)).expect("client");

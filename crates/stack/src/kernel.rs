@@ -24,9 +24,7 @@
 //! overflows, packets drop, and TCP collapses (Figure 6(b)) — none of
 //! which network-only simulators reproduce.
 
-use crate::process::{
-    Errno, Fd, Proto, Process, ProcessCtx, Step, SysResult, Syscall, Tid,
-};
+use crate::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall, Tid};
 use crate::profile::KernelProfile;
 use crate::socket::{EventMask, SockId, Socket, SocketKind};
 use crate::tcp::{TcpConn, TcpOutput, TcpParams, TcpState};
@@ -532,8 +530,7 @@ impl Kernel {
                     if self.last_ran != Some(t) {
                         self.stats.context_switches.incr();
                         self.trace_push(env.now(), TraceKind::Switch(t));
-                        self.procs[t.0 as usize].extra_cost +=
-                            self.cfg.profile.context_switch_cost;
+                        self.procs[t.0 as usize].extra_cost += self.cfg.profile.context_switch_cost;
                     }
                     self.current = Some(t);
                     self.last_ran = Some(t);
@@ -603,8 +600,7 @@ impl Kernel {
                 }
             }
             Syscall::SendTo { msg, .. } => {
-                p.tx_packet_cost
-                    + if p.zero_copy_tx { 0 } else { p.copy_cost(msg.len as u64) }
+                p.tx_packet_cost + if p.zero_copy_tx { 0 } else { p.copy_cost(msg.len as u64) }
             }
             Syscall::SetNonblocking { .. } => p.fcntl_cost,
             Syscall::EpollWait { .. } => p.epoll_wait_cost,
@@ -724,9 +720,7 @@ impl Kernel {
             SocketKind::TcpListen { queue, .. } => {
                 EventMask { readable: !queue.is_empty(), writable: false }
             }
-            SocketKind::Udp { rx, .. } => {
-                EventMask { readable: !rx.is_empty(), writable: true }
-            }
+            SocketKind::Udp { rx, .. } => EventMask { readable: !rx.is_empty(), writable: true },
             _ => EventMask::default(),
         }
     }
@@ -803,11 +797,9 @@ impl Kernel {
         for i in 0..watchers.len() {
             let ep = watchers[(start + i) % watchers.len()];
             let interest = match &self.sockets[ep as usize].kind {
-                SocketKind::Epoll { watched } => watched
-                    .iter()
-                    .find(|(s, _)| *s == sid)
-                    .map(|(_, m)| *m)
-                    .unwrap_or_default(),
+                SocketKind::Epoll { watched } => {
+                    watched.iter().find(|(s, _)| *s == sid).map(|(_, m)| *m).unwrap_or_default()
+                }
                 _ => EventMask::default(),
             };
             if !interest.intersect(what).is_empty() {
@@ -937,8 +929,7 @@ impl Kernel {
                     listener: Some(lid),
                     app_closed: false,
                 });
-                if let SocketKind::TcpListen { embryos, .. } =
-                    &mut self.sockets[lid as usize].kind
+                if let SocketKind::TcpListen { embryos, .. } = &mut self.sockets[lid as usize].kind
                 {
                     *embryos += 1;
                 }
@@ -1001,8 +992,7 @@ impl Kernel {
             if embryo {
                 // Server side: move to the listener's accept queue.
                 if let Some(lid) = listener {
-                    if let SocketKind::Tcp { embryo, .. } = &mut self.sockets[sid as usize].kind
-                    {
+                    if let SocketKind::Tcp { embryo, .. } = &mut self.sockets[sid as usize].kind {
                         *embryo = false;
                     }
                     if let SocketKind::TcpListen { queue, embryos, .. } =
@@ -1053,19 +1043,12 @@ impl Kernel {
 
     // --------------------------------------------------------- syscalls
 
-    fn execute_syscall(
-        &mut self,
-        tid: Tid,
-        call: Syscall,
-        env: &mut dyn KernelEnv,
-    ) -> ExecOutcome {
+    fn execute_syscall(&mut self, tid: Tid, call: Syscall, env: &mut dyn KernelEnv) -> ExecOutcome {
         match call {
             Syscall::Socket(proto) => {
                 let kind = match proto {
                     Proto::Tcp => SocketKind::RawTcp { port: None },
-                    Proto::Udp => {
-                        SocketKind::Udp { port: 0, rx: VecDeque::new(), rx_bytes: 0 }
-                    }
+                    Proto::Udp => SocketKind::Udp { port: 0, rx: VecDeque::new(), rx_bytes: 0 },
                 };
                 let sid = self.alloc_socket(kind);
                 ExecOutcome::Ready(SysResult::NewFd(Fd(sid)))
@@ -1078,15 +1061,13 @@ impl Kernel {
             Syscall::Recv { fd, max_msgs } => self.sys_recv(tid, fd, max_msgs, env),
             Syscall::SendTo { fd, to, msg } => self.sys_sendto(fd, to, msg, env),
             Syscall::RecvFrom { fd } => self.sys_recvfrom(tid, fd),
-            Syscall::SetNonblocking { fd, on } => {
-                match self.sockets.get_mut(fd.0 as usize) {
-                    Some(s) if !matches!(s.kind, SocketKind::Free) => {
-                        s.nonblocking = on;
-                        ExecOutcome::Ready(SysResult::Done)
-                    }
-                    _ => ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+            Syscall::SetNonblocking { fd, on } => match self.sockets.get_mut(fd.0 as usize) {
+                Some(s) if !matches!(s.kind, SocketKind::Free) => {
+                    s.nonblocking = on;
+                    ExecOutcome::Ready(SysResult::Done)
                 }
-            }
+                _ => ExecOutcome::Ready(SysResult::Err(Errno::BadFd)),
+            },
             Syscall::EpollCreate => {
                 let sid = self.alloc_socket(SocketKind::Epoll { watched: Vec::new() });
                 ExecOutcome::Ready(SysResult::NewFd(Fd(sid)))
@@ -1332,8 +1313,7 @@ impl Kernel {
                 self.apply_tcp_output(sid, out, env);
                 if !msgs.is_empty() || eof {
                     let bytes: u64 = msgs.iter().map(|m| m.len as u64).sum();
-                    self.procs[tid.0 as usize].extra_cost +=
-                        self.cfg.profile.copy_cost(bytes);
+                    self.procs[tid.0 as usize].extra_cost += self.cfg.profile.copy_cost(bytes);
                     ExecOutcome::Ready(SysResult::Messages { msgs, eof })
                 } else if state == TcpState::Closed {
                     ExecOutcome::Ready(SysResult::Err(Errno::ConnReset))
@@ -1504,8 +1484,7 @@ impl Kernel {
                         (out, conn.state() == TcpState::Closed)
                     })
                     .expect("tcp socket vanished");
-                if let SocketKind::Tcp { app_closed, .. } = &mut self.sockets[sid as usize].kind
-                {
+                if let SocketKind::Tcp { app_closed, .. } = &mut self.sockets[sid as usize].kind {
                     *app_closed = true;
                 }
                 self.apply_tcp_output(sid, out, env);

@@ -17,7 +17,7 @@ pub mod socket;
 pub mod tcp;
 
 pub use kernel::{Kernel, KernelEnv, KernelStats, NodeConfig, Router, TraceKind, TraceRecord};
-pub use process::{Errno, Fd, Proto, Process, ProcessCtx, Step, SysResult, Syscall, Tid};
+pub use process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall, Tid};
 pub use profile::KernelProfile;
 pub use socket::EventMask;
 pub use tcp::{TcpConn, TcpOutput, TcpParams, TcpState, TcpStats};

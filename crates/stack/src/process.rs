@@ -13,9 +13,9 @@
 //! (Figure 6(b)), and scheduler-induced queueing.
 
 use crate::socket::EventMask;
+use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::addr::SockAddr;
 use diablo_net::payload::AppMessage;
-use diablo_engine::time::{SimDuration, SimTime};
 
 /// A file descriptor within one simulated node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

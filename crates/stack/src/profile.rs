@@ -171,9 +171,7 @@ impl KernelProfile {
 
     /// Per-byte copy instructions for `bytes` bytes.
     pub fn copy_cost(&self, bytes: u64) -> u64 {
-        (bytes * self.copy_cost_per_byte_num)
-            .checked_div(self.copy_cost_per_byte_den)
-            .unwrap_or(0)
+        (bytes * self.copy_cost_per_byte_num).checked_div(self.copy_cost_per_byte_den).unwrap_or(0)
     }
 }
 

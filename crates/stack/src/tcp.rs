@@ -937,9 +937,9 @@ impl TcpConn {
 
     fn rto_from_estimate(&self) -> SimDuration {
         match self.srtt {
-            Some(srtt) => (srtt + self.rttvar * 4)
-                .max(self.params.rto_min)
-                .min(self.params.rto_max),
+            Some(srtt) => {
+                (srtt + self.rttvar * 4).max(self.params.rto_min).min(self.params.rto_max)
+            }
             None => self.params.rto_initial,
         }
     }
@@ -1083,18 +1083,17 @@ mod tests {
                 match ev {
                     Ev::Deliver(side, key) => {
                         let seg = self.segs.remove(&key).expect("segment vanished");
-                        if side == B && self.conns[B].state() == TcpState::Closed
+                        if side == B
+                            && self.conns[B].state() == TcpState::Closed
                             && !self.established[B]
                             && seg.flags.syn
                             && !seg.flags.ack
                         {
                             // Passive open on first SYN.
                             let params = self.conns[B].params.clone();
-                            let (local, remote) =
-                                (self.conns[B].local, self.conns[B].remote);
-                            self.conns[B] = TcpConn::server_from_syn(
-                                params, local, remote, &seg, t, &mut out,
-                            );
+                            let (local, remote) = (self.conns[B].local, self.conns[B].remote);
+                            self.conns[B] =
+                                TcpConn::server_from_syn(params, local, remote, &seg, t, &mut out);
                         } else {
                             self.conns[side].on_segment(t, seg, &mut out);
                         }
@@ -1227,8 +1226,7 @@ mod tests {
             let mut h = run_default();
             // Script random drops over the next ~100 transmissions.
             let base = h.sent[A];
-            let drops: Vec<u64> =
-                (0..100).filter(|_| rng.chance(0.1)).map(|i| base + i).collect();
+            let drops: Vec<u64> = (0..100).filter(|_| rng.chance(0.1)).map(|i| base + i).collect();
             h.drops[A] = drops;
             for i in 0..20 {
                 h.send(A, msg(i, 4_000));

@@ -9,9 +9,7 @@ use diablo_net::link::{LinkParams, PortPeer};
 use diablo_net::topology::{Topology, TopologyConfig};
 use diablo_net::{NodeAddr, SockAddr};
 use diablo_stack::kernel::{Kernel, KernelEnv, NodeConfig};
-use diablo_stack::process::{
-    Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall, Tid,
-};
+use diablo_stack::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall, Tid};
 use diablo_stack::profile::KernelProfile;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -52,11 +50,8 @@ impl World {
             Topology::new(TopologyConfig { racks: 1, servers_per_rack: 8, racks_per_array: 1 })
                 .expect("topology"),
         );
-        let uplink = PortPeer {
-            component: ComponentId(999),
-            port: PortNo(0),
-            params: LinkParams::gbe(0),
-        };
+        let uplink =
+            PortPeer { component: ComponentId(999), port: PortNo(0), params: LinkParams::gbe(0) };
         let cfg = NodeConfig::new(NodeAddr(0), KernelProfile::linux_2_6_39());
         World {
             kernel: Kernel::new(cfg, uplink, topo),
@@ -141,15 +136,7 @@ fn socket_bind_listen_lifecycle() {
         Syscall::Listen { fd: Fd(0), backlog: 8 },
         Syscall::Close { fd: Fd(0) },
     ]);
-    assert_eq!(
-        r,
-        vec![
-            SysResult::NewFd(Fd(0)),
-            SysResult::Done,
-            SysResult::Done,
-            SysResult::Done
-        ]
-    );
+    assert_eq!(r, vec![SysResult::NewFd(Fd(0)), SysResult::Done, SysResult::Done, SysResult::Done]);
 }
 
 #[test]
@@ -191,10 +178,8 @@ fn bad_fd_errors_everywhere() {
 
 #[test]
 fn listen_without_bind_is_invalid() {
-    let r = run_script(vec![
-        Syscall::Socket(Proto::Tcp),
-        Syscall::Listen { fd: Fd(0), backlog: 4 },
-    ]);
+    let r =
+        run_script(vec![Syscall::Socket(Proto::Tcp), Syscall::Listen { fd: Fd(0), backlog: 4 }]);
     assert_eq!(r[1], SysResult::Err(Errno::Invalid));
 }
 

@@ -16,9 +16,7 @@ fn build_segments(lens: &[u32], mss: u32) -> Vec<TcpSegment> {
     let mut offset = 1u64; // DATA_START
     let mut markers: Vec<StreamMarker> = Vec::new();
     for (i, &len) in lens.iter().enumerate() {
-        let end = offset
-            + markers.iter().map(|_| 0u64).sum::<u64>()
-            + len.max(1) as u64;
+        let end = offset + markers.iter().map(|_| 0u64).sum::<u64>() + len.max(1) as u64;
         let msg = AppMessage::new(7, i as u64, len.max(1), SimTime::ZERO);
         markers.push(StreamMarker { end_offset: end, msg });
         offset = end;

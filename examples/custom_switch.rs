@@ -15,10 +15,7 @@ fn main() {
     println!("{:<44}  {:>14}", "switch configuration", "goodput (Mbps)");
 
     let designs: Vec<(&str, SwitchTemplate)> = vec![
-        (
-            "4 KB/port, store-and-forward (paper's ToR)",
-            SwitchTemplate::gbe_shallow(),
-        ),
+        ("4 KB/port, store-and-forward (paper's ToR)", SwitchTemplate::gbe_shallow()),
         (
             "64 KB/port, store-and-forward",
             SwitchTemplate {

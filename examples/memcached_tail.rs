@@ -20,11 +20,15 @@ fn main() {
     );
     let r = run_memcached(&cfg);
 
-    println!("{} requests served; {} UDP retries; {} failures\n", r.served, r.udp_retries, r.failures);
-    println!("{:>7}  {:>9}  {:>10}  {:>11}  {:>12}", "class", "requests", "p50 (us)", "p99 (us)", "p99.9 (us)");
-    for (name, hist) in
-        ["local", "1-hop", "2-hop"].iter().zip(&r.by_class)
-    {
+    println!(
+        "{} requests served; {} UDP retries; {} failures\n",
+        r.served, r.udp_retries, r.failures
+    );
+    println!(
+        "{:>7}  {:>9}  {:>10}  {:>11}  {:>12}",
+        "class", "requests", "p50 (us)", "p99 (us)", "p99.9 (us)"
+    );
+    for (name, hist) in ["local", "1-hop", "2-hop"].iter().zip(&r.by_class) {
         if hist.is_empty() {
             continue;
         }

@@ -1,7 +1,8 @@
 //! Partition-parallel execution: the software analogue of DIABLO's
 //! multi-FPGA scaling. Racks map to partitions the way the prototype maps
-//! them to Rack FPGAs, synchronized every quantum — and the results are
-//! bit-identical to a serial run.
+//! them to Rack FPGAs, synchronized once per quantum over a persistent
+//! worker pool (threads are spawned on the first `run_until` and reused by
+//! every later one) — and the results are bit-identical to a serial run.
 //!
 //! Run with: `cargo run --release --example parallel_run`
 
@@ -27,8 +28,7 @@ fn main() {
     // The quantum must not exceed the smallest cross-partition link
     // latency; ClusterSpec::safe_quantum computes it (500 ns here).
     let mut parallel = base;
-    parallel.mode =
-        RunMode::Parallel { partitions: 4, quantum: SimDuration::from_nanos(500) };
+    parallel.mode = RunMode::Parallel { partitions: 4, quantum: SimDuration::from_nanos(500) };
     let p = run_memcached(&parallel);
     println!(
         "parallel x4:{:>9} events, {:>7} requests, p99 {:>8.1} us, wall {:.3}s",

@@ -8,11 +8,8 @@ use diablo::prelude::*;
 fn main() -> Result<(), EngineError> {
     // 1. Describe the target: 2 racks x 8 servers under the paper's GbE
     //    switches (1 us port latency, 4 KB/port buffers).
-    let spec = ClusterSpec::gbe(TopologyConfig {
-        racks: 2,
-        servers_per_rack: 8,
-        racks_per_array: 2,
-    });
+    let spec =
+        ClusterSpec::gbe(TopologyConfig { racks: 2, servers_per_rack: 8, racks_per_array: 2 });
 
     // 2. Instantiate it on the serial executor.
     let mut host = SimHost::new(RunMode::Serial);
@@ -39,8 +36,7 @@ fn main() -> Result<(), EngineError> {
     println!("simulated {} in {} events", stats.final_time, stats.events);
 
     // 5. Inspect results.
-    let client: &TcpEchoClient =
-        cluster.process(&host, client_addr, Tid(0)).expect("client state");
+    let client: &TcpEchoClient = cluster.process(&host, client_addr, Tid(0)).expect("client state");
     assert!(client.done, "client did not finish");
     let mean_ns: u64 =
         client.rtts.iter().map(|d| d.as_nanos()).sum::<u64>() / client.rtts.len() as u64;
@@ -54,10 +50,7 @@ fn main() -> Result<(), EngineError> {
 
     // The kernel is fully instrumented, like the FPGA prototype's
     // performance counters.
-    let k = host
-        .component::<ServerNode>(cluster.node(server_addr))
-        .expect("server node")
-        .kernel();
+    let k = host.component::<ServerNode>(cluster.node(server_addr)).expect("server node").kernel();
     println!(
         "server kernel: {} syscalls, {} softirq runs, {} wakeups, cpu busy {}",
         k.stats().syscalls,

@@ -45,9 +45,7 @@ fn only_the_full_stack_sees_cpu_speed() {
         let mut cfg = IncastConfig::fig6b(2, ghz, diablo::core::IncastClientKind::Epoll);
         cfg.iterations = 3;
         cfg.switch = Some(diablo::core::SwitchTemplate {
-            buffer: diablo::net::switch::BufferConfig::PerPort {
-                bytes_per_port: 256 * 1024,
-            },
+            buffer: diablo::net::switch::BufferConfig::PerPort { bytes_per_port: 256 * 1024 },
             ..diablo::core::SwitchTemplate::ten_gbe_fast()
         });
         run_incast(&cfg).goodput_mbps

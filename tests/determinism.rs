@@ -24,11 +24,8 @@ fn echo_workload(host: &mut SimHost, cluster: &Cluster) {
 }
 
 fn run_echo(mode: RunMode) -> (u64, Vec<Vec<u64>>) {
-    let spec = ClusterSpec::gbe(TopologyConfig {
-        racks: 4,
-        servers_per_rack: 6,
-        racks_per_array: 2,
-    });
+    let spec =
+        ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 6, racks_per_array: 2 });
     let mut host = SimHost::new(mode);
     let cluster = Cluster::build(&mut host, &spec);
     echo_workload(&mut host, &cluster);
@@ -36,8 +33,7 @@ fn run_echo(mode: RunMode) -> (u64, Vec<Vec<u64>>) {
     let mut rtts = Vec::new();
     for rack in 0..4 {
         let tcp_client = NodeAddr((rack * 6 + 2) as u32);
-        let c: &TcpEchoClient =
-            cluster.process(&host, tcp_client, Tid(0)).expect("client state");
+        let c: &TcpEchoClient = cluster.process(&host, tcp_client, Tid(0)).expect("client state");
         assert!(c.done, "client on {tcp_client} unfinished");
         rtts.push(c.rtts.iter().map(|d| d.as_picos()).collect());
     }
@@ -54,15 +50,11 @@ fn serial_runs_replay_bit_identically() {
 
 #[test]
 fn parallel_matches_serial_exactly() {
-    let spec = ClusterSpec::gbe(TopologyConfig {
-        racks: 4,
-        servers_per_rack: 6,
-        racks_per_array: 2,
-    });
+    let spec =
+        ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 6, racks_per_array: 2 });
     let (es, rs) = run_echo(RunMode::Serial);
     for partitions in [2usize, 4] {
-        let (ep, rp) =
-            run_echo(RunMode::Parallel { partitions, quantum: spec.safe_quantum() });
+        let (ep, rp) = run_echo(RunMode::Parallel { partitions, quantum: spec.safe_quantum() });
         assert_eq!(es, ep, "event count diverged at {partitions} partitions");
         assert_eq!(rs, rp, "per-message RTTs diverged at {partitions} partitions");
     }

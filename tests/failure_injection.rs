@@ -3,9 +3,9 @@
 //! target network, loss is visible to the transports: TCP must recover
 //! transparently; UDP applications see timeouts and retries.
 
-use diablo::prelude::*;
 use diablo::net::link::{LinkParams, PortPeer};
 use diablo::net::switch::{BufferConfig, PacketSwitch, SwitchConfig};
+use diablo::prelude::*;
 use diablo::stack::kernel::NodeConfig;
 use std::sync::Arc;
 
@@ -26,22 +26,27 @@ fn lossy_rack(loss: f64) -> (SimHost, Vec<diablo::engine::event::ComponentId>) {
     let sw_placeholder = {
         use diablo_engine::parallel::ComponentHost;
         // Temporarily wire after adding nodes.
-        sw.connect_port(0, PortPeer {
-            component: diablo_engine::event::ComponentId(1),
-            port: PortNo(0),
-            params: lossy,
-        });
-        sw.connect_port(1, PortPeer {
-            component: diablo_engine::event::ComponentId(2),
-            port: PortNo(0),
-            params: lossy,
-        });
+        sw.connect_port(
+            0,
+            PortPeer {
+                component: diablo_engine::event::ComponentId(1),
+                port: PortNo(0),
+                params: lossy,
+            },
+        );
+        sw.connect_port(
+            1,
+            PortPeer {
+                component: diablo_engine::event::ComponentId(2),
+                port: PortNo(0),
+                params: lossy,
+            },
+        );
         host.add_in_partition(0, Box::new(sw))
     };
     for i in 0..2u32 {
         use diablo_engine::parallel::ComponentHost;
-        let uplink =
-            PortPeer { component: sw_placeholder, port: PortNo(i as u16), params: clean };
+        let uplink = PortPeer { component: sw_placeholder, port: PortNo(i as u16), params: clean };
         let node = ServerNode::new(
             NodeConfig::new(NodeAddr(i), KernelProfile::linux_2_6_39()),
             uplink,
@@ -58,9 +63,11 @@ fn tcp_survives_lossy_links() {
     host.component_mut::<ServerNode>(nodes[0])
         .expect("node")
         .spawn(Box::new(TcpEchoServer::new(7)));
-    host.component_mut::<ServerNode>(nodes[1])
-        .expect("node")
-        .spawn(Box::new(TcpEchoClient::new(SockAddr::new(NodeAddr(0), 7), 30, 2_000)));
+    host.component_mut::<ServerNode>(nodes[1]).expect("node").spawn(Box::new(TcpEchoClient::new(
+        SockAddr::new(NodeAddr(0), 7),
+        30,
+        2_000,
+    )));
     host.run_until(SimTime::from_secs(120)).expect("run");
     let k = host.component::<ServerNode>(nodes[1]).expect("node").kernel();
     let c = k.process::<TcpEchoClient>(Tid(0)).expect("client");
@@ -82,9 +89,11 @@ fn udp_applications_see_the_loss() {
         .spawn(Box::new(UdpEchoServer::new(9)));
     // The stop-and-wait ping client has no retry: it will hang on the
     // first lost datagram; bound the run and check partial progress.
-    host.component_mut::<ServerNode>(nodes[1])
-        .expect("node")
-        .spawn(Box::new(UdpPingClient::new(SockAddr::new(NodeAddr(0), 9), 1_000, 200)));
+    host.component_mut::<ServerNode>(nodes[1]).expect("node").spawn(Box::new(UdpPingClient::new(
+        SockAddr::new(NodeAddr(0), 9),
+        1_000,
+        200,
+    )));
     host.run_until(SimTime::from_secs(2)).expect("run");
     let k = host.component::<ServerNode>(nodes[1]).expect("node").kernel();
     let c = k.process::<UdpPingClient>(Tid(0)).expect("client");
@@ -102,9 +111,11 @@ fn clean_links_have_no_drops() {
     host.component_mut::<ServerNode>(nodes[0])
         .expect("node")
         .spawn(Box::new(TcpEchoServer::new(7)));
-    host.component_mut::<ServerNode>(nodes[1])
-        .expect("node")
-        .spawn(Box::new(TcpEchoClient::new(SockAddr::new(NodeAddr(0), 7), 20, 1_000)));
+    host.component_mut::<ServerNode>(nodes[1]).expect("node").spawn(Box::new(TcpEchoClient::new(
+        SockAddr::new(NodeAddr(0), 7),
+        20,
+        1_000,
+    )));
     host.run_until(SimTime::from_secs(10)).expect("run");
     let sw_id = diablo_engine::event::ComponentId(0);
     let sw = host.component::<PacketSwitch>(sw_id).expect("switch");

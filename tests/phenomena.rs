@@ -51,10 +51,7 @@ fn memcached_has_a_long_tail_and_hop_ordering() {
     let r = run_memcached(&cfg);
     let p50 = r.latency.quantile(0.5);
     let max = r.latency.max();
-    assert!(
-        max > p50 * 20,
-        "long tail expected: p50={p50}ns max={max}ns"
-    );
+    assert!(max > p50 * 20, "long tail expected: p50={p50}ns max={max}ns");
     // Hop classes: local p50 <= 1-hop p50 <= 2-hop p50.
     let p50s: Vec<u64> = r.by_class.iter().map(|h| h.quantile(0.5)).collect();
     assert!(r.by_class[0].count() > 0 && r.by_class[2].count() > 0);

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! implements the subset of criterion's API the workspace benches use:
+//! `Criterion`, `criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, and
+//! `Bencher::iter`. Measurement is simple wall-clock sampling: each sample
+//! times one routine invocation; the report prints min / median / mean over
+//! `sample_size` samples. No statistical regression analysis, no plots.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `routine` and prints a report line.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _parent: self, prefix: name.to_string(), sample_size }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `routine` under `prefix/name`.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.prefix, name), self.sample_size, routine);
+        self
+    }
+
+    /// Times `routine` with an input value under `prefix/id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.prefix, id), self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterized benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { text: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Handed to benchmark routines to time the measured section.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` (called once per sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        self.samples.push(elapsed);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut routine: F) {
+    // One untimed warm-up batch.
+    let mut warmup = Bencher::default();
+    routine(&mut warmup);
+
+    let mut b = Bencher::default();
+    while b.samples.len() < sample_size {
+        let before = b.samples.len();
+        routine(&mut b);
+        assert!(b.samples.len() > before, "benchmark routine never called Bencher::iter");
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{name:<44} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        sorted.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (CLI arguments are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("stub/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        // 1 warm-up sample + 3 timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        assert_eq!(BenchmarkId::new("racks", 4).to_string(), "racks/4");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_function("inner", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        g.finish();
+        assert!(ran);
+    }
+}
