@@ -8,16 +8,32 @@
 //! software simulator would take "almost two weeks" per simulated 10 s.
 //! This binary measures what *this* software reproduction achieves.
 //!
+//! Parallel runs derive their synchronization quantum from the rack-cut
+//! partition plan (`RunMode::parallel`), so every partition count is
+//! measured with the window its own cut actually supports instead of one
+//! hand-picked constant. Each configuration is timed best-of-`--repeat`
+//! (results are deterministic; only host noise differs between runs), and
+//! the engine-scaling sweep interleaves its configurations round-robin so
+//! seconds-scale host-frequency drift hits every configuration alike
+//! instead of flattering whichever ran last. Speedups are medians of
+//! per-round paired wall ratios (see the sweep below), not ratios of the
+//! best throughputs, so a noise spike in either executor's samples cannot
+//! fake or mask a scaling regression.
+//!
 //! Outputs:
 //! * `results/perf_scaling.csv` — the node-scaling table printed above.
 //! * `results/bench_engine.json` — machine-readable engine-scaling record:
-//!   events/sec, simulation rate (simulated seconds per wall second), and
-//!   wall time for a fixed workload at 1, 2, 4, and 8 partitions plus the
-//!   serial baseline. Downstream tooling tracks regressions from this file.
+//!   events/sec, simulation rate (simulated seconds per wall second),
+//!   speedup vs serial, and the executor's synchronization statistics
+//!   (barrier rounds, events per round, barrier wait, lane traffic) at 1,
+//!   2, 4, and 8 partitions plus the serial baseline. Downstream tooling
+//!   tracks regressions from this file; CI fails if the 2-partition
+//!   speedup drops below 1.0 (`--check-speedup`).
 
-use diablo_bench::{banner, results_dir, Args};
+use diablo_bench::{banner, best_of, results_dir, Args};
 use diablo_core::report::{fmt_f, Table};
 use diablo_core::{run_memcached, McExperimentConfig, RunMode};
+use diablo_engine::prelude::ExecReport;
 use diablo_stack::process::Proto;
 use std::fmt::Write as _;
 
@@ -25,6 +41,7 @@ struct Measurement {
     events: u64,
     wall_s: f64,
     sim_s: f64,
+    exec: Option<ExecReport>,
 }
 
 impl Measurement {
@@ -40,24 +57,48 @@ impl Measurement {
     }
 }
 
-fn measure(cfg: &McExperimentConfig) -> Measurement {
-    let r = run_memcached(cfg);
-    Measurement {
-        events: r.events,
-        wall_s: r.wall.as_secs_f64(),
-        sim_s: r.completed_at.as_secs_f64().max(1e-9),
-    }
+fn measure(cfg: &McExperimentConfig, repeat: usize) -> Measurement {
+    best_of(
+        repeat,
+        || {
+            let r = run_memcached(cfg);
+            Measurement {
+                events: r.events,
+                wall_s: r.wall.as_secs_f64(),
+                sim_s: r.completed_at.as_secs_f64().max(1e-9),
+                exec: r.exec,
+            }
+        },
+        |m| m.wall_s,
+    )
 }
 
-/// Serializes one measurement as a JSON object body (no surrounding braces).
+/// Serializes one measurement as a JSON object body (no surrounding
+/// braces). Parallel measurements carry the executor's synchronization
+/// statistics so the record explains *why* a configuration scales.
 fn json_fields(m: &Measurement) -> String {
-    format!(
+    let mut s = format!(
         "\"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \"sim_rate\": {:.6}",
         m.events,
         m.wall_s,
         m.events_per_sec(),
         m.sim_rate()
-    )
+    );
+    if let Some(exec) = &m.exec {
+        write!(
+            s,
+            ", \"lookahead_ps\": {}, \"workers\": {}, \"rounds\": {}, \
+             \"events_per_round\": {:.1}, \"barrier_wait_ms\": {:.3}, \"lane_events\": {}",
+            exec.lookahead_ps,
+            exec.workers.len(),
+            exec.rounds(),
+            exec.events_per_round(),
+            exec.barrier_wait_ns() as f64 / 1e6,
+            exec.lane_events()
+        )
+        .unwrap();
+    }
+    s
 }
 
 fn main() {
@@ -65,6 +106,8 @@ fn main() {
     banner("S5", "Simulator performance and scaling");
     let requests: u64 = args.get("--requests", 60);
     let threads: usize = args.get("--threads", 4);
+    let repeat: usize = args.get("--repeat", 2);
+    let check_speedup: f64 = args.get("--check-speedup", 0.0);
 
     let mut t =
         Table::new(vec!["racks", "nodes", "mode", "events", "events/s", "slowdown (wall/sim)"]);
@@ -74,7 +117,7 @@ fn main() {
         let nodes = cfg.nodes();
 
         cfg.mode = RunMode::Serial;
-        let m = measure(&cfg);
+        let m = measure(&cfg, repeat);
         let (sd, eps, ev) = (m.slowdown(), m.events_per_sec(), m.events);
         t.row(vec![
             racks.to_string(),
@@ -87,13 +130,8 @@ fn main() {
         println!("racks={racks:>2} nodes={nodes:>4} serial:   {eps:>12.0} ev/s  slowdown={sd:.2}x");
 
         let mut pcfg = cfg.clone();
-        let spec = diablo_core::ClusterSpec::gbe(diablo_net::topology::TopologyConfig {
-            racks,
-            servers_per_rack: pcfg.servers_per_rack,
-            racks_per_array: 16.min(racks),
-        });
-        pcfg.mode = RunMode::Parallel { partitions: threads, quantum: spec.safe_quantum() };
-        let m = measure(&pcfg);
+        pcfg.mode = RunMode::parallel(threads);
+        let m = measure(&pcfg, repeat);
         let (sd, eps, ev) = (m.slowdown(), m.events_per_sec(), m.events);
         t.row(vec![
             racks.to_string(),
@@ -116,21 +154,65 @@ fn main() {
     println!("csv: {}", path.display());
 
     // Engine scaling: fixed workload, partitions swept 1 -> 8, with a
-    // serial baseline. This is the machine-readable record CI and the
-    // roadmap's perf tracking consume.
+    // serial baseline. Each partition count derives its quantum from its
+    // own rack-cut plan. This is the machine-readable record CI and the
+    // roadmap's perf tracking consume. The workload is larger than the
+    // table sweep's so setup cost stops dominating, and the repeats are
+    // interleaved across configurations (see module docs).
     let scale_racks: usize = args.get("--scale-racks", 8);
-    let mut base = McExperimentConfig::mini(scale_racks, requests);
+    let scale_requests: u64 = args.get("--scale-requests", 480);
+    let mut base = McExperimentConfig::mini(scale_racks, scale_requests);
     base.proto = Proto::Udp;
-    let spec = diablo_core::ClusterSpec::gbe(diablo_net::topology::TopologyConfig {
-        racks: scale_racks,
-        servers_per_rack: base.servers_per_rack,
-        racks_per_array: 16.min(scale_racks),
-    });
-    let quantum = spec.safe_quantum();
 
-    println!("\nengine scaling (racks={scale_racks}, requests={requests}):");
-    base.mode = RunMode::Serial;
-    let serial = measure(&base);
+    let parts = [1usize, 2, 4, 8];
+    let modes: Vec<RunMode> = std::iter::once(RunMode::Serial)
+        .chain(parts.iter().map(|&p| RunMode::parallel(p)))
+        .collect();
+    let mut best: Vec<Option<Measurement>> = modes.iter().map(|_| None).collect();
+    let mut walls: Vec<Vec<f64>> = modes.iter().map(|_| Vec::new()).collect();
+    for round in 0..repeat.max(1) {
+        // Rotate the starting configuration each round: if within-cycle
+        // position correlates with host speed (boost decay, cache or
+        // allocator state left by the previous run), a fixed order would
+        // systematically favor whichever config always ran first.
+        for k in 0..modes.len() {
+            let slot = (round + k) % modes.len();
+            let mut cfg = base.clone();
+            cfg.mode = modes[slot];
+            let m = measure(&cfg, 1);
+            walls[slot].push(m.wall_s);
+            if best[slot].as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+                best[slot] = Some(m);
+            }
+        }
+    }
+    // Speedups are the median of per-round *paired* wall ratios: within one
+    // round-robin cycle the host runs every configuration back to back, so
+    // the serial/parallel ratio of that cycle cancels whatever speed the
+    // host happened to have. Taking a ratio of best-of minima instead would
+    // compare walls from *different* host moments, and a rare fast window
+    // hitting one slot skews that by several percent.
+    let paired_speedup = |slot: usize| -> f64 {
+        let mut ratios: Vec<f64> =
+            walls[0].iter().zip(&walls[slot]).map(|(s, p)| s / p.max(1e-9)).collect();
+        ratios.sort_by(f64::total_cmp);
+        let n = ratios.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n % 2 == 1 {
+            ratios[n / 2]
+        } else {
+            (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0
+        }
+    };
+    let mut best = best.into_iter().map(|m| m.expect("measured"));
+    let serial = best.next().expect("serial slot");
+
+    println!(
+        "\nengine scaling (racks={scale_racks}, requests={scale_requests}, \
+         interleaved best of {repeat}):"
+    );
     println!(
         "  serial:        {:>12.0} ev/s  sim-rate={:.3e}",
         serial.events_per_sec(),
@@ -143,18 +225,21 @@ fn main() {
     writeln!(json, "  \"workload\": \"memcached_udp\",").unwrap();
     writeln!(json, "  \"racks\": {scale_racks},").unwrap();
     writeln!(json, "  \"nodes\": {},", base.nodes()).unwrap();
-    writeln!(json, "  \"requests_per_client\": {requests},").unwrap();
-    writeln!(json, "  \"quantum_ps\": {},", quantum.as_picos()).unwrap();
+    writeln!(json, "  \"requests_per_client\": {scale_requests},").unwrap();
+    writeln!(json, "  \"quantum\": \"derived from the partition cut (see lookahead_ps)\",")
+        .unwrap();
     writeln!(json, "  \"serial\": {{ {} }},", json_fields(&serial)).unwrap();
     writeln!(json, "  \"parallel\": [").unwrap();
-    let parts = [1usize, 2, 4, 8];
-    for (i, &partitions) in parts.iter().enumerate() {
-        let mut cfg = base.clone();
-        cfg.mode = RunMode::Parallel { partitions, quantum };
-        let m = measure(&cfg);
-        let speedup = m.events_per_sec() / serial.events_per_sec().max(1e-9);
+    let mut speedup_at_2 = f64::NAN;
+    for (i, (&partitions, m)) in parts.iter().zip(best).enumerate() {
+        let speedup = paired_speedup(i + 1);
+        if partitions == 2 {
+            speedup_at_2 = speedup;
+        }
+        let rounds = m.exec.as_ref().map_or(0, |e| e.rounds());
         println!(
-            "  parallel x{partitions}:   {:>12.0} ev/s  sim-rate={:.3e}  ({speedup:.2}x serial)",
+            "  parallel x{partitions}:   {:>12.0} ev/s  sim-rate={:.3e}  rounds={rounds}  \
+             ({speedup:.2}x serial)",
             m.events_per_sec(),
             m.sim_rate()
         );
@@ -174,4 +259,14 @@ fn main() {
     std::fs::create_dir_all(jpath.parent().expect("results dir parent")).expect("mkdir results");
     std::fs::write(&jpath, json).expect("write json");
     println!("json: {}", jpath.display());
+
+    // NaN (no measurement) must fail the gate too, hence the negated form.
+    let gate_ok = speedup_at_2 >= check_speedup;
+    if check_speedup > 0.0 && !gate_ok {
+        eprintln!(
+            "FAIL: speedup_vs_serial at 2 partitions is {speedup_at_2:.3}, \
+             below the required {check_speedup:.3}"
+        );
+        std::process::exit(1);
+    }
 }

@@ -13,7 +13,7 @@ use diablo_core::report::percentiles_us;
 use diablo_core::{
     run_incast, run_memcached, IncastClientKind, IncastConfig, McExperimentConfig, RunMode,
 };
-use diablo_engine::time::{Frequency, SimDuration};
+use diablo_engine::time::Frequency;
 use diablo_stack::process::Proto;
 use diablo_stack::profile::KernelProfile;
 
@@ -68,7 +68,8 @@ fn memcached(args: &Args) {
     };
     let partitions: usize = args.get("--parallel", 0);
     if partitions > 1 {
-        cfg.mode = RunMode::Parallel { partitions, quantum: SimDuration::from_nanos(500) };
+        // Quantum derived from the rack-cut partition plan.
+        cfg.mode = RunMode::parallel(partitions);
     }
     println!(
         "{} nodes ({} racks x {}), {} memcached servers, {:?}, kernel {}, memcached {}, {}",

@@ -3,7 +3,7 @@
 
 use diablo_engine::event::{ComponentId, EventKind, PortNo};
 use diablo_engine::parallel::{ComponentHost, ParallelSimulation};
-use diablo_engine::prelude::{DetRng, EngineError, RunStats, Simulation};
+use diablo_engine::prelude::{DetRng, EngineError, ExecReport, RunStats, Simulation};
 use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::frame::Frame;
 use diablo_net::link::{LinkParams, PortPeer};
@@ -23,15 +23,27 @@ use std::sync::Arc;
 pub enum RunMode {
     /// Single-threaded.
     Serial,
-    /// Partition-parallel with the given worker count and quantum.
+    /// Partition-parallel over `partitions` placement partitions.
     Parallel {
-        /// Host threads.
+        /// Number of placement partitions (racks are cut into contiguous
+        /// blocks of partitions; see [`ClusterSpec::partition_plan`]).
         partitions: usize,
-        /// Synchronization quantum (must not exceed the smallest
-        /// cross-partition link latency; see
-        /// [`ClusterSpec::safe_quantum`]).
-        quantum: SimDuration,
+        /// Synchronization quantum. `None` (the recommended setting —
+        /// use [`RunMode::parallel`]) derives it from the partition
+        /// cut's actual lookahead when the cluster is built through
+        /// [`Cluster::instantiate`]. An explicit quantum must not exceed
+        /// the cut's lookahead.
+        quantum: Option<SimDuration>,
     },
+}
+
+impl RunMode {
+    /// Partition-parallel with the quantum derived from the topology cut
+    /// (the minimum guaranteed latency of any partition-crossing link).
+    /// Resolve through [`Cluster::instantiate`].
+    pub fn parallel(partitions: usize) -> Self {
+        RunMode::Parallel { partitions, quantum: None }
+    }
 }
 
 /// A simulation under either executor, with a uniform interface.
@@ -53,12 +65,22 @@ impl std::fmt::Debug for SimHost {
 
 impl SimHost {
     /// Creates a host for the given mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode is parallel with `quantum: None`: a derived
+    /// quantum needs the topology, so go through [`Cluster::instantiate`]
+    /// instead.
     pub fn new(mode: RunMode) -> Self {
         match mode {
             RunMode::Serial => SimHost::Serial(Simulation::new()),
-            RunMode::Parallel { partitions, quantum } => {
+            RunMode::Parallel { partitions, quantum: Some(quantum) } => {
                 SimHost::Parallel(ParallelSimulation::new(partitions, quantum))
             }
+            RunMode::Parallel { quantum: None, .. } => panic!(
+                "a derived quantum needs the topology: build the cluster with \
+                 Cluster::instantiate(spec, mode) instead of SimHost::new"
+            ),
         }
     }
 
@@ -112,6 +134,15 @@ impl SimHost {
         match self {
             SimHost::Serial(s) => s.component_mut::<T>(id),
             SimHost::Parallel(p) => p.component_mut::<T>(id),
+        }
+    }
+
+    /// Execution statistics of the parallel executor (barrier rounds,
+    /// events per round, lane occupancy); `None` for a serial host.
+    pub fn exec_report(&self) -> Option<ExecReport> {
+        match self {
+            SimHost::Serial(_) => None,
+            SimHost::Parallel(p) => Some(p.exec_report()),
         }
     }
 }
@@ -250,11 +281,130 @@ impl ClusterSpec {
         self
     }
 
-    /// The largest safe parallel quantum for this spec: cross-partition
-    /// messages travel ToR↔array or array↔DC links, whose delivery lags
-    /// the send by at least the propagation delay.
+    /// A conservative parallel quantum that is safe for *any* partition
+    /// cut of this spec: every inter-switch link guarantees at least its
+    /// propagation delay between send and delivery.
+    ///
+    /// [`ClusterSpec::partition_plan`] derives a larger (better) quantum
+    /// from the actual cut — store-and-forward egress also guarantees the
+    /// serialization time of a minimum frame — so prefer
+    /// [`Cluster::instantiate`] with [`RunMode::parallel`] over sizing the
+    /// window by hand.
     pub fn safe_quantum(&self) -> SimDuration {
         self.rack_uplink.propagation.min(self.array_uplink.propagation)
+    }
+
+    /// Computes the rack-cut partition plan for `partitions` partitions:
+    /// which partition owns each rack (servers + NICs + ToR), each array
+    /// switch, and the datacenter switch, plus the cut's *lookahead* — the
+    /// minimum latency any cross-partition message can have, which the
+    /// parallel executor uses as its synchronization quantum.
+    ///
+    /// Racks are split into contiguous blocks (rack `r` goes to partition
+    /// `r * partitions / racks`), so racks of one array stay together and
+    /// the only links that can cross the cut are ToR↔array and array↔DC
+    /// uplinks — the software analogue of DIABLO's rack-to-FPGA mapping,
+    /// where only inter-FPGA transceiver links carry cross-model traffic.
+    /// Each array switch joins the partition owning the majority of its
+    /// racks; the datacenter switch joins partition 0.
+    ///
+    /// The lookahead is the minimum, over link *directions* that actually
+    /// cross the cut, of that direction's guaranteed delivery latency:
+    /// store-and-forward egress serializes at least a minimum-size frame
+    /// before the wire's propagation delay, while cut-through egress only
+    /// guarantees the propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn partition_plan(&self, partitions: usize) -> PartitionPlan {
+        assert!(partitions > 0, "at least one partition required");
+        let racks = self.topology.racks;
+        let rpa = self.topology.racks_per_array;
+        let arrays = racks.div_ceil(rpa);
+        let rack_partition: Vec<u32> =
+            (0..racks).map(|r| (r * partitions / racks) as u32).collect();
+        // Majority vote over each array's (contiguous) racks; ties go to
+        // the earliest partition, keeping the result order-independent.
+        let array_partition: Vec<u32> = (0..arrays)
+            .map(|a| {
+                let members = &rack_partition[a * rpa..racks.min((a + 1) * rpa)];
+                let mut best = members[0];
+                let mut best_count = 0usize;
+                for &cand in members {
+                    let count = members.iter().filter(|&&p| p == cand).count();
+                    if count > best_count || (count == best_count && cand < best) {
+                        best = cand;
+                        best_count = count;
+                    }
+                }
+                best
+            })
+            .collect();
+        let dc_partition = 0u32;
+
+        // The guaranteed latency floor of one link direction depends on
+        // the *sending* device's forwarding discipline.
+        let floor = |params: LinkParams, egress: ForwardingMode| match egress {
+            ForwardingMode::StoreAndForward => params.min_delivery_latency(),
+            ForwardingMode::CutThrough => params.propagation,
+        };
+        let mut lookahead: Option<SimDuration> = None;
+        let consider = |lookahead: &mut Option<SimDuration>, d: SimDuration| {
+            *lookahead = Some(lookahead.map_or(d, |cur| cur.min(d)));
+        };
+        for (r, &rp) in rack_partition.iter().enumerate() {
+            if rp != array_partition[r / rpa] {
+                consider(&mut lookahead, floor(self.rack_uplink, self.tor.forwarding));
+                consider(&mut lookahead, floor(self.rack_uplink, self.array.forwarding));
+            }
+        }
+        if arrays > 1 {
+            for &ap in &array_partition {
+                if ap != dc_partition {
+                    consider(&mut lookahead, floor(self.array_uplink, self.array.forwarding));
+                    consider(&mut lookahead, floor(self.array_uplink, self.datacenter.forwarding));
+                }
+            }
+        }
+        // Nothing crosses (single partition, or a cut that happens to keep
+        // every uplink internal): any positive quantum is safe; use the
+        // floor over all uplink directions so behavior stays predictable.
+        let lookahead = lookahead.unwrap_or_else(|| {
+            floor(self.rack_uplink, self.tor.forwarding)
+                .min(floor(self.rack_uplink, self.array.forwarding))
+                .min(floor(self.array_uplink, self.array.forwarding))
+                .min(floor(self.array_uplink, self.datacenter.forwarding))
+        });
+        PartitionPlan { partitions, rack_partition, array_partition, dc_partition, lookahead }
+    }
+}
+
+/// A rack-cut partition assignment plus its derived lookahead; produced by
+/// [`ClusterSpec::partition_plan`] and consumed by [`Cluster::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Partition count the plan was computed for.
+    pub partitions: usize,
+    /// Partition owning each rack (servers, NICs, and the ToR together).
+    pub rack_partition: Vec<u32>,
+    /// Partition owning each array switch.
+    pub array_partition: Vec<u32>,
+    /// Partition owning the datacenter switch (if the topology has one).
+    pub dc_partition: u32,
+    /// Minimum guaranteed latency of any partition-crossing link: the
+    /// largest safe synchronization quantum for this cut.
+    pub lookahead: SimDuration,
+}
+
+impl PartitionPlan {
+    /// `true` if no link crosses the cut (every component in one
+    /// partition).
+    pub fn is_trivial(&self) -> bool {
+        let first = self.rack_partition.first().copied().unwrap_or(0);
+        self.rack_partition.iter().all(|&p| p == first)
+            && self.array_partition.iter().all(|&p| p == first)
+            && (self.array_partition.len() <= 1 || self.dc_partition == first)
     }
 }
 
@@ -270,34 +420,68 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds the cluster described by `spec` into `host`.
-    ///
-    /// Partition placement mirrors DIABLO's FPGA mapping: each rack (its
-    /// servers plus ToR) lives in one partition; array and datacenter
-    /// switches live in partition 0 (the "Switch FPGAs").
+    /// Builds `spec` with a host resolved from `mode`: the recommended
+    /// entry point. For [`RunMode::parallel`] (derived quantum) this
+    /// computes the rack-cut [`PartitionPlan`] and sizes the executor's
+    /// synchronization quantum from the cut's actual lookahead.
     ///
     /// # Panics
     ///
-    /// Panics on an invalid topology.
+    /// Panics on an invalid topology, or if an explicit quantum exceeds
+    /// the cut's lookahead.
+    pub fn instantiate(spec: &ClusterSpec, mode: RunMode) -> (SimHost, Cluster) {
+        let mode = match mode {
+            RunMode::Parallel { partitions, quantum: None } => RunMode::Parallel {
+                partitions,
+                quantum: Some(spec.partition_plan(partitions).lookahead),
+            },
+            m => m,
+        };
+        let mut host = SimHost::new(mode);
+        let cluster = Cluster::build(&mut host, spec);
+        (host, cluster)
+    }
+
+    /// Builds the cluster described by `spec` into `host`.
+    ///
+    /// Partition placement mirrors DIABLO's rack-to-FPGA mapping: each
+    /// rack (its servers plus ToR) lives in one partition, racks are cut
+    /// into contiguous blocks, and each array switch joins the partition
+    /// holding most of its racks, so only ToR↔array and array↔DC uplinks
+    /// can cross the cut (see [`ClusterSpec::partition_plan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid topology, or if the host's quantum exceeds the
+    /// cut's lookahead (cross-partition messages could then arrive inside
+    /// a synchronization window).
     pub fn build(host: &mut SimHost, spec: &ClusterSpec) -> Cluster {
         let topo = Arc::new(Topology::new(spec.topology).expect("invalid topology configuration"));
-        let nparts = host.partition_count();
-        let rack_partition = |rack: usize| -> usize {
-            if nparts <= 1 {
-                0
-            } else {
-                rack % nparts
-            }
-        };
+        let plan = spec.partition_plan(host.partition_count());
+        if let SimHost::Parallel(p) = host {
+            assert!(
+                p.quantum() <= plan.lookahead,
+                "quantum {} exceeds the partition cut's lookahead {}: use RunMode::parallel / \
+                 Cluster::instantiate to derive the quantum from the cut",
+                p.quantum(),
+                plan.lookahead
+            );
+        }
         let root_rng = DetRng::new(spec.seed);
 
         // 1. Switches.
         let mut switches = Vec::with_capacity(topo.switch_count());
         for s in 0..topo.switch_count() {
             let (template, name, partition) = match topo.switch_level(s) {
-                SwitchLevel::Tor { rack } => (spec.tor, format!("tor{rack}"), rack_partition(rack)),
-                SwitchLevel::Array { array } => (spec.array, format!("array{array}"), 0),
-                SwitchLevel::Datacenter => (spec.datacenter, "datacenter".to_string(), 0),
+                SwitchLevel::Tor { rack } => {
+                    (spec.tor, format!("tor{rack}"), plan.rack_partition[rack] as usize)
+                }
+                SwitchLevel::Array { array } => {
+                    (spec.array, format!("array{array}"), plan.array_partition[array] as usize)
+                }
+                SwitchLevel::Datacenter => {
+                    (spec.datacenter, "datacenter".to_string(), plan.dc_partition as usize)
+                }
             };
             let cfg = template.to_config(name, topo.switch_ports(s));
             let sw = PacketSwitch::new(cfg, root_rng.derive(1_000_000 + s as u64));
@@ -320,7 +504,7 @@ impl Cluster {
                 loopback_delay: SimDuration::from_micros(5),
             };
             let node = ServerNode::new(cfg, uplink, topo.clone());
-            let partition = rack_partition(topo.rack_of(addr));
+            let partition = plan.rack_partition[topo.rack_of(addr)] as usize;
             nodes.push(host.add_in_partition(partition, Box::new(node)));
         }
 
@@ -415,13 +599,72 @@ mod tests {
     fn parallel_build_places_racks_in_partitions() {
         let spec =
             ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 2, racks_per_array: 2 });
-        let quantum = spec.safe_quantum();
-        assert_eq!(quantum, SimDuration::from_nanos(500));
-        let mut host = SimHost::new(RunMode::Parallel { partitions: 2, quantum });
-        let cluster = Cluster::build(&mut host, &spec);
+        assert_eq!(spec.safe_quantum(), SimDuration::from_nanos(500));
+        let (mut host, cluster) = Cluster::instantiate(&spec, RunMode::parallel(2));
         // Runs without quantum violations even with nothing scheduled.
         assert_eq!(cluster.nodes.len(), 8);
         host.run_until(SimTime::from_millis(1)).unwrap();
+    }
+
+    #[test]
+    fn rack_cut_plan_keeps_arrays_together() {
+        // 8 racks, 2 per array, 4 partitions: contiguous pairs of racks,
+        // each array's two racks in the same partition, array switches
+        // co-located with their racks.
+        let spec =
+            ClusterSpec::gbe(TopologyConfig { racks: 8, servers_per_rack: 2, racks_per_array: 2 });
+        let plan = spec.partition_plan(4);
+        assert_eq!(plan.rack_partition, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(plan.array_partition, vec![0, 1, 2, 3]);
+        assert_eq!(plan.dc_partition, 0);
+        assert!(!plan.is_trivial());
+        // Only array<->DC links cross, so the lookahead is the GbE
+        // store-and-forward floor: 84 B at 1 Gbps (672 ns) + 500 ns.
+        assert_eq!(plan.lookahead, SimDuration::from_nanos(1172));
+        assert!(plan.lookahead > spec.safe_quantum());
+    }
+
+    #[test]
+    fn cut_through_egress_lowers_the_lookahead_floor() {
+        let topo = TopologyConfig { racks: 4, servers_per_rack: 2, racks_per_array: 2 };
+        let g1 = ClusterSpec::gbe(topo).partition_plan(2);
+        let g10 = ClusterSpec::ten_gbe(topo).partition_plan(2);
+        // Cut-through guarantees only propagation (500 ns); GbE
+        // store-and-forward also guarantees min-frame serialization.
+        assert_eq!(g10.lookahead, SimDuration::from_nanos(500));
+        assert!(g1.lookahead > g10.lookahead);
+    }
+
+    #[test]
+    fn single_partition_plan_is_trivial_but_has_a_lookahead() {
+        let spec =
+            ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 2, racks_per_array: 2 });
+        let plan = spec.partition_plan(1);
+        assert!(plan.is_trivial());
+        assert!(!plan.lookahead.is_zero());
+    }
+
+    #[test]
+    fn more_partitions_than_racks_leaves_spares_empty() {
+        let spec =
+            ClusterSpec::gbe(TopologyConfig { racks: 2, servers_per_rack: 2, racks_per_array: 1 });
+        let plan = spec.partition_plan(8);
+        assert_eq!(plan.rack_partition.len(), 2);
+        assert!(plan.rack_partition.iter().all(|&p| (p as usize) < 8));
+        let (mut host, _cluster) = Cluster::instantiate(&spec, RunMode::parallel(8));
+        host.run_until(SimTime::from_micros(100)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the partition cut's lookahead")]
+    fn oversized_explicit_quantum_is_rejected() {
+        let spec =
+            ClusterSpec::gbe(TopologyConfig { racks: 4, servers_per_rack: 2, racks_per_array: 2 });
+        let mut host = SimHost::new(RunMode::Parallel {
+            partitions: 2,
+            quantum: Some(SimDuration::from_millis(1)),
+        });
+        let _ = Cluster::build(&mut host, &spec);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Experiment harnesses: assembled scenarios matching the paper's case
 //! studies (§4), returning the measurements the figures plot.
 
-use crate::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+use crate::cluster::{Cluster, ClusterSpec, RunMode, SwitchTemplate};
 use diablo_apps::incast::{
     shared, IncastEpollClient, IncastMaster, IncastServer, IncastWorker, INCAST_PORT,
 };
@@ -9,7 +9,7 @@ use diablo_apps::memcached::{
     mc_shared, McClient, McClientConfig, McDispatcher, McServerConfig, McSharedHandle, McVersion,
     McWorker, MEMCACHED_PORT,
 };
-use diablo_engine::prelude::{DetRng, Frequency, Histogram, SimDuration, SimTime};
+use diablo_engine::prelude::{DetRng, ExecReport, Frequency, Histogram, SimDuration, SimTime};
 use diablo_net::topology::{HopClass, TopologyConfig};
 use diablo_net::{NodeAddr, SockAddr};
 use diablo_stack::process::{Proto, Tid};
@@ -48,6 +48,11 @@ pub struct IncastConfig {
     pub ten_gig: bool,
     /// Override the ToR buffer (defaults to the paper's 4 KB/port).
     pub switch: Option<SwitchTemplate>,
+    /// Racks to spread the servers over (1 in the paper's figures; >1
+    /// exercises the partitioned executor on a multi-rack cut).
+    pub racks: usize,
+    /// Execution mode.
+    pub mode: RunMode,
     /// Seed.
     pub seed: u64,
 }
@@ -65,6 +70,8 @@ impl IncastConfig {
             kernel: KernelProfile::linux_2_6_39(),
             ten_gig: false,
             switch: None,
+            racks: 1,
+            mode: RunMode::Serial,
             seed: 0x0001_ca57,
         }
     }
@@ -86,6 +93,8 @@ pub struct IncastResult {
     pub switch_drops: u64,
     /// Events processed (simulator-performance reporting).
     pub events: u64,
+    /// Parallel-executor statistics (`None` for serial runs).
+    pub exec: Option<ExecReport>,
 }
 
 /// Runs one incast configuration to completion.
@@ -96,7 +105,9 @@ pub struct IncastResult {
 /// generous simulated-time budget).
 pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
     let n = cfg.servers;
-    let topo = TopologyConfig { racks: 1, servers_per_rack: n + 1, racks_per_array: 1 };
+    let racks = cfg.racks.max(1);
+    let topo =
+        TopologyConfig { racks, servers_per_rack: (n + 1).div_ceil(racks), racks_per_array: racks };
     let mut spec = if cfg.ten_gig { ClusterSpec::ten_gbe(topo) } else { ClusterSpec::gbe(topo) };
     spec.cpu = cfg.cpu;
     spec.kernel = cfg.kernel.clone();
@@ -104,8 +115,7 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
     if let Some(sw) = cfg.switch {
         spec.tor = sw;
     }
-    let mut host = SimHost::new(RunMode::Serial);
-    let cluster = Cluster::build(&mut host, &spec);
+    let (mut host, cluster) = Cluster::instantiate(&spec, cfg.mode);
 
     let client_addr = NodeAddr(0);
     let servers: Vec<SockAddr> =
@@ -172,6 +182,7 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
         iteration_times,
         switch_drops: cluster.total_switch_drops(&host),
         events: host.events_processed(),
+        exec: host.exec_report(),
     }
 }
 
@@ -272,6 +283,8 @@ pub struct McExperimentResult {
     pub events: u64,
     /// Host wall-clock time.
     pub wall: std::time::Duration,
+    /// Parallel-executor statistics (`None` for serial runs).
+    pub exec: Option<ExecReport>,
 }
 
 /// Runs one memcached experiment to completion.
@@ -291,8 +304,7 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
     spec.kernel = cfg.kernel.clone();
     spec.seed = cfg.seed;
     spec = spec.with_extra_switch_latency(cfg.extra_switch_latency);
-    let mut host = SimHost::new(cfg.mode);
-    let cluster = Cluster::build(&mut host, &spec);
+    let (mut host, cluster) = Cluster::instantiate(&spec, cfg.mode);
     let topo = cluster.topo.clone();
     let root_rng = DetRng::new(cfg.seed);
 
@@ -391,6 +403,7 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
         completed_at,
         events: host.events_processed(),
         wall: wall_start.elapsed(),
+        exec: host.exec_report(),
     }
 }
 

@@ -8,10 +8,11 @@ use core::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum EngineError {
-    /// A component scheduled a cross-partition message that would arrive
-    /// inside the current synchronization quantum. Cross-partition links
-    /// must have latency at least one quantum (the parallel analogue of
-    /// DIABLO's inter-FPGA transceiver latency floor).
+    /// A component scheduled a cross-partition message arriving less than
+    /// one lookahead (the synchronization quantum) after it was sent.
+    /// Cross-partition links must have latency at least one lookahead —
+    /// the parallel analogue of DIABLO's inter-FPGA transceiver latency
+    /// floor — whatever the worker-thread placement on this host.
     CrossPartitionTooSoon {
         /// Scheduling component.
         source: ComponentId,
@@ -19,8 +20,8 @@ pub enum EngineError {
         target: ComponentId,
         /// Offending delivery time.
         at: SimTime,
-        /// First legal delivery time (the quantum boundary).
-        window_end: SimTime,
+        /// First legal delivery time (send time plus one lookahead).
+        earliest_ok: SimTime,
     },
     /// An unknown component id was referenced.
     UnknownComponent(ComponentId),
@@ -31,10 +32,10 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::CrossPartitionTooSoon { source, target, at, window_end } => write!(
+            EngineError::CrossPartitionTooSoon { source, target, at, earliest_ok } => write!(
                 f,
-                "cross-partition message {source} -> {target} at {at} precedes quantum \
-                 boundary {window_end}; increase the link latency or shrink the quantum"
+                "cross-partition message {source} -> {target} at {at} precedes the quantum \
+                 lookahead floor {earliest_ok}; increase the link latency or shrink the quantum"
             ),
             EngineError::UnknownComponent(id) => write!(f, "unknown component {id}"),
             EngineError::WorkerPanicked => write!(f, "a parallel worker thread panicked"),
@@ -54,7 +55,7 @@ mod tests {
             source: ComponentId(1),
             target: ComponentId(2),
             at: SimTime::from_nanos(100),
-            window_end: SimTime::from_nanos(500),
+            earliest_ok: SimTime::from_nanos(500),
         };
         let s = e.to_string();
         assert!(s.contains("c1"));

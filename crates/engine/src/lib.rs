@@ -67,6 +67,6 @@ pub mod prelude {
     pub use crate::rng::DetRng;
     pub use crate::sched::{CalendarQueue, EventQueue, HeapQueue};
     pub use crate::sim::{RunStats, Simulation};
-    pub use crate::stats::{Counter, Histogram, Series};
+    pub use crate::stats::{Counter, ExecReport, Histogram, PartitionExec, Series, WorkerExec};
     pub use crate::time::{Bandwidth, Frequency, SimDuration, SimTime};
 }

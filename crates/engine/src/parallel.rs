@@ -2,65 +2,93 @@
 //!
 //! DIABLO distributes its target over many FPGAs (Rack FPGAs and Switch
 //! FPGAs) whose simulation schedulers synchronize over serial links "at a
-//! fine granularity" (§3.2). The software analogue implemented here assigns
-//! components to *partitions*, runs one host thread per partition, and
-//! synchronizes them every *quantum* of simulated time. Cross-partition
-//! messages must arrive at least one quantum after they are sent — exactly
-//! the conservative-lookahead condition the FPGA prototype satisfies
-//! physically, because inter-FPGA links have ≥1.6 µs round-trip latency
-//! while each model synchronizes far more often.
+//! fine granularity" (§3.2) — and, crucially, *multiplexes* many simulated
+//! racks onto each physical FPGA. The software analogue implemented here
+//! assigns components to *partitions* (the unit of placement, the analogue
+//! of one simulated rack) and multiplexes partitions onto a small pool of
+//! *worker threads* (the analogue of physical FPGAs). Cross-partition
+//! messages must arrive at least one *lookahead* after they are sent —
+//! exactly the conservative-lookahead condition the FPGA prototype
+//! satisfies physically, because inter-FPGA links have ≥1.6 µs round-trip
+//! latency while each model synchronizes far more often.
+//!
+//! # Synchronization: lookahead horizons, not fixed windows
+//!
+//! The classic conservative protocol advances all partitions through fixed
+//! quantum-sized windows separated by barriers; when the quantum is small
+//! (hundreds of nanoseconds for GbE links) and events are sparse, barrier
+//! cost dwarfs useful work. This executor instead derives each round's
+//! *horizon* from published queue minima:
+//!
+//! ```text
+//! horizon(w) = min over other workers v of published_min(v)  +  lookahead
+//! ```
+//!
+//! Worker `w` may safely process every pending event strictly before
+//! `horizon(w)`, because anything another worker might still send will
+//! arrive no earlier than that worker's published minimum plus the
+//! lookahead. When other workers are idle or far in the future, the
+//! horizon leaps forward and one barrier round covers *many* quanta of
+//! simulated time — the adaptive batching that makes the protocol scale
+//! (SimBricks makes the same observation about per-quantum sync cost).
+//! With a single worker the minimum over "other workers" is empty, the
+//! horizon is unbounded, and the entire run completes in one round with
+//! zero barrier waits — near-serial speed, which is what a 1-core host
+//! should get from an 8-partition model.
 //!
 //! # Execution machinery
 //!
-//! Three mechanisms keep the per-window synchronization cost near the
-//! hardware floor (this is the SimBricks-identified bottleneck of software
-//! co-simulation — per-quantum sync plus message exchange):
+//! * **Worker multiplexing.** The pool runs `min(partitions,
+//!   available_parallelism)` threads by default (`DIABLO_WORKERS`
+//!   overrides; [`ParallelSimulation::with_workers`] pins it per instance).
+//!   Each worker owns a contiguous block of partitions and merges their
+//!   events through one [`CalendarQueue`], dispatching in the global
+//!   [`crate::event::EventKey`] order. Worker count affects scheduling
+//!   only — results are bit-identical for every worker count (see the
+//!   conformance tests).
+//! * **Persistent worker pool.** Threads are spawned once, on the first
+//!   [`ParallelSimulation::run_until`] call, and parked on a condvar
+//!   between runs. Repeated `run_until` calls reuse the same OS threads.
+//! * **Lock-free cross-worker lanes.** Each ordered worker pair owns a
+//!   cache-line-aligned, *parity double-buffered* SPSC lane. During a
+//!   round, worker `s` appends outbound events to a local outbox and then
+//!   *swaps* it into lane `(s, d)` of the current parity — no mutex, no
+//!   per-event synchronization. The receiver drains the lane one barrier
+//!   later; alternating parity guarantees a writer's round-`r` swap and
+//!   the reader's round-`r+1` drain are always separated by an intervening
+//!   barrier (see `Lane`). Events between partitions that share a worker
+//!   skip the lanes entirely and go straight into the worker's queue.
+//! * **One sense-reversing barrier per round.** The published minimum of a
+//!   worker already includes the events it just wrote into its outgoing
+//!   lanes (`sent_min`), so the exchange needs no second rendezvous. The
+//!   barrier itself is sense-reversing with bounded backoff — a short spin,
+//!   then `yield_now`, then a timed condvar wait — so oversubscribed or
+//!   idle workers don't burn the bus (the old ticket barrier's worst
+//!   path). Min/flag slots are parity double-buffered like the lanes.
 //!
-//! * **Persistent worker pool.** Worker threads are spawned once, on the
-//!   first [`ParallelSimulation::run_until`] call, and parked on a condvar
-//!   between runs. Repeated `run_until` calls (the common
-//!   advance-inspect-advance experiment loop) reuse the same OS threads —
-//!   no per-call spawn/join. [`ParallelSimulation::workers_spawned`]
-//!   exposes the thread count for tests.
-//! * **Lock-free cross-partition lanes.** Each ordered partition pair owns
-//!   a cache-line-aligned, *parity double-buffered* SPSC lane. During a
-//!   window, partition `s` appends outbound events to a thread-local
-//!   outbox and then *swaps* it into lane `(s, d)` of the current parity —
-//!   no mutex, no per-event synchronization. The receiver drains the lane
-//!   one barrier later. Because lanes alternate parity each window, a
-//!   writer's round-`r` swap and the reader's round-`r+1` drain of the
-//!   same buffer are always separated by an intervening barrier, which is
-//!   the entire safety argument (see `Lane`).
-//! * **One barrier per window.** The classic conservative protocol costs
-//!   two barriers per window: one to agree on the next window from
-//!   published queue minima, one to exchange messages. Here the published
-//!   minimum of partition `s` already *includes* the events `s` just wrote
-//!   into its outgoing lanes (`sent_min`), so the exchange needs no
-//!   separate rendezvous: receivers drain their lanes immediately after
-//!   the *decision* barrier. The min/flag slots are parity
-//!   double-buffered like the lanes, so a fast worker's round-`r+1`
-//!   publication can never clobber a value a slow worker is still reading
-//!   for round `r`.
-//!
-//! The pool's barrier is *poisonable*: if a component handler panics on a
-//! worker, the barrier wakes every other worker with an error instead of
+//! The barrier is *poisonable*: if a component handler panics on a worker,
+//! the barrier wakes every other worker with an error instead of
 //! deadlocking, the run returns [`EngineError::WorkerPanicked`], and the
 //! executor refuses further runs.
 //!
 //! # Determinism
 //!
-//! The executor is *deterministic*: because events are dispatched in the
-//! schedule-independent total order of [`crate::event::EventKey`], a
+//! The executor is *deterministic*: events are dispatched in the
+//! schedule-independent total order of [`crate::event::EventKey`], so a
 //! parallel run produces bit-identical component state to a serial run of
-//! the same configuration (see the cross-executor tests in the workspace
-//! `tests/` directory). Each partition schedules through the same
-//! [`CalendarQueue`] as the serial executor.
+//! the same configuration, for every partition count and every worker
+//! count (see `crates/engine/tests/conformance.rs` and the cross-executor
+//! tests in the workspace `tests/` directory). The cross-partition
+//! lookahead check is itself machine-independent: a message between
+//! partitions must satisfy `arrival ≥ send_time + lookahead` whether or
+//! not the two partitions happen to share a worker thread on this host.
 
 use crate::component::{Component, Ctx};
 use crate::error::EngineError;
 use crate::event::{ComponentId, Event, EventKey, EventKind, PortNo, TimerKey};
 use crate::sched::{CalendarQueue, EventQueue};
 use crate::sim::{RunStats, Simulation};
+use crate::stats::{ExecReport, PartitionExec, WorkerExec};
 use crate::time::{SimDuration, SimTime};
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -109,53 +137,105 @@ impl<M: 'static, Q: EventQueue<M> + Default> ComponentHost<M> for Simulation<M, 
     }
 }
 
-struct PartitionState<M> {
-    /// (global id, component) pairs owned by this partition.
+/// Resolves the default worker count for `partitions` partitions: the
+/// `DIABLO_WORKERS` environment variable if set, else the host's available
+/// parallelism, clamped to `[1, partitions]`.
+fn default_workers(partitions: usize) -> usize {
+    let from_env = std::env::var("DIABLO_WORKERS").ok().and_then(|s| s.parse::<usize>().ok());
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    from_env.unwrap_or(hw).clamp(1, partitions.max(1))
+}
+
+/// Per-partition execution counters. Components themselves live in the
+/// owning [`WorkerState`]'s flat arrays (partition membership is a tag,
+/// not a storage boundary) so single-worker dispatch has exactly the
+/// serial executor's memory layout.
+#[derive(Clone, Copy, Default)]
+struct PartCounters {
+    events_processed: u64,
+    /// Events this partition's components sent to another partition.
+    sent_cross: u64,
+    /// Events delivered to this partition from another worker's lanes.
+    recv_cross: u64,
+}
+
+/// One worker thread's state: the components of the partitions it owns (a
+/// contiguous block starting at `lo`), their merged event queue, and
+/// per-worker sync counters.
+struct WorkerState<M> {
+    /// Index of the first owned partition.
+    lo: usize,
+    /// (global id, component) pairs owned by this worker, flat across its
+    /// partitions in registration order.
     components: Vec<(ComponentId, Box<dyn Component<M>>)>,
     /// Per-owned-component sequence counters, parallel to `components`.
     seqs: Vec<u64>,
+    /// Owning partition of each component, parallel to `components`.
+    part_of: Vec<u32>,
+    /// Execution counters for each owned partition (`counters[p - lo]`).
+    counters: Vec<PartCounters>,
+    /// Merged queue of every owned partition's pending events.
     queue: CalendarQueue<M>,
-    /// Per-destination outboxes, swapped into lanes at window end. Kept in
-    /// the state so buffer capacity survives across windows and runs.
+    /// Per-destination-worker outboxes, swapped into lanes at round end.
+    /// Kept in the state so buffer capacity survives across rounds/runs.
     outboxes: Vec<Vec<Event<M>>>,
-    events_processed: u64,
     last_time: SimTime,
+    /// Barrier rounds completed.
+    rounds: u64,
+    /// Rounds in which at least one event was dispatched.
+    busy_rounds: u64,
+    /// Wall-clock nanoseconds spent waiting at the barrier.
+    barrier_wait_ns: u64,
+    /// Total events received through lanes.
+    lane_events: u64,
+    /// Largest single-round lane drain.
+    lane_peak: u64,
 }
 
-impl<M> PartitionState<M> {
-    fn new() -> Self {
-        PartitionState {
+impl<M> WorkerState<M> {
+    fn new(lo: usize) -> Self {
+        WorkerState {
+            lo,
             components: Vec::new(),
             seqs: Vec::new(),
+            part_of: Vec::new(),
+            counters: Vec::new(),
             queue: CalendarQueue::new(),
             outboxes: Vec::new(),
-            events_processed: 0,
             last_time: SimTime::ZERO,
+            rounds: 0,
+            busy_rounds: 0,
+            barrier_wait_ns: 0,
+            lane_events: 0,
+            lane_peak: 0,
         }
     }
 
     /// A cheap placeholder left behind while the real state is loaned to a
     /// worker thread.
     fn hollow() -> Self {
-        PartitionState {
-            components: Vec::new(),
-            seqs: Vec::new(),
-            queue: CalendarQueue::with_params(16, 1),
-            outboxes: Vec::new(),
-            events_processed: 0,
-            last_time: SimTime::ZERO,
-        }
+        WorkerState { queue: CalendarQueue::with_params(16, 1), ..WorkerState::new(0) }
     }
 }
 
-/// Routes one outgoing event: same partition -> local queue; other partition
-/// -> outbox, provided it lands at or after the current window's end.
+/// Routes one outgoing event emitted at `now_ps` by a component of
+/// partition `src_part` on worker `me`: same partition -> worker queue;
+/// other partition -> lookahead check, then worker queue (same worker) or
+/// outbox (other worker).
+///
+/// The lookahead check is deliberately independent of worker placement so
+/// that a model that is illegal on a many-core host is equally illegal on
+/// a single core.
+#[allow(clippy::too_many_arguments)]
 fn route_one<M>(
     directory: &[(u32, u32)],
+    part_worker: &[u32],
     me: usize,
+    src_part: u32,
     queue: &mut CalendarQueue<M>,
     outboxes: &mut [Vec<Event<M>>],
-    window_end: SimTime,
+    earliest_ok_ps: u64,
+    cross: &mut u64,
     ev: Event<M>,
 ) -> Result<(), EngineError> {
     let idx = ev.key.target.index();
@@ -163,80 +243,105 @@ fn route_one<M>(
         return Err(EngineError::UnknownComponent(ev.key.target));
     }
     let (p, _) = directory[idx];
-    if p as usize == me {
+    if p == src_part {
         queue.push(ev);
-        Ok(())
-    } else if ev.key.time >= window_end {
-        outboxes[p as usize].push(ev);
-        Ok(())
-    } else {
-        Err(EngineError::CrossPartitionTooSoon {
+        return Ok(());
+    }
+    if ev.key.time.as_picos() < earliest_ok_ps {
+        return Err(EngineError::CrossPartitionTooSoon {
             source: ev.key.source,
             target: ev.key.target,
             at: ev.key.time,
-            window_end,
-        })
+            earliest_ok: SimTime::from_picos(earliest_ok_ps),
+        });
     }
+    *cross += 1;
+    let dw = part_worker[p as usize] as usize;
+    if dw == me {
+        queue.push(ev);
+    } else {
+        outboxes[dw].push(ev);
+    }
+    Ok(())
 }
 
-/// A ticket barrier that can be *poisoned* by a panicking worker so its
-/// siblings return an error instead of waiting forever.
+/// A sense-reversing barrier with bounded backoff that can be *poisoned*
+/// by a panicking worker so its siblings return an error instead of
+/// waiting forever.
 ///
-/// Tickets are monotonic, so there is no reset race between consecutive
-/// rounds; waiters spin briefly on the generation counter, then block on a
-/// condvar.
-struct PoisonBarrier {
+/// Each waiter carries a thread-local sense flag, flipped every round; the
+/// last arriver resets the count and publishes the round's sense. Waiters
+/// back off in three stages — a short spin for the cores-available case, a
+/// `yield_now` stage for oversubscribed hosts (more runnable workers than
+/// cores), and finally a timed condvar wait so a long-idle worker costs
+/// nothing.
+struct SenseBarrier {
     n: u64,
-    tickets: AtomicU64,
-    generation: AtomicU64,
+    count: AtomicU64,
+    sense: AtomicBool,
     poisoned: AtomicBool,
     mu: Mutex<()>,
     cv: Condvar,
 }
 
-/// Returned by [`PoisonBarrier::wait`] when a sibling worker panicked.
+/// Returned by [`SenseBarrier::wait`] when a sibling worker panicked.
 struct BarrierPoisoned;
 
-impl PoisonBarrier {
+impl SenseBarrier {
+    const SPIN_ROUNDS: u32 = 64;
+    const YIELD_ROUNDS: u32 = 256;
+
     fn new(n: usize) -> Self {
-        PoisonBarrier {
+        SenseBarrier {
             n: n as u64,
-            tickets: AtomicU64::new(0),
-            generation: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sense: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
             mu: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
 
-    fn wait(&self) -> Result<(), BarrierPoisoned> {
+    /// Waits for all `n` workers. `local_sense` must start `true` on every
+    /// thread and is flipped by each successful or poisoned wait.
+    fn wait(&self, local_sense: &mut bool) -> Result<(), BarrierPoisoned> {
+        let my_sense = *local_sense;
+        *local_sense = !my_sense;
         if self.poisoned.load(Ordering::Acquire) {
             return Err(BarrierPoisoned);
         }
-        let ticket = self.tickets.fetch_add(1, Ordering::AcqRel);
-        let target = ticket / self.n + 1;
-        if (ticket + 1).is_multiple_of(self.n) {
-            // Last arriver releases the round. The RMW chain on `tickets`
-            // makes every earlier arriver's writes visible here; the
-            // release store republishes them to all waiters.
-            self.generation.store(target, Ordering::Release);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arriver: reset for the next round, publish the sense.
+            // The RMW chain on `count` makes every earlier arriver's
+            // writes visible here; the release store republishes them.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
             drop(self.mu.lock().expect("barrier mutex"));
             self.cv.notify_all();
         } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) < target {
+            let mut tries = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
                 if self.poisoned.load(Ordering::Acquire) {
                     return Err(BarrierPoisoned);
                 }
-                spins += 1;
-                if spins < 4_096 {
+                tries += 1;
+                if tries < Self::SPIN_ROUNDS {
                     std::hint::spin_loop();
+                } else if tries < Self::YIELD_ROUNDS {
+                    std::thread::yield_now();
                 } else {
-                    // Block; re-check the predicate under the lock.
+                    // Block; the timeout re-arms the sense check so a
+                    // wakeup lost to the publish/lock race cannot strand
+                    // us.
                     let guard = self.mu.lock().expect("barrier mutex");
+                    if self.sense.load(Ordering::Acquire) == my_sense
+                        || self.poisoned.load(Ordering::Acquire)
+                    {
+                        continue;
+                    }
                     let _guard = self
                         .cv
-                        .wait_timeout(guard, std::time::Duration::from_millis(1))
+                        .wait_timeout(guard, std::time::Duration::from_micros(200))
                         .expect("barrier condvar");
                 }
             }
@@ -254,8 +359,8 @@ impl PoisonBarrier {
     }
 }
 
-/// One direction of a cross-partition exchange: a buffer written only by
-/// its source partition and drained only by its destination partition.
+/// One direction of a cross-worker exchange: a buffer written only by its
+/// source worker and drained only by its destination worker.
 ///
 /// # Safety protocol
 ///
@@ -301,21 +406,28 @@ struct JobCtl {
 
 /// State shared between the coordinating thread and the workers.
 struct PoolShared<M> {
-    n: usize,
-    quantum: SimDuration,
-    /// Global component id -> (partition, local index); frozen at pool
-    /// creation (components cannot be added after the first run).
+    /// Worker (thread) count, not partition count.
+    nworkers: usize,
+    /// Conservative lookahead: cross-partition events arrive at least this
+    /// long after they are sent, in picoseconds.
+    lookahead_ps: u64,
+    /// Global component id -> (partition, flat index within the owning
+    /// worker); frozen at pool creation (components cannot be added after
+    /// the first run).
     directory: Vec<(u32, u32)>,
-    barrier: PoisonBarrier,
-    /// Published per-partition queue minima, parity double-buffered:
-    /// `mins[parity * n + partition]`.
+    /// Partition -> owning worker.
+    part_worker: Vec<u32>,
+    barrier: SenseBarrier,
+    /// Published per-worker queue minima, parity double-buffered:
+    /// `mins[parity * nworkers + worker]`.
     mins: Vec<AtomicU64>,
     /// Published stop/error flags, same layout as `mins`.
     flags: Vec<AtomicU64>,
-    /// SPSC exchange lanes, `2 * n * n` of them (see [`Lane`]).
+    /// SPSC exchange lanes, `2 * nworkers * nworkers` of them (see
+    /// [`Lane`]).
     lanes: Vec<Lane<M>>,
-    /// Handoff cells loaning each partition's state to its worker.
-    slots: Vec<Mutex<Option<PartitionState<M>>>>,
+    /// Handoff cells loaning each worker's state to its thread.
+    slots: Vec<Mutex<Option<WorkerState<M>>>>,
     /// Per-worker `(last event time, stopped)` results.
     results: Vec<Mutex<(SimTime, bool)>>,
     /// First error raised by each worker.
@@ -326,26 +438,37 @@ struct PoolShared<M> {
     panicked: AtomicBool,
 }
 
-/// The persistent worker pool: one OS thread per partition, spawned on the
-/// first run and parked between runs.
+/// The persistent worker pool: spawned on the first run and parked on a
+/// condvar between runs.
 struct WorkerPool<M> {
     shared: Arc<PoolShared<M>>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl<M: Send + 'static> WorkerPool<M> {
-    fn spawn(n: usize, quantum: SimDuration, directory: Vec<(u32, u32)>) -> Self {
+    /// Builds the shared state and, when `spawn_threads` is set, one thread
+    /// per worker. A single-worker executor keeps the shared state (the
+    /// directory, barrier, and error slots all live there) but runs its
+    /// jobs inline on the coordinating thread instead — see `run_until`.
+    fn spawn(
+        nworkers: usize,
+        lookahead_ps: u64,
+        directory: Vec<(u32, u32)>,
+        part_worker: Vec<u32>,
+        spawn_threads: bool,
+    ) -> Self {
         let shared = Arc::new(PoolShared {
-            n,
-            quantum,
+            nworkers,
+            lookahead_ps,
             directory,
-            barrier: PoisonBarrier::new(n),
-            mins: (0..2 * n).map(|_| AtomicU64::new(u64::MAX)).collect(),
-            flags: (0..2 * n).map(|_| AtomicU64::new(0)).collect(),
-            lanes: (0..2 * n * n).map(|_| Lane::new()).collect(),
-            slots: (0..n).map(|_| Mutex::new(None)).collect(),
-            results: (0..n).map(|_| Mutex::new((SimTime::ZERO, false))).collect(),
-            errors: (0..n).map(|_| Mutex::new(None)).collect(),
+            part_worker,
+            barrier: SenseBarrier::new(nworkers),
+            mins: (0..2 * nworkers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            flags: (0..2 * nworkers).map(|_| AtomicU64::new(0)).collect(),
+            lanes: (0..2 * nworkers * nworkers).map(|_| Lane::new()).collect(),
+            slots: (0..nworkers).map(|_| Mutex::new(None)).collect(),
+            results: (0..nworkers).map(|_| Mutex::new((SimTime::ZERO, false))).collect(),
+            errors: (0..nworkers).map(|_| Mutex::new(None)).collect(),
             job: Mutex::new(JobCtl {
                 epoch: 0,
                 done: 0,
@@ -356,15 +479,19 @@ impl<M: Send + 'static> WorkerPool<M> {
             done_cv: Condvar::new(),
             panicked: AtomicBool::new(false),
         });
-        let handles = (0..n)
-            .map(|me| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("diablo-part-{me}"))
-                    .spawn(move || worker_main(shared, me))
-                    .expect("spawn partition worker")
-            })
-            .collect();
+        let handles = if spawn_threads {
+            (0..nworkers)
+                .map(|me| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("diablo-wkr-{me}"))
+                        .spawn(move || worker_main(shared, me))
+                        .expect("spawn pool worker")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         WorkerPool { shared, handles }
     }
 }
@@ -384,10 +511,13 @@ impl<M> Drop for WorkerPool<M> {
     }
 }
 
-/// Body of each pool thread: wait for a job epoch, run the partition, hand
-/// the state back, report completion.
+/// Body of each pool thread: wait for a job epoch, run the owned
+/// partitions, hand the state back, report completion.
 fn worker_main<M: Send + 'static>(shared: Arc<PoolShared<M>>, me: usize) {
     let mut seen_epoch = 0u64;
+    // Sense-barrier thread-local flag; all workers cross the same number
+    // of barriers per job, keeping it consistent across epochs.
+    let mut sense = true;
     loop {
         let spec = {
             let mut job = shared.job.lock().expect("pool job mutex");
@@ -403,13 +533,13 @@ fn worker_main<M: Send + 'static>(shared: Arc<PoolShared<M>>, me: usize) {
             seen_epoch = job.epoch;
             job.spec
         };
-        let mut part = shared.slots[me]
+        let mut ws = shared.slots[me]
             .lock()
             .expect("slot mutex")
             .take()
-            .expect("partition state was not loaned");
+            .expect("worker state was not loaned");
         let outcome =
-            catch_unwind(AssertUnwindSafe(|| run_partition(&shared, me, &mut part, &spec)));
+            catch_unwind(AssertUnwindSafe(|| run_worker(&shared, me, &mut ws, &spec, &mut sense)));
         match outcome {
             Ok(result) => *shared.results[me].lock().expect("result mutex") = result,
             Err(_) => {
@@ -417,10 +547,10 @@ fn worker_main<M: Send + 'static>(shared: Arc<PoolShared<M>>, me: usize) {
                 shared.barrier.poison();
             }
         }
-        *shared.slots[me].lock().expect("slot mutex") = Some(part);
+        *shared.slots[me].lock().expect("slot mutex") = Some(ws);
         let mut job = shared.job.lock().expect("pool job mutex");
         job.done += 1;
-        if job.done == shared.n {
+        if job.done == shared.nworkers {
             shared.done_cv.notify_all();
         }
     }
@@ -429,20 +559,22 @@ fn worker_main<M: Send + 'static>(shared: Arc<PoolShared<M>>, me: usize) {
 const FLAG_STOP: u64 = 1;
 const FLAG_ERR: u64 = 2;
 
-/// Per-thread body of one parallel run. Each round is:
-/// publish `(min incl. sent, flags)` at the current parity → **single
-/// barrier** → drain incoming lanes of that parity → decide (stop / error /
-/// horizon / window) → flip parity → process window → swap outboxes into
-/// outgoing lanes of the new parity.
-fn run_partition<M: Send + 'static>(
+/// Per-thread body of one parallel run. Each round is: publish `(min incl.
+/// sent, flags)` at the current parity → **single barrier** → drain
+/// incoming lanes of that parity → decide (stop / error / done) → flip
+/// parity → process every owned event up to this round's lookahead horizon
+/// → swap outboxes into outgoing lanes of the new parity.
+fn run_worker<M: Send + 'static>(
     shared: &PoolShared<M>,
     me: usize,
-    part: &mut PartitionState<M>,
+    ws: &mut WorkerState<M>,
     spec: &JobSpec,
+    sense: &mut bool,
 ) -> (SimTime, bool) {
-    let n = shared.n;
+    let nw = shared.nworkers;
     let directory: &[(u32, u32)] = &shared.directory;
-    let quantum = shared.quantum;
+    let part_worker: &[u32] = &shared.part_worker;
+    let lookahead = shared.lookahead_ps;
     let mut pending: Vec<Event<M>> = Vec::new();
     let mut local_now = spec.start_now;
     let mut stopped = false;
@@ -455,38 +587,56 @@ fn run_partition<M: Send + 'static>(
     // also covers in-flight messages.
     let mut sent_min = u64::MAX;
 
-    part.outboxes.resize_with(n, Vec::new);
+    ws.outboxes.resize_with(nw, Vec::new);
 
     if spec.first_run {
         // Phase 0: component starts. The resulting events are exchanged
-        // through the lanes before any window is processed, so
-        // cross-partition deliveries have no lower bound here
-        // (window_end = start_now admits everything).
-        for i in 0..part.components.len() {
-            let id = part.components[i].0;
+        // through the lanes before anything is processed, so
+        // cross-partition deliveries have no lookahead bound here
+        // (`earliest_ok = start_now` admits everything).
+        let start_ps = spec.start_now.as_picos();
+        for i in 0..ws.components.len() {
+            let part_id = ws.part_of[i];
+            let id = ws.components[i].0;
             let mut stop = false;
-            let mut ctx = Ctx::new(spec.start_now, id, &mut part.seqs[i], &mut pending, &mut stop);
-            part.components[i].1.on_start(&mut ctx);
+            let mut ctx = Ctx::new(spec.start_now, id, &mut ws.seqs[i], &mut pending, &mut stop);
+            ws.components[i].1.on_start(&mut ctx);
             pending_stop |= stop;
-        }
-        for ev in pending.drain(..) {
-            if let Err(e) =
-                route_one(directory, me, &mut part.queue, &mut part.outboxes, spec.start_now, ev)
-            {
-                pending_err.get_or_insert(e);
-                break;
+            let mut cross = 0u64;
+            for ev in pending.drain(..) {
+                if let Err(e) = route_one(
+                    directory,
+                    part_worker,
+                    me,
+                    part_id,
+                    &mut ws.queue,
+                    &mut ws.outboxes,
+                    start_ps,
+                    &mut cross,
+                    ev,
+                ) {
+                    pending_err.get_or_insert(e);
+                    break;
+                }
             }
+            ws.counters[part_id as usize - ws.lo].sent_cross += cross;
         }
-        flush_outboxes(shared, me, parity, &mut part.outboxes, &mut sent_min);
+        flush_outboxes(shared, me, parity, &mut ws.outboxes, &mut sent_min);
     }
 
     loop {
         // Publish local minimum (queue head plus freshly sent events) and
         // flags into this round's parity slots.
-        let queue_min = part.queue.peek_key().map_or(u64::MAX, |k| k.time.as_picos());
+        let queue_min = ws.queue.peek_key().map_or(u64::MAX, |k| k.time.as_picos());
+        // Events flushed last round sit in the lanes and are drained by
+        // their receivers *this* round; a receiver may process one at time
+        // t >= inflight_min and reply with something arriving as early as
+        // t + lookahead. The published minimum warns every *other* worker
+        // about them, but this worker's own horizon needs the same floor.
+        let inflight_min = sent_min;
         let my_min = queue_min.min(sent_min);
         sent_min = u64::MAX;
-        shared.mins[parity * n + me].store(my_min, Ordering::Release);
+        shared.mins[parity * nw + me].store(my_min, Ordering::Release);
         let mut f = 0;
         if pending_stop {
             f |= FLAG_STOP;
@@ -495,15 +645,19 @@ fn run_partition<M: Send + 'static>(
             f |= FLAG_ERR;
             shared.errors[me].lock().expect("error mutex").get_or_insert(e);
         }
-        shared.flags[parity * n + me].store(f, Ordering::Release);
+        shared.flags[parity * nw + me].store(f, Ordering::Release);
 
-        if shared.barrier.wait().is_err() {
+        let wait_start = std::time::Instant::now();
+        if shared.barrier.wait(sense).is_err() {
             // A sibling panicked; bail out with whatever state we have.
             break;
         }
+        ws.barrier_wait_ns += wait_start.elapsed().as_nanos() as u64;
+        ws.rounds += 1;
 
         // Drain lanes written toward us before the barrier (same parity).
-        for src in 0..n {
+        let mut drained = 0u64;
+        for src in 0..nw {
             if src == me {
                 continue;
             }
@@ -511,18 +665,28 @@ fn run_partition<M: Send + 'static>(
             // this parity's buffer happened before the barrier we just
             // crossed, and its next access is after the barrier we cross
             // next round.
-            let buf = unsafe { &mut *shared.lanes[lane_idx(n, parity, src, me)].0.get() };
+            let buf = unsafe { &mut *shared.lanes[lane_idx(nw, parity, src, me)].0.get() };
+            drained += buf.len() as u64;
             for ev in buf.drain(..) {
-                part.queue.push(ev);
+                let (p, _) = directory[ev.key.target.index()];
+                ws.counters[p as usize - ws.lo].recv_cross += 1;
+                ws.queue.push(ev);
             }
         }
+        ws.lane_events += drained;
+        ws.lane_peak = ws.lane_peak.max(drained);
 
         // Decide from this round's published snapshot.
+        let mut others_min = u64::MAX;
         let mut global_min = u64::MAX;
         let mut any_flags = 0u64;
-        for i in 0..n {
-            global_min = global_min.min(shared.mins[parity * n + i].load(Ordering::Acquire));
-            any_flags |= shared.flags[parity * n + i].load(Ordering::Acquire);
+        for i in 0..nw {
+            let m = shared.mins[parity * nw + i].load(Ordering::Acquire);
+            global_min = global_min.min(m);
+            if i != me {
+                others_min = others_min.min(m);
+            }
+            any_flags |= shared.flags[parity * nw + i].load(Ordering::Acquire);
         }
         if any_flags & FLAG_ERR != 0 {
             break;
@@ -536,58 +700,74 @@ fn run_partition<M: Send + 'static>(
         }
         parity = 1 - parity;
 
-        // Window: [global_min, next quantum boundary after global_min),
-        // capped by the horizon. Skipping directly to global_min avoids
-        // spinning through empty quanta while idle timers (e.g. 200 ms TCP
-        // RTOs) are pending.
-        let window_start = SimTime::from_picos(global_min);
-        let qb = window_start.align_up(quantum);
-        let window_end_ps =
-            if qb == window_start { (qb + quantum).as_picos() } else { qb.as_picos() }
-                .min(spec.exclusive_end);
-        let window_end = SimTime::from_picos(window_end_ps);
+        // This round's horizon: nothing another worker might still send
+        // can arrive before its published minimum plus the lookahead — and
+        // nothing triggered by our own in-flight events can arrive before
+        // their minimum plus the lookahead — so everything strictly before
+        // that is safe to process now. With one worker the bound
+        // degenerates to the run limit — the whole run in a single round.
+        let horizon =
+            others_min.min(inflight_min).saturating_add(lookahead).min(spec.exclusive_end);
 
-        // Process local events inside the window.
-        'window: loop {
-            let Some(ev) = part.queue.pop_before(window_end_ps) else { break };
+        // Process every owned event inside the horizon in EventKey order.
+        let mut processed_any = false;
+        'horizon: while !pending_stop {
+            let Some(ev) = ws.queue.pop_before(horizon) else { break };
             local_now = ev.key.time;
             let target = ev.key.target;
-            let (_, lidx) = directory[target.index()];
-            let lidx = lidx as usize;
+            let (p, fidx) = directory[target.index()];
+            let prel = p as usize - ws.lo;
+            let fidx = fidx as usize;
             let mut stop = false;
             {
-                let (id_check, comp) = &mut part.components[lidx];
+                let (id_check, comp) = &mut ws.components[fidx];
                 debug_assert_eq!(*id_check, target);
                 let mut ctx =
-                    Ctx::new(local_now, target, &mut part.seqs[lidx], &mut pending, &mut stop);
+                    Ctx::new(local_now, target, &mut ws.seqs[fidx], &mut pending, &mut stop);
                 match ev.kind {
                     EventKind::Timer(key) => comp.on_timer(key, &mut ctx),
                     EventKind::Message(port, msg) => comp.on_message(port, msg, &mut ctx),
                 }
             }
-            part.events_processed += 1;
+            ws.counters[prel].events_processed += 1;
+            processed_any = true;
             pending_stop |= stop;
+            let earliest_ok = local_now.as_picos().saturating_add(lookahead);
+            let mut cross = 0u64;
             for out in pending.drain(..) {
-                if let Err(e) =
-                    route_one(directory, me, &mut part.queue, &mut part.outboxes, window_end, out)
-                {
+                if let Err(e) = route_one(
+                    directory,
+                    part_worker,
+                    me,
+                    p,
+                    &mut ws.queue,
+                    &mut ws.outboxes,
+                    earliest_ok,
+                    &mut cross,
+                    out,
+                ) {
                     pending_err.get_or_insert(e);
-                    break 'window;
+                    ws.counters[prel].sent_cross += cross;
+                    break 'horizon;
                 }
             }
+            ws.counters[prel].sent_cross += cross;
         }
-        part.last_time = part.last_time.max(local_now);
+        if processed_any {
+            ws.busy_rounds += 1;
+        }
+        ws.last_time = ws.last_time.max(local_now);
 
-        // Hand this window's cross-partition events to their destinations:
+        // Hand this round's cross-worker events to their destinations:
         // swap each non-empty outbox into the matching lane of the *new*
         // parity (drained by the receiver after the next barrier).
-        flush_outboxes(shared, me, parity, &mut part.outboxes, &mut sent_min);
+        flush_outboxes(shared, me, parity, &mut ws.outboxes, &mut sent_min);
     }
-    (part.last_time, stopped)
+    (ws.last_time, stopped)
 }
 
-/// Swaps non-empty outboxes into this partition's outgoing lanes of the
-/// given parity, folding sent delivery times into `sent_min`.
+/// Swaps non-empty outboxes into this worker's outgoing lanes of the given
+/// parity, folding sent delivery times into `sent_min`.
 fn flush_outboxes<M: Send>(
     shared: &PoolShared<M>,
     me: usize,
@@ -595,7 +775,7 @@ fn flush_outboxes<M: Send>(
     outboxes: &mut [Vec<Event<M>>],
     sent_min: &mut u64,
 ) {
-    let n = shared.n;
+    let nw = shared.nworkers;
     for (dst, out) in outboxes.iter_mut().enumerate() {
         if out.is_empty() {
             continue;
@@ -606,15 +786,15 @@ fn flush_outboxes<M: Send>(
         // SAFETY: we are the only writer of (me, dst) lanes, and the
         // receiver drained this parity's buffer before the previous
         // barrier; see the Lane protocol.
-        let lane = unsafe { &mut *shared.lanes[lane_idx(n, parity, me, dst)].0.get() };
+        let lane = unsafe { &mut *shared.lanes[lane_idx(nw, parity, me, dst)].0.get() };
         debug_assert!(lane.is_empty(), "lane reused before the receiver drained it");
         std::mem::swap(lane, out);
     }
 }
 
-/// The multi-threaded executor: components grouped into partitions, one
-/// persistent host thread per partition, one barrier per synchronization
-/// window.
+/// The multi-threaded executor: components grouped into partitions,
+/// partitions multiplexed onto a persistent pool of worker threads, one
+/// sense-reversing barrier per synchronization round.
 ///
 /// # Examples
 ///
@@ -637,22 +817,31 @@ fn flush_outboxes<M: Send>(
 /// assert_eq!(stats.events, 0);
 /// ```
 pub struct ParallelSimulation<M> {
-    partitions: Vec<PartitionState<M>>,
+    /// Per-worker states, loaned to the pool during a run.
+    workers: Vec<WorkerState<M>>,
+    /// Partition -> owning worker.
+    part_worker: Vec<u32>,
+    nparts: usize,
     /// Global component id -> (partition, local index).
     directory: Vec<(u32, u32)>,
-    quantum: SimDuration,
+    /// Conservative cross-partition lookahead (also called the quantum).
+    lookahead: SimDuration,
     now: SimTime,
     started: bool,
     external_seq: u64,
     pool: Option<WorkerPool<M>>,
+    /// Barrier sense flag for the single-worker inline path, persisted
+    /// across `run_until` calls like each pool thread's local flag is.
+    inline_sense: bool,
 }
 
 impl<M> std::fmt::Debug for ParallelSimulation<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ParallelSimulation")
-            .field("partitions", &self.partitions.len())
+            .field("partitions", &self.nparts)
+            .field("workers", &self.workers.len())
             .field("components", &self.directory.len())
-            .field("quantum", &self.quantum)
+            .field("lookahead", &self.lookahead)
             .field("now", &self.now)
             .field("pool_running", &self.pool.is_some())
             .finish()
@@ -660,40 +849,87 @@ impl<M> std::fmt::Debug for ParallelSimulation<M> {
 }
 
 impl<M: Send + 'static> ParallelSimulation<M> {
-    /// Creates an executor with `partitions` host threads synchronizing
-    /// every `quantum` of simulated time. Threads are spawned lazily on
+    /// Creates an executor with `partitions` placement partitions and the
+    /// given cross-partition `lookahead` (the synchronization quantum:
+    /// cross-partition messages must arrive at least this long after they
+    /// are sent). Partitions are multiplexed onto
+    /// `min(partitions, available parallelism)` worker threads — override
+    /// with the `DIABLO_WORKERS` environment variable or
+    /// [`ParallelSimulation::with_workers`]. Threads are spawned lazily on
     /// the first run and persist until the executor is dropped.
     ///
     /// # Panics
     ///
-    /// Panics if `partitions` is zero or `quantum` is zero.
-    pub fn new(partitions: usize, quantum: SimDuration) -> Self {
+    /// Panics if `partitions` is zero or `lookahead` is zero.
+    pub fn new(partitions: usize, lookahead: SimDuration) -> Self {
+        Self::with_workers(partitions, default_workers(partitions), lookahead)
+    }
+
+    /// Like [`ParallelSimulation::new`] but with an explicit worker-thread
+    /// count (clamped to `partitions`). Worker count affects scheduling
+    /// only; results are identical for every value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` or `workers` is zero, or `lookahead` is zero.
+    pub fn with_workers(partitions: usize, workers: usize, lookahead: SimDuration) -> Self {
         assert!(partitions > 0, "at least one partition required");
-        assert!(!quantum.is_zero(), "quantum must be positive");
+        assert!(workers > 0, "at least one worker required");
+        assert!(!lookahead.is_zero(), "lookahead must be positive");
+        let nworkers = workers.min(partitions);
+        // Contiguous blocks: worker w owns partitions [w*n/W, (w+1)*n/W).
+        let mut part_worker = vec![0u32; partitions];
+        let mut worker_states = Vec::with_capacity(nworkers);
+        for w in 0..nworkers {
+            let lo = w * partitions / nworkers;
+            let hi = (w + 1) * partitions / nworkers;
+            let mut ws = WorkerState::new(lo);
+            ws.counters = vec![PartCounters::default(); hi - lo];
+            for owner in &mut part_worker[lo..hi] {
+                *owner = w as u32;
+            }
+            worker_states.push(ws);
+        }
         ParallelSimulation {
-            partitions: (0..partitions).map(|_| PartitionState::new()).collect(),
+            workers: worker_states,
+            part_worker,
+            nparts: partitions,
             directory: Vec::new(),
-            quantum,
+            lookahead,
             now: SimTime::ZERO,
             started: false,
             external_seq: 0,
             pool: None,
+            inline_sense: true,
         }
     }
 
-    /// The synchronization quantum.
+    /// The synchronization quantum (cross-partition lookahead).
     pub fn quantum(&self) -> SimDuration {
-        self.quantum
+        self.lookahead
     }
 
-    /// Number of partitions (host threads).
+    /// The conservative cross-partition lookahead (alias of
+    /// [`ParallelSimulation::quantum`]).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Number of placement partitions.
     pub fn partition_count(&self) -> usize {
-        self.partitions.len()
+        self.nparts
+    }
+
+    /// Number of worker threads partitions are multiplexed onto.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
     }
 
     /// Total worker threads spawned so far. Zero before the first run, and
-    /// exactly [`ParallelSimulation::partition_count`] afterwards no matter
-    /// how many runs have executed — the pool is persistent.
+    /// exactly [`ParallelSimulation::worker_count`] afterwards no matter
+    /// how many runs have executed — the pool is persistent. Exception: a
+    /// single-worker executor runs inline on the calling thread and never
+    /// spawns, so this stays zero.
     pub fn workers_spawned(&self) -> usize {
         self.pool.as_ref().map_or(0, |p| p.handles.len())
     }
@@ -705,24 +941,63 @@ impl<M: Send + 'static> ParallelSimulation<M> {
 
     /// Downcasts a component to its concrete type for inspection.
     pub fn component<T: 'static>(&self, id: ComponentId) -> Option<&T> {
-        let &(p, l) = self.directory().get(id.index())?;
-        self.partitions[p as usize].components[l as usize].1.as_any().downcast_ref::<T>()
+        let &(p, f) = self.directory().get(id.index())?;
+        let w = self.part_worker[p as usize] as usize;
+        self.workers[w].components[f as usize].1.as_any().downcast_ref::<T>()
     }
 
     /// Mutable variant of [`ParallelSimulation::component`].
     pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
-        let &(p, l) = self.directory().get(id.index())?;
-        self.partitions[p as usize].components[l as usize].1.as_any_mut().downcast_mut::<T>()
+        let &(p, f) = self.directory().get(id.index())?;
+        let w = self.part_worker[p as usize] as usize;
+        self.workers[w].components[f as usize].1.as_any_mut().downcast_mut::<T>()
     }
 
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
-        self.partitions.iter().map(|p| p.events_processed).sum()
+        self.workers.iter().flat_map(|w| w.counters.iter()).map(|c| c.events_processed).sum()
     }
 
     /// Current simulated time (the last completed horizon or event time).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Cumulative per-partition and per-worker execution statistics:
+    /// events and cross-partition traffic per partition, barrier rounds,
+    /// barrier wait time, and lane occupancy per worker.
+    pub fn exec_report(&self) -> ExecReport {
+        ExecReport {
+            lookahead_ps: self.lookahead.as_picos(),
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(w, ws)| WorkerExec {
+                    worker: w,
+                    partitions: ws.counters.len(),
+                    rounds: ws.rounds,
+                    busy_rounds: ws.busy_rounds,
+                    barrier_wait_ns: ws.barrier_wait_ns,
+                    lane_events: ws.lane_events,
+                    lane_peak: ws.lane_peak,
+                })
+                .collect(),
+            partitions: self
+                .workers
+                .iter()
+                .enumerate()
+                .flat_map(|(w, ws)| {
+                    ws.counters.iter().enumerate().map(move |(prel, c)| PartitionExec {
+                        partition: ws.lo + prel,
+                        worker: w,
+                        events: c.events_processed,
+                        sent_cross: c.sent_cross,
+                        recv_cross: c.recv_cross,
+                    })
+                })
+                .collect(),
+        }
     }
 
     /// Runs until the queues drain or a component stops the run.
@@ -741,17 +1016,22 @@ impl<M: Send + 'static> ParallelSimulation<M> {
     /// # Errors
     ///
     /// Returns [`EngineError::CrossPartitionTooSoon`] if a component sends a
-    /// cross-partition message with less than one quantum of latency,
+    /// cross-partition message with less than one lookahead of latency,
     /// [`EngineError::UnknownComponent`] for events targeting unregistered
     /// components, and [`EngineError::WorkerPanicked`] if a component
     /// handler panicked on a worker thread (further runs refuse to start).
     pub fn run_until(&mut self, limit: SimTime) -> Result<RunStats, EngineError> {
-        let n = self.partitions.len();
+        let nw = self.workers.len();
         let first_run = !self.started;
         self.started = true;
         if self.pool.is_none() {
-            self.pool =
-                Some(WorkerPool::spawn(n, self.quantum, std::mem::take(&mut self.directory)));
+            self.pool = Some(WorkerPool::spawn(
+                nw,
+                self.lookahead.as_picos(),
+                std::mem::take(&mut self.directory),
+                self.part_worker.clone(),
+                nw > 1,
+            ));
         }
         let shared = Arc::clone(&self.pool.as_ref().expect("pool running").shared);
         if shared.panicked.load(Ordering::SeqCst) {
@@ -762,9 +1042,41 @@ impl<M: Send + 'static> ParallelSimulation<M> {
         let exclusive_end =
             if limit == SimTime::MAX { u64::MAX } else { limit.as_picos().saturating_add(1) };
 
-        // Loan the partition states to the workers and publish the job.
-        for (i, part) in self.partitions.iter_mut().enumerate() {
-            let state = std::mem::replace(part, PartitionState::hollow());
+        if nw == 1 {
+            // Single worker: run the job inline on the calling thread.
+            // With nobody to synchronize against, the pool handoff (two
+            // condvar round trips per run) is pure overhead, and on a
+            // loaded host each futex wakeup can cost far more than the
+            // barrier rounds themselves.
+            let spec = JobSpec { start_now, exclusive_end, first_run };
+            let mut sense = self.inline_sense;
+            let ws = &mut self.workers[0];
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| run_worker(&shared, 0, ws, &spec, &mut sense)));
+            self.inline_sense = sense;
+            let (event_max, stopped) = match outcome {
+                Ok(r) => r,
+                Err(_) => {
+                    // Same contract as the threaded path: the run fails
+                    // with WorkerPanicked and the executor stays poisoned.
+                    shared.panicked.store(true, Ordering::SeqCst);
+                    return Err(EngineError::WorkerPanicked);
+                }
+            };
+            if let Some(e) = shared.errors[0].lock().expect("error mutex").take() {
+                return Err(e);
+            }
+            if !stopped && limit < SimTime::MAX {
+                self.now = limit.max(event_max);
+            } else {
+                self.now = event_max.max(start_now);
+            }
+            return Ok(RunStats { events: self.events_processed(), final_time: self.now, stopped });
+        }
+
+        // Loan the worker states to the pool and publish the job.
+        for (i, ws) in self.workers.iter_mut().enumerate() {
+            let state = std::mem::replace(ws, WorkerState::hollow());
             *shared.slots[i].lock().expect("slot mutex") = Some(state);
         }
         {
@@ -778,16 +1090,16 @@ impl<M: Send + 'static> ParallelSimulation<M> {
         // Wait for every worker to hand its state back.
         {
             let mut job = shared.job.lock().expect("pool job mutex");
-            while job.done < n {
+            while job.done < nw {
                 job = shared.done_cv.wait(job).expect("pool done condvar");
             }
         }
-        for (i, part) in self.partitions.iter_mut().enumerate() {
-            *part = shared.slots[i]
+        for (i, ws) in self.workers.iter_mut().enumerate() {
+            *ws = shared.slots[i]
                 .lock()
                 .expect("slot mutex")
                 .take()
-                .expect("worker returned partition state");
+                .expect("worker returned its state");
         }
 
         if shared.panicked.load(Ordering::SeqCst) {
@@ -828,14 +1140,16 @@ impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
         component: Box<dyn Component<M>>,
     ) -> ComponentId {
         assert!(!self.started, "components must be added before the run starts");
-        assert!(partition < self.partitions.len(), "partition {partition} out of range");
+        assert!(partition < self.nparts, "partition {partition} out of range");
         let id = ComponentId(u32::try_from(self.directory.len()).expect("too many components"));
         assert!(id != ComponentId::EXTERNAL, "component id space exhausted");
-        let part = &mut self.partitions[partition];
-        let local = part.components.len() as u32;
-        part.components.push((id, component));
-        part.seqs.push(0);
-        self.directory.push((partition as u32, local));
+        let w = self.part_worker[partition] as usize;
+        let ws = &mut self.workers[w];
+        let flat = ws.components.len() as u32;
+        ws.components.push((id, component));
+        ws.seqs.push(0);
+        ws.part_of.push(partition as u32);
+        self.directory.push((partition as u32, flat));
         id
     }
 
@@ -853,7 +1167,8 @@ impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
             source_seq: self.external_seq,
         };
         self.external_seq += 1;
-        self.partitions[p as usize].queue.push(Event { key, kind });
+        let w = self.part_worker[p as usize] as usize;
+        self.workers[w].queue.push(Event { key, kind });
     }
 }
 
@@ -907,8 +1222,8 @@ mod tests {
 
     #[test]
     fn two_partitions_exchange_messages() {
-        let quantum = SimDuration::from_micros(1);
-        let mut sim = ParallelSimulation::<u64>::new(2, quantum);
+        let lookahead = SimDuration::from_micros(1);
+        let mut sim = ParallelSimulation::<u64>::new(2, lookahead);
         let a = sim.add_in_partition(0, Box::new(chatter(2_000, 10)));
         let b = sim.add_in_partition(1, Box::new(chatter(2_000, 10)));
         sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
@@ -924,22 +1239,29 @@ mod tests {
 
     #[test]
     fn too_fast_cross_partition_link_is_an_error() {
-        let quantum = SimDuration::from_micros(1);
-        let mut sim = ParallelSimulation::<u64>::new(2, quantum);
-        // First send happens at t=1ns (inside window 0); 10 ns latency <
-        // 1 us quantum: illegal across partitions.
-        let a = sim.add_in_partition(0, Box::new(chatter(10, 1)));
-        let b = sim.add_in_partition(1, Box::new(chatter(10, 0)));
-        sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
-        let _ = b;
-        let err = sim.run().unwrap_err();
-        assert!(matches!(err, EngineError::CrossPartitionTooSoon { .. }), "got {err:?}");
+        let lookahead = SimDuration::from_micros(1);
+        // The violation must be detected no matter how partitions map to
+        // worker threads on this host.
+        for workers in [1usize, 2] {
+            let mut sim = ParallelSimulation::<u64>::with_workers(2, workers, lookahead);
+            // First send happens at t=1ns; 10 ns latency < 1 us lookahead:
+            // illegal across partitions.
+            let a = sim.add_in_partition(0, Box::new(chatter(10, 1)));
+            let b = sim.add_in_partition(1, Box::new(chatter(10, 0)));
+            sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
+            let _ = b;
+            let err = sim.run().unwrap_err();
+            assert!(
+                matches!(err, EngineError::CrossPartitionTooSoon { .. }),
+                "workers={workers}: got {err:?}"
+            );
+        }
     }
 
     #[test]
     fn same_partition_fast_links_are_fine() {
-        let quantum = SimDuration::from_micros(1);
-        let mut sim = ParallelSimulation::<u64>::new(2, quantum);
+        let lookahead = SimDuration::from_micros(1);
+        let mut sim = ParallelSimulation::<u64>::new(2, lookahead);
         let a = sim.add_in_partition(0, Box::new(chatter(10, 5)));
         let b = sim.add_in_partition(0, Box::new(chatter(10, 0)));
         sim.component_mut::<Chatter>(a).unwrap().peer = Some(b);
@@ -950,7 +1272,7 @@ mod tests {
     #[test]
     fn matches_serial_execution_exactly() {
         // Build the same 8-component ring under both executors and compare
-        // full reception logs.
+        // full reception logs, for several worker counts.
         fn build<H: ComponentHost<u64>>(host: &mut H, parts: usize) -> Vec<ComponentId> {
             (0..8).map(|i| host.add_in_partition(i % parts, Box::new(chatter(2_000, 20)))).collect()
         }
@@ -961,18 +1283,21 @@ mod tests {
         }
         let st_s = serial.run().unwrap();
 
-        let mut par = ParallelSimulation::<u64>::new(4, SimDuration::from_micros(1));
-        let ids_p = build(&mut par, 4);
-        for (i, &id) in ids_p.iter().enumerate() {
-            par.component_mut::<Chatter>(id).unwrap().peer = Some(ids_p[(i + 1) % 8]);
-        }
-        let st_p = par.run().unwrap();
+        for workers in [1usize, 2, 4] {
+            let mut par =
+                ParallelSimulation::<u64>::with_workers(4, workers, SimDuration::from_micros(1));
+            let ids_p = build(&mut par, 4);
+            for (i, &id) in ids_p.iter().enumerate() {
+                par.component_mut::<Chatter>(id).unwrap().peer = Some(ids_p[(i + 1) % 8]);
+            }
+            let st_p = par.run().unwrap();
 
-        assert_eq!(st_s.events, st_p.events);
-        for (&ids, &idp) in ids_s.iter().zip(&ids_p) {
-            let cs = serial.component::<Chatter>(ids).unwrap();
-            let cp = par.component::<Chatter>(idp).unwrap();
-            assert_eq!(cs.received, cp.received, "logs diverged for {ids}");
+            assert_eq!(st_s.events, st_p.events, "workers={workers}");
+            for (&ids, &idp) in ids_s.iter().zip(&ids_p) {
+                let cs = serial.component::<Chatter>(ids).unwrap();
+                let cp = par.component::<Chatter>(idp).unwrap();
+                assert_eq!(cs.received, cp.received, "workers={workers}: logs diverged for {ids}");
+            }
         }
     }
 
@@ -1020,6 +1345,56 @@ mod tests {
         assert_eq!(stats.events, 100 + 100);
     }
 
+    #[test]
+    fn exec_report_accounts_for_all_events() {
+        let mut sim = ParallelSimulation::<u64>::with_workers(4, 2, SimDuration::from_micros(1));
+        let ids: Vec<ComponentId> =
+            (0..4).map(|i| sim.add_in_partition(i, Box::new(chatter(2_000, 10)))).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            sim.component_mut::<Chatter>(id).unwrap().peer = Some(ids[(i + 1) % 4]);
+        }
+        let stats = sim.run().unwrap();
+        let report = sim.exec_report();
+        assert_eq!(report.events(), stats.events);
+        assert_eq!(report.partitions.len(), 4);
+        assert_eq!(report.workers.len(), 2);
+        assert_eq!(report.lookahead_ps, SimDuration::from_micros(1).as_picos());
+        // The ring crosses partitions everywhere, so every partition sent
+        // cross-partition traffic; only the edges 1->2 and 3->0 cross
+        // *workers*, so exactly partitions 2 and 0 took lane deliveries.
+        for p in &report.partitions {
+            assert!(p.sent_cross > 0, "partition {} sent nothing", p.partition);
+            let expect_lane = p.partition == 0 || p.partition == 2;
+            assert_eq!(p.recv_cross > 0, expect_lane, "partition {}", p.partition);
+        }
+        assert!(report.rounds() > 0);
+        assert!(report.lane_events() > 0);
+        assert_eq!(report.events(), 80);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let run = |workers: usize| {
+            let mut sim =
+                ParallelSimulation::<u64>::with_workers(8, workers, SimDuration::from_micros(1));
+            let ids: Vec<ComponentId> =
+                (0..8).map(|i| sim.add_in_partition(i, Box::new(chatter(1_500, 15)))).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                sim.component_mut::<Chatter>(id).unwrap().peer = Some(ids[(i + 3) % 8]);
+            }
+            let stats = sim.run().unwrap();
+            let logs: Vec<Vec<(SimTime, u64)>> = ids
+                .iter()
+                .map(|&id| sim.component::<Chatter>(id).unwrap().received.clone())
+                .collect();
+            (stats.events, logs)
+        };
+        let reference = run(1);
+        for workers in [2usize, 3, 8] {
+            assert_eq!(run(workers), reference, "workers={workers} diverged");
+        }
+    }
+
     /// A component whose handler panics at a given event count, to exercise
     /// barrier poisoning.
     struct Bomb {
@@ -1050,7 +1425,8 @@ mod tests {
     fn component_panic_poisons_the_pool_instead_of_deadlocking() {
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let mut sim = ParallelSimulation::<u64>::new(2, SimDuration::from_micros(1));
+        // Two workers so the surviving worker really waits on the barrier.
+        let mut sim = ParallelSimulation::<u64>::with_workers(2, 2, SimDuration::from_micros(1));
         sim.add_in_partition(0, Box::new(Bomb { fuse: 3 }));
         sim.add_in_partition(1, Box::new(chatter(2_000, 100)));
         let err = sim.run().unwrap_err();

@@ -376,6 +376,85 @@ impl Extend<f64> for Series {
     }
 }
 
+/// Per-partition execution counters from a parallel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionExec {
+    /// Partition index.
+    pub partition: usize,
+    /// Worker thread the partition is multiplexed onto.
+    pub worker: usize,
+    /// Events dispatched to this partition's components.
+    pub events: u64,
+    /// Events this partition sent to another partition.
+    pub sent_cross: u64,
+    /// Events delivered to this partition through another worker's lanes.
+    pub recv_cross: u64,
+}
+
+/// Per-worker-thread synchronization counters from a parallel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerExec {
+    /// Worker thread index.
+    pub worker: usize,
+    /// Number of partitions multiplexed onto this worker.
+    pub partitions: usize,
+    /// Barrier rounds completed.
+    pub rounds: u64,
+    /// Rounds in which at least one event was dispatched.
+    pub busy_rounds: u64,
+    /// Wall-clock nanoseconds spent waiting at the barrier.
+    pub barrier_wait_ns: u64,
+    /// Events received through cross-worker lanes.
+    pub lane_events: u64,
+    /// Largest number of lane events drained in a single round.
+    pub lane_peak: u64,
+}
+
+/// Execution statistics for a parallel run: synchronization cadence, lane
+/// traffic, and the per-partition event balance.
+///
+/// Produced by the parallel executor's `exec_report()`; the bench sweep
+/// emits these alongside throughput so the scaling trajectory shows *why*
+/// a configuration is fast or slow (few long rounds vs. many empty ones).
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Cross-partition lookahead (the synchronization quantum), picoseconds.
+    pub lookahead_ps: u64,
+    /// One entry per worker thread.
+    pub workers: Vec<WorkerExec>,
+    /// One entry per partition.
+    pub partitions: Vec<PartitionExec>,
+}
+
+impl ExecReport {
+    /// Total events dispatched across all partitions.
+    pub fn events(&self) -> u64 {
+        self.partitions.iter().map(|p| p.events).sum()
+    }
+    /// Barrier rounds completed by the busiest worker.
+    pub fn rounds(&self) -> u64 {
+        self.workers.iter().map(|w| w.rounds).max().unwrap_or(0)
+    }
+    /// Mean events dispatched per barrier round — the adaptive batching
+    /// payoff (high means barriers are amortized over many events).
+    pub fn events_per_round(&self) -> f64 {
+        let rounds = self.rounds();
+        if rounds == 0 {
+            self.events() as f64
+        } else {
+            self.events() as f64 / rounds as f64
+        }
+    }
+    /// Total wall-clock nanoseconds all workers spent waiting at barriers.
+    pub fn barrier_wait_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.barrier_wait_ns).sum()
+    }
+    /// Total events carried by cross-worker lanes.
+    pub fn lane_events(&self) -> u64 {
+        self.workers.iter().map(|w| w.lane_events).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

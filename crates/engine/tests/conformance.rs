@@ -1,0 +1,214 @@
+//! Cross-partition conformance suite: the contract that partition count
+//! and worker multiplexing are *scheduling* choices, never *semantic*
+//! ones. Every workload here runs once on the serial executor and then on
+//! the parallel executor for partitions x workers sweeps; final component
+//! logs, event counts, and final times must be identical everywhere.
+//!
+//! These synthetic patterns (ring, all-to-all mesh, fan-in, request-reply)
+//! exercise the executor directly; the workspace-level `determinism.rs`
+//! runs the same contract over full incast and memcached clusters.
+
+use diablo_engine::parallel::{ComponentHost, ParallelSimulation};
+use diablo_engine::prelude::*;
+use std::any::Any;
+
+const LATENCY: SimDuration = SimDuration::from_micros(2);
+const QUANTUM: SimDuration = SimDuration::from_micros(1);
+
+/// What an agent does with its peer list.
+#[derive(Clone, Copy, PartialEq)]
+enum Behavior {
+    /// Forward each message to the next peer with decreasing TTL.
+    Ring,
+    /// Gossip to a pseudo-random peer chosen per message.
+    Mesh,
+    /// Send the budget to peer 0 and stay quiet (fan-in to a sink).
+    FanIn,
+    /// Send requests to peer 0; the sink echoes every request back.
+    RequestReply,
+}
+
+struct Agent {
+    behavior: Behavior,
+    peers: Vec<ComponentId>,
+    budget: u32,
+    rng: DetRng,
+    log: Vec<(SimTime, u64)>,
+}
+
+impl Agent {
+    fn next_peer(&mut self) -> ComponentId {
+        match self.behavior {
+            Behavior::Mesh => *self.rng.choose(&self.peers).expect("has peers"),
+            _ => self.peers[0],
+        }
+    }
+}
+
+impl Component<u64> for Agent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        for i in 0..self.budget {
+            let peer = self.next_peer();
+            ctx.send_after(peer, PortNo(0), LATENCY * (1 + i as u64), 4);
+        }
+    }
+    fn on_timer(&mut self, _k: TimerKey, _c: &mut Ctx<'_, u64>) {}
+    fn on_message(&mut self, _p: PortNo, ttl: u64, ctx: &mut Ctx<'_, u64>) {
+        self.log.push((ctx.now(), ttl));
+        if ttl == 0 {
+            return;
+        }
+        match self.behavior {
+            Behavior::Ring | Behavior::Mesh => {
+                let peer = self.next_peer();
+                ctx.send_after(peer, PortNo(0), LATENCY, ttl - 1);
+            }
+            // The fan-in sink absorbs; the request-reply sink echoes.
+            Behavior::FanIn => {}
+            Behavior::RequestReply => {
+                let peer = self.next_peer();
+                ctx.send_after(peer, PortNo(0), LATENCY, ttl - 1);
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Builds `n` agents wired for `behavior` into any host, placing agent `i`
+/// in partition `i % partitions`.
+fn build<H: ComponentHost<u64>>(
+    host: &mut H,
+    behavior: Behavior,
+    n: usize,
+    partitions: usize,
+    set: impl Fn(&mut H, ComponentId, Vec<ComponentId>),
+) -> Vec<ComponentId> {
+    let root = DetRng::new(0xC0F0_0001);
+    let ids: Vec<ComponentId> = (0..n)
+        .map(|i| {
+            let agent = Agent {
+                behavior,
+                peers: Vec::new(),
+                budget: if behavior == Behavior::FanIn || behavior == Behavior::RequestReply {
+                    if i == 0 {
+                        0 // the sink originates nothing
+                    } else {
+                        3
+                    }
+                } else {
+                    2
+                },
+                rng: root.derive(i as u64),
+                log: Vec::new(),
+            };
+            host.add_in_partition(i % partitions, Box::new(agent))
+        })
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let peers = match behavior {
+            Behavior::Ring => vec![ids[(i + 1) % n]],
+            Behavior::Mesh => ids.iter().copied().filter(|&x| x != id).collect(),
+            Behavior::FanIn => vec![ids[0]],
+            Behavior::RequestReply => {
+                if i == 0 {
+                    // The sink replies to whoever is "next" — a fixed
+                    // fan-out keeps it deterministic; echo to each sender
+                    // in turn is modeled by the mesh case instead. Reply
+                    // target: agent 1 (arbitrary but fixed).
+                    vec![ids[1 % n]]
+                } else {
+                    vec![ids[0]]
+                }
+            }
+        };
+        set(host, id, peers);
+    }
+    ids
+}
+
+type Snapshot = (u64, SimTime, Vec<Vec<(SimTime, u64)>>);
+
+fn run_serial(behavior: Behavior, n: usize) -> Snapshot {
+    let mut sim = Simulation::<u64>::new();
+    let ids = build(&mut sim, behavior, n, 1, |host, id, peers| {
+        host.component_mut::<Agent>(id).expect("agent").peers = peers;
+    });
+    let stats = sim.run().expect("serial run");
+    let logs = ids.iter().map(|&id| sim.component::<Agent>(id).expect("agent").log.clone());
+    (stats.events, stats.final_time, logs.collect())
+}
+
+fn run_parallel(behavior: Behavior, n: usize, partitions: usize, workers: usize) -> Snapshot {
+    let mut sim = ParallelSimulation::<u64>::with_workers(partitions, workers, QUANTUM);
+    let ids = build(&mut sim, behavior, n, partitions, |host, id, peers| {
+        host.component_mut::<Agent>(id).expect("agent").peers = peers;
+    });
+    let stats = sim.run().expect("parallel run");
+    let logs = ids.iter().map(|&id| sim.component::<Agent>(id).expect("agent").log.clone());
+    (stats.events, stats.final_time, logs.collect())
+}
+
+fn conformance(behavior: Behavior, name: &str) {
+    let n = 12;
+    let reference = run_serial(behavior, n);
+    assert!(reference.0 > 0, "{name}: workload produced no events");
+    for partitions in [1usize, 2, 4, 8] {
+        for workers in [1usize, 2, 3] {
+            let workers = workers.min(partitions);
+            let got = run_parallel(behavior, n, partitions, workers);
+            assert_eq!(
+                reference, got,
+                "{name}: diverged at {partitions} partitions / {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_conforms_for_all_partitionings() {
+    conformance(Behavior::Ring, "ring");
+}
+
+#[test]
+fn mesh_conforms_for_all_partitionings() {
+    conformance(Behavior::Mesh, "mesh");
+}
+
+#[test]
+fn fan_in_conforms_for_all_partitionings() {
+    conformance(Behavior::FanIn, "fan-in");
+}
+
+#[test]
+fn request_reply_conforms_for_all_partitionings() {
+    conformance(Behavior::RequestReply, "request-reply");
+}
+
+#[test]
+fn interrupted_runs_conform_too() {
+    // Chopping one run into many run_until windows (across barrier
+    // epochs and pool reuse) must not change anything either.
+    let reference = run_serial(Behavior::Mesh, 10);
+    let mut sim = ParallelSimulation::<u64>::with_workers(4, 2, QUANTUM);
+    let ids = build(&mut sim, Behavior::Mesh, 10, 4, |host, id, peers| {
+        host.component_mut::<Agent>(id).expect("agent").peers = peers;
+    });
+    let mut t = SimTime::ZERO;
+    loop {
+        t += SimDuration::from_micros(3);
+        let stats = sim.run_until(t).expect("windowed run");
+        if stats.events >= reference.0 && t >= reference.1 {
+            break;
+        }
+        assert!(t < SimTime::from_millis(10), "workload did not converge");
+    }
+    let logs: Vec<Vec<(SimTime, u64)>> =
+        ids.iter().map(|&id| sim.component::<Agent>(id).expect("agent").log.clone()).collect();
+    assert_eq!(reference.0, sim.events_processed(), "event counts diverged");
+    assert_eq!(reference.2, logs, "logs diverged");
+}

@@ -78,18 +78,19 @@ fn split_runs_match_one_long_run_and_serial() {
     let end = SimTime::from_micros(40);
     let mid = SimTime::from_micros(7);
 
-    // (a) Parallel, two consecutive run_until calls over the same pool.
-    let mut split = ParallelSimulation::<u64>::new(4, quantum);
+    // (a) Parallel (4 partitions multiplexed onto 2 pinned workers), two
+    // consecutive run_until calls over the same pool.
+    let mut split = ParallelSimulation::<u64>::with_workers(4, 2, quantum);
     let ids = build(&mut split, 4, 8);
     wire(&mut |i, peers| split.component_mut::<Gossip>(ids[i]).unwrap().peers = peers, &ids);
     assert_eq!(split.workers_spawned(), 0, "pool must be lazy");
     split.run_until(mid).unwrap();
-    assert_eq!(split.workers_spawned(), 4);
+    assert_eq!(split.workers_spawned(), 2, "one thread per worker, not per partition");
     let stats_split = split.run_until(end).unwrap();
-    assert_eq!(split.workers_spawned(), 4, "second run must reuse the pool");
+    assert_eq!(split.workers_spawned(), 2, "second run must reuse the pool");
 
-    // (b) Parallel, one long run.
-    let mut long = ParallelSimulation::<u64>::new(4, quantum);
+    // (b) Parallel, one long run, different worker count.
+    let mut long = ParallelSimulation::<u64>::with_workers(4, 4, quantum);
     let ids_l = build(&mut long, 4, 8);
     wire(&mut |i, peers| long.component_mut::<Gossip>(ids_l[i]).unwrap().peers = peers, &ids_l);
     let stats_long = long.run_until(end).unwrap();
@@ -119,7 +120,7 @@ fn split_runs_match_one_long_run_and_serial() {
 
 #[test]
 fn many_short_runs_spawn_no_extra_workers() {
-    let mut sim = ParallelSimulation::<u64>::new(3, SimDuration::from_micros(1));
+    let mut sim = ParallelSimulation::<u64>::with_workers(3, 3, SimDuration::from_micros(1));
     let ids = build(&mut sim, 3, 6);
     wire(&mut |i, peers| sim.component_mut::<Gossip>(ids[i]).unwrap().peers = peers, &ids);
     for step in 1..=20u64 {

@@ -107,6 +107,97 @@ fn run_mesh(
     (events, logs)
 }
 
+/// Fires a burst of messages at a single recorder on a coarse time grid,
+/// so many senders transmit at exactly the same instant: every arrival
+/// must pop in the serial executor's tie order even when it traveled
+/// through a cross-worker parity lane.
+struct TieSender {
+    recorder: ComponentId,
+    tag: u64,
+    /// Grid slots (multiples of the quantum) at which to transmit.
+    slots: Vec<u8>,
+    quantum: SimDuration,
+}
+
+impl Component<u64> for TieSender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        for (i, &slot) in self.slots.iter().enumerate() {
+            ctx.set_timer(self.quantum * slot as u64, i as u64);
+        }
+    }
+    fn on_timer(&mut self, _k: TimerKey, ctx: &mut Ctx<'_, u64>) {
+        // Exactly one quantum of latency: arrivals land exactly on the
+        // lookahead floor, the tightest legal cross-partition schedule.
+        ctx.send_after(self.recorder, PortNo(0), self.quantum, self.tag);
+    }
+    fn on_message(&mut self, _p: PortNo, _m: u64, _c: &mut Ctx<'_, u64>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Records every arrival in pop order.
+struct Recorder {
+    log: Vec<(SimTime, u64)>,
+}
+
+impl Component<u64> for Recorder {
+    fn on_timer(&mut self, _k: TimerKey, _c: &mut Ctx<'_, u64>) {}
+    fn on_message(&mut self, _p: PortNo, tag: u64, ctx: &mut Ctx<'_, u64>) {
+        self.log.push((ctx.now(), tag));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run_tie_pattern(
+    sender_slots: &[Vec<u8>],
+    partitions: usize,
+    workers: usize,
+) -> Vec<(SimTime, u64)> {
+    let quantum = SimDuration::from_micros(1);
+    enum Host {
+        S(Simulation<u64>),
+        P(ParallelSimulation<u64>),
+    }
+    let mut host = if partitions <= 1 {
+        Host::S(Simulation::new())
+    } else {
+        Host::P(ParallelSimulation::with_workers(partitions, workers, quantum))
+    };
+    let recorder = match &mut host {
+        Host::S(s) => s.add_in_partition(0, Box::new(Recorder { log: Vec::new() })),
+        Host::P(p) => p.add_in_partition(0, Box::new(Recorder { log: Vec::new() })),
+    };
+    for (i, slots) in sender_slots.iter().enumerate() {
+        // Senders spread over the non-recorder partitions (all lanes into
+        // partition 0 when parallel).
+        let part = if partitions <= 1 { 0 } else { 1 + i % (partitions - 1).max(1) };
+        let sender = TieSender { recorder, tag: i as u64, slots: slots.clone(), quantum };
+        match &mut host {
+            Host::S(s) => s.add_in_partition(part, Box::new(sender)),
+            Host::P(p) => p.add_in_partition(part, Box::new(sender)),
+        };
+    }
+    match &mut host {
+        Host::S(s) => {
+            s.run().expect("serial run");
+            s.component::<Recorder>(recorder).expect("recorder").log.clone()
+        }
+        Host::P(p) => {
+            p.run().expect("parallel run");
+            p.component::<Recorder>(recorder).expect("recorder").log.clone()
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -125,6 +216,31 @@ proptest! {
         let (ep, logs_p) = run_mesh(n, latency, budget, seed, partitions, quantum);
         prop_assert_eq!(es, ep, "event counts diverged");
         prop_assert_eq!(logs_s, logs_p, "reception logs diverged");
+    }
+
+    #[test]
+    fn lane_delivery_preserves_serial_tie_order(
+        sender_slots in proptest::collection::vec(
+            proptest::collection::vec(1u8..6, 1..6),
+            2usize..7,
+        ),
+    ) {
+        // Coarse grid + identical latency => many arrivals share one
+        // timestamp; the pop order must still be the serial executor's
+        // EventKey tie order for every partitioning and every worker
+        // multiplexing (lanes or not).
+        let reference = run_tie_pattern(&sender_slots, 1, 1);
+        let expected: usize = sender_slots.iter().map(Vec::len).sum();
+        prop_assert_eq!(reference.len(), expected);
+        for &partitions in &[2usize, 4] {
+            for &workers in &[1usize, 2] {
+                let got = run_tie_pattern(&sender_slots, partitions, workers);
+                prop_assert_eq!(
+                    &reference, &got,
+                    "tie order diverged at {} partitions / {} workers", partitions, workers
+                );
+            }
+        }
     }
 
     #[test]

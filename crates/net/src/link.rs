@@ -56,6 +56,17 @@ impl LinkParams {
     pub fn transmit_time_ip(&self, ip_bytes: u32) -> SimDuration {
         self.bandwidth.transmit_time(wire_bytes(ip_bytes) as u64)
     }
+
+    /// Minimum sender-side delay between deciding to transmit and the frame
+    /// arriving at the peer: serializing the smallest legal wire frame
+    /// ([`crate::payload::MIN_WIRE_FRAME`]) plus propagation. This is the
+    /// conservative per-link lookahead a partition cut can claim when the
+    /// sending device serializes on egress (store-and-forward); cut-through
+    /// egress may overlap serialization with forwarding and can only claim
+    /// the propagation delay.
+    pub fn min_delivery_latency(&self) -> SimDuration {
+        self.bandwidth.transmit_time(crate::payload::MIN_WIRE_FRAME as u64) + self.propagation
+    }
 }
 
 /// Where a port is wired to: the peer component and its port, plus the link

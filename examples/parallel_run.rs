@@ -7,7 +7,6 @@
 //! Run with: `cargo run --release --example parallel_run`
 
 use diablo::core::{run_memcached, McExperimentConfig, RunMode};
-use diablo::prelude::*;
 use diablo::stack::process::Proto;
 
 fn main() {
@@ -25,10 +24,11 @@ fn main() {
         s.wall.as_secs_f64()
     );
 
-    // The quantum must not exceed the smallest cross-partition link
-    // latency; ClusterSpec::safe_quantum computes it (500 ns here).
+    // The synchronization quantum is derived from the rack-cut partition
+    // plan: the minimum latency any partition-crossing link guarantees
+    // (store-and-forward GbE: min-frame serialization + propagation).
     let mut parallel = base;
-    parallel.mode = RunMode::Parallel { partitions: 4, quantum: SimDuration::from_nanos(500) };
+    parallel.mode = RunMode::parallel(4);
     let p = run_memcached(&parallel);
     println!(
         "parallel x4:{:>9} events, {:>7} requests, p99 {:>8.1} us, wall {:.3}s",

@@ -27,6 +27,22 @@ fn incast_collapse_and_buffer_ablation() {
 }
 
 #[test]
+fn incast_collapse_survives_partition_parallel_execution() {
+    // The phenomenon must not depend on the executor: the same shallow
+    // buffers collapse when the cluster is spread over four rack-cut
+    // partitions with the quantum derived from the partition plan.
+    let mut cfg = IncastConfig::fig6a(8);
+    cfg.iterations = 3;
+    cfg.racks = 4;
+    cfg.mode = RunMode::parallel(4);
+    let r = run_incast(&cfg);
+    assert!(r.goodput_mbps < 50.0, "collapse expected in parallel, got {:.1} Mbps", r.goodput_mbps);
+    let exec = r.exec.expect("parallel runs report an execution breakdown");
+    assert_eq!(exec.partitions.len(), 4, "one stats row per partition");
+    assert!(exec.events() > 0, "execution report must account for events");
+}
+
+#[test]
 fn slower_cpu_cannot_reach_10g_line_rate() {
     // Figure 6(b)'s plateau: at 10 Gbps the 2 GHz CPU is the bottleneck.
     let mk = |ghz: u64| {
