@@ -21,6 +21,7 @@
 //! Responses are streamed in 32 KB application chunks so socket-buffer
 //! backpressure behaves like a real `write()` loop.
 
+use diablo_engine::metrics::MetricsVisitor;
 use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::payload::AppMessage;
 use diablo_net::SockAddr;
@@ -196,6 +197,10 @@ impl Process for IncastServer {
 
     fn label(&self) -> &str {
         "incast-server"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("served", self.served);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -461,6 +466,11 @@ impl Process for IncastMaster {
         "incast-master"
     }
 
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("iterations_completed", self.iteration_times.len() as u64);
+        v.gauge("done", if self.done { 1.0 } else { 0.0 });
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -703,6 +713,11 @@ impl Process for IncastEpollClient {
 
     fn label(&self) -> &str {
         "incast-epoll-client"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("iterations_completed", self.iteration_times.len() as u64);
+        v.gauge("done", if self.done { 1.0 } else { 0.0 });
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

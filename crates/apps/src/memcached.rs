@@ -17,6 +17,7 @@
 //! latency in HDR histograms — overall and per hop-class (Figure 10).
 
 use crate::workload::{etc_value_size_for_key, EtcWorkload, KvOp};
+use diablo_engine::metrics::MetricsVisitor;
 use diablo_engine::prelude::Histogram;
 use diablo_engine::rng::DetRng;
 use diablo_engine::time::{SimDuration, SimTime};
@@ -272,6 +273,10 @@ impl Process for McDispatcher {
 
     fn label(&self) -> &str {
         "memcached-dispatcher"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("accepted", self.accepted);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -549,6 +554,10 @@ impl Process for McWorker {
 
     fn label(&self) -> &str {
         "memcached-worker"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("served", self.served);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -906,6 +915,18 @@ impl Process for McClient {
 
     fn label(&self) -> &str {
         "memcached-client"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("requests_issued", self.issued);
+        v.counter("requests_completed", self.completed);
+        v.counter("failures", self.failures);
+        v.counter("udp_retries", self.udp_retries);
+        v.gauge("done", if self.done { 1.0 } else { 0.0 });
+        v.histogram("latency_ns", &self.latency);
+        for (class, h) in self.latency_by_class.iter().enumerate() {
+            v.histogram(&format!("latency_ns_class{class}"), h);
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -8,14 +8,17 @@
 //! ```
 
 use diablo_apps::memcached::McVersion;
-use diablo_bench::{banner, Args};
+use diablo_bench::{banner, write_metrics_artifacts, Args};
 use diablo_core::report::percentiles_us;
 use diablo_core::{
-    run_incast, run_memcached, IncastClientKind, IncastConfig, McExperimentConfig, RunMode,
+    run_incast, run_memcached, DropAccounting, IncastClientKind, IncastConfig, McExperimentConfig,
+    RunMode,
 };
+use diablo_engine::prelude::{ExecReport, MetricsRegistry};
 use diablo_engine::time::Frequency;
 use diablo_stack::process::Proto;
 use diablo_stack::profile::KernelProfile;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
@@ -28,7 +31,12 @@ fn usage() -> ! {
          \n\
          incast options:\n\
            --servers N (8)  --iterations N (10)  --block BYTES (262144)\n\
-           --client pthread|epoll (pthread)  --ghz 2|4 (4)  --10g  --seed N"
+           --client pthread|epoll (pthread)  --ghz 2|4 (4)  --10g  --racks N (1)\n\
+           --parallel N  --seed N\n\
+         \n\
+         observability (both workloads):\n\
+           --metrics PATH      write the metrics JSON here instead of results/\n\
+           --check-invariants  exit 1 if frame conservation does not balance"
     );
     std::process::exit(2);
 }
@@ -40,6 +48,53 @@ fn main() {
         "memcached" => memcached(&args),
         "incast" => incast(&args),
         _ => usage(),
+    }
+}
+
+/// Writes the run's metrics artifacts, prints the conservation audit, and
+/// (under `--check-invariants`) exits non-zero on an unbalanced book.
+fn emit_observability(
+    tag: &str,
+    args: &Args,
+    metrics: &MetricsRegistry,
+    conservation: &DropAccounting,
+    exec: Option<&ExecReport>,
+) {
+    let json_override = {
+        let p = args.get("--metrics", String::new());
+        (!p.is_empty()).then(|| PathBuf::from(p))
+    };
+    match write_metrics_artifacts(tag, metrics, json_override) {
+        Ok(path) => println!("\nmetrics: {} ({} metrics)", path.display(), metrics.len()),
+        Err(e) => eprintln!("warning: failed to write metrics artifacts: {e}"),
+    }
+    if let Some(exec) = exec {
+        // Executor statistics differ between serial and parallel runs by
+        // construction; keep them out of the comparable model scrape.
+        let mut reg = MetricsRegistry::new();
+        reg.record("exec", exec);
+        if let Err(e) = write_metrics_artifacts(&format!("{tag}_exec"), &reg, None) {
+            eprintln!("warning: failed to write executor metrics: {e}");
+        }
+    }
+    if conservation.is_balanced() {
+        println!(
+            "frame conservation: balanced (nodes tx {} + lost {}, switches tx-to-nodes {}, \
+             nic rx {} + ring drops {})",
+            conservation.node_tx_frames,
+            conservation.node_tx_loss,
+            conservation.switch_tx_to_nodes,
+            conservation.node_rx_frames,
+            conservation.node_rx_ring_drops
+        );
+    } else {
+        eprintln!("frame conservation VIOLATED:");
+        for v in &conservation.violations {
+            eprintln!("  {v}");
+        }
+        if args.flag("--check-invariants") {
+            std::process::exit(1);
+        }
     }
 }
 
@@ -105,6 +160,7 @@ fn memcached(args: &Args) {
             );
         }
     }
+    emit_observability("wsc_sim_memcached", args, &r.metrics, &r.conservation, r.exec.as_ref());
 }
 
 fn incast(args: &Args) {
@@ -121,6 +177,13 @@ fn incast(args: &Args) {
     cfg.cpu = Frequency::ghz(args.get("--ghz", 4));
     cfg.ten_gig = args.flag("--10g");
     cfg.seed = args.get("--seed", cfg.seed);
+    // Same --racks under serial and --parallel N is the same model, so
+    // the two runs' metric scrapes must compare byte-identical.
+    cfg.racks = args.get("--racks", cfg.racks);
+    let partitions: usize = args.get("--parallel", 0);
+    if partitions > 1 {
+        cfg.mode = RunMode::parallel(partitions);
+    }
     println!(
         "{} servers, {} iterations, {} B blocks, {:?} client, {} CPU, {}",
         cfg.servers,
@@ -141,4 +204,5 @@ fn incast(args: &Args) {
     for (i, d) in r.iteration_times.iter().enumerate() {
         println!("  iteration {:>2}: {d}", i + 1);
     }
+    emit_observability("wsc_sim_incast", args, &r.metrics, &r.conservation, r.exec.as_ref());
 }

@@ -97,6 +97,33 @@ pub fn results_dir() -> PathBuf {
     }
 }
 
+/// Writes a metric scrape under [`results_dir`] as both JSON and CSV
+/// (`<tag>_metrics.json` / `<tag>_metrics.csv`). `json_override`, when
+/// set, replaces the JSON destination (the CSV still lands in
+/// `results/`). Returns the JSON path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing
+/// either file.
+pub fn write_metrics_artifacts(
+    tag: &str,
+    metrics: &diablo_engine::metrics::MetricsRegistry,
+    json_override: Option<PathBuf>,
+) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let json_path = json_override.unwrap_or_else(|| dir.join(format!("{tag}_metrics.json")));
+    if let Some(parent) = json_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&json_path, metrics.to_json())?;
+    std::fs::write(dir.join(format!("{tag}_metrics.csv")), metrics.to_csv())?;
+    Ok(json_path)
+}
+
 /// Runs `f` `n.max(1)` times and keeps the iteration with the smallest
 /// wall-clock cost as reported by `wall`. Deterministic simulations make
 /// every iteration produce identical *results*, so best-of-N only filters

@@ -1,7 +1,8 @@
 //! Experiment harnesses: assembled scenarios matching the paper's case
 //! studies (§4), returning the measurements the figures plot.
 
-use crate::cluster::{Cluster, ClusterSpec, RunMode, SwitchTemplate};
+use crate::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+use crate::observe::DropAccounting;
 use diablo_apps::incast::{
     shared, IncastEpollClient, IncastMaster, IncastServer, IncastWorker, INCAST_PORT,
 };
@@ -9,12 +10,59 @@ use diablo_apps::memcached::{
     mc_shared, McClient, McClientConfig, McDispatcher, McServerConfig, McSharedHandle, McVersion,
     McWorker, MEMCACHED_PORT,
 };
-use diablo_engine::prelude::{DetRng, ExecReport, Frequency, Histogram, SimDuration, SimTime};
+use diablo_engine::prelude::{
+    DetRng, EngineError, ExecReport, Frequency, Histogram, MetricsRegistry, SeriesRecorder,
+    SimDuration, SimTime,
+};
 use diablo_net::topology::{HopClass, TopologyConfig};
 use diablo_net::{NodeAddr, SockAddr};
 use diablo_stack::process::{Proto, Tid};
 use diablo_stack::profile::KernelProfile;
 use std::sync::Arc;
+
+// ====================================================================
+// Shared run machinery
+// ====================================================================
+
+/// Advances `host` to `target`, scraping the cluster into `series` at
+/// every multiple of the sampling cadence along the way. With no cadence
+/// this is a plain `run_until`.
+fn advance(
+    host: &mut SimHost,
+    cluster: &Cluster,
+    target: SimTime,
+    cadence: Option<SimDuration>,
+    next_sample: &mut SimTime,
+    series: Option<&mut SeriesRecorder>,
+) -> Result<(), EngineError> {
+    if let (Some(cadence), Some(series)) = (cadence, series) {
+        while *next_sample <= target {
+            host.run_until(*next_sample)?;
+            series.sample(*next_sample, &cluster.scrape(host));
+            *next_sample += cadence;
+        }
+    }
+    host.run_until(target)?;
+    Ok(())
+}
+
+/// Runs the (logically finished) simulation forward in 5 ms steps until
+/// frame conservation balances — trailing ACKs and FINs have left every
+/// wire — so the final scrape is a quiescent snapshot. Gives up after one
+/// simulated second and returns the unbalanced audit; callers assert in
+/// debug builds.
+fn settle(host: &mut SimHost, cluster: &Cluster) -> DropAccounting {
+    let mut t = host.now();
+    for _ in 0..200 {
+        let acct = cluster.drop_accounting(host);
+        if acct.is_balanced() {
+            return acct;
+        }
+        t += SimDuration::from_millis(5);
+        host.run_until(t).expect("settle run failed");
+    }
+    cluster.drop_accounting(host)
+}
 
 // ====================================================================
 // Incast (§4.1, Figure 6)
@@ -55,6 +103,9 @@ pub struct IncastConfig {
     pub mode: RunMode,
     /// Seed.
     pub seed: u64,
+    /// When set, scrape the whole cluster at this simulated-time cadence
+    /// into the result's time series.
+    pub sample_every: Option<SimDuration>,
 }
 
 impl IncastConfig {
@@ -73,6 +124,7 @@ impl IncastConfig {
             racks: 1,
             mode: RunMode::Serial,
             seed: 0x0001_ca57,
+            sample_every: None,
         }
     }
 
@@ -95,6 +147,12 @@ pub struct IncastResult {
     pub events: u64,
     /// Parallel-executor statistics (`None` for serial runs).
     pub exec: Option<ExecReport>,
+    /// Final whole-cluster metric scrape (quiescent snapshot).
+    pub metrics: MetricsRegistry,
+    /// Periodic scrapes (when [`IncastConfig::sample_every`] was set).
+    pub series: Option<SeriesRecorder>,
+    /// Frame-conservation audit at end of run.
+    pub conservation: DropAccounting,
 }
 
 /// Runs one incast configuration to completion.
@@ -153,8 +211,11 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
     let budget = SimTime::from_secs(10 + 3 * cfg.iterations);
     let mut done = false;
     let mut horizon = SimTime::from_millis(500);
+    let mut series = cfg.sample_every.map(|_| SeriesRecorder::new());
+    let mut next_sample = cfg.sample_every.map_or(SimTime::ZERO, |d| SimTime::ZERO + d);
     let (goodput_bps, iteration_times) = loop {
-        host.run_until(horizon).expect("incast run failed");
+        advance(&mut host, &cluster, horizon, cfg.sample_every, &mut next_sample, series.as_mut())
+            .expect("incast run failed");
         let (finished, result) = match cfg.client {
             IncastClientKind::Pthread => {
                 let m: &IncastMaster =
@@ -177,12 +238,21 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
         horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
     };
     assert!(done, "incast did not finish within {budget} ({} servers)", cfg.servers);
+    let conservation = settle(&mut host, &cluster);
+    debug_assert!(
+        conservation.is_balanced(),
+        "incast frame conservation violated: {:?}",
+        conservation.violations
+    );
     IncastResult {
         goodput_mbps: goodput_bps / 1e6,
         iteration_times,
         switch_drops: cluster.total_switch_drops(&host),
         events: host.events_processed(),
         exec: host.exec_report(),
+        metrics: cluster.scrape(&host),
+        series,
+        conservation,
     }
 }
 
@@ -222,6 +292,9 @@ pub struct McExperimentConfig {
     pub mode: RunMode,
     /// Seed.
     pub seed: u64,
+    /// When set, scrape the whole cluster at this simulated-time cadence
+    /// into the result's time series.
+    pub sample_every: Option<SimDuration>,
 }
 
 impl McExperimentConfig {
@@ -243,6 +316,7 @@ impl McExperimentConfig {
             reconnect_every: None,
             mode: RunMode::Serial,
             seed: 0x9eca_c4ed,
+            sample_every: None,
         }
     }
 
@@ -285,6 +359,13 @@ pub struct McExperimentResult {
     pub wall: std::time::Duration,
     /// Parallel-executor statistics (`None` for serial runs).
     pub exec: Option<ExecReport>,
+    /// Final whole-cluster metric scrape (quiescent snapshot).
+    pub metrics: MetricsRegistry,
+    /// Periodic scrapes (when [`McExperimentConfig::sample_every`] was
+    /// set).
+    pub series: Option<SeriesRecorder>,
+    /// Frame-conservation audit at end of run.
+    pub conservation: DropAccounting,
 }
 
 /// Runs one memcached experiment to completion.
@@ -364,8 +445,11 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
     // Run until all clients complete.
     let budget = SimTime::from_secs(5 + cfg.requests_per_client / 2);
     let mut horizon = SimTime::from_millis(200);
+    let mut series = cfg.sample_every.map(|_| SeriesRecorder::new());
+    let mut next_sample = cfg.sample_every.map_or(SimTime::ZERO, |d| SimTime::ZERO + d);
     loop {
-        host.run_until(horizon).expect("memcached run failed");
+        advance(&mut host, &cluster, horizon, cfg.sample_every, &mut next_sample, series.as_mut())
+            .expect("memcached run failed");
         let all_done = client_addrs.iter().all(|&a| {
             cluster.process::<McClient>(&host, a, Tid(0)).map(|c| c.done).unwrap_or(false)
         });
@@ -393,6 +477,12 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
         completed_at = completed_at.max(c.finished_at);
     }
     let served = shareds.iter().map(|s| s.lock().expect("poisoned").served).sum();
+    let conservation = settle(&mut host, &cluster);
+    debug_assert!(
+        conservation.is_balanced(),
+        "memcached frame conservation violated: {:?}",
+        conservation.violations
+    );
     McExperimentResult {
         latency,
         by_class,
@@ -404,6 +494,9 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
         events: host.events_processed(),
         wall: wall_start.elapsed(),
         exec: host.exec_report(),
+        metrics: cluster.scrape(&host),
+        series,
+        conservation,
     }
 }
 

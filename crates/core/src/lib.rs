@@ -12,6 +12,7 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod observe;
 pub mod report;
 pub mod survey;
 
@@ -20,3 +21,4 @@ pub use experiments::{
     run_incast, run_memcached, IncastClientKind, IncastConfig, IncastResult, McExperimentConfig,
     McExperimentResult,
 };
+pub use observe::DropAccounting;

@@ -62,6 +62,14 @@ pub trait Component<M>: Send + 'static {
 
     /// Mutable upcast for post-run inspection.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// The component's metrics surface, if it exposes one. Instrumented
+    /// components override this (returning `Some(self)`) so executors can
+    /// scrape every registered component uniformly without knowing
+    /// concrete types.
+    fn instrumented(&self) -> Option<&dyn crate::metrics::Instrumented> {
+        None
+    }
 }
 
 /// Scheduling context passed to component handlers.

@@ -51,6 +51,7 @@
 pub mod component;
 pub mod error;
 pub mod event;
+pub mod metrics;
 pub mod parallel;
 pub mod rng;
 pub mod sched;
@@ -63,6 +64,10 @@ pub mod prelude {
     pub use crate::component::{Component, Ctx};
     pub use crate::error::EngineError;
     pub use crate::event::{ComponentId, EventKind, PortNo, TimerKey};
+    pub use crate::metrics::{
+        FlightEvent, FlightRecord, FlightRecorder, FlightRing, Instrumented, MetricValue,
+        MetricsRegistry, MetricsVisitor, PrefixedVisitor, SeriesRecorder,
+    };
     pub use crate::parallel::{ComponentHost, ParallelSimulation};
     pub use crate::rng::DetRng;
     pub use crate::sched::{CalendarQueue, EventQueue, HeapQueue};

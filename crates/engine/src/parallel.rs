@@ -112,6 +112,11 @@ pub trait ComponentHost<M> {
     /// Injects an external event.
     fn inject(&mut self, at: SimTime, target: ComponentId, kind: EventKind<M>);
 
+    /// Number of partitions this host schedules over (1 for serial hosts).
+    fn partition_count(&self) -> usize {
+        1
+    }
+
     /// Convenience: injects an external timer event.
     fn inject_timer(&mut self, at: SimTime, target: ComponentId, key: TimerKey) {
         self.inject(at, target, EventKind::Timer(key));
@@ -236,6 +241,7 @@ fn route_one<M>(
     outboxes: &mut [Vec<Event<M>>],
     earliest_ok_ps: u64,
     cross: &mut u64,
+    outbox_min: &mut u64,
     ev: Event<M>,
 ) -> Result<(), EngineError> {
     let idx = ev.key.target.index();
@@ -260,6 +266,7 @@ fn route_one<M>(
     if dw == me {
         queue.push(ev);
     } else {
+        *outbox_min = (*outbox_min).min(ev.key.time.as_picos());
         outboxes[dw].push(ev);
     }
     Ok(())
@@ -603,6 +610,7 @@ fn run_worker<M: Send + 'static>(
             ws.components[i].1.on_start(&mut ctx);
             pending_stop |= stop;
             let mut cross = 0u64;
+            let mut outbox_min = u64::MAX;
             for ev in pending.drain(..) {
                 if let Err(e) = route_one(
                     directory,
@@ -613,6 +621,7 @@ fn run_worker<M: Send + 'static>(
                     &mut ws.outboxes,
                     start_ps,
                     &mut cross,
+                    &mut outbox_min,
                     ev,
                 ) {
                     pending_err.get_or_insert(e);
@@ -706,10 +715,18 @@ fn run_worker<M: Send + 'static>(
         // their minimum plus the lookahead — so everything strictly before
         // that is safe to process now. With one worker the bound
         // degenerates to the run limit — the whole run in a single round.
-        let horizon =
+        let mut horizon =
             others_min.min(inflight_min).saturating_add(lookahead).min(spec.exclusive_end);
 
         // Process every owned event inside the horizon in EventKey order.
+        // The horizon is clamped *during* the round: once this worker hands
+        // an event with delivery time `d` to another worker's outbox, that
+        // worker may process it next round and reply with something
+        // arriving as early as `d + lookahead` — so events at or beyond
+        // that instant are no longer safe to process in this round. (Events
+        // routed within this worker stay in its ordered queue and need no
+        // clamp.) Previously processed events are unaffected: pops are in
+        // time order and `d + lookahead` is strictly in the future.
         let mut processed_any = false;
         'horizon: while !pending_stop {
             let Some(ev) = ws.queue.pop_before(horizon) else { break };
@@ -734,6 +751,7 @@ fn run_worker<M: Send + 'static>(
             pending_stop |= stop;
             let earliest_ok = local_now.as_picos().saturating_add(lookahead);
             let mut cross = 0u64;
+            let mut outbox_min = u64::MAX;
             for out in pending.drain(..) {
                 if let Err(e) = route_one(
                     directory,
@@ -744,6 +762,7 @@ fn run_worker<M: Send + 'static>(
                     &mut ws.outboxes,
                     earliest_ok,
                     &mut cross,
+                    &mut outbox_min,
                     out,
                 ) {
                     pending_err.get_or_insert(e);
@@ -752,6 +771,7 @@ fn run_worker<M: Send + 'static>(
                 }
             }
             ws.counters[prel].sent_cross += cross;
+            horizon = horizon.min(outbox_min.saturating_add(lookahead));
         }
         if processed_any {
             ws.busy_rounds += 1;
@@ -951,6 +971,23 @@ impl<M: Send + 'static> ParallelSimulation<M> {
         let &(p, f) = self.directory().get(id.index())?;
         let w = self.part_worker[p as usize] as usize;
         self.workers[w].components[f as usize].1.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Visits every component that exposes a metrics surface (see
+    /// [`Component::instrumented`]), in component-id order — the same
+    /// order as the serial executor, regardless of how components are
+    /// distributed over partitions and workers, so scrapes of identical
+    /// model state are identical across executors.
+    pub fn visit_instrumented(
+        &self,
+        mut f: impl FnMut(ComponentId, &dyn crate::metrics::Instrumented),
+    ) {
+        for (i, &(p, fl)) in self.directory().iter().enumerate() {
+            let w = self.part_worker[p as usize] as usize;
+            if let Some(ins) = self.workers[w].components[fl as usize].1.instrumented() {
+                f(ComponentId(i as u32), ins);
+            }
+        }
     }
 
     /// Total events dispatched so far.
@@ -1169,6 +1206,10 @@ impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
         self.external_seq += 1;
         let w = self.part_worker[p as usize] as usize;
         self.workers[w].queue.push(Event { key, kind });
+    }
+
+    fn partition_count(&self) -> usize {
+        self.nparts
     }
 }
 

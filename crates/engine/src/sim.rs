@@ -106,6 +106,20 @@ impl<M: 'static, Q: EventQueue<M> + Default> Simulation<M, Q> {
         self.components.get_mut(id.index())?.as_any_mut().downcast_mut::<T>()
     }
 
+    /// Visits every component that exposes a metrics surface (see
+    /// [`Component::instrumented`]), in component-id order so scrapes are
+    /// deterministic and executor-independent.
+    pub fn visit_instrumented(
+        &self,
+        mut f: impl FnMut(ComponentId, &dyn crate::metrics::Instrumented),
+    ) {
+        for (i, c) in self.components.iter().enumerate() {
+            if let Some(ins) = c.instrumented() {
+                f(ComponentId(i as u32), ins);
+            }
+        }
+    }
+
     /// Injects an event from outside the simulation (the experiment
     /// harness), e.g. a workload arrival or a fault.
     ///

@@ -28,13 +28,14 @@ impl Counter {
     pub fn new() -> Self {
         Counter(0)
     }
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX` — a pegged counter is a better
+    /// failure mode than aborting a long debug-build run on overflow.
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
-    /// Adds one.
+    /// Adds one, saturating at `u64::MAX`.
     pub fn incr(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
     /// Current value.
     pub fn get(self) -> u64 {
@@ -135,7 +136,8 @@ impl Histogram {
         self.record_n(value, 1);
     }
 
-    /// Records `n` identical samples.
+    /// Records `n` identical samples. Count and sum saturate at their
+    /// type bounds rather than overflowing.
     pub fn record_n(&mut self, value: u64, n: u64) {
         if n == 0 {
             return;
@@ -144,9 +146,9 @@ impl Histogram {
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
-        self.buckets[idx] += n;
-        self.count += n;
-        self.sum += value as u128 * n as u128;
+        self.buckets[idx] = self.buckets[idx].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value as u128 * n as u128);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -218,10 +220,10 @@ impl Histogram {
             self.buckets.resize(other.buckets.len(), 0);
         }
         for (dst, &src) in self.buckets.iter_mut().zip(&other.buckets) {
-            *dst += src;
+            *dst = dst.saturating_add(src);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -466,6 +468,33 @@ mod tests {
         c.add(9);
         assert_eq!(c.get(), 10);
         assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        c.add(100);
+        assert_eq!(c.get(), u64::MAX, "counter pegs at the max");
+    }
+
+    #[test]
+    fn histogram_record_and_merge_saturate() {
+        let mut h = Histogram::new();
+        h.record_n(10, u64::MAX);
+        h.record_n(10, u64::MAX); // would overflow count and the bucket
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.quantile(0.5), 10);
+
+        let mut a = Histogram::new();
+        a.record_n(7, u64::MAX);
+        let b = a.clone();
+        a.merge(&b); // count + count would overflow
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.max(), 7);
     }
 
     #[test]

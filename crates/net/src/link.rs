@@ -52,6 +52,15 @@ impl LinkParams {
         self
     }
 
+    /// `true` when the loss rate is a finite probability in `[0, 1]`.
+    ///
+    /// `loss_rate` is a public field, so the [`LinkParams::with_loss_rate`]
+    /// range assert is bypassable; drop-decision sites and topology
+    /// construction re-validate with this instead of trusting the builder.
+    pub fn loss_rate_is_valid(&self) -> bool {
+        self.loss_rate.is_finite() && (0.0..=1.0).contains(&self.loss_rate)
+    }
+
     /// Serialization time of an IP packet of `ip_bytes` on this link.
     pub fn transmit_time_ip(&self, ip_bytes: u32) -> SimDuration {
         self.bandwidth.transmit_time(wire_bytes(ip_bytes) as u64)
@@ -213,6 +222,14 @@ mod tests {
     fn loss_rate_validation() {
         let p = LinkParams::gbe(0).with_loss_rate(0.25);
         assert_eq!(p.loss_rate, 0.25);
+        assert!(p.loss_rate_is_valid());
+        let mut bad = LinkParams::gbe(0);
+        bad.loss_rate = f64::NAN; // builder bypassed via the public field
+        assert!(!bad.loss_rate_is_valid());
+        bad.loss_rate = 1.5;
+        assert!(!bad.loss_rate_is_valid());
+        bad.loss_rate = -0.1;
+        assert!(!bad.loss_rate_is_valid());
     }
 
     #[test]

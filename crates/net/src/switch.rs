@@ -23,6 +23,7 @@ use crate::frame::Frame;
 use crate::link::{PortPeer, TxPort};
 use diablo_engine::component::{Component, Ctx};
 use diablo_engine::event::{PortNo, TimerKey};
+use diablo_engine::metrics::{FlightRecord, FlightRing, Instrumented, MetricsVisitor};
 use diablo_engine::prelude::{Counter, DetRng};
 use diablo_engine::time::{SimDuration, SimTime};
 use std::any::Any;
@@ -135,6 +136,12 @@ pub struct SwitchStats {
     pub max_buffered_bytes: u64,
     /// Per-output-port buffer-drop counts.
     pub port_drops: Vec<u64>,
+    /// Frames received per ingress port (out-of-range ingress ports are
+    /// not counted here, only in [`SwitchStats::rx_frames`]).
+    pub rx_per_port: Vec<u64>,
+    /// Frames delivered per egress port (excludes loss-dropped frames,
+    /// matching [`SwitchStats::tx_frames`]).
+    pub tx_per_port: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -173,6 +180,7 @@ pub struct PacketSwitch {
     in_flight: HashMap<u64, (u16, QueuedFrame)>,
     forward_seq: u64,
     rng: DetRng,
+    trace: Option<FlightRing>,
     stats: SwitchStats,
 }
 
@@ -181,7 +189,12 @@ impl PacketSwitch {
     pub fn new(cfg: SwitchConfig, rng: DetRng) -> Self {
         let n = cfg.ports as usize;
         PacketSwitch {
-            stats: SwitchStats { port_drops: vec![0; n], ..SwitchStats::default() },
+            stats: SwitchStats {
+                port_drops: vec![0; n],
+                rx_per_port: vec![0; n],
+                tx_per_port: vec![0; n],
+                ..SwitchStats::default()
+            },
             ports: vec![None; n],
             voqs: (0..n).map(|_| (0..n).map(|_| VecDeque::new()).collect()).collect(),
             queued_frames: vec![0; n],
@@ -192,6 +205,7 @@ impl PacketSwitch {
             in_flight: HashMap::new(),
             forward_seq: 0,
             rng,
+            trace: None,
             cfg,
         }
     }
@@ -200,11 +214,36 @@ impl PacketSwitch {
     ///
     /// # Panics
     ///
-    /// Panics if `port` is out of range.
+    /// Panics if `port` is out of range, or if the link's loss rate is not
+    /// a probability (the `LinkParams::loss_rate` field is public, so the
+    /// builder's range check is bypassable).
     pub fn connect_port(&mut self, port: u16, peer: PortPeer) {
+        assert!(
+            peer.params.loss_rate_is_valid(),
+            "port {port} loss_rate {} is not a probability",
+            peer.params.loss_rate
+        );
         let slot =
             self.ports.get_mut(port as usize).unwrap_or_else(|| panic!("port {port} out of range"));
         *slot = Some(TxPort::new(peer));
+    }
+
+    /// Starts recording enqueue/drop trace events into a bounded ring of
+    /// `capacity` records (for the cross-layer flight recorder).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(FlightRing::new(capacity));
+    }
+
+    /// A copy of the recorded trace events (empty when tracing is off).
+    pub fn trace(&self) -> Vec<FlightRecord> {
+        self.trace.as_ref().map(FlightRing::records).unwrap_or_default()
+    }
+
+    /// Frames inside the switch right now: buffered in VOQs plus crossing
+    /// the port-to-port processing pipeline. Zero once the network has
+    /// quiesced — the drop-accounting invariant requires it.
+    pub fn frames_in_transit(&self) -> u64 {
+        self.in_flight.len() as u64 + self.queued_frames.iter().map(|&q| q as u64).sum::<u64>()
     }
 
     /// The switch configuration.
@@ -290,11 +329,26 @@ impl PacketSwitch {
         };
         let peer = tx.peer;
         self.release(out, ip_bytes);
+        debug_assert!(
+            peer.params.loss_rate_is_valid(),
+            "port {out} loss_rate {} is not a probability",
+            peer.params.loss_rate
+        );
         if self.rng.chance(peer.params.loss_rate) {
             self.stats.drops_error.incr();
+            if let Some(tr) = &mut self.trace {
+                tr.push(FlightRecord {
+                    at: timing.end,
+                    kind: "sw_drop",
+                    detail: "error",
+                    a: out as u64,
+                    b: ip_bytes as u64,
+                });
+            }
         } else {
             self.stats.tx_frames.incr();
             self.stats.tx_bytes.add(ip_bytes as u64);
+            self.stats.tx_per_port[oi] += 1;
             ctx.send_at(peer.component, peer.port, timing.arrival, qf.frame);
         }
         if self.queued_frames[oi] > 0 {
@@ -303,9 +357,31 @@ impl PacketSwitch {
         }
     }
 
-    fn drop_for_buffer(&mut self, out: u16) {
+    fn drop_for_buffer(&mut self, out: u16, now: SimTime, ip_bytes: u32) {
         self.stats.drops_buffer.incr();
         self.stats.port_drops[out as usize] += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.push(FlightRecord {
+                at: now,
+                kind: "sw_drop",
+                detail: "buffer",
+                a: out as u64,
+                b: ip_bytes as u64,
+            });
+        }
+    }
+
+    fn drop_for_route(&mut self, now: SimTime, ip_bytes: u32) {
+        self.stats.drops_route.incr();
+        if let Some(tr) = &mut self.trace {
+            tr.push(FlightRecord {
+                at: now,
+                kind: "sw_drop",
+                detail: "route",
+                a: u64::MAX,
+                b: ip_bytes as u64,
+            });
+        }
     }
 }
 
@@ -334,22 +410,34 @@ impl Component<Frame> for PacketSwitch {
         let ip_bytes = frame.packet.ip_bytes();
         self.stats.rx_frames.incr();
         self.stats.rx_bytes.add(ip_bytes as u64);
+        if let Some(c) = self.stats.rx_per_port.get_mut(in_port.0 as usize) {
+            *c += 1;
+        }
 
         let out = match &self.cfg.routing {
             RoutingMode::Source => frame.route.port_at(frame.hop),
             RoutingMode::Table(t) => t.get(frame.packet.dst.index()).copied(),
         };
         let Some(out) = out else {
-            self.stats.drops_route.incr();
+            self.drop_for_route(ctx.now(), ip_bytes);
             return;
         };
         if out >= self.cfg.ports || self.ports[out as usize].is_none() {
-            self.stats.drops_route.incr();
+            self.drop_for_route(ctx.now(), ip_bytes);
             return;
         }
         if !self.admit(out, ip_bytes) {
-            self.drop_for_buffer(out);
+            self.drop_for_buffer(out, ctx.now(), ip_bytes);
             return;
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.push(FlightRecord {
+                at: ctx.now(),
+                kind: "sw_enqueue",
+                detail: "",
+                a: out as u64,
+                b: ip_bytes as u64,
+            });
         }
         frame.hop += 1;
 
@@ -376,6 +464,37 @@ impl Component<Frame> for PacketSwitch {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn instrumented(&self) -> Option<&dyn Instrumented> {
+        Some(self)
+    }
+}
+
+impl Instrumented for PacketSwitch {
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("rx_frames", self.stats.rx_frames.get());
+        v.counter("tx_frames", self.stats.tx_frames.get());
+        v.counter("rx_bytes", self.stats.rx_bytes.get());
+        v.counter("tx_bytes", self.stats.tx_bytes.get());
+        v.counter("drops_buffer", self.stats.drops_buffer.get());
+        v.counter("drops_error", self.stats.drops_error.get());
+        v.counter("drops_route", self.stats.drops_route.get());
+        v.counter("max_buffered_bytes", self.stats.max_buffered_bytes);
+        v.counter("frames_in_transit", self.frames_in_transit());
+        v.gauge("buffered_bytes", self.total_buffered as f64);
+        for p in 0..self.cfg.ports as usize {
+            if self.ports[p].is_none() {
+                continue;
+            }
+            v.counter(&format!("port{p}.rx_frames"), self.stats.rx_per_port[p]);
+            v.counter(&format!("port{p}.tx_frames"), self.stats.tx_per_port[p]);
+            v.counter(&format!("port{p}.drops_buffer"), self.stats.port_drops[p]);
+        }
+    }
+
+    fn flight_records(&self) -> Vec<FlightRecord> {
+        self.trace()
     }
 }
 
@@ -481,7 +600,48 @@ mod tests {
         assert_eq!(stats.port_drops[1], 3);
         assert_eq!(stats.rx_frames.get(), 6);
         assert_eq!(stats.tx_frames.get(), 3);
-        assert_eq!(sim.component::<PacketSwitch>(sw).unwrap().buffered_bytes(), 0);
+        assert_eq!(stats.rx_per_port[0], 6);
+        assert_eq!(stats.tx_per_port[1], 3);
+        let sw_ref = sim.component::<PacketSwitch>(sw).unwrap();
+        assert_eq!(sw_ref.buffered_bytes(), 0);
+        assert_eq!(sw_ref.frames_in_transit(), 0, "quiesced switch holds nothing");
+        // Conservation on the quiesced switch: rx = tx + drops.
+        assert_eq!(
+            stats.rx_frames.get(),
+            stats.tx_frames.get()
+                + stats.drops_buffer.get()
+                + stats.drops_error.get()
+                + stats.drops_route.get()
+        );
+    }
+
+    #[test]
+    fn trace_records_enqueues_and_drops() {
+        let cfg = SwitchConfig::shallow_gbe("t", 4);
+        let (mut sim, sw, _sink) = build(cfg);
+        sim.component_mut::<PacketSwitch>(sw).unwrap().enable_trace(64);
+        for _ in 0..6 {
+            sim.inject_message(SimTime::from_micros(1), sw, PortNo(0), udp_frame(1000, 1));
+        }
+        // And one with no route.
+        let mut f = udp_frame(100, 1);
+        f.hop = 5;
+        sim.inject_message(SimTime::from_micros(2), sw, PortNo(0), f);
+        sim.run().unwrap();
+        let trace = sim.component::<PacketSwitch>(sw).unwrap().trace();
+        assert_eq!(trace.iter().filter(|r| r.kind == "sw_enqueue").count(), 3);
+        assert_eq!(trace.iter().filter(|r| r.kind == "sw_drop" && r.detail == "buffer").count(), 3);
+        assert_eq!(trace.iter().filter(|r| r.kind == "sw_drop" && r.detail == "route").count(), 1);
+        assert!(trace.windows(2).all(|w| w[0].at <= w[1].at), "trace is time-ordered");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn connect_port_rejects_invalid_loss_rate() {
+        let mut sw = PacketSwitch::new(SwitchConfig::shallow_gbe("t", 2), DetRng::new(1));
+        let mut params = LinkParams::gbe(0);
+        params.loss_rate = 2.0; // bypass the builder's range assert
+        sw.connect_port(0, PortPeer { component: ComponentId(1), port: PortNo(0), params });
     }
 
     #[test]

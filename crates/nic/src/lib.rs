@@ -21,7 +21,8 @@
 
 #![warn(missing_docs)]
 
-use diablo_engine::prelude::{Counter, SimDuration, SimTime};
+use diablo_engine::metrics::{FlightRecord, FlightRing, Instrumented, MetricsVisitor};
+use diablo_engine::prelude::{Counter, DetRng, SimDuration, SimTime};
 use diablo_net::link::{PortPeer, TxPort};
 use diablo_net::Frame;
 use std::collections::VecDeque;
@@ -75,6 +76,8 @@ pub struct NicStats {
     pub rx_ring_drops: Counter,
     /// Frames rejected because the TX ring was full.
     pub tx_ring_rejects: Counter,
+    /// Frames lost on the uplink wire (egress link loss draw).
+    pub tx_loss_drops: Counter,
     /// Interrupts asserted.
     pub interrupts: Counter,
     /// High-water mark of RX ring occupancy.
@@ -118,7 +121,7 @@ pub enum RxOutcome {
 ///     port: PortNo(0),
 ///     params: LinkParams::gbe(500),
 /// };
-/// let nic = Nic::new(NicConfig::default(), peer);
+/// let nic = Nic::new(NicConfig::default(), peer, DetRng::new(42));
 /// assert_eq!(nic.rx_queue_len(), 0);
 /// ```
 #[derive(Debug)]
@@ -131,17 +134,31 @@ pub struct Nic {
     intr_masked: bool,
     intr_pending: bool,
     last_intr: Option<SimTime>,
+    rng: DetRng,
+    trace: Option<FlightRing>,
     stats: NicStats,
 }
 
 impl Nic {
     /// Creates a NIC wired to `peer` (the ToR switch port).
     ///
+    /// `rng` drives the egress loss draw against the uplink's
+    /// `loss_rate`; callers must seed it from simulation-stable identity
+    /// (the node address) — never from placement — so results are
+    /// identical across serial and partitioned execution.
+    ///
     /// # Panics
     ///
-    /// Panics if either ring size is zero.
-    pub fn new(cfg: NicConfig, peer: PortPeer) -> Self {
+    /// Panics if either ring size is zero, or if the uplink's loss rate is
+    /// not a probability (the `LinkParams::loss_rate` field is public, so
+    /// the builder's range check is bypassable).
+    pub fn new(cfg: NicConfig, peer: PortPeer, rng: DetRng) -> Self {
         assert!(cfg.tx_ring > 0 && cfg.rx_ring > 0, "rings must be nonempty");
+        assert!(
+            peer.params.loss_rate_is_valid(),
+            "uplink loss_rate {} is not a probability",
+            peer.params.loss_rate
+        );
         Nic {
             cfg,
             tx_port: TxPort::new(peer),
@@ -151,8 +168,21 @@ impl Nic {
             intr_masked: false,
             intr_pending: false,
             last_intr: None,
+            rng,
+            trace: None,
             stats: NicStats::default(),
         }
+    }
+
+    /// Starts recording DMA/loss trace events into a bounded ring of
+    /// `capacity` records (for the cross-layer flight recorder).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(FlightRing::new(capacity));
+    }
+
+    /// A copy of the recorded trace events (empty when tracing is off).
+    pub fn trace(&self) -> Vec<FlightRecord> {
+        self.trace.as_ref().map(FlightRing::records).unwrap_or_default()
     }
 
     /// The configuration.
@@ -207,8 +237,33 @@ impl Nic {
         self.tx_busy = true;
         let wire = frame.wire_bytes();
         let timing = self.tx_port.transmit(now + self.cfg.dma_latency, wire);
-        self.stats.tx_frames.incr();
-        actions.push(NicAction::SendFrame(timing.arrival, frame));
+        if let Some(tr) = &mut self.trace {
+            tr.push(FlightRecord::new(timing.start, "nic_dma_tx", wire as u64, 0));
+        }
+        let loss = self.tx_port.peer.params.loss_rate;
+        debug_assert!(
+            self.tx_port.peer.params.loss_rate_is_valid(),
+            "uplink loss_rate {loss} is not a probability"
+        );
+        // Egress link loss: the frame occupies the wire either way (the TX
+        // completion timer is unconditional), but a lost frame is never
+        // delivered — the mirror image of the switch's egress loss draw,
+        // which previously made lossy links one-sided (switch->node only).
+        if self.rng.chance(loss) {
+            self.stats.tx_loss_drops.incr();
+            if let Some(tr) = &mut self.trace {
+                tr.push(FlightRecord {
+                    at: timing.end,
+                    kind: "nic_tx_loss",
+                    detail: "wire",
+                    a: wire as u64,
+                    b: 0,
+                });
+            }
+        } else {
+            self.stats.tx_frames.incr();
+            actions.push(NicAction::SendFrame(timing.arrival, frame));
+        }
         actions.push(NicAction::SetTimer(timing.end, keys::TX_DONE));
     }
 
@@ -293,6 +348,24 @@ impl Nic {
     }
 }
 
+impl Instrumented for Nic {
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("tx_frames", self.stats.tx_frames.get());
+        v.counter("tx_loss_drops", self.stats.tx_loss_drops.get());
+        v.counter("tx_ring_rejects", self.stats.tx_ring_rejects.get());
+        v.counter("rx_frames", self.stats.rx_frames.get());
+        v.counter("rx_ring_drops", self.stats.rx_ring_drops.get());
+        v.counter("interrupts", self.stats.interrupts.get());
+        v.counter("rx_ring_highwater", self.stats.rx_ring_highwater as u64);
+        v.gauge("rx_queue_len", self.rx_ring.len() as f64);
+        v.gauge("tx_queue_len", self.tx_ring.len() as f64);
+    }
+
+    fn flight_records(&self) -> Vec<FlightRecord> {
+        self.trace()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,9 +385,16 @@ mod tests {
     }
 
     fn nic(cfg: NicConfig) -> Nic {
-        let peer =
-            PortPeer { component: ComponentId(1), port: PortNo(0), params: LinkParams::gbe(500) };
-        Nic::new(cfg, peer)
+        nic_with_loss(cfg, 0.0)
+    }
+
+    fn nic_with_loss(cfg: NicConfig, loss: f64) -> Nic {
+        let peer = PortPeer {
+            component: ComponentId(1),
+            port: PortNo(0),
+            params: LinkParams::gbe(500).with_loss_rate(loss),
+        };
+        Nic::new(cfg, peer, DetRng::new(7))
     }
 
     fn send_times(actions: &[NicAction]) -> Vec<SimTime> {
@@ -362,6 +442,53 @@ mod tests {
         assert!(!n.tx_enqueue(frame(100), t0, &mut actions));
         assert_eq!(n.stats().tx_ring_rejects.get(), 1);
         assert_eq!(n.tx_free(), 0);
+    }
+
+    #[test]
+    fn egress_loss_drops_frames_but_keeps_wire_timing() {
+        let mut n = nic_with_loss(NicConfig::default(), 1.0);
+        n.enable_trace(16);
+        let mut actions = Vec::new();
+        assert!(n.tx_enqueue(frame(1000), SimTime::ZERO, &mut actions));
+        // Every frame is lost: no SendFrame, but TX_DONE still fires
+        // because the frame occupied the wire.
+        assert!(send_times(&actions).is_empty());
+        assert!(actions.iter().any(|a| matches!(a, NicAction::SetTimer(_, keys::TX_DONE))));
+        assert_eq!(n.stats().tx_loss_drops.get(), 1);
+        assert_eq!(n.stats().tx_frames.get(), 0);
+        let trace = n.trace();
+        assert!(trace.iter().any(|r| r.kind == "nic_dma_tx"));
+        assert!(trace.iter().any(|r| r.kind == "nic_tx_loss"));
+    }
+
+    #[test]
+    fn lossless_uplink_never_draws_a_drop() {
+        let mut n = nic(NicConfig::default());
+        let mut actions = Vec::new();
+        for _ in 0..50 {
+            n.tx_enqueue(frame(100), SimTime::ZERO, &mut actions);
+            let done = actions
+                .iter()
+                .find_map(|a| match a {
+                    NicAction::SetTimer(t, k) if *k == keys::TX_DONE => Some(*t),
+                    _ => None,
+                })
+                .unwrap();
+            actions.clear();
+            n.on_tx_done(done, &mut actions);
+            actions.clear();
+        }
+        assert_eq!(n.stats().tx_loss_drops.get(), 0);
+        assert_eq!(n.stats().tx_frames.get(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn invalid_loss_rate_rejected_at_construction() {
+        let mut params = LinkParams::gbe(500);
+        params.loss_rate = f64::NAN; // bypass the builder's range assert
+        let peer = PortPeer { component: ComponentId(1), port: PortNo(0), params };
+        let _ = Nic::new(NicConfig::default(), peer, DetRng::new(7));
     }
 
     #[test]

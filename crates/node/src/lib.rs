@@ -10,6 +10,7 @@
 
 use diablo_engine::component::{Component, Ctx};
 use diablo_engine::event::{ComponentId, PortNo, TimerKey};
+use diablo_engine::metrics::{FlightRecord, Instrumented, MetricsVisitor};
 use diablo_net::frame::Frame;
 use diablo_net::link::PortPeer;
 use diablo_stack::kernel::{Kernel, KernelEnv, NodeConfig, Router};
@@ -97,5 +98,19 @@ impl Component<Frame> for ServerNode {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn instrumented(&self) -> Option<&dyn Instrumented> {
+        Some(self)
+    }
+}
+
+impl Instrumented for ServerNode {
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        self.kernel.visit_metrics(v);
+    }
+
+    fn flight_records(&self) -> Vec<FlightRecord> {
+        self.kernel.flight_records()
     }
 }

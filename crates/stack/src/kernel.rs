@@ -28,7 +28,8 @@ use crate::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Sys
 use crate::profile::KernelProfile;
 use crate::socket::{EventMask, SockId, Socket, SocketKind};
 use crate::tcp::{TcpConn, TcpOutput, TcpParams, TcpState};
-use diablo_engine::prelude::{Counter, Frequency, SimDuration, SimTime};
+use diablo_engine::metrics::{FlightRecord, Instrumented, MetricsVisitor, PrefixedVisitor};
+use diablo_engine::prelude::{Counter, DetRng, Frequency, SimDuration, SimTime};
 use diablo_net::addr::{NodeAddr, SockAddr};
 use diablo_net::frame::{Frame, Route};
 use diablo_net::link::PortPeer;
@@ -260,10 +261,55 @@ impl std::fmt::Debug for Kernel {
     }
 }
 
+impl Instrumented for Kernel {
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("kernel.syscalls", self.stats.syscalls.get());
+        v.counter("kernel.softirq_runs", self.stats.softirq_runs.get());
+        v.counter("kernel.softirq_packets", self.stats.softirq_packets.get());
+        v.counter("kernel.wakeups", self.stats.wakeups.get());
+        v.counter("kernel.context_switches", self.stats.context_switches.get());
+        v.counter("kernel.udp_rcv_drops", self.stats.udp_rcv_drops.get());
+        v.counter("kernel.tcp_bad_segments", self.stats.tcp_bad_segments.get());
+        v.counter("kernel.tx_drops", self.stats.tx_drops.get());
+        v.counter("kernel.cpu_busy_ps", self.stats.cpu_busy.as_picos());
+        {
+            let mut nested = PrefixedVisitor::new(v, "nic.");
+            self.nic.visit_metrics(&mut nested);
+        }
+        for (i, slot) in self.procs.iter().enumerate() {
+            let prefix = format!("proc{i}.");
+            let mut nested = PrefixedVisitor::new(v, &prefix);
+            slot.process.visit_metrics(&mut nested);
+        }
+    }
+
+    fn flight_records(&self) -> Vec<FlightRecord> {
+        let mut out: Vec<FlightRecord> = self
+            .trace()
+            .into_iter()
+            .map(|r| match r.kind {
+                TraceKind::Syscall(tid, name) => {
+                    FlightRecord { at: r.at, kind: "syscall", detail: name, a: tid.0 as u64, b: 0 }
+                }
+                TraceKind::Softirq(pkts) => FlightRecord::new(r.at, "softirq", pkts as u64, 0),
+                TraceKind::Wakeup(tid) => FlightRecord::new(r.at, "wakeup", tid.0 as u64, 0),
+                TraceKind::Switch(tid) => FlightRecord::new(r.at, "ctx_switch", tid.0 as u64, 0),
+            })
+            .collect();
+        out.extend(self.nic.flight_records());
+        out
+    }
+}
+
 impl Kernel {
     /// Creates a kernel for a node wired to `uplink` (its ToR port).
     pub fn new(cfg: NodeConfig, uplink: PortPeer, router: Arc<dyn Router>) -> Self {
-        let nic = Nic::new(cfg.nic, uplink);
+        // The NIC's egress-loss RNG is seeded from the node address alone —
+        // never from partition placement or registration order — so loss
+        // draws (and therefore results) are identical across serial and
+        // 1/2/4/8-partition runs.
+        let nic_rng = DetRng::new(cfg.addr.0 as u64).derive(0x4E1C);
+        let nic = Nic::new(cfg.nic, uplink, nic_rng);
         Kernel {
             cfg,
             nic,
@@ -312,9 +358,12 @@ impl Kernel {
 
     /// Enables the bounded execution trace, keeping the most recent
     /// `capacity` records (syscalls, softirq runs, wakeups, context
-    /// switches).
+    /// switches). Also enables the NIC's DMA/loss trace with the same
+    /// capacity, so one call arms the whole node for the cross-layer
+    /// flight recorder.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(TraceRing { cap: capacity.max(1), ..TraceRing::default() });
+        self.nic.enable_trace(capacity);
     }
 
     /// The recorded trace, oldest first (empty unless enabled).

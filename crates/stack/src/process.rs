@@ -313,6 +313,11 @@ pub trait Process: Send + 'static {
         "process"
     }
 
+    /// Application-level metrics (request latencies, completion counts),
+    /// scraped by the kernel under this thread's `proc{tid}.` prefix.
+    /// Default: no metrics.
+    fn visit_metrics(&self, _v: &mut dyn diablo_engine::metrics::MetricsVisitor) {}
+
     /// Upcast for post-run inspection.
     fn as_any(&self) -> &dyn std::any::Any;
 }

@@ -73,6 +73,7 @@ pub mod prelude {
     pub use diablo_core::experiments::{
         run_incast, run_memcached, IncastClientKind, IncastConfig, McExperimentConfig,
     };
+    pub use diablo_core::observe::DropAccounting;
     pub use diablo_engine::prelude::*;
     pub use diablo_net::topology::{HopClass, Topology, TopologyConfig};
     pub use diablo_net::{NodeAddr, SockAddr};

@@ -9,15 +9,21 @@ use diablo::prelude::*;
 use diablo::stack::kernel::NodeConfig;
 use std::sync::Arc;
 
-/// Two nodes under one ToR whose node-facing links drop frames at `loss`.
-fn lossy_rack(loss: f64) -> (SimHost, Vec<diablo::engine::event::ComponentId>) {
+/// Two nodes under one ToR with per-direction frame loss:
+/// `switch_to_node_loss` applies to the ToR's node-facing egress links,
+/// `node_to_switch_loss` to the NIC uplinks (the direction the original
+/// one-sided model silently never dropped).
+fn rack_with_loss(
+    node_to_switch_loss: f64,
+    switch_to_node_loss: f64,
+) -> (SimHost, Vec<diablo::engine::event::ComponentId>) {
     let topo = Arc::new(
         Topology::new(TopologyConfig { racks: 1, servers_per_rack: 2, racks_per_array: 1 })
             .expect("topology"),
     );
     let mut host = SimHost::new(RunMode::Serial);
-    let clean = LinkParams::gbe(500);
-    let lossy = LinkParams::gbe(500).with_loss_rate(loss);
+    let uplink_params = LinkParams::gbe(500).with_loss_rate(node_to_switch_loss);
+    let downlink_params = LinkParams::gbe(500).with_loss_rate(switch_to_node_loss);
     let mut cfg = SwitchConfig::shallow_gbe("tor", 3);
     cfg.buffer = BufferConfig::PerPort { bytes_per_port: 256 * 1024 };
     let mut sw = PacketSwitch::new(cfg, DetRng::new(11));
@@ -31,7 +37,7 @@ fn lossy_rack(loss: f64) -> (SimHost, Vec<diablo::engine::event::ComponentId>) {
             PortPeer {
                 component: diablo_engine::event::ComponentId(1),
                 port: PortNo(0),
-                params: lossy,
+                params: downlink_params,
             },
         );
         sw.connect_port(
@@ -39,14 +45,15 @@ fn lossy_rack(loss: f64) -> (SimHost, Vec<diablo::engine::event::ComponentId>) {
             PortPeer {
                 component: diablo_engine::event::ComponentId(2),
                 port: PortNo(0),
-                params: lossy,
+                params: downlink_params,
             },
         );
         host.add_in_partition(0, Box::new(sw))
     };
     for i in 0..2u32 {
         use diablo_engine::parallel::ComponentHost;
-        let uplink = PortPeer { component: sw_placeholder, port: PortNo(i as u16), params: clean };
+        let uplink =
+            PortPeer { component: sw_placeholder, port: PortNo(i as u16), params: uplink_params };
         let node = ServerNode::new(
             NodeConfig::new(NodeAddr(i), KernelProfile::linux_2_6_39()),
             uplink,
@@ -55,6 +62,11 @@ fn lossy_rack(loss: f64) -> (SimHost, Vec<diablo::engine::event::ComponentId>) {
         nodes.push(host.add_in_partition(0, Box::new(node)));
     }
     (host, nodes)
+}
+
+/// Two nodes under one ToR whose node-facing links drop frames at `loss`.
+fn lossy_rack(loss: f64) -> (SimHost, Vec<diablo::engine::event::ComponentId>) {
+    rack_with_loss(0.0, loss)
 }
 
 #[test]
@@ -102,6 +114,68 @@ fn udp_applications_see_the_loss() {
         "UDP must make progress then stall on loss (got {} echoes, done={})",
         c.rtts.len(),
         c.done
+    );
+}
+
+/// The headline regression for the one-sided loss model: loss configured
+/// on the *node uplink* (node→switch direction) must actually drop
+/// frames. Before the NIC egress draw existed, only switch egress
+/// consulted `loss_rate`, so a lossy uplink behaved like a clean one and
+/// this test's stall-and-account assertions fail.
+#[test]
+fn udp_applications_see_node_to_switch_loss() {
+    let (mut host, nodes) = rack_with_loss(0.05, 0.0); // 5% uplink loss
+    host.component_mut::<ServerNode>(nodes[0])
+        .expect("node")
+        .spawn(Box::new(UdpEchoServer::new(9)));
+    host.component_mut::<ServerNode>(nodes[1]).expect("node").spawn(Box::new(UdpPingClient::new(
+        SockAddr::new(NodeAddr(0), 9),
+        1_000,
+        200,
+    )));
+    host.run_until(SimTime::from_secs(2)).expect("run");
+    let k = host.component::<ServerNode>(nodes[1]).expect("node").kernel();
+    let c = k.process::<UdpPingClient>(Tid(0)).expect("client");
+    assert!(
+        !c.done && !c.rtts.is_empty(),
+        "UDP must make progress then stall on uplink loss (got {} echoes, done={})",
+        c.rtts.len(),
+        c.done
+    );
+    // The loss is drawn (and accounted) at the NICs, not the switch.
+    let nic_losses: u64 = nodes
+        .iter()
+        .map(|&id| {
+            host.component::<ServerNode>(id).expect("node").kernel().nic_stats().tx_loss_drops.get()
+        })
+        .sum();
+    assert!(nic_losses > 0, "NICs must record uplink loss draws");
+    let sw = host.component::<PacketSwitch>(diablo::engine::event::ComponentId(0)).expect("switch");
+    assert_eq!(sw.stats().drops_error.get(), 0, "switch egress links are clean");
+}
+
+/// TCP recovers from uplink (node→switch) loss just as it does from
+/// downlink loss: retransmissions, not silent completion.
+#[test]
+fn tcp_survives_lossy_uplinks() {
+    let (mut host, nodes) = rack_with_loss(0.02, 0.0); // 2% uplink loss
+    host.component_mut::<ServerNode>(nodes[0])
+        .expect("node")
+        .spawn(Box::new(TcpEchoServer::new(7)));
+    host.component_mut::<ServerNode>(nodes[1]).expect("node").spawn(Box::new(TcpEchoClient::new(
+        SockAddr::new(NodeAddr(0), 7),
+        30,
+        2_000,
+    )));
+    host.run_until(SimTime::from_secs(120)).expect("run");
+    let k = host.component::<ServerNode>(nodes[1]).expect("node").kernel();
+    let c = k.process::<TcpEchoClient>(Tid(0)).expect("client");
+    assert!(c.done, "TCP must deliver everything despite uplink loss");
+    assert_eq!(c.rtts.len(), 30);
+    let max = c.rtts.iter().max().expect("nonempty");
+    assert!(
+        *max > SimDuration::from_millis(100),
+        "some exchange should have eaten an RTO, max {max}"
     );
 }
 
