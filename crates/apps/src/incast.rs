@@ -21,6 +21,7 @@
 //! Responses are streamed in 32 KB application chunks so socket-buffer
 //! backpressure behaves like a real `write()` loop.
 
+use crate::failure::{backoff_delay, FailureStats};
 use diablo_engine::metrics::MetricsVisitor;
 use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::payload::AppMessage;
@@ -203,6 +204,13 @@ impl Process for IncastServer {
         v.counter("served", self.served);
     }
 
+    fn reset(&mut self) -> bool {
+        self.state = SrvState::Start;
+        self.listen_fd = None;
+        self.to_send.clear();
+        true
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -213,18 +221,30 @@ impl Process for IncastServer {
 // ====================================================================
 
 /// One blocking-socket worker thread of the pthread-style incast client.
+///
+/// Transport failures (connection refused, reset, or a retransmission
+/// timeout surfacing `ETIMEDOUT` during a fault) are not fatal: the worker
+/// closes the broken socket, backs off exponentially, reconnects, and
+/// re-issues the interrupted request, reporting the whole episode in
+/// [`IncastWorker::failure`].
 #[derive(Debug)]
 pub struct IncastWorker {
     /// The server this worker reads from.
     pub server: SockAddr,
     /// Fragment bytes requested per iteration (`block / N`).
     pub fragment: u32,
+    /// Failure/recovery accounting.
+    pub failure: FailureStats,
     shared: SharedHandle,
     state: WrkState,
     fd: Option<Fd>,
     start_seen: u64,
     iter: u64,
     got_bytes: u32,
+    /// Consecutive failures of the in-flight operation (backoff exponent).
+    attempts: u32,
+    /// A request was interrupted; re-send it once reconnected.
+    resend: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,6 +255,10 @@ enum WrkState {
     WaitStart,
     SendReq,
     RecvResp,
+    /// Close the broken socket, then back off.
+    ConnFailed,
+    /// Sleep the backoff delay, then reconnect via `Start`.
+    Backoff,
     Closing,
     Done,
 }
@@ -245,13 +269,24 @@ impl IncastWorker {
         IncastWorker {
             server,
             fragment,
+            failure: FailureStats::default(),
             shared,
             state: WrkState::Start,
             fd: None,
             start_seen: 0,
             iter: 0,
             got_bytes: 0,
+            attempts: 0,
+            resend: false,
         }
+    }
+
+    /// Enters the reconnect path after a transport failure.
+    fn fail(&mut self, now: SimTime, resend: bool) {
+        self.failure.on_failure(now);
+        self.attempts += 1;
+        self.resend = resend;
+        self.state = WrkState::ConnFailed;
     }
 
     /// Decrements the shared countdown; returns `true` for the last
@@ -277,14 +312,39 @@ impl Process for IncastWorker {
                     self.state = WrkState::Connected;
                     return Step::Syscall(Syscall::Connect { fd, to: self.server });
                 }
-                WrkState::Connected => {
-                    assert_eq!(ctx.result, SysResult::Done, "connect failed: {:?}", ctx.result);
-                    self.state = WrkState::WaitStart;
-                    if self.finish_one() {
-                        return Step::Syscall(Syscall::FutexWake { key: FUTEX_DONE });
+                WrkState::Connected => match std::mem::replace(&mut ctx.result, SysResult::Done) {
+                    SysResult::Done => {
+                        if self.attempts > 0 {
+                            self.failure.reconnects += 1;
+                        }
+                        if self.resend {
+                            // Re-issue the interrupted request on the fresh
+                            // connection.
+                            self.failure.retried += 1;
+                            self.got_bytes = 0;
+                            let msg = AppMessage::new(KIND_REQ, self.iter - 1, 32, ctx.now)
+                                .with_arg0(self.fragment as u64);
+                            self.state = WrkState::RecvResp;
+                            return Step::Syscall(Syscall::Send {
+                                fd: self.fd.expect("no fd"),
+                                msg,
+                            });
+                        }
+                        self.failure.on_success(ctx.now);
+                        self.attempts = 0;
+                        self.state = WrkState::WaitStart;
+                        if self.finish_one() {
+                            return Step::Syscall(Syscall::FutexWake { key: FUTEX_DONE });
+                        }
+                        continue;
                     }
-                    continue;
-                }
+                    SysResult::Err(_) => {
+                        let resend = self.resend;
+                        self.fail(ctx.now, resend);
+                        continue;
+                    }
+                    other => panic!("connect failed: {other:?}"),
+                },
                 WrkState::WaitStart => {
                     if self.shared.lock().expect("poisoned").finished {
                         self.state = WrkState::Closing;
@@ -324,6 +384,9 @@ impl Process for IncastWorker {
                             self.got_bytes += m.len;
                         }
                         if self.got_bytes >= self.fragment {
+                            self.failure.on_success(ctx.now);
+                            self.attempts = 0;
+                            self.resend = false;
                             self.state = WrkState::WaitStart;
                             if self.finish_one() {
                                 return Step::Syscall(Syscall::FutexWake { key: FUTEX_DONE });
@@ -331,7 +394,13 @@ impl Process for IncastWorker {
                             continue;
                         }
                         if eof {
-                            self.state = WrkState::Closing;
+                            if self.shared.lock().expect("poisoned").finished {
+                                self.state = WrkState::Closing;
+                                continue;
+                            }
+                            // The server vanished mid-response: reconnect
+                            // and re-request the fragment.
+                            self.fail(ctx.now, true);
                             continue;
                         }
                         return Step::Syscall(Syscall::Recv {
@@ -339,8 +408,27 @@ impl Process for IncastWorker {
                             max_msgs: 16,
                         });
                     }
+                    SysResult::Err(_) => {
+                        self.fail(ctx.now, true);
+                        continue;
+                    }
                     other => panic!("worker recv failed: {other:?}"),
                 },
+                WrkState::ConnFailed => {
+                    self.state = WrkState::Backoff;
+                    match self.fd.take() {
+                        Some(fd) => return Step::Syscall(Syscall::Close { fd }),
+                        None => continue,
+                    }
+                }
+                WrkState::Backoff => {
+                    // Close result (if any) is irrelevant; sleep, then
+                    // rebuild the socket through the Start chain.
+                    self.state = WrkState::Start;
+                    return Step::Syscall(Syscall::Nanosleep(backoff_delay(
+                        self.attempts.saturating_sub(1),
+                    )));
+                }
                 WrkState::Closing => {
                     self.state = WrkState::Done;
                     return Step::Syscall(Syscall::Close { fd: self.fd.expect("no fd") });
@@ -352,6 +440,24 @@ impl Process for IncastWorker {
 
     fn label(&self) -> &str {
         "incast-worker"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        self.failure.visit(v);
+    }
+
+    fn reset(&mut self) -> bool {
+        if self.failure.failing() {
+            self.failure.on_give_up();
+        }
+        self.state = WrkState::Start;
+        self.fd = None;
+        self.start_seen = 0;
+        self.iter = 0;
+        self.got_bytes = 0;
+        self.attempts = 0;
+        self.resend = false;
+        true
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -471,6 +577,21 @@ impl Process for IncastMaster {
         v.gauge("done", if self.done { 1.0 } else { 0.0 });
     }
 
+    fn reset(&mut self) -> bool {
+        // Rewind the barrier for the whole thread group; the workers reset
+        // alongside (a crash takes down every thread on the node).
+        let mut s = self.shared.lock().expect("poisoned");
+        s.remaining = self.n;
+        s.finished = false;
+        drop(s);
+        self.state = MstState::AwaitConnects;
+        self.done_seen = 0;
+        self.iter = 0;
+        self.iter_started = SimTime::ZERO;
+        self.done = false;
+        true
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -482,6 +603,13 @@ impl Process for IncastMaster {
 
 /// Single-threaded incast client multiplexing all servers with `epoll`,
 /// like memcached-era WSC software (Figure 6(b)'s `epoll` curves).
+///
+/// Like [`IncastWorker`], transport failures are survivable: the broken
+/// connection is closed, re-established after an exponential backoff, and
+/// the interrupted fragment is re-requested. An optional
+/// [`request_deadline`](IncastEpollClient::request_deadline) bounds how
+/// long the client waits for readable data before declaring the slowest
+/// outstanding connection failed.
 #[derive(Debug)]
 pub struct IncastEpollClient {
     /// Servers to stripe over.
@@ -494,6 +622,10 @@ pub struct IncastEpollClient {
     pub iteration_times: Vec<SimDuration>,
     /// All iterations completed.
     pub done: bool,
+    /// Failure/recovery accounting.
+    pub failure: FailureStats,
+    /// Per-request deadline for `epoll_wait`; `None` waits forever.
+    pub request_deadline: Option<SimDuration>,
     state: EpState,
     fds: Vec<Fd>,
     got: Vec<u32>,
@@ -504,6 +636,10 @@ pub struct IncastEpollClient {
     completed: usize,
     iter: u64,
     iter_started: SimTime,
+    /// Consecutive failures of the in-flight operation (backoff exponent).
+    attempts: u32,
+    /// Index of the connection being re-established.
+    reconn_idx: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -517,8 +653,27 @@ enum EpState {
     SendNext,
     Wait,
     Drain,
+    /// Initial connect failed: backoff, then retry from `Start`.
+    InitRetry,
+    /// Re-establishing connection `reconn_idx` after a failure.
+    Reconn(ReconnStage),
     Closing(usize),
     Done,
+}
+
+/// Stages of the epoll client's reconnect path: close the broken socket,
+/// back off, re-socket, re-connect, re-register with epoll, and re-issue
+/// the interrupted fragment request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReconnStage {
+    Close,
+    Backoff,
+    Socket,
+    Connect,
+    Nonblock,
+    Ctl,
+    Resend,
+    AfterResend,
 }
 
 impl IncastEpollClient {
@@ -530,6 +685,8 @@ impl IncastEpollClient {
             iterations,
             iteration_times: Vec::new(),
             done: false,
+            failure: FailureStats::default(),
+            request_deadline: None,
             state: EpState::Start,
             fds: Vec::new(),
             got: Vec::new(),
@@ -540,7 +697,28 @@ impl IncastEpollClient {
             completed: 0,
             iter: 0,
             iter_started: SimTime::ZERO,
+            attempts: 0,
+            reconn_idx: 0,
         }
+    }
+
+    /// Bounds each `epoll_wait` by `deadline`; when it expires with a
+    /// fragment outstanding, the slowest connection is torn down and
+    /// re-established.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.request_deadline = Some(deadline);
+        self
+    }
+
+    /// Enters the reconnect path for connection `idx`, discarding any
+    /// queued readiness for its (now doomed) fd.
+    fn fail_conn(&mut self, now: SimTime, idx: usize) {
+        let fd = self.fds[idx];
+        self.ready_queue.retain(|f| *f != fd);
+        self.reconn_idx = idx;
+        self.failure.on_failure(now);
+        self.attempts += 1;
+        self.state = EpState::Reconn(ReconnStage::Close);
     }
 
     /// Mean goodput in bits per second for the whole striped block.
@@ -581,18 +759,41 @@ impl Process for IncastEpollClient {
                         to: self.servers[self.connect_idx],
                     });
                 }
-                EpState::Connected => {
-                    assert_eq!(ctx.result, SysResult::Done, "connect failed: {:?}", ctx.result);
-                    self.state = EpState::NonblockSet;
-                    return Step::Syscall(Syscall::SetNonblocking {
-                        fd: self.fds[self.connect_idx],
-                        on: true,
-                    });
-                }
+                EpState::Connected => match ctx.result {
+                    SysResult::Done => {
+                        if self.attempts > 0 {
+                            self.failure.reconnects += 1;
+                            self.failure.on_success(ctx.now);
+                            self.attempts = 0;
+                        }
+                        self.state = EpState::NonblockSet;
+                        return Step::Syscall(Syscall::SetNonblocking {
+                            fd: self.fds[self.connect_idx],
+                            on: true,
+                        });
+                    }
+                    SysResult::Err(_) => {
+                        // Setup-time connect failure: close, back off, retry
+                        // the same server.
+                        self.failure.on_failure(ctx.now);
+                        self.attempts += 1;
+                        self.got.pop();
+                        let fd = self.fds.pop().expect("no fd to retire");
+                        self.state = EpState::InitRetry;
+                        return Step::Syscall(Syscall::Close { fd });
+                    }
+                    ref other => panic!("connect failed: {other:?}"),
+                },
                 EpState::NonblockSet => {
                     self.connect_idx += 1;
                     self.state = EpState::Start;
                     continue;
+                }
+                EpState::InitRetry => {
+                    self.state = EpState::Start;
+                    return Step::Syscall(Syscall::Nanosleep(backoff_delay(
+                        self.attempts.saturating_sub(1),
+                    )));
                 }
                 EpState::EpollCreated => {
                     let SysResult::NewFd(ep) = ctx.result else { panic!("epoll failed") };
@@ -619,6 +820,15 @@ impl Process for IncastEpollClient {
                     continue;
                 }
                 EpState::SendNext => {
+                    // A send's result lands here on the next step; an error
+                    // means the connection we just wrote to has broken.
+                    if self.send_idx > 0 {
+                        if let SysResult::Err(_) = ctx.result {
+                            ctx.result = SysResult::Computed;
+                            self.fail_conn(ctx.now, self.send_idx - 1);
+                            continue;
+                        }
+                    }
                     if self.send_idx < self.fds.len() {
                         let fd = self.fds[self.send_idx];
                         self.send_idx += 1;
@@ -630,11 +840,20 @@ impl Process for IncastEpollClient {
                     return Step::Syscall(Syscall::EpollWait {
                         epfd: self.epfd.expect("no epfd"),
                         max_events: 64,
-                        timeout: None,
+                        timeout: self.request_deadline,
                     });
                 }
                 EpState::Wait => match std::mem::replace(&mut ctx.result, SysResult::Computed) {
                     SysResult::Events(evs) => {
+                        if evs.is_empty() {
+                            // Deadline expired with a fragment outstanding:
+                            // declare the slowest connection failed.
+                            let idx = (0..self.fds.len())
+                                .find(|&i| self.got[i] < self.fragment)
+                                .expect("epoll deadline with nothing outstanding");
+                            self.fail_conn(ctx.now, idx);
+                            continue;
+                        }
                         for (fd, mask) in evs {
                             if mask.readable {
                                 self.ready_queue.push_back(fd);
@@ -648,22 +867,44 @@ impl Process for IncastEpollClient {
                 EpState::Drain => {
                     // Consume one Recv result if we just issued one.
                     match std::mem::replace(&mut ctx.result, SysResult::Computed) {
-                        SysResult::Messages { msgs, .. } => {
+                        SysResult::Messages { msgs, eof } => {
                             let fd = self
                                 .ready_queue
                                 .pop_front()
                                 .expect("recv result without pending fd");
                             let idx = self.fd_index(fd);
+                            let before = self.got[idx];
                             for m in &msgs {
                                 self.got[idx] += m.len;
                             }
-                            if self.got[idx] >= self.fragment {
-                                self.got[idx] = 0;
+                            if before < self.fragment && self.got[idx] >= self.fragment {
                                 self.completed += 1;
+                                if self.failure.failing() && idx == self.reconn_idx {
+                                    self.failure.on_success(ctx.now);
+                                    self.attempts = 0;
+                                }
+                            } else if eof && self.got[idx] < self.fragment {
+                                // The server half-closed mid-fragment:
+                                // reconnect and re-request. (An EOF after a
+                                // complete fragment is left for the next
+                                // send to trip over.)
+                                self.fail_conn(ctx.now, idx);
+                                continue;
                             }
                         }
                         SysResult::Err(Errno::WouldBlock) => {
                             self.ready_queue.pop_front();
+                        }
+                        SysResult::Err(_) => {
+                            // The connection under the ready fd has broken
+                            // (reset or retransmission timeout).
+                            let fd = self
+                                .ready_queue
+                                .pop_front()
+                                .expect("recv result without pending fd");
+                            let idx = self.fd_index(fd);
+                            self.fail_conn(ctx.now, idx);
+                            continue;
                         }
                         _ => {}
                     }
@@ -672,6 +913,7 @@ impl Process for IncastEpollClient {
                         self.iteration_times
                             .push(ctx.now.saturating_duration_since(self.iter_started));
                         self.completed = 0;
+                        self.got.iter_mut().for_each(|g| *g = 0);
                         self.ready_queue.clear();
                         if self.iter >= self.iterations {
                             self.state = EpState::Closing(0);
@@ -692,11 +934,88 @@ impl Process for IncastEpollClient {
                             return Step::Syscall(Syscall::EpollWait {
                                 epfd: self.epfd.expect("no epfd"),
                                 max_events: 64,
-                                timeout: None,
+                                timeout: self.request_deadline,
                             });
                         }
                     }
                 }
+                EpState::Reconn(stage) => match stage {
+                    ReconnStage::Close => {
+                        self.state = EpState::Reconn(ReconnStage::Backoff);
+                        let fd = self.fds[self.reconn_idx];
+                        return Step::Syscall(Syscall::Close { fd });
+                    }
+                    ReconnStage::Backoff => {
+                        self.state = EpState::Reconn(ReconnStage::Socket);
+                        return Step::Syscall(Syscall::Nanosleep(backoff_delay(
+                            self.attempts.saturating_sub(1),
+                        )));
+                    }
+                    ReconnStage::Socket => {
+                        self.state = EpState::Reconn(ReconnStage::Connect);
+                        return Step::Syscall(Syscall::Socket(Proto::Tcp));
+                    }
+                    ReconnStage::Connect => {
+                        let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                        self.fds[self.reconn_idx] = fd;
+                        self.got[self.reconn_idx] = 0;
+                        self.state = EpState::Reconn(ReconnStage::Nonblock);
+                        return Step::Syscall(Syscall::Connect {
+                            fd,
+                            to: self.servers[self.reconn_idx],
+                        });
+                    }
+                    ReconnStage::Nonblock => match ctx.result {
+                        SysResult::Done => {
+                            self.failure.reconnects += 1;
+                            self.state = EpState::Reconn(ReconnStage::Ctl);
+                            return Step::Syscall(Syscall::SetNonblocking {
+                                fd: self.fds[self.reconn_idx],
+                                on: true,
+                            });
+                        }
+                        SysResult::Err(_) => {
+                            // Reconnect itself failed: close and try again
+                            // with a longer backoff.
+                            self.failure.on_failure(ctx.now);
+                            self.attempts += 1;
+                            self.state = EpState::Reconn(ReconnStage::Close);
+                            continue;
+                        }
+                        ref other => panic!("reconnect failed: {other:?}"),
+                    },
+                    ReconnStage::Ctl => {
+                        self.state = EpState::Reconn(ReconnStage::Resend);
+                        return Step::Syscall(Syscall::EpollCtl {
+                            epfd: self.epfd.expect("no epfd"),
+                            fd: self.fds[self.reconn_idx],
+                            interest: EventMask::READ,
+                        });
+                    }
+                    ReconnStage::Resend => {
+                        self.failure.retried += 1;
+                        self.state = EpState::Reconn(ReconnStage::AfterResend);
+                        let msg = AppMessage::new(KIND_REQ, self.iter - 1, 32, ctx.now)
+                            .with_arg0(self.fragment as u64);
+                        return Step::Syscall(Syscall::Send { fd: self.fds[self.reconn_idx], msg });
+                    }
+                    ReconnStage::AfterResend => match ctx.result {
+                        SysResult::Done => {
+                            // Resume the iteration: any sends still owed go
+                            // out, then the normal wait/drain loop runs.
+                            ctx.result = SysResult::Computed;
+                            self.state = EpState::SendNext;
+                            continue;
+                        }
+                        SysResult::Err(_) => {
+                            self.failure.on_failure(ctx.now);
+                            self.attempts += 1;
+                            self.state = EpState::Reconn(ReconnStage::Close);
+                            continue;
+                        }
+                        ref other => panic!("resend failed: {other:?}"),
+                    },
+                },
                 EpState::Closing(i) => {
                     if i < self.fds.len() {
                         self.state = EpState::Closing(i + 1);
@@ -718,6 +1037,27 @@ impl Process for IncastEpollClient {
     fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
         v.counter("iterations_completed", self.iteration_times.len() as u64);
         v.gauge("done", if self.done { 1.0 } else { 0.0 });
+        self.failure.visit(v);
+    }
+
+    fn reset(&mut self) -> bool {
+        if self.failure.failing() {
+            self.failure.on_give_up();
+        }
+        self.state = EpState::Start;
+        self.fds.clear();
+        self.got.clear();
+        self.epfd = None;
+        self.connect_idx = 0;
+        self.send_idx = 0;
+        self.ready_queue.clear();
+        self.completed = 0;
+        self.iter = 0;
+        self.iter_started = SimTime::ZERO;
+        self.attempts = 0;
+        self.reconn_idx = 0;
+        self.done = false;
+        true
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -4,6 +4,9 @@
 //!
 //! * [`echo`] — TCP/UDP echo servers and clients plus a CPU spinner;
 //!   building blocks and smoke tests.
+//! * [`failure`] — client-side failure accounting ([`failure::FailureStats`])
+//!   and deterministic retry backoff, shared by the workloads' reconnect
+//!   paths under injected faults.
 //! * [`incast`] — the fixed-block synchronized-read benchmark behind the
 //!   TCP Incast case study (§4.1), with `pthread`-blocking and `epoll`
 //!   client variants.
@@ -15,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod echo;
+pub mod failure;
 pub mod incast;
 pub mod memcached;
 pub mod workload;

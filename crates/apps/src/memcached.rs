@@ -16,6 +16,7 @@
 //! from the ETC workload model, waits for the reply and records the
 //! latency in HDR histograms — overall and per hop-class (Figure 10).
 
+use crate::failure::{backoff_delay, FailureStats};
 use crate::workload::{etc_value_size_for_key, EtcWorkload, KvOp};
 use diablo_engine::metrics::MetricsVisitor;
 use diablo_engine::prelude::Histogram;
@@ -277,6 +278,22 @@ impl Process for McDispatcher {
 
     fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
         v.counter("accepted", self.accepted);
+    }
+
+    fn reset(&mut self) -> bool {
+        // A crash wiped every socket; unpublish the shared fds so workers
+        // and dispatcher renegotiate from scratch on reboot.
+        let mut s = self.shared.lock().expect("poisoned");
+        s.worker_epfds.iter_mut().for_each(|e| *e = None);
+        s.udp_fd = None;
+        drop(s);
+        self.state = DispState::Start;
+        self.listen_fd = None;
+        self.udp_fd = None;
+        self.next_worker = 0;
+        self.udp_reg_idx = 0;
+        self.pending_conn = None;
+        true
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -560,6 +577,19 @@ impl Process for McWorker {
         v.counter("served", self.served);
     }
 
+    fn reset(&mut self) -> bool {
+        // The crash wiped the item table along with the sockets — a
+        // rebooted cache comes back cold.
+        self.shared.lock().expect("poisoned").worker_epfds[self.index] = None;
+        self.state = WkState::Start;
+        self.epfd = None;
+        self.conns.clear();
+        self.queue.clear();
+        self.inflight = None;
+        self.store.clear();
+        true
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -592,6 +622,13 @@ pub struct McClientConfig {
     /// (connection churn keeps the server's accept path hot — the code
     /// path `accept4` shortens).
     pub reconnect_every: Option<u64>,
+    /// TCP: per-request deadline. When set, the client waits for the reply
+    /// through `epoll` and treats an expiry as a broken connection
+    /// (reconnect + retry). `None` keeps the plain blocking receive.
+    pub request_deadline: Option<SimDuration>,
+    /// TCP: consecutive connection failures tolerated per request before
+    /// the request is abandoned.
+    pub tcp_max_retries: u32,
     /// Maps a server node to a hop class index (0 = local, 1 = one-hop,
     /// 2 = two-hop) for Figure 10's breakdown.
     pub classify: Option<Arc<dyn Fn(NodeAddr) -> usize + Send + Sync>>,
@@ -620,6 +657,8 @@ impl McClientConfig {
             udp_timeout: SimDuration::from_millis(250),
             udp_max_retries: 2,
             reconnect_every: None,
+            request_deadline: None,
+            tcp_max_retries: 8,
             classify: None,
         }
     }
@@ -656,6 +695,11 @@ pub struct McClient {
     pub udp_retries: u64,
     /// Requests abandoned after exhausting retries.
     pub failures: u64,
+    /// TCP failure/recovery accounting.
+    pub failure: FailureStats,
+    /// Consecutive TCP failures of the in-flight request (backoff
+    /// exponent).
+    attempts: u32,
     /// Finished cleanly.
     pub done: bool,
     /// When the last request completed.
@@ -668,13 +712,23 @@ enum CliState {
     UdpSocketed,
     UdpEpoll,
     UdpCtl,
+    /// TCP with a request deadline: epoll instance created at startup.
+    TcpEpoll,
     Think,
     PickAndConnect,
     CloseStale(usize),
     TcpSocketed,
     Connected,
+    /// TCP with a request deadline: register the fresh connection.
+    TcpCtl,
     SendReq,
     AwaitTcp,
+    /// TCP with a request deadline: wait for readability (or expiry).
+    AwaitTcpReady,
+    /// A TCP connection broke: the socket was closed; retry or give up.
+    TcpFailed,
+    /// Sleep the backoff delay, then reconnect.
+    TcpBackoff,
     UdpAwait,
     UdpRecv,
     Done,
@@ -701,6 +755,8 @@ impl McClient {
             completed: 0,
             udp_retries: 0,
             failures: 0,
+            failure: FailureStats::default(),
+            attempts: 0,
             done: false,
             finished_at: SimTime::ZERO,
             cfg,
@@ -730,6 +786,17 @@ impl McClient {
         }
         m
     }
+
+    /// Enters the TCP failure path: the current server's connection is
+    /// retired and closed; [`CliState::TcpFailed`] decides between retry
+    /// and give-up.
+    fn tcp_fail(&mut self, now: SimTime) -> Step {
+        self.failure.on_failure(now);
+        self.attempts += 1;
+        let (fd, _) = self.conns.remove(&self.current_server).expect("no conn to fail");
+        self.state = CliState::TcpFailed;
+        Step::Syscall(Syscall::Close { fd })
+    }
 }
 
 impl Process for McClient {
@@ -741,6 +808,19 @@ impl Process for McClient {
                         self.state = CliState::UdpSocketed;
                         return Step::Syscall(Syscall::Socket(Proto::Udp));
                     }
+                    if self.cfg.request_deadline.is_some() {
+                        self.state = CliState::TcpEpoll;
+                        return Step::Syscall(Syscall::EpollCreate);
+                    }
+                    self.state = CliState::Think;
+                    if !self.cfg.start_delay.is_zero() {
+                        return Step::Syscall(Syscall::Nanosleep(self.cfg.start_delay));
+                    }
+                    continue;
+                }
+                CliState::TcpEpoll => {
+                    let SysResult::NewFd(ep) = ctx.result else { panic!("epoll failed") };
+                    self.epfd = Some(ep);
                     self.state = CliState::Think;
                     if !self.cfg.start_delay.is_zero() {
                         return Step::Syscall(Syscall::Nanosleep(self.cfg.start_delay));
@@ -815,8 +895,28 @@ impl Process for McClient {
                         to: self.cfg.servers[self.current_server],
                     });
                 }
-                CliState::Connected => {
-                    assert_eq!(ctx.result, SysResult::Done, "connect failed: {:?}", ctx.result);
+                CliState::Connected => match ctx.result {
+                    SysResult::Done => {
+                        if self.attempts > 0 {
+                            self.failure.reconnects += 1;
+                            self.failure.retried += 1;
+                        }
+                        if self.cfg.request_deadline.is_some() {
+                            self.state = CliState::TcpCtl;
+                            let fd = self.conns[&self.current_server].0;
+                            return Step::Syscall(Syscall::EpollCtl {
+                                epfd: self.epfd.expect("no epfd"),
+                                fd,
+                                interest: EventMask::READ,
+                            });
+                        }
+                        self.state = CliState::SendReq;
+                        continue;
+                    }
+                    SysResult::Err(_) => return self.tcp_fail(ctx.now),
+                    ref other => panic!("connect failed: {other:?}"),
+                },
+                CliState::TcpCtl => {
                     self.state = CliState::SendReq;
                     continue;
                 }
@@ -840,18 +940,75 @@ impl Process for McClient {
                 CliState::AwaitTcp => {
                     match std::mem::replace(&mut ctx.result, SysResult::Computed) {
                         SysResult::Done => {
+                            // Send completed; wait for the reply.
+                            if let Some(deadline) = self.cfg.request_deadline {
+                                self.state = CliState::AwaitTcpReady;
+                                return Step::Syscall(Syscall::EpollWait {
+                                    epfd: self.epfd.expect("no epfd"),
+                                    max_events: 4,
+                                    timeout: Some(deadline),
+                                });
+                            }
                             let fd = self.conns[&self.current_server].0;
                             return Step::Syscall(Syscall::Recv { fd, max_msgs: 1 });
                         }
-                        SysResult::Messages { msgs, .. } => {
+                        SysResult::Messages { msgs, eof } => {
+                            if msgs.is_empty() {
+                                // EOF before the reply: the server went away.
+                                debug_assert!(eof);
+                                return self.tcp_fail(ctx.now);
+                            }
                             assert_eq!(msgs.len(), 1);
                             assert_eq!(msgs[0].id, self.issued - 1, "reply id mismatch");
+                            self.failure.on_success(ctx.now);
+                            self.attempts = 0;
                             self.record(ctx.now);
                             self.state = CliState::Think;
                             continue;
                         }
+                        // Send or receive hit a transport error (connection
+                        // reset, retransmission timeout): reconnect.
+                        SysResult::Err(_) => return self.tcp_fail(ctx.now),
                         other => panic!("tcp request failed: {other:?}"),
                     }
+                }
+                CliState::AwaitTcpReady => {
+                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                        SysResult::Events(evs) => {
+                            if evs.is_empty() {
+                                // Deadline expired without a reply.
+                                return self.tcp_fail(ctx.now);
+                            }
+                            // Data (or EOF) on the current connection —
+                            // failed connections are always closed, which
+                            // drops their epoll registrations, so only the
+                            // in-flight fd can trigger here.
+                            let fd = self.conns[&self.current_server].0;
+                            self.state = CliState::AwaitTcp;
+                            return Step::Syscall(Syscall::Recv { fd, max_msgs: 1 });
+                        }
+                        other => panic!("epoll_wait failed: {other:?}"),
+                    }
+                }
+                CliState::TcpFailed => {
+                    // Close result consumed; retry with backoff or abandon
+                    // the request.
+                    if self.attempts > self.cfg.tcp_max_retries {
+                        self.failures += 1;
+                        self.failure.on_give_up();
+                        self.attempts = 0;
+                        self.record(ctx.now);
+                        self.state = CliState::Think;
+                        continue;
+                    }
+                    self.state = CliState::TcpBackoff;
+                    return Step::Syscall(Syscall::Nanosleep(backoff_delay(
+                        self.attempts.saturating_sub(1),
+                    )));
+                }
+                CliState::TcpBackoff => {
+                    self.state = CliState::TcpSocketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Tcp));
                 }
                 CliState::UdpAwait => {
                     // SendTo completed; wait for readability with timeout.
@@ -927,6 +1084,23 @@ impl Process for McClient {
         for (class, h) in self.latency_by_class.iter().enumerate() {
             v.histogram(&format!("latency_ns_class{class}"), h);
         }
+        self.failure.visit(v);
+    }
+
+    fn reset(&mut self) -> bool {
+        // A node crash wipes the kernel's sockets; the in-flight request
+        // (if any) is lost. Results gathered so far survive.
+        if self.current_op.is_some() {
+            self.failure.on_give_up();
+        }
+        self.state = CliState::Start;
+        self.conns.clear();
+        self.udp_fd = None;
+        self.epfd = None;
+        self.current_op = None;
+        self.attempts = 0;
+        self.done = false;
+        true
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -8,11 +8,11 @@
 //! ```
 
 use diablo_apps::memcached::McVersion;
-use diablo_bench::{banner, write_metrics_artifacts, Args};
+use diablo_bench::{banner, parallel_mode, write_metrics_artifacts, Args};
 use diablo_core::report::percentiles_us;
 use diablo_core::{
-    run_incast, run_memcached, DropAccounting, IncastClientKind, IncastConfig, McExperimentConfig,
-    RunMode,
+    run_incast, run_memcached, DropAccounting, FaultPlan, IncastClientKind, IncastConfig,
+    McExperimentConfig,
 };
 use diablo_engine::prelude::{ExecReport, MetricsRegistry};
 use diablo_engine::time::Frequency;
@@ -36,9 +36,42 @@ fn usage() -> ! {
          \n\
          observability (both workloads):\n\
            --metrics PATH      write the metrics JSON here instead of results/\n\
-           --check-invariants  exit 1 if frame conservation does not balance"
+           --check-invariants  exit 1 if frame conservation does not balance\n\
+         \n\
+         fault injection (both workloads):\n\
+           --fault-plan PATH   scripted fault schedule (link flaps, switch and\n\
+                               node failures); see DESIGN.md for the grammar\n\
+           --deadline MS       per-request TCP deadline in milliseconds"
     );
     std::process::exit(2);
+}
+
+/// Rejects contradictory zero values for flags that must be at least 1.
+fn positive<T: Default + PartialEq + std::fmt::Display>(name: &str, v: T) -> T {
+    if v == T::default() {
+        eprintln!("error: {name} must be at least 1 (got {v})");
+        std::process::exit(2);
+    }
+    v
+}
+
+/// Loads and parses `--fault-plan`, exiting non-zero on a missing file or
+/// a malformed schedule.
+fn fault_plan(args: &Args) -> Option<FaultPlan> {
+    let path = args.get("--fault-plan", String::new());
+    if path.is_empty() {
+        return None;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read fault plan {path}: {e}");
+        std::process::exit(2);
+    });
+    let plan = FaultPlan::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("fault plan: {} events from {path} (horizon {})", plan.events.len(), plan.horizon());
+    Some(plan)
 }
 
 fn main() {
@@ -100,12 +133,20 @@ fn emit_observability(
 
 fn memcached(args: &Args) {
     banner("wsc_sim", "memcached at scale");
-    let mut cfg = McExperimentConfig::mini(args.get("--racks", 16), args.get("--requests", 150));
-    cfg.servers_per_rack = args.get("--spr", cfg.servers_per_rack);
-    cfg.mc_per_rack = args.get("--mc-per-rack", cfg.mc_per_rack);
-    cfg.workers = args.get("--workers", cfg.workers);
+    let mut cfg = McExperimentConfig::mini(
+        positive("--racks", args.get("--racks", 16)),
+        positive("--requests", args.get("--requests", 150)),
+    );
+    cfg.servers_per_rack = positive("--spr", args.get("--spr", cfg.servers_per_rack));
+    cfg.mc_per_rack = positive("--mc-per-rack", args.get("--mc-per-rack", cfg.mc_per_rack));
+    cfg.workers = positive("--workers", args.get("--workers", cfg.workers));
     cfg.seed = args.get("--seed", cfg.seed);
     cfg.ten_gig = args.flag("--10g");
+    cfg.faults = fault_plan(args);
+    let deadline_ms: u64 = args.get("--deadline", 0);
+    if deadline_ms > 0 {
+        cfg.request_deadline = Some(diablo_engine::time::SimDuration::from_millis(deadline_ms));
+    }
     cfg.proto = match args.get("--proto", "udp".to_string()).as_str() {
         "tcp" => Proto::Tcp,
         "udp" => Proto::Udp,
@@ -121,11 +162,8 @@ fn memcached(args: &Args) {
         "1.4.17" => McVersion::V1_4_17,
         _ => usage(),
     };
-    let partitions: usize = args.get("--parallel", 0);
-    if partitions > 1 {
-        // Quantum derived from the rack-cut partition plan.
-        cfg.mode = RunMode::parallel(partitions);
-    }
+    // Quantum derived from the rack-cut partition plan.
+    cfg.mode = parallel_mode(args);
     println!(
         "{} nodes ({} racks x {}), {} memcached servers, {:?}, kernel {}, memcached {}, {}",
         cfg.nodes(),
@@ -146,6 +184,18 @@ fn memcached(args: &Args) {
         r.wall.as_secs_f64()
     );
     println!("served={} udp_retries={} failures={}", r.served, r.udp_retries, r.failures);
+    if r.failure.failed > 0 {
+        println!(
+            "client failures: failed={} retried={} reconnects={} recovered={} gave_up={} \
+             recovery_time={}ns",
+            r.failure.failed,
+            r.failure.retried,
+            r.failure.reconnects,
+            r.failure.recovered,
+            r.failure.gave_up,
+            r.failure.recovery_time.as_nanos()
+        );
+    }
     for (name, v) in percentiles_us(&r.latency) {
         println!("  {name:>6}: {v:>12.1} us");
     }
@@ -170,20 +220,22 @@ fn incast(args: &Args) {
         "epoll" => IncastClientKind::Epoll,
         _ => usage(),
     };
-    let mut cfg = IncastConfig::fig6a(args.get("--servers", 8));
-    cfg.iterations = args.get("--iterations", 10);
-    cfg.block_bytes = args.get("--block", 256 * 1024);
+    let mut cfg = IncastConfig::fig6a(positive("--servers", args.get("--servers", 8)));
+    cfg.iterations = positive("--iterations", args.get("--iterations", 10));
+    cfg.block_bytes = positive("--block", args.get("--block", 256 * 1024));
     cfg.client = client;
-    cfg.cpu = Frequency::ghz(args.get("--ghz", 4));
+    cfg.cpu = Frequency::ghz(positive("--ghz", args.get("--ghz", 4)));
     cfg.ten_gig = args.flag("--10g");
     cfg.seed = args.get("--seed", cfg.seed);
+    cfg.faults = fault_plan(args);
+    let deadline_ms: u64 = args.get("--deadline", 0);
+    if deadline_ms > 0 {
+        cfg.request_deadline = Some(diablo_engine::time::SimDuration::from_millis(deadline_ms));
+    }
     // Same --racks under serial and --parallel N is the same model, so
     // the two runs' metric scrapes must compare byte-identical.
-    cfg.racks = args.get("--racks", cfg.racks);
-    let partitions: usize = args.get("--parallel", 0);
-    if partitions > 1 {
-        cfg.mode = RunMode::parallel(partitions);
-    }
+    cfg.racks = positive("--racks", args.get("--racks", cfg.racks));
+    cfg.mode = parallel_mode(args);
     println!(
         "{} servers, {} iterations, {} B blocks, {:?} client, {} CPU, {}",
         cfg.servers,
@@ -203,6 +255,18 @@ fn incast(args: &Args) {
     );
     for (i, d) in r.iteration_times.iter().enumerate() {
         println!("  iteration {:>2}: {d}", i + 1);
+    }
+    if r.failure.failed > 0 {
+        println!(
+            "client failures: failed={} retried={} reconnects={} recovered={} gave_up={} \
+             recovery_time={}ns",
+            r.failure.failed,
+            r.failure.retried,
+            r.failure.reconnects,
+            r.failure.recovered,
+            r.failure.gave_up,
+            r.failure.recovery_time.as_nanos()
+        );
     }
     emit_observability("wsc_sim_incast", args, &r.metrics, &r.conservation, r.exec.as_ref());
 }

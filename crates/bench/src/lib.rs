@@ -60,6 +60,28 @@ impl Args {
     }
 }
 
+/// Parses `--parallel N` into an execution mode: absent or `1` is serial,
+/// `N > 1` is partition-parallel. An explicit `--parallel 0` is
+/// contradictory — partitioned execution with zero partitions — and is an
+/// error rather than a silent fall-back to serial.
+pub fn try_parallel_mode(args: &Args) -> Result<diablo_core::RunMode, String> {
+    let n: usize = args.try_get("--parallel", 1).map_err(|e| e.to_string())?;
+    match n {
+        0 => Err("--parallel must be at least 1 (got 0)".to_string()),
+        1 => Ok(diablo_core::RunMode::Serial),
+        n => Ok(diablo_core::RunMode::parallel(n)),
+    }
+}
+
+/// Like [`try_parallel_mode`], but reports the error on stderr and exits
+/// non-zero (for binary entry points).
+pub fn parallel_mode(args: &Args) -> diablo_core::RunMode {
+    try_parallel_mode(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// A flag whose value was missing or failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArgError {

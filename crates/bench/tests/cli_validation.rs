@@ -1,0 +1,108 @@
+//! End-to-end checks of the `wsc_sim` front end: contradictory flags are
+//! rejected with a non-zero exit instead of silently running something
+//! else, and `--fault-plan` drives a scripted outage through a real run
+//! with serial/parallel metric parity.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn wsc_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wsc_sim"))
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn parallel_zero_is_rejected() {
+    let out = wsc_sim().args(["incast", "--parallel", "0"]).output().expect("spawn wsc_sim");
+    assert!(!out.status.success(), "--parallel 0 must exit non-zero");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--parallel"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn zero_valued_size_flags_are_rejected() {
+    for (sub, flag) in
+        [("incast", "--servers"), ("incast", "--iterations"), ("memcached", "--racks")]
+    {
+        let out = wsc_sim().args([sub, flag, "0"]).output().expect("spawn wsc_sim");
+        assert!(!out.status.success(), "{sub} {flag} 0 must exit non-zero");
+        assert!(stderr(&out).contains(flag), "stderr: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn missing_fault_plan_is_rejected() {
+    let out = wsc_sim()
+        .args(["incast", "--fault-plan", "/nonexistent/plan.fplan"])
+        .output()
+        .expect("spawn wsc_sim");
+    assert!(!out.status.success(), "a missing fault plan must exit non-zero");
+    assert!(stderr(&out).contains("fault plan"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn malformed_fault_plan_is_rejected() {
+    let dir = std::env::temp_dir().join("wsc_sim_cli_validation");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let bad = dir.join("bad.fplan");
+    std::fs::write(&bad, "10ms frobnicate node1\n").expect("write plan");
+    let out = wsc_sim()
+        .args(["incast", "--fault-plan", bad.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn wsc_sim");
+    assert!(!out.status.success(), "a malformed fault plan must exit non-zero");
+    assert!(stderr(&out).contains("frobnicate"), "stderr: {}", stderr(&out));
+}
+
+/// The bundled link-flap scenario run end to end through the CLI, serial
+/// and 2-partition, with `--check-invariants` — the scripted outage must
+/// not unbalance the books, and the two metric scrapes must be
+/// byte-identical.
+#[test]
+fn bundled_link_flap_scenario_runs_identically_serial_and_parallel() {
+    let plan = repo_root().join("scenarios/link_flap.fplan");
+    assert!(plan.exists(), "bundled scenario missing: {}", plan.display());
+    let dir = std::env::temp_dir().join("wsc_sim_cli_flap");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let run = |tag: &str, parallel: Option<&str>| -> PathBuf {
+        let json = dir.join(format!("{tag}.json"));
+        let mut cmd = wsc_sim();
+        cmd.args([
+            "incast",
+            "--servers",
+            "4",
+            "--iterations",
+            "2",
+            "--racks",
+            "2",
+            "--fault-plan",
+            plan.to_str().expect("utf-8 path"),
+            "--check-invariants",
+            "--metrics",
+            json.to_str().expect("utf-8 path"),
+        ]);
+        if let Some(p) = parallel {
+            cmd.args(["--parallel", p]);
+        }
+        let out = cmd.output().expect("spawn wsc_sim");
+        assert!(
+            out.status.success(),
+            "{tag} run failed (status {:?}): {}",
+            out.status.code(),
+            stderr(&out)
+        );
+        json
+    };
+    let serial = run("serial", None);
+    let parallel = run("parallel", Some("2"));
+    let a = std::fs::read(serial).expect("serial metrics");
+    let b = std::fs::read(parallel).expect("parallel metrics");
+    assert_eq!(a, b, "serial and parallel metric scrapes must be byte-identical under faults");
+}

@@ -2,7 +2,9 @@
 //! studies (§4), returning the measurements the figures plot.
 
 use crate::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+use crate::fault::FaultPlan;
 use crate::observe::DropAccounting;
+use diablo_apps::failure::FailureStats;
 use diablo_apps::incast::{
     shared, IncastEpollClient, IncastMaster, IncastServer, IncastWorker, INCAST_PORT,
 };
@@ -106,6 +108,12 @@ pub struct IncastConfig {
     /// When set, scrape the whole cluster at this simulated-time cadence
     /// into the result's time series.
     pub sample_every: Option<SimDuration>,
+    /// Scripted fault schedule injected before the run starts.
+    pub faults: Option<FaultPlan>,
+    /// Per-request deadline for the epoll client (reconnect + retry on
+    /// expiry). Ignored by the pthread client, which relies on the TCP
+    /// retransmission timeout surfacing `ETIMEDOUT`.
+    pub request_deadline: Option<SimDuration>,
 }
 
 impl IncastConfig {
@@ -125,6 +133,8 @@ impl IncastConfig {
             mode: RunMode::Serial,
             seed: 0x0001_ca57,
             sample_every: None,
+            faults: None,
+            request_deadline: None,
         }
     }
 
@@ -153,6 +163,9 @@ pub struct IncastResult {
     pub series: Option<SeriesRecorder>,
     /// Frame-conservation audit at end of run.
     pub conservation: DropAccounting,
+    /// Client-side failure/recovery report, merged over all client
+    /// threads (all zeros in a fault-free run).
+    pub failure: FailureStats,
 }
 
 /// Runs one incast configuration to completion.
@@ -174,6 +187,9 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
         spec.tor = sw;
     }
     let (mut host, cluster) = Cluster::instantiate(&spec, cfg.mode);
+    if let Some(plan) = &cfg.faults {
+        plan.apply(&mut host, &cluster).expect("fault plan failed to apply");
+    }
 
     let client_addr = NodeAddr(0);
     let servers: Vec<SockAddr> =
@@ -199,11 +215,11 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
             }
         }
         IncastClientKind::Epoll => {
-            cluster.spawn(
-                &mut host,
-                client_addr,
-                Box::new(IncastEpollClient::new(servers.clone(), fragment, cfg.iterations)),
-            );
+            let mut client = IncastEpollClient::new(servers.clone(), fragment, cfg.iterations);
+            if let Some(d) = cfg.request_deadline {
+                client = client.with_deadline(d);
+            }
+            cluster.spawn(&mut host, client_addr, Box::new(client));
         }
     }
 
@@ -238,6 +254,21 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
         horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
     };
     assert!(done, "incast did not finish within {budget} ({} servers)", cfg.servers);
+    let mut failure = FailureStats::default();
+    match cfg.client {
+        IncastClientKind::Pthread => {
+            for tid in 1..=n {
+                let w: &IncastWorker =
+                    cluster.process(&host, client_addr, Tid(tid as u32)).expect("worker missing");
+                failure.merge(&w.failure);
+            }
+        }
+        IncastClientKind::Epoll => {
+            let c: &IncastEpollClient =
+                cluster.process(&host, client_addr, Tid(0)).expect("client missing");
+            failure.merge(&c.failure);
+        }
+    }
     let conservation = settle(&mut host, &cluster);
     debug_assert!(
         conservation.is_balanced(),
@@ -253,6 +284,7 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
         metrics: cluster.scrape(&host),
         series,
         conservation,
+        failure,
     }
 }
 
@@ -288,6 +320,9 @@ pub struct McExperimentConfig {
     pub request_work: u64,
     /// TCP clients re-open a server connection after this many uses.
     pub reconnect_every: Option<u64>,
+    /// TCP clients treat a reply slower than this as a broken connection
+    /// (reconnect + retry).
+    pub request_deadline: Option<SimDuration>,
     /// Execution mode.
     pub mode: RunMode,
     /// Seed.
@@ -295,6 +330,8 @@ pub struct McExperimentConfig {
     /// When set, scrape the whole cluster at this simulated-time cadence
     /// into the result's time series.
     pub sample_every: Option<SimDuration>,
+    /// Scripted fault schedule injected before the run starts.
+    pub faults: Option<FaultPlan>,
 }
 
 impl McExperimentConfig {
@@ -314,9 +351,11 @@ impl McExperimentConfig {
             extra_switch_latency: SimDuration::ZERO,
             request_work: 2_500,
             reconnect_every: None,
+            request_deadline: None,
             mode: RunMode::Serial,
             seed: 0x9eca_c4ed,
             sample_every: None,
+            faults: None,
         }
     }
 
@@ -366,6 +405,9 @@ pub struct McExperimentResult {
     pub series: Option<SeriesRecorder>,
     /// Frame-conservation audit at end of run.
     pub conservation: DropAccounting,
+    /// Client-side failure/recovery report, merged over all clients (all
+    /// zeros in a fault-free run).
+    pub failure: FailureStats,
 }
 
 /// Runs one memcached experiment to completion.
@@ -386,6 +428,9 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
     spec.seed = cfg.seed;
     spec = spec.with_extra_switch_latency(cfg.extra_switch_latency);
     let (mut host, cluster) = Cluster::instantiate(&spec, cfg.mode);
+    if let Some(plan) = &cfg.faults {
+        plan.apply(&mut host, &cluster).expect("fault plan failed to apply");
+    }
     let topo = cluster.topo.clone();
     let root_rng = DetRng::new(cfg.seed);
 
@@ -429,6 +474,7 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
             // thundering herd at t=0.
             ccfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
             ccfg.reconnect_every = cfg.reconnect_every;
+            ccfg.request_deadline = cfg.request_deadline;
             let topo2 = topo.clone();
             ccfg.classify =
                 Some(Arc::new(move |server: NodeAddr| match topo2.hop_class(addr, server) {
@@ -466,6 +512,7 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
     let mut failures = 0;
     let mut udp_retries = 0;
     let mut completed_at = SimTime::ZERO;
+    let mut failure = FailureStats::default();
     for &a in &client_addrs {
         let c: &McClient = cluster.process(&host, a, Tid(0)).expect("client missing");
         latency.merge(&c.latency);
@@ -474,6 +521,7 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
         }
         failures += c.failures;
         udp_retries += c.udp_retries;
+        failure.merge(&c.failure);
         completed_at = completed_at.max(c.finished_at);
     }
     let served = shareds.iter().map(|s| s.lock().expect("poisoned").served).sum();
@@ -497,6 +545,7 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
         metrics: cluster.scrape(&host),
         series,
         conservation,
+        failure,
     }
 }
 

@@ -1,0 +1,460 @@
+//! Deterministic fault schedules: scripted link flaps, switch outages, and
+//! node crash/reboot cycles injected into a running cluster.
+//!
+//! A [`FaultPlan`] is a time-ordered list of fault directives parsed from a
+//! small text format (one event per line) or built programmatically. Every
+//! directive is delivered through the engine's external-event path as an
+//! ordinary timer whose integer key encodes the whole fault
+//! ([`NodeFault::timer_key`], [`SwitchFault::timer_key`]), so a plan applied
+//! to a serial run and to a partition-parallel run of the same cluster
+//! produces bit-identical results — fault events respect the quantum
+//! protocol like any other event.
+//!
+//! # Plan format
+//!
+//! ```text
+//! # down the uplink of node 3 at 500 ms, restore it at 1 s
+//! 500ms  link-down  node3
+//! 1s     link-up    node3
+//! # halve node 2's uplink bandwidth with 1% loss
+//! 750ms  link-degraded node2 bandwidth=0.5 loss=0.01
+//! # power-cycle a whole rack switch
+//! 2s     switch-down tor0
+//! 2500ms switch-up   tor0
+//! # crash node 4 and bring it back half a second later
+//! 1200ms node-crash  node4 reboot=500ms
+//! ```
+//!
+//! Times accept `ns`, `us`, `ms`, and `s` suffixes. `#` starts a comment.
+//! Node targets are `node<N>` (global node index); switch targets are
+//! `tor<rack>`, `array<array>`, or `datacenter`.
+//!
+//! Node link faults are symmetric: the directive lands both on the node's
+//! kernel (NIC carrier/degrade) and on the node-facing port of its ToR, so
+//! traffic dies in both directions the way a yanked cable kills both pairs.
+
+use crate::cluster::{Cluster, SimHost};
+use diablo_engine::parallel::ComponentHost;
+use diablo_engine::time::{SimDuration, SimTime};
+use diablo_net::link::fp20_encode;
+use diablo_net::switch::SwitchFault;
+use diablo_net::topology::SwitchLevel;
+use diablo_net::NodeAddr;
+use diablo_stack::kernel::NodeFault;
+use std::collections::HashMap;
+
+/// What a scheduled fault does to its target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Node uplink loses carrier in both directions.
+    LinkDown,
+    /// Node uplink restored to its base parameters.
+    LinkUp,
+    /// Node uplink stays up but degraded in both directions.
+    LinkDegraded {
+        /// Bandwidth scale factor in `(0, 1]`.
+        bandwidth_factor: f64,
+        /// Frame-loss probability in `[0, 1]`.
+        loss_rate: f64,
+    },
+    /// Power the target switch off (buffered frames flushed to the fault
+    /// drop counter; arriving frames drop).
+    SwitchDown,
+    /// Power the target switch back on.
+    SwitchUp,
+    /// Kernel panic: sockets, connections, timers, and processes die and
+    /// the NIC loses carrier until reboot.
+    NodeCrash {
+        /// When set, schedule the reboot this long after the crash.
+        reboot_after: Option<SimDuration>,
+    },
+    /// Restart a crashed node (processes supporting
+    /// [`reset`](diablo_stack::process::Process::reset) start over).
+    NodeReboot,
+}
+
+/// Which component a fault hits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A server node, by global node index.
+    Node(NodeAddr),
+    /// A switch, by schedule name (`tor<rack>`, `array<array>`,
+    /// `datacenter`).
+    Switch(String),
+}
+
+impl core::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultTarget::Node(n) => write!(f, "node{}", n.0),
+            FaultTarget::Switch(s) => f.write_str(s),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEventSpec {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// The component it hits.
+    pub target: FaultTarget,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+/// Why a plan failed to parse or apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A line of the plan text did not parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A switch target named no switch in the cluster's topology.
+    UnknownSwitch(String),
+    /// A node target outside the cluster's node range.
+    NodeOutOfRange(NodeAddr),
+    /// The fault kind cannot apply to the target (e.g. `switch-down` on a
+    /// node).
+    BadTarget(String),
+}
+
+impl core::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultPlanError::Parse { line, msg } => write!(f, "fault plan line {line}: {msg}"),
+            FaultPlanError::UnknownSwitch(s) => write!(f, "fault plan: unknown switch `{s}`"),
+            FaultPlanError::NodeOutOfRange(n) => {
+                write!(f, "fault plan: node{} is outside the cluster", n.0)
+            }
+            FaultPlanError::BadTarget(msg) => write!(f, "fault plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A deterministic, time-scripted schedule of fault injections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults, in file order (ties at one instant fire in
+    /// this order).
+    pub events: Vec<FaultEventSpec>,
+}
+
+/// Parses `250ms`-style durations (suffixes `ns`, `us`, `ms`, `s`).
+fn parse_duration(tok: &str) -> Result<SimDuration, String> {
+    // Longest suffixes first: `s` terminates all of them.
+    let (num, scale_ns) = if let Some(n) = tok.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = tok.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = tok.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = tok.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        return Err(format!("duration `{tok}` needs a ns/us/ms/s suffix"));
+    };
+    let v: f64 = num.parse().map_err(|_| format!("bad duration value `{num}`"))?;
+    if v < 0.0 || !v.is_finite() {
+        return Err(format!("duration `{tok}` must be finite and non-negative"));
+    }
+    Ok(SimDuration::from_nanos((v * scale_ns).round() as u64))
+}
+
+fn parse_fraction(key: &str, val: &str) -> Result<f64, String> {
+    let v: f64 = val.parse().map_err(|_| format!("bad {key} value `{val}`"))?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(format!("{key} {v} outside [0, 1]"));
+    }
+    Ok(v)
+}
+
+fn parse_target(tok: &str) -> FaultTarget {
+    if let Some(n) = tok.strip_prefix("node") {
+        if let Ok(idx) = n.parse::<u32>() {
+            return FaultTarget::Node(NodeAddr(idx));
+        }
+    }
+    FaultTarget::Switch(tok.to_string())
+}
+
+impl FaultPlan {
+    /// Parses the one-event-per-line plan format (see the module docs).
+    pub fn parse(text: &str) -> Result<Self, FaultPlanError> {
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let err = |msg: String| FaultPlanError::Parse { line, msg };
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let mut toks = body.split_whitespace();
+            let at_tok = toks.next().expect("non-empty line has a first token");
+            let at = SimTime::ZERO + parse_duration(at_tok).map_err(err)?;
+            let op = toks.next().ok_or_else(|| err("missing fault op".into()))?;
+            let target_tok = toks.next().ok_or_else(|| err("missing fault target".into()))?;
+            let target = parse_target(target_tok);
+
+            let mut kv: HashMap<&str, &str> = HashMap::new();
+            for tok in toks {
+                let (k, v) = tok
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("expected key=value, got `{tok}`")))?;
+                kv.insert(k, v);
+            }
+            let mut take = |k: &str| kv.remove(k);
+
+            let kind = match op {
+                "link-down" => FaultKind::LinkDown,
+                "link-up" => FaultKind::LinkUp,
+                "link-degraded" => {
+                    let bandwidth_factor = match take("bandwidth") {
+                        Some(v) => parse_fraction("bandwidth", v).map_err(err)?,
+                        None => 1.0,
+                    };
+                    let loss_rate = match take("loss") {
+                        Some(v) => parse_fraction("loss", v).map_err(err)?,
+                        None => 0.0,
+                    };
+                    if bandwidth_factor <= 0.0 {
+                        return Err(err("bandwidth factor must be > 0".into()));
+                    }
+                    FaultKind::LinkDegraded { bandwidth_factor, loss_rate }
+                }
+                "switch-down" => FaultKind::SwitchDown,
+                "switch-up" => FaultKind::SwitchUp,
+                "node-crash" => {
+                    let reboot_after = match take("reboot") {
+                        Some(v) => Some(parse_duration(v).map_err(err)?),
+                        None => None,
+                    };
+                    FaultKind::NodeCrash { reboot_after }
+                }
+                "node-reboot" => FaultKind::NodeReboot,
+                other => return Err(err(format!("unknown fault op `{other}`"))),
+            };
+            if let Some(k) = kv.keys().next() {
+                return Err(err(format!("unexpected argument `{k}` for `{op}`")));
+            }
+
+            // Target/kind compatibility is checkable right here: node ops
+            // need node targets and switch ops need switch targets.
+            let node_op = !matches!(kind, FaultKind::SwitchDown | FaultKind::SwitchUp);
+            match (&target, node_op) {
+                (FaultTarget::Node(_), true) | (FaultTarget::Switch(_), false) => {}
+                (FaultTarget::Switch(_), true) => {
+                    return Err(err(format!("`{op}` needs a node target, got `{target_tok}`")));
+                }
+                (FaultTarget::Node(_), false) => {
+                    return Err(err(format!("`{op}` needs a switch target, got `{target_tok}`")));
+                }
+            }
+
+            events.push(FaultEventSpec { at, target, kind });
+        }
+        Ok(FaultPlan { events })
+    }
+
+    /// The latest instant at which this plan fires anything (including
+    /// scheduled reboots). `SimTime::ZERO` for an empty plan.
+    pub fn horizon(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::NodeCrash { reboot_after: Some(d) } => e.at + d,
+                _ => e.at,
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Injects every scheduled fault into `host` as external timer events.
+    ///
+    /// Call once, after [`Cluster::instantiate`] and before running; every
+    /// event time must be at or after the host's current time. Node link
+    /// faults land symmetrically on the node's kernel and on the
+    /// node-facing ToR port; `node-crash reboot=<d>` also schedules the
+    /// matching reboot injection.
+    pub fn apply(&self, host: &mut SimHost, cluster: &Cluster) -> Result<(), FaultPlanError> {
+        // Schedule-name → topology switch index (`tor0`, `array1`, ...).
+        let mut switch_names: HashMap<String, usize> = HashMap::new();
+        for s in 0..cluster.switches.len() {
+            let name = match cluster.topo.switch_level(s) {
+                SwitchLevel::Tor { rack } => format!("tor{rack}"),
+                SwitchLevel::Array { array } => format!("array{array}"),
+                SwitchLevel::Datacenter => "datacenter".to_string(),
+            };
+            switch_names.insert(name, s);
+        }
+
+        for ev in &self.events {
+            match (&ev.target, ev.kind) {
+                (FaultTarget::Node(addr), kind) => {
+                    let node_id = *cluster
+                        .nodes
+                        .get(addr.index())
+                        .ok_or(FaultPlanError::NodeOutOfRange(*addr))?;
+                    let (tor, port) = cluster.topo.node_attachment(*addr);
+                    let tor_id = cluster.switches[tor];
+                    match kind {
+                        FaultKind::LinkDown => {
+                            host.inject_timer(ev.at, node_id, NodeFault::LinkDown.timer_key());
+                            host.inject_timer(
+                                ev.at,
+                                tor_id,
+                                SwitchFault::PortDown { port }.timer_key(),
+                            );
+                        }
+                        FaultKind::LinkUp => {
+                            host.inject_timer(ev.at, node_id, NodeFault::LinkUp.timer_key());
+                            host.inject_timer(
+                                ev.at,
+                                tor_id,
+                                SwitchFault::PortUp { port }.timer_key(),
+                            );
+                        }
+                        FaultKind::LinkDegraded { bandwidth_factor, loss_rate } => {
+                            let bw = fp20_encode(bandwidth_factor).max(1);
+                            let loss = fp20_encode(loss_rate);
+                            host.inject_timer(
+                                ev.at,
+                                node_id,
+                                NodeFault::LinkDegraded {
+                                    bandwidth_factor_fp20: bw,
+                                    loss_rate_fp20: loss,
+                                }
+                                .timer_key(),
+                            );
+                            host.inject_timer(
+                                ev.at,
+                                tor_id,
+                                SwitchFault::PortDegraded {
+                                    port,
+                                    bandwidth_factor_fp20: bw,
+                                    loss_rate_fp20: loss,
+                                }
+                                .timer_key(),
+                            );
+                        }
+                        FaultKind::NodeCrash { reboot_after } => {
+                            host.inject_timer(ev.at, node_id, NodeFault::Crash.timer_key());
+                            if let Some(d) = reboot_after {
+                                host.inject_timer(
+                                    ev.at + d,
+                                    node_id,
+                                    NodeFault::Reboot.timer_key(),
+                                );
+                            }
+                        }
+                        FaultKind::NodeReboot => {
+                            host.inject_timer(ev.at, node_id, NodeFault::Reboot.timer_key());
+                        }
+                        FaultKind::SwitchDown | FaultKind::SwitchUp => {
+                            return Err(FaultPlanError::BadTarget(format!(
+                                "{:?} cannot target node{}",
+                                ev.kind, addr.0
+                            )));
+                        }
+                    }
+                }
+                (FaultTarget::Switch(name), kind) => {
+                    let &idx = switch_names
+                        .get(name.as_str())
+                        .ok_or_else(|| FaultPlanError::UnknownSwitch(name.clone()))?;
+                    let sw_id = cluster.switches[idx];
+                    let fault = match kind {
+                        FaultKind::SwitchDown => SwitchFault::SwitchDown,
+                        FaultKind::SwitchUp => SwitchFault::SwitchUp,
+                        other => {
+                            return Err(FaultPlanError::BadTarget(format!(
+                                "{other:?} cannot target switch `{name}`"
+                            )));
+                        }
+                    };
+                    host.inject_timer(ev.at, sw_id, fault.timer_key());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let plan = FaultPlan::parse(
+            "# schedule\n\
+             500ms  link-down  node3\n\
+             1s     link-up    node3   # restore\n\
+             750ms  link-degraded node2 bandwidth=0.5 loss=0.01\n\
+             2s     switch-down tor0\n\
+             2500ms switch-up   tor0\n\
+             1200ms node-crash  node4 reboot=500ms\n\
+             \n\
+             4s     node-reboot node4\n",
+        )
+        .expect("plan parses");
+        assert_eq!(plan.events.len(), 7);
+        assert_eq!(plan.events[0].at, SimTime::from_millis(500));
+        assert_eq!(plan.events[0].target, FaultTarget::Node(NodeAddr(3)));
+        assert_eq!(plan.events[0].kind, FaultKind::LinkDown);
+        assert_eq!(
+            plan.events[2].kind,
+            FaultKind::LinkDegraded { bandwidth_factor: 0.5, loss_rate: 0.01 }
+        );
+        assert_eq!(plan.events[3].target, FaultTarget::Switch("tor0".into()));
+        assert_eq!(
+            plan.events[5].kind,
+            FaultKind::NodeCrash { reboot_after: Some(SimDuration::from_millis(500)) }
+        );
+        assert_eq!(plan.horizon(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, needle) in [
+            ("500 link-down node0", "suffix"),
+            ("500ms link-down", "missing fault target"),
+            ("500ms frobnicate node0", "unknown fault op"),
+            ("500ms link-down tor0", "needs a node target"),
+            ("500ms switch-down node0", "needs a switch target"),
+            ("500ms link-degraded node0 loss=1.5", "outside [0, 1]"),
+            ("500ms link-degraded node0 bandwidth=0", "must be > 0"),
+            ("500ms node-crash node0 bogus=1", "unexpected argument"),
+        ] {
+            let e = FaultPlan::parse(text).expect_err(text);
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "`{text}` gave `{msg}`, wanted `{needle}`");
+        }
+    }
+
+    #[test]
+    fn apply_validates_targets() {
+        use crate::cluster::{ClusterSpec, RunMode};
+        use diablo_net::topology::TopologyConfig;
+        let spec =
+            ClusterSpec::gbe(TopologyConfig { racks: 2, servers_per_rack: 2, racks_per_array: 2 });
+        let (mut host, cluster) = Cluster::instantiate(&spec, RunMode::Serial);
+        let bad_node = FaultPlan::parse("1ms link-down node99").unwrap();
+        assert_eq!(
+            bad_node.apply(&mut host, &cluster),
+            Err(FaultPlanError::NodeOutOfRange(NodeAddr(99)))
+        );
+        let bad_switch = FaultPlan::parse("1ms switch-down tor7").unwrap();
+        assert_eq!(
+            bad_switch.apply(&mut host, &cluster),
+            Err(FaultPlanError::UnknownSwitch("tor7".into()))
+        );
+        let good = FaultPlan::parse("1ms link-down node0\n2ms switch-down tor1").unwrap();
+        good.apply(&mut host, &cluster).expect("valid plan applies");
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod fault;
 pub mod observe;
 pub mod report;
 pub mod survey;
@@ -21,4 +22,5 @@ pub use experiments::{
     run_incast, run_memcached, IncastClientKind, IncastConfig, IncastResult, McExperimentConfig,
     McExperimentResult,
 };
+pub use fault::{FaultEventSpec, FaultKind, FaultPlan, FaultPlanError, FaultTarget};
 pub use observe::DropAccounting;

@@ -36,6 +36,10 @@ pub struct DropAccounting {
     pub node_tx_frames: u64,
     /// Frames lost to the egress loss draw at NICs.
     pub node_tx_loss: u64,
+    /// Frames NICs discarded before the wire because the link had no
+    /// carrier (fault injection); never serialized, so outside the wire
+    /// books.
+    pub node_tx_carrier_drops: u64,
     /// Frames switches received on node-facing ports.
     pub switch_rx_from_nodes: u64,
     /// Frames switches delivered onto switch→node wires.
@@ -44,6 +48,13 @@ pub struct DropAccounting {
     pub node_rx_frames: u64,
     /// Frames NICs dropped because the RX ring was full.
     pub node_rx_ring_drops: u64,
+    /// Frames that arrived at a NIC whose link had lost carrier (the
+    /// switch committed them to the wire before the fault hit).
+    pub node_rx_carrier_drops: u64,
+    /// Frames switches dropped to injected faults (buffer flushes on
+    /// port/switch down, arrivals at a powered-off switch, frames routed
+    /// onto carrier-less links).
+    pub switch_fault_drops: u64,
     /// Frames switches delivered onto inter-switch wires.
     pub inter_switch_tx: u64,
     /// Frames switches received on inter-switch ports.
@@ -142,11 +153,12 @@ impl Cluster {
     ///   received on node-facing ports (egress loss draws are excluded
     ///   from delivery counts on both device types);
     /// * switch→node: frames switches delivered toward nodes equal
-    ///   frames NICs accepted plus frames NICs ring-dropped;
+    ///   frames NICs accepted plus frames NICs ring-dropped plus frames
+    ///   dropped at carrier-less NICs (fault injection);
     /// * switch→switch: inter-switch deliveries equal inter-switch
     ///   receives;
-    /// * per switch: receives equal deliveries plus loss/buffer/route
-    ///   drops plus frames still buffered.
+    /// * per switch: receives equal deliveries plus loss/buffer/route/
+    ///   fault drops plus frames still buffered.
     ///
     /// Only meaningful at quiescence — a frame serialized onto a wire but
     /// not yet received is counted on neither side.
@@ -156,8 +168,10 @@ impl Cluster {
             let nic = host.component::<ServerNode>(id).expect("node vanished").kernel().nic_stats();
             acct.node_tx_frames += nic.tx_frames.get();
             acct.node_tx_loss += nic.tx_loss_drops.get();
+            acct.node_tx_carrier_drops += nic.tx_carrier_drops.get();
             acct.node_rx_frames += nic.rx_frames.get();
             acct.node_rx_ring_drops += nic.rx_ring_drops.get();
+            acct.node_rx_carrier_drops += nic.rx_carrier_drops.get();
         }
         for (s, &id) in self.switches.iter().enumerate() {
             let sw = host.component::<PacketSwitch>(id).expect("switch vanished");
@@ -166,8 +180,11 @@ impl Cluster {
             acct.frames_in_transit += in_transit;
             let rx = stats.rx_frames.get();
             let tx = stats.tx_frames.get();
-            let drops =
-                stats.drops_buffer.get() + stats.drops_error.get() + stats.drops_route.get();
+            acct.switch_fault_drops += stats.drops_fault.get();
+            let drops = stats.drops_buffer.get()
+                + stats.drops_error.get()
+                + stats.drops_route.get()
+                + stats.drops_fault.get();
             if rx != tx + drops + in_transit {
                 acct.violations.push(format!(
                     "switch {s}: rx {rx} != tx {tx} + drops {drops} + in-transit {in_transit}"
@@ -195,14 +212,17 @@ impl Cluster {
                 acct.node_tx_frames, acct.switch_rx_from_nodes
             ));
         }
-        if acct.switch_tx_to_nodes != acct.node_rx_frames + acct.node_rx_ring_drops {
+        let node_rx_accounted =
+            acct.node_rx_frames + acct.node_rx_ring_drops + acct.node_rx_carrier_drops;
+        if acct.switch_tx_to_nodes != node_rx_accounted {
             acct.violations.push(format!(
                 "switch→node: switches delivered {} frames but NICs accounted {} (accepted {} + \
-                 ring drops {})",
+                 ring drops {} + carrier drops {})",
                 acct.switch_tx_to_nodes,
-                acct.node_rx_frames + acct.node_rx_ring_drops,
+                node_rx_accounted,
                 acct.node_rx_frames,
-                acct.node_rx_ring_drops
+                acct.node_rx_ring_drops,
+                acct.node_rx_carrier_drops
             ));
         }
         if acct.inter_switch_tx != acct.inter_switch_rx {

@@ -9,6 +9,79 @@
 use crate::payload::wire_bytes;
 use diablo_engine::event::{ComponentId, PortNo};
 use diablo_engine::time::{Bandwidth, SimDuration, SimTime};
+use std::fmt;
+
+/// Fixed-point scale for fractional fault parameters packed into integer
+/// timer keys: 20 fractional bits, so `FP20_ONE` encodes exactly 1.0.
+///
+/// Fault directives (degraded-link bandwidth factors and loss rates) travel
+/// through the engine as plain timer keys; encoding them as integers keeps
+/// the directive — and therefore the resulting link physics — bit-identical
+/// between serial and partition-parallel execution.
+pub const FP20_ONE: u64 = 1 << 20;
+
+/// Encodes a fraction in `[0, 1]` as 20-bit fixed point (round to nearest,
+/// saturating at [`FP20_ONE`]). Not meaningful for values outside `[0, 1]`.
+pub fn fp20_encode(x: f64) -> u64 {
+    ((x.max(0.0) * FP20_ONE as f64).round() as u64).min(FP20_ONE)
+}
+
+/// Decodes a 20-bit fixed-point fraction back to `f64` (clamped to `[0, 1]`).
+pub fn fp20_decode(fp: u64) -> f64 {
+    fp.min(FP20_ONE) as f64 / FP20_ONE as f64
+}
+
+/// Rejected [`LinkParams`] input: the loss rate was not a finite probability
+/// in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParamError {
+    /// The rejected loss-rate value.
+    pub loss_rate: f64,
+}
+
+impl fmt::Display for LinkParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loss rate {} is not a probability (expected a finite value in [0, 1])",
+            self.loss_rate
+        )
+    }
+}
+
+impl std::error::Error for LinkParamError {}
+
+/// Operational state of one link direction, driven by the fault schedule.
+///
+/// Consulted at transmit time by the devices on either end of a link (the
+/// switch egress port and the NIC), never by the engine: a link that is
+/// `Down` or `Degraded` still exists topologically, so partition lookahead
+/// derived from the *base* parameters stays valid (degradation only scales
+/// bandwidth down, which lengthens — never shortens — delivery latency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkState {
+    /// Healthy: frames transmit with the base parameters.
+    Up,
+    /// No carrier: nothing transmits; frames offered to the link are dropped
+    /// and counted against the fault drop counters.
+    Down,
+    /// Soft-failed: bandwidth scaled by `bandwidth_factor` (in `(0, 1]`) and
+    /// the loss rate replaced, both carried as 20-bit fixed point so the
+    /// degraded physics are identical across execution modes.
+    Degraded {
+        /// fp20-encoded bandwidth scale factor, in `(0, FP20_ONE]`.
+        bandwidth_factor_fp20: u64,
+        /// fp20-encoded frame loss probability, in `[0, FP20_ONE]`.
+        loss_rate_fp20: u64,
+    },
+}
+
+impl LinkState {
+    /// `true` when the link carries frames at all (up or degraded).
+    pub fn has_carrier(&self) -> bool {
+        !matches!(self, LinkState::Down)
+    }
+}
 
 /// Physical parameters of one link direction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,8 +93,10 @@ pub struct LinkParams {
     /// Probability that a transmitted frame is corrupted and dropped by the
     /// receiver. The BEE3 prototype observed such soft errors "a few times
     /// per day" and protected links with checksums and retries (§3.4);
-    /// failure-injection experiments set this non-zero.
-    pub loss_rate: f64,
+    /// failure-injection experiments set this non-zero. Private so that
+    /// every write goes through [`LinkParams::try_with_loss_rate`]'s range
+    /// check; read it with [`LinkParams::loss_rate`].
+    loss_rate: f64,
 }
 
 impl LinkParams {
@@ -40,25 +115,60 @@ impl LinkParams {
         Self::new(Bandwidth::gbps(10), SimDuration::from_nanos(prop_ns))
     }
 
-    /// Builder-style setter for the frame loss rate.
+    /// Fallible builder-style setter for the frame loss rate: the single
+    /// validation choke point for loss rates. Rejects anything that is not
+    /// a finite probability in `[0, 1]`.
+    pub fn try_with_loss_rate(mut self, rate: f64) -> Result<Self, LinkParamError> {
+        if rate.is_finite() && (0.0..=1.0).contains(&rate) {
+            self.loss_rate = rate;
+            Ok(self)
+        } else {
+            Err(LinkParamError { loss_rate: rate })
+        }
+    }
+
+    /// Builder-style setter for the frame loss rate; panicking convenience
+    /// wrapper over [`LinkParams::try_with_loss_rate`] for static topology
+    /// construction with known-good constants.
     ///
     /// # Panics
     ///
-    /// Panics if `rate` is not within `[0, 1]`.
+    /// Panics if `rate` is not a finite probability in `[0, 1]`.
     #[must_use]
-    pub fn with_loss_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0,1]");
-        self.loss_rate = rate;
-        self
+    pub fn with_loss_rate(self, rate: f64) -> Self {
+        self.try_with_loss_rate(rate).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The frame loss probability. Always a finite value in `[0, 1]`: the
+    /// field is private and every write path goes through
+    /// [`LinkParams::try_with_loss_rate`].
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_rate
     }
 
     /// `true` when the loss rate is a finite probability in `[0, 1]`.
     ///
-    /// `loss_rate` is a public field, so the [`LinkParams::with_loss_rate`]
-    /// range assert is bypassable; drop-decision sites and topology
-    /// construction re-validate with this instead of trusting the builder.
+    /// Always true for params built through the public API (the field is
+    /// private and [`LinkParams::try_with_loss_rate`] is the only write
+    /// path); retained as a defense-in-depth check at drop-decision sites.
     pub fn loss_rate_is_valid(&self) -> bool {
         self.loss_rate.is_finite() && (0.0..=1.0).contains(&self.loss_rate)
+    }
+
+    /// Parameters of this link under a [`LinkState::Degraded`] fault:
+    /// bandwidth scaled by the fp20 factor (integer arithmetic, floored at
+    /// 1 bit/s) and the loss rate replaced by the fp20-decoded probability.
+    /// Propagation is unchanged. Both inputs are clamped to [`FP20_ONE`],
+    /// so the result can never exceed the base bandwidth — which keeps any
+    /// partition lookahead derived from the base parameters conservative.
+    pub fn degraded_fp20(&self, bandwidth_factor_fp20: u64, loss_rate_fp20: u64) -> Self {
+        let factor = bandwidth_factor_fp20.clamp(1, FP20_ONE);
+        let bits = ((self.bandwidth.bits_per_sec() as u128 * factor as u128) >> 20).max(1) as u64;
+        LinkParams {
+            bandwidth: Bandwidth::from_bps(bits),
+            propagation: self.propagation,
+            loss_rate: fp20_decode(loss_rate_fp20),
+        }
     }
 
     /// Serialization time of an IP packet of `ip_bytes` on this link.
@@ -221,21 +331,56 @@ mod tests {
     #[test]
     fn loss_rate_validation() {
         let p = LinkParams::gbe(0).with_loss_rate(0.25);
-        assert_eq!(p.loss_rate, 0.25);
+        assert_eq!(p.loss_rate(), 0.25);
         assert!(p.loss_rate_is_valid());
-        let mut bad = LinkParams::gbe(0);
-        bad.loss_rate = f64::NAN; // builder bypassed via the public field
-        assert!(!bad.loss_rate_is_valid());
-        bad.loss_rate = 1.5;
-        assert!(!bad.loss_rate_is_valid());
-        bad.loss_rate = -0.1;
-        assert!(!bad.loss_rate_is_valid());
+        // The fallible constructor is the single choke point: everything
+        // that is not a finite probability is rejected with the value.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.5, -0.1] {
+            let err = LinkParams::gbe(0).try_with_loss_rate(bad).unwrap_err();
+            if bad.is_finite() {
+                assert_eq!(err.loss_rate, bad);
+            }
+            assert!(err.to_string().contains("loss rate"), "{err}");
+        }
+        // Boundary values are accepted.
+        assert!(LinkParams::gbe(0).try_with_loss_rate(0.0).is_ok());
+        assert!(LinkParams::gbe(0).try_with_loss_rate(1.0).is_ok());
     }
 
     #[test]
     #[should_panic(expected = "loss rate")]
     fn invalid_loss_rate_panics() {
         let _ = LinkParams::gbe(0).with_loss_rate(1.5);
+    }
+
+    #[test]
+    fn fp20_roundtrip_and_degradation() {
+        assert_eq!(fp20_encode(1.0), FP20_ONE);
+        assert_eq!(fp20_encode(0.0), 0);
+        assert_eq!(fp20_decode(FP20_ONE), 1.0);
+        assert_eq!(fp20_decode(FP20_ONE * 2), 1.0, "decode clamps");
+        let half = fp20_encode(0.5);
+        assert_eq!(fp20_decode(half), 0.5);
+
+        let base = LinkParams::gbe(500);
+        let deg = base.degraded_fp20(half, fp20_encode(0.125));
+        assert_eq!(deg.bandwidth.bits_per_sec(), base.bandwidth.bits_per_sec() / 2);
+        assert_eq!(deg.propagation, base.propagation);
+        assert_eq!(deg.loss_rate(), 0.125);
+        assert!(deg.loss_rate_is_valid());
+        // Factor 1.0 leaves bandwidth untouched; factor 0 floors at 1 bps
+        // instead of panicking in Bandwidth::from_bps.
+        assert_eq!(base.degraded_fp20(FP20_ONE, 0).bandwidth, base.bandwidth);
+        // fp20 floor of 1e9 * (1/FP20_ONE): the factor clamps up to 1 ulp.
+        assert_eq!(base.degraded_fp20(0, 0).bandwidth.bits_per_sec(), 953);
+    }
+
+    #[test]
+    fn link_state_carrier() {
+        assert!(LinkState::Up.has_carrier());
+        assert!(!LinkState::Down.has_carrier());
+        assert!(LinkState::Degraded { bandwidth_factor_fp20: FP20_ONE, loss_rate_fp20: 0 }
+            .has_carrier());
     }
 
     #[test]

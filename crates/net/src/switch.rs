@@ -20,7 +20,7 @@
 //! mechanism behind TCP Incast collapse (§4.1).
 
 use crate::frame::Frame;
-use crate::link::{PortPeer, TxPort};
+use crate::link::{LinkParams, LinkState, PortPeer, TxPort, FP20_ONE};
 use diablo_engine::component::{Component, Ctx};
 use diablo_engine::event::{PortNo, TimerKey};
 use diablo_engine::metrics::{FlightRecord, FlightRing, Instrumented, MetricsVisitor};
@@ -132,6 +132,11 @@ pub struct SwitchStats {
     pub drops_error: Counter,
     /// Frames dropped because no valid output port existed.
     pub drops_route: Counter,
+    /// Frames dropped by an injected fault: flushed from buffers when a
+    /// port or the whole switch went down, or offered to a carrier-less
+    /// link. Part of the frame-conservation book, so `DropAccounting`
+    /// balances under every fault class.
+    pub drops_fault: Counter,
     /// High-water mark of total buffered bytes.
     pub max_buffered_bytes: u64,
     /// Per-output-port buffer-drop counts.
@@ -157,6 +162,103 @@ struct QueuedFrame {
 
 const KIND_FORWARD: u64 = 0;
 const KIND_DEPART: u64 = 1;
+const KIND_FAULT: u64 = 2;
+
+const FAULT_OP_PORT_DOWN: u64 = 0;
+const FAULT_OP_PORT_UP: u64 = 1;
+const FAULT_OP_PORT_DEGRADED: u64 = 2;
+const FAULT_OP_SWITCH_DOWN: u64 = 3;
+const FAULT_OP_SWITCH_UP: u64 = 4;
+
+/// Highest port number addressable by a fault timer key (12 bits).
+pub const FAULT_MAX_PORT: u16 = (1 << 12) - 1;
+
+/// A fault directive addressed to a switch.
+///
+/// Directives are delivered as ordinary timer events — the whole directive
+/// is packed into the integer [`TimerKey`] — so a scripted fault schedule
+/// injects them through the engine's normal external-event path and serial
+/// and partition-parallel runs stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchFault {
+    /// Take one output port's link down: buffered frames for that output
+    /// are flushed to [`SwitchStats::drops_fault`], and frames routed to it
+    /// while down are dropped there too.
+    PortDown {
+        /// The output port losing carrier.
+        port: u16,
+    },
+    /// Restore one output port's link to its base (healthy) parameters.
+    PortUp {
+        /// The output port regaining carrier.
+        port: u16,
+    },
+    /// Degrade one output port's link: bandwidth scaled and loss replaced,
+    /// both fp20 fixed point (see [`crate::link::fp20_encode`]).
+    PortDegraded {
+        /// The affected output port.
+        port: u16,
+        /// fp20 bandwidth scale factor in `(0, FP20_ONE]`.
+        bandwidth_factor_fp20: u64,
+        /// fp20 frame-loss probability in `[0, FP20_ONE]`.
+        loss_rate_fp20: u64,
+    },
+    /// Power the whole switch off: every buffered and in-pipeline frame is
+    /// flushed to [`SwitchStats::drops_fault`] and arriving frames drop.
+    SwitchDown,
+    /// Power the switch back on (per-port link states are preserved).
+    SwitchUp,
+}
+
+impl SwitchFault {
+    /// Encodes the directive as a switch timer key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port exceeds [`FAULT_MAX_PORT`] or an fp20 field
+    /// exceeds [`FP20_ONE`] (1.0).
+    pub fn timer_key(self) -> TimerKey {
+        let (op, port, bw, loss) = match self {
+            SwitchFault::PortDown { port } => (FAULT_OP_PORT_DOWN, port, 0, 0),
+            SwitchFault::PortUp { port } => (FAULT_OP_PORT_UP, port, 0, 0),
+            SwitchFault::PortDegraded { port, bandwidth_factor_fp20, loss_rate_fp20 } => {
+                (FAULT_OP_PORT_DEGRADED, port, bandwidth_factor_fp20, loss_rate_fp20)
+            }
+            SwitchFault::SwitchDown => (FAULT_OP_SWITCH_DOWN, 0, 0, 0),
+            SwitchFault::SwitchUp => (FAULT_OP_SWITCH_UP, 0, 0, 0),
+        };
+        assert!(port <= FAULT_MAX_PORT, "fault port {port} exceeds {FAULT_MAX_PORT}");
+        assert!(bw <= FP20_ONE && loss <= FP20_ONE, "fp20 fault field exceeds 1.0");
+        let payload = port as u64 | op << 12 | bw << 16 | loss << 37;
+        payload << 4 | KIND_FAULT
+    }
+
+    fn decode(payload: u64) -> SwitchFault {
+        let port = (payload & 0xFFF) as u16;
+        let bandwidth_factor_fp20 = (payload >> 16) & 0x1F_FFFF;
+        let loss_rate_fp20 = (payload >> 37) & 0x1F_FFFF;
+        match (payload >> 12) & 0xF {
+            FAULT_OP_PORT_DOWN => SwitchFault::PortDown { port },
+            FAULT_OP_PORT_UP => SwitchFault::PortUp { port },
+            FAULT_OP_PORT_DEGRADED => {
+                SwitchFault::PortDegraded { port, bandwidth_factor_fp20, loss_rate_fp20 }
+            }
+            FAULT_OP_SWITCH_DOWN => SwitchFault::SwitchDown,
+            FAULT_OP_SWITCH_UP => SwitchFault::SwitchUp,
+            other => panic!("unknown switch fault op {other}"),
+        }
+    }
+
+    fn trace_detail(self) -> &'static str {
+        match self {
+            SwitchFault::PortDown { .. } => "port_down",
+            SwitchFault::PortUp { .. } => "port_up",
+            SwitchFault::PortDegraded { .. } => "port_degraded",
+            SwitchFault::SwitchDown => "switch_down",
+            SwitchFault::SwitchUp => "switch_up",
+        }
+    }
+}
 
 /// The virtual-output-queue packet switch component.
 ///
@@ -179,6 +281,13 @@ pub struct PacketSwitch {
     depart_pending: Vec<bool>,
     in_flight: HashMap<u64, (u16, QueuedFrame)>,
     forward_seq: u64,
+    /// Healthy link parameters per wired port, captured at connect time so
+    /// `PortUp` can undo a degradation.
+    base_params: Vec<Option<LinkParams>>,
+    /// Fault-driven per-port link state (egress direction).
+    link_state: Vec<LinkState>,
+    /// Whole-switch power state (`SwitchDown`/`SwitchUp` faults).
+    switch_down: bool,
     rng: DetRng,
     trace: Option<FlightRing>,
     stats: SwitchStats,
@@ -204,6 +313,9 @@ impl PacketSwitch {
             depart_pending: vec![false; n],
             in_flight: HashMap::new(),
             forward_seq: 0,
+            base_params: vec![None; n],
+            link_state: vec![LinkState::Up; n],
+            switch_down: false,
             rng,
             trace: None,
             cfg,
@@ -215,17 +327,18 @@ impl PacketSwitch {
     /// # Panics
     ///
     /// Panics if `port` is out of range, or if the link's loss rate is not
-    /// a probability (the `LinkParams::loss_rate` field is public, so the
-    /// builder's range check is bypassable).
+    /// a probability (unreachable through the public `LinkParams` API,
+    /// which validates in `try_with_loss_rate`; kept as defense in depth).
     pub fn connect_port(&mut self, port: u16, peer: PortPeer) {
         assert!(
             peer.params.loss_rate_is_valid(),
             "port {port} loss_rate {} is not a probability",
-            peer.params.loss_rate
+            peer.params.loss_rate()
         );
         let slot =
             self.ports.get_mut(port as usize).unwrap_or_else(|| panic!("port {port} out of range"));
         *slot = Some(TxPort::new(peer));
+        self.base_params[port as usize] = Some(peer.params);
     }
 
     /// Starts recording enqueue/drop trace events into a bounded ring of
@@ -249,6 +362,16 @@ impl PacketSwitch {
     /// The switch configuration.
     pub fn config(&self) -> &SwitchConfig {
         &self.cfg
+    }
+
+    /// The fault-driven link state of one output port.
+    pub fn link_state(&self, port: u16) -> LinkState {
+        self.link_state[port as usize]
+    }
+
+    /// `true` while a `SwitchDown` fault is in effect.
+    pub fn is_down(&self) -> bool {
+        self.switch_down
     }
 
     /// Accumulated statistics.
@@ -284,9 +407,13 @@ impl PacketSwitch {
     }
 
     /// Starts transmitting the head of `out`'s queue if the port is not
-    /// already scheduled.
+    /// already scheduled. Consults the fault-driven link state: a down port
+    /// (or a powered-off switch) never transmits.
     fn kick(&mut self, out: u16, ctx: &mut Ctx<'_, Frame>) {
         let oi = out as usize;
+        if self.switch_down || !self.link_state[oi].has_carrier() {
+            return;
+        }
         if self.depart_pending[oi] {
             return;
         }
@@ -332,9 +459,9 @@ impl PacketSwitch {
         debug_assert!(
             peer.params.loss_rate_is_valid(),
             "port {out} loss_rate {} is not a probability",
-            peer.params.loss_rate
+            peer.params.loss_rate()
         );
-        if self.rng.chance(peer.params.loss_rate) {
+        if self.rng.chance(peer.params.loss_rate()) {
             self.stats.drops_error.incr();
             if let Some(tr) = &mut self.trace {
                 tr.push(FlightRecord {
@@ -383,6 +510,121 @@ impl PacketSwitch {
             });
         }
     }
+
+    fn drop_for_fault(&mut self, out: Option<u16>, now: SimTime, ip_bytes: u32) {
+        self.stats.drops_fault.incr();
+        if let Some(tr) = &mut self.trace {
+            tr.push(FlightRecord {
+                at: now,
+                kind: "sw_drop",
+                detail: "fault",
+                a: out.map_or(u64::MAX, u64::from),
+                b: ip_bytes as u64,
+            });
+        }
+    }
+
+    /// Flushes every frame buffered for output `out` to the fault drop
+    /// counter, releasing its buffer reservation.
+    fn flush_output(&mut self, out: u16, now: SimTime) {
+        let oi = out as usize;
+        for in_q in 0..self.cfg.ports as usize {
+            while let Some(qf) = self.voqs[oi][in_q].pop_front() {
+                let ip_bytes = qf.frame.packet.ip_bytes();
+                self.queued_frames[oi] -= 1;
+                self.release(out, ip_bytes);
+                self.drop_for_fault(Some(out), now, ip_bytes);
+            }
+        }
+    }
+
+    /// Flushes every frame crossing the processing pipeline to the fault
+    /// drop counter (in ascending sequence order, so the trace — not just
+    /// the counters — is deterministic).
+    fn flush_in_flight(&mut self, now: SimTime) {
+        let mut seqs: Vec<u64> = self.in_flight.keys().copied().collect();
+        seqs.sort_unstable();
+        for seq in seqs {
+            let (out, qf) = self.in_flight.remove(&seq).expect("sequence vanished");
+            let ip_bytes = qf.frame.packet.ip_bytes();
+            self.release(out, ip_bytes);
+            self.drop_for_fault(Some(out), now, ip_bytes);
+        }
+    }
+
+    /// Applies a fault directive. Normally reached through the `KIND_FAULT`
+    /// timer a fault schedule injected; public so tests and harnesses can
+    /// drive faults directly.
+    ///
+    /// Frames whose transmission already began keep their delivery: the
+    /// last bit was committed to the wire before the fault. Everything
+    /// still buffered or in the processing pipeline is flushed to
+    /// [`SwitchStats::drops_fault`].
+    pub fn apply_fault(&mut self, fault: SwitchFault, ctx: &mut Ctx<'_, Frame>) {
+        let now = ctx.now();
+        if let Some(tr) = &mut self.trace {
+            let port = match fault {
+                SwitchFault::PortDown { port }
+                | SwitchFault::PortUp { port }
+                | SwitchFault::PortDegraded { port, .. } => port as u64,
+                SwitchFault::SwitchDown | SwitchFault::SwitchUp => u64::MAX,
+            };
+            tr.push(FlightRecord {
+                at: now,
+                kind: "fault",
+                detail: fault.trace_detail(),
+                a: port,
+                b: 0,
+            });
+        }
+        match fault {
+            SwitchFault::PortDown { port } if (port as usize) < self.ports.len() => {
+                self.link_state[port as usize] = LinkState::Down;
+                self.flush_output(port, now);
+            }
+            SwitchFault::PortUp { port } if (port as usize) < self.ports.len() => {
+                self.link_state[port as usize] = LinkState::Up;
+                if let (Some(tx), Some(base)) =
+                    (self.ports[port as usize].as_mut(), self.base_params[port as usize])
+                {
+                    tx.peer.params = base;
+                }
+                self.kick(port, ctx);
+            }
+            SwitchFault::PortDegraded { port, bandwidth_factor_fp20, loss_rate_fp20 }
+                if (port as usize) < self.ports.len() =>
+            {
+                self.link_state[port as usize] =
+                    LinkState::Degraded { bandwidth_factor_fp20, loss_rate_fp20 };
+                if let (Some(tx), Some(base)) =
+                    (self.ports[port as usize].as_mut(), self.base_params[port as usize])
+                {
+                    tx.peer.params = base.degraded_fp20(bandwidth_factor_fp20, loss_rate_fp20);
+                }
+                // A degraded link still carries frames: resume if the port
+                // was previously down.
+                self.kick(port, ctx);
+            }
+            SwitchFault::SwitchDown => {
+                self.switch_down = true;
+                for out in 0..self.cfg.ports {
+                    self.flush_output(out, now);
+                }
+                self.flush_in_flight(now);
+            }
+            SwitchFault::SwitchUp => {
+                self.switch_down = false;
+                for out in 0..self.cfg.ports {
+                    self.kick(out, ctx);
+                }
+            }
+            // Out-of-range port: the directive addresses a port this switch
+            // does not have — ignore rather than corrupt state.
+            SwitchFault::PortDown { .. }
+            | SwitchFault::PortUp { .. }
+            | SwitchFault::PortDegraded { .. } => {}
+        }
+    }
 }
 
 impl Component<Frame> for PacketSwitch {
@@ -391,8 +633,17 @@ impl Component<Frame> for PacketSwitch {
         let payload = key >> 4;
         match kind {
             KIND_FORWARD => {
-                let (out, qf) =
-                    self.in_flight.remove(&payload).expect("forward timer without frame");
+                // A SwitchDown fault may have flushed the frame while it
+                // crossed the pipeline; its timer still fires.
+                let Some((out, qf)) = self.in_flight.remove(&payload) else {
+                    return;
+                };
+                if self.switch_down || !self.link_state[out as usize].has_carrier() {
+                    let ip_bytes = qf.frame.packet.ip_bytes();
+                    self.release(out, ip_bytes);
+                    self.drop_for_fault(Some(out), ctx.now(), ip_bytes);
+                    return;
+                }
                 self.voqs[out as usize][qf.in_port as usize].push_back(qf);
                 self.queued_frames[out as usize] += 1;
                 self.kick(out, ctx);
@@ -402,6 +653,7 @@ impl Component<Frame> for PacketSwitch {
                 self.depart_pending[out as usize] = false;
                 self.kick(out, ctx);
             }
+            KIND_FAULT => self.apply_fault(SwitchFault::decode(payload), ctx),
             other => panic!("unknown switch timer kind {other}"),
         }
     }
@@ -418,12 +670,24 @@ impl Component<Frame> for PacketSwitch {
             RoutingMode::Source => frame.route.port_at(frame.hop),
             RoutingMode::Table(t) => t.get(frame.packet.dst.index()).copied(),
         };
+        // A powered-off switch receives frames (the sender committed them
+        // to the wire and counted them) but forwards nothing: count the rx
+        // above, then drop, so both sides of the conservation book move.
+        if self.switch_down {
+            self.drop_for_fault(None, ctx.now(), ip_bytes);
+            return;
+        }
+
         let Some(out) = out else {
             self.drop_for_route(ctx.now(), ip_bytes);
             return;
         };
         if out >= self.cfg.ports || self.ports[out as usize].is_none() {
             self.drop_for_route(ctx.now(), ip_bytes);
+            return;
+        }
+        if !self.link_state[out as usize].has_carrier() {
+            self.drop_for_fault(Some(out), ctx.now(), ip_bytes);
             return;
         }
         if !self.admit(out, ip_bytes) {
@@ -480,6 +744,7 @@ impl Instrumented for PacketSwitch {
         v.counter("drops_buffer", self.stats.drops_buffer.get());
         v.counter("drops_error", self.stats.drops_error.get());
         v.counter("drops_route", self.stats.drops_route.get());
+        v.counter("drops_fault", self.stats.drops_fault.get());
         v.counter("max_buffered_bytes", self.stats.max_buffered_bytes);
         v.counter("frames_in_transit", self.frames_in_transit());
         v.gauge("buffered_bytes", self.total_buffered as f64);
@@ -636,12 +901,142 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a probability")]
-    fn connect_port_rejects_invalid_loss_rate() {
-        let mut sw = PacketSwitch::new(SwitchConfig::shallow_gbe("t", 2), DetRng::new(1));
-        let mut params = LinkParams::gbe(0);
-        params.loss_rate = 2.0; // bypass the builder's range assert
-        sw.connect_port(0, PortPeer { component: ComponentId(1), port: PortNo(0), params });
+    fn fault_key_roundtrip() {
+        use crate::link::fp20_encode;
+        for fault in [
+            SwitchFault::PortDown { port: 7 },
+            SwitchFault::PortUp { port: FAULT_MAX_PORT },
+            SwitchFault::PortDegraded {
+                port: 3,
+                bandwidth_factor_fp20: fp20_encode(0.5),
+                loss_rate_fp20: fp20_encode(1.0),
+            },
+            SwitchFault::SwitchDown,
+            SwitchFault::SwitchUp,
+        ] {
+            let key = fault.timer_key();
+            assert_eq!(key & 0xF, KIND_FAULT);
+            assert_eq!(SwitchFault::decode(key >> 4), fault, "roundtrip for {fault:?}");
+        }
+    }
+
+    #[test]
+    fn port_down_flushes_buffers_and_drops_arrivals_until_up() {
+        let cfg = SwitchConfig::shallow_gbe("t", 4);
+        let (mut sim, sw, sink) = build(cfg);
+        // Three frames: the first starts transmitting at 2 us (1 us forward
+        // latency), two stay buffered behind the 8.528 us serialization.
+        for _ in 0..3 {
+            sim.inject_message(SimTime::from_micros(1), sw, PortNo(0), udp_frame(1000, 1));
+        }
+        // Link drops at 3 us: the in-progress frame completes (its bits are
+        // committed), the two buffered frames flush to drops_fault.
+        sim.schedule_external_timer(
+            SimTime::from_micros(3),
+            sw,
+            SwitchFault::PortDown { port: 1 }.timer_key(),
+        );
+        // Frames routed to the dead port while it is down drop on arrival.
+        for _ in 0..2 {
+            sim.inject_message(SimTime::from_micros(5), sw, PortNo(0), udp_frame(1000, 1));
+        }
+        sim.schedule_external_timer(
+            SimTime::from_micros(20),
+            sw,
+            SwitchFault::PortUp { port: 1 }.timer_key(),
+        );
+        sim.inject_message(SimTime::from_micros(21), sw, PortNo(0), udp_frame(1000, 1));
+        sim.run().unwrap();
+
+        let delivered = sim.component::<Sink>(sink).unwrap().got.len();
+        let sw_ref = sim.component::<PacketSwitch>(sw).unwrap();
+        let stats = sw_ref.stats();
+        assert_eq!(delivered, 2, "one pre-fault frame and one post-recovery frame");
+        assert_eq!(stats.drops_fault.get(), 4);
+        assert_eq!(sw_ref.link_state(1), LinkState::Up);
+        assert_eq!(sw_ref.buffered_bytes(), 0);
+        assert_eq!(sw_ref.frames_in_transit(), 0);
+        // Conservation holds across the flap.
+        assert_eq!(
+            stats.rx_frames.get(),
+            stats.tx_frames.get()
+                + stats.drops_buffer.get()
+                + stats.drops_error.get()
+                + stats.drops_route.get()
+                + stats.drops_fault.get()
+        );
+    }
+
+    #[test]
+    fn switch_down_flushes_pipeline_and_rx_drops() {
+        let cfg = SwitchConfig::shallow_gbe("t", 4);
+        let (mut sim, sw, sink) = build(cfg);
+        // Three frames are crossing the 1 us processing pipeline when the
+        // switch powers off at 1.5 us: all flushed, their forward timers
+        // must then fire harmlessly.
+        for _ in 0..3 {
+            sim.inject_message(SimTime::from_micros(1), sw, PortNo(0), udp_frame(1000, 1));
+        }
+        sim.schedule_external_timer(
+            SimTime::from_micros(1) + SimDuration::from_nanos(500),
+            sw,
+            SwitchFault::SwitchDown.timer_key(),
+        );
+        // Arrivals while powered off are received (the sender committed
+        // them) but dropped.
+        sim.inject_message(SimTime::from_micros(3), sw, PortNo(0), udp_frame(1000, 1));
+        sim.schedule_external_timer(SimTime::from_micros(5), sw, SwitchFault::SwitchUp.timer_key());
+        sim.inject_message(SimTime::from_micros(6), sw, PortNo(0), udp_frame(1000, 1));
+        sim.run().unwrap();
+
+        let delivered = sim.component::<Sink>(sink).unwrap().got.len();
+        let sw_ref = sim.component::<PacketSwitch>(sw).unwrap();
+        let stats = sw_ref.stats();
+        assert_eq!(delivered, 1, "only the post-recovery frame");
+        assert_eq!(stats.rx_frames.get(), 5);
+        assert_eq!(stats.drops_fault.get(), 4);
+        assert!(!sw_ref.is_down());
+        assert_eq!(sw_ref.buffered_bytes(), 0);
+        assert_eq!(sw_ref.frames_in_transit(), 0);
+        assert_eq!(
+            stats.rx_frames.get(),
+            stats.tx_frames.get()
+                + stats.drops_buffer.get()
+                + stats.drops_error.get()
+                + stats.drops_route.get()
+                + stats.drops_fault.get()
+        );
+    }
+
+    #[test]
+    fn degraded_port_halves_bandwidth_then_recovers() {
+        use crate::link::fp20_encode;
+        let cfg = SwitchConfig::shallow_gbe("t", 4);
+        let (mut sim, sw, sink) = build(cfg);
+        sim.schedule_external_timer(
+            SimTime::ZERO,
+            sw,
+            SwitchFault::PortDegraded {
+                port: 1,
+                bandwidth_factor_fp20: fp20_encode(0.5),
+                loss_rate_fp20: 0,
+            }
+            .timer_key(),
+        );
+        // 1066 B wire at the degraded 500 Mbps: 17.056 us serialization.
+        sim.inject_message(SimTime::from_micros(10), sw, PortNo(0), udp_frame(1000, 1));
+        sim.schedule_external_timer(
+            SimTime::from_micros(40),
+            sw,
+            SwitchFault::PortUp { port: 1 }.timer_key(),
+        );
+        // Back at 1 Gbps: 8.528 us.
+        sim.inject_message(SimTime::from_micros(50), sw, PortNo(0), udp_frame(1000, 1));
+        sim.run().unwrap();
+        let got = &sim.component::<Sink>(sink).unwrap().got;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, SimTime::from_nanos(10_000 + 1_000 + 17_056));
+        assert_eq!(got[1].0, SimTime::from_nanos(50_000 + 1_000 + 8_528));
     }
 
     #[test]

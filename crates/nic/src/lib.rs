@@ -23,7 +23,7 @@
 
 use diablo_engine::metrics::{FlightRecord, FlightRing, Instrumented, MetricsVisitor};
 use diablo_engine::prelude::{Counter, DetRng, SimDuration, SimTime};
-use diablo_net::link::{PortPeer, TxPort};
+use diablo_net::link::{LinkParams, LinkState, PortPeer, TxPort};
 use diablo_net::Frame;
 use std::collections::VecDeque;
 
@@ -78,6 +78,12 @@ pub struct NicStats {
     pub tx_ring_rejects: Counter,
     /// Frames lost on the uplink wire (egress link loss draw).
     pub tx_loss_drops: Counter,
+    /// Frames dropped on the TX path because the uplink had no carrier
+    /// (link down or node crashed): swallowed at enqueue, drained from the
+    /// ring when carrier was lost, or discarded at transmission start.
+    pub tx_carrier_drops: Counter,
+    /// Frames arriving from the wire while the uplink had no carrier.
+    pub rx_carrier_drops: Counter,
     /// Interrupts asserted.
     pub interrupts: Counter,
     /// High-water mark of RX ring occupancy.
@@ -134,6 +140,11 @@ pub struct Nic {
     intr_masked: bool,
     intr_pending: bool,
     last_intr: Option<SimTime>,
+    /// Healthy uplink parameters, captured at construction so carrier
+    /// restoration can undo a degradation.
+    base_params: LinkParams,
+    /// Fault-driven uplink state.
+    link_state: LinkState,
     rng: DetRng,
     trace: Option<FlightRing>,
     stats: NicStats,
@@ -150,14 +161,14 @@ impl Nic {
     /// # Panics
     ///
     /// Panics if either ring size is zero, or if the uplink's loss rate is
-    /// not a probability (the `LinkParams::loss_rate` field is public, so
-    /// the builder's range check is bypassable).
+    /// not a probability (unreachable through the public `LinkParams` API,
+    /// which validates in `try_with_loss_rate`; kept as defense in depth).
     pub fn new(cfg: NicConfig, peer: PortPeer, rng: DetRng) -> Self {
         assert!(cfg.tx_ring > 0 && cfg.rx_ring > 0, "rings must be nonempty");
         assert!(
             peer.params.loss_rate_is_valid(),
             "uplink loss_rate {} is not a probability",
-            peer.params.loss_rate
+            peer.params.loss_rate()
         );
         Nic {
             cfg,
@@ -168,6 +179,8 @@ impl Nic {
             intr_masked: false,
             intr_pending: false,
             last_intr: None,
+            base_params: peer.params,
+            link_state: LinkState::Up,
             rng,
             trace: None,
             stats: NicStats::default(),
@@ -210,6 +223,59 @@ impl Nic {
         self.tx_port.peer
     }
 
+    // ------------------------------------------------------------ faults --
+
+    /// The fault-driven uplink state.
+    pub fn link_state(&self) -> LinkState {
+        self.link_state
+    }
+
+    /// `true` when the uplink has carrier (up or degraded).
+    pub fn carrier(&self) -> bool {
+        self.link_state.has_carrier()
+    }
+
+    /// Takes the uplink carrier down. Frames waiting in the TX ring cannot
+    /// leave a dead link: they are drained and counted as
+    /// [`NicStats::tx_carrier_drops`]. A transmission already on the wire
+    /// keeps its committed delivery and completion timer.
+    pub fn set_carrier_down(&mut self) {
+        self.link_state = LinkState::Down;
+        self.stats.tx_carrier_drops.add(self.tx_ring.len() as u64);
+        self.tx_ring.clear();
+    }
+
+    /// Restores the uplink to its base (healthy) parameters, clearing any
+    /// degradation.
+    pub fn set_carrier_up(&mut self) {
+        self.link_state = LinkState::Up;
+        self.tx_port.peer.params = self.base_params;
+    }
+
+    /// Degrades the uplink: bandwidth scaled by the fp20 factor and loss
+    /// rate replaced (see [`LinkParams::degraded_fp20`]). Restores carrier
+    /// if the link was down.
+    pub fn degrade_link_fp20(&mut self, bandwidth_factor_fp20: u64, loss_rate_fp20: u64) {
+        self.link_state = LinkState::Degraded { bandwidth_factor_fp20, loss_rate_fp20 };
+        self.tx_port.peer.params =
+            self.base_params.degraded_fp20(bandwidth_factor_fp20, loss_rate_fp20);
+    }
+
+    /// Resets the device as a node crash would: carrier drops (draining the
+    /// TX ring to the carrier-drop counter), the RX ring is lost, and the
+    /// interrupt state clears. Cumulative statistics survive — the
+    /// conservation book is about the network's history, not the device's
+    /// uptime. The host brings carrier back with
+    /// [`Nic::set_carrier_up`] on reboot.
+    pub fn reset_after_crash(&mut self) {
+        self.set_carrier_down();
+        self.rx_ring.clear();
+        self.tx_busy = false;
+        self.intr_masked = false;
+        self.intr_pending = false;
+        self.last_intr = None;
+    }
+
     // ---------------------------------------------------------------- TX --
 
     /// Driver posts a frame for transmission.
@@ -218,6 +284,14 @@ impl Nic {
     /// driver must back off and retry after a TX completion, which is how
     /// the OS queue discipline applies backpressure.
     pub fn tx_enqueue(&mut self, frame: Frame, now: SimTime, actions: &mut Vec<NicAction>) -> bool {
+        if !self.carrier() {
+            // Carrier-down semantics: the frame is accepted and silently
+            // dropped (counted), like an interface in NO-CARRIER — the
+            // stack must not spin retrying against a dead link.
+            self.stats.tx_carrier_drops.incr();
+            drop(frame);
+            return true;
+        }
         if self.tx_ring.len() >= self.cfg.tx_ring {
             self.stats.tx_ring_rejects.incr();
             return false;
@@ -230,6 +304,13 @@ impl Nic {
     }
 
     fn start_tx(&mut self, now: SimTime, actions: &mut Vec<NicAction>) {
+        if !self.carrier() {
+            // Carrier lost between completions: nothing can leave.
+            self.stats.tx_carrier_drops.add(self.tx_ring.len() as u64);
+            self.tx_ring.clear();
+            self.tx_busy = false;
+            return;
+        }
         let Some(frame) = self.tx_ring.pop_front() else {
             self.tx_busy = false;
             return;
@@ -240,7 +321,7 @@ impl Nic {
         if let Some(tr) = &mut self.trace {
             tr.push(FlightRecord::new(timing.start, "nic_dma_tx", wire as u64, 0));
         }
-        let loss = self.tx_port.peer.params.loss_rate;
+        let loss = self.tx_port.peer.params.loss_rate();
         debug_assert!(
             self.tx_port.peer.params.loss_rate_is_valid(),
             "uplink loss_rate {loss} is not a probability"
@@ -285,6 +366,13 @@ impl Nic {
         now: SimTime,
         actions: &mut Vec<NicAction>,
     ) -> RxOutcome {
+        if !self.carrier() {
+            // No carrier (link down or host crashed): the wire-committed
+            // frame arrives at a dead interface and is lost. Counted so
+            // the switch-to-node conservation book still balances.
+            self.stats.rx_carrier_drops.incr();
+            return RxOutcome::Dropped;
+        }
         if self.rx_ring.len() >= self.cfg.rx_ring {
             self.stats.rx_ring_drops.incr();
             return RxOutcome::Dropped;
@@ -353,8 +441,10 @@ impl Instrumented for Nic {
         v.counter("tx_frames", self.stats.tx_frames.get());
         v.counter("tx_loss_drops", self.stats.tx_loss_drops.get());
         v.counter("tx_ring_rejects", self.stats.tx_ring_rejects.get());
+        v.counter("tx_carrier_drops", self.stats.tx_carrier_drops.get());
         v.counter("rx_frames", self.stats.rx_frames.get());
         v.counter("rx_ring_drops", self.stats.rx_ring_drops.get());
+        v.counter("rx_carrier_drops", self.stats.rx_carrier_drops.get());
         v.counter("interrupts", self.stats.interrupts.get());
         v.counter("rx_ring_highwater", self.stats.rx_ring_highwater as u64);
         v.gauge("rx_queue_len", self.rx_ring.len() as f64);
@@ -483,12 +573,108 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a probability")]
-    fn invalid_loss_rate_rejected_at_construction() {
-        let mut params = LinkParams::gbe(500);
-        params.loss_rate = f64::NAN; // bypass the builder's range assert
-        let peer = PortPeer { component: ComponentId(1), port: PortNo(0), params };
-        let _ = Nic::new(NicConfig::default(), peer, DetRng::new(7));
+    fn invalid_loss_rate_rejected_by_constructor() {
+        // The raw-field write path is gone; the fallible constructor is
+        // the only way to set a loss rate, and it rejects bad input.
+        assert!(LinkParams::gbe(500).try_with_loss_rate(f64::NAN).is_err());
+        assert!(LinkParams::gbe(500).try_with_loss_rate(2.0).is_err());
+    }
+
+    #[test]
+    fn carrier_down_swallows_tx_and_drops_rx_until_up() {
+        use diablo_net::link::LinkState;
+        let mut n = nic(NicConfig::default());
+        let mut actions = Vec::new();
+        // Queue two frames: one goes into flight, one waits in the ring.
+        assert!(n.tx_enqueue(frame(1000), SimTime::ZERO, &mut actions));
+        assert!(n.tx_enqueue(frame(1000), SimTime::ZERO, &mut actions));
+        assert_eq!(send_times(&actions).len(), 1);
+        actions.clear();
+        // Carrier drops: the ring-resident frame is drained and counted.
+        n.set_carrier_down();
+        assert_eq!(n.link_state(), LinkState::Down);
+        assert_eq!(n.stats().tx_carrier_drops.get(), 1);
+        // Enqueues while down are accepted-and-dropped, not backpressured.
+        assert!(n.tx_enqueue(frame(1000), SimTime::from_micros(1), &mut actions));
+        assert_eq!(n.stats().tx_carrier_drops.get(), 2);
+        assert!(send_times(&actions).is_empty());
+        // RX while down is counted against the carrier-drop book.
+        assert_eq!(
+            n.rx_frame(frame(100), SimTime::from_micros(1), &mut actions),
+            RxOutcome::Dropped
+        );
+        assert_eq!(n.stats().rx_carrier_drops.get(), 1);
+        assert_eq!(n.stats().rx_frames.get(), 0);
+        // The in-flight frame's completion timer fires during the outage:
+        // nothing further starts, the engine goes idle.
+        actions.clear();
+        n.on_tx_done(SimTime::from_micros(11), &mut actions);
+        assert!(actions.is_empty());
+        // Recovery: TX and RX resume.
+        n.set_carrier_up();
+        assert!(n.tx_enqueue(frame(1000), SimTime::from_micros(50), &mut actions));
+        assert_eq!(send_times(&actions).len(), 1);
+        assert_eq!(
+            n.rx_frame(frame(100), SimTime::from_micros(50), &mut actions),
+            RxOutcome::Stored
+        );
+    }
+
+    #[test]
+    fn degraded_uplink_slows_tx_then_recovers() {
+        use diablo_net::link::fp20_encode;
+        let mut n = nic(NicConfig::default());
+        n.degrade_link_fp20(fp20_encode(0.5), 0);
+        let mut actions = Vec::new();
+        let t0 = SimTime::from_micros(100);
+        assert!(n.tx_enqueue(frame(1000), t0, &mut actions));
+        // 1066 B wire at the degraded 500 Mbps: 17.056 us, plus 1 us DMA
+        // and 500 ns propagation.
+        assert_eq!(send_times(&actions), vec![SimTime::from_nanos(100_000 + 1_000 + 17_056 + 500)]);
+        // Carrier-up restores the base 1 Gbps.
+        n.set_carrier_up();
+        let done = actions
+            .iter()
+            .find_map(|a| match a {
+                NicAction::SetTimer(t, k) if *k == keys::TX_DONE => Some(*t),
+                _ => None,
+            })
+            .unwrap();
+        actions.clear();
+        n.on_tx_done(done, &mut actions);
+        assert!(n.tx_enqueue(frame(1000), done, &mut actions));
+        assert_eq!(send_times(&actions), vec![done + SimDuration::from_nanos(1_000 + 8_528 + 500)]);
+    }
+
+    #[test]
+    fn crash_reset_clears_rings_and_interrupt_state() {
+        let mut n = nic(NicConfig::default());
+        let mut actions = Vec::new();
+        for _ in 0..3 {
+            n.rx_frame(frame(100), SimTime::ZERO, &mut actions);
+        }
+        assert!(n.on_rx_interrupt());
+        n.tx_enqueue(frame(1000), SimTime::ZERO, &mut actions);
+        n.tx_enqueue(frame(1000), SimTime::ZERO, &mut actions);
+        n.reset_after_crash();
+        assert!(!n.carrier());
+        assert_eq!(n.rx_queue_len(), 0);
+        assert_eq!(n.tx_free(), n.config().tx_ring);
+        // One frame was in flight (not in the ring); only the queued one
+        // counts as a carrier drop.
+        assert_eq!(n.stats().tx_carrier_drops.get(), 1);
+        // rx_frames already counted the stored frames, so conservation
+        // (switch tx == rx + ring drops + carrier drops) is unaffected by
+        // losing the ring contents.
+        assert_eq!(n.stats().rx_frames.get(), 3);
+        // After reboot the interrupt path starts fresh.
+        n.set_carrier_up();
+        actions.clear();
+        assert_eq!(
+            n.rx_frame(frame(100), SimTime::from_micros(5), &mut actions),
+            RxOutcome::Stored
+        );
+        assert!(actions.iter().any(|a| matches!(a, NicAction::SetTimer(_, keys::RX_INTR))));
     }
 
     #[test]

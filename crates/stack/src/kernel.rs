@@ -27,12 +27,12 @@
 use crate::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall, Tid};
 use crate::profile::KernelProfile;
 use crate::socket::{EventMask, SockId, Socket, SocketKind};
-use crate::tcp::{TcpConn, TcpOutput, TcpParams, TcpState};
+use crate::tcp::{TcpConn, TcpOutput, TcpParams, TcpState, TcpStats};
 use diablo_engine::metrics::{FlightRecord, Instrumented, MetricsVisitor, PrefixedVisitor};
 use diablo_engine::prelude::{Counter, DetRng, Frequency, SimDuration, SimTime};
 use diablo_net::addr::{NodeAddr, SockAddr};
 use diablo_net::frame::{Frame, Route};
-use diablo_net::link::PortPeer;
+use diablo_net::link::{PortPeer, FP20_ONE};
 use diablo_net::payload::{AppMessage, IpPacket, TcpFlags, TcpSegment, Transport, UdpDatagram};
 use diablo_nic::{Nic, NicAction, NicConfig};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -116,6 +116,8 @@ pub enum TraceKind {
     Wakeup(Tid),
     /// Scheduler switched to this thread.
     Switch(Tid),
+    /// A fault directive was applied (named like the [`NodeFault`] op).
+    Fault(&'static str),
 }
 
 /// Bounded kernel trace ring.
@@ -155,11 +157,19 @@ pub struct KernelStats {
     pub tcp_bad_segments: Counter,
     /// Frames dropped because the TX ring rejected them.
     pub tx_drops: Counter,
+    /// Node crashes applied.
+    pub crashes: Counter,
+    /// Node reboots applied.
+    pub reboots: Counter,
     /// Total time the CPU was busy.
     pub cpu_busy: SimDuration,
 }
 
-// Timer key classes (low 8 bits). Payload packing: class | a<<8 | b<<32.
+// Timer key classes (low 4 bits). Packing: class | epoch<<4 | a<<8 | b<<32.
+// The epoch nibble guards against timers armed before a node crash firing
+// into the rebooted kernel (stale CPU completions, RTOs, sleeps); fault
+// directives (`K_FAULT`) are stamped with epoch 0 and bypass the check so a
+// scheduled reboot still reaches a crashed node.
 const K_CPU_DONE: u64 = 0;
 const K_NIC_TX: u64 = 1;
 const K_NIC_RX_INTR: u64 = 2;
@@ -168,13 +178,98 @@ const K_TCP_DELACK: u64 = 4;
 const K_SLEEP: u64 = 5;
 const K_EPOLL_TO: u64 = 6;
 const K_LOOPBACK: u64 = 7;
+const K_FAULT: u64 = 8;
 
-fn key(class: u64, a: u32, b: u32) -> u64 {
-    class | ((a as u64 & 0xFF_FFFF) << 8) | ((b as u64) << 32)
+fn key_epoch(class: u64, epoch: u32, a: u32, b: u32) -> u64 {
+    class | ((epoch as u64 & 0xF) << 4) | ((a as u64 & 0xFF_FFFF) << 8) | ((b as u64) << 32)
 }
 
-fn unpack(k: u64) -> (u64, u32, u32) {
-    (k & 0xFF, ((k >> 8) & 0xFF_FFFF) as u32, (k >> 32) as u32)
+fn unpack(k: u64) -> (u64, u32, u32, u32) {
+    (k & 0xF, ((k >> 4) & 0xF) as u32, ((k >> 8) & 0xFF_FFFF) as u32, (k >> 32) as u32)
+}
+
+/// A scripted fault directive targeting one node, encodable as an ordinary
+/// kernel timer so injections ride the deterministic event path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The node's uplink loses carrier: every TX is dropped and counted,
+    /// every arriving frame is dropped at the NIC.
+    LinkDown,
+    /// Carrier restored at the base link parameters.
+    LinkUp,
+    /// The uplink stays up but runs at `bandwidth_factor_fp20/2^20` of its
+    /// base bandwidth with the given extra fp20 loss rate.
+    LinkDegraded {
+        /// fp20-encoded bandwidth factor in (0, 1].
+        bandwidth_factor_fp20: u64,
+        /// fp20-encoded loss probability in [0, 1].
+        loss_rate_fp20: u64,
+    },
+    /// Kernel panic: all sockets, connections, timers, and processes die;
+    /// the NIC loses carrier until reboot.
+    Crash,
+    /// Restart a crashed node: carrier returns and every process that
+    /// supports [`Process::reset`] is rescheduled from scratch.
+    Reboot,
+}
+
+const NFAULT_LINK_DOWN: u32 = 0;
+const NFAULT_LINK_UP: u32 = 1;
+const NFAULT_LINK_DEGRADED: u32 = 2;
+const NFAULT_CRASH: u32 = 3;
+const NFAULT_REBOOT: u32 = 4;
+
+impl NodeFault {
+    /// Encodes this directive as a kernel timer key; schedule it on the
+    /// owning node component to inject the fault.
+    pub fn timer_key(&self) -> u64 {
+        let (op, bw, loss) = match self {
+            NodeFault::LinkDown => (NFAULT_LINK_DOWN, FP20_ONE, 0),
+            NodeFault::LinkUp => (NFAULT_LINK_UP, FP20_ONE, 0),
+            NodeFault::LinkDegraded { bandwidth_factor_fp20, loss_rate_fp20 } => {
+                assert!(*loss_rate_fp20 <= FP20_ONE, "loss rate exceeds fp20 unity");
+                (NFAULT_LINK_DEGRADED, (*bandwidth_factor_fp20).clamp(1, FP20_ONE), *loss_rate_fp20)
+            }
+            NodeFault::Crash => (NFAULT_CRASH, FP20_ONE, 0),
+            NodeFault::Reboot => (NFAULT_REBOOT, FP20_ONE, 0),
+        };
+        // The bandwidth factor lives in (0, 1], so `bw - 1` fits the 20
+        // payload bits above the op nibble.
+        key_epoch(K_FAULT, 0, op | (((bw - 1) as u32) << 4), loss as u32)
+    }
+
+    fn decode(a: u32, b: u32) -> Self {
+        let bw = ((a >> 4) as u64) + 1;
+        match a & 0xF {
+            NFAULT_LINK_DOWN => NodeFault::LinkDown,
+            NFAULT_LINK_UP => NodeFault::LinkUp,
+            NFAULT_LINK_DEGRADED => {
+                NodeFault::LinkDegraded { bandwidth_factor_fp20: bw, loss_rate_fp20: b as u64 }
+            }
+            NFAULT_CRASH => NodeFault::Crash,
+            _ => NodeFault::Reboot,
+        }
+    }
+
+    fn trace_name(&self) -> &'static str {
+        match self {
+            NodeFault::LinkDown => "link_down",
+            NodeFault::LinkUp => "link_up",
+            NodeFault::LinkDegraded { .. } => "link_degraded",
+            NodeFault::Crash => "crash",
+            NodeFault::Reboot => "reboot",
+        }
+    }
+}
+
+fn fold_tcp_stats(agg: &mut TcpStats, s: TcpStats) {
+    agg.segs_in += s.segs_in;
+    agg.segs_out += s.segs_out;
+    agg.bytes_in += s.bytes_in;
+    agg.bytes_out += s.bytes_out;
+    agg.retransmits += s.retransmits;
+    agg.fast_retransmits += s.fast_retransmits;
+    agg.rtos += s.rtos;
 }
 
 /// How a runnable process resumes.
@@ -248,6 +343,16 @@ pub struct Kernel {
     /// paths without an env handle).
     now_cache: SimTime,
 
+    /// Crash epoch: bumped on every [`NodeFault::Crash`] and stamped into
+    /// timer keys so pre-crash timers are discarded on arrival. Wraps at
+    /// 16; a collision would need 16 crashes while one timer is in flight.
+    epoch: u32,
+    /// The node is down (crashed and not yet rebooted).
+    crashed: bool,
+    /// TCP counters of connections that no longer exist (torn down or lost
+    /// to a crash); the per-node aggregate is `tcp_agg` + live conns.
+    tcp_agg: TcpStats,
+
     stats: KernelStats,
 }
 
@@ -271,7 +376,17 @@ impl Instrumented for Kernel {
         v.counter("kernel.udp_rcv_drops", self.stats.udp_rcv_drops.get());
         v.counter("kernel.tcp_bad_segments", self.stats.tcp_bad_segments.get());
         v.counter("kernel.tx_drops", self.stats.tx_drops.get());
+        v.counter("kernel.crashes", self.stats.crashes.get());
+        v.counter("kernel.reboots", self.stats.reboots.get());
         v.counter("kernel.cpu_busy_ps", self.stats.cpu_busy.as_picos());
+        {
+            let tcp = self.tcp_stats();
+            v.counter("kernel.tcp.segs_in", tcp.segs_in);
+            v.counter("kernel.tcp.segs_out", tcp.segs_out);
+            v.counter("kernel.tcp.retransmits", tcp.retransmits);
+            v.counter("kernel.tcp.fast_retransmits", tcp.fast_retransmits);
+            v.counter("kernel.tcp.rtos", tcp.rtos);
+        }
         {
             let mut nested = PrefixedVisitor::new(v, "nic.");
             self.nic.visit_metrics(&mut nested);
@@ -294,6 +409,9 @@ impl Instrumented for Kernel {
                 TraceKind::Softirq(pkts) => FlightRecord::new(r.at, "softirq", pkts as u64, 0),
                 TraceKind::Wakeup(tid) => FlightRecord::new(r.at, "wakeup", tid.0 as u64, 0),
                 TraceKind::Switch(tid) => FlightRecord::new(r.at, "ctx_switch", tid.0 as u64, 0),
+                TraceKind::Fault(name) => {
+                    FlightRecord { at: r.at, kind: "fault", detail: name, a: 0, b: 0 }
+                }
             })
             .collect();
         out.extend(self.nic.flight_records());
@@ -332,8 +450,16 @@ impl Kernel {
             notify_rr: 0,
             trace: None,
             now_cache: SimTime::ZERO,
+            epoch: 0,
+            crashed: false,
+            tcp_agg: TcpStats::default(),
             stats: KernelStats::default(),
         }
+    }
+
+    /// Builds a timer key stamped with the current crash epoch.
+    fn key(&self, class: u64, a: u32, b: u32) -> u64 {
+        key_epoch(class, self.epoch, a, b)
     }
 
     /// This node's address.
@@ -354,6 +480,18 @@ impl Kernel {
     /// NIC statistics.
     pub fn nic_stats(&self) -> &diablo_nic::NicStats {
         self.nic.stats()
+    }
+
+    /// Node-wide TCP counters: dead connections (torn down or lost to a
+    /// crash) plus every live one.
+    pub fn tcp_stats(&self) -> TcpStats {
+        let mut tcp = self.tcp_agg;
+        for s in &self.sockets {
+            if let SocketKind::Tcp { conn, .. } = &s.kind {
+                fold_tcp_stats(&mut tcp, conn.stats());
+            }
+        }
+        tcp
     }
 
     /// Enables the bounded execution trace, keeping the most recent
@@ -424,7 +562,15 @@ impl Kernel {
     /// Handles a kernel timer.
     pub fn on_timer(&mut self, k: u64, env: &mut dyn KernelEnv) {
         self.now_cache = env.now();
-        let (class, a, b) = unpack(k);
+        let (class, epoch, a, b) = unpack(k);
+        if class == K_FAULT {
+            self.on_fault(NodeFault::decode(a, b), env);
+            self.maybe_dispatch(env);
+            return;
+        }
+        if epoch != (self.epoch & 0xF) {
+            return; // armed before a crash; the kernel that armed it is gone
+        }
         match class {
             K_CPU_DONE => self.on_cpu_done(env),
             K_NIC_TX => {
@@ -489,6 +635,100 @@ impl Kernel {
         self.maybe_dispatch(env);
     }
 
+    // ------------------------------------------------------------- faults
+
+    /// `true` while the node is crashed (awaiting reboot).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Applies one scripted fault directive.
+    pub fn on_fault(&mut self, fault: NodeFault, env: &mut dyn KernelEnv) {
+        self.trace_push(env.now(), TraceKind::Fault(fault.trace_name()));
+        match fault {
+            NodeFault::LinkDown => self.nic.set_carrier_down(),
+            NodeFault::LinkUp => {
+                // A crashed node's carrier stays down until reboot.
+                if !self.crashed {
+                    self.nic.set_carrier_up();
+                }
+            }
+            NodeFault::LinkDegraded { bandwidth_factor_fp20, loss_rate_fp20 } => {
+                if !self.crashed {
+                    self.nic.degrade_link_fp20(bandwidth_factor_fp20, loss_rate_fp20);
+                }
+            }
+            NodeFault::Crash => self.crash(),
+            NodeFault::Reboot => self.reboot(),
+        }
+    }
+
+    /// Kernel panic: every socket, connection, timer, and process dies.
+    /// Counters survive — the network history they describe happened even
+    /// if the node forgot it (this keeps `DropAccounting` balanced).
+    fn crash(&mut self) {
+        if self.crashed {
+            return;
+        }
+        self.crashed = true;
+        self.stats.crashes.incr();
+        // Stamp future timers with a new epoch so everything armed by the
+        // dying kernel is discarded on arrival.
+        self.epoch = self.epoch.wrapping_add(1);
+        for s in &self.sockets {
+            if let SocketKind::Tcp { conn, .. } = &s.kind {
+                fold_tcp_stats(&mut self.tcp_agg, conn.stats());
+            }
+        }
+        self.nic.reset_after_crash();
+        self.sockets.clear();
+        self.free_socks.clear();
+        self.conns.clear();
+        self.listeners.clear();
+        self.udp_ports.clear();
+        self.used_tcp_ports.clear();
+        self.next_ephemeral = 32768;
+        self.loopback.clear();
+        self.futexes.clear();
+        self.notify_rr = 0;
+        self.run_queue.clear();
+        self.current = None;
+        self.last_ran = None;
+        self.cpu_work = None;
+        self.softirq_pending = false;
+        for slot in &mut self.procs {
+            slot.state = ProcState::Exited;
+            slot.resume = Resume::Step;
+            slot.result = SysResult::Started;
+            slot.extra_cost = 0;
+            slot.slice_used = SimDuration::ZERO;
+            slot.wait_gen = slot.wait_gen.wrapping_add(1);
+            slot.timed_out = false;
+        }
+    }
+
+    /// Restarts a crashed node: carrier returns and every process that
+    /// supports [`Process::reset`] is scheduled from scratch.
+    fn reboot(&mut self) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        self.stats.reboots.incr();
+        self.nic.set_carrier_up();
+        for (i, slot) in self.procs.iter_mut().enumerate() {
+            if slot.process.reset() {
+                slot.state = ProcState::Runnable;
+                slot.resume = Resume::Step;
+                slot.result = SysResult::Started;
+                slot.extra_cost = 0;
+                slot.slice_used = SimDuration::ZERO;
+                slot.timed_out = false;
+                self.run_queue.push_back(Tid(i as u32));
+            }
+        }
+    }
+
     // ------------------------------------------------------- helper: gens
 
     /// Reconstructs a full generation from its low 32 bits by matching the
@@ -512,7 +752,7 @@ impl Kernel {
                         diablo_nic::keys::RX_INTR => K_NIC_RX_INTR,
                         other => panic!("unknown NIC sub-key {other}"),
                     };
-                    env.set_timer_at(at, key(class, 0, 0));
+                    env.set_timer_at(at, self.key(class, 0, 0));
                 }
                 NicAction::SendFrame(at, frame) => env.send_frame(at, frame),
             }
@@ -536,7 +776,7 @@ impl Kernel {
             CpuWork::Softirq { .. } => {}
         }
         self.cpu_work = Some(work);
-        env.set_timer_at(env.now() + dur, key(K_CPU_DONE, 0, 0));
+        env.set_timer_at(env.now() + dur, self.key(K_CPU_DONE, 0, 0));
     }
 
     fn maybe_dispatch(&mut self, env: &mut dyn KernelEnv) {
@@ -889,7 +1129,7 @@ impl Kernel {
         if pkt.dst == self.cfg.addr {
             let at = env.now() + self.cfg.loopback_delay;
             self.loopback.push_back((at, Frame::new(pkt, Route::empty())));
-            env.set_timer_at(at, key(K_LOOPBACK, 0, 0));
+            env.set_timer_at(at, self.key(K_LOOPBACK, 0, 0));
             return true;
         }
         let route = self.router.route(self.cfg.addr, pkt.dst);
@@ -1032,10 +1272,10 @@ impl Kernel {
             self.tx_packet(pkt, env);
         }
         if let Some(at) = out.arm_rto {
-            env.set_timer_at(at, key(K_TCP_RTO, sid, rto_gen as u32));
+            env.set_timer_at(at, self.key(K_TCP_RTO, sid, rto_gen as u32));
         }
         if let Some(at) = out.arm_delack {
-            env.set_timer_at(at, key(K_TCP_DELACK, sid, delack_gen as u32));
+            env.set_timer_at(at, self.key(K_TCP_DELACK, sid, delack_gen as u32));
         }
         if out.established {
             if embryo {
@@ -1079,7 +1319,10 @@ impl Kernel {
     /// (only when the application has already closed the descriptor).
     fn teardown_tcp(&mut self, sid: SockId) {
         let (local_port, remote) = match &self.sockets[sid as usize].kind {
-            SocketKind::Tcp { conn, .. } => (conn.local.port, conn.remote),
+            SocketKind::Tcp { conn, .. } => {
+                fold_tcp_stats(&mut self.tcp_agg, conn.stats());
+                (conn.local.port, conn.remote)
+            }
             _ => return,
         };
         self.conns.remove(&(local_port, remote));
@@ -1146,7 +1389,7 @@ impl Kernel {
                 ExecOutcome::Ready(SysResult::FutexVal(val))
             }
             Syscall::Nanosleep(d) => {
-                env.set_timer_at(env.now() + d, key(K_SLEEP, tid.0, 0));
+                env.set_timer_at(env.now() + d, self.key(K_SLEEP, tid.0, 0));
                 ExecOutcome::Block(Syscall::Nanosleep(d))
             }
             Syscall::Yield => {
@@ -1279,7 +1522,11 @@ impl Kernel {
             }
             SocketKind::Tcp { conn, .. } => match conn.state() {
                 TcpState::Established => ExecOutcome::Ready(SysResult::Done),
-                TcpState::Closed => ExecOutcome::Ready(SysResult::Err(Errno::ConnRefused)),
+                TcpState::Closed => ExecOutcome::Ready(SysResult::Err(if conn.timed_out() {
+                    Errno::TimedOut
+                } else {
+                    Errno::ConnRefused
+                })),
                 _ => {
                     if nonblocking {
                         ExecOutcome::Ready(SysResult::Err(Errno::WouldBlock))
@@ -1332,7 +1579,12 @@ impl Kernel {
                 }
             }
             Some((false, _, TcpState::Closed)) => {
-                ExecOutcome::Ready(SysResult::Err(Errno::ConnReset))
+                let timed_out = self.with_conn(sid, |c| c.timed_out()).unwrap_or(false);
+                ExecOutcome::Ready(SysResult::Err(if timed_out {
+                    Errno::TimedOut
+                } else {
+                    Errno::ConnReset
+                }))
             }
             Some((false, _, _)) => ExecOutcome::Ready(SysResult::Err(Errno::NotConnected)),
         }
@@ -1365,7 +1617,12 @@ impl Kernel {
                     self.procs[tid.0 as usize].extra_cost += self.cfg.profile.copy_cost(bytes);
                     ExecOutcome::Ready(SysResult::Messages { msgs, eof })
                 } else if state == TcpState::Closed {
-                    ExecOutcome::Ready(SysResult::Err(Errno::ConnReset))
+                    let timed_out = self.with_conn(sid, |c| c.timed_out()).unwrap_or(false);
+                    ExecOutcome::Ready(SysResult::Err(if timed_out {
+                        Errno::TimedOut
+                    } else {
+                        Errno::ConnReset
+                    }))
                 } else if nonblocking {
                     ExecOutcome::Ready(SysResult::Err(Errno::WouldBlock))
                 } else {
@@ -1507,7 +1764,7 @@ impl Kernel {
         }
         if let Some(t) = timeout {
             let gen = slot.wait_gen;
-            env.set_timer_at(env.now() + t, key(K_EPOLL_TO, tid.0, gen));
+            env.set_timer_at(env.now() + t, self.key(K_EPOLL_TO, tid.0, gen));
         }
         self.sockets[ep as usize].wait_readers.push(tid);
         ExecOutcome::Block(Syscall::EpollWait { epfd, max_events, timeout })

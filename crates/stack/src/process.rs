@@ -216,6 +216,8 @@ pub enum Errno {
     MessageTooBig,
     /// Invalid argument.
     Invalid,
+    /// Connection timed out (retransmission gave up).
+    TimedOut,
 }
 
 impl core::fmt::Display for Errno {
@@ -229,6 +231,7 @@ impl core::fmt::Display for Errno {
             Errno::NotConnected => "socket not connected",
             Errno::MessageTooBig => "message too long",
             Errno::Invalid => "invalid argument",
+            Errno::TimedOut => "connection timed out",
         };
         f.write_str(s)
     }
@@ -317,6 +320,15 @@ pub trait Process: Send + 'static {
     /// scraped by the kernel under this thread's `proc{tid}.` prefix.
     /// Default: no metrics.
     fn visit_metrics(&self, _v: &mut dyn diablo_engine::metrics::MetricsVisitor) {}
+
+    /// Restart the thread from its initial state after a node crash.
+    /// Returns `true` when the process supports being restarted (it will be
+    /// scheduled again from scratch on reboot); `false` leaves it dead.
+    /// Accumulated metrics should survive the reset — the run's history
+    /// happened even if the node forgot it.
+    fn reset(&mut self) -> bool {
+        false
+    }
 
     /// Upcast for post-run inspection.
     fn as_any(&self) -> &dyn std::any::Any;

@@ -67,6 +67,9 @@ pub struct KernelProfile {
     pub rto_initial: SimDuration,
     /// Maximum RTO backoff ceiling.
     pub rto_max: SimDuration,
+    /// Consecutive RTOs tolerated before the connection is aborted with a
+    /// timeout (Linux `tcp_retries2`).
+    pub tcp_retries: u32,
     /// Delayed-ACK timeout.
     pub delayed_ack: SimDuration,
     /// Default socket send buffer (bytes).
@@ -102,6 +105,7 @@ impl KernelProfile {
             rto_min: SimDuration::from_millis(200),
             rto_initial: SimDuration::from_secs(1),
             rto_max: SimDuration::from_secs(60),
+            tcp_retries: 15,
             delayed_ack: SimDuration::from_millis(40),
             sndbuf: 128 * 1024,
             rcvbuf: 128 * 1024,
@@ -131,6 +135,7 @@ impl KernelProfile {
             rto_min: SimDuration::from_millis(200),
             rto_initial: SimDuration::from_secs(1),
             rto_max: SimDuration::from_secs(60),
+            tcp_retries: 15,
             delayed_ack: SimDuration::from_millis(40),
             sndbuf: 128 * 1024,
             rcvbuf: 128 * 1024,
@@ -161,6 +166,7 @@ impl KernelProfile {
             rto_min: SimDuration::from_millis(200),
             rto_initial: SimDuration::from_secs(1),
             rto_max: SimDuration::from_secs(60),
+            tcp_retries: 15,
             delayed_ack: SimDuration::from_millis(40),
             sndbuf: 128 * 1024,
             rcvbuf: 128 * 1024,

@@ -42,6 +42,10 @@ pub struct TcpParams {
     pub rto_initial: SimDuration,
     /// RTO backoff ceiling.
     pub rto_max: SimDuration,
+    /// Consecutive RTOs tolerated before the connection is aborted with a
+    /// timeout (`tcp_retries2`); the next expiry closes the connection and
+    /// surfaces `ETIMEDOUT` instead of retrying forever.
+    pub max_rto_retries: u32,
     /// Delayed-ACK timeout.
     pub delayed_ack: SimDuration,
     /// Disable Nagle's algorithm (`TCP_NODELAY`; both modeled applications
@@ -60,6 +64,7 @@ impl TcpParams {
             rto_min: p.rto_min,
             rto_initial: p.rto_initial,
             rto_max: p.rto_max,
+            max_rto_retries: p.tcp_retries,
             delayed_ack: p.delayed_ack,
             nodelay: true,
         }
@@ -187,6 +192,11 @@ pub struct TcpConn {
     rtt_sample: Option<RttSample>,
     rto_gen: u64,
     rto_armed: bool,
+    /// RTO expirations since the last forward progress; past
+    /// `max_rto_retries` the connection is abandoned.
+    consecutive_rtos: u32,
+    /// The connection died of retransmission timeout (vs. peer reset).
+    timed_out: bool,
     /// When our SYN/SYN-ACK went out (seeds the RTT estimate from the
     /// handshake, as Linux does).
     handshake_sent: Option<SimTime>,
@@ -247,6 +257,8 @@ impl TcpConn {
             rtt_sample: None,
             rto_gen: 0,
             rto_armed: false,
+            consecutive_rtos: 0,
+            timed_out: false,
             handshake_sent: None,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
@@ -325,6 +337,12 @@ impl TcpConn {
     /// Current delayed-ACK-timer generation.
     pub fn delack_gen(&self) -> u64 {
         self.delack_gen
+    }
+
+    /// `true` once the connection was abandoned after `max_rto_retries`
+    /// consecutive retransmission timeouts (maps to `ETIMEDOUT`).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 
     /// Free send-buffer bytes.
@@ -446,6 +464,11 @@ impl TcpConn {
         self.stats.rtos += 1;
         // Karn: invalidate the RTT sample across retransmission.
         self.rtt_sample = None;
+        self.consecutive_rtos += 1;
+        if self.consecutive_rtos > self.params.max_rto_retries {
+            self.timeout_abort(out);
+            return;
+        }
         match self.state {
             TcpState::SynSent => {
                 let syn = self.make_segment(0, 0, TcpFlags::SYN, Vec::new());
@@ -480,6 +503,18 @@ impl TcpConn {
         // Exponential backoff.
         self.rto = (self.rto * 2).min(self.params.rto_max);
         self.arm_rto(now, out);
+    }
+
+    /// Abandons the connection after too many consecutive RTOs. The peer is
+    /// presumed unreachable, so no RST is emitted (there is nobody to hear
+    /// it); the application sees `ETIMEDOUT`.
+    fn timeout_abort(&mut self, out: &mut TcpOutput) {
+        self.state = TcpState::Closed;
+        self.timed_out = true;
+        self.disarm_rto();
+        out.closed = true;
+        out.readable = true;
+        out.writable = true;
     }
 
     /// Handles a delayed-ACK expiration stamped with generation `gen`.
@@ -518,6 +553,7 @@ impl TcpConn {
                     self.rcv_nxt = seg.seq_end();
                     self.rwnd = seg.wnd as u64;
                     self.state = TcpState::Established;
+                    self.consecutive_rtos = 0;
                     self.disarm_rto();
                     if let Some(at) = self.handshake_sent.take() {
                         self.update_rtt(now.saturating_duration_since(at));
@@ -532,6 +568,7 @@ impl TcpConn {
                     self.snd_una = 1;
                     self.rwnd = seg.wnd as u64;
                     self.state = TcpState::Established;
+                    self.consecutive_rtos = 0;
                     self.disarm_rto();
                     if let Some(at) = self.handshake_sent.take() {
                         self.update_rtt(now.saturating_duration_since(at));
@@ -569,6 +606,7 @@ impl TcpConn {
         if ack > self.snd_una {
             let _acked = ack - self.snd_una;
             self.snd_una = ack;
+            self.consecutive_rtos = 0;
             // After a go-back-N rewind the ack may cover data beyond
             // snd_nxt; skip re-sending what the receiver already has.
             self.snd_nxt = self.snd_nxt.max(ack);
@@ -1217,6 +1255,64 @@ mod tests {
         h.run(SimTime::from_secs(20));
         assert_eq!(h.received[B].len(), 1);
         assert!(h.conns[A].stats().rtos >= 3);
+    }
+
+    #[test]
+    fn sustained_loss_caps_rto_at_maximum() {
+        let params = TcpParams {
+            rto_max: SimDuration::from_secs(3),
+            max_rto_retries: 100,
+            ..TcpParams::default()
+        };
+        let mut h = Harness::new(params);
+        h.run(SimTime::from_millis(10));
+        assert!(h.established[A]);
+        // The link goes dark: every further transmission from A is lost.
+        h.drops[A] = (h.sent[A]..h.sent[A] + 10_000).collect();
+        h.send(A, msg(1, 2_000));
+        h.run(SimTime::from_secs(40));
+        let st = h.conns[A].stats();
+        // 200 ms, 400 ms, 800 ms, 1.6 s, then 3 s steady: doubling past the
+        // cap would produce far fewer firings in 40 s.
+        assert!(st.rtos >= 12, "expected steady capped firings, got {st:?}");
+        assert_eq!(h.conns[A].rto, SimDuration::from_secs(3), "backoff must cap at rto_max");
+        assert_eq!(h.conns[A].state(), TcpState::Established);
+        assert!(!h.conns[A].timed_out());
+    }
+
+    #[test]
+    fn sustained_loss_times_out_the_connection() {
+        let params = TcpParams { max_rto_retries: 4, ..TcpParams::default() };
+        let mut h = Harness::new(params);
+        h.run(SimTime::from_millis(10));
+        assert!(h.established[A]);
+        h.drops[A] = (h.sent[A]..h.sent[A] + 10_000).collect();
+        h.send(A, msg(1, 2_000));
+        h.run(SimTime::from_secs(120));
+        assert_eq!(h.conns[A].state(), TcpState::Closed);
+        assert!(h.conns[A].timed_out(), "abort must surface as a timeout, not a reset");
+        assert!(h.closed[A]);
+        let st = h.conns[A].stats();
+        assert_eq!(st.rtos, 5, "4 retries plus the firing that gives up: {st:?}");
+        assert_eq!(st.retransmits, 4, "the final firing must not retransmit: {st:?}");
+    }
+
+    #[test]
+    fn stats_stay_consistent_across_a_link_flap() {
+        let mut h = run_default();
+        // Flap: the path drops everything for ~500 ms, then heals.
+        h.drops[A] = (h.sent[A]..h.sent[A] + 10_000).collect();
+        h.send(A, msg(9, 30_000));
+        h.run(SimTime::from_millis(510));
+        h.drops[A].clear();
+        h.run(SimTime::from_secs(10));
+        assert_eq!(h.received[B].len(), 1, "message must survive the flap");
+        assert_eq!(h.received[B][0].id, 9);
+        let st = h.conns[A].stats();
+        assert!(st.rtos >= 1, "recovery must come through the RTO path: {st:?}");
+        assert!(st.retransmits >= st.rtos, "every RTO firing retransmits: {st:?}");
+        assert_eq!(h.conns[A].state(), TcpState::Established);
+        assert!(!h.conns[A].timed_out());
     }
 
     #[test]

@@ -110,6 +110,59 @@ fn memcached_conforms_across_partitionings() {
     }
 }
 
+/// Fault events travel the same external-event path as everything else,
+/// so a scripted link flap must leave the serial and partition-parallel
+/// executors bit-identical — including the whole-cluster metric scrape,
+/// compared as serialized JSON bytes.
+#[test]
+fn incast_fault_schedule_conforms_across_partitionings() {
+    use diablo::core::{run_incast, FaultPlan, IncastConfig};
+    let run = |mode: RunMode| {
+        let mut cfg = IncastConfig::fig6a(8);
+        cfg.iterations = 3;
+        cfg.racks = 4;
+        cfg.mode = mode;
+        cfg.faults = Some(
+            FaultPlan::parse("10ms link-down node1\n510ms link-up node1").expect("valid plan"),
+        );
+        let r = run_incast(&cfg);
+        (r.metrics.to_json(), r.events, r.iteration_times, r.switch_drops)
+    };
+    let reference = run(RunMode::Serial);
+    for partitions in [2usize, 4] {
+        let got = run(RunMode::parallel(partitions));
+        assert_eq!(
+            reference.1, got.1,
+            "event count diverged under faults at {partitions} partitions"
+        );
+        assert_eq!(reference, got, "faulted incast diverged at {partitions} partitions");
+    }
+}
+
+/// Same contract for the memcached workload with the full degradation
+/// machinery engaged: request deadlines, reconnect backoff, and a
+/// mid-run server-uplink outage.
+#[test]
+fn memcached_fault_schedule_conforms_across_partitionings() {
+    use diablo::core::{run_memcached, FaultPlan, McExperimentConfig};
+    let run = |mode: RunMode| {
+        let mut cfg = McExperimentConfig::mini(4, 30);
+        cfg.proto = diablo::stack::process::Proto::Tcp;
+        cfg.request_deadline = Some(SimDuration::from_millis(10));
+        cfg.faults =
+            Some(FaultPlan::parse("1ms link-down node0\n51ms link-up node0").expect("valid plan"));
+        cfg.mode = mode;
+        let r = run_memcached(&cfg);
+        (r.metrics.to_json(), r.completed_at, r.events, r.failure)
+    };
+    let reference = run(RunMode::Serial);
+    assert!(reference.3.failed > 0, "the outage must be visible in the reference run");
+    for partitions in [2usize, 4] {
+        let got = run(RunMode::parallel(partitions));
+        assert_eq!(reference, got, "faulted memcached diverged at {partitions} partitions");
+    }
+}
+
 #[test]
 fn memcached_experiment_is_deterministic() {
     use diablo::core::{run_memcached, McExperimentConfig};

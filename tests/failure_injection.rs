@@ -179,6 +179,84 @@ fn tcp_survives_lossy_uplinks() {
     );
 }
 
+// ====================================================================
+// Scripted fault schedules (FaultPlan)
+// ====================================================================
+
+/// The bundled link-flap scenario against the incast benchmark: node 1's
+/// uplink (a storage server) dies for 500 ms mid-run and comes back. TCP
+/// rides out the outage on retransmission timeouts — every iteration
+/// still completes — and the conservation books stay balanced with the
+/// fault-drop columns populated.
+#[test]
+fn incast_recovers_from_scripted_link_flap() {
+    use diablo::core::{run_incast, FaultPlan, IncastConfig};
+    let plan =
+        FaultPlan::parse("10ms  link-down node1\n510ms link-up   node1\n").expect("valid plan");
+    let mut cfg = IncastConfig::fig6a(4);
+    cfg.iterations = 5;
+    cfg.faults = Some(plan);
+    let r = run_incast(&cfg);
+    assert_eq!(r.iteration_times.len(), 5, "all iterations must complete despite the flap");
+    let rtos: u64 = (0..5)
+        .map(|s| r.metrics.counter(&format!("rack0.server{s}.kernel.tcp.rtos")).unwrap_or(0))
+        .sum();
+    let retransmits: u64 = (0..5)
+        .map(|s| r.metrics.counter(&format!("rack0.server{s}.kernel.tcp.retransmits")).unwrap_or(0))
+        .sum();
+    assert!(rtos > 0, "the outage must cost at least one retransmission timeout");
+    assert!(retransmits > 0, "recovery must happen through TCP retransmission");
+    let fault_drops = r.conservation.node_tx_carrier_drops
+        + r.conservation.node_rx_carrier_drops
+        + r.conservation.switch_fault_drops;
+    assert!(fault_drops > 0, "the downed link must actually have eaten frames");
+    assert!(r.conservation.is_balanced(), "conservation: {:?}", r.conservation.violations);
+}
+
+/// memcached TCP clients with a per-request deadline ride out a 50 ms
+/// server-uplink outage by timing out, reconnecting with exponential
+/// backoff, and re-issuing the interrupted request — visible as a nonzero
+/// recovered count in the aggregated [`FailureStats`] report.
+#[test]
+fn memcached_tcp_clients_reconnect_through_server_outage() {
+    use diablo::core::{run_memcached, FaultPlan, McExperimentConfig};
+    let plan =
+        FaultPlan::parse("2ms  link-down node0\n52ms link-up   node0\n").expect("valid plan");
+    let mut cfg = McExperimentConfig::mini(2, 40);
+    cfg.proto = diablo::stack::process::Proto::Tcp;
+    cfg.request_deadline = Some(SimDuration::from_millis(10));
+    cfg.faults = Some(plan);
+    let r = run_memcached(&cfg);
+    // 2 racks x 5 clients x 40 requests, every one accounted (completed
+    // or given up).
+    assert_eq!(r.latency.count(), 400);
+    assert!(r.failure.failed > 0, "requests in flight during the outage must fail");
+    assert!(r.failure.reconnects > 0, "clients must re-establish broken connections");
+    assert!(r.failure.recovered > 0, "failed requests must recover after link-up: {:?}", r.failure);
+    assert!(r.failure.recovery_time > SimDuration::ZERO);
+    assert!(r.conservation.is_balanced(), "conservation: {:?}", r.conservation.violations);
+}
+
+/// The epoll incast client's deadline path: with node 1 dark for 500 ms,
+/// the client's `epoll_wait` deadline expires, it reconnects (SYNs
+/// retransmit until link-up) and re-requests the interrupted fragment.
+#[test]
+fn incast_epoll_client_deadline_recovers_from_flap() {
+    use diablo::core::{run_incast, FaultPlan, IncastClientKind, IncastConfig};
+    let plan =
+        FaultPlan::parse("10ms  link-down node1\n510ms link-up   node1\n").expect("valid plan");
+    let mut cfg = IncastConfig::fig6a(4);
+    cfg.client = IncastClientKind::Epoll;
+    cfg.iterations = 3;
+    cfg.faults = Some(plan);
+    cfg.request_deadline = Some(SimDuration::from_millis(250));
+    let r = run_incast(&cfg);
+    assert_eq!(r.iteration_times.len(), 3);
+    assert!(r.failure.failed > 0, "the deadline must fire during the outage");
+    assert!(r.failure.recovered > 0, "the re-requested fragment must complete: {:?}", r.failure);
+    assert!(r.conservation.is_balanced(), "conservation: {:?}", r.conservation.violations);
+}
+
 #[test]
 fn clean_links_have_no_drops() {
     let (mut host, nodes) = lossy_rack(0.0);
