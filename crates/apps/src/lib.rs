@@ -12,6 +12,8 @@
 //!   client variants.
 //! * [`memcached`] — a behavioural model of memcached 1.4.15/1.4.17 over
 //!   TCP and UDP with worker threads.
+//! * [`partition_aggregate`] — the fan-out/fan-in search tier: a
+//!   front-end aggregating per-query leaf answers under a deadline.
 //! * [`workload`] — statistical samplers (GEV, generalized Pareto, Zipf)
 //!   and the Facebook-ETC-style key-value workload generator (§4.2).
 
@@ -21,4 +23,5 @@ pub mod echo;
 pub mod failure;
 pub mod incast;
 pub mod memcached;
+pub mod partition_aggregate;
 pub mod workload;

@@ -602,8 +602,10 @@ impl Process for McWorker {
 /// Client configuration.
 #[derive(Clone)]
 pub struct McClientConfig {
-    /// The memcached fleet.
-    pub servers: Vec<SockAddr>,
+    /// The memcached fleet. Shared (`Arc`) across all clients — at 64
+    /// racks there are thousands of clients, and each used to clone the
+    /// full `Vec`.
+    pub servers: Arc<[SockAddr]>,
     /// Transport (the paper compares both).
     pub proto: Proto,
     /// Requests to issue (30,000 in the paper; reduce for quick runs).
@@ -646,9 +648,9 @@ impl std::fmt::Debug for McClientConfig {
 
 impl McClientConfig {
     /// A TCP client issuing `requests` requests over `servers`.
-    pub fn tcp(servers: Vec<SockAddr>, requests: u64) -> Self {
+    pub fn tcp(servers: impl Into<Arc<[SockAddr]>>, requests: u64) -> Self {
         McClientConfig {
-            servers,
+            servers: servers.into(),
             proto: Proto::Tcp,
             requests,
             keyspace: 100_000,
@@ -664,7 +666,7 @@ impl McClientConfig {
     }
 
     /// A UDP client issuing `requests` requests over `servers`.
-    pub fn udp(servers: Vec<SockAddr>, requests: u64) -> Self {
+    pub fn udp(servers: impl Into<Arc<[SockAddr]>>, requests: u64) -> Self {
         McClientConfig { proto: Proto::Udp, ..Self::tcp(servers, requests) }
     }
 }

@@ -1,0 +1,543 @@
+//! The partition-aggregate search tier: the classic WSC fan-out/fan-in
+//! pattern (web search, social-graph assembly) that complements incast's
+//! single-sink flow.
+//!
+//! A *front-end* node fans each query out to every *leaf* in its
+//! partition as a UDP datagram; each leaf answers after a modeled service
+//! time; the front-end aggregates the answers under a per-query deadline.
+//! Answers that miss the deadline are dropped from the aggregate — the
+//! canonical tail-at-scale behaviour: one slow (or disconnected) leaf
+//! degrades answer quality rather than stalling the pipeline, so link
+//! faults show up as *deadline misses* instead of retries.
+//!
+//! Both processes are single-threaded nonblocking `epoll` loops over one
+//! UDP socket, like the modern WSC software the paper's §4.2 models.
+
+use diablo_engine::metrics::MetricsVisitor;
+use diablo_engine::prelude::Histogram;
+use diablo_engine::rng::DetRng;
+use diablo_engine::time::{SimDuration, SimTime};
+use diablo_net::payload::AppMessage;
+use diablo_net::SockAddr;
+use diablo_stack::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall};
+use diablo_stack::socket::EventMask;
+use std::sync::Arc;
+
+/// Query message kind.
+pub const KIND_QUERY: u32 = 30;
+/// Answer message kind.
+pub const KIND_ANSWER: u32 = 31;
+/// Leaf server port.
+pub const PA_PORT: u16 = 6001;
+
+// ====================================================================
+// Leaf
+// ====================================================================
+
+/// Leaf configuration.
+#[derive(Debug, Clone)]
+pub struct PaLeafConfig {
+    /// UDP port to serve on.
+    pub port: u16,
+    /// Instructions of modeled service work per query.
+    pub service_work: u64,
+    /// Uniform extra instructions added per query (0 disables the draw);
+    /// the service-time spread that makes the slowest leaf the tail.
+    pub service_jitter: u64,
+    /// Answer payload bytes.
+    pub answer_bytes: u32,
+}
+
+impl Default for PaLeafConfig {
+    fn default() -> Self {
+        PaLeafConfig {
+            port: PA_PORT,
+            service_work: 20_000,
+            service_jitter: 8_000,
+            answer_bytes: 2_048,
+        }
+    }
+}
+
+/// A leaf search node: receives queries on a UDP socket, computes the
+/// modeled service work (base + per-query jitter), and sends one answer
+/// datagram back, echoing the query's shard tag so the front-end can
+/// attribute it.
+#[derive(Debug)]
+pub struct PaLeaf {
+    cfg: PaLeafConfig,
+    rng: DetRng,
+    state: LeafState,
+    fd: Option<Fd>,
+    epfd: Option<Fd>,
+    reply: Option<(SockAddr, AppMessage)>,
+    /// Queries answered.
+    pub served: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeafState {
+    Start,
+    Socketed,
+    NbSet,
+    Bound,
+    EpollCreated,
+    Registered,
+    Wait,
+    Drain,
+    SendReply,
+    AfterReply,
+}
+
+impl PaLeaf {
+    /// Creates a leaf with a deterministic jitter stream.
+    pub fn new(cfg: PaLeafConfig, rng: DetRng) -> Self {
+        PaLeaf { cfg, rng, state: LeafState::Start, fd: None, epfd: None, reply: None, served: 0 }
+    }
+}
+
+impl Process for PaLeaf {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                LeafState::Start => {
+                    self.state = LeafState::Socketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Udp));
+                }
+                LeafState::Socketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.fd = Some(fd);
+                    // The drain loop recvs until empty, so the socket must
+                    // be nonblocking or the last recv would park the thread.
+                    self.state = LeafState::NbSet;
+                    return Step::Syscall(Syscall::SetNonblocking { fd, on: true });
+                }
+                LeafState::NbSet => {
+                    assert_eq!(ctx.result, SysResult::Done, "fcntl failed");
+                    let fd = self.fd.expect("no fd");
+                    self.state = LeafState::Bound;
+                    return Step::Syscall(Syscall::Bind { fd, port: self.cfg.port });
+                }
+                LeafState::Bound => {
+                    assert_eq!(ctx.result, SysResult::Done, "bind failed");
+                    self.state = LeafState::EpollCreated;
+                    return Step::Syscall(Syscall::EpollCreate);
+                }
+                LeafState::EpollCreated => {
+                    let SysResult::NewFd(ep) = ctx.result else { panic!("epoll failed") };
+                    self.epfd = Some(ep);
+                    self.state = LeafState::Registered;
+                    return Step::Syscall(Syscall::EpollCtl {
+                        epfd: ep,
+                        fd: self.fd.expect("no fd"),
+                        interest: EventMask::READ,
+                    });
+                }
+                LeafState::Registered => {
+                    self.state = LeafState::Wait;
+                    return Step::Syscall(Syscall::EpollWait {
+                        epfd: self.epfd.expect("no epfd"),
+                        max_events: 64,
+                        timeout: None,
+                    });
+                }
+                LeafState::Wait => match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                    SysResult::Events(_) => {
+                        self.state = LeafState::Drain;
+                        return Step::Syscall(Syscall::RecvFrom { fd: self.fd.expect("no fd") });
+                    }
+                    other => panic!("leaf epoll_wait failed: {other:?}"),
+                },
+                LeafState::Drain => match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                    SysResult::Datagram { from, msg } => {
+                        assert_eq!(msg.kind, KIND_QUERY, "leaf got non-query");
+                        self.served += 1;
+                        let jitter = if self.cfg.service_jitter > 0 {
+                            self.rng.next_below(self.cfg.service_jitter + 1)
+                        } else {
+                            0
+                        };
+                        let answer =
+                            AppMessage::new(KIND_ANSWER, msg.id, self.cfg.answer_bytes, ctx.now)
+                                .with_arg0(msg.arg0);
+                        self.reply = Some((from, answer));
+                        self.state = LeafState::SendReply;
+                        return Step::Compute(self.cfg.service_work + jitter);
+                    }
+                    SysResult::Err(Errno::WouldBlock) => {
+                        self.state = LeafState::Registered;
+                        continue;
+                    }
+                    other => panic!("leaf recvfrom failed: {other:?}"),
+                },
+                LeafState::SendReply => {
+                    let (to, msg) = self.reply.take().expect("no reply staged");
+                    self.state = LeafState::AfterReply;
+                    return Step::Syscall(Syscall::SendTo { fd: self.fd.expect("no fd"), to, msg });
+                }
+                LeafState::AfterReply => {
+                    // Drain any further queued queries before re-polling.
+                    self.state = LeafState::Drain;
+                    return Step::Syscall(Syscall::RecvFrom { fd: self.fd.expect("no fd") });
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "pa-leaf"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("served", self.served);
+    }
+
+    fn reset(&mut self) -> bool {
+        // A crash wipes the socket; answers served so far survive as
+        // counters, and the rebooted leaf rebuilds from scratch.
+        self.state = LeafState::Start;
+        self.fd = None;
+        self.epfd = None;
+        self.reply = None;
+        true
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ====================================================================
+// Front-end
+// ====================================================================
+
+/// Front-end configuration.
+#[derive(Clone)]
+pub struct PaFrontendConfig {
+    /// The leaves this front-end fans out to. Shared (`Arc`) across all
+    /// front-ends instead of cloned per node.
+    pub leaves: Arc<[SockAddr]>,
+    /// Queries to issue.
+    pub queries: u64,
+    /// Per-query aggregation deadline: answers later than this are
+    /// dropped from the aggregate and counted as misses.
+    pub deadline: SimDuration,
+    /// Query payload bytes.
+    pub query_bytes: u32,
+    /// Instructions of think time between queries.
+    pub think: u64,
+    /// Delay before the first query (stagger startup).
+    pub start_delay: SimDuration,
+}
+
+impl std::fmt::Debug for PaFrontendConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaFrontendConfig")
+            .field("leaves", &self.leaves.len())
+            .field("queries", &self.queries)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl PaFrontendConfig {
+    /// A front-end issuing `queries` queries over `leaves`.
+    pub fn new(leaves: impl Into<Arc<[SockAddr]>>, queries: u64) -> Self {
+        PaFrontendConfig {
+            leaves: leaves.into(),
+            queries,
+            deadline: SimDuration::from_millis(1),
+            query_bytes: 64,
+            think: 8_000,
+            start_delay: SimDuration::ZERO,
+        }
+    }
+}
+
+/// The aggregating front-end: per query, sends one datagram to every
+/// leaf, then collects answers through `epoll` until either every leaf
+/// has answered (a *full aggregate*, whose latency is recorded) or the
+/// deadline expires (a *deadline miss*; the missing answers are counted
+/// and the next query starts).
+#[derive(Debug)]
+pub struct PaFrontend {
+    cfg: PaFrontendConfig,
+    state: FeState,
+    fd: Option<Fd>,
+    epfd: Option<Fd>,
+    /// Per-leaf answered flag for the in-flight query.
+    answered: Vec<bool>,
+    /// Leaves still owing an answer for the in-flight query.
+    pending: usize,
+    issued: u64,
+    sent_at: SimTime,
+    fanout_idx: usize,
+    /// Full-aggregate latencies (nanoseconds).
+    pub latency: Histogram,
+    /// Queries finished (full or partial).
+    pub completed: u64,
+    /// Queries where every leaf answered in time.
+    pub full_aggregates: u64,
+    /// Queries that hit the deadline with answers outstanding.
+    pub deadline_misses: u64,
+    /// Total leaf answers dropped from aggregates across the run.
+    pub missing_answers: u64,
+    /// Finished cleanly.
+    pub done: bool,
+    /// When the last query completed.
+    pub finished_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FeState {
+    Start,
+    Socketed,
+    NbSet,
+    EpollCreated,
+    Registered,
+    Think,
+    Fanout,
+    Collect,
+    Drain,
+    Done,
+}
+
+impl PaFrontend {
+    /// Creates a front-end.
+    pub fn new(cfg: PaFrontendConfig) -> Self {
+        let n = cfg.leaves.len();
+        assert!(n > 0, "a front-end needs at least one leaf");
+        PaFrontend {
+            cfg,
+            state: FeState::Start,
+            fd: None,
+            epfd: None,
+            answered: vec![false; n],
+            pending: 0,
+            issued: 0,
+            sent_at: SimTime::ZERO,
+            fanout_idx: 0,
+            latency: Histogram::new(),
+            completed: 0,
+            full_aggregates: 0,
+            deadline_misses: 0,
+            missing_answers: 0,
+            done: false,
+            finished_at: SimTime::ZERO,
+        }
+    }
+
+    /// Closes out the in-flight query as a deadline miss.
+    fn miss(&mut self) {
+        self.deadline_misses += 1;
+        self.missing_answers += self.pending as u64;
+        self.pending = 0;
+        self.completed += 1;
+        self.state = FeState::Think;
+    }
+}
+
+impl Process for PaFrontend {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                FeState::Start => {
+                    self.state = FeState::Socketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Udp));
+                }
+                FeState::Socketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.fd = Some(fd);
+                    // Answers are drained until empty; keep the socket
+                    // nonblocking so the last recv returns instead of
+                    // parking past the deadline.
+                    self.state = FeState::NbSet;
+                    return Step::Syscall(Syscall::SetNonblocking { fd, on: true });
+                }
+                FeState::NbSet => {
+                    assert_eq!(ctx.result, SysResult::Done, "fcntl failed");
+                    self.state = FeState::EpollCreated;
+                    return Step::Syscall(Syscall::EpollCreate);
+                }
+                FeState::EpollCreated => {
+                    let SysResult::NewFd(ep) = ctx.result else { panic!("epoll failed") };
+                    self.epfd = Some(ep);
+                    self.state = FeState::Registered;
+                    return Step::Syscall(Syscall::EpollCtl {
+                        epfd: ep,
+                        fd: self.fd.expect("no fd"),
+                        interest: EventMask::READ,
+                    });
+                }
+                FeState::Registered => {
+                    self.state = FeState::Think;
+                    if !self.cfg.start_delay.is_zero() {
+                        return Step::Syscall(Syscall::Nanosleep(self.cfg.start_delay));
+                    }
+                    continue;
+                }
+                FeState::Think => {
+                    if self.issued >= self.cfg.queries {
+                        self.state = FeState::Done;
+                        continue;
+                    }
+                    self.issued += 1;
+                    self.answered.iter_mut().for_each(|a| *a = false);
+                    self.pending = self.cfg.leaves.len();
+                    self.fanout_idx = 0;
+                    self.state = FeState::Fanout;
+                    return Step::Compute(self.cfg.think);
+                }
+                FeState::Fanout => {
+                    if self.fanout_idx == 0 {
+                        self.sent_at = ctx.now;
+                    }
+                    if self.fanout_idx < self.cfg.leaves.len() {
+                        let to = self.cfg.leaves[self.fanout_idx];
+                        let msg = AppMessage::new(
+                            KIND_QUERY,
+                            self.issued - 1,
+                            self.cfg.query_bytes,
+                            ctx.now,
+                        )
+                        .with_arg0(self.fanout_idx as u64);
+                        self.fanout_idx += 1;
+                        return Step::Syscall(Syscall::SendTo {
+                            fd: self.fd.expect("no fd"),
+                            to,
+                            msg,
+                        });
+                    }
+                    self.state = FeState::Collect;
+                    continue;
+                }
+                FeState::Collect => {
+                    let elapsed = ctx.now.saturating_duration_since(self.sent_at);
+                    if elapsed >= self.cfg.deadline {
+                        self.miss();
+                        continue;
+                    }
+                    self.state = FeState::Drain;
+                    return Step::Syscall(Syscall::EpollWait {
+                        epfd: self.epfd.expect("no epfd"),
+                        max_events: 64,
+                        timeout: Some(self.cfg.deadline - elapsed),
+                    });
+                }
+                FeState::Drain => {
+                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                        SysResult::Events(evs) => {
+                            if evs.is_empty() {
+                                // Deadline expired with answers outstanding.
+                                self.miss();
+                                continue;
+                            }
+                            return Step::Syscall(Syscall::RecvFrom {
+                                fd: self.fd.expect("no fd"),
+                            });
+                        }
+                        SysResult::Datagram { msg, .. } => {
+                            if msg.kind == KIND_ANSWER && msg.id == self.issued - 1 {
+                                let idx = msg.arg0 as usize;
+                                if !self.answered[idx] {
+                                    self.answered[idx] = true;
+                                    self.pending -= 1;
+                                }
+                            }
+                            // Stale answers from an already-closed query are
+                            // ignored — their aggregate has shipped.
+                            if self.pending == 0 {
+                                let ns = ctx.now.saturating_duration_since(self.sent_at).as_nanos();
+                                self.latency.record(ns);
+                                self.full_aggregates += 1;
+                                self.completed += 1;
+                                self.state = FeState::Think;
+                                continue;
+                            }
+                            return Step::Syscall(Syscall::RecvFrom {
+                                fd: self.fd.expect("no fd"),
+                            });
+                        }
+                        SysResult::Err(Errno::WouldBlock) => {
+                            self.state = FeState::Collect;
+                            continue;
+                        }
+                        other => panic!("front-end drain failed: {other:?}"),
+                    }
+                }
+                FeState::Done => {
+                    self.done = true;
+                    self.finished_at = ctx.now;
+                    return Step::Exit;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "pa-frontend"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("queries_issued", self.issued);
+        v.counter("queries_completed", self.completed);
+        v.counter("full_aggregates", self.full_aggregates);
+        v.counter("deadline_misses", self.deadline_misses);
+        v.counter("missing_answers", self.missing_answers);
+        v.gauge("done", if self.done { 1.0 } else { 0.0 });
+        v.histogram("latency_ns", &self.latency);
+    }
+
+    fn reset(&mut self) -> bool {
+        // A node crash loses the in-flight query: close it out as a miss
+        // so completed stays consistent with issued, then rebuild.
+        if self.pending > 0 {
+            self.miss();
+        }
+        self.state = FeState::Start;
+        self.fd = None;
+        self.epfd = None;
+        self.answered.iter_mut().for_each(|a| *a = false);
+        self.fanout_idx = 0;
+        self.done = false;
+        true
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_net::NodeAddr;
+
+    #[test]
+    fn frontend_config_shares_leaves() {
+        let leaves: Vec<SockAddr> = (1..4).map(|i| SockAddr::new(NodeAddr(i), PA_PORT)).collect();
+        let cfg = PaFrontendConfig::new(leaves, 10);
+        let cfg2 = cfg.clone();
+        assert_eq!(cfg.leaves.len(), 3);
+        assert!(Arc::ptr_eq(&cfg.leaves, &cfg2.leaves), "clones must share the leaf list");
+    }
+
+    #[test]
+    fn crash_mid_query_counts_as_miss() {
+        let leaves: Vec<SockAddr> = (1..3).map(|i| SockAddr::new(NodeAddr(i), PA_PORT)).collect();
+        let mut fe = PaFrontend::new(PaFrontendConfig::new(leaves, 5));
+        fe.issued = 1;
+        fe.pending = 2;
+        assert!(fe.reset());
+        assert_eq!(fe.deadline_misses, 1);
+        assert_eq!(fe.missing_answers, 2);
+        assert_eq!(fe.completed, 1);
+    }
+
+    #[test]
+    fn leaf_defaults_are_sane() {
+        let cfg = PaLeafConfig::default();
+        assert_eq!(cfg.port, PA_PORT);
+        assert!(cfg.answer_bytes > 0);
+    }
+}

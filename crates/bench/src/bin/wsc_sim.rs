@@ -4,6 +4,7 @@
 //! ```console
 //! $ wsc_sim memcached --racks 32 --requests 200 --proto tcp --kernel 3.5 --10g
 //! $ wsc_sim incast --servers 12 --iterations 10 --client epoll --ghz 2 --10g
+//! $ wsc_sim partition-aggregate --racks 4 --queries 200 --deadline-us 800
 //! $ wsc_sim memcached --parallel 4        # partition-parallel, identical results
 //! ```
 
@@ -11,8 +12,8 @@ use diablo_apps::memcached::McVersion;
 use diablo_bench::{banner, parallel_mode, write_metrics_artifacts, Args};
 use diablo_core::report::percentiles_us;
 use diablo_core::{
-    run_incast, run_memcached, DropAccounting, FaultPlan, IncastClientKind, IncastConfig,
-    McExperimentConfig,
+    run_incast, run_memcached, run_partition_aggregate, DropAccounting, FaultPlan,
+    IncastClientKind, IncastConfig, McExperimentConfig, PaExperimentConfig,
 };
 use diablo_engine::prelude::{ExecReport, MetricsRegistry};
 use diablo_engine::time::Frequency;
@@ -22,7 +23,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wsc_sim <memcached|incast> [options]\n\
+        "usage: wsc_sim <memcached|incast|partition-aggregate> [options]\n\
          \n\
          memcached options:\n\
            --racks N (16)  --spr N (6)  --mc-per-rack N (1)  --requests N (150)\n\
@@ -34,11 +35,16 @@ fn usage() -> ! {
            --client pthread|epoll (pthread)  --ghz 2|4 (4)  --10g  --racks N (1)\n\
            --parallel N  --seed N\n\
          \n\
-         observability (both workloads):\n\
+         partition-aggregate options:\n\
+           --racks N (4)  --spr N (6)  --queries N (100)  --deadline-us N (1000)\n\
+           --query-bytes N (64)  --answer-bytes N (2048)  --cross-rack  --10g\n\
+           --parallel N  --seed N\n\
+         \n\
+         observability (all workloads):\n\
            --metrics PATH      write the metrics JSON here instead of results/\n\
            --check-invariants  exit 1 if frame conservation does not balance\n\
          \n\
-         fault injection (both workloads):\n\
+         fault injection (all workloads):\n\
            --fault-plan PATH   scripted fault schedule (link flaps, switch and\n\
                                node failures); see DESIGN.md for the grammar\n\
            --deadline MS       per-request TCP deadline in milliseconds"
@@ -80,6 +86,7 @@ fn main() {
     match mode.as_str() {
         "memcached" => memcached(&args),
         "incast" => incast(&args),
+        "partition-aggregate" => partition_aggregate(&args),
         _ => usage(),
     }
 }
@@ -97,6 +104,13 @@ fn emit_observability(
         let p = args.get("--metrics", String::new());
         (!p.is_empty()).then(|| PathBuf::from(p))
     };
+    // A redirected run keeps every artifact (CSV twin, exec stats) next
+    // to the redirected JSON instead of clobbering the defaults under
+    // results/.
+    let exec_override = json_override.as_ref().map(|p| {
+        let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("metrics");
+        p.with_file_name(format!("{stem}_exec.json"))
+    });
     match write_metrics_artifacts(tag, metrics, json_override) {
         Ok(path) => println!("\nmetrics: {} ({} metrics)", path.display(), metrics.len()),
         Err(e) => eprintln!("warning: failed to write metrics artifacts: {e}"),
@@ -106,7 +120,7 @@ fn emit_observability(
         // construction; keep them out of the comparable model scrape.
         let mut reg = MetricsRegistry::new();
         reg.record("exec", exec);
-        if let Err(e) = write_metrics_artifacts(&format!("{tag}_exec"), &reg, None) {
+        if let Err(e) = write_metrics_artifacts(&format!("{tag}_exec"), &reg, exec_override) {
             eprintln!("warning: failed to write executor metrics: {e}");
         }
     }
@@ -269,4 +283,61 @@ fn incast(args: &Args) {
         );
     }
     emit_observability("wsc_sim_incast", args, &r.metrics, &r.conservation, r.exec.as_ref());
+}
+
+fn partition_aggregate(args: &Args) {
+    banner("wsc_sim", "partition-aggregate search tier");
+    let mut cfg = PaExperimentConfig::new(
+        positive("--racks", args.get("--racks", 4)),
+        positive("--queries", args.get("--queries", 100)),
+    );
+    cfg.servers_per_rack = positive("--spr", args.get("--spr", cfg.servers_per_rack));
+    cfg.deadline = diablo_engine::time::SimDuration::from_micros(positive(
+        "--deadline-us",
+        args.get("--deadline-us", 1_000),
+    ));
+    cfg.query_bytes = positive("--query-bytes", args.get("--query-bytes", cfg.query_bytes));
+    cfg.answer_bytes = positive("--answer-bytes", args.get("--answer-bytes", cfg.answer_bytes));
+    cfg.cross_rack = args.flag("--cross-rack");
+    cfg.ten_gig = args.flag("--10g");
+    cfg.seed = args.get("--seed", cfg.seed);
+    cfg.faults = fault_plan(args);
+    cfg.mode = parallel_mode(args);
+    println!(
+        "{} racks x {} servers: {} front-ends fanning {} over {} leaves each, \
+         {} queries under a {} deadline, {}",
+        cfg.racks,
+        cfg.servers_per_rack,
+        cfg.racks,
+        if cfg.cross_rack { "cluster-wide" } else { "rack-local" },
+        cfg.fanout(),
+        cfg.queries,
+        cfg.deadline,
+        if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
+    );
+    let r = run_partition_aggregate(&cfg);
+    println!(
+        "\n{} queries in {} simulated ({} events, {:.2}s wall)",
+        r.queries,
+        r.completed_at,
+        r.events,
+        r.wall.as_secs_f64()
+    );
+    println!(
+        "full_aggregates={} deadline_misses={} missing_answers={} leaf_served={}",
+        r.full_aggregates, r.deadline_misses, r.missing_answers, r.served
+    );
+    if !r.latency.is_empty() {
+        println!("full-aggregate latency:");
+        for (name, v) in percentiles_us(&r.latency) {
+            println!("  {name:>6}: {v:>12.1} us");
+        }
+    }
+    emit_observability(
+        "wsc_sim_partition_aggregate",
+        args,
+        &r.metrics,
+        &r.conservation,
+        r.exec.as_ref(),
+    );
 }

@@ -119,10 +119,12 @@ pub fn results_dir() -> PathBuf {
     }
 }
 
-/// Writes a metric scrape under [`results_dir`] as both JSON and CSV
-/// (`<tag>_metrics.json` / `<tag>_metrics.csv`). `json_override`, when
-/// set, replaces the JSON destination (the CSV still lands in
-/// `results/`). Returns the JSON path.
+/// Writes a metric scrape as both JSON and CSV. By default both land
+/// under [`results_dir`] as `<tag>_metrics.json` / `<tag>_metrics.csv`;
+/// `json_override`, when set, replaces the JSON destination and the CSV
+/// twin follows it (same path, `.csv` extension) so a redirected run —
+/// a test, a CI sweep — never clobbers the checked-in default
+/// artifacts. Returns the JSON path.
 ///
 /// # Errors
 ///
@@ -133,16 +135,21 @@ pub fn write_metrics_artifacts(
     metrics: &diablo_engine::metrics::MetricsRegistry,
     json_override: Option<PathBuf>,
 ) -> std::io::Result<PathBuf> {
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir)?;
-    let json_path = json_override.unwrap_or_else(|| dir.join(format!("{tag}_metrics.json")));
+    let json_path = match json_override {
+        Some(path) => path,
+        None => {
+            let dir = results_dir();
+            std::fs::create_dir_all(&dir)?;
+            dir.join(format!("{tag}_metrics.json"))
+        }
+    };
     if let Some(parent) = json_path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
     std::fs::write(&json_path, metrics.to_json())?;
-    std::fs::write(dir.join(format!("{tag}_metrics.csv")), metrics.to_csv())?;
+    std::fs::write(json_path.with_extension("csv"), metrics.to_csv())?;
     Ok(json_path)
 }
 

@@ -28,9 +28,17 @@ fn parallel_zero_is_rejected() {
 
 #[test]
 fn zero_valued_size_flags_are_rejected() {
-    for (sub, flag) in
-        [("incast", "--servers"), ("incast", "--iterations"), ("memcached", "--racks")]
-    {
+    for (sub, flag) in [
+        ("incast", "--servers"),
+        ("incast", "--iterations"),
+        ("memcached", "--racks"),
+        ("partition-aggregate", "--racks"),
+        ("partition-aggregate", "--spr"),
+        ("partition-aggregate", "--queries"),
+        ("partition-aggregate", "--deadline-us"),
+        ("partition-aggregate", "--query-bytes"),
+        ("partition-aggregate", "--answer-bytes"),
+    ] {
         let out = wsc_sim().args([sub, flag, "0"]).output().expect("spawn wsc_sim");
         assert!(!out.status.success(), "{sub} {flag} 0 must exit non-zero");
         assert!(stderr(&out).contains(flag), "stderr: {}", stderr(&out));
@@ -105,4 +113,47 @@ fn bundled_link_flap_scenario_runs_identically_serial_and_parallel() {
     let a = std::fs::read(serial).expect("serial metrics");
     let b = std::fs::read(parallel).expect("parallel metrics");
     assert_eq!(a, b, "serial and parallel metric scrapes must be byte-identical under faults");
+}
+
+/// The partition-aggregate subcommand end to end: accepts a fault plan,
+/// passes the conservation audit under `--check-invariants`, and scrapes
+/// byte-identical metrics serial vs 2-partition.
+#[test]
+fn partition_aggregate_runs_identically_serial_and_parallel() {
+    let plan = repo_root().join("scenarios/link_flap.fplan");
+    assert!(plan.exists(), "bundled scenario missing: {}", plan.display());
+    let dir = std::env::temp_dir().join("wsc_sim_cli_pa");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let run = |tag: &str, parallel: Option<&str>| -> PathBuf {
+        let json = dir.join(format!("{tag}.json"));
+        let mut cmd = wsc_sim();
+        cmd.args([
+            "partition-aggregate",
+            "--racks",
+            "2",
+            "--queries",
+            "30",
+            "--fault-plan",
+            plan.to_str().expect("utf-8 path"),
+            "--check-invariants",
+            "--metrics",
+            json.to_str().expect("utf-8 path"),
+        ]);
+        if let Some(p) = parallel {
+            cmd.args(["--parallel", p]);
+        }
+        let out = cmd.output().expect("spawn wsc_sim");
+        assert!(
+            out.status.success(),
+            "{tag} run failed (status {:?}): {}",
+            out.status.code(),
+            stderr(&out)
+        );
+        json
+    };
+    let serial = run("serial", None);
+    let parallel = run("parallel", Some("2"));
+    let a = std::fs::read(serial).expect("serial metrics");
+    let b = std::fs::read(parallel).expect("parallel metrics");
+    assert_eq!(a, b, "partition-aggregate serial vs parallel scrapes must be byte-identical");
 }

@@ -1,0 +1,491 @@
+//! The generic experiment lifecycle: one harness owning everything every
+//! workload run shares.
+//!
+//! The paper drives each case study (§4.1 incast, §4.2 memcached) through
+//! the same simulator lifecycle — build the array, load the software,
+//! drive it to completion, collect timing. [`ExperimentHarness`] is that
+//! lifecycle, written exactly once:
+//!
+//! 1. assemble a [`ClusterSpec`] from a shared [`ExperimentBase`]
+//!    (topology, link speed, kernel, CPU, seed, executor mode);
+//! 2. apply the scripted [`FaultPlan`], if any;
+//! 3. let the [`Workload`] spawn its guest processes;
+//! 4. drive the simulation with a doubling horizon, sampling the cluster
+//!    into a [`SeriesRecorder`] at the configured cadence, until the
+//!    workload reports completion — or its simulated-time budget runs
+//!    out, which surfaces as [`ExperimentError::BudgetExhausted`] naming
+//!    the stuck workload rather than a bare panic;
+//! 5. settle trailing traffic and audit frame conservation;
+//! 6. wrap the workload's own numbers in a [`RunEnvelope`] carrying the
+//!    run-level measurements (events, executor report, metric scrape,
+//!    series, conservation audit, failure accounting).
+//!
+//! Workloads implement the [`Workload`] trait: spawn processes in
+//! [`build`](Workload::build), poll a done flag in
+//! [`is_done`](Workload::is_done) (keep the poll cheap — it runs on every
+//! horizon doubling), and extract results once in
+//! [`summarize`](Workload::summarize) after completion.
+
+use crate::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+use crate::fault::{FaultPlan, FaultPlanError};
+use crate::observe::DropAccounting;
+use diablo_apps::failure::FailureStats;
+use diablo_engine::prelude::{
+    EngineError, ExecReport, Frequency, MetricsRegistry, SeriesRecorder, SimDuration, SimTime,
+};
+use diablo_net::topology::TopologyConfig;
+use diablo_stack::profile::KernelProfile;
+
+// ====================================================================
+// Shared configuration
+// ====================================================================
+
+/// The experiment knobs every workload shares: cluster shape and speed,
+/// guest software profile, executor selection, determinism seed, fault
+/// schedule and sampling cadence. Workload-specific configs embed or
+/// produce one of these; the harness turns it into a [`ClusterSpec`] in
+/// exactly one place.
+#[derive(Debug, Clone)]
+pub struct ExperimentBase {
+    /// Array shape.
+    pub topology: TopologyConfig,
+    /// Guest kernel.
+    pub kernel: KernelProfile,
+    /// Server CPU clock override (`None` keeps the spec default).
+    pub cpu: Option<Frequency>,
+    /// 10 Gbps fabric instead of 1 Gbps.
+    pub ten_gig: bool,
+    /// ToR switch template override (`None` keeps the spec default).
+    pub tor: Option<SwitchTemplate>,
+    /// Extra switch latency at every level (Figure 12's sweep).
+    pub extra_switch_latency: SimDuration,
+    /// Master seed for all derived RNG streams.
+    pub seed: u64,
+    /// Execution mode.
+    pub mode: RunMode,
+    /// When set, scrape the whole cluster at this simulated-time cadence
+    /// into the envelope's time series.
+    pub sample_every: Option<SimDuration>,
+    /// Scripted fault schedule injected before the run starts.
+    pub faults: Option<FaultPlan>,
+}
+
+impl ExperimentBase {
+    /// A 1 Gbps serial-mode base over `topology` with the paper's default
+    /// kernel and seed.
+    pub fn new(topology: TopologyConfig) -> Self {
+        ExperimentBase {
+            topology,
+            kernel: KernelProfile::linux_2_6_39(),
+            cpu: None,
+            ten_gig: false,
+            tor: None,
+            extra_switch_latency: SimDuration::ZERO,
+            seed: 0x00D1_AB10,
+            mode: RunMode::Serial,
+            sample_every: None,
+            faults: None,
+        }
+    }
+
+    /// Assembles the cluster specification — the single place experiment
+    /// configs become hardware.
+    pub fn spec(&self) -> ClusterSpec {
+        let mut spec = if self.ten_gig {
+            ClusterSpec::ten_gbe(self.topology)
+        } else {
+            ClusterSpec::gbe(self.topology)
+        };
+        spec.kernel = self.kernel.clone();
+        spec.seed = self.seed;
+        if let Some(cpu) = self.cpu {
+            spec.cpu = cpu;
+        }
+        if let Some(tor) = self.tor {
+            spec.tor = tor;
+        }
+        spec.with_extra_switch_latency(self.extra_switch_latency)
+    }
+}
+
+// ====================================================================
+// The Workload trait
+// ====================================================================
+
+/// One simulated application driven through the experiment lifecycle.
+///
+/// Implementations spawn guest processes, report completion, and extract
+/// their workload-specific numbers; the [`ExperimentHarness`] owns
+/// everything else. See the module docs for the lifecycle and DESIGN.md
+/// §11 for a how-to-add-a-workload walkthrough.
+pub trait Workload {
+    /// The workload-specific measurements [`summarize`](Workload::summarize)
+    /// produces (per-iteration times, latency histograms, …).
+    type Summary;
+
+    /// Short name used in progress and error messages (`"incast"`,
+    /// `"memcached"`, `"partition-aggregate"`).
+    fn name(&self) -> &str;
+
+    /// Simulated-time budget: the run fails with
+    /// [`ExperimentError::BudgetExhausted`] if the workload has not
+    /// completed by this horizon. Be generous — faults can stretch a run
+    /// by many retransmission backoffs.
+    fn budget(&self) -> SimTime;
+
+    /// First drive horizon; the harness doubles it (capped at the budget)
+    /// after every completion poll that comes back pending.
+    fn initial_horizon(&self) -> SimTime {
+        SimTime::from_millis(500)
+    }
+
+    /// Spawns the workload's guest processes into the freshly built
+    /// cluster.
+    fn build(&mut self, host: &mut SimHost, cluster: &Cluster);
+
+    /// Completion poll, run after every horizon. Keep it cheap — check
+    /// done flags only; extract results in
+    /// [`summarize`](Workload::summarize), which runs exactly once.
+    fn is_done(&self, host: &SimHost, cluster: &Cluster) -> bool;
+
+    /// Extracts the workload's measurements after completion (called
+    /// once, before the settle phase runs trailing traffic out).
+    fn summarize(&self, host: &SimHost, cluster: &Cluster) -> Self::Summary;
+
+    /// Merges client-side failure/recovery accounting over all the
+    /// workload's processes (all zeros in a fault-free run).
+    fn failure_stats(&self, host: &SimHost, cluster: &Cluster) -> FailureStats {
+        let _ = (host, cluster);
+        FailureStats::default()
+    }
+}
+
+// ====================================================================
+// Errors
+// ====================================================================
+
+/// A structured experiment failure.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The workload did not complete within its simulated-time budget
+    /// (a deadlock, a fault schedule it cannot recover from, or a budget
+    /// that is simply too small).
+    BudgetExhausted {
+        /// [`Workload::name`] of the stuck workload.
+        workload: String,
+        /// The exhausted budget.
+        budget: SimTime,
+        /// Simulated time when the harness gave up.
+        at: SimTime,
+    },
+    /// The executor failed (unknown component, quantum violation, …).
+    Engine(EngineError),
+    /// The fault plan references targets outside the cluster.
+    FaultPlan(FaultPlanError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::BudgetExhausted { workload, budget, at } => write!(
+                f,
+                "workload '{workload}' did not complete within its simulated-time budget \
+                 {budget} (gave up at {at})"
+            ),
+            ExperimentError::Engine(e) => write!(f, "engine error: {e}"),
+            ExperimentError::FaultPlan(e) => write!(f, "fault plan error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<EngineError> for ExperimentError {
+    fn from(e: EngineError) -> Self {
+        ExperimentError::Engine(e)
+    }
+}
+
+impl From<FaultPlanError> for ExperimentError {
+    fn from(e: FaultPlanError) -> Self {
+        ExperimentError::FaultPlan(e)
+    }
+}
+
+// ====================================================================
+// The run envelope
+// ====================================================================
+
+/// The run-level measurements common to every workload, wrapped around
+/// each workload's own [`Workload::Summary`].
+#[derive(Debug, Clone)]
+pub struct RunEnvelope {
+    /// Events processed (simulator-performance reporting).
+    pub events: u64,
+    /// Parallel-executor statistics (`None` for serial runs).
+    pub exec: Option<ExecReport>,
+    /// Final whole-cluster metric scrape (quiescent snapshot).
+    pub metrics: MetricsRegistry,
+    /// Periodic scrapes (when [`ExperimentBase::sample_every`] was set).
+    pub series: Option<SeriesRecorder>,
+    /// Frame-conservation audit at end of run. Balance is a first-class
+    /// result, not a debug-only assert: check
+    /// [`conserved`](RunEnvelope::conserved) (or
+    /// `conservation.violations`) in release builds too.
+    pub conservation: DropAccounting,
+    /// Client-side failure/recovery report, merged over all the
+    /// workload's processes (all zeros in a fault-free run).
+    pub failure: FailureStats,
+    /// Simulated time consumed, including the settle phase.
+    pub sim_time: SimTime,
+    /// Host wall-clock time for the whole run.
+    pub wall: std::time::Duration,
+}
+
+impl RunEnvelope {
+    /// `true` when the end-of-run frame-conservation audit balanced.
+    pub fn conserved(&self) -> bool {
+        self.conservation.is_balanced()
+    }
+}
+
+// ====================================================================
+// The harness
+// ====================================================================
+
+/// Advances `host` to `target`, scraping the cluster into `series` at
+/// every multiple of the sampling cadence along the way. With no cadence
+/// this is a plain `run_until`.
+fn advance(
+    host: &mut SimHost,
+    cluster: &Cluster,
+    target: SimTime,
+    cadence: Option<SimDuration>,
+    next_sample: &mut SimTime,
+    series: Option<&mut SeriesRecorder>,
+) -> Result<(), EngineError> {
+    if let (Some(cadence), Some(series)) = (cadence, series) {
+        while *next_sample <= target {
+            host.run_until(*next_sample)?;
+            series.sample(*next_sample, &cluster.scrape(host));
+            *next_sample += cadence;
+        }
+    }
+    host.run_until(target)?;
+    Ok(())
+}
+
+/// Runs the (logically finished) simulation forward in 5 ms steps until
+/// frame conservation balances — trailing ACKs and FINs have left every
+/// wire — so the final scrape is a quiescent snapshot. Gives up after one
+/// simulated second and returns the unbalanced audit for the envelope to
+/// report.
+fn settle(host: &mut SimHost, cluster: &Cluster) -> Result<DropAccounting, EngineError> {
+    let mut t = host.now();
+    for _ in 0..200 {
+        let acct = cluster.drop_accounting(host);
+        if acct.is_balanced() {
+            return Ok(acct);
+        }
+        t += SimDuration::from_millis(5);
+        host.run_until(t)?;
+    }
+    Ok(cluster.drop_accounting(host))
+}
+
+/// The generic experiment runner: owns the lifecycle every workload
+/// shares. See the module docs for the phase-by-phase description.
+#[derive(Debug, Clone)]
+pub struct ExperimentHarness {
+    /// The shared experiment configuration.
+    pub base: ExperimentBase,
+}
+
+impl ExperimentHarness {
+    /// Creates a harness over the shared configuration.
+    pub fn new(base: ExperimentBase) -> Self {
+        ExperimentHarness { base }
+    }
+
+    /// Runs `workload` through the full lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::BudgetExhausted`] when the workload does not
+    /// complete within [`Workload::budget`];
+    /// [`ExperimentError::FaultPlan`] when the configured fault plan does
+    /// not fit the cluster; [`ExperimentError::Engine`] on executor
+    /// failures.
+    pub fn run<W: Workload>(
+        &self,
+        workload: &mut W,
+    ) -> Result<(W::Summary, RunEnvelope), ExperimentError> {
+        let wall_start = std::time::Instant::now();
+
+        // 1. Assemble the cluster.
+        let spec = self.base.spec();
+        let (mut host, cluster) = Cluster::instantiate(&spec, self.base.mode);
+
+        // 2. Apply the scripted fault schedule.
+        if let Some(plan) = &self.base.faults {
+            plan.apply(&mut host, &cluster)?;
+        }
+
+        // 3. Load the software.
+        workload.build(&mut host, &cluster);
+
+        // 4. Drive with a doubling horizon until the workload completes.
+        let budget = workload.budget();
+        let mut horizon = workload.initial_horizon().min(budget);
+        let mut series = self.base.sample_every.map(|_| SeriesRecorder::new());
+        let mut next_sample = self.base.sample_every.map_or(SimTime::ZERO, |d| SimTime::ZERO + d);
+        loop {
+            advance(
+                &mut host,
+                &cluster,
+                horizon,
+                self.base.sample_every,
+                &mut next_sample,
+                series.as_mut(),
+            )?;
+            if workload.is_done(&host, &cluster) {
+                break;
+            }
+            if horizon >= budget {
+                return Err(ExperimentError::BudgetExhausted {
+                    workload: workload.name().to_string(),
+                    budget,
+                    at: host.now(),
+                });
+            }
+            horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
+        }
+
+        // 5. Extract results, then settle trailing traffic and audit.
+        let failure = workload.failure_stats(&host, &cluster);
+        let summary = workload.summarize(&host, &cluster);
+        let conservation = settle(&mut host, &cluster)?;
+        debug_assert!(
+            conservation.is_balanced(),
+            "{} frame conservation violated: {:?}",
+            workload.name(),
+            conservation.violations
+        );
+
+        // 6. Wrap it all in the envelope.
+        let envelope = RunEnvelope {
+            events: host.events_processed(),
+            exec: host.exec_report(),
+            metrics: cluster.scrape(&host),
+            series,
+            conservation,
+            failure,
+            sim_time: host.now(),
+            wall: wall_start.elapsed(),
+        };
+        Ok((summary, envelope))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A workload that spawns nothing and never finishes: the harness
+    /// must surface a structured budget-exhaustion error naming it, not
+    /// panic.
+    struct NeverDone;
+
+    impl Workload for NeverDone {
+        type Summary = ();
+
+        fn name(&self) -> &str {
+            "never-done"
+        }
+
+        fn budget(&self) -> SimTime {
+            SimTime::from_millis(20)
+        }
+
+        fn initial_horizon(&self) -> SimTime {
+            SimTime::from_millis(5)
+        }
+
+        fn build(&mut self, _host: &mut SimHost, _cluster: &Cluster) {}
+
+        fn is_done(&self, _host: &SimHost, _cluster: &Cluster) -> bool {
+            false
+        }
+
+        fn summarize(&self, _host: &SimHost, _cluster: &Cluster) -> Self::Summary {}
+    }
+
+    fn tiny_base() -> ExperimentBase {
+        ExperimentBase::new(TopologyConfig { racks: 1, servers_per_rack: 2, racks_per_array: 1 })
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_structured_error_naming_the_workload() {
+        let err = ExperimentHarness::new(tiny_base())
+            .run(&mut NeverDone)
+            .expect_err("a never-done workload must exhaust its budget");
+        match &err {
+            ExperimentError::BudgetExhausted { workload, budget, at } => {
+                assert_eq!(workload, "never-done");
+                assert_eq!(*budget, SimTime::from_millis(20));
+                assert!(*at >= SimTime::from_millis(20), "gave up before the budget: {at}");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("never-done"), "error must name the workload: {msg}");
+        assert!(msg.contains("budget"), "error must mention the budget: {msg}");
+    }
+
+    /// A workload that finishes instantly exercises the full lifecycle
+    /// and yields a balanced, quiescent envelope.
+    struct Immediate;
+
+    impl Workload for Immediate {
+        type Summary = u32;
+
+        fn name(&self) -> &str {
+            "immediate"
+        }
+
+        fn budget(&self) -> SimTime {
+            SimTime::from_millis(10)
+        }
+
+        fn build(&mut self, _host: &mut SimHost, _cluster: &Cluster) {}
+
+        fn is_done(&self, _host: &SimHost, _cluster: &Cluster) -> bool {
+            true
+        }
+
+        fn summarize(&self, _host: &SimHost, _cluster: &Cluster) -> Self::Summary {
+            42
+        }
+    }
+
+    #[test]
+    fn trivial_workload_completes_with_conserved_envelope() {
+        let (summary, env) =
+            ExperimentHarness::new(tiny_base()).run(&mut Immediate).expect("run failed");
+        assert_eq!(summary, 42);
+        assert!(env.conserved(), "idle cluster must balance: {:?}", env.conservation.violations);
+        assert_eq!(env.failure, FailureStats::default());
+        assert!(env.exec.is_none(), "serial run has no executor report");
+    }
+
+    #[test]
+    fn base_spec_assembly_applies_overrides() {
+        let mut base = tiny_base();
+        base.cpu = Some(Frequency::ghz(2));
+        base.ten_gig = true;
+        base.seed = 77;
+        let spec = base.spec();
+        assert_eq!(spec.cpu, Frequency::ghz(2));
+        assert_eq!(spec.seed, 77);
+    }
+}

@@ -1,7 +1,14 @@
-//! Experiment harnesses: assembled scenarios matching the paper's case
+//! Experiment definitions: assembled scenarios matching the paper's case
 //! studies (§4), returning the measurements the figures plot.
+//!
+//! Every experiment here is a [`Workload`] implementation driven by the
+//! generic [`ExperimentHarness`](crate::experiment::ExperimentHarness) —
+//! the drive loop, sampling, settle, conservation audit and failure merge
+//! live exactly once in [`crate::experiment`]; this module only describes
+//! *what* runs (which guest processes, where) and *what to measure*.
 
-use crate::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+use crate::cluster::{Cluster, RunMode, SimHost, SwitchTemplate};
+use crate::experiment::{ExperimentBase, ExperimentError, ExperimentHarness, Workload};
 use crate::fault::FaultPlan;
 use crate::observe::DropAccounting;
 use diablo_apps::failure::FailureStats;
@@ -12,59 +19,18 @@ use diablo_apps::memcached::{
     mc_shared, McClient, McClientConfig, McDispatcher, McServerConfig, McSharedHandle, McVersion,
     McWorker, MEMCACHED_PORT,
 };
-use diablo_engine::prelude::{
-    DetRng, EngineError, ExecReport, Frequency, Histogram, MetricsRegistry, SeriesRecorder,
-    SimDuration, SimTime,
+use diablo_apps::partition_aggregate::{
+    PaFrontend, PaFrontendConfig, PaLeaf, PaLeafConfig, PA_PORT,
 };
+use diablo_engine::prelude::{
+    DetRng, ExecReport, Frequency, Histogram, MetricsRegistry, SeriesRecorder, SimDuration, SimTime,
+};
+use diablo_net::switch::BufferConfig;
 use diablo_net::topology::{HopClass, TopologyConfig};
 use diablo_net::{NodeAddr, SockAddr};
 use diablo_stack::process::{Proto, Tid};
 use diablo_stack::profile::KernelProfile;
 use std::sync::Arc;
-
-// ====================================================================
-// Shared run machinery
-// ====================================================================
-
-/// Advances `host` to `target`, scraping the cluster into `series` at
-/// every multiple of the sampling cadence along the way. With no cadence
-/// this is a plain `run_until`.
-fn advance(
-    host: &mut SimHost,
-    cluster: &Cluster,
-    target: SimTime,
-    cadence: Option<SimDuration>,
-    next_sample: &mut SimTime,
-    series: Option<&mut SeriesRecorder>,
-) -> Result<(), EngineError> {
-    if let (Some(cadence), Some(series)) = (cadence, series) {
-        while *next_sample <= target {
-            host.run_until(*next_sample)?;
-            series.sample(*next_sample, &cluster.scrape(host));
-            *next_sample += cadence;
-        }
-    }
-    host.run_until(target)?;
-    Ok(())
-}
-
-/// Runs the (logically finished) simulation forward in 5 ms steps until
-/// frame conservation balances — trailing ACKs and FINs have left every
-/// wire — so the final scrape is a quiescent snapshot. Gives up after one
-/// simulated second and returns the unbalanced audit; callers assert in
-/// debug builds.
-fn settle(host: &mut SimHost, cluster: &Cluster) -> DropAccounting {
-    let mut t = host.now();
-    for _ in 0..200 {
-        let acct = cluster.drop_accounting(host);
-        if acct.is_balanced() {
-            return acct;
-        }
-        t += SimDuration::from_millis(5);
-        host.run_until(t).expect("settle run failed");
-    }
-    cluster.drop_accounting(host)
-}
 
 // ====================================================================
 // Incast (§4.1, Figure 6)
@@ -142,6 +108,28 @@ impl IncastConfig {
     pub fn fig6b(servers: usize, ghz: u64, client: IncastClientKind) -> Self {
         IncastConfig { cpu: Frequency::ghz(ghz), ten_gig: true, client, ..Self::fig6a(servers) }
     }
+
+    /// The shared experiment base this config describes.
+    fn base(&self) -> ExperimentBase {
+        let racks = self.racks.max(1);
+        let topology = TopologyConfig {
+            racks,
+            servers_per_rack: (self.servers + 1).div_ceil(racks),
+            racks_per_array: racks,
+        };
+        ExperimentBase {
+            topology,
+            kernel: self.kernel.clone(),
+            cpu: Some(self.cpu),
+            ten_gig: self.ten_gig,
+            tor: self.switch,
+            extra_switch_latency: SimDuration::ZERO,
+            seed: self.seed,
+            mode: self.mode,
+            sample_every: self.sample_every,
+            faults: self.faults.clone(),
+        }
+    }
 }
 
 /// Incast measurements.
@@ -168,123 +156,156 @@ pub struct IncastResult {
     pub failure: FailureStats,
 }
 
+/// The incast scenario behind the [`Workload`] trait: storage servers on
+/// nodes 1..=n, the client (pthread master+workers, or one epoll loop) on
+/// node 0.
+struct IncastWorkload<'a> {
+    cfg: &'a IncastConfig,
+}
+
+/// What [`IncastWorkload`] measures.
+struct IncastSummary {
+    goodput_bps: f64,
+    iteration_times: Vec<SimDuration>,
+    switch_drops: u64,
+}
+
+const INCAST_CLIENT: NodeAddr = NodeAddr(0);
+
+impl Workload for IncastWorkload<'_> {
+    type Summary = IncastSummary;
+
+    fn name(&self) -> &str {
+        "incast"
+    }
+
+    fn budget(&self) -> SimTime {
+        // Worst case: every iteration eats several RTO backoffs.
+        SimTime::from_secs(10 + 3 * self.cfg.iterations)
+    }
+
+    fn build(&mut self, host: &mut SimHost, cluster: &Cluster) {
+        let n = self.cfg.servers;
+        let servers: Vec<SockAddr> =
+            (1..=n).map(|i| SockAddr::new(NodeAddr(i as u32), INCAST_PORT)).collect();
+        for s in &servers {
+            cluster.spawn(host, s.node, Box::new(IncastServer::new()));
+        }
+        let fragment = self.cfg.block_bytes / n as u32;
+        match self.cfg.client {
+            IncastClientKind::Pthread => {
+                let sh = shared(n);
+                cluster.spawn(
+                    host,
+                    INCAST_CLIENT,
+                    Box::new(IncastMaster::new(n, self.cfg.iterations, sh.clone())),
+                );
+                for s in &servers {
+                    cluster.spawn(
+                        host,
+                        INCAST_CLIENT,
+                        Box::new(IncastWorker::new(*s, fragment, sh.clone())),
+                    );
+                }
+            }
+            IncastClientKind::Epoll => {
+                let mut client = IncastEpollClient::new(servers, fragment, self.cfg.iterations);
+                if let Some(d) = self.cfg.request_deadline {
+                    client = client.with_deadline(d);
+                }
+                cluster.spawn(host, INCAST_CLIENT, Box::new(client));
+            }
+        }
+    }
+
+    fn is_done(&self, host: &SimHost, cluster: &Cluster) -> bool {
+        // Done-flag poll only: results are extracted once, in summarize.
+        match self.cfg.client {
+            IncastClientKind::Pthread => {
+                let m: &IncastMaster =
+                    cluster.process(host, INCAST_CLIENT, Tid(0)).expect("master missing");
+                m.done
+            }
+            IncastClientKind::Epoll => {
+                let c: &IncastEpollClient =
+                    cluster.process(host, INCAST_CLIENT, Tid(0)).expect("client missing");
+                c.done
+            }
+        }
+    }
+
+    fn summarize(&self, host: &SimHost, cluster: &Cluster) -> IncastSummary {
+        let (goodput_bps, iteration_times) = match self.cfg.client {
+            IncastClientKind::Pthread => {
+                let m: &IncastMaster =
+                    cluster.process(host, INCAST_CLIENT, Tid(0)).expect("master missing");
+                (m.goodput_bps(self.cfg.block_bytes as u64), m.iteration_times.clone())
+            }
+            IncastClientKind::Epoll => {
+                let c: &IncastEpollClient =
+                    cluster.process(host, INCAST_CLIENT, Tid(0)).expect("client missing");
+                (c.goodput_bps(), c.iteration_times.clone())
+            }
+        };
+        IncastSummary {
+            goodput_bps,
+            iteration_times,
+            switch_drops: cluster.total_switch_drops(host),
+        }
+    }
+
+    fn failure_stats(&self, host: &SimHost, cluster: &Cluster) -> FailureStats {
+        let mut failure = FailureStats::default();
+        match self.cfg.client {
+            IncastClientKind::Pthread => {
+                for tid in 1..=self.cfg.servers {
+                    let w: &IncastWorker = cluster
+                        .process(host, INCAST_CLIENT, Tid(tid as u32))
+                        .expect("worker missing");
+                    failure.merge(&w.failure);
+                }
+            }
+            IncastClientKind::Epoll => {
+                let c: &IncastEpollClient =
+                    cluster.process(host, INCAST_CLIENT, Tid(0)).expect("client missing");
+                failure.merge(&c.failure);
+            }
+        }
+        failure
+    }
+}
+
+/// Runs one incast configuration to completion.
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::run`].
+pub fn try_run_incast(cfg: &IncastConfig) -> Result<IncastResult, ExperimentError> {
+    let (summary, env) = ExperimentHarness::new(cfg.base()).run(&mut IncastWorkload { cfg })?;
+    Ok(IncastResult {
+        goodput_mbps: summary.goodput_bps / 1e6,
+        iteration_times: summary.iteration_times,
+        switch_drops: summary.switch_drops,
+        events: env.events,
+        exec: env.exec,
+        metrics: env.metrics,
+        series: env.series,
+        conservation: env.conservation,
+        failure: env.failure,
+    })
+}
+
 /// Runs one incast configuration to completion.
 ///
 /// # Panics
 ///
 /// Panics if the scenario deadlocks (client never finishes within the
-/// generous simulated-time budget).
+/// generous simulated-time budget); use [`try_run_incast`] to handle
+/// that as a structured error instead.
 pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
-    let n = cfg.servers;
-    let racks = cfg.racks.max(1);
-    let topo =
-        TopologyConfig { racks, servers_per_rack: (n + 1).div_ceil(racks), racks_per_array: racks };
-    let mut spec = if cfg.ten_gig { ClusterSpec::ten_gbe(topo) } else { ClusterSpec::gbe(topo) };
-    spec.cpu = cfg.cpu;
-    spec.kernel = cfg.kernel.clone();
-    spec.seed = cfg.seed;
-    if let Some(sw) = cfg.switch {
-        spec.tor = sw;
-    }
-    let (mut host, cluster) = Cluster::instantiate(&spec, cfg.mode);
-    if let Some(plan) = &cfg.faults {
-        plan.apply(&mut host, &cluster).expect("fault plan failed to apply");
-    }
-
-    let client_addr = NodeAddr(0);
-    let servers: Vec<SockAddr> =
-        (1..=n).map(|i| SockAddr::new(NodeAddr(i as u32), INCAST_PORT)).collect();
-    for s in &servers {
-        cluster.spawn(&mut host, s.node, Box::new(IncastServer::new()));
-    }
-    let fragment = cfg.block_bytes / n as u32;
-    match cfg.client {
-        IncastClientKind::Pthread => {
-            let sh = shared(n);
-            cluster.spawn(
-                &mut host,
-                client_addr,
-                Box::new(IncastMaster::new(n, cfg.iterations, sh.clone())),
-            );
-            for s in &servers {
-                cluster.spawn(
-                    &mut host,
-                    client_addr,
-                    Box::new(IncastWorker::new(*s, fragment, sh.clone())),
-                );
-            }
-        }
-        IncastClientKind::Epoll => {
-            let mut client = IncastEpollClient::new(servers.clone(), fragment, cfg.iterations);
-            if let Some(d) = cfg.request_deadline {
-                client = client.with_deadline(d);
-            }
-            cluster.spawn(&mut host, client_addr, Box::new(client));
-        }
-    }
-
-    // Worst case: every iteration eats several RTO backoffs.
-    let budget = SimTime::from_secs(10 + 3 * cfg.iterations);
-    let mut done = false;
-    let mut horizon = SimTime::from_millis(500);
-    let mut series = cfg.sample_every.map(|_| SeriesRecorder::new());
-    let mut next_sample = cfg.sample_every.map_or(SimTime::ZERO, |d| SimTime::ZERO + d);
-    let (goodput_bps, iteration_times) = loop {
-        advance(&mut host, &cluster, horizon, cfg.sample_every, &mut next_sample, series.as_mut())
-            .expect("incast run failed");
-        let (finished, result) = match cfg.client {
-            IncastClientKind::Pthread => {
-                let m: &IncastMaster =
-                    cluster.process(&host, client_addr, Tid(0)).expect("master missing");
-                (m.done, (m.goodput_bps(cfg.block_bytes as u64), m.iteration_times.clone()))
-            }
-            IncastClientKind::Epoll => {
-                let c: &IncastEpollClient =
-                    cluster.process(&host, client_addr, Tid(0)).expect("client missing");
-                (c.done, (c.goodput_bps(), c.iteration_times.clone()))
-            }
-        };
-        if finished {
-            done = true;
-            break result;
-        }
-        if horizon >= budget {
-            break result;
-        }
-        horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
-    };
-    assert!(done, "incast did not finish within {budget} ({} servers)", cfg.servers);
-    let mut failure = FailureStats::default();
-    match cfg.client {
-        IncastClientKind::Pthread => {
-            for tid in 1..=n {
-                let w: &IncastWorker =
-                    cluster.process(&host, client_addr, Tid(tid as u32)).expect("worker missing");
-                failure.merge(&w.failure);
-            }
-        }
-        IncastClientKind::Epoll => {
-            let c: &IncastEpollClient =
-                cluster.process(&host, client_addr, Tid(0)).expect("client missing");
-            failure.merge(&c.failure);
-        }
-    }
-    let conservation = settle(&mut host, &cluster);
-    debug_assert!(
-        conservation.is_balanced(),
-        "incast frame conservation violated: {:?}",
-        conservation.violations
-    );
-    IncastResult {
-        goodput_mbps: goodput_bps / 1e6,
-        iteration_times,
-        switch_drops: cluster.total_switch_drops(&host),
-        events: host.events_processed(),
-        exec: host.exec_report(),
-        metrics: cluster.scrape(&host),
-        series,
-        conservation,
-        failure,
+    match try_run_incast(cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("incast experiment failed ({} servers): {e}", cfg.servers),
     }
 }
 
@@ -373,6 +394,27 @@ impl McExperimentConfig {
     pub fn nodes(&self) -> usize {
         self.racks * self.servers_per_rack
     }
+
+    /// The shared experiment base this config describes.
+    fn base(&self) -> ExperimentBase {
+        let topology = TopologyConfig {
+            racks: self.racks,
+            servers_per_rack: self.servers_per_rack,
+            racks_per_array: 16.min(self.racks),
+        };
+        ExperimentBase {
+            topology,
+            kernel: self.kernel.clone(),
+            cpu: None,
+            ten_gig: self.ten_gig,
+            tor: None,
+            extra_switch_latency: self.extra_switch_latency,
+            seed: self.seed,
+            mode: self.mode,
+            sample_every: self.sample_every,
+            faults: self.faults.clone(),
+        }
+    }
 }
 
 /// Aggregated memcached measurements.
@@ -410,142 +452,505 @@ pub struct McExperimentResult {
     pub failure: FailureStats,
 }
 
+/// The memcached-at-scale scenario: the first `mc_per_rack` nodes of each
+/// rack serve, every remaining node runs a closed-loop client.
+struct McWorkload<'a> {
+    cfg: &'a McExperimentConfig,
+    shareds: Vec<McSharedHandle>,
+    client_addrs: Vec<NodeAddr>,
+}
+
+/// What [`McWorkload`] measures.
+struct McSummary {
+    latency: Histogram,
+    by_class: [Histogram; 3],
+    served: u64,
+    failures: u64,
+    udp_retries: u64,
+    completed_at: SimTime,
+}
+
+impl Workload for McWorkload<'_> {
+    type Summary = McSummary;
+
+    fn name(&self) -> &str {
+        "memcached"
+    }
+
+    fn budget(&self) -> SimTime {
+        SimTime::from_secs(5 + self.cfg.requests_per_client / 2)
+    }
+
+    fn initial_horizon(&self) -> SimTime {
+        SimTime::from_millis(200)
+    }
+
+    fn build(&mut self, host: &mut SimHost, cluster: &Cluster) {
+        let cfg = self.cfg;
+        let topo = cluster.topo.clone();
+        let root_rng = DetRng::new(cfg.seed);
+
+        // memcached servers: the first `mc_per_rack` nodes of each rack.
+        let mut server_addrs = Vec::new();
+        for rack in 0..cfg.racks {
+            for slot in 0..cfg.mc_per_rack {
+                let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
+                let scfg = McServerConfig {
+                    port: MEMCACHED_PORT,
+                    workers: cfg.workers,
+                    version: cfg.version,
+                    udp: cfg.proto == Proto::Udp,
+                    request_work: cfg.request_work,
+                };
+                let sh = mc_shared(scfg.workers);
+                cluster.spawn(host, addr, Box::new(McDispatcher::new(scfg.clone(), sh.clone())));
+                for w in 0..scfg.workers {
+                    cluster.spawn(host, addr, Box::new(McWorker::new(w, scfg.clone(), sh.clone())));
+                }
+                self.shareds.push(sh);
+                server_addrs.push(SockAddr::new(addr, MEMCACHED_PORT));
+            }
+        }
+        // One shared server list for every client on the cluster.
+        let server_addrs: Arc<[SockAddr]> = server_addrs.into();
+
+        // Clients: every remaining node.
+        for rack in 0..cfg.racks {
+            for slot in cfg.mc_per_rack..cfg.servers_per_rack {
+                let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
+                let mut ccfg = match cfg.proto {
+                    Proto::Tcp => {
+                        McClientConfig::tcp(server_addrs.clone(), cfg.requests_per_client)
+                    }
+                    Proto::Udp => {
+                        McClientConfig::udp(server_addrs.clone(), cfg.requests_per_client)
+                    }
+                };
+                // Stagger client start over ~2 ms to avoid a synchronized
+                // thundering herd at t=0.
+                ccfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
+                ccfg.reconnect_every = cfg.reconnect_every;
+                ccfg.request_deadline = cfg.request_deadline;
+                let topo2 = topo.clone();
+                ccfg.classify =
+                    Some(Arc::new(move |server: NodeAddr| match topo2.hop_class(addr, server) {
+                        HopClass::Local => 0,
+                        HopClass::OneHop => 1,
+                        HopClass::TwoHop => 2,
+                    }));
+                let rng = root_rng.derive(addr.0 as u64);
+                cluster.spawn(host, addr, Box::new(McClient::new(ccfg, rng)));
+                self.client_addrs.push(addr);
+            }
+        }
+    }
+
+    fn is_done(&self, host: &SimHost, cluster: &Cluster) -> bool {
+        self.client_addrs
+            .iter()
+            .all(|&a| cluster.process::<McClient>(host, a, Tid(0)).map(|c| c.done).unwrap_or(false))
+    }
+
+    fn summarize(&self, host: &SimHost, cluster: &Cluster) -> McSummary {
+        let mut latency = Histogram::new();
+        let mut by_class = [Histogram::new(), Histogram::new(), Histogram::new()];
+        let mut failures = 0;
+        let mut udp_retries = 0;
+        let mut completed_at = SimTime::ZERO;
+        for &a in &self.client_addrs {
+            let c: &McClient = cluster.process(host, a, Tid(0)).expect("client missing");
+            latency.merge(&c.latency);
+            for (dst, src) in by_class.iter_mut().zip(&c.latency_by_class) {
+                dst.merge(src);
+            }
+            failures += c.failures;
+            udp_retries += c.udp_retries;
+            completed_at = completed_at.max(c.finished_at);
+        }
+        let served = self.shareds.iter().map(|s| s.lock().expect("poisoned").served).sum();
+        McSummary { latency, by_class, served, failures, udp_retries, completed_at }
+    }
+
+    fn failure_stats(&self, host: &SimHost, cluster: &Cluster) -> FailureStats {
+        let mut failure = FailureStats::default();
+        for &a in &self.client_addrs {
+            let c: &McClient = cluster.process(host, a, Tid(0)).expect("client missing");
+            failure.merge(&c.failure);
+        }
+        failure
+    }
+}
+
+/// Runs one memcached experiment to completion.
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::run`].
+pub fn try_run_memcached(cfg: &McExperimentConfig) -> Result<McExperimentResult, ExperimentError> {
+    let mut workload = McWorkload { cfg, shareds: Vec::new(), client_addrs: Vec::new() };
+    let (summary, env) = ExperimentHarness::new(cfg.base()).run(&mut workload)?;
+    Ok(McExperimentResult {
+        latency: summary.latency,
+        by_class: summary.by_class,
+        served: summary.served,
+        failures: summary.failures,
+        udp_retries: summary.udp_retries,
+        sim_time: env.sim_time,
+        completed_at: summary.completed_at,
+        events: env.events,
+        wall: env.wall,
+        exec: env.exec,
+        metrics: env.metrics,
+        series: env.series,
+        conservation: env.conservation,
+        failure: env.failure,
+    })
+}
+
 /// Runs one memcached experiment to completion.
 ///
 /// # Panics
 ///
-/// Panics if clients fail to finish within the simulated-time budget.
+/// Panics if clients fail to finish within the simulated-time budget; use
+/// [`try_run_memcached`] to handle that as a structured error instead.
 pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
-    let wall_start = std::time::Instant::now();
-    let topo_cfg = TopologyConfig {
-        racks: cfg.racks,
-        servers_per_rack: cfg.servers_per_rack,
-        racks_per_array: 16.min(cfg.racks),
-    };
-    let mut spec =
-        if cfg.ten_gig { ClusterSpec::ten_gbe(topo_cfg) } else { ClusterSpec::gbe(topo_cfg) };
-    spec.kernel = cfg.kernel.clone();
-    spec.seed = cfg.seed;
-    spec = spec.with_extra_switch_latency(cfg.extra_switch_latency);
-    let (mut host, cluster) = Cluster::instantiate(&spec, cfg.mode);
-    if let Some(plan) = &cfg.faults {
-        plan.apply(&mut host, &cluster).expect("fault plan failed to apply");
+    match try_run_memcached(cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("memcached experiment failed ({} racks): {e}", cfg.racks),
     }
-    let topo = cluster.topo.clone();
-    let root_rng = DetRng::new(cfg.seed);
+}
 
-    // memcached servers: the first `mc_per_rack` nodes of each rack.
-    let mut server_addrs = Vec::new();
-    let mut shareds: Vec<McSharedHandle> = Vec::new();
-    for rack in 0..cfg.racks {
-        for slot in 0..cfg.mc_per_rack {
-            let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
-            let scfg = McServerConfig {
-                port: MEMCACHED_PORT,
-                workers: cfg.workers,
-                version: cfg.version,
-                udp: cfg.proto == Proto::Udp,
-                request_work: cfg.request_work,
-            };
-            let sh = mc_shared(scfg.workers);
-            cluster.spawn(&mut host, addr, Box::new(McDispatcher::new(scfg.clone(), sh.clone())));
-            for w in 0..scfg.workers {
+// ====================================================================
+// Partition-aggregate search tier
+// ====================================================================
+
+/// One partition-aggregate experiment configuration.
+#[derive(Debug, Clone)]
+pub struct PaExperimentConfig {
+    /// Racks; each rack hosts one front-end (slot 0) and
+    /// `servers_per_rack - 1` leaves.
+    pub racks: usize,
+    /// Servers per rack.
+    pub servers_per_rack: usize,
+    /// Queries per front-end.
+    pub queries: u64,
+    /// Per-query aggregation deadline.
+    pub deadline: SimDuration,
+    /// Fan each query over every leaf in the cluster instead of only the
+    /// front-end's own rack (forces cross-partition traffic).
+    pub cross_rack: bool,
+    /// Query payload bytes.
+    pub query_bytes: u32,
+    /// Answer payload bytes.
+    pub answer_bytes: u32,
+    /// Instructions of leaf service work per query.
+    pub service_work: u64,
+    /// Uniform extra instructions per query (the service-time spread).
+    pub service_jitter: u64,
+    /// Instructions of front-end think time between queries.
+    pub think: u64,
+    /// Guest kernel.
+    pub kernel: KernelProfile,
+    /// 10 Gbps fabric instead of 1 Gbps.
+    pub ten_gig: bool,
+    /// Execution mode.
+    pub mode: RunMode,
+    /// Seed.
+    pub seed: u64,
+    /// When set, scrape the whole cluster at this simulated-time cadence
+    /// into the result's time series.
+    pub sample_every: Option<SimDuration>,
+    /// Scripted fault schedule injected before the run starts.
+    pub faults: Option<FaultPlan>,
+}
+
+impl PaExperimentConfig {
+    /// A rack-local search tier at the given rack count, `queries`
+    /// queries per front-end.
+    pub fn new(racks: usize, queries: u64) -> Self {
+        PaExperimentConfig {
+            racks,
+            servers_per_rack: 6,
+            queries,
+            deadline: SimDuration::from_millis(1),
+            cross_rack: false,
+            query_bytes: 64,
+            answer_bytes: 2_048,
+            service_work: 20_000,
+            service_jitter: 8_000,
+            think: 8_000,
+            kernel: KernelProfile::linux_2_6_39(),
+            ten_gig: false,
+            mode: RunMode::Serial,
+            seed: 0xa99_2e6a7e,
+            sample_every: None,
+            faults: None,
+        }
+    }
+
+    /// Leaves per front-end fan-out.
+    pub fn fanout(&self) -> usize {
+        let per_rack = self.servers_per_rack - 1;
+        if self.cross_rack {
+            per_rack * self.racks
+        } else {
+            per_rack
+        }
+    }
+
+    /// ToR template for the search tier: the fabric's stock timing with
+    /// a deeper per-port buffer. Every query lands `fanout()` answers on
+    /// the front-end's downlink port inside one wire-time window; the
+    /// paper's shallow 4 KB commodity buffer would drop most of that
+    /// burst before the deadline mechanism ever mattered, so the
+    /// aggregation tier models the deeper-buffered racks such tiers are
+    /// deployed on.
+    fn tor_template(&self) -> SwitchTemplate {
+        let mut tor = if self.ten_gig {
+            SwitchTemplate::ten_gbe_fast()
+        } else {
+            SwitchTemplate::gbe_shallow()
+        };
+        tor.buffer = BufferConfig::PerPort { bytes_per_port: 64 * 1024 };
+        tor
+    }
+
+    /// The shared experiment base this config describes.
+    fn base(&self) -> ExperimentBase {
+        let topology = TopologyConfig {
+            racks: self.racks,
+            servers_per_rack: self.servers_per_rack,
+            racks_per_array: 16.min(self.racks),
+        };
+        ExperimentBase {
+            topology,
+            kernel: self.kernel.clone(),
+            cpu: None,
+            ten_gig: self.ten_gig,
+            tor: Some(self.tor_template()),
+            extra_switch_latency: SimDuration::ZERO,
+            seed: self.seed,
+            mode: self.mode,
+            sample_every: self.sample_every,
+            faults: self.faults.clone(),
+        }
+    }
+}
+
+/// Aggregated partition-aggregate measurements.
+#[derive(Debug, Clone)]
+pub struct PaExperimentResult {
+    /// Full-aggregate latencies over all front-ends (nanoseconds).
+    pub latency: Histogram,
+    /// Queries completed (full or partial) across all front-ends.
+    pub queries: u64,
+    /// Queries where every leaf answered within the deadline.
+    pub full_aggregates: u64,
+    /// Queries that hit the deadline with answers outstanding.
+    pub deadline_misses: u64,
+    /// Leaf answers dropped from aggregates across the run.
+    pub missing_answers: u64,
+    /// Queries answered by all leaves.
+    pub served: u64,
+    /// When the last front-end finished.
+    pub completed_at: SimTime,
+    /// Simulated time consumed.
+    pub sim_time: SimTime,
+    /// Events processed.
+    pub events: u64,
+    /// Host wall-clock time.
+    pub wall: std::time::Duration,
+    /// Parallel-executor statistics (`None` for serial runs).
+    pub exec: Option<ExecReport>,
+    /// Final whole-cluster metric scrape (quiescent snapshot).
+    pub metrics: MetricsRegistry,
+    /// Periodic scrapes (when [`PaExperimentConfig::sample_every`] was
+    /// set).
+    pub series: Option<SeriesRecorder>,
+    /// Frame-conservation audit at end of run.
+    pub conservation: DropAccounting,
+    /// Client-side failure/recovery report (all zeros in a fault-free
+    /// run; the deadline-bounded front-end degrades by missing answers,
+    /// not by retrying).
+    pub failure: FailureStats,
+}
+
+/// The search-tier scenario: slot 0 of each rack is a front-end, the
+/// remaining slots are leaves. Rack-local fan-out by default;
+/// [`PaExperimentConfig::cross_rack`] widens it to the whole cluster.
+struct PaWorkload<'a> {
+    cfg: &'a PaExperimentConfig,
+    frontends: Vec<NodeAddr>,
+}
+
+/// What [`PaWorkload`] measures.
+struct PaSummary {
+    latency: Histogram,
+    queries: u64,
+    full_aggregates: u64,
+    deadline_misses: u64,
+    missing_answers: u64,
+    served: u64,
+    completed_at: SimTime,
+}
+
+impl PaWorkload<'_> {
+    fn leaf_addrs(&self, rack: usize) -> Vec<SockAddr> {
+        let cfg = self.cfg;
+        let leaves_of_rack = |r: usize| {
+            (1..cfg.servers_per_rack).map(move |slot| {
+                SockAddr::new(NodeAddr((r * cfg.servers_per_rack + slot) as u32), PA_PORT)
+            })
+        };
+        if cfg.cross_rack {
+            (0..cfg.racks).flat_map(leaves_of_rack).collect()
+        } else {
+            leaves_of_rack(rack).collect()
+        }
+    }
+}
+
+impl Workload for PaWorkload<'_> {
+    type Summary = PaSummary;
+
+    fn name(&self) -> &str {
+        "partition-aggregate"
+    }
+
+    fn budget(&self) -> SimTime {
+        // Deadline-bounded: each query finishes within think + deadline,
+        // but faults can only slow a query down to the deadline, so the
+        // dominant term is queries * deadline with slack for startup.
+        SimTime::from_secs(2) + self.cfg.deadline * (4 * self.cfg.queries)
+    }
+
+    fn initial_horizon(&self) -> SimTime {
+        SimTime::from_millis(100)
+    }
+
+    fn build(&mut self, host: &mut SimHost, cluster: &Cluster) {
+        let cfg = self.cfg;
+        let root_rng = DetRng::new(cfg.seed);
+        // Leaves first: every non-zero slot of each rack.
+        for rack in 0..cfg.racks {
+            for slot in 1..cfg.servers_per_rack {
+                let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
+                let lcfg = PaLeafConfig {
+                    port: PA_PORT,
+                    service_work: cfg.service_work,
+                    service_jitter: cfg.service_jitter,
+                    answer_bytes: cfg.answer_bytes,
+                };
                 cluster.spawn(
-                    &mut host,
+                    host,
                     addr,
-                    Box::new(McWorker::new(w, scfg.clone(), sh.clone())),
+                    Box::new(PaLeaf::new(lcfg, root_rng.derive(addr.0 as u64))),
                 );
             }
-            shareds.push(sh);
-            server_addrs.push(SockAddr::new(addr, MEMCACHED_PORT));
         }
-    }
-
-    // Clients: every remaining node.
-    let mut client_addrs = Vec::new();
-    for rack in 0..cfg.racks {
-        for slot in cfg.mc_per_rack..cfg.servers_per_rack {
-            let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
-            let mut ccfg = match cfg.proto {
-                Proto::Tcp => McClientConfig::tcp(server_addrs.clone(), cfg.requests_per_client),
-                Proto::Udp => McClientConfig::udp(server_addrs.clone(), cfg.requests_per_client),
+        // Front-ends: slot 0 of each rack, sharing one leaf list per
+        // fan-out domain.
+        let cluster_leaves: Option<Arc<[SockAddr]>> =
+            cfg.cross_rack.then(|| self.leaf_addrs(0).into());
+        for rack in 0..cfg.racks {
+            let addr = NodeAddr((rack * cfg.servers_per_rack) as u32);
+            let leaves: Arc<[SockAddr]> = match &cluster_leaves {
+                Some(shared) => shared.clone(),
+                None => self.leaf_addrs(rack).into(),
             };
-            // Stagger client start over ~2 ms to avoid a synchronized
-            // thundering herd at t=0.
-            ccfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
-            ccfg.reconnect_every = cfg.reconnect_every;
-            ccfg.request_deadline = cfg.request_deadline;
-            let topo2 = topo.clone();
-            ccfg.classify =
-                Some(Arc::new(move |server: NodeAddr| match topo2.hop_class(addr, server) {
-                    HopClass::Local => 0,
-                    HopClass::OneHop => 1,
-                    HopClass::TwoHop => 2,
-                }));
-            let rng = root_rng.derive(addr.0 as u64);
-            cluster.spawn(&mut host, addr, Box::new(McClient::new(ccfg, rng)));
-            client_addrs.push(addr);
+            let mut fcfg = PaFrontendConfig::new(leaves, cfg.queries);
+            fcfg.deadline = cfg.deadline;
+            fcfg.query_bytes = cfg.query_bytes;
+            fcfg.think = cfg.think;
+            // Stagger front-end start so racks do not fan out in lockstep.
+            fcfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
+            cluster.spawn(host, addr, Box::new(PaFrontend::new(fcfg)));
+            self.frontends.push(addr);
         }
     }
 
-    // Run until all clients complete.
-    let budget = SimTime::from_secs(5 + cfg.requests_per_client / 2);
-    let mut horizon = SimTime::from_millis(200);
-    let mut series = cfg.sample_every.map(|_| SeriesRecorder::new());
-    let mut next_sample = cfg.sample_every.map_or(SimTime::ZERO, |d| SimTime::ZERO + d);
-    loop {
-        advance(&mut host, &cluster, horizon, cfg.sample_every, &mut next_sample, series.as_mut())
-            .expect("memcached run failed");
-        let all_done = client_addrs.iter().all(|&a| {
-            cluster.process::<McClient>(&host, a, Tid(0)).map(|c| c.done).unwrap_or(false)
-        });
-        if all_done {
-            break;
-        }
-        assert!(horizon < budget, "memcached clients stuck past {budget} at {} racks", cfg.racks);
-        horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
+    fn is_done(&self, host: &SimHost, cluster: &Cluster) -> bool {
+        self.frontends.iter().all(|&a| {
+            cluster.process::<PaFrontend>(host, a, Tid(0)).map(|f| f.done).unwrap_or(false)
+        })
     }
 
-    // Aggregate.
-    let mut latency = Histogram::new();
-    let mut by_class = [Histogram::new(), Histogram::new(), Histogram::new()];
-    let mut failures = 0;
-    let mut udp_retries = 0;
-    let mut completed_at = SimTime::ZERO;
-    let mut failure = FailureStats::default();
-    for &a in &client_addrs {
-        let c: &McClient = cluster.process(&host, a, Tid(0)).expect("client missing");
-        latency.merge(&c.latency);
-        for (dst, src) in by_class.iter_mut().zip(&c.latency_by_class) {
-            dst.merge(src);
+    fn summarize(&self, host: &SimHost, cluster: &Cluster) -> PaSummary {
+        let mut latency = Histogram::new();
+        let mut queries = 0;
+        let mut full_aggregates = 0;
+        let mut deadline_misses = 0;
+        let mut missing_answers = 0;
+        let mut completed_at = SimTime::ZERO;
+        for &a in &self.frontends {
+            let f: &PaFrontend = cluster.process(host, a, Tid(0)).expect("front-end missing");
+            latency.merge(&f.latency);
+            queries += f.completed;
+            full_aggregates += f.full_aggregates;
+            deadline_misses += f.deadline_misses;
+            missing_answers += f.missing_answers;
+            completed_at = completed_at.max(f.finished_at);
         }
-        failures += c.failures;
-        udp_retries += c.udp_retries;
-        failure.merge(&c.failure);
-        completed_at = completed_at.max(c.finished_at);
+        let mut served = 0;
+        for rack in 0..self.cfg.racks {
+            for slot in 1..self.cfg.servers_per_rack {
+                let addr = NodeAddr((rack * self.cfg.servers_per_rack + slot) as u32);
+                let l: &PaLeaf = cluster.process(host, addr, Tid(0)).expect("leaf missing");
+                served += l.served;
+            }
+        }
+        PaSummary {
+            latency,
+            queries,
+            full_aggregates,
+            deadline_misses,
+            missing_answers,
+            served,
+            completed_at,
+        }
     }
-    let served = shareds.iter().map(|s| s.lock().expect("poisoned").served).sum();
-    let conservation = settle(&mut host, &cluster);
-    debug_assert!(
-        conservation.is_balanced(),
-        "memcached frame conservation violated: {:?}",
-        conservation.violations
-    );
-    McExperimentResult {
-        latency,
-        by_class,
-        served,
-        failures,
-        udp_retries,
-        sim_time: host.now(),
-        completed_at,
-        events: host.events_processed(),
-        wall: wall_start.elapsed(),
-        exec: host.exec_report(),
-        metrics: cluster.scrape(&host),
-        series,
-        conservation,
-        failure,
+}
+
+/// Runs one partition-aggregate experiment to completion.
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::run`].
+pub fn try_run_partition_aggregate(
+    cfg: &PaExperimentConfig,
+) -> Result<PaExperimentResult, ExperimentError> {
+    let mut workload = PaWorkload { cfg, frontends: Vec::new() };
+    let (summary, env) = ExperimentHarness::new(cfg.base()).run(&mut workload)?;
+    Ok(PaExperimentResult {
+        latency: summary.latency,
+        queries: summary.queries,
+        full_aggregates: summary.full_aggregates,
+        deadline_misses: summary.deadline_misses,
+        missing_answers: summary.missing_answers,
+        served: summary.served,
+        completed_at: summary.completed_at,
+        sim_time: env.sim_time,
+        events: env.events,
+        wall: env.wall,
+        exec: env.exec,
+        metrics: env.metrics,
+        series: env.series,
+        conservation: env.conservation,
+        failure: env.failure,
+    })
+}
+
+/// Runs one partition-aggregate experiment to completion.
+///
+/// # Panics
+///
+/// Panics if front-ends fail to finish within the simulated-time budget;
+/// use [`try_run_partition_aggregate`] to handle that as a structured
+/// error instead.
+pub fn run_partition_aggregate(cfg: &PaExperimentConfig) -> PaExperimentResult {
+    match try_run_partition_aggregate(cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("partition-aggregate experiment failed ({} racks): {e}", cfg.racks),
     }
 }
 
@@ -593,5 +998,47 @@ mod tests {
         let r = run_memcached(&cfg);
         assert_eq!(r.latency.count(), 150);
         assert_eq!(r.failures, 0);
+    }
+
+    #[test]
+    fn partition_aggregate_mini_completes_fault_free() {
+        let cfg = PaExperimentConfig::new(2, 10);
+        let r = run_partition_aggregate(&cfg);
+        // 2 front-ends x 10 queries, all full aggregates with no faults.
+        assert_eq!(r.queries, 20);
+        assert_eq!(r.full_aggregates, 20);
+        assert_eq!(r.deadline_misses, 0);
+        assert_eq!(r.missing_answers, 0);
+        assert_eq!(r.latency.count(), 20);
+        // Every query reached every leaf: 10 queries x 5 leaves per rack.
+        assert_eq!(r.served, 100);
+        assert!(r.conservation.is_balanced());
+    }
+
+    #[test]
+    fn partition_aggregate_cross_rack_fans_wider() {
+        let mut cfg = PaExperimentConfig::new(2, 5);
+        cfg.cross_rack = true;
+        let r = run_partition_aggregate(&cfg);
+        assert_eq!(r.queries, 10);
+        // 5 queries x 10 leaves x 2 front-ends.
+        assert_eq!(r.served, 100);
+        assert_eq!(r.full_aggregates + r.deadline_misses, 10);
+    }
+
+    #[test]
+    fn partition_aggregate_degrades_under_link_fault() {
+        // node1 is a leaf of rack 0: while its link is down, rack 0's
+        // front-end cannot complete an aggregate and must miss deadlines.
+        // The window opens early enough to overlap the ~4 ms fault-free
+        // run and closes well before the last query.
+        let mut cfg = PaExperimentConfig::new(2, 40);
+        cfg.faults =
+            Some(FaultPlan::parse("1ms link-down node1\n4ms link-up node1").expect("valid plan"));
+        let r = run_partition_aggregate(&cfg);
+        assert_eq!(r.queries, 80, "deadline-bounded queries always complete");
+        assert!(r.deadline_misses > 0, "a downed leaf link must cost deadlines");
+        assert!(r.missing_answers >= r.deadline_misses);
+        assert!(r.full_aggregates > 0, "the fault window ends before the run does");
     }
 }

@@ -3,14 +3,16 @@
 //! Ties the substrates together into the tool the paper describes: build a
 //! warehouse-scale array (servers + NICs + three switch levels) from a
 //! [`cluster::ClusterSpec`], run it deterministically on one thread or
-//! partition-parallel across many ([`cluster::SimHost`]), drive it with
-//! the paper's workloads ([`experiments`]), and render results
-//! ([`report`]). The [`survey`] module carries the paper's motivation
-//! data (Figure 2 / Table 1).
+//! partition-parallel across many ([`cluster::SimHost`]), drive any
+//! [`experiment::Workload`] through the one shared lifecycle
+//! ([`experiment::ExperimentHarness`]), run the paper's workloads
+//! ([`experiments`]), and render results ([`report`]). The [`survey`]
+//! module carries the paper's motivation data (Figure 2 / Table 1).
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod experiment;
 pub mod experiments;
 pub mod fault;
 pub mod observe;
@@ -18,9 +20,11 @@ pub mod report;
 pub mod survey;
 
 pub use cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+pub use experiment::{ExperimentBase, ExperimentError, ExperimentHarness, RunEnvelope, Workload};
 pub use experiments::{
-    run_incast, run_memcached, IncastClientKind, IncastConfig, IncastResult, McExperimentConfig,
-    McExperimentResult,
+    run_incast, run_memcached, run_partition_aggregate, try_run_incast, try_run_memcached,
+    try_run_partition_aggregate, IncastClientKind, IncastConfig, IncastResult, McExperimentConfig,
+    McExperimentResult, PaExperimentConfig, PaExperimentResult,
 };
 pub use fault::{FaultEventSpec, FaultKind, FaultPlan, FaultPlanError, FaultTarget};
 pub use observe::DropAccounting;

@@ -68,10 +68,17 @@ pub mod prelude {
     pub use diablo_apps::echo::{TcpEchoClient, TcpEchoServer, UdpEchoServer, UdpPingClient};
     pub use diablo_apps::incast::{IncastEpollClient, IncastMaster, IncastServer, IncastWorker};
     pub use diablo_apps::memcached::{McClient, McClientConfig, McDispatcher, McVersion, McWorker};
+    pub use diablo_apps::partition_aggregate::{
+        PaFrontend, PaFrontendConfig, PaLeaf, PaLeafConfig,
+    };
     pub use diablo_apps::workload::EtcWorkload;
     pub use diablo_core::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+    pub use diablo_core::experiment::{
+        ExperimentBase, ExperimentError, ExperimentHarness, RunEnvelope, Workload,
+    };
     pub use diablo_core::experiments::{
-        run_incast, run_memcached, IncastClientKind, IncastConfig, McExperimentConfig,
+        run_incast, run_memcached, run_partition_aggregate, IncastClientKind, IncastConfig,
+        McExperimentConfig, PaExperimentConfig,
     };
     pub use diablo_core::observe::DropAccounting;
     pub use diablo_engine::prelude::*;

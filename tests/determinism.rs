@@ -163,6 +163,61 @@ fn memcached_fault_schedule_conforms_across_partitionings() {
     }
 }
 
+/// The partition-aggregate search tier with cluster-wide fan-out: every
+/// query crosses the rack cut in both directions, so any divergence in
+/// cross-partition delivery shows up as a different metric scrape.
+#[test]
+fn partition_aggregate_conforms_across_partitionings() {
+    use diablo::core::{run_partition_aggregate, PaExperimentConfig};
+    let run = |mode: RunMode| {
+        let mut cfg = PaExperimentConfig::new(4, 10);
+        cfg.cross_rack = true;
+        cfg.mode = mode;
+        let r = run_partition_aggregate(&cfg);
+        (
+            r.metrics.to_json(),
+            r.events,
+            r.queries,
+            r.full_aggregates,
+            r.deadline_misses,
+            r.missing_answers,
+            r.served,
+            r.completed_at,
+        )
+    };
+    let reference = run(RunMode::Serial);
+    assert_eq!(reference.2, 40, "4 front-ends x 10 queries");
+    for partitions in [2usize, 4] {
+        let got = run(RunMode::parallel(partitions));
+        assert_eq!(reference.1, got.1, "event count diverged at {partitions} partitions");
+        assert_eq!(reference, got, "partition-aggregate diverged at {partitions} partitions");
+    }
+}
+
+/// Same contract with a scripted leaf-uplink outage: deadline misses must
+/// land on exactly the same queries in serial and parallel runs.
+#[test]
+fn partition_aggregate_fault_schedule_conforms_across_partitionings() {
+    use diablo::core::{run_partition_aggregate, FaultPlan, PaExperimentConfig};
+    let run = |mode: RunMode| {
+        let mut cfg = PaExperimentConfig::new(2, 40);
+        cfg.faults =
+            Some(FaultPlan::parse("1ms link-down node1\n4ms link-up node1").expect("valid plan"));
+        cfg.mode = mode;
+        let r = run_partition_aggregate(&cfg);
+        (r.metrics.to_json(), r.events, r.deadline_misses, r.missing_answers, r.completed_at)
+    };
+    let reference = run(RunMode::Serial);
+    assert!(reference.2 > 0, "the outage must be visible in the reference run");
+    for partitions in [2usize, 4] {
+        let got = run(RunMode::parallel(partitions));
+        assert_eq!(
+            reference, got,
+            "faulted partition-aggregate diverged at {partitions} partitions"
+        );
+    }
+}
+
 #[test]
 fn memcached_experiment_is_deterministic() {
     use diablo::core::{run_memcached, McExperimentConfig};
