@@ -46,6 +46,7 @@ fn main() {
             cfg.mode = RunMode::Parallel {
                 partitions,
                 quantum: Some(SimDuration::from_nanos(quantum_ns)),
+                workers: None,
             };
             let r = run_memcached(&cfg);
             let identical = r.events == serial.events

@@ -66,10 +66,20 @@ impl Args {
 /// error rather than a silent fall-back to serial.
 pub fn try_parallel_mode(args: &Args) -> Result<diablo_core::RunMode, String> {
     let n: usize = args.try_get("--parallel", 1).map_err(|e| e.to_string())?;
-    match n {
-        0 => Err("--parallel must be at least 1 (got 0)".to_string()),
-        1 => Ok(diablo_core::RunMode::Serial),
-        n => Ok(diablo_core::RunMode::parallel(n)),
+    // `--sim-workers` pins the engine's worker-thread count (`--workers` is
+    // taken by the memcached app's server-thread knob).
+    let workers: Option<usize> = if args.flag("--sim-workers") {
+        Some(args.try_get("--sim-workers", 0).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    match (n, workers) {
+        (0, _) => Err("--parallel must be at least 1 (got 0)".to_string()),
+        (_, Some(0)) => Err("--sim-workers must be at least 1 (got 0)".to_string()),
+        (1, None) => Ok(diablo_core::RunMode::Serial),
+        (1, Some(_)) => Err("--sim-workers requires --parallel >= 2".to_string()),
+        (n, None) => Ok(diablo_core::RunMode::parallel(n)),
+        (n, Some(w)) => Ok(diablo_core::RunMode::parallel_with_workers(n, w)),
     }
 }
 
@@ -234,5 +244,21 @@ mod tests {
     #[test]
     fn results_dir_is_somewhere() {
         assert!(results_dir().ends_with("results"));
+    }
+
+    #[test]
+    fn sim_workers_flag_pins_engine_workers() {
+        let args = |v: &[&str]| Args::from_vec(v.iter().map(|s| s.to_string()).collect());
+        assert_eq!(
+            try_parallel_mode(&args(&["--parallel", "4", "--sim-workers", "2"])).unwrap(),
+            diablo_core::RunMode::parallel_with_workers(4, 2)
+        );
+        assert_eq!(
+            try_parallel_mode(&args(&["--parallel", "4"])).unwrap(),
+            diablo_core::RunMode::parallel(4)
+        );
+        // Contradictory combinations are errors, not silent fallbacks.
+        assert!(try_parallel_mode(&args(&["--sim-workers", "2"])).is_err());
+        assert!(try_parallel_mode(&args(&["--parallel", "4", "--sim-workers", "0"])).is_err());
     }
 }

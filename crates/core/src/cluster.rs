@@ -34,6 +34,11 @@ pub enum RunMode {
         /// [`Cluster::instantiate`]. An explicit quantum must not exceed
         /// the cut's lookahead.
         quantum: Option<SimDuration>,
+        /// Worker threads the partitions are multiplexed onto. `None`
+        /// lets the executor decide (`DIABLO_WORKERS` or the host's
+        /// available parallelism, clamped to the partition count). Worker
+        /// count affects scheduling only, never results.
+        workers: Option<usize>,
     },
 }
 
@@ -42,7 +47,13 @@ impl RunMode {
     /// (the minimum guaranteed latency of any partition-crossing link).
     /// Resolve through [`Cluster::instantiate`].
     pub fn parallel(partitions: usize) -> Self {
-        RunMode::Parallel { partitions, quantum: None }
+        RunMode::Parallel { partitions, quantum: None, workers: None }
+    }
+
+    /// Like [`RunMode::parallel`] but pinning the worker-thread count
+    /// (still clamped to `partitions` by the executor).
+    pub fn parallel_with_workers(partitions: usize, workers: usize) -> Self {
+        RunMode::Parallel { partitions, quantum: None, workers: Some(workers) }
     }
 }
 
@@ -74,8 +85,11 @@ impl SimHost {
     pub fn new(mode: RunMode) -> Self {
         match mode {
             RunMode::Serial => SimHost::Serial(Simulation::new()),
-            RunMode::Parallel { partitions, quantum: Some(quantum) } => {
-                SimHost::Parallel(ParallelSimulation::new(partitions, quantum))
+            RunMode::Parallel { partitions, quantum: Some(quantum), workers } => {
+                SimHost::Parallel(match workers {
+                    Some(w) => ParallelSimulation::with_workers(partitions, w, quantum),
+                    None => ParallelSimulation::new(partitions, quantum),
+                })
             }
             RunMode::Parallel { quantum: None, .. } => panic!(
                 "a derived quantum needs the topology: build the cluster with \
@@ -444,9 +458,10 @@ impl Cluster {
     /// the cut's lookahead.
     pub fn instantiate(spec: &ClusterSpec, mode: RunMode) -> (SimHost, Cluster) {
         let mode = match mode {
-            RunMode::Parallel { partitions, quantum: None } => RunMode::Parallel {
+            RunMode::Parallel { partitions, quantum: None, workers } => RunMode::Parallel {
                 partitions,
                 quantum: Some(spec.partition_plan(partitions).lookahead),
+                workers,
             },
             m => m,
         };
@@ -676,6 +691,7 @@ mod tests {
         let mut host = SimHost::new(RunMode::Parallel {
             partitions: 2,
             quantum: Some(SimDuration::from_millis(1)),
+            workers: None,
         });
         let _ = Cluster::build(&mut host, &spec);
     }

@@ -65,6 +65,27 @@
 //!   then `yield_now`, then a timed condvar wait — so oversubscribed or
 //!   idle workers don't burn the bus (the old ticket barrier's worst
 //!   path). Min/flag slots are parity double-buffered like the lanes.
+//! * **Batched dispatch.** Inside a round, consecutive events for the same
+//!   component are dispatched as one *batch*: one directory lookup, one
+//!   component borrow, and one routing epilogue (cross-partition checks,
+//!   outbox-minimum fold, in-round horizon clamp) per batch instead of per
+//!   event. The published-minimum scan over the `mins`/`flags` arrays runs
+//!   exactly once per round; the dispatch fast path touches no shared
+//!   state at all. See `run_worker`.
+//! * **Per-worker arenas.** Every scratch buffer on the steady-state path —
+//!   the emitted-event buffer, the per-destination outboxes, the calendar
+//!   queue's buckets, the exchange lanes — lives in [`WorkerState`] or the
+//!   pool and is reused across rounds *and* across `run_until` calls, so
+//!   the hot path performs no per-event heap allocation once capacities
+//!   have warmed up.
+//! * **Lock-free round boundary *and* run boundary.** Rounds never take a
+//!   lock: a round is barrier → concurrent lane drain → barrier, with the
+//!   exchange running over the parity lanes and the decision over the
+//!   atomic min/flag arrays. The per-run handoff of worker states and
+//!   results uses the same single-owner pattern ([`HandoffCell`]): plain
+//!   `UnsafeCell`s whose ownership alternates between the coordinator and
+//!   one worker, with the job-control rendezvous providing the
+//!   happens-before edges — no per-slot mutexes.
 //!
 //! The barrier is *poisonable*: if a component handler panics on a worker,
 //! the barrier wakes every other worker with an error instead of
@@ -142,13 +163,18 @@ impl<M: 'static, Q: EventQueue<M> + Default> ComponentHost<M> for Simulation<M, 
     }
 }
 
-/// Resolves the default worker count for `partitions` partitions: the
-/// `DIABLO_WORKERS` environment variable if set, else the host's available
-/// parallelism, clamped to `[1, partitions]`.
-fn default_workers(partitions: usize) -> usize {
+/// Resolves the *requested* worker count: the `DIABLO_WORKERS` environment
+/// variable if set, else the host's available parallelism (at least 1).
+///
+/// The request is deliberately not clamped to the partition count here:
+/// [`ParallelSimulation::with_workers`] performs that clamp and records
+/// both the requested and the effective value, so a silently reduced
+/// worker count stays diagnosable from the executor's
+/// [`ExecReport`] (`workers_requested` vs. the per-worker entries).
+fn requested_workers() -> usize {
     let from_env = std::env::var("DIABLO_WORKERS").ok().and_then(|s| s.parse::<usize>().ok());
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    from_env.unwrap_or(hw).clamp(1, partitions.max(1))
+    from_env.unwrap_or(hw).max(1)
 }
 
 /// Per-partition execution counters. Components themselves live in the
@@ -170,12 +196,19 @@ struct PartCounters {
 struct WorkerState<M> {
     /// Index of the first owned partition.
     lo: usize,
-    /// (global id, component) pairs owned by this worker, flat across its
-    /// partitions in registration order.
-    components: Vec<(ComponentId, Box<dyn Component<M>>)>,
-    /// Per-owned-component sequence counters, parallel to `components`.
+    /// Component state, struct-of-arrays and indexed by the flat component
+    /// index assigned at registration: `comps` is the hot array the
+    /// dispatch loop walks, `seqs`/`part_of` are its parallel metadata
+    /// columns, and `ids` is the cold column holding each slot's global
+    /// [`ComponentId`] (only read by debug asserts and inspection paths).
+    /// Splitting the old `(ComponentId, Box<dyn Component>)` AoS pairs
+    /// keeps the dispatch loop's cache lines free of ids it never needs.
+    ids: Vec<ComponentId>,
+    /// Component trait objects, parallel to `ids` (the hot SoA column).
+    comps: Vec<Box<dyn Component<M>>>,
+    /// Per-owned-component sequence counters, parallel to `ids`.
     seqs: Vec<u64>,
-    /// Owning partition of each component, parallel to `components`.
+    /// Owning partition of each component, parallel to `ids`.
     part_of: Vec<u32>,
     /// Execution counters for each owned partition (`counters[p - lo]`).
     counters: Vec<PartCounters>,
@@ -184,6 +217,10 @@ struct WorkerState<M> {
     /// Per-destination-worker outboxes, swapped into lanes at round end.
     /// Kept in the state so buffer capacity survives across rounds/runs.
     outboxes: Vec<Vec<Event<M>>>,
+    /// Reusable buffer for events emitted by one dispatch batch (the
+    /// per-worker arena: capacity survives across rounds and runs, so the
+    /// steady-state dispatch path performs no heap allocation).
+    pending: Vec<Event<M>>,
     last_time: SimTime,
     /// Barrier rounds completed.
     rounds: u64,
@@ -195,24 +232,30 @@ struct WorkerState<M> {
     lane_events: u64,
     /// Largest single-round lane drain.
     lane_peak: u64,
+    /// Same-component dispatch batches executed (events per batch =
+    /// events / batches; higher means the batching fast path is paying).
+    batches: u64,
 }
 
 impl<M> WorkerState<M> {
     fn new(lo: usize) -> Self {
         WorkerState {
             lo,
-            components: Vec::new(),
+            ids: Vec::new(),
+            comps: Vec::new(),
             seqs: Vec::new(),
             part_of: Vec::new(),
             counters: Vec::new(),
             queue: CalendarQueue::new(),
             outboxes: Vec::new(),
+            pending: Vec::new(),
             last_time: SimTime::ZERO,
             rounds: 0,
             busy_rounds: 0,
             barrier_wait_ns: 0,
             lane_events: 0,
             lane_peak: 0,
+            batches: 0,
         }
     }
 
@@ -396,6 +439,48 @@ fn lane_idx(n: usize, parity: usize, src: usize, dst: usize) -> usize {
     (parity * n + src) * n + dst
 }
 
+/// A single-owner handoff cell: the lock-free analogue of the old
+/// per-slot `Mutex` used for loaning worker states and collecting results
+/// across a run boundary.
+///
+/// # Safety protocol
+///
+/// Ownership of the contents alternates strictly between the coordinating
+/// thread and exactly one worker thread, with the job-control rendezvous
+/// providing the happens-before edges — the same discipline the parity
+/// [`Lane`]s use, applied to the run boundary:
+///
+/// * coordinator → worker: the coordinator writes every cell *before*
+///   bumping `JobCtl::epoch` under the job mutex; worker `w` reads its
+///   cells only *after* observing the new epoch under the same mutex.
+/// * worker → coordinator: worker `w` writes its cells *before* bumping
+///   `JobCtl::done` under the job mutex; the coordinator reads them only
+///   *after* observing `done == nworkers` under the same mutex.
+///
+/// Between those two edges, cell `w` is touched by worker `w` alone; at
+/// every other instant, by the coordinator alone. The single-worker inline
+/// path runs entirely on the coordinating thread and needs no edge at all.
+struct HandoffCell<T>(UnsafeCell<T>);
+
+// SAFETY: the rendezvous protocol above guarantees exclusive, alternating
+// access; `T: Send` because the contents move between threads.
+unsafe impl<T: Send> Sync for HandoffCell<T> {}
+
+impl<T> HandoffCell<T> {
+    fn new(v: T) -> Self {
+        HandoffCell(UnsafeCell::new(v))
+    }
+
+    /// # Safety
+    ///
+    /// The caller must hold the cell's logical ownership per the protocol
+    /// above (be the coordinator outside a job, or worker `w` inside one).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+}
+
 /// Parameters of one `run_until` call, published to the workers.
 #[derive(Clone, Copy, Default)]
 struct JobSpec {
@@ -433,12 +518,13 @@ struct PoolShared<M> {
     /// SPSC exchange lanes, `2 * nworkers * nworkers` of them (see
     /// [`Lane`]).
     lanes: Vec<Lane<M>>,
-    /// Handoff cells loaning each worker's state to its thread.
-    slots: Vec<Mutex<Option<WorkerState<M>>>>,
+    /// Handoff cells loaning each worker's state to its thread (see
+    /// [`HandoffCell`] for the lock-free ownership protocol).
+    slots: Vec<HandoffCell<Option<WorkerState<M>>>>,
     /// Per-worker `(last event time, stopped)` results.
-    results: Vec<Mutex<(SimTime, bool)>>,
+    results: Vec<HandoffCell<(SimTime, bool)>>,
     /// First error raised by each worker.
-    errors: Vec<Mutex<Option<EngineError>>>,
+    errors: Vec<HandoffCell<Option<EngineError>>>,
     job: Mutex<JobCtl>,
     job_cv: Condvar,
     done_cv: Condvar,
@@ -473,9 +559,9 @@ impl<M: Send + 'static> WorkerPool<M> {
             mins: (0..2 * nworkers).map(|_| AtomicU64::new(u64::MAX)).collect(),
             flags: (0..2 * nworkers).map(|_| AtomicU64::new(0)).collect(),
             lanes: (0..2 * nworkers * nworkers).map(|_| Lane::new()).collect(),
-            slots: (0..nworkers).map(|_| Mutex::new(None)).collect(),
-            results: (0..nworkers).map(|_| Mutex::new((SimTime::ZERO, false))).collect(),
-            errors: (0..nworkers).map(|_| Mutex::new(None)).collect(),
+            slots: (0..nworkers).map(|_| HandoffCell::new(None)).collect(),
+            results: (0..nworkers).map(|_| HandoffCell::new((SimTime::ZERO, false))).collect(),
+            errors: (0..nworkers).map(|_| HandoffCell::new(None)).collect(),
             job: Mutex::new(JobCtl {
                 epoch: 0,
                 done: 0,
@@ -540,21 +626,20 @@ fn worker_main<M: Send + 'static>(shared: Arc<PoolShared<M>>, me: usize) {
             seen_epoch = job.epoch;
             job.spec
         };
-        let mut ws = shared.slots[me]
-            .lock()
-            .expect("slot mutex")
-            .take()
-            .expect("worker state was not loaned");
+        // SAFETY (all three cells below): we observed the new epoch under
+        // the job mutex, so per the HandoffCell protocol this worker holds
+        // the cells' logical ownership until it bumps `done`.
+        let mut ws = unsafe { shared.slots[me].get() }.take().expect("worker state was not loaned");
         let outcome =
             catch_unwind(AssertUnwindSafe(|| run_worker(&shared, me, &mut ws, &spec, &mut sense)));
         match outcome {
-            Ok(result) => *shared.results[me].lock().expect("result mutex") = result,
+            Ok(result) => unsafe { *shared.results[me].get() = result },
             Err(_) => {
                 shared.panicked.store(true, Ordering::SeqCst);
                 shared.barrier.poison();
             }
         }
-        *shared.slots[me].lock().expect("slot mutex") = Some(ws);
+        unsafe { *shared.slots[me].get() = Some(ws) };
         let mut job = shared.job.lock().expect("pool job mutex");
         job.done += 1;
         if job.done == shared.nworkers {
@@ -582,7 +667,6 @@ fn run_worker<M: Send + 'static>(
     let directory: &[(u32, u32)] = &shared.directory;
     let part_worker: &[u32] = &shared.part_worker;
     let lookahead = shared.lookahead_ps;
-    let mut pending: Vec<Event<M>> = Vec::new();
     let mut local_now = spec.start_now;
     let mut stopped = false;
     let mut pending_stop = false;
@@ -602,16 +686,16 @@ fn run_worker<M: Send + 'static>(
         // cross-partition deliveries have no lookahead bound here
         // (`earliest_ok = start_now` admits everything).
         let start_ps = spec.start_now.as_picos();
-        for i in 0..ws.components.len() {
+        for i in 0..ws.comps.len() {
             let part_id = ws.part_of[i];
-            let id = ws.components[i].0;
+            let id = ws.ids[i];
             let mut stop = false;
-            let mut ctx = Ctx::new(spec.start_now, id, &mut ws.seqs[i], &mut pending, &mut stop);
-            ws.components[i].1.on_start(&mut ctx);
+            let mut ctx = Ctx::new(spec.start_now, id, &mut ws.seqs[i], &mut ws.pending, &mut stop);
+            ws.comps[i].on_start(&mut ctx);
             pending_stop |= stop;
             let mut cross = 0u64;
             let mut outbox_min = u64::MAX;
-            for ev in pending.drain(..) {
+            for ev in ws.pending.drain(..) {
                 if let Err(e) = route_one(
                     directory,
                     part_worker,
@@ -652,7 +736,9 @@ fn run_worker<M: Send + 'static>(
         }
         if let Some(e) = pending_err.take() {
             f |= FLAG_ERR;
-            shared.errors[me].lock().expect("error mutex").get_or_insert(e);
+            // SAFETY: called from within a job; worker `me` owns its error
+            // cell until it reports completion (see HandoffCell).
+            unsafe { shared.errors[me].get() }.get_or_insert(e);
         }
         shared.flags[parity * nw + me].store(f, Ordering::Release);
 
@@ -727,32 +813,56 @@ fn run_worker<M: Send + 'static>(
         // routed within this worker stay in its ordered queue and need no
         // clamp.) Previously processed events are unaffected: pops are in
         // time order and `d + lookahead` is strictly in the future.
+        // The loop is *batched*: once a component is resolved, consecutive
+        // queue-head events for the same component are dispatched under a
+        // single directory lookup and component borrow, and the routing
+        // epilogue below (cross-partition checks, outbox-minimum fold,
+        // horizon clamp) runs once per batch. The batch may only continue
+        // while the previous event emitted nothing (`pending` empty): the
+        // queue head is this worker's globally next event, so the dispatch
+        // order is identical to the unbatched loop, and an empty `pending`
+        // means the epilogue would have been a no-op for every skipped
+        // per-event iteration.
         let mut processed_any = false;
         'horizon: while !pending_stop {
-            let Some(ev) = ws.queue.pop_before(horizon) else { break };
-            local_now = ev.key.time;
+            let Some(mut ev) = ws.queue.pop_before(horizon) else { break };
             let target = ev.key.target;
             let (p, fidx) = directory[target.index()];
             let prel = p as usize - ws.lo;
             let fidx = fidx as usize;
+            debug_assert_eq!(ws.ids[fidx], target);
             let mut stop = false;
+            let mut batch = 0u64;
             {
-                let (id_check, comp) = &mut ws.components[fidx];
-                debug_assert_eq!(*id_check, target);
-                let mut ctx =
-                    Ctx::new(local_now, target, &mut ws.seqs[fidx], &mut pending, &mut stop);
-                match ev.kind {
-                    EventKind::Timer(key) => comp.on_timer(key, &mut ctx),
-                    EventKind::Message(port, msg) => comp.on_message(port, msg, &mut ctx),
+                let comp = &mut ws.comps[fidx];
+                loop {
+                    local_now = ev.key.time;
+                    let mut ctx =
+                        Ctx::new(local_now, target, &mut ws.seqs[fidx], &mut ws.pending, &mut stop);
+                    match ev.kind {
+                        EventKind::Timer(key) => comp.on_timer(key, &mut ctx),
+                        EventKind::Message(port, msg) => comp.on_message(port, msg, &mut ctx),
+                    }
+                    batch += 1;
+                    if !ws.pending.is_empty() || stop {
+                        break;
+                    }
+                    match ws.queue.peek_key() {
+                        Some(k) if k.target == target && k.time.as_picos() < horizon => {
+                            ev = ws.queue.pop_before(horizon).expect("peeked event");
+                        }
+                        _ => break,
+                    }
                 }
             }
-            ws.counters[prel].events_processed += 1;
+            ws.counters[prel].events_processed += batch;
+            ws.batches += 1;
             processed_any = true;
             pending_stop |= stop;
             let earliest_ok = local_now.as_picos().saturating_add(lookahead);
             let mut cross = 0u64;
             let mut outbox_min = u64::MAX;
-            for out in pending.drain(..) {
+            for out in ws.pending.drain(..) {
                 if let Err(e) = route_one(
                     directory,
                     part_worker,
@@ -853,6 +963,10 @@ pub struct ParallelSimulation<M> {
     /// Barrier sense flag for the single-worker inline path, persisted
     /// across `run_until` calls like each pool thread's local flag is.
     inline_sense: bool,
+    /// The worker count asked for (env/default/explicit), before the clamp
+    /// to `partitions`; reported so a silently reduced effective count is
+    /// diagnosable from the [`ExecReport`] artifact.
+    workers_requested: usize,
 }
 
 impl<M> std::fmt::Debug for ParallelSimulation<M> {
@@ -882,7 +996,7 @@ impl<M: Send + 'static> ParallelSimulation<M> {
     ///
     /// Panics if `partitions` is zero or `lookahead` is zero.
     pub fn new(partitions: usize, lookahead: SimDuration) -> Self {
-        Self::with_workers(partitions, default_workers(partitions), lookahead)
+        Self::with_workers(partitions, requested_workers(), lookahead)
     }
 
     /// Like [`ParallelSimulation::new`] but with an explicit worker-thread
@@ -914,6 +1028,7 @@ impl<M: Send + 'static> ParallelSimulation<M> {
             workers: worker_states,
             part_worker,
             nparts: partitions,
+            workers_requested: workers,
             directory: Vec::new(),
             lookahead,
             now: SimTime::ZERO,
@@ -940,9 +1055,20 @@ impl<M: Send + 'static> ParallelSimulation<M> {
         self.nparts
     }
 
-    /// Number of worker threads partitions are multiplexed onto.
+    /// Number of worker threads partitions are multiplexed onto (the
+    /// *effective* count, after the clamp to the partition count).
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The worker count that was *requested* (explicitly, via
+    /// `DIABLO_WORKERS`, or from the host's available parallelism) before
+    /// the clamp to the partition count. When this exceeds
+    /// [`ParallelSimulation::worker_count`], the executor silently reduced
+    /// concurrency — the [`ExecReport`] carries both so the reduction shows
+    /// up in metrics artifacts.
+    pub fn workers_requested(&self) -> usize {
+        self.workers_requested
     }
 
     /// Total worker threads spawned so far. Zero before the first run, and
@@ -963,14 +1089,14 @@ impl<M: Send + 'static> ParallelSimulation<M> {
     pub fn component<T: 'static>(&self, id: ComponentId) -> Option<&T> {
         let &(p, f) = self.directory().get(id.index())?;
         let w = self.part_worker[p as usize] as usize;
-        self.workers[w].components[f as usize].1.as_any().downcast_ref::<T>()
+        self.workers[w].comps[f as usize].as_any().downcast_ref::<T>()
     }
 
     /// Mutable variant of [`ParallelSimulation::component`].
     pub fn component_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
         let &(p, f) = self.directory().get(id.index())?;
         let w = self.part_worker[p as usize] as usize;
-        self.workers[w].components[f as usize].1.as_any_mut().downcast_mut::<T>()
+        self.workers[w].comps[f as usize].as_any_mut().downcast_mut::<T>()
     }
 
     /// Visits every component that exposes a metrics surface (see
@@ -984,7 +1110,7 @@ impl<M: Send + 'static> ParallelSimulation<M> {
     ) {
         for (i, &(p, fl)) in self.directory().iter().enumerate() {
             let w = self.part_worker[p as usize] as usize;
-            if let Some(ins) = self.workers[w].components[fl as usize].1.instrumented() {
+            if let Some(ins) = self.workers[w].comps[fl as usize].instrumented() {
                 f(ComponentId(i as u32), ins);
             }
         }
@@ -1006,6 +1132,7 @@ impl<M: Send + 'static> ParallelSimulation<M> {
     pub fn exec_report(&self) -> ExecReport {
         ExecReport {
             lookahead_ps: self.lookahead.as_picos(),
+            workers_requested: self.workers_requested,
             workers: self
                 .workers
                 .iter()
@@ -1018,6 +1145,7 @@ impl<M: Send + 'static> ParallelSimulation<M> {
                     barrier_wait_ns: ws.barrier_wait_ns,
                     lane_events: ws.lane_events,
                     lane_peak: ws.lane_peak,
+                    dispatch_batches: ws.batches,
                 })
                 .collect(),
             partitions: self
@@ -1100,7 +1228,9 @@ impl<M: Send + 'static> ParallelSimulation<M> {
                     return Err(EngineError::WorkerPanicked);
                 }
             };
-            if let Some(e) = shared.errors[0].lock().expect("error mutex").take() {
+            // SAFETY: the inline path runs on this thread only; no worker
+            // thread ever touches the cells of a single-worker pool.
+            if let Some(e) = unsafe { shared.errors[0].get() }.take() {
                 return Err(e);
             }
             if !stopped && limit < SimTime::MAX {
@@ -1112,9 +1242,12 @@ impl<M: Send + 'static> ParallelSimulation<M> {
         }
 
         // Loan the worker states to the pool and publish the job.
+        // SAFETY: no job is in flight (the previous one completed with
+        // `done == nworkers` observed under the job mutex), so the
+        // coordinator owns every handoff cell until the epoch bump below.
         for (i, ws) in self.workers.iter_mut().enumerate() {
             let state = std::mem::replace(ws, WorkerState::hollow());
-            *shared.slots[i].lock().expect("slot mutex") = Some(state);
+            unsafe { *shared.slots[i].get() = Some(state) };
         }
         {
             let mut job = shared.job.lock().expect("pool job mutex");
@@ -1131,25 +1264,25 @@ impl<M: Send + 'static> ParallelSimulation<M> {
                 job = shared.done_cv.wait(job).expect("pool done condvar");
             }
         }
+        // SAFETY (the three loops below): `done == nworkers` was observed
+        // under the job mutex, so every worker's writes to its cells
+        // happen-before these reads and ownership is back with the
+        // coordinator.
         for (i, ws) in self.workers.iter_mut().enumerate() {
-            *ws = shared.slots[i]
-                .lock()
-                .expect("slot mutex")
-                .take()
-                .expect("worker returned its state");
+            *ws = unsafe { shared.slots[i].get() }.take().expect("worker returned its state");
         }
 
         if shared.panicked.load(Ordering::SeqCst) {
             return Err(EngineError::WorkerPanicked);
         }
         for err_slot in shared.errors.iter() {
-            if let Some(e) = err_slot.lock().expect("error mutex").take() {
+            if let Some(e) = unsafe { err_slot.get() }.take() {
                 return Err(e);
             }
         }
 
         let results: Vec<(SimTime, bool)> =
-            shared.results.iter().map(|r| *r.lock().expect("result mutex")).collect();
+            shared.results.iter().map(|r| unsafe { *r.get() }).collect();
         let stopped = results.iter().any(|&(_, s)| s);
         let event_max = results.iter().map(|&(t, _)| t).max().unwrap_or(start_now);
         if !stopped && limit < SimTime::MAX {
@@ -1182,8 +1315,9 @@ impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
         assert!(id != ComponentId::EXTERNAL, "component id space exhausted");
         let w = self.part_worker[partition] as usize;
         let ws = &mut self.workers[w];
-        let flat = ws.components.len() as u32;
-        ws.components.push((id, component));
+        let flat = ws.comps.len() as u32;
+        ws.ids.push(id);
+        ws.comps.push(component);
         ws.seqs.push(0);
         ws.part_of.push(partition as u32);
         self.directory.push((partition as u32, flat));

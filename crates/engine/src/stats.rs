@@ -410,6 +410,10 @@ pub struct WorkerExec {
     pub lane_events: u64,
     /// Largest number of lane events drained in a single round.
     pub lane_peak: u64,
+    /// Same-component dispatch batches executed: the hot loop resolves the
+    /// target component once per batch, so `events / dispatch_batches` is
+    /// the mean batch length (1.0 means batching never engaged).
+    pub dispatch_batches: u64,
 }
 
 /// Execution statistics for a parallel run: synchronization cadence, lane
@@ -422,6 +426,10 @@ pub struct WorkerExec {
 pub struct ExecReport {
     /// Cross-partition lookahead (the synchronization quantum), picoseconds.
     pub lookahead_ps: u64,
+    /// Worker threads *requested* (explicitly or from the environment)
+    /// before the clamp to the partition count; compare with
+    /// `workers.len()` to spot a silently reduced effective count.
+    pub workers_requested: usize,
     /// One entry per worker thread.
     pub workers: Vec<WorkerExec>,
     /// One entry per partition.
@@ -454,6 +462,10 @@ impl ExecReport {
     /// Total events carried by cross-worker lanes.
     pub fn lane_events(&self) -> u64 {
         self.workers.iter().map(|w| w.lane_events).sum()
+    }
+    /// Total same-component dispatch batches across all workers.
+    pub fn dispatch_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.dispatch_batches).sum()
     }
 }
 

@@ -189,6 +189,22 @@ fn request_reply_conforms_for_all_partitionings() {
     conformance(Behavior::RequestReply, "request-reply");
 }
 
+/// Paper-scale conformance: a 512-agent ring over 4 partitions with
+/// genuinely concurrent multi-worker rounds. The small sweeps above cover
+/// the protocol corners; this one covers the regime the perf work targets
+/// (hundreds of components per partition, batched dispatch engaged,
+/// thousands of lane crossings per run).
+#[test]
+fn large_cluster_conforms_par4_multiworker() {
+    let n = 512;
+    let reference = run_serial(Behavior::Ring, n);
+    assert!(reference.0 > 4_000, "the large ring must generate real traffic");
+    for workers in [2usize, 4] {
+        let got = run_parallel(Behavior::Ring, n, 4, workers);
+        assert_eq!(reference, got, "512-agent ring diverged at 4 partitions / {workers} workers");
+    }
+}
+
 #[test]
 fn interrupted_runs_conform_too() {
     // Chopping one run into many run_until windows (across barrier

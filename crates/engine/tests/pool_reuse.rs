@@ -22,6 +22,14 @@ impl Gossip {
     }
 }
 
+impl Instrumented for Gossip {
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("sent", self.sent);
+        v.counter("heard", self.log.len() as u64);
+        v.counter("acc", self.acc);
+    }
+}
+
 impl Component<u64> for Gossip {
     fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
         ctx.set_timer(SimDuration::from_nanos(100), 0);
@@ -38,6 +46,9 @@ impl Component<u64> for Gossip {
     fn on_message(&mut self, _port: PortNo, msg: u64, ctx: &mut Ctx<'_, u64>) {
         self.acc = self.acc.rotate_left(7) ^ msg;
         self.log.push((ctx.now(), self.acc));
+    }
+    fn instrumented(&self) -> Option<&dyn Instrumented> {
+        Some(self)
     }
     fn as_any(&self) -> &dyn Any {
         self
@@ -116,6 +127,40 @@ fn split_runs_match_one_long_run_and_serial() {
         .collect();
     assert_eq!(snap_split, snap_long, "split runs diverged from one long run");
     assert_eq!(snap_split, snap_serial, "parallel diverged from serial");
+}
+
+/// Scrapes every instrumented component into a fresh registry and returns
+/// the serialized bytes.
+fn scrape(sim: &ParallelSimulation<u64>) -> String {
+    let mut reg = MetricsRegistry::new();
+    sim.visit_instrumented(|id, ins| reg.record(&format!("gossip{}", id.index()), ins));
+    reg.to_json()
+}
+
+/// Re-running the same workload after a worker-count change must produce
+/// byte-identical metrics scrapes at every observation point: worker count
+/// is a scheduling knob, and the scrape order is component-id order on
+/// every executor, so not a single byte of the artifact may move.
+#[test]
+fn worker_count_change_rescrapes_identically() {
+    let quantum = SimDuration::from_micros(1);
+    let mid = SimTime::from_micros(7);
+    let end = SimTime::from_micros(40);
+    let mut scrapes: Vec<(String, String)> = Vec::new();
+    for workers in [1usize, 2, 3] {
+        let mut sim = ParallelSimulation::<u64>::with_workers(4, workers, quantum);
+        let ids = build(&mut sim, 4, 8);
+        wire(&mut |i, peers| sim.component_mut::<Gossip>(ids[i]).unwrap().peers = peers, &ids);
+        sim.run_until(mid).unwrap();
+        let at_mid = scrape(&sim);
+        sim.run_until(end).unwrap();
+        scrapes.push((at_mid, scrape(&sim)));
+    }
+    assert!(scrapes[0].0.contains("gossip0"), "scrape must actually contain components");
+    for w in 1..scrapes.len() {
+        assert_eq!(scrapes[0].0, scrapes[w].0, "mid-run scrape diverged at worker set {w}");
+        assert_eq!(scrapes[0].1, scrapes[w].1, "final scrape diverged at worker set {w}");
+    }
 }
 
 #[test]

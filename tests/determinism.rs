@@ -63,6 +63,55 @@ fn parallel_matches_serial_exactly() {
     }
 }
 
+/// The paper-scale contract: a ≥512-node cluster partitioned 4 ways and
+/// executed with genuinely concurrent multi-worker rounds must match
+/// serial exactly — per-message RTTs and total event count. This is the
+/// regime the parallel hot path optimizes for (hundreds of components per
+/// worker, batched dispatch engaged), pinned to real threads even on
+/// small CI hosts via `RunMode::parallel_with_workers`.
+#[test]
+fn large_cluster_parallel_multiworker_matches_serial() {
+    const RACKS: usize = 86;
+    const SPR: usize = 6; // 516 servers >= 512
+    let spec = ClusterSpec::gbe(TopologyConfig {
+        racks: RACKS,
+        servers_per_rack: SPR,
+        racks_per_array: 16,
+    });
+    let run = |mode: RunMode| {
+        let (mut host, cluster) = Cluster::instantiate(&spec, mode);
+        cluster.spawn(&mut host, NodeAddr(0), Box::new(TcpEchoServer::new(7)));
+        cluster.spawn(&mut host, NodeAddr(1), Box::new(UdpEchoServer::new(9)));
+        for rack in (0..RACKS).step_by(4) {
+            let base = rack * SPR;
+            cluster.spawn(
+                &mut host,
+                NodeAddr((base + 2) as u32),
+                Box::new(TcpEchoClient::new(SockAddr::new(NodeAddr(0), 7), 10, 2_000)),
+            );
+            cluster.spawn(
+                &mut host,
+                NodeAddr((base + 3) as u32),
+                Box::new(UdpPingClient::new(SockAddr::new(NodeAddr(1), 9), 10, 500)),
+            );
+        }
+        host.run_until(SimTime::from_secs(10)).expect("run failed");
+        let mut rtts = Vec::new();
+        for rack in (0..RACKS).step_by(4) {
+            let client = NodeAddr((rack * SPR + 2) as u32);
+            let c: &TcpEchoClient = cluster.process(&host, client, Tid(0)).expect("client state");
+            assert!(c.done, "client on {client} unfinished");
+            rtts.push(c.rtts.iter().map(|d| d.as_picos()).collect::<Vec<_>>());
+        }
+        (host.events_processed(), rtts)
+    };
+    let reference = run(RunMode::Serial);
+    for workers in [2usize, 4] {
+        let got = run(RunMode::parallel_with_workers(4, workers));
+        assert_eq!(reference, got, "516-node cluster diverged at 4 partitions / {workers} workers");
+    }
+}
+
 #[test]
 fn incast_conforms_across_partitionings() {
     use diablo::core::{run_incast, IncastConfig};
