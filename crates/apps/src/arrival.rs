@@ -1,0 +1,520 @@
+//! Open-loop arrival engine: deterministic rate-driven request admission.
+//!
+//! Every client in the repo used to be *closed-loop* — a new request was
+//! only issued once the previous one completed, so offered load collapsed
+//! the instant servers slowed down and the overload/queue-growth regimes
+//! the paper studies at warehouse scale were unreachable. This module
+//! decouples the load generator from completion: an [`ArrivalProcess`]
+//! produces a deterministic schedule of admission instants from an
+//! [`ArrivalSpec`] (constant-rate, Poisson via [`DetRng`], or a piecewise
+//! diurnal/burst profile parsed from a small text grammar modeled on the
+//! fault-plan grammar), and open-loop clients realize those instants as
+//! ordinary kernel timers (`Nanosleep` / `EpollWait` timeouts), admitting
+//! requests independent of how the previous ones are faring.
+//!
+//! Admissions that find the client's bounded in-flight window full are
+//! recorded as *load shed* — never silently throttled — and every
+//! completion is checked against an optional latency SLO target. Both
+//! land in an [`SloStats`] block merged into experiment results and the
+//! `slo.*` metric scrape.
+//!
+//! # Grammar
+//!
+//! One phase per line, phases run back to back from the start of the run:
+//!
+//! ```text
+//! # morning ramp, midday peak, evening trough
+//! 30ms poisson 2000     # duration, kind, rate in requests/second
+//! 30ms poisson 6000
+//! 40ms const 1000
+//! ```
+//!
+//! `#` starts a comment; blank lines are skipped. Kinds are `const`
+//! (evenly spaced admissions) and `poisson` (exponential inter-arrival
+//! gaps). Rates must be positive and finite, durations positive; errors
+//! carry 1-based line numbers.
+
+use diablo_engine::metrics::MetricsVisitor;
+use diablo_engine::rng::DetRng;
+use diablo_engine::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// How admission instants are spaced within one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Evenly spaced: one admission every `1/rate` seconds.
+    Constant,
+    /// Poisson process: exponential inter-arrival gaps with mean `1/rate`.
+    Poisson,
+}
+
+impl ArrivalKind {
+    fn keyword(self) -> &'static str {
+        match self {
+            ArrivalKind::Constant => "const",
+            ArrivalKind::Poisson => "poisson",
+        }
+    }
+}
+
+/// One piecewise segment of an arrival profile: `rate` requests per
+/// second, spaced per `kind`, for `duration` of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalPhase {
+    /// How long this phase lasts.
+    pub duration: SimDuration,
+    /// Spacing discipline.
+    pub kind: ArrivalKind,
+    /// Offered rate in requests per second (positive, finite).
+    pub rate: f64,
+}
+
+/// A validated piecewise arrival profile: one or more [`ArrivalPhase`]s
+/// covering `[0, horizon)` back to back with no gaps or overlaps (by
+/// construction — each phase starts where the previous one ended).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ArrivalSpec {
+    phases: Vec<ArrivalPhase>,
+}
+
+/// Error from [`ArrivalSpec::parse`] or phase validation, carrying the
+/// 1-based source line for text input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalError {
+    /// A line failed to parse or validate.
+    Parse {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// The spec contains no phases at all.
+    Empty,
+}
+
+impl fmt::Display for ArrivalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalError::Parse { line, msg } => write!(f, "arrival spec line {line}: {msg}"),
+            ArrivalError::Empty => write!(f, "arrival spec has no phases"),
+        }
+    }
+}
+
+impl std::error::Error for ArrivalError {}
+
+/// Parses `10ms` / `1.5s` / `250us` / `800ns` into a duration.
+fn parse_duration(tok: &str) -> Result<SimDuration, String> {
+    // Longest suffix first so "1ms" is not read as "1m" + "s".
+    for (suffix, scale) in [("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9)] {
+        if let Some(num) = tok.strip_suffix(suffix) {
+            // "1us" would also strip "s" leaving "1u"; require the
+            // remainder to parse as a number to pick the right suffix.
+            let Ok(v) = num.parse::<f64>() else { continue };
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("invalid duration {tok:?}"));
+            }
+            return Ok(SimDuration::from_nanos((v * scale).round() as u64));
+        }
+    }
+    Err(format!("invalid duration {tok:?} (expected e.g. 10ms, 1.5s, 250us)"))
+}
+
+impl ArrivalSpec {
+    /// Builds a spec from explicit phases, validating each.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrivalError::Empty`] on an empty list, [`ArrivalError::Parse`]
+    /// (with the 1-based phase index as the line) on a non-positive
+    /// duration or a non-positive/non-finite rate.
+    pub fn from_phases(phases: Vec<ArrivalPhase>) -> Result<Self, ArrivalError> {
+        if phases.is_empty() {
+            return Err(ArrivalError::Empty);
+        }
+        for (i, p) in phases.iter().enumerate() {
+            let line = i + 1;
+            if p.duration == SimDuration::ZERO {
+                return Err(ArrivalError::Parse {
+                    line,
+                    msg: "phase duration must be positive".to_string(),
+                });
+            }
+            if !(p.rate.is_finite() && p.rate > 0.0) {
+                return Err(ArrivalError::Parse {
+                    line,
+                    msg: format!("rate must be positive (got {})", p.rate),
+                });
+            }
+        }
+        Ok(ArrivalSpec { phases })
+    }
+
+    /// Parses the text grammar described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrivalError::Parse`] with the offending 1-based line on any
+    /// malformed or invalid line; [`ArrivalError::Empty`] when no phase
+    /// lines remain after stripping comments and blanks.
+    pub fn parse(text: &str) -> Result<Self, ArrivalError> {
+        let mut phases = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let err = |msg: String| ArrivalError::Parse { line, msg };
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let toks: Vec<&str> = body.split_whitespace().collect();
+            let [dur_tok, kind_tok, rate_tok] = toks.as_slice() else {
+                return Err(err(format!(
+                    "expected '<duration> <kind> <rate>', got {} token(s)",
+                    toks.len()
+                )));
+            };
+            let duration = parse_duration(dur_tok).map_err(err)?;
+            if duration == SimDuration::ZERO {
+                return Err(err("phase duration must be positive".to_string()));
+            }
+            let kind = match *kind_tok {
+                "const" => ArrivalKind::Constant,
+                "poisson" => ArrivalKind::Poisson,
+                other => {
+                    return Err(err(format!(
+                        "unknown arrival profile {other:?} (expected 'const' or 'poisson')"
+                    )))
+                }
+            };
+            let rate: f64 = rate_tok
+                .parse()
+                .map_err(|_| err(format!("invalid rate {rate_tok:?} (requests per second)")))?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(err(format!("rate must be positive (got {rate_tok})")));
+            }
+            phases.push(ArrivalPhase { duration, kind, rate });
+        }
+        if phases.is_empty() {
+            return Err(ArrivalError::Empty);
+        }
+        Ok(ArrivalSpec { phases })
+    }
+
+    /// A single constant-rate phase: `rate` requests/second for `dur`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ArrivalSpec::from_phases`].
+    pub fn constant(rate: f64, dur: SimDuration) -> Result<Self, ArrivalError> {
+        Self::from_phases(vec![ArrivalPhase { duration: dur, kind: ArrivalKind::Constant, rate }])
+    }
+
+    /// A single Poisson phase: mean `rate` requests/second for `dur`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`ArrivalSpec::from_phases`].
+    pub fn poisson(rate: f64, dur: SimDuration) -> Result<Self, ArrivalError> {
+        Self::from_phases(vec![ArrivalPhase { duration: dur, kind: ArrivalKind::Poisson, rate }])
+    }
+
+    /// The validated phases, in schedule order.
+    pub fn phases(&self) -> &[ArrivalPhase] {
+        &self.phases
+    }
+
+    /// Absolute `[start, end)` windows of each phase with its rate —
+    /// contiguous and monotonically increasing from time zero.
+    pub fn segments(&self) -> Vec<(SimTime, SimTime, f64)> {
+        let mut out = Vec::with_capacity(self.phases.len());
+        let mut cursor = SimTime::ZERO;
+        for p in &self.phases {
+            let end = cursor + p.duration;
+            out.push((cursor, end, p.rate));
+            cursor = end;
+        }
+        out
+    }
+
+    /// Total profile length: admissions stop after this much simulated
+    /// time, bounding every open-loop run.
+    pub fn horizon(&self) -> SimDuration {
+        self.phases.iter().fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+
+    /// Expected number of admissions over the whole profile (exact for
+    /// `const` phases, the mean for `poisson` ones).
+    pub fn expected_arrivals(&self) -> f64 {
+        self.phases.iter().map(|p| p.rate * p.duration.as_secs_f64()).sum()
+    }
+}
+
+impl fmt::Display for ArrivalSpec {
+    /// Canonical round-trippable form: one `<ns>ns <kind> <rate>` line
+    /// per phase (`f64` `Display` is shortest-round-trip in Rust, so
+    /// `parse(spec.to_string())` reproduces the spec exactly).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.phases {
+            writeln!(f, "{}ns {} {}", p.duration.as_nanos(), p.kind.keyword(), p.rate)?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic generator of admission instants for one client.
+///
+/// A pure function of `(spec, rng seed)`: identical seeds yield identical
+/// sequences regardless of how the rest of the simulation interleaves,
+/// which is what keeps open-loop runs byte-identical between the serial
+/// and partition-parallel executors. Arrival instants are strictly
+/// increasing and confined to `[0, spec.horizon())`.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    spec: ArrivalSpec,
+    rng: DetRng,
+    phase: usize,
+    cursor: SimTime,
+    phase_end: SimTime,
+}
+
+impl ArrivalProcess {
+    /// Creates a process over `spec`, drawing Poisson gaps from `rng`.
+    pub fn new(spec: ArrivalSpec, rng: DetRng) -> Self {
+        let phase_end = SimTime::ZERO + spec.phases[0].duration;
+        ArrivalProcess { spec, rng, phase: 0, cursor: SimTime::ZERO, phase_end }
+    }
+
+    /// The profile this process realizes.
+    pub fn spec(&self) -> &ArrivalSpec {
+        &self.spec
+    }
+
+    /// The next admission instant, or `None` once the profile is
+    /// exhausted. A gap that crosses a phase boundary is redrawn at the
+    /// boundary under the new phase's rate (memoryless for Poisson;
+    /// `const` phases restart their even spacing at the boundary).
+    pub fn next_arrival(&mut self) -> Option<SimTime> {
+        loop {
+            let p = *self.spec.phases.get(self.phase)?;
+            let mean_gap_ps = 1e12 / p.rate;
+            let gap_ps = match p.kind {
+                ArrivalKind::Constant => mean_gap_ps,
+                ArrivalKind::Poisson => self.rng.exponential(mean_gap_ps),
+            };
+            // At least one picosecond keeps the sequence strictly
+            // increasing even at absurd rates.
+            let gap_ps = (gap_ps.round() as u64).max(1);
+            let cand = SimTime::from_picos(self.cursor.as_picos().saturating_add(gap_ps));
+            if cand < self.phase_end {
+                self.cursor = cand;
+                return Some(cand);
+            }
+            self.cursor = self.phase_end;
+            self.phase += 1;
+            if let Some(next) = self.spec.phases.get(self.phase) {
+                self.phase_end = self.cursor + next.duration;
+            }
+        }
+    }
+}
+
+/// Service-level objective accounting for one open-loop client (or the
+/// whole experiment after merging): completions checked against a target
+/// latency, plus the admissions shed because the in-flight window was
+/// full. Merged into `RunEnvelope` and scraped as `slo.*` metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SloStats {
+    /// The latency target, when one was configured.
+    pub target: Option<SimDuration>,
+    /// Requests that completed (including ones that missed the target).
+    pub completed: u64,
+    /// Completions slower than `target`, plus requests that never
+    /// completed at all (expired or deadline-missed) while a target was
+    /// set — an unanswered request violates any SLO.
+    pub violations: u64,
+    /// Admissions dropped because the bounded in-flight window was full.
+    pub shed: u64,
+}
+
+impl SloStats {
+    /// Creates an empty block with the given target.
+    pub fn with_target(target: Option<SimDuration>) -> Self {
+        SloStats { target, ..Default::default() }
+    }
+
+    /// Records one completion, counting a violation if it exceeds the
+    /// target.
+    pub fn on_complete(&mut self, latency: SimDuration) {
+        self.completed += 1;
+        if let Some(t) = self.target {
+            if latency > t {
+                self.violations += 1;
+            }
+        }
+    }
+
+    /// Records a request that never completed (expiry, deadline miss):
+    /// counted as completed-for-accounting *and* as a violation when a
+    /// target is set.
+    pub fn on_unanswered(&mut self) {
+        self.completed += 1;
+        if self.target.is_some() {
+            self.violations += 1;
+        }
+    }
+
+    /// Records one shed admission (in-flight window full).
+    pub fn on_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Fraction of accounted requests that violated the target
+    /// (`0.0` when nothing completed).
+    pub fn violation_fraction(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.completed as f64
+        }
+    }
+
+    /// Folds another block into this one. The target is taken from
+    /// whichever side has one (they agree within one experiment).
+    pub fn merge(&mut self, other: &SloStats) {
+        if self.target.is_none() {
+            self.target = other.target;
+        }
+        self.completed = self.completed.saturating_add(other.completed);
+        self.violations = self.violations.saturating_add(other.violations);
+        self.shed = self.shed.saturating_add(other.shed);
+    }
+
+    /// `true` when nothing was recorded (no open-loop client ran).
+    pub fn is_empty(&self) -> bool {
+        *self == SloStats::default()
+    }
+
+    /// Emits the block under `slo.*` metric names.
+    pub fn visit(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("slo.completed", self.completed);
+        v.counter("slo.violations", self.violations);
+        v.counter("slo.shed", self.shed);
+        if let Some(t) = self.target {
+            v.counter("slo.target_ns", t.as_nanos());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let spec = ArrivalSpec::parse(
+            "# morning ramp, midday peak, evening trough\n\
+             30ms poisson 2000     # duration, kind, rate in requests/second\n\
+             30ms poisson 6000\n\
+             40ms const 1000\n",
+        )
+        .expect("valid spec");
+        assert_eq!(spec.phases().len(), 3);
+        assert_eq!(spec.horizon(), SimDuration::from_millis(100));
+        assert_eq!(spec.phases()[2].kind, ArrivalKind::Constant);
+        let exp = spec.expected_arrivals();
+        assert!((exp - (60.0 + 180.0 + 40.0)).abs() < 1e-6, "expected arrivals {exp}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, needle) in [
+            ("", "no phases"),
+            ("# only a comment\n", "no phases"),
+            ("10ms const\n", "expected '<duration> <kind> <rate>'"),
+            ("10ms const 100 extra\n", "expected '<duration> <kind> <rate>'"),
+            ("xyz const 100\n", "invalid duration"),
+            ("0ms const 100\n", "duration must be positive"),
+            ("10ms burst 100\n", "unknown arrival profile"),
+            ("10ms const 0\n", "rate must be positive"),
+            ("10ms poisson -5\n", "rate must be positive"),
+            ("10ms const nan\n", "rate must be positive"),
+            ("10ms const abc\n", "invalid rate"),
+            ("10ms const 100\n10ms const inf\n", "line 2"),
+        ] {
+            let err = ArrivalSpec::parse(text).expect_err(text).to_string();
+            assert!(err.contains(needle), "{text:?} -> {err:?} (wanted {needle:?})");
+        }
+    }
+
+    #[test]
+    fn constant_rate_is_evenly_spaced() {
+        let spec = ArrivalSpec::constant(1000.0, SimDuration::from_millis(10)).unwrap();
+        let mut p = ArrivalProcess::new(spec, DetRng::new(1));
+        let mut prev = SimTime::ZERO;
+        let mut n = 0u64;
+        while let Some(at) = p.next_arrival() {
+            assert_eq!(at.duration_since(prev), SimDuration::from_micros(1000));
+            prev = at;
+            n += 1;
+        }
+        // 1000 req/s over 10 ms = one per ms; the admission landing
+        // exactly on the horizon is excluded ([0, horizon) is half-open).
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed_and_spread() {
+        let spec = ArrivalSpec::poisson(50_000.0, SimDuration::from_millis(20)).unwrap();
+        let collect = |seed: u64| {
+            let mut p = ArrivalProcess::new(spec.clone(), DetRng::new(seed));
+            let mut v = Vec::new();
+            while let Some(at) = p.next_arrival() {
+                v.push(at.as_picos());
+            }
+            v
+        };
+        let a = collect(7);
+        assert_eq!(a, collect(7), "same seed must replay the same schedule");
+        assert_ne!(a, collect(8), "different seeds must differ");
+        // Mean count = 1000; allow a generous band.
+        assert!((700..1300).contains(&a.len()), "arrival count {}", a.len());
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "arrivals must be strictly increasing");
+    }
+
+    #[test]
+    fn piecewise_segments_are_contiguous() {
+        let spec = ArrivalSpec::parse("5ms const 100\n2ms poisson 900\n1ms const 50\n").unwrap();
+        let segs = spec.segments();
+        assert_eq!(segs[0].0, SimTime::ZERO);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "phases must tile the timeline");
+        }
+        assert_eq!(segs.last().unwrap().1, SimTime::ZERO + spec.horizon());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let spec = ArrivalSpec::parse("30ms poisson 2000.5\n1500us const 333.25\n").unwrap();
+        let reparsed = ArrivalSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn slo_stats_account_violations_and_shed() {
+        let mut s = SloStats::with_target(Some(SimDuration::from_micros(100)));
+        s.on_complete(SimDuration::from_micros(50));
+        s.on_complete(SimDuration::from_micros(150));
+        s.on_unanswered();
+        s.on_shed();
+        assert_eq!((s.completed, s.violations, s.shed), (3, 2, 1));
+        assert!((s.violation_fraction() - 2.0 / 3.0).abs() < 1e-12);
+
+        let mut total = SloStats::default();
+        total.merge(&s);
+        total.merge(&s);
+        assert_eq!(total.target, Some(SimDuration::from_micros(100)));
+        assert_eq!((total.completed, total.violations, total.shed), (6, 4, 2));
+        assert!(!total.is_empty());
+        assert!(SloStats::default().is_empty());
+    }
+}

@@ -39,9 +39,15 @@ pub struct FailureStats {
     pub reconnects: u64,
     /// Requests that completed successfully after at least one failure.
     pub recovered: u64,
-    /// Requests abandoned after the retry budget ran out (plus requests
-    /// lost to a node crash).
+    /// Requests abandoned after the retry budget ran out — every one of
+    /// these was actually sent and timed out (or hit transport errors)
+    /// until the client stopped trying.
     pub gave_up: u64,
+    /// Requests lost because the client's own node crashed mid-request —
+    /// possibly before the request ever reached the wire. Kept separate
+    /// from [`FailureStats::gave_up`]: a crash-lost request says nothing
+    /// about the service, a timed-out one does.
+    pub crash_lost: u64,
     /// Total time spent between a request's first failure and its
     /// eventual success, summed over recovered requests.
     pub recovery_time: SimDuration,
@@ -66,9 +72,17 @@ impl FailureStats {
         }
     }
 
-    /// Records abandoning the in-flight request.
+    /// Records abandoning the in-flight request after exhausting its
+    /// retry budget (the request was sent and timed out).
     pub fn on_give_up(&mut self) {
         self.gave_up += 1;
+        self.first_failure_at = None;
+    }
+
+    /// Records the in-flight request being lost to a crash of the
+    /// client's own node (it may never have been sent).
+    pub fn on_crash_lost(&mut self) {
+        self.crash_lost += 1;
         self.first_failure_at = None;
     }
 
@@ -86,6 +100,7 @@ impl FailureStats {
         self.reconnects += other.reconnects;
         self.recovered += other.recovered;
         self.gave_up += other.gave_up;
+        self.crash_lost += other.crash_lost;
         self.recovery_time += other.recovery_time;
     }
 
@@ -96,6 +111,7 @@ impl FailureStats {
         v.counter("failure.reconnects", self.reconnects);
         v.counter("failure.recovered", self.recovered);
         v.counter("failure.gave_up", self.gave_up);
+        v.counter("failure.crash_lost", self.crash_lost);
         v.counter("failure.recovery_time_ns", self.recovery_time.as_nanos());
     }
 }
@@ -138,5 +154,18 @@ mod tests {
         agg.merge(&s);
         assert_eq!(agg.failed, 3);
         assert_eq!(agg.recovery_time, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn crash_loss_is_not_a_give_up() {
+        let mut s = FailureStats::default();
+        s.on_failure(SimTime::from_millis(10));
+        s.on_crash_lost();
+        assert_eq!(s.crash_lost, 1);
+        assert_eq!(s.gave_up, 0, "a crash-lost request must not count as timed out");
+        assert!(!s.failing());
+        let mut agg = FailureStats::default();
+        agg.merge(&s);
+        assert_eq!(agg.crash_lost, 1);
     }
 }

@@ -21,8 +21,10 @@
 //! Responses are streamed in 32 KB application chunks so socket-buffer
 //! backpressure behaves like a real `write()` loop.
 
+use crate::arrival::{ArrivalProcess, ArrivalSpec, SloStats};
 use crate::failure::{backoff_delay, FailureStats};
 use diablo_engine::metrics::MetricsVisitor;
+use diablo_engine::rng::DetRng;
 use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::payload::AppMessage;
 use diablo_net::SockAddr;
@@ -447,8 +449,10 @@ impl Process for IncastWorker {
     }
 
     fn reset(&mut self) -> bool {
+        // The node crashed mid-retry: the request dies with the node, a
+        // distinct fate from exhausting the retry budget.
         if self.failure.failing() {
-            self.failure.on_give_up();
+            self.failure.on_crash_lost();
         }
         self.state = WrkState::Start;
         self.fd = None;
@@ -640,6 +644,14 @@ pub struct IncastEpollClient {
     attempts: u32,
     /// Index of the connection being re-established.
     reconn_idx: usize,
+    /// Open-loop mode: the admission schedule (closed-loop when `None`).
+    arrivals: Option<ArrivalProcess>,
+    /// Open-loop mode: the next unadmitted arrival instant.
+    next_arrival: Option<SimTime>,
+    /// Open-loop mode: iterations the schedule offered (started + shed).
+    pub offered: u64,
+    /// Open-loop mode: SLO accounting over iteration times.
+    pub slo: SloStats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -657,6 +669,10 @@ enum EpState {
     InitRetry,
     /// Re-establishing connection `reconn_idx` after a failure.
     Reconn(ReconnStage),
+    /// Open-loop: decide whether an iteration is due, shed, or slept for.
+    Pace,
+    /// Open-loop: sleeping until the next scheduled admission.
+    Paced,
     Closing(usize),
     Done,
 }
@@ -699,6 +715,10 @@ impl IncastEpollClient {
             iter_started: SimTime::ZERO,
             attempts: 0,
             reconn_idx: 0,
+            arrivals: None,
+            next_arrival: None,
+            offered: 0,
+            slo: SloStats::default(),
         }
     }
 
@@ -708,6 +728,28 @@ impl IncastEpollClient {
     pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
         self.request_deadline = Some(deadline);
         self
+    }
+
+    /// Switches the client open-loop: iterations start at the schedule's
+    /// instants instead of back to back, an arrival landing while an
+    /// iteration is still in flight is shed (window of one), and
+    /// `iterations` is ignored — the profile's horizon bounds the run.
+    pub fn with_arrival(mut self, spec: ArrivalSpec, rng: DetRng) -> Self {
+        let mut arrivals = ArrivalProcess::new(spec, rng);
+        self.next_arrival = arrivals.next_arrival();
+        self.arrivals = Some(arrivals);
+        self
+    }
+
+    /// Sets the iteration-time SLO target (open-loop accounting).
+    pub fn with_slo(mut self, target: SimDuration) -> Self {
+        self.slo = SloStats::with_target(Some(target));
+        self
+    }
+
+    /// `true` when admissions come from an arrival schedule.
+    pub fn is_open_loop(&self) -> bool {
+        self.arrivals.is_some()
     }
 
     /// Enters the reconnect path for connection `idx`, discarding any
@@ -812,11 +854,54 @@ impl Process for IncastEpollClient {
                             interest: EventMask::READ,
                         });
                     }
+                    if self.is_open_loop() {
+                        // Open loop: the first iteration waits for the
+                        // schedule's first admission.
+                        self.state = EpState::Pace;
+                        continue;
+                    }
                     // Begin the first iteration.
                     self.iter += 1;
                     self.iter_started = ctx.now;
                     self.send_idx = 0;
                     self.state = EpState::SendNext;
+                    continue;
+                }
+                EpState::Pace => {
+                    let arrivals = self.arrivals.as_mut().expect("pace without schedule");
+                    let mut due = 0u64;
+                    while let Some(at) = self.next_arrival {
+                        if at > ctx.now {
+                            break;
+                        }
+                        due += 1;
+                        self.next_arrival = arrivals.next_arrival();
+                    }
+                    self.offered += due;
+                    if due == 0 {
+                        let Some(at) = self.next_arrival else {
+                            // Schedule exhausted: close down.
+                            self.state = EpState::Closing(0);
+                            continue;
+                        };
+                        self.state = EpState::Paced;
+                        return Step::Syscall(Syscall::Nanosleep(at.duration_since(ctx.now)));
+                    }
+                    // Arrivals that fired while the previous iteration was
+                    // still in flight found the window (of one) full: the
+                    // oldest starts now (late), the rest are shed.
+                    for _ in 1..due {
+                        self.slo.on_shed();
+                    }
+                    self.iter += 1;
+                    self.iter_started = ctx.now;
+                    self.send_idx = 0;
+                    self.state = EpState::SendNext;
+                    continue;
+                }
+                EpState::Paced => {
+                    // Sleep finished exactly at the admission instant.
+                    self.state = EpState::Pace;
                     continue;
                 }
                 EpState::SendNext => {
@@ -910,11 +995,16 @@ impl Process for IncastEpollClient {
                     }
                     if self.completed == self.fds.len() {
                         // Iteration complete.
-                        self.iteration_times
-                            .push(ctx.now.saturating_duration_since(self.iter_started));
+                        let d = ctx.now.saturating_duration_since(self.iter_started);
+                        self.iteration_times.push(d);
                         self.completed = 0;
                         self.got.iter_mut().for_each(|g| *g = 0);
                         self.ready_queue.clear();
+                        if self.is_open_loop() {
+                            self.slo.on_complete(d);
+                            self.state = EpState::Pace;
+                            continue;
+                        }
                         if self.iter >= self.iterations {
                             self.state = EpState::Closing(0);
                             continue;
@@ -1038,11 +1128,30 @@ impl Process for IncastEpollClient {
         v.counter("iterations_completed", self.iteration_times.len() as u64);
         v.gauge("done", if self.done { 1.0 } else { 0.0 });
         self.failure.visit(v);
+        if self.is_open_loop() {
+            v.counter("open_loop.offered", self.offered);
+            let busy = matches!(
+                self.state,
+                EpState::SendNext | EpState::Wait | EpState::Drain | EpState::Reconn(_)
+            );
+            v.gauge("open_loop.in_flight", if busy { 1.0 } else { 0.0 });
+            self.slo.visit(v);
+        }
     }
 
     fn reset(&mut self) -> bool {
+        // Crash loss, not retry exhaustion — see `FailureStats::crash_lost`.
         if self.failure.failing() {
-            self.failure.on_give_up();
+            self.failure.on_crash_lost();
+        }
+        if self.is_open_loop()
+            && matches!(
+                self.state,
+                EpState::SendNext | EpState::Wait | EpState::Drain | EpState::Reconn(_)
+            )
+        {
+            // The in-flight iteration died with the node.
+            self.slo.on_unanswered();
         }
         self.state = EpState::Start;
         self.fds.clear();

@@ -2,6 +2,10 @@
 //!
 //! Deterministic state-machine models of the paper's workloads:
 //!
+//! * [`arrival`] — the open-loop arrival engine: deterministic
+//!   rate-driven admission schedules ([`arrival::ArrivalProcess`]) parsed
+//!   from a piecewise text grammar, plus SLO/load-shed accounting
+//!   ([`arrival::SloStats`]).
 //! * [`echo`] — TCP/UDP echo servers and clients plus a CPU spinner;
 //!   building blocks and smoke tests.
 //! * [`failure`] — client-side failure accounting ([`failure::FailureStats`])
@@ -19,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod echo;
 pub mod failure;
 pub mod incast;

@@ -16,6 +16,7 @@
 //! from the ETC workload model, waits for the reply and records the
 //! latency in HDR histograms — overall and per hop-class (Figure 10).
 
+use crate::arrival::{ArrivalProcess, ArrivalSpec, SloStats};
 use crate::failure::{backoff_delay, FailureStats};
 use crate::workload::{etc_value_size_for_key, EtcWorkload, KvOp};
 use diablo_engine::metrics::MetricsVisitor;
@@ -27,7 +28,7 @@ use diablo_net::payload::AppMessage;
 use diablo_net::SockAddr;
 use diablo_stack::process::{Errno, Fd, Process, ProcessCtx, Proto, Step, SysResult, Syscall};
 use diablo_stack::socket::EventMask;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// GET request kind.
@@ -634,6 +635,15 @@ pub struct McClientConfig {
     /// Maps a server node to a hop class index (0 = local, 1 = one-hop,
     /// 2 = two-hop) for Figure 10's breakdown.
     pub classify: Option<Arc<dyn Fn(NodeAddr) -> usize + Send + Sync>>,
+    /// Open-loop mode: when set, requests are admitted on this arrival
+    /// schedule independent of completion (see [`McOpenLoopClient`]) and
+    /// `requests`/`think` are ignored. UDP only.
+    pub arrival: Option<ArrivalSpec>,
+    /// Open-loop mode: bound on simultaneously in-flight requests;
+    /// admissions beyond it are recorded as load shed, never queued.
+    pub window: usize,
+    /// Open-loop mode: latency SLO target checked on every completion.
+    pub slo: Option<SimDuration>,
 }
 
 impl std::fmt::Debug for McClientConfig {
@@ -662,6 +672,9 @@ impl McClientConfig {
             request_deadline: None,
             tcp_max_retries: 8,
             classify: None,
+            arrival: None,
+            window: 64,
+            slo: None,
         }
     }
 
@@ -1091,9 +1104,10 @@ impl Process for McClient {
 
     fn reset(&mut self) -> bool {
         // A node crash wipes the kernel's sockets; the in-flight request
-        // (if any) is lost. Results gathered so far survive.
+        // (if any) is lost — it may never have been sent, so it is
+        // crash-lost, not timed-out. Results gathered so far survive.
         if self.current_op.is_some() {
-            self.failure.on_give_up();
+            self.failure.on_crash_lost();
         }
         self.state = CliState::Start;
         self.conns.clear();
@@ -1101,6 +1115,344 @@ impl Process for McClient {
         self.epfd = None;
         self.current_op = None;
         self.attempts = 0;
+        self.done = false;
+        true
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ====================================================================
+// Open-loop client
+// ====================================================================
+
+/// A request the open-loop client has sent and not yet seen answered.
+#[derive(Debug, Clone, Copy)]
+struct OlInflight {
+    sent_at: SimTime,
+    expires: SimTime,
+}
+
+/// The open-loop memcached client (UDP).
+///
+/// Where [`McClient`] is closed-loop — one request in flight, the next
+/// issued only after the previous completes — this client admits requests
+/// on an [`ArrivalProcess`] schedule *independent of completion*, the
+/// load-generation discipline required to reach the overload and
+/// queue-growth regimes the paper studies. Up to `cfg.window` requests
+/// ride in flight simultaneously over one UDP socket (replies are matched
+/// by request id); an admission that finds the window full is recorded as
+/// load shed in [`McOpenLoopClient::slo`] rather than silently delayed,
+/// so offered load is never quietly re-coupled to completion.
+///
+/// Arrival instants are realized as ordinary deterministic kernel timers:
+/// the client sleeps in `epoll_wait` with a timeout of exactly
+/// `min(next admission, earliest expiry) - now`, so serial and
+/// partition-parallel runs replay the same schedule bit-identically.
+/// A request unanswered for `cfg.request_deadline` (default:
+/// `cfg.udp_timeout`) expires — freeing its window slot and counting an
+/// SLO violation — which is what lets the client keep offering load while
+/// a saturated server digs out of its backlog.
+#[derive(Debug)]
+pub struct McOpenLoopClient {
+    cfg: McClientConfig,
+    rng: DetRng,
+    workload: EtcWorkload,
+    arrivals: ArrivalProcess,
+    state: OlState,
+    udp_fd: Option<Fd>,
+    epfd: Option<Fd>,
+    next_arrival: Option<SimTime>,
+    /// In-flight requests by id (`BTreeMap` for deterministic iteration).
+    inflight: BTreeMap<u64, OlInflight>,
+    /// Admitted requests waiting for their `SendTo` turn (they already
+    /// occupy a window slot).
+    sendq: VecDeque<(usize, KvOp)>,
+    /// Admissions the schedule produced (sent + shed).
+    pub offered: u64,
+    /// Requests actually sent.
+    pub issued: u64,
+    /// Requests completed with a matching reply.
+    pub completed: u64,
+    /// Requests that expired unanswered.
+    pub timed_out: u64,
+    /// Latency of completed requests (nanoseconds).
+    pub latency: Histogram,
+    /// SLO accounting: violations, shed, completions.
+    pub slo: SloStats,
+    /// Crash-loss accounting (requests wiped by a node reset).
+    pub failure: FailureStats,
+    /// Finished: schedule exhausted and no request left in flight.
+    pub done: bool,
+    /// When the client finished.
+    pub finished_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OlState {
+    Start,
+    Socketed,
+    EpollMade,
+    Ctled,
+    /// `SetNonblocking` on the UDP socket is in flight.
+    NonBlocked,
+    /// Central dispatch: expire, admit, send, or wait.
+    Pump,
+    /// A `SendTo` is in flight.
+    SendDone,
+    /// Parked in `epoll_wait` until data, the next admission, or the
+    /// earliest expiry.
+    Waiting,
+    /// Draining readable datagrams.
+    Recv,
+    Done,
+}
+
+impl McOpenLoopClient {
+    /// Creates an open-loop client; `cfg.arrival` must be set and
+    /// `cfg.proto` must be [`Proto::Udp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.arrival` is `None`, `cfg.proto` is not UDP, or
+    /// `cfg.window` is zero.
+    pub fn new(cfg: McClientConfig, rng: DetRng) -> Self {
+        let spec = cfg.arrival.clone().expect("open-loop client requires an arrival spec");
+        assert_eq!(cfg.proto, Proto::Udp, "open-loop memcached requires UDP");
+        assert!(cfg.window > 0, "open-loop window must be positive");
+        let workload = EtcWorkload::new(rng.derive(1), cfg.keyspace);
+        let mut arrivals = ArrivalProcess::new(spec, rng.derive(2));
+        let next_arrival = arrivals.next_arrival();
+        McOpenLoopClient {
+            workload,
+            rng,
+            arrivals,
+            state: OlState::Start,
+            udp_fd: None,
+            epfd: None,
+            next_arrival,
+            inflight: BTreeMap::new(),
+            sendq: VecDeque::new(),
+            offered: 0,
+            issued: 0,
+            completed: 0,
+            timed_out: 0,
+            latency: Histogram::new(),
+            slo: SloStats::with_target(cfg.slo),
+            failure: FailureStats::default(),
+            done: false,
+            finished_at: SimTime::ZERO,
+            cfg,
+        }
+    }
+
+    /// Requests currently occupying window slots.
+    fn in_flight(&self) -> usize {
+        self.inflight.len() + self.sendq.len()
+    }
+
+    /// Per-request expiry budget.
+    fn expiry(&self) -> SimDuration {
+        self.cfg.request_deadline.unwrap_or(self.cfg.udp_timeout)
+    }
+
+    /// Expires overdue requests and admits every arrival due by `now`.
+    fn expire_and_admit(&mut self, now: SimTime) {
+        let due: Vec<u64> =
+            self.inflight.iter().filter(|(_, r)| r.expires <= now).map(|(id, _)| *id).collect();
+        for id in due {
+            self.inflight.remove(&id);
+            self.timed_out += 1;
+            self.slo.on_unanswered();
+        }
+        while let Some(at) = self.next_arrival {
+            if at > now {
+                break;
+            }
+            self.offered += 1;
+            if self.in_flight() < self.cfg.window {
+                let server = self.rng.next_below(self.cfg.servers.len() as u64) as usize;
+                let op = self.workload.next_op();
+                self.sendq.push_back((server, op));
+            } else {
+                self.slo.on_shed();
+            }
+            self.next_arrival = self.arrivals.next_arrival();
+        }
+    }
+
+    /// The next instant the client must wake at, if any.
+    fn next_deadline(&self) -> Option<SimTime> {
+        let expiry = self.inflight.values().map(|r| r.expires).min();
+        match (self.next_arrival, expiry) {
+            (Some(a), Some(e)) => Some(a.min(e)),
+            (a, e) => a.or(e),
+        }
+    }
+
+    fn request_msg(op: KvOp, id: u64, now: SimTime) -> AppMessage {
+        let kind = match op {
+            KvOp::Get { .. } => KIND_GET,
+            KvOp::Set { .. } => KIND_SET,
+        };
+        let mut m = AppMessage::new(kind, id, op.request_size(), now);
+        m.arg0 = op.key();
+        if let KvOp::Set { value_size, .. } = op {
+            m.arg1 = value_size as u64;
+        }
+        m
+    }
+}
+
+impl Process for McOpenLoopClient {
+    fn step(&mut self, ctx: &mut ProcessCtx) -> Step {
+        loop {
+            match self.state {
+                OlState::Start => {
+                    self.state = OlState::Socketed;
+                    return Step::Syscall(Syscall::Socket(Proto::Udp));
+                }
+                OlState::Socketed => {
+                    let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
+                    self.udp_fd = Some(fd);
+                    self.state = OlState::EpollMade;
+                    return Step::Syscall(Syscall::EpollCreate);
+                }
+                OlState::EpollMade => {
+                    let SysResult::NewFd(ep) = ctx.result else { panic!("epoll failed") };
+                    self.epfd = Some(ep);
+                    self.state = OlState::Ctled;
+                    return Step::Syscall(Syscall::EpollCtl {
+                        epfd: ep,
+                        fd: self.udp_fd.expect("no udp fd"),
+                        interest: EventMask::READ,
+                    });
+                }
+                OlState::Ctled => {
+                    // Multiple replies can land between wakeups; the drain
+                    // loop needs `EWOULDBLOCK` (not a blocked `recvfrom`)
+                    // to know when the queue is empty.
+                    self.state = OlState::NonBlocked;
+                    return Step::Syscall(Syscall::SetNonblocking {
+                        fd: self.udp_fd.expect("no udp fd"),
+                        on: true,
+                    });
+                }
+                OlState::NonBlocked => {
+                    self.state = OlState::Pump;
+                    continue;
+                }
+                OlState::Pump => {
+                    self.expire_and_admit(ctx.now);
+                    if let Some((server, op)) = self.sendq.pop_front() {
+                        self.issued += 1;
+                        let id = self.issued - 1;
+                        self.inflight.insert(
+                            id,
+                            OlInflight { sent_at: ctx.now, expires: ctx.now + self.expiry() },
+                        );
+                        self.state = OlState::SendDone;
+                        return Step::Syscall(Syscall::SendTo {
+                            fd: self.udp_fd.expect("no udp fd"),
+                            to: self.cfg.servers[server],
+                            msg: Self::request_msg(op, id, ctx.now),
+                        });
+                    }
+                    let Some(deadline) = self.next_deadline() else {
+                        // Schedule exhausted, nothing in flight: finished.
+                        self.state = OlState::Done;
+                        continue;
+                    };
+                    // Everything due was processed above, so the deadline
+                    // is strictly in the future.
+                    self.state = OlState::Waiting;
+                    return Step::Syscall(Syscall::EpollWait {
+                        epfd: self.epfd.expect("no epfd"),
+                        max_events: 16,
+                        timeout: Some(deadline.duration_since(ctx.now)),
+                    });
+                }
+                OlState::SendDone => {
+                    // SendTo completed (UDP send never blocks).
+                    self.state = OlState::Pump;
+                    continue;
+                }
+                OlState::Waiting => {
+                    let SysResult::Events(ref evs) = ctx.result else {
+                        panic!("epoll_wait failed")
+                    };
+                    if evs.is_empty() {
+                        // Timer wakeup: an admission or expiry is due.
+                        self.state = OlState::Pump;
+                        continue;
+                    }
+                    self.state = OlState::Recv;
+                    return Step::Syscall(Syscall::RecvFrom {
+                        fd: self.udp_fd.expect("no udp fd"),
+                    });
+                }
+                OlState::Recv => {
+                    match std::mem::replace(&mut ctx.result, SysResult::Computed) {
+                        SysResult::Datagram { msg, .. } => {
+                            if let Some(req) = self.inflight.remove(&msg.id) {
+                                let ns = ctx.now.saturating_duration_since(req.sent_at);
+                                self.latency.record(ns.as_nanos());
+                                self.completed += 1;
+                                self.slo.on_complete(ns);
+                            }
+                            // else: reply to an already-expired request —
+                            // its slot was reclaimed, drop it.
+                            return Step::Syscall(Syscall::RecvFrom {
+                                fd: self.udp_fd.expect("no udp fd"),
+                            });
+                        }
+                        SysResult::Err(Errno::WouldBlock) => {
+                            self.state = OlState::Pump;
+                            continue;
+                        }
+                        other => panic!("udp recv failed: {other:?}"),
+                    }
+                }
+                OlState::Done => {
+                    self.done = true;
+                    self.finished_at = ctx.now;
+                    return Step::Exit;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "memcached-openloop-client"
+    }
+
+    fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
+        v.counter("open_loop.offered", self.offered);
+        v.counter("requests_issued", self.issued);
+        v.counter("requests_completed", self.completed);
+        v.counter("open_loop.timed_out", self.timed_out);
+        v.gauge("open_loop.in_flight", self.in_flight() as f64);
+        v.gauge("done", if self.done { 1.0 } else { 0.0 });
+        v.histogram("latency_ns", &self.latency);
+        self.slo.visit(v);
+        self.failure.visit(v);
+    }
+
+    fn reset(&mut self) -> bool {
+        // A crash wipes the socket and every in-flight request with it —
+        // crash losses, not timeouts. The arrival schedule keeps its
+        // position: offered load resumes the moment the node reboots.
+        for _ in 0..self.in_flight() {
+            self.failure.on_crash_lost();
+            self.slo.on_unanswered();
+        }
+        self.inflight.clear();
+        self.sendq.clear();
+        self.state = OlState::Start;
+        self.udp_fd = None;
+        self.epfd = None;
         self.done = false;
         true
     }

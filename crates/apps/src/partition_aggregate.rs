@@ -13,6 +13,7 @@
 //! Both processes are single-threaded nonblocking `epoll` loops over one
 //! UDP socket, like the modern WSC software the paper's §4.2 models.
 
+use crate::arrival::{ArrivalProcess, ArrivalSpec, SloStats};
 use diablo_engine::metrics::MetricsVisitor;
 use diablo_engine::prelude::Histogram;
 use diablo_engine::rng::DetRng;
@@ -228,6 +229,14 @@ pub struct PaFrontendConfig {
     pub think: u64,
     /// Delay before the first query (stagger startup).
     pub start_delay: SimDuration,
+    /// Open-loop mode: when set, queries are admitted on this schedule
+    /// (window of one — an arrival landing while a query is still in
+    /// flight is shed) and `queries`/`think` are ignored. Build the
+    /// front-end with [`PaFrontend::open_loop`].
+    pub arrival: Option<ArrivalSpec>,
+    /// Open-loop mode: latency SLO target; a deadline miss always counts
+    /// as a violation.
+    pub slo: Option<SimDuration>,
 }
 
 impl std::fmt::Debug for PaFrontendConfig {
@@ -250,6 +259,8 @@ impl PaFrontendConfig {
             query_bytes: 64,
             think: 8_000,
             start_delay: SimDuration::ZERO,
+            arrival: None,
+            slo: None,
         }
     }
 }
@@ -282,6 +293,14 @@ pub struct PaFrontend {
     pub deadline_misses: u64,
     /// Total leaf answers dropped from aggregates across the run.
     pub missing_answers: u64,
+    /// Open-loop mode: the admission schedule (closed-loop when `None`).
+    arrivals: Option<ArrivalProcess>,
+    /// Open-loop mode: the next unadmitted arrival instant.
+    next_arrival: Option<SimTime>,
+    /// Open-loop mode: arrivals produced by the schedule (admitted + shed).
+    pub offered: u64,
+    /// Open-loop mode: SLO accounting (deadline misses always violate).
+    pub slo: SloStats,
     /// Finished cleanly.
     pub done: bool,
     /// When the last query completed.
@@ -296,6 +315,8 @@ enum FeState {
     EpollCreated,
     Registered,
     Think,
+    /// Open-loop: sleeping until the next scheduled admission.
+    Paced,
     Fanout,
     Collect,
     Drain,
@@ -303,10 +324,39 @@ enum FeState {
 }
 
 impl PaFrontend {
-    /// Creates a front-end.
+    /// Creates a closed-loop front-end.
+    ///
+    /// # Panics
+    ///
+    /// Panics without leaves, or when `cfg.arrival` is set — arrival
+    /// schedules need the RNG passed to [`PaFrontend::open_loop`].
     pub fn new(cfg: PaFrontendConfig) -> Self {
+        assert!(cfg.arrival.is_none(), "use PaFrontend::open_loop for arrival-driven front-ends");
+        Self::build(cfg, None, None)
+    }
+
+    /// Creates an open-loop front-end: one query admitted per
+    /// [`ArrivalProcess`] instant, an arrival landing while the previous
+    /// query is still aggregating is shed (window of one).
+    ///
+    /// # Panics
+    ///
+    /// Panics without leaves or when `cfg.arrival` is `None`.
+    pub fn open_loop(cfg: PaFrontendConfig, rng: DetRng) -> Self {
+        let spec = cfg.arrival.clone().expect("open-loop front-end requires an arrival spec");
+        let mut arrivals = ArrivalProcess::new(spec, rng);
+        let next = arrivals.next_arrival();
+        Self::build(cfg, Some(arrivals), next)
+    }
+
+    fn build(
+        cfg: PaFrontendConfig,
+        arrivals: Option<ArrivalProcess>,
+        next_arrival: Option<SimTime>,
+    ) -> Self {
         let n = cfg.leaves.len();
         assert!(n > 0, "a front-end needs at least one leaf");
+        let slo = SloStats::with_target(cfg.slo);
         PaFrontend {
             cfg,
             state: FeState::Start,
@@ -322,9 +372,18 @@ impl PaFrontend {
             full_aggregates: 0,
             deadline_misses: 0,
             missing_answers: 0,
+            arrivals,
+            next_arrival,
+            offered: 0,
+            slo,
             done: false,
             finished_at: SimTime::ZERO,
         }
+    }
+
+    /// `true` when admissions come from an arrival schedule.
+    pub fn is_open_loop(&self) -> bool {
+        self.arrivals.is_some()
     }
 
     /// Closes out the in-flight query as a deadline miss.
@@ -333,7 +392,20 @@ impl PaFrontend {
         self.missing_answers += self.pending as u64;
         self.pending = 0;
         self.completed += 1;
+        if self.is_open_loop() {
+            // A partial aggregate never met the latency target.
+            self.slo.on_unanswered();
+        }
         self.state = FeState::Think;
+    }
+
+    /// Starts the next query's fan-out (shared by both loop modes).
+    fn begin_query(&mut self) {
+        self.issued += 1;
+        self.answered.iter_mut().for_each(|a| *a = false);
+        self.pending = self.cfg.leaves.len();
+        self.fanout_idx = 0;
+        self.state = FeState::Fanout;
     }
 }
 
@@ -377,16 +449,47 @@ impl Process for PaFrontend {
                     continue;
                 }
                 FeState::Think => {
+                    if let Some(arrivals) = self.arrivals.as_mut() {
+                        // Open loop: the schedule, not completion, decides
+                        // when the next query starts. Arrivals that fired
+                        // while the previous query was aggregating found
+                        // the window (of one) full: the oldest is admitted
+                        // now (late), the rest are shed.
+                        let mut due = 0u64;
+                        while let Some(at) = self.next_arrival {
+                            if at > ctx.now {
+                                break;
+                            }
+                            due += 1;
+                            self.next_arrival = arrivals.next_arrival();
+                        }
+                        self.offered += due;
+                        if due == 0 {
+                            let Some(at) = self.next_arrival else {
+                                self.state = FeState::Done;
+                                continue;
+                            };
+                            self.state = FeState::Paced;
+                            return Step::Syscall(Syscall::Nanosleep(at.duration_since(ctx.now)));
+                        }
+                        for _ in 1..due {
+                            self.slo.on_shed();
+                        }
+                        self.begin_query();
+                        continue;
+                    }
                     if self.issued >= self.cfg.queries {
                         self.state = FeState::Done;
                         continue;
                     }
-                    self.issued += 1;
-                    self.answered.iter_mut().for_each(|a| *a = false);
-                    self.pending = self.cfg.leaves.len();
-                    self.fanout_idx = 0;
-                    self.state = FeState::Fanout;
+                    self.begin_query();
                     return Step::Compute(self.cfg.think);
+                }
+                FeState::Paced => {
+                    // Sleep finished exactly at the admission instant; let
+                    // Think observe it as due and admit it.
+                    self.state = FeState::Think;
+                    continue;
                 }
                 FeState::Fanout => {
                     if self.fanout_idx == 0 {
@@ -447,10 +550,13 @@ impl Process for PaFrontend {
                             // Stale answers from an already-closed query are
                             // ignored — their aggregate has shipped.
                             if self.pending == 0 {
-                                let ns = ctx.now.saturating_duration_since(self.sent_at).as_nanos();
-                                self.latency.record(ns);
+                                let d = ctx.now.saturating_duration_since(self.sent_at);
+                                self.latency.record(d.as_nanos());
                                 self.full_aggregates += 1;
                                 self.completed += 1;
+                                if self.is_open_loop() {
+                                    self.slo.on_complete(d);
+                                }
                                 self.state = FeState::Think;
                                 continue;
                             }
@@ -486,6 +592,11 @@ impl Process for PaFrontend {
         v.counter("missing_answers", self.missing_answers);
         v.gauge("done", if self.done { 1.0 } else { 0.0 });
         v.histogram("latency_ns", &self.latency);
+        if self.is_open_loop() {
+            v.counter("open_loop.offered", self.offered);
+            v.gauge("open_loop.in_flight", if self.pending > 0 { 1.0 } else { 0.0 });
+            self.slo.visit(v);
+        }
     }
 
     fn reset(&mut self) -> bool {

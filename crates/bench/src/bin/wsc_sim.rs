@@ -12,10 +12,10 @@ use diablo_apps::memcached::McVersion;
 use diablo_bench::{banner, parallel_mode, write_metrics_artifacts, Args};
 use diablo_core::report::percentiles_us;
 use diablo_core::{
-    run_incast, run_memcached, run_partition_aggregate, DropAccounting, FaultPlan,
-    IncastClientKind, IncastConfig, McExperimentConfig, PaExperimentConfig,
+    run_incast, run_memcached, run_partition_aggregate, ArrivalSpec, DropAccounting, FaultPlan,
+    IncastClientKind, IncastConfig, McExperimentConfig, PaExperimentConfig, SloStats,
 };
-use diablo_engine::prelude::{ExecReport, MetricsRegistry};
+use diablo_engine::prelude::{ExecReport, MetricsRegistry, SimDuration};
 use diablo_engine::time::Frequency;
 use diablo_stack::process::Proto;
 use diablo_stack::profile::KernelProfile;
@@ -47,7 +47,15 @@ fn usage() -> ! {
          fault injection (all workloads):\n\
            --fault-plan PATH   scripted fault schedule (link flaps, switch and\n\
                                node failures); see DESIGN.md for the grammar\n\
-           --deadline MS       per-request TCP deadline in milliseconds"
+           --deadline MS       per-request TCP deadline in milliseconds\n\
+         \n\
+         open-loop load (all workloads):\n\
+           --arrival PATH      rate-driven admission profile (one\n\
+                               '<duration> <const|poisson> <rate>' phase per\n\
+                               line); memcached requires --proto udp, incast\n\
+                               requires --client epoll\n\
+           --slo NS            per-request SLO target in nanoseconds\n\
+           --window N          memcached in-flight window per client (64)"
     );
     std::process::exit(2);
 }
@@ -78,6 +86,61 @@ fn fault_plan(args: &Args) -> Option<FaultPlan> {
     });
     println!("fault plan: {} events from {path} (horizon {})", plan.events.len(), plan.horizon());
     Some(plan)
+}
+
+/// Loads and parses `--arrival`, exiting non-zero on a missing file or a
+/// malformed profile.
+fn arrival_spec(args: &Args) -> Option<ArrivalSpec> {
+    let path = args.get("--arrival", String::new());
+    if path.is_empty() {
+        return None;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read arrival spec {path}: {e}");
+        std::process::exit(2);
+    });
+    let spec = ArrivalSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "arrival profile: {} phases from {path} (horizon {}, ~{:.0} arrivals per client)",
+        spec.phases().len(),
+        spec.horizon(),
+        spec.expected_arrivals()
+    );
+    Some(spec)
+}
+
+/// Parses `--slo NS` into an SLO target. An explicit `--slo 0` is
+/// contradictory — a zero-nanosecond target is violated by construction —
+/// and is an error rather than a silent "no target".
+fn slo_target(args: &Args) -> Option<SimDuration> {
+    if !args.flag("--slo") {
+        return None;
+    }
+    let ns: u64 = args.get("--slo", 0);
+    if ns == 0 {
+        eprintln!("error: --slo must be at least 1 nanosecond (got 0)");
+        std::process::exit(2);
+    }
+    Some(SimDuration::from_nanos(ns))
+}
+
+/// Prints the open-loop offered/violation/shed summary after a run.
+fn print_slo(offered: u64, slo: &SloStats) {
+    if offered == 0 && slo.is_empty() {
+        return;
+    }
+    let target = slo.target.map_or("none".to_string(), |t| t.to_string());
+    println!(
+        "open loop: offered={offered} completed={} shed={} slo_target={target} \
+         violations={} ({:.1}%)",
+        slo.completed,
+        slo.shed,
+        slo.violations,
+        slo.violation_fraction() * 100.0
+    );
 }
 
 fn main() {
@@ -176,6 +239,13 @@ fn memcached(args: &Args) {
         "1.4.17" => McVersion::V1_4_17,
         _ => usage(),
     };
+    cfg.arrival = arrival_spec(args);
+    cfg.slo = slo_target(args);
+    cfg.window = positive("--window", args.get("--window", cfg.window));
+    if cfg.arrival.is_some() && cfg.proto != Proto::Udp {
+        eprintln!("error: --arrival requires --proto udp (open-loop memcached is UDP-only)");
+        std::process::exit(2);
+    }
     // Quantum derived from the rack-cut partition plan.
     cfg.mode = parallel_mode(args);
     println!(
@@ -198,15 +268,20 @@ fn memcached(args: &Args) {
         r.wall.as_secs_f64()
     );
     println!("served={} udp_retries={} failures={}", r.served, r.udp_retries, r.failures);
+    print_slo(r.offered, &r.slo);
+    if r.timed_out > 0 {
+        println!("timed_out={} (expired unanswered; window slots reclaimed)", r.timed_out);
+    }
     if r.failure.failed > 0 {
         println!(
             "client failures: failed={} retried={} reconnects={} recovered={} gave_up={} \
-             recovery_time={}ns",
+             crash_lost={} recovery_time={}ns",
             r.failure.failed,
             r.failure.retried,
             r.failure.reconnects,
             r.failure.recovered,
             r.failure.gave_up,
+            r.failure.crash_lost,
             r.failure.recovery_time.as_nanos()
         );
     }
@@ -246,6 +321,12 @@ fn incast(args: &Args) {
     if deadline_ms > 0 {
         cfg.request_deadline = Some(diablo_engine::time::SimDuration::from_millis(deadline_ms));
     }
+    cfg.arrival = arrival_spec(args);
+    cfg.slo = slo_target(args);
+    if cfg.arrival.is_some() && cfg.client != IncastClientKind::Epoll {
+        eprintln!("error: --arrival requires --client epoll (the pthread client is closed-loop)");
+        std::process::exit(2);
+    }
     // Same --racks under serial and --parallel N is the same model, so
     // the two runs' metric scrapes must compare byte-identical.
     cfg.racks = positive("--racks", args.get("--racks", cfg.racks));
@@ -267,18 +348,20 @@ fn incast(args: &Args) {
         r.switch_drops,
         r.events
     );
+    print_slo(r.offered, &r.slo);
     for (i, d) in r.iteration_times.iter().enumerate() {
         println!("  iteration {:>2}: {d}", i + 1);
     }
     if r.failure.failed > 0 {
         println!(
             "client failures: failed={} retried={} reconnects={} recovered={} gave_up={} \
-             recovery_time={}ns",
+             crash_lost={} recovery_time={}ns",
             r.failure.failed,
             r.failure.retried,
             r.failure.reconnects,
             r.failure.recovered,
             r.failure.gave_up,
+            r.failure.crash_lost,
             r.failure.recovery_time.as_nanos()
         );
     }
@@ -302,6 +385,8 @@ fn partition_aggregate(args: &Args) {
     cfg.ten_gig = args.flag("--10g");
     cfg.seed = args.get("--seed", cfg.seed);
     cfg.faults = fault_plan(args);
+    cfg.arrival = arrival_spec(args);
+    cfg.slo = slo_target(args);
     cfg.mode = parallel_mode(args);
     println!(
         "{} racks x {} servers: {} front-ends fanning {} over {} leaves each, \
@@ -327,6 +412,7 @@ fn partition_aggregate(args: &Args) {
         "full_aggregates={} deadline_misses={} missing_answers={} leaf_served={}",
         r.full_aggregates, r.deadline_misses, r.missing_answers, r.served
     );
+    print_slo(r.offered, &r.slo);
     if !r.latency.is_empty() {
         println!("full-aggregate latency:");
         for (name, v) in percentiles_us(&r.latency) {

@@ -157,3 +157,134 @@ fn partition_aggregate_runs_identically_serial_and_parallel() {
     let b = std::fs::read(parallel).expect("parallel metrics");
     assert_eq!(a, b, "partition-aggregate serial vs parallel scrapes must be byte-identical");
 }
+
+// ---------------------------------------------------------------------------
+// Open-loop flags: --arrival / --slo
+// ---------------------------------------------------------------------------
+
+fn write_arrival(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("wsc_sim_cli_arrival");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, body).expect("write arrival spec");
+    path
+}
+
+fn expect_reject(args: &[&str], needle: &str) {
+    let out = wsc_sim().args(args).output().expect("spawn wsc_sim");
+    assert!(!out.status.success(), "{args:?} must exit non-zero");
+    assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains(needle),
+        "{args:?}: stderr must mention {needle:?}, got: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn arrival_spec_with_zero_rate_is_rejected() {
+    let p = write_arrival("zero_rate.arrv", "10ms poisson 0\n");
+    expect_reject(&["memcached", "--arrival", p.to_str().expect("utf-8")], "rate must be positive");
+}
+
+#[test]
+fn arrival_spec_with_negative_rate_is_rejected() {
+    let p = write_arrival("neg_rate.arrv", "10ms const -250\n");
+    expect_reject(&["memcached", "--arrival", p.to_str().expect("utf-8")], "rate must be positive");
+}
+
+#[test]
+fn arrival_spec_with_unknown_profile_keyword_is_rejected() {
+    // The bad line sits after a good one: the error must carry the
+    // offending 1-based line number.
+    let p = write_arrival("bad_kind.arrv", "10ms poisson 500\n10ms lognormal 500\n");
+    expect_reject(
+        &["memcached", "--arrival", p.to_str().expect("utf-8")],
+        "unknown arrival profile",
+    );
+    let out = wsc_sim()
+        .args(["memcached", "--arrival", p.to_str().expect("utf-8")])
+        .output()
+        .expect("spawn wsc_sim");
+    assert!(stderr(&out).contains("line 2"), "stderr must carry the line: {}", stderr(&out));
+}
+
+#[test]
+fn missing_arrival_spec_is_rejected() {
+    expect_reject(
+        &["memcached", "--arrival", "/nonexistent/profile.arrv"],
+        "cannot read arrival spec",
+    );
+}
+
+#[test]
+fn zero_slo_is_rejected() {
+    let p = write_arrival("ok.arrv", "10ms const 500\n");
+    expect_reject(
+        &["memcached", "--arrival", p.to_str().expect("utf-8"), "--slo", "0"],
+        "--slo must be at least 1 nanosecond",
+    );
+}
+
+#[test]
+fn open_loop_memcached_requires_udp() {
+    let p = write_arrival("ok_udp.arrv", "10ms const 500\n");
+    expect_reject(
+        &["memcached", "--proto", "tcp", "--arrival", p.to_str().expect("utf-8")],
+        "--arrival requires --proto udp",
+    );
+}
+
+#[test]
+fn open_loop_incast_requires_epoll_client() {
+    let p = write_arrival("ok_epoll.arrv", "10ms const 500\n");
+    expect_reject(
+        &["incast", "--client", "pthread", "--arrival", p.to_str().expect("utf-8")],
+        "--arrival requires --client epoll",
+    );
+}
+
+/// The bundled diurnal scenario through the CLI: serial and 4-partition
+/// runs of the open-loop memcached workload must scrape byte-identical
+/// metrics — the CLI half of the open-loop conformance contract.
+#[test]
+fn bundled_diurnal_scenario_runs_identically_serial_and_parallel() {
+    let spec = repo_root().join("scenarios/diurnal.arrv");
+    assert!(spec.exists(), "bundled scenario missing: {}", spec.display());
+    let dir = std::env::temp_dir().join("wsc_sim_cli_diurnal");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let run = |tag: &str, parallel: Option<&str>| -> PathBuf {
+        let json = dir.join(format!("{tag}.json"));
+        let mut cmd = wsc_sim();
+        cmd.args([
+            "memcached",
+            "--racks",
+            "1",
+            "--arrival",
+            spec.to_str().expect("utf-8 path"),
+            "--slo",
+            "500000",
+            "--check-invariants",
+            "--metrics",
+            json.to_str().expect("utf-8 path"),
+        ]);
+        if let Some(p) = parallel {
+            cmd.args(["--parallel", p]);
+        }
+        let out = cmd.output().expect("spawn wsc_sim");
+        assert!(
+            out.status.success(),
+            "{tag} run failed (status {:?}): {}",
+            out.status.code(),
+            stderr(&out)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains("open loop:"), "run must report SLO accounting: {stdout}");
+        json
+    };
+    let serial = run("serial", None);
+    let parallel = run("parallel", Some("4"));
+    let a = std::fs::read(serial).expect("serial metrics");
+    let b = std::fs::read(parallel).expect("parallel metrics");
+    assert_eq!(a, b, "serial and 4-partition open-loop scrapes must be byte-identical");
+}

@@ -29,6 +29,7 @@
 use crate::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
 use crate::fault::{FaultPlan, FaultPlanError};
 use crate::observe::DropAccounting;
+use diablo_apps::arrival::SloStats;
 use diablo_apps::failure::FailureStats;
 use diablo_engine::prelude::{
     EngineError, ExecReport, Frequency, MetricsRegistry, SeriesRecorder, SimDuration, SimTime,
@@ -158,6 +159,15 @@ pub trait Workload {
         let _ = (host, cluster);
         FailureStats::default()
     }
+
+    /// Merges open-loop SLO accounting (offered-load violations and
+    /// shed requests) over all the workload's processes. Empty for
+    /// closed-loop runs — the default suits workloads without an
+    /// open-loop mode.
+    fn slo_stats(&self, host: &SimHost, cluster: &Cluster) -> SloStats {
+        let _ = (host, cluster);
+        SloStats::default()
+    }
 }
 
 // ====================================================================
@@ -236,6 +246,9 @@ pub struct RunEnvelope {
     /// Client-side failure/recovery report, merged over all the
     /// workload's processes (all zeros in a fault-free run).
     pub failure: FailureStats,
+    /// Open-loop SLO report (target, violations, shed), merged over all
+    /// the workload's processes. Empty for closed-loop runs.
+    pub slo: SloStats,
     /// Simulated time consumed, including the settle phase.
     pub sim_time: SimTime,
     /// Host wall-clock time for the whole run.
@@ -363,6 +376,7 @@ impl ExperimentHarness {
 
         // 5. Extract results, then settle trailing traffic and audit.
         let failure = workload.failure_stats(&host, &cluster);
+        let slo = workload.slo_stats(&host, &cluster);
         let summary = workload.summarize(&host, &cluster);
         let conservation = settle(&mut host, &cluster)?;
         debug_assert!(
@@ -380,6 +394,7 @@ impl ExperimentHarness {
             series,
             conservation,
             failure,
+            slo,
             sim_time: host.now(),
             wall: wall_start.elapsed(),
         };
@@ -475,6 +490,7 @@ mod tests {
         assert_eq!(summary, 42);
         assert!(env.conserved(), "idle cluster must balance: {:?}", env.conservation.violations);
         assert_eq!(env.failure, FailureStats::default());
+        assert!(env.slo.is_empty(), "closed-loop run must have an empty SLO report");
         assert!(env.exec.is_none(), "serial run has no executor report");
     }
 

@@ -11,13 +11,14 @@ use crate::cluster::{Cluster, RunMode, SimHost, SwitchTemplate};
 use crate::experiment::{ExperimentBase, ExperimentError, ExperimentHarness, Workload};
 use crate::fault::FaultPlan;
 use crate::observe::DropAccounting;
+use diablo_apps::arrival::{ArrivalSpec, SloStats};
 use diablo_apps::failure::FailureStats;
 use diablo_apps::incast::{
     shared, IncastEpollClient, IncastMaster, IncastServer, IncastWorker, INCAST_PORT,
 };
 use diablo_apps::memcached::{
-    mc_shared, McClient, McClientConfig, McDispatcher, McServerConfig, McSharedHandle, McVersion,
-    McWorker, MEMCACHED_PORT,
+    mc_shared, McClient, McClientConfig, McDispatcher, McOpenLoopClient, McServerConfig,
+    McSharedHandle, McVersion, McWorker, MEMCACHED_PORT,
 };
 use diablo_apps::partition_aggregate::{
     PaFrontend, PaFrontendConfig, PaLeaf, PaLeafConfig, PA_PORT,
@@ -80,6 +81,12 @@ pub struct IncastConfig {
     /// expiry). Ignored by the pthread client, which relies on the TCP
     /// retransmission timeout surfacing `ETIMEDOUT`.
     pub request_deadline: Option<SimDuration>,
+    /// Open-loop arrival schedule: iterations start at the profile's
+    /// instants instead of back to back, and `iterations` is ignored.
+    /// Requires the epoll client.
+    pub arrival: Option<ArrivalSpec>,
+    /// Per-iteration SLO target (open-loop accounting).
+    pub slo: Option<SimDuration>,
 }
 
 impl IncastConfig {
@@ -101,6 +108,8 @@ impl IncastConfig {
             sample_every: None,
             faults: None,
             request_deadline: None,
+            arrival: None,
+            slo: None,
         }
     }
 
@@ -154,6 +163,11 @@ pub struct IncastResult {
     /// Client-side failure/recovery report, merged over all client
     /// threads (all zeros in a fault-free run).
     pub failure: FailureStats,
+    /// Arrivals the open-loop schedule offered (0 in closed-loop runs).
+    pub offered: u64,
+    /// Open-loop SLO report: iteration-time violations and shed
+    /// admissions (empty in closed-loop runs).
+    pub slo: SloStats,
 }
 
 /// The incast scenario behind the [`Workload`] trait: storage servers on
@@ -168,6 +182,7 @@ struct IncastSummary {
     goodput_bps: f64,
     iteration_times: Vec<SimDuration>,
     switch_drops: u64,
+    offered: u64,
 }
 
 const INCAST_CLIENT: NodeAddr = NodeAddr(0);
@@ -180,6 +195,11 @@ impl Workload for IncastWorkload<'_> {
     }
 
     fn budget(&self) -> SimTime {
+        if let Some(spec) = &self.cfg.arrival {
+            // Open loop: the schedule's horizon bounds admissions; slack
+            // covers the trailing iteration's RTO backoffs.
+            return SimTime::ZERO + spec.horizon() + SimDuration::from_secs(10);
+        }
         // Worst case: every iteration eats several RTO backoffs.
         SimTime::from_secs(10 + 3 * self.cfg.iterations)
     }
@@ -192,6 +212,10 @@ impl Workload for IncastWorkload<'_> {
             cluster.spawn(host, s.node, Box::new(IncastServer::new()));
         }
         let fragment = self.cfg.block_bytes / n as u32;
+        assert!(
+            self.cfg.arrival.is_none() || self.cfg.client == IncastClientKind::Epoll,
+            "incast open-loop mode requires the epoll client"
+        );
         match self.cfg.client {
             IncastClientKind::Pthread => {
                 let sh = shared(n);
@@ -212,6 +236,12 @@ impl Workload for IncastWorkload<'_> {
                 let mut client = IncastEpollClient::new(servers, fragment, self.cfg.iterations);
                 if let Some(d) = self.cfg.request_deadline {
                     client = client.with_deadline(d);
+                }
+                if let Some(spec) = &self.cfg.arrival {
+                    client = client.with_arrival(spec.clone(), DetRng::new(self.cfg.seed ^ 0xa11));
+                }
+                if let Some(target) = self.cfg.slo {
+                    client = client.with_slo(target);
                 }
                 cluster.spawn(host, INCAST_CLIENT, Box::new(client));
             }
@@ -235,22 +265,23 @@ impl Workload for IncastWorkload<'_> {
     }
 
     fn summarize(&self, host: &SimHost, cluster: &Cluster) -> IncastSummary {
-        let (goodput_bps, iteration_times) = match self.cfg.client {
+        let (goodput_bps, iteration_times, offered) = match self.cfg.client {
             IncastClientKind::Pthread => {
                 let m: &IncastMaster =
                     cluster.process(host, INCAST_CLIENT, Tid(0)).expect("master missing");
-                (m.goodput_bps(self.cfg.block_bytes as u64), m.iteration_times.clone())
+                (m.goodput_bps(self.cfg.block_bytes as u64), m.iteration_times.clone(), 0)
             }
             IncastClientKind::Epoll => {
                 let c: &IncastEpollClient =
                     cluster.process(host, INCAST_CLIENT, Tid(0)).expect("client missing");
-                (c.goodput_bps(), c.iteration_times.clone())
+                (c.goodput_bps(), c.iteration_times.clone(), c.offered)
             }
         };
         IncastSummary {
             goodput_bps,
             iteration_times,
             switch_drops: cluster.total_switch_drops(host),
+            offered,
         }
     }
 
@@ -273,6 +304,16 @@ impl Workload for IncastWorkload<'_> {
         }
         failure
     }
+
+    fn slo_stats(&self, host: &SimHost, cluster: &Cluster) -> SloStats {
+        let mut slo = SloStats::default();
+        if self.cfg.client == IncastClientKind::Epoll {
+            let c: &IncastEpollClient =
+                cluster.process(host, INCAST_CLIENT, Tid(0)).expect("client missing");
+            slo.merge(&c.slo);
+        }
+        slo
+    }
 }
 
 /// Runs one incast configuration to completion.
@@ -292,6 +333,8 @@ pub fn try_run_incast(cfg: &IncastConfig) -> Result<IncastResult, ExperimentErro
         series: env.series,
         conservation: env.conservation,
         failure: env.failure,
+        offered: summary.offered,
+        slo: env.slo,
     })
 }
 
@@ -353,6 +396,15 @@ pub struct McExperimentConfig {
     pub sample_every: Option<SimDuration>,
     /// Scripted fault schedule injected before the run starts.
     pub faults: Option<FaultPlan>,
+    /// Open-loop arrival schedule per client: requests admitted at the
+    /// profile's instants, independent of completion, and
+    /// `requests_per_client` is ignored. Requires UDP.
+    pub arrival: Option<ArrivalSpec>,
+    /// Per-request SLO target (open-loop accounting).
+    pub slo: Option<SimDuration>,
+    /// Open-loop in-flight window per client: admissions past this bound
+    /// are shed, not queued.
+    pub window: usize,
 }
 
 impl McExperimentConfig {
@@ -377,6 +429,9 @@ impl McExperimentConfig {
             seed: 0x9eca_c4ed,
             sample_every: None,
             faults: None,
+            arrival: None,
+            slo: None,
+            window: 64,
         }
     }
 
@@ -450,6 +505,15 @@ pub struct McExperimentResult {
     /// Client-side failure/recovery report, merged over all clients (all
     /// zeros in a fault-free run).
     pub failure: FailureStats,
+    /// Arrivals the open-loop schedules offered across all clients (0 in
+    /// closed-loop runs).
+    pub offered: u64,
+    /// Requests that expired unanswered in open-loop runs (0 in
+    /// closed-loop runs, which retry instead).
+    pub timed_out: u64,
+    /// Open-loop SLO report: latency violations and shed admissions
+    /// (empty in closed-loop runs).
+    pub slo: SloStats,
 }
 
 /// The memcached-at-scale scenario: the first `mc_per_rack` nodes of each
@@ -468,6 +532,8 @@ struct McSummary {
     failures: u64,
     udp_retries: u64,
     completed_at: SimTime,
+    offered: u64,
+    timed_out: u64,
 }
 
 impl Workload for McWorkload<'_> {
@@ -478,6 +544,11 @@ impl Workload for McWorkload<'_> {
     }
 
     fn budget(&self) -> SimTime {
+        if let Some(spec) = &self.cfg.arrival {
+            // Open loop: the schedule's horizon bounds admissions; slack
+            // covers the trailing window's expiries and retransmissions.
+            return SimTime::ZERO + spec.horizon() + SimDuration::from_secs(3);
+        }
         SimTime::from_secs(5 + self.cfg.requests_per_client / 2)
     }
 
@@ -515,6 +586,9 @@ impl Workload for McWorkload<'_> {
         let server_addrs: Arc<[SockAddr]> = server_addrs.into();
 
         // Clients: every remaining node.
+        if cfg.arrival.is_some() {
+            assert_eq!(cfg.proto, Proto::Udp, "open-loop memcached requires UDP");
+        }
         for rack in 0..cfg.racks {
             for slot in cfg.mc_per_rack..cfg.servers_per_rack {
                 let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
@@ -526,29 +600,49 @@ impl Workload for McWorkload<'_> {
                         McClientConfig::udp(server_addrs.clone(), cfg.requests_per_client)
                     }
                 };
-                // Stagger client start over ~2 ms to avoid a synchronized
-                // thundering herd at t=0.
-                ccfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
                 ccfg.reconnect_every = cfg.reconnect_every;
                 ccfg.request_deadline = cfg.request_deadline;
-                let topo2 = topo.clone();
-                ccfg.classify =
-                    Some(Arc::new(move |server: NodeAddr| match topo2.hop_class(addr, server) {
-                        HopClass::Local => 0,
-                        HopClass::OneHop => 1,
-                        HopClass::TwoHop => 2,
-                    }));
                 let rng = root_rng.derive(addr.0 as u64);
-                cluster.spawn(host, addr, Box::new(McClient::new(ccfg, rng)));
+                if let Some(spec) = &cfg.arrival {
+                    // Open loop: admissions come from the schedule (each
+                    // client draws its own Poisson stream), so no start
+                    // stagger and no per-hop-class split.
+                    ccfg.arrival = Some(spec.clone());
+                    ccfg.window = cfg.window;
+                    ccfg.slo = cfg.slo;
+                    cluster.spawn(host, addr, Box::new(McOpenLoopClient::new(ccfg, rng)));
+                } else {
+                    // Stagger client start over ~2 ms to avoid a
+                    // synchronized thundering herd at t=0.
+                    ccfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
+                    let topo2 = topo.clone();
+                    ccfg.classify = Some(Arc::new(move |server: NodeAddr| {
+                        match topo2.hop_class(addr, server) {
+                            HopClass::Local => 0,
+                            HopClass::OneHop => 1,
+                            HopClass::TwoHop => 2,
+                        }
+                    }));
+                    cluster.spawn(host, addr, Box::new(McClient::new(ccfg, rng)));
+                }
                 self.client_addrs.push(addr);
             }
         }
     }
 
     fn is_done(&self, host: &SimHost, cluster: &Cluster) -> bool {
-        self.client_addrs
-            .iter()
-            .all(|&a| cluster.process::<McClient>(host, a, Tid(0)).map(|c| c.done).unwrap_or(false))
+        if self.cfg.arrival.is_some() {
+            self.client_addrs.iter().all(|&a| {
+                cluster
+                    .process::<McOpenLoopClient>(host, a, Tid(0))
+                    .map(|c| c.done)
+                    .unwrap_or(false)
+            })
+        } else {
+            self.client_addrs.iter().all(|&a| {
+                cluster.process::<McClient>(host, a, Tid(0)).map(|c| c.done).unwrap_or(false)
+            })
+        }
     }
 
     fn summarize(&self, host: &SimHost, cluster: &Cluster) -> McSummary {
@@ -557,27 +651,65 @@ impl Workload for McWorkload<'_> {
         let mut failures = 0;
         let mut udp_retries = 0;
         let mut completed_at = SimTime::ZERO;
+        let mut offered = 0;
+        let mut timed_out = 0;
         for &a in &self.client_addrs {
-            let c: &McClient = cluster.process(host, a, Tid(0)).expect("client missing");
-            latency.merge(&c.latency);
-            for (dst, src) in by_class.iter_mut().zip(&c.latency_by_class) {
-                dst.merge(src);
+            if self.cfg.arrival.is_some() {
+                let c: &McOpenLoopClient =
+                    cluster.process(host, a, Tid(0)).expect("client missing");
+                latency.merge(&c.latency);
+                offered += c.offered;
+                timed_out += c.timed_out;
+                completed_at = completed_at.max(c.finished_at);
+            } else {
+                let c: &McClient = cluster.process(host, a, Tid(0)).expect("client missing");
+                latency.merge(&c.latency);
+                for (dst, src) in by_class.iter_mut().zip(&c.latency_by_class) {
+                    dst.merge(src);
+                }
+                failures += c.failures;
+                udp_retries += c.udp_retries;
+                completed_at = completed_at.max(c.finished_at);
             }
-            failures += c.failures;
-            udp_retries += c.udp_retries;
-            completed_at = completed_at.max(c.finished_at);
         }
         let served = self.shareds.iter().map(|s| s.lock().expect("poisoned").served).sum();
-        McSummary { latency, by_class, served, failures, udp_retries, completed_at }
+        McSummary {
+            latency,
+            by_class,
+            served,
+            failures,
+            udp_retries,
+            completed_at,
+            offered,
+            timed_out,
+        }
     }
 
     fn failure_stats(&self, host: &SimHost, cluster: &Cluster) -> FailureStats {
         let mut failure = FailureStats::default();
         for &a in &self.client_addrs {
-            let c: &McClient = cluster.process(host, a, Tid(0)).expect("client missing");
-            failure.merge(&c.failure);
+            if self.cfg.arrival.is_some() {
+                let c: &McOpenLoopClient =
+                    cluster.process(host, a, Tid(0)).expect("client missing");
+                failure.merge(&c.failure);
+            } else {
+                let c: &McClient = cluster.process(host, a, Tid(0)).expect("client missing");
+                failure.merge(&c.failure);
+            }
         }
         failure
+    }
+
+    fn slo_stats(&self, host: &SimHost, cluster: &Cluster) -> SloStats {
+        let mut slo = SloStats::default();
+        if self.cfg.arrival.is_some() {
+            for &a in &self.client_addrs {
+                let c: &McOpenLoopClient =
+                    cluster.process(host, a, Tid(0)).expect("client missing");
+                slo.merge(&c.slo);
+            }
+        }
+        slo
     }
 }
 
@@ -604,6 +736,9 @@ pub fn try_run_memcached(cfg: &McExperimentConfig) -> Result<McExperimentResult,
         series: env.series,
         conservation: env.conservation,
         failure: env.failure,
+        offered: summary.offered,
+        timed_out: summary.timed_out,
+        slo: env.slo,
     })
 }
 
@@ -662,6 +797,12 @@ pub struct PaExperimentConfig {
     pub sample_every: Option<SimDuration>,
     /// Scripted fault schedule injected before the run starts.
     pub faults: Option<FaultPlan>,
+    /// Open-loop arrival schedule per front-end: queries admitted at the
+    /// profile's instants (window of one — a query arriving while the
+    /// previous one aggregates is shed), and `queries` is ignored.
+    pub arrival: Option<ArrivalSpec>,
+    /// Per-query SLO target (open-loop accounting).
+    pub slo: Option<SimDuration>,
 }
 
 impl PaExperimentConfig {
@@ -685,6 +826,8 @@ impl PaExperimentConfig {
             seed: 0xa99_2e6a7e,
             sample_every: None,
             faults: None,
+            arrival: None,
+            slo: None,
         }
     }
 
@@ -773,6 +916,12 @@ pub struct PaExperimentResult {
     /// run; the deadline-bounded front-end degrades by missing answers,
     /// not by retrying).
     pub failure: FailureStats,
+    /// Queries the open-loop schedules offered across all front-ends (0
+    /// in closed-loop runs).
+    pub offered: u64,
+    /// Open-loop SLO report: query-latency violations and shed
+    /// admissions (empty in closed-loop runs).
+    pub slo: SloStats,
 }
 
 /// The search-tier scenario: slot 0 of each rack is a front-end, the
@@ -792,6 +941,7 @@ struct PaSummary {
     missing_answers: u64,
     served: u64,
     completed_at: SimTime,
+    offered: u64,
 }
 
 impl PaWorkload<'_> {
@@ -818,6 +968,14 @@ impl Workload for PaWorkload<'_> {
     }
 
     fn budget(&self) -> SimTime {
+        if let Some(spec) = &self.cfg.arrival {
+            // Open loop: the schedule's horizon bounds admissions; slack
+            // covers the trailing query's aggregation deadline.
+            return SimTime::ZERO
+                + spec.horizon()
+                + self.cfg.deadline * 4
+                + SimDuration::from_secs(2);
+        }
         // Deadline-bounded: each query finishes within think + deadline,
         // but faults can only slow a query down to the deadline, so the
         // dominant term is queries * deadline with slack for startup.
@@ -862,9 +1020,19 @@ impl Workload for PaWorkload<'_> {
             fcfg.deadline = cfg.deadline;
             fcfg.query_bytes = cfg.query_bytes;
             fcfg.think = cfg.think;
-            // Stagger front-end start so racks do not fan out in lockstep.
-            fcfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
-            cluster.spawn(host, addr, Box::new(PaFrontend::new(fcfg)));
+            let fe: Box<PaFrontend> = if let Some(spec) = &cfg.arrival {
+                // Open loop: admissions come from the schedule (each
+                // front-end draws its own stream), so no start stagger.
+                fcfg.arrival = Some(spec.clone());
+                fcfg.slo = cfg.slo;
+                Box::new(PaFrontend::open_loop(fcfg, root_rng.derive(addr.0 as u64)))
+            } else {
+                // Stagger front-end start so racks do not fan out in
+                // lockstep.
+                fcfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
+                Box::new(PaFrontend::new(fcfg))
+            };
+            cluster.spawn(host, addr, fe);
             self.frontends.push(addr);
         }
     }
@@ -882,6 +1050,7 @@ impl Workload for PaWorkload<'_> {
         let mut deadline_misses = 0;
         let mut missing_answers = 0;
         let mut completed_at = SimTime::ZERO;
+        let mut offered = 0;
         for &a in &self.frontends {
             let f: &PaFrontend = cluster.process(host, a, Tid(0)).expect("front-end missing");
             latency.merge(&f.latency);
@@ -890,6 +1059,7 @@ impl Workload for PaWorkload<'_> {
             deadline_misses += f.deadline_misses;
             missing_answers += f.missing_answers;
             completed_at = completed_at.max(f.finished_at);
+            offered += f.offered;
         }
         let mut served = 0;
         for rack in 0..self.cfg.racks {
@@ -907,7 +1077,17 @@ impl Workload for PaWorkload<'_> {
             missing_answers,
             served,
             completed_at,
+            offered,
         }
+    }
+
+    fn slo_stats(&self, host: &SimHost, cluster: &Cluster) -> SloStats {
+        let mut slo = SloStats::default();
+        for &a in &self.frontends {
+            let f: &PaFrontend = cluster.process(host, a, Tid(0)).expect("front-end missing");
+            slo.merge(&f.slo);
+        }
+        slo
     }
 }
 
@@ -937,6 +1117,8 @@ pub fn try_run_partition_aggregate(
         series: env.series,
         conservation: env.conservation,
         failure: env.failure,
+        offered: summary.offered,
+        slo: env.slo,
     })
 }
 
@@ -1024,6 +1206,44 @@ mod tests {
         // 5 queries x 10 leaves x 2 front-ends.
         assert_eq!(r.served, 100);
         assert_eq!(r.full_aggregates + r.deadline_misses, 10);
+    }
+
+    #[test]
+    fn memcached_open_loop_accounts_every_admission() {
+        let mut cfg = McExperimentConfig::mini(1, 0);
+        cfg.arrival = Some(ArrivalSpec::poisson(2_000.0, SimDuration::from_millis(20)).unwrap());
+        cfg.slo = Some(SimDuration::from_micros(500));
+        let r = run_memcached(&cfg);
+        assert!(r.offered > 0, "the schedule must admit requests");
+        // Every admission resolves exactly once: completed, expired
+        // unanswered, or shed at a full window.
+        assert_eq!(r.offered, r.slo.completed + r.slo.shed);
+        assert_eq!(r.slo.completed, r.latency.count() + r.timed_out);
+        assert_eq!(r.slo.target, Some(SimDuration::from_micros(500)));
+    }
+
+    #[test]
+    fn partition_aggregate_open_loop_accounts_every_admission() {
+        let mut cfg = PaExperimentConfig::new(1, 0);
+        cfg.arrival = Some(ArrivalSpec::constant(2_000.0, SimDuration::from_millis(20)).unwrap());
+        cfg.slo = Some(SimDuration::from_micros(800));
+        let r = run_partition_aggregate(&cfg);
+        assert!(r.offered > 0, "the schedule must admit queries");
+        assert_eq!(r.offered, r.slo.completed + r.slo.shed);
+        assert_eq!(r.queries, r.slo.completed);
+    }
+
+    #[test]
+    fn incast_open_loop_paces_iterations() {
+        let mut cfg = IncastConfig::fig6a(2);
+        cfg.client = IncastClientKind::Epoll;
+        cfg.block_bytes = 64 * 1024;
+        cfg.arrival = Some(ArrivalSpec::constant(100.0, SimDuration::from_millis(50)).unwrap());
+        cfg.slo = Some(SimDuration::from_millis(5));
+        let r = run_incast(&cfg);
+        assert!(r.offered > 0, "the schedule must admit iterations");
+        assert_eq!(r.offered, r.slo.completed + r.slo.shed);
+        assert_eq!(r.iteration_times.len() as u64, r.slo.completed);
     }
 
     #[test]

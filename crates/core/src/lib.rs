@@ -20,6 +20,7 @@ pub mod report;
 pub mod survey;
 
 pub use cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+pub use diablo_apps::arrival::{ArrivalError, ArrivalProcess, ArrivalSpec, SloStats};
 pub use experiment::{ExperimentBase, ExperimentError, ExperimentHarness, RunEnvelope, Workload};
 pub use experiments::{
     run_incast, run_memcached, run_partition_aggregate, try_run_incast, try_run_memcached,

@@ -424,6 +424,18 @@ impl SeriesRecorder {
         self.points.keys().map(|k| k.as_str())
     }
 
+    /// Per-interval increments of one metric: for each adjacent pair of
+    /// samples, the interval's end time and the value change across it.
+    /// Turns a cumulative counter series (`slo.completed`,
+    /// `open_loop.offered`) into a rate-shaped series — the
+    /// offered-vs-completed comparison an overload sweep plots. Returns
+    /// `None` for an unknown metric; a series with fewer than two samples
+    /// yields an empty vector.
+    pub fn deltas(&self, name: &str) -> Option<Vec<(SimTime, f64)>> {
+        let points = self.points.get(name)?;
+        Some(points.windows(2).map(|w| (w[1].0, w[1].1 - w[0].1)).collect())
+    }
+
     /// Serializes all series as CSV with a `time_ps,name,value` header,
     /// ordered by metric name then time.
     pub fn to_csv(&self) -> String {
@@ -710,6 +722,28 @@ mod tests {
         let csv = rec.to_csv();
         assert!(csv.starts_with("time_ps,name,value\n"));
         assert!(csv.contains("n.tx_frames"));
+    }
+
+    #[test]
+    fn series_recorder_deltas_turn_counters_into_rates() {
+        let mut rec = SeriesRecorder::new();
+        for (step, total) in [(1u64, 5u64), (2, 5), (3, 20)] {
+            let mut reg = MetricsRegistry::new();
+            reg.set_counter("done", total);
+            rec.sample(SimTime::from_micros(step), &reg);
+        }
+        let d = rec.deltas("done").unwrap();
+        assert_eq!(
+            d,
+            vec![(SimTime::from_micros(2), 0.0), (SimTime::from_micros(3), 15.0)],
+            "each interval carries its end time and the change across it"
+        );
+        assert!(rec.deltas("missing").is_none());
+        let mut single = SeriesRecorder::new();
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("done", 1);
+        single.sample(SimTime::from_micros(1), &reg);
+        assert_eq!(single.deltas("done").unwrap(), vec![]);
     }
 
     #[test]

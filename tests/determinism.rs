@@ -288,3 +288,80 @@ fn seeds_change_results() {
     };
     assert_ne!(run(1), run(2), "different seeds must explore different schedules");
 }
+
+/// The open-loop contract: rate-driven admissions ride ordinary kernel
+/// timers, so a memcached run under the bundled diurnal profile — with
+/// and without a scripted link flap on top — must be byte-identical
+/// (whole-cluster metric scrape, serialized JSON) between serial and
+/// 2/4-partition execution, and every SLO/shed/offered count must match.
+#[test]
+fn open_loop_memcached_conforms_across_partitionings() {
+    use diablo::core::{run_memcached, ArrivalSpec, FaultPlan, McExperimentConfig};
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/diurnal.arrv"))
+            .expect("bundled diurnal scenario");
+    let spec = ArrivalSpec::parse(&text).expect("bundled scenario must parse");
+    for flap in [false, true] {
+        let run = |mode: RunMode| {
+            let mut cfg = McExperimentConfig::mini(2, 0);
+            cfg.arrival = Some(spec.clone());
+            cfg.slo = Some(SimDuration::from_micros(500));
+            cfg.mode = mode;
+            if flap {
+                cfg.faults = Some(
+                    FaultPlan::parse("10ms link-down node1\n30ms link-up node1")
+                        .expect("valid plan"),
+                );
+            }
+            let r = run_memcached(&cfg);
+            assert!(r.offered > 0, "diurnal profile must admit load");
+            assert_eq!(r.offered, r.slo.completed + r.slo.shed, "admission accounting");
+            (r.metrics.to_json(), r.offered, r.timed_out, r.slo, r.failure, r.events)
+        };
+        let reference = run(RunMode::Serial);
+        for partitions in [2usize, 4] {
+            let got = run(RunMode::parallel(partitions));
+            assert_eq!(
+                reference, got,
+                "open-loop memcached (flap={flap}) diverged at {partitions} partitions"
+            );
+        }
+    }
+}
+
+/// Same contract for open-loop partition-aggregate under the diurnal
+/// profile: frontends pace fan-outs from the arrival schedule, and the
+/// serial and partitioned executors must agree byte for byte.
+#[test]
+fn open_loop_partition_aggregate_conforms_across_partitionings() {
+    use diablo::core::{run_partition_aggregate, ArrivalSpec, FaultPlan, PaExperimentConfig};
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/diurnal.arrv"))
+            .expect("bundled diurnal scenario");
+    let spec = ArrivalSpec::parse(&text).expect("bundled scenario must parse");
+    for flap in [false, true] {
+        let run = |mode: RunMode| {
+            let mut cfg = PaExperimentConfig::new(2, 0);
+            cfg.arrival = Some(spec.clone());
+            cfg.slo = Some(SimDuration::from_micros(800));
+            cfg.mode = mode;
+            if flap {
+                cfg.faults = Some(
+                    FaultPlan::parse("10ms link-down node1\n30ms link-up node1")
+                        .expect("valid plan"),
+                );
+            }
+            let r = run_partition_aggregate(&cfg);
+            assert!(r.offered > 0, "diurnal profile must admit load");
+            (r.metrics.to_json(), r.offered, r.queries, r.slo, r.failure, r.events)
+        };
+        let reference = run(RunMode::Serial);
+        for partitions in [2usize, 4] {
+            let got = run(RunMode::parallel(partitions));
+            assert_eq!(
+                reference, got,
+                "open-loop partition-aggregate (flap={flap}) diverged at {partitions} partitions"
+            );
+        }
+    }
+}

@@ -274,3 +274,39 @@ fn clean_links_have_no_drops() {
     assert_eq!(sw.stats().drops_error.get(), 0);
     assert_eq!(sw.stats().drops_buffer.get(), 0);
 }
+
+/// `FailureStats` splits "the node died with the request in flight"
+/// (`crash_lost`) from "the request ran out of retries" (`gave_up`): a
+/// crash-lost request says nothing about server health and must not be
+/// double-counted as a timeout. A clean mid-run client crash must produce
+/// only crash losses.
+#[test]
+fn client_crash_losses_are_not_give_ups() {
+    use diablo::core::{run_memcached, FaultPlan, McExperimentConfig};
+    // Closed loop: node1 is a client (mini puts the server on node0);
+    // crash it while its current op is outstanding, reboot it, finish.
+    let mut cfg = McExperimentConfig::mini(1, 40);
+    cfg.faults = Some(FaultPlan::parse("1ms node-crash node1 reboot=1ms").expect("valid plan"));
+    let r = run_memcached(&cfg);
+    assert!(r.failure.crash_lost > 0, "the crash must catch a request in flight: {:?}", r.failure);
+    assert_eq!(r.failure.gave_up, 0, "no retry exhaustion on a healthy network: {:?}", r.failure);
+
+    // Open loop: the whole in-flight window dies with the node, and each
+    // lost slot is also an unanswered admission in the SLO books — but
+    // still not a give-up.
+    let mut cfg = McExperimentConfig::mini(1, 0);
+    cfg.arrival = Some(
+        diablo::core::ArrivalSpec::poisson(20_000.0, SimDuration::from_millis(10))
+            .expect("valid spec"),
+    );
+    cfg.slo = Some(SimDuration::from_micros(500));
+    cfg.faults = Some(FaultPlan::parse("2ms node-crash node1 reboot=2ms").expect("valid plan"));
+    let r = run_memcached(&cfg);
+    assert!(r.failure.crash_lost > 0, "the crash must wipe the window: {:?}", r.failure);
+    assert_eq!(r.failure.gave_up, 0, "crash losses must not count as give-ups: {:?}", r.failure);
+    assert_eq!(
+        r.offered,
+        r.slo.completed + r.slo.shed,
+        "crash-lost slots must stay in the admission books"
+    );
+}

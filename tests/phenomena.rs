@@ -110,3 +110,109 @@ fn network_upgrade_helps_less_than_2x() {
         "10x hardware must NOT give 10x latency (got {ratio:.2}x): software dominates"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Open-loop overload: the regime closed-loop clients can never reach
+// ---------------------------------------------------------------------------
+
+/// Offered load held constant regardless of completions: pushing the
+/// fleet past its capacity knee must drive the SLO violation fraction up
+/// monotonically, and deep overload must also shed admissions (the
+/// bounded in-flight window fills). A closed-loop client would throttle
+/// itself and hide all of this.
+#[test]
+fn open_loop_overload_raises_slo_violations_monotonically() {
+    use diablo::core::{run_memcached, ArrivalSpec, McExperimentConfig};
+    let run = |rate: f64| {
+        let mut cfg = McExperimentConfig::mini(1, 0);
+        cfg.arrival =
+            Some(ArrivalSpec::poisson(rate, SimDuration::from_millis(40)).expect("valid spec"));
+        cfg.slo = Some(SimDuration::from_micros(500));
+        let r = run_memcached(&cfg);
+        assert!(r.offered > 0, "schedule must admit load at {rate} req/s");
+        assert_eq!(
+            r.offered,
+            r.slo.completed + r.slo.shed,
+            "every admission must be accounted at {rate} req/s"
+        );
+        (r.slo.violation_fraction(), r.slo.shed)
+    };
+    // Per-client rates bracketing the mini-cluster capacity knee
+    // (5 clients → 1 server): 0.5x, 1.0x, 1.5x of the saturation point.
+    let (f_low, _) = run(15_000.0);
+    let (f_sat, _) = run(30_000.0);
+    let (f_over, shed_over) = run(45_000.0);
+    assert!(
+        f_low < f_sat && f_sat < f_over,
+        "violation fraction must rise with offered load: {f_low:.3} -> {f_sat:.3} -> {f_over:.3}"
+    );
+    assert!(f_low < 0.1, "below capacity the SLO must mostly hold, got {f_low:.3}");
+    assert!(f_over > 0.8, "1.5x capacity must blow the SLO, got {f_over:.3}");
+    assert!(shed_over > 0, "deep overload must fill the in-flight window and shed");
+}
+
+/// The bundled diurnal profile end to end: the midday peak saturates the
+/// servers (per-interval violations spike, queues grow), and the evening
+/// trough lets them drain — the violation rate in the final phase falls
+/// back down. Per-interval rates come from `SeriesRecorder::deltas` over
+/// the periodic `slo.*` counter scrapes.
+#[test]
+fn diurnal_overload_recovers_when_load_drops() {
+    use diablo::core::{run_memcached, ArrivalSpec, McExperimentConfig};
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/diurnal.arrv"))
+            .expect("bundled diurnal scenario");
+    let spec = ArrivalSpec::parse(&text).expect("bundled scenario must parse");
+    let mut cfg = McExperimentConfig::mini(1, 0);
+    cfg.arrival = Some(spec);
+    cfg.slo = Some(SimDuration::from_micros(500));
+    cfg.sample_every = Some(SimDuration::from_millis(5));
+    let r = run_memcached(&cfg);
+    let series = r.series.expect("sample_every must produce a series");
+
+    // Sum the per-client cumulative counters into cluster-wide
+    // per-interval deltas, keyed by interval-end timestamp (all clients
+    // share the sampling grid).
+    let summed = |suffix: &str| -> Vec<(SimTime, f64)> {
+        let names: Vec<&str> = series.names().filter(|n| n.ends_with(suffix)).collect();
+        assert!(!names.is_empty(), "no series ending in {suffix}");
+        let mut total: Vec<(SimTime, f64)> = Vec::new();
+        for n in &names {
+            let deltas = series.deltas(n).expect("series exists");
+            if total.is_empty() {
+                total = deltas;
+                continue;
+            }
+            assert_eq!(total.len(), deltas.len(), "clients must share the sampling grid");
+            for (acc, (t, d)) in total.iter_mut().zip(deltas) {
+                assert_eq!(acc.0, t, "clients must share the sampling grid");
+                acc.1 += d;
+            }
+        }
+        total
+    };
+    let violations = summed("slo.violations");
+    let completed = summed("slo.completed");
+    assert!(violations.len() >= 10, "60ms profile at 5ms cadence: {}", violations.len());
+
+    // Interval violation fraction over a simulated-time window. The run
+    // keeps sampling past the 60ms profile until the harness horizon, so
+    // windows are picked by timestamp, not position.
+    let frac = |from: SimTime, to: SimTime| -> f64 {
+        let in_window = |t: SimTime| t > from && t <= to;
+        let v: f64 = violations.iter().filter(|&&(t, _)| in_window(t)).map(|&(_, d)| d).sum();
+        let c: f64 = completed.iter().filter(|&&(t, _)| in_window(t)).map(|&(_, d)| d).sum();
+        assert!(c > 0.0, "no completions in ({from}, {to}]");
+        v / c
+    };
+    // Deep inside the 40k req/s peak phase (20-40ms), and the tail of the
+    // 2k req/s recovery trough (40-60ms) after queues have drained.
+    let peak = frac(SimTime::from_millis(25), SimTime::from_millis(40));
+    let recovered = frac(SimTime::from_millis(50), SimTime::from_millis(60));
+    assert!(peak > 0.5, "the peak phase must violate the SLO heavily, got {peak:.3}");
+    assert!(
+        recovered < peak / 2.0,
+        "the trough must recover: peak {peak:.3} vs recovered {recovered:.3}"
+    );
+    assert!(recovered < 0.2, "the trough must mostly meet the SLO, got {recovered:.3}");
+}
