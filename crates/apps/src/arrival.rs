@@ -446,6 +446,23 @@ mod tests {
         }
     }
 
+    /// Durations reject non-finite and negative values even when the
+    /// numeric part parses as an `f64` — "NaN" and "inf" are valid float
+    /// literals, so a plain `parse()` would otherwise let them through
+    /// and round them into garbage nanosecond counts.
+    #[test]
+    fn rejects_non_finite_and_negative_durations() {
+        for tok in ["NaNms", "nanms", "infs", "-infms", "-5ms", "-0.5us"] {
+            let err = parse_duration(tok).expect_err(tok);
+            assert!(err.contains("invalid duration"), "{tok:?} -> {err:?}");
+        }
+        // Through the public grammar too: the phase line must fail.
+        for text in ["NaNms const 100\n", "infs const 100\n", "-5ms const 100\n"] {
+            let err = ArrivalSpec::parse(text).expect_err(text).to_string();
+            assert!(err.contains("invalid duration"), "{text:?} -> {err:?}");
+        }
+    }
+
     #[test]
     fn constant_rate_is_evenly_spaced() {
         let spec = ArrivalSpec::constant(1000.0, SimDuration::from_millis(10)).unwrap();

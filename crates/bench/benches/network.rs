@@ -79,12 +79,12 @@ fn bench_tcp_transfer(c: &mut Criterion) {
                 t += SimDuration::from_micros(10);
                 let mut oa = TcpOutput::default();
                 for s in to_a.drain(..) {
-                    a.on_segment(t, s, &mut oa);
+                    a.on_segment(t, s, false, &mut oa);
                 }
                 to_b.extend(oa.segs);
                 let mut ob = TcpOutput::default();
                 for s in to_b.drain(..) {
-                    bc.on_segment(t, s, &mut ob);
+                    bc.on_segment(t, s, false, &mut ob);
                 }
                 to_a.extend(ob.segs);
             }
@@ -97,12 +97,12 @@ fn bench_tcp_transfer(c: &mut Criterion) {
                     t += SimDuration::from_micros(10);
                     let mut ob = TcpOutput::default();
                     for s in oa.segs.drain(..) {
-                        bc.on_segment(t, s, &mut ob);
+                        bc.on_segment(t, s, false, &mut ob);
                     }
                     let (_msgs, _) = bc.app_recv(usize::MAX, t, &mut ob);
                     let mut oa2 = TcpOutput::default();
                     for s in ob.segs {
-                        a.on_segment(t, s, &mut oa2);
+                        a.on_segment(t, s, false, &mut oa2);
                     }
                     oa = oa2;
                     continue;

@@ -9,11 +9,12 @@
 //! ```
 
 use diablo_apps::memcached::McVersion;
-use diablo_bench::{banner, parallel_mode, write_metrics_artifacts, Args};
+use diablo_bench::{banner, cc, fabric, parallel_mode, write_metrics_artifacts, Args};
 use diablo_core::report::percentiles_us;
 use diablo_core::{
-    run_incast, run_memcached, run_partition_aggregate, ArrivalSpec, DropAccounting, FaultPlan,
-    IncastClientKind, IncastConfig, McExperimentConfig, PaExperimentConfig, SloStats,
+    run_incast, run_memcached, run_partition_aggregate, ArrivalSpec, DropAccounting, FabricKind,
+    FaultPlan, IncastClientKind, IncastConfig, McExperimentConfig, PaExperimentConfig, SloStats,
+    SwitchTemplate,
 };
 use diablo_engine::prelude::{ExecReport, MetricsRegistry, SimDuration};
 use diablo_engine::time::Frequency;
@@ -33,12 +34,22 @@ fn usage() -> ! {
          incast options:\n\
            --servers N (8)  --iterations N (10)  --block BYTES (262144)\n\
            --client pthread|epoll (pthread)  --ghz 2|4 (4)  --10g  --racks N (1)\n\
+           --buffer BYTES      per-port switch buffer override (every tier\n\
+                               on a fat-tree, ToR only on the tree)\n\
            --parallel N  --seed N\n\
          \n\
          partition-aggregate options:\n\
            --racks N (4)  --spr N (6)  --queries N (100)  --deadline-us N (1000)\n\
            --query-bytes N (64)  --answer-bytes N (2048)  --cross-rack  --10g\n\
            --parallel N  --seed N\n\
+         \n\
+         fabric (all workloads):\n\
+           --topology tree|fat-tree:k=K[,hosts=N]  (tree)\n\
+                               fat-tree is a 3-tier folded Clos with K pods\n\
+                               and flow-consistent ECMP; its shape replaces\n\
+                               --racks/--spr\n\
+           --cc reno|dctcp (reno)  congestion control; dctcp enables ECN\n\
+                               marking at the switches\n\
          \n\
          observability (all workloads):\n\
            --metrics PATH      write the metrics JSON here instead of results/\n\
@@ -67,6 +78,36 @@ fn positive<T: Default + PartialEq + std::fmt::Display>(name: &str, v: T) -> T {
         std::process::exit(2);
     }
     v
+}
+
+/// Parses `--topology`, rejecting shape flags that a fat-tree derives
+/// itself: under `fat-tree:k=K` the rack count and servers-per-rack come
+/// from the Clos arithmetic, so an explicit `--racks`/`--spr` would be
+/// silently ignored — an error instead.
+fn fabric_for(args: &Args, shape_flags: &[&str]) -> FabricKind {
+    let f = fabric(args);
+    if matches!(f, FabricKind::FatTree(_)) {
+        for flag in shape_flags {
+            if args.flag(flag) {
+                eprintln!(
+                    "error: {flag} conflicts with --topology fat-tree \
+                     (the Clos shape is derived from k and hosts)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    f
+}
+
+/// Human-readable fabric description for the run banner.
+fn fabric_desc(f: &FabricKind) -> String {
+    match f {
+        FabricKind::Tree => "tree".to_string(),
+        FabricKind::FatTree(ft) => {
+            format!("fat-tree(k={}, hosts/edge={})", ft.k, ft.hosts_per_edge)
+        }
+    }
 }
 
 /// Loads and parses `--fault-plan`, exiting non-zero on a missing file or
@@ -219,6 +260,10 @@ fn memcached(args: &Args) {
     cfg.workers = positive("--workers", args.get("--workers", cfg.workers));
     cfg.seed = args.get("--seed", cfg.seed);
     cfg.ten_gig = args.flag("--10g");
+    if let FabricKind::FatTree(ft) = fabric_for(args, &["--racks", "--spr"]) {
+        cfg = cfg.on_fat_tree(ft);
+    }
+    cfg.cc = cc(args);
     cfg.faults = fault_plan(args);
     let deadline_ms: u64 = args.get("--deadline", 0);
     if deadline_ms > 0 {
@@ -259,6 +304,7 @@ fn memcached(args: &Args) {
         cfg.version.as_str(),
         if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
     );
+    println!("fabric: {}, congestion control: {}", fabric_desc(&cfg.fabric), cfg.cc.name());
     let r = run_memcached(&cfg);
     println!(
         "\n{} requests in {} simulated ({} events, {:.2}s wall)",
@@ -330,6 +376,19 @@ fn incast(args: &Args) {
     // Same --racks under serial and --parallel N is the same model, so
     // the two runs' metric scrapes must compare byte-identical.
     cfg.racks = positive("--racks", args.get("--racks", cfg.racks));
+    if let FabricKind::FatTree(ft) = fabric_for(args, &["--racks"]) {
+        cfg = cfg.on_fat_tree(ft);
+    }
+    cfg.cc = cc(args);
+    // Buffer depth is the axis the incast literature sweeps, so it gets a
+    // first-class knob; 0 keeps the workload's shallow default.
+    let buffer_bytes: u32 = args.get("--buffer", 0);
+    if buffer_bytes > 0 {
+        cfg.switch = Some(SwitchTemplate {
+            buffer: diablo_net::switch::BufferConfig::PerPort { bytes_per_port: buffer_bytes },
+            ..SwitchTemplate::gbe_shallow()
+        });
+    }
     cfg.mode = parallel_mode(args);
     println!(
         "{} servers, {} iterations, {} B blocks, {:?} client, {} CPU, {}",
@@ -340,6 +399,7 @@ fn incast(args: &Args) {
         cfg.cpu,
         if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
     );
+    println!("fabric: {}, congestion control: {}", fabric_desc(&cfg.fabric), cfg.cc.name());
     let r = run_incast(&cfg);
     println!(
         "\ngoodput {:.1} Mbps over {} iterations ({} switch drops, {} events)",
@@ -384,6 +444,10 @@ fn partition_aggregate(args: &Args) {
     cfg.cross_rack = args.flag("--cross-rack");
     cfg.ten_gig = args.flag("--10g");
     cfg.seed = args.get("--seed", cfg.seed);
+    if let FabricKind::FatTree(ft) = fabric_for(args, &["--racks", "--spr"]) {
+        cfg = cfg.on_fat_tree(ft);
+    }
+    cfg.cc = cc(args);
     cfg.faults = fault_plan(args);
     cfg.arrival = arrival_spec(args);
     cfg.slo = slo_target(args);
@@ -400,6 +464,7 @@ fn partition_aggregate(args: &Args) {
         cfg.deadline,
         if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
     );
+    println!("fabric: {}, congestion control: {}", fabric_desc(&cfg.fabric), cfg.cc.name());
     let r = run_partition_aggregate(&cfg);
     println!(
         "\n{} queries in {} simulated ({} events, {:.2}s wall)",

@@ -159,6 +159,40 @@ fn partition_aggregate_runs_identically_serial_and_parallel() {
 }
 
 // ---------------------------------------------------------------------------
+// Fabric flags: --topology / --cc
+// ---------------------------------------------------------------------------
+
+#[test]
+fn invalid_topology_values_are_rejected() {
+    expect_reject(&["incast", "--topology", "mesh"], "--topology");
+    expect_reject(&["incast", "--topology", "fat-tree"], "--topology");
+    expect_reject(&["incast", "--topology", "fat-tree:k=3"], "even");
+    expect_reject(&["memcached", "--topology", "fat-tree:k=0"], "at least 2");
+    expect_reject(&["partition-aggregate", "--topology", "fat-tree:k=4,hosts=0"], "hosts");
+    expect_reject(&["incast", "--topology", "fat-tree:k=4,ports=8"], "unknown fat-tree parameter");
+    expect_reject(&["incast", "--buffer", "lots"], "--buffer");
+}
+
+#[test]
+fn invalid_cc_values_are_rejected() {
+    expect_reject(&["incast", "--cc", "cubic"], "--cc");
+    expect_reject(&["memcached", "--cc", "bbr"], "--cc");
+    expect_reject(&["partition-aggregate", "--cc", "tahoe"], "--cc");
+}
+
+#[test]
+fn fat_tree_conflicts_with_explicit_shape_flags() {
+    // The Clos shape is k-derived; an explicit rack count would be
+    // silently ignored, so it must be an error instead.
+    expect_reject(&["incast", "--topology", "fat-tree:k=4", "--racks", "2"], "--racks");
+    expect_reject(&["memcached", "--topology", "fat-tree:k=4", "--spr", "3"], "--spr");
+    expect_reject(
+        &["partition-aggregate", "--topology", "fat-tree:k=4", "--racks", "2"],
+        "--racks",
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Open-loop flags: --arrival / --slo
 // ---------------------------------------------------------------------------
 

@@ -7,8 +7,10 @@ use diablo_engine::prelude::{DetRng, EngineError, ExecReport, RunStats, Simulati
 use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::frame::Frame;
 use diablo_net::link::{LinkParams, PortPeer};
-use diablo_net::switch::{BufferConfig, ForwardingMode, PacketSwitch, RoutingMode, SwitchConfig};
-use diablo_net::topology::{Endpoint, SwitchLevel, Topology, TopologyConfig};
+use diablo_net::switch::{
+    BufferConfig, ClosRole, EcmpConfig, ForwardingMode, PacketSwitch, RoutingMode, SwitchConfig,
+};
+use diablo_net::topology::{Endpoint, FatTreeConfig, SwitchLevel, Topology, TopologyConfig};
 use diablo_net::NodeAddr;
 use diablo_nic::NicConfig;
 use diablo_node::ServerNode;
@@ -204,6 +206,10 @@ pub struct SwitchTemplate {
     pub buffer: BufferConfig,
     /// Forwarding discipline.
     pub forwarding: ForwardingMode,
+    /// ECN marking threshold in queued bytes per egress port (`None`
+    /// disables marking). Set cluster-wide by
+    /// [`ClusterSpec::with_ecn_threshold`] when running DCTCP.
+    pub ecn_threshold: Option<u32>,
 }
 
 impl SwitchTemplate {
@@ -214,6 +220,7 @@ impl SwitchTemplate {
             latency: SimDuration::from_micros(1),
             buffer: BufferConfig::PerPort { bytes_per_port: 4096 },
             forwarding: ForwardingMode::StoreAndForward,
+            ecn_threshold: None,
         }
     }
 
@@ -223,17 +230,41 @@ impl SwitchTemplate {
             latency: SimDuration::from_nanos(100),
             buffer: BufferConfig::PerPort { bytes_per_port: 4096 },
             forwarding: ForwardingMode::CutThrough,
+            ecn_threshold: None,
         }
     }
 
-    fn to_config(self, name: String, ports: u16) -> SwitchConfig {
+    fn to_config(self, name: String, ports: u16, routing: RoutingMode) -> SwitchConfig {
         SwitchConfig {
             name,
             ports,
             latency: self.latency,
             buffer: self.buffer,
             forwarding: self.forwarding,
-            routing: RoutingMode::Source,
+            routing,
+            ecn_threshold: self.ecn_threshold,
+        }
+    }
+}
+
+/// Which physical fabric a cluster instantiates its [`TopologyConfig`] on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// The paper's baseline three-level tree: one ToR per rack, one array
+    /// switch per group of racks, one datacenter switch.
+    Tree,
+    /// A 3-tier fat-tree/Clos: edge switches double as ToRs, each pod is
+    /// an "array", and `(k/2)^2` core switches replace the datacenter
+    /// root. Switches route with flow-consistent ECMP.
+    FatTree(FatTreeConfig),
+}
+
+impl FabricKind {
+    /// Short name for reports (`tree` / `fat-tree`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FabricKind::Tree => "tree",
+            FabricKind::FatTree(_) => "fat-tree",
         }
     }
 }
@@ -241,8 +272,12 @@ impl SwitchTemplate {
 /// Everything needed to instantiate one simulated WSC array.
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
-    /// Array shape.
+    /// Array shape. For [`FabricKind::FatTree`] this is the fat-tree's
+    /// hierarchical *view* (edges as racks, pods as arrays) and must match
+    /// the fabric — set both through [`ClusterSpec::with_fat_tree`].
     pub topology: TopologyConfig,
+    /// Physical fabric the topology is instantiated on.
+    pub fabric: FabricKind,
     /// Guest kernel.
     pub kernel: KernelProfile,
     /// Server CPU clock.
@@ -271,6 +306,7 @@ impl ClusterSpec {
     pub fn gbe(topology: TopologyConfig) -> Self {
         ClusterSpec {
             topology,
+            fabric: FabricKind::Tree,
             kernel: KernelProfile::linux_2_6_39(),
             cpu: diablo_engine::time::Frequency::ghz(4),
             nic: NicConfig::default(),
@@ -296,6 +332,27 @@ impl ClusterSpec {
             datacenter: SwitchTemplate::ten_gbe_fast(),
             ..Self::gbe(topology)
         }
+    }
+
+    /// Re-targets this spec onto a 3-tier fat-tree fabric, replacing the
+    /// topology with the fat-tree's hierarchical view (edge switches as
+    /// racks, pods as arrays) so partition planning, addressing, and
+    /// metrics hierarchy carry over unchanged.
+    #[must_use]
+    pub fn with_fat_tree(mut self, ft: FatTreeConfig) -> Self {
+        self.topology = ft.view();
+        self.fabric = FabricKind::FatTree(ft);
+        self
+    }
+
+    /// Enables ECN marking at `bytes` queued bytes per egress port on
+    /// every switch level (the fabric half of DCTCP).
+    #[must_use]
+    pub fn with_ecn_threshold(mut self, bytes: u32) -> Self {
+        self.tor.ecn_threshold = Some(bytes);
+        self.array.ecn_threshold = Some(bytes);
+        self.datacenter.ecn_threshold = Some(bytes);
+        self
     }
 
     /// Adds extra port-to-port latency at every switch level (Figure 12's
@@ -484,7 +541,19 @@ impl Cluster {
     /// cut's lookahead (cross-partition messages could then arrive inside
     /// a synchronization window).
     pub fn build(host: &mut SimHost, spec: &ClusterSpec) -> Cluster {
-        let topo = Arc::new(Topology::new(spec.topology).expect("invalid topology configuration"));
+        let topo = match spec.fabric {
+            FabricKind::Tree => Topology::new(spec.topology),
+            FabricKind::FatTree(ft) => {
+                assert_eq!(
+                    spec.topology,
+                    ft.view(),
+                    "spec.topology must be the fat-tree's view: set both via \
+                     ClusterSpec::with_fat_tree"
+                );
+                Topology::fat_tree(ft)
+            }
+        };
+        let topo = Arc::new(topo.expect("invalid topology configuration"));
         let plan = spec.partition_plan(host.partition_count());
         if let SimHost::Parallel(p) = host {
             assert!(
@@ -497,21 +566,52 @@ impl Cluster {
         }
         let root_rng = DetRng::new(spec.seed);
 
-        // 1. Switches.
+        // 1. Switches. On a fat-tree, edges reuse the ToR template, pods'
+        // aggregation switches the array template, and cores the
+        // datacenter template; every fat-tree switch routes with
+        // flow-consistent ECMP instead of source routes.
+        let ecmp = |role: ClosRole| {
+            let (k, hosts_per_edge) =
+                topo.fat_tree_params().expect("ECMP roles exist only on fat-trees");
+            RoutingMode::Ecmp(EcmpConfig { k, hosts_per_edge, role })
+        };
         let mut switches = Vec::with_capacity(topo.switch_count());
         for s in 0..topo.switch_count() {
-            let (template, name, partition) = match topo.switch_level(s) {
+            let (template, name, partition, routing) = match topo.switch_level(s) {
                 SwitchLevel::Tor { rack } => {
-                    (spec.tor, format!("tor{rack}"), plan.rack_partition[rack] as usize)
+                    let routing = if topo.is_fat_tree() {
+                        ecmp(ClosRole::Edge { edge: rack })
+                    } else {
+                        RoutingMode::Source
+                    };
+                    (spec.tor, format!("tor{rack}"), plan.rack_partition[rack] as usize, routing)
                 }
-                SwitchLevel::Array { array } => {
-                    (spec.array, format!("array{array}"), plan.array_partition[array] as usize)
-                }
-                SwitchLevel::Datacenter => {
-                    (spec.datacenter, "datacenter".to_string(), plan.dc_partition as usize)
-                }
+                SwitchLevel::Array { array } => (
+                    spec.array,
+                    format!("array{array}"),
+                    plan.array_partition[array] as usize,
+                    RoutingMode::Source,
+                ),
+                SwitchLevel::Datacenter => (
+                    spec.datacenter,
+                    "datacenter".to_string(),
+                    plan.dc_partition as usize,
+                    RoutingMode::Source,
+                ),
+                SwitchLevel::Aggregation { pod, index } => (
+                    spec.array,
+                    format!("agg{index}"),
+                    plan.array_partition[pod] as usize,
+                    ecmp(ClosRole::Aggregation { pod }),
+                ),
+                SwitchLevel::Core { index } => (
+                    spec.datacenter,
+                    format!("core{index}"),
+                    plan.dc_partition as usize,
+                    ecmp(ClosRole::Core),
+                ),
             };
-            let cfg = template.to_config(name, topo.switch_ports(s));
+            let cfg = template.to_config(name, topo.switch_ports(s), routing);
             let sw = PacketSwitch::new(cfg, root_rng.derive(1_000_000 + s as u64));
             switches.push(host.add_in_partition(partition, Box::new(sw)));
         }
@@ -548,7 +648,9 @@ impl Cluster {
                     Endpoint::Switch { index, port: pport } => {
                         let params = match (topo.switch_level(s), topo.switch_level(index)) {
                             (SwitchLevel::Array { .. }, SwitchLevel::Datacenter)
-                            | (SwitchLevel::Datacenter, SwitchLevel::Array { .. }) => {
+                            | (SwitchLevel::Datacenter, SwitchLevel::Array { .. })
+                            | (SwitchLevel::Aggregation { .. }, SwitchLevel::Core { .. })
+                            | (SwitchLevel::Core { .. }, SwitchLevel::Aggregation { .. }) => {
                                 spec.array_uplink
                             }
                             _ => spec.rack_uplink,

@@ -26,7 +26,7 @@
 //! horizon doubling), and extract results once in
 //! [`summarize`](Workload::summarize) after completion.
 
-use crate::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+use crate::cluster::{Cluster, ClusterSpec, FabricKind, RunMode, SimHost, SwitchTemplate};
 use crate::fault::{FaultPlan, FaultPlanError};
 use crate::observe::DropAccounting;
 use diablo_apps::arrival::SloStats;
@@ -35,21 +35,37 @@ use diablo_engine::prelude::{
     EngineError, ExecReport, Frequency, MetricsRegistry, SeriesRecorder, SimDuration, SimTime,
 };
 use diablo_net::topology::TopologyConfig;
-use diablo_stack::profile::KernelProfile;
+use diablo_stack::profile::{CongestionControl, KernelProfile};
 
 // ====================================================================
 // Shared configuration
 // ====================================================================
 
-/// The experiment knobs every workload shares: cluster shape and speed,
-/// guest software profile, executor selection, determinism seed, fault
-/// schedule and sampling cadence. Workload-specific configs embed or
-/// produce one of these; the harness turns it into a [`ClusterSpec`] in
-/// exactly one place.
+/// Default ECN marking threshold (queued bytes per egress port) applied
+/// when a DCTCP run does not pin [`ExperimentBase::ecn_threshold`]
+/// explicitly: deep enough to absorb a line-rate burst, shallow enough
+/// that marking starts well before a 64 KB buffer tail-drops.
+pub const DEFAULT_DCTCP_ECN_THRESHOLD: u32 = 16 * 1024;
+
+/// The experiment knobs every workload shares: cluster shape, fabric and
+/// speed, guest software profile, congestion control, executor selection,
+/// determinism seed, fault schedule and sampling cadence.
+/// Workload-specific configs embed or produce one of these; the harness
+/// turns it into a [`ClusterSpec`] in exactly one place.
 #[derive(Debug, Clone)]
 pub struct ExperimentBase {
-    /// Array shape.
+    /// Array shape. With a fat-tree fabric this is the fabric's
+    /// hierarchical view and is derived from it during spec assembly.
     pub topology: TopologyConfig,
+    /// Physical fabric (the baseline tree, or a 3-tier fat-tree whose
+    /// switches run flow-consistent ECMP).
+    pub fabric: FabricKind,
+    /// Congestion-control algorithm the guest kernels run.
+    pub cc: CongestionControl,
+    /// ECN marking threshold override (queued bytes per switch egress
+    /// port). `None` means automatic: [`DEFAULT_DCTCP_ECN_THRESHOLD`]
+    /// when `cc` is DCTCP, no marking otherwise.
+    pub ecn_threshold: Option<u32>,
     /// Guest kernel.
     pub kernel: KernelProfile,
     /// Server CPU clock override (`None` keeps the spec default).
@@ -58,6 +74,11 @@ pub struct ExperimentBase {
     pub ten_gig: bool,
     /// ToR switch template override (`None` keeps the spec default).
     pub tor: Option<SwitchTemplate>,
+    /// Switch template override for every level at once. A fat-tree is
+    /// built from one commodity switch model, not a ToR/aggregation/core
+    /// hierarchy of different silicon, so fat-tree experiments set this
+    /// rather than [`ExperimentBase::tor`]. Applied after `tor`.
+    pub switch_all: Option<SwitchTemplate>,
     /// Extra switch latency at every level (Figure 12's sweep).
     pub extra_switch_latency: SimDuration,
     /// Master seed for all derived RNG streams.
@@ -77,10 +98,14 @@ impl ExperimentBase {
     pub fn new(topology: TopologyConfig) -> Self {
         ExperimentBase {
             topology,
+            fabric: FabricKind::Tree,
+            cc: CongestionControl::default(),
+            ecn_threshold: None,
             kernel: KernelProfile::linux_2_6_39(),
             cpu: None,
             ten_gig: false,
             tor: None,
+            switch_all: None,
             extra_switch_latency: SimDuration::ZERO,
             seed: 0x00D1_AB10,
             mode: RunMode::Serial,
@@ -97,13 +122,30 @@ impl ExperimentBase {
         } else {
             ClusterSpec::gbe(self.topology)
         };
+        if let FabricKind::FatTree(ft) = self.fabric {
+            spec = spec.with_fat_tree(ft);
+        }
         spec.kernel = self.kernel.clone();
+        spec.kernel.cc = self.cc;
         spec.seed = self.seed;
         if let Some(cpu) = self.cpu {
             spec.cpu = cpu;
         }
         if let Some(tor) = self.tor {
             spec.tor = tor;
+        }
+        if let Some(t) = self.switch_all {
+            spec.tor = t;
+            spec.array = t;
+            spec.datacenter = t;
+        }
+        // ECN marking rides after the template overrides so a DCTCP run
+        // keeps its marking threshold under a custom ToR template.
+        let ecn = self.ecn_threshold.or_else(|| {
+            (self.cc == CongestionControl::Dctcp).then_some(DEFAULT_DCTCP_ECN_THRESHOLD)
+        });
+        if let Some(th) = ecn {
+            spec = spec.with_ecn_threshold(th);
         }
         spec.with_extra_switch_latency(self.extra_switch_latency)
     }

@@ -7,7 +7,7 @@
 //! live exactly once in [`crate::experiment`]; this module only describes
 //! *what* runs (which guest processes, where) and *what to measure*.
 
-use crate::cluster::{Cluster, RunMode, SimHost, SwitchTemplate};
+use crate::cluster::{Cluster, FabricKind, RunMode, SimHost, SwitchTemplate};
 use crate::experiment::{ExperimentBase, ExperimentError, ExperimentHarness, Workload};
 use crate::fault::FaultPlan;
 use crate::observe::DropAccounting;
@@ -27,10 +27,10 @@ use diablo_engine::prelude::{
     DetRng, ExecReport, Frequency, Histogram, MetricsRegistry, SeriesRecorder, SimDuration, SimTime,
 };
 use diablo_net::switch::BufferConfig;
-use diablo_net::topology::{HopClass, TopologyConfig};
+use diablo_net::topology::{FatTreeConfig, HopClass, TopologyConfig};
 use diablo_net::{NodeAddr, SockAddr};
 use diablo_stack::process::{Proto, Tid};
-use diablo_stack::profile::KernelProfile;
+use diablo_stack::profile::{CongestionControl, KernelProfile};
 use std::sync::Arc;
 
 // ====================================================================
@@ -66,8 +66,18 @@ pub struct IncastConfig {
     /// Override the ToR buffer (defaults to the paper's 4 KB/port).
     pub switch: Option<SwitchTemplate>,
     /// Racks to spread the servers over (1 in the paper's figures; >1
-    /// exercises the partitioned executor on a multi-rack cut).
+    /// exercises the partitioned executor on a multi-rack cut). Ignored
+    /// on a fat-tree fabric, whose shape comes from its own config.
     pub racks: usize,
+    /// Physical fabric (baseline tree, or a 3-tier fat-tree with ECMP;
+    /// see [`IncastConfig::on_fat_tree`]).
+    pub fabric: FabricKind,
+    /// Congestion control the guest kernels run; DCTCP also enables
+    /// switch ECN marking.
+    pub cc: CongestionControl,
+    /// ECN marking threshold override in queued bytes per egress port
+    /// (`None` keeps the DCTCP default, no marking under Reno).
+    pub ecn_threshold: Option<u32>,
     /// Execution mode.
     pub mode: RunMode,
     /// Seed.
@@ -103,6 +113,9 @@ impl IncastConfig {
             ten_gig: false,
             switch: None,
             racks: 1,
+            fabric: FabricKind::Tree,
+            cc: CongestionControl::Reno,
+            ecn_threshold: None,
             mode: RunMode::Serial,
             seed: 0x0001_ca57,
             sample_every: None,
@@ -118,20 +131,55 @@ impl IncastConfig {
         IncastConfig { cpu: Frequency::ghz(ghz), ten_gig: true, client, ..Self::fig6a(servers) }
     }
 
+    /// Re-targets the scenario onto a 3-tier fat-tree fabric: the client
+    /// stays on node 0, the servers spread across the tree's hosts, and
+    /// every switch routes with flow-consistent ECMP.
+    #[must_use]
+    pub fn on_fat_tree(mut self, ft: FatTreeConfig) -> Self {
+        self.fabric = FabricKind::FatTree(ft);
+        self
+    }
+
     /// The shared experiment base this config describes.
     fn base(&self) -> ExperimentBase {
-        let racks = self.racks.max(1);
-        let topology = TopologyConfig {
-            racks,
-            servers_per_rack: (self.servers + 1).div_ceil(racks),
-            racks_per_array: racks,
+        let topology = match self.fabric {
+            FabricKind::FatTree(ft) => {
+                let view = ft.view();
+                assert!(
+                    view.racks * view.servers_per_rack > self.servers,
+                    "fat-tree k={} with {} hosts/edge has no room for {} servers + 1 client",
+                    ft.k,
+                    ft.hosts_per_edge,
+                    self.servers
+                );
+                view
+            }
+            FabricKind::Tree => {
+                let racks = self.racks.max(1);
+                TopologyConfig {
+                    racks,
+                    servers_per_rack: (self.servers + 1).div_ceil(racks),
+                    racks_per_array: racks,
+                }
+            }
+        };
+        // A fat-tree is one commodity switch model replicated across
+        // tiers, so the override applies to every level; the classic
+        // tree keeps it as a ToR-only override.
+        let (tor, switch_all) = match self.fabric {
+            FabricKind::FatTree(_) => (None, self.switch),
+            FabricKind::Tree => (self.switch, None),
         };
         ExperimentBase {
             topology,
+            fabric: self.fabric,
+            cc: self.cc,
+            ecn_threshold: self.ecn_threshold,
             kernel: self.kernel.clone(),
             cpu: Some(self.cpu),
             ten_gig: self.ten_gig,
-            tor: self.switch,
+            tor,
+            switch_all,
             extra_switch_latency: SimDuration::ZERO,
             seed: self.seed,
             mode: self.mode,
@@ -378,6 +426,15 @@ pub struct McExperimentConfig {
     pub workers: usize,
     /// 10 Gbps fabric instead of 1 Gbps.
     pub ten_gig: bool,
+    /// Physical fabric (baseline tree, or a 3-tier fat-tree with ECMP;
+    /// see [`McExperimentConfig::on_fat_tree`]).
+    pub fabric: FabricKind,
+    /// Congestion control the guest kernels run; DCTCP also enables
+    /// switch ECN marking.
+    pub cc: CongestionControl,
+    /// ECN marking threshold override in queued bytes per egress port
+    /// (`None` keeps the DCTCP default, no marking under Reno).
+    pub ecn_threshold: Option<u32>,
     /// Extra switch latency at every level (Figure 12).
     pub extra_switch_latency: SimDuration,
     /// Instructions of server-side application logic per request.
@@ -421,6 +478,9 @@ impl McExperimentConfig {
             version: McVersion::V1_4_17,
             workers: 4,
             ten_gig: false,
+            fabric: FabricKind::Tree,
+            cc: CongestionControl::Reno,
+            ecn_threshold: None,
             extra_switch_latency: SimDuration::ZERO,
             request_work: 2_500,
             reconnect_every: None,
@@ -450,6 +510,20 @@ impl McExperimentConfig {
         self.racks * self.servers_per_rack
     }
 
+    /// Re-targets the experiment onto a 3-tier fat-tree fabric,
+    /// deriving `racks` / `servers_per_rack` from the fabric's
+    /// hierarchical view (edges as racks) so the node layout — servers
+    /// on the first slots of each rack, clients on the rest — carries
+    /// over unchanged.
+    #[must_use]
+    pub fn on_fat_tree(mut self, ft: FatTreeConfig) -> Self {
+        let view = ft.view();
+        self.racks = view.racks;
+        self.servers_per_rack = view.servers_per_rack;
+        self.fabric = FabricKind::FatTree(ft);
+        self
+    }
+
     /// The shared experiment base this config describes.
     fn base(&self) -> ExperimentBase {
         let topology = TopologyConfig {
@@ -457,12 +531,24 @@ impl McExperimentConfig {
             servers_per_rack: self.servers_per_rack,
             racks_per_array: 16.min(self.racks),
         };
+        if let FabricKind::FatTree(ft) = self.fabric {
+            assert_eq!(
+                (topology.racks, topology.servers_per_rack),
+                (ft.view().racks, ft.view().servers_per_rack),
+                "racks/servers_per_rack must match the fat-tree view: \
+                 use McExperimentConfig::on_fat_tree"
+            );
+        }
         ExperimentBase {
             topology,
+            fabric: self.fabric,
+            cc: self.cc,
+            ecn_threshold: self.ecn_threshold,
             kernel: self.kernel.clone(),
             cpu: None,
             ten_gig: self.ten_gig,
             tor: None,
+            switch_all: None,
             extra_switch_latency: self.extra_switch_latency,
             seed: self.seed,
             mode: self.mode,
@@ -788,6 +874,15 @@ pub struct PaExperimentConfig {
     pub kernel: KernelProfile,
     /// 10 Gbps fabric instead of 1 Gbps.
     pub ten_gig: bool,
+    /// Physical fabric (baseline tree, or a 3-tier fat-tree with ECMP;
+    /// see [`PaExperimentConfig::on_fat_tree`]).
+    pub fabric: FabricKind,
+    /// Congestion control the guest kernels run; DCTCP also enables
+    /// switch ECN marking.
+    pub cc: CongestionControl,
+    /// ECN marking threshold override in queued bytes per egress port
+    /// (`None` keeps the DCTCP default, no marking under Reno).
+    pub ecn_threshold: Option<u32>,
     /// Execution mode.
     pub mode: RunMode,
     /// Seed.
@@ -822,6 +917,9 @@ impl PaExperimentConfig {
             think: 8_000,
             kernel: KernelProfile::linux_2_6_39(),
             ten_gig: false,
+            fabric: FabricKind::Tree,
+            cc: CongestionControl::Reno,
+            ecn_threshold: None,
             mode: RunMode::Serial,
             seed: 0xa99_2e6a7e,
             sample_every: None,
@@ -858,6 +956,19 @@ impl PaExperimentConfig {
         tor
     }
 
+    /// Re-targets the search tier onto a 3-tier fat-tree fabric,
+    /// deriving `racks` / `servers_per_rack` from the fabric's
+    /// hierarchical view (edges as racks) so front-end/leaf placement
+    /// carries over unchanged.
+    #[must_use]
+    pub fn on_fat_tree(mut self, ft: FatTreeConfig) -> Self {
+        let view = ft.view();
+        self.racks = view.racks;
+        self.servers_per_rack = view.servers_per_rack;
+        self.fabric = FabricKind::FatTree(ft);
+        self
+    }
+
     /// The shared experiment base this config describes.
     fn base(&self) -> ExperimentBase {
         let topology = TopologyConfig {
@@ -865,12 +976,26 @@ impl PaExperimentConfig {
             servers_per_rack: self.servers_per_rack,
             racks_per_array: 16.min(self.racks),
         };
+        if let FabricKind::FatTree(ft) = self.fabric {
+            assert_eq!(
+                (topology.racks, topology.servers_per_rack),
+                (ft.view().racks, ft.view().servers_per_rack),
+                "racks/servers_per_rack must match the fat-tree view: \
+                 use PaExperimentConfig::on_fat_tree"
+            );
+        }
         ExperimentBase {
             topology,
+            fabric: self.fabric,
+            cc: self.cc,
+            ecn_threshold: self.ecn_threshold,
             kernel: self.kernel.clone(),
             cpu: None,
             ten_gig: self.ten_gig,
+            // One switch model per fabric: the deep-buffered template
+            // covers every fat-tree tier, only the racks in the tree.
             tor: Some(self.tor_template()),
+            switch_all: matches!(self.fabric, FabricKind::FatTree(_)).then(|| self.tor_template()),
             extra_switch_latency: SimDuration::ZERO,
             seed: self.seed,
             mode: self.mode,
@@ -1244,6 +1369,42 @@ mod tests {
         assert!(r.offered > 0, "the schedule must admit iterations");
         assert_eq!(r.offered, r.slo.completed + r.slo.shed);
         assert_eq!(r.iteration_times.len() as u64, r.slo.completed);
+    }
+
+    #[test]
+    fn incast_runs_on_fat_tree_with_dctcp() {
+        let mut cfg = IncastConfig::fig6a(4).on_fat_tree(FatTreeConfig::new(4));
+        cfg.iterations = 2;
+        cfg.cc = CongestionControl::Dctcp;
+        let r = run_incast(&cfg);
+        assert_eq!(r.iteration_times.len(), 2);
+        assert!(r.goodput_mbps > 0.0);
+        assert!(r.conservation.is_balanced());
+    }
+
+    #[test]
+    fn memcached_mini_runs_on_fat_tree() {
+        // k=4 fat-tree with 3 hosts/edge: 8 "racks" of 3, one memcached
+        // server + two clients per edge.
+        let ft = FatTreeConfig { k: 4, hosts_per_edge: 3 };
+        let cfg = McExperimentConfig::mini(1, 5).on_fat_tree(ft);
+        assert_eq!(cfg.racks, 8);
+        assert_eq!(cfg.servers_per_rack, 3);
+        let r = run_memcached(&cfg);
+        // 8 racks x 2 clients x 5 requests.
+        assert_eq!(r.latency.count(), 80);
+        assert!(r.conservation.is_balanced());
+    }
+
+    #[test]
+    fn partition_aggregate_cross_rack_runs_on_fat_tree_dctcp() {
+        let mut cfg = PaExperimentConfig::new(1, 4).on_fat_tree(FatTreeConfig::new(4));
+        cfg.cross_rack = true;
+        cfg.cc = CongestionControl::Dctcp;
+        let r = run_partition_aggregate(&cfg);
+        // 8 front-ends (one per edge) x 4 queries.
+        assert_eq!(r.queries, 32);
+        assert!(r.conservation.is_balanced());
     }
 
     #[test]

@@ -289,6 +289,8 @@ impl FaultPlan {
                 SwitchLevel::Tor { rack } => format!("tor{rack}"),
                 SwitchLevel::Array { array } => format!("array{array}"),
                 SwitchLevel::Datacenter => "datacenter".to_string(),
+                SwitchLevel::Aggregation { index, .. } => format!("agg{index}"),
+                SwitchLevel::Core { index } => format!("core{index}"),
             };
             switch_names.insert(name, s);
         }
@@ -434,6 +436,29 @@ mod tests {
             let e = FaultPlan::parse(text).expect_err(text);
             let msg = e.to_string();
             assert!(msg.contains(needle), "`{text}` gave `{msg}`, wanted `{needle}`");
+        }
+    }
+
+    /// "NaN" and "inf" are valid `f64` literals, so the duration parser
+    /// must reject them explicitly — a schedule stamped at NaN
+    /// nanoseconds would otherwise round into an arbitrary fire time.
+    #[test]
+    fn rejects_non_finite_and_negative_durations() {
+        for tok in ["NaNms", "nanms", "infs", "-infms", "-5ms", "-0.5us"] {
+            let err = parse_duration(tok).expect_err(tok);
+            assert!(err.contains("finite and non-negative"), "{tok:?} -> {err:?}");
+        }
+        // Via the public grammar, in both the timestamp column and the
+        // reboot argument.
+        for text in [
+            "NaNms link-down node0",
+            "infs link-down node0",
+            "-5ms link-down node0",
+            "500ms node-crash node0 reboot=NaNms",
+            "500ms node-crash node0 reboot=-5ms",
+        ] {
+            let e = FaultPlan::parse(text).expect_err(text).to_string();
+            assert!(e.contains("finite and non-negative"), "`{text}` gave `{e}`");
         }
     }
 

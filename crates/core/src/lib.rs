@@ -19,7 +19,7 @@ pub mod observe;
 pub mod report;
 pub mod survey;
 
-pub use cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+pub use cluster::{Cluster, ClusterSpec, FabricKind, RunMode, SimHost, SwitchTemplate};
 pub use diablo_apps::arrival::{ArrivalError, ArrivalProcess, ArrivalSpec, SloStats};
 pub use experiment::{ExperimentBase, ExperimentError, ExperimentHarness, RunEnvelope, Workload};
 pub use experiments::{

@@ -76,7 +76,8 @@ impl DropAccounting {
 impl Cluster {
     /// Hierarchical scrape name of every component: nodes are
     /// `rack{r}.server{slot}`, ToRs `rack{r}.tor`, array switches
-    /// `array{a}`, the root `datacenter`.
+    /// `array{a}`, the root `datacenter`. On a fat-tree, edges take the
+    /// ToR names and the upper tiers are `agg{i}` / `core{i}`.
     fn component_names(&self) -> HashMap<ComponentId, String> {
         let mut names = HashMap::new();
         let spr = self.topo.config().servers_per_rack;
@@ -90,6 +91,8 @@ impl Cluster {
                 SwitchLevel::Tor { rack } => format!("rack{rack}.tor"),
                 SwitchLevel::Array { array } => format!("array{array}"),
                 SwitchLevel::Datacenter => "datacenter".to_string(),
+                SwitchLevel::Aggregation { index, .. } => format!("agg{index}"),
+                SwitchLevel::Core { index } => format!("core{index}"),
             };
             names.insert(id, name);
         }

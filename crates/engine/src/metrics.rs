@@ -431,9 +431,14 @@ impl SeriesRecorder {
     /// offered-vs-completed comparison an overload sweep plots. Returns
     /// `None` for an unknown metric; a series with fewer than two samples
     /// yields an empty vector.
+    ///
+    /// Counters are monotone within one component lifetime but reset to
+    /// zero when the component is rebuilt (a node crash/reboot mid-run),
+    /// so a raw difference across the reset would go negative; intervals
+    /// spanning a reset saturate at zero instead.
     pub fn deltas(&self, name: &str) -> Option<Vec<(SimTime, f64)>> {
         let points = self.points.get(name)?;
-        Some(points.windows(2).map(|w| (w[1].0, w[1].1 - w[0].1)).collect())
+        Some(points.windows(2).map(|w| (w[1].0, (w[1].1 - w[0].1).max(0.0))).collect())
     }
 
     /// Serializes all series as CSV with a `time_ps,name,value` header,

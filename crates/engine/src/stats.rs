@@ -256,14 +256,7 @@ impl Histogram {
     ///
     /// Panics if `lo` is zero, `lo >= hi`, or `bins` is zero.
     pub fn log_pmf(&self, lo: u64, hi: u64, bins_per_decade: usize) -> Vec<(u64, f64)> {
-        assert!(lo > 0 && hi > lo && bins_per_decade > 0, "invalid log_pmf bounds");
-        let decades = (hi as f64 / lo as f64).log10();
-        let total_bins = (decades * bins_per_decade as f64).ceil() as usize;
-        let mut edges = Vec::with_capacity(total_bins + 1);
-        for i in 0..=total_bins {
-            let v = lo as f64 * 10f64.powf(i as f64 / bins_per_decade as f64);
-            edges.push(v.round() as u64);
-        }
+        let edges = log_edges(lo, hi, bins_per_decade);
         let mut out: Vec<(u64, f64)> = edges[1..].iter().map(|&e| (e, 0.0)).collect();
         if self.count == 0 {
             return out;
@@ -283,6 +276,44 @@ impl Histogram {
         }
         out
     }
+
+    /// Cumulative distribution over the same logarithmic bins as
+    /// [`Histogram::log_pmf`]: `(bin_upper_bound, cumulative_fraction)`.
+    /// Values below `lo` count toward the first bin and values above `hi`
+    /// toward the last, so the final point reaches 1.0 for a non-empty
+    /// histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is zero, `lo >= hi`, or `bins_per_decade` is zero.
+    pub fn log_cdf(&self, lo: u64, hi: u64, bins_per_decade: usize) -> Vec<(u64, f64)> {
+        let mut out = self.log_pmf(lo, hi, bins_per_decade);
+        let mut acc = 0.0;
+        for p in &mut out {
+            acc += p.1;
+            p.1 = acc;
+        }
+        out
+    }
+}
+
+/// Logarithmic bin upper edges between `lo` and `hi`, `bins_per_decade`
+/// per decade, rounded to integers and deduplicated: over a narrow range
+/// (1–10 ns, say) adjacent ideal edges round to the same integer, which
+/// would otherwise yield zero-width bins, non-monotone output, and an
+/// ill-defined binary search.
+fn log_edges(lo: u64, hi: u64, bins_per_decade: usize) -> Vec<u64> {
+    assert!(lo > 0 && hi > lo && bins_per_decade > 0, "invalid log-bin bounds");
+    let decades = (hi as f64 / lo as f64).log10();
+    let total_bins = (decades * bins_per_decade as f64).ceil() as usize;
+    let mut edges = Vec::with_capacity(total_bins + 1);
+    for i in 0..=total_bins {
+        let v = (lo as f64 * 10f64.powf(i as f64 / bins_per_decade as f64)).round() as u64;
+        if edges.last() != Some(&v) {
+            edges.push(v);
+        }
+    }
+    edges
 }
 
 /// A small collection of `f64` observations with summary statistics;
@@ -593,6 +624,36 @@ mod tests {
         let total: f64 = pmf.iter().map(|&(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-9, "total {total}");
         assert!(pmf.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// Over 1–10 ns at 10 bins/decade, the ideal edges 1.26, 1.58, 2.0,
+    /// 2.51, ... round to 1, 2, 2, 3, ... — the duplicates must collapse
+    /// so the bins stay strictly increasing and every sample lands in a
+    /// well-defined bin.
+    #[test]
+    fn narrow_range_log_bins_deduplicate_rounded_edges() {
+        let mut h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let pmf = h.log_pmf(1, 10, 10);
+        assert!(
+            pmf.windows(2).all(|w| w[0].0 < w[1].0),
+            "edges must be strictly increasing: {pmf:?}"
+        );
+        let total: f64 = pmf.iter().map(|&(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!(pmf.last().expect("non-empty bins").0 >= 10, "last bin must cover hi");
+
+        let cdf = h.log_cdf(1, 10, 10);
+        assert_eq!(cdf.len(), pmf.len());
+        assert!(cdf.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!((cdf.last().expect("non-empty bins").1 - 1.0).abs() < 1e-9);
+
+        // An empty histogram yields the same bin shape, all zero.
+        let empty = Histogram::new();
+        assert_eq!(empty.log_cdf(1, 10, 10).len(), cdf.len());
+        assert!(empty.log_cdf(1, 10, 10).iter().all(|&(_, f)| f == 0.0));
     }
 
     #[test]

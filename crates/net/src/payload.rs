@@ -96,19 +96,34 @@ pub struct TcpFlags {
     pub fin: bool,
     /// Abortive reset.
     pub rst: bool,
+    /// ECN-Echo: the receiver is reflecting congestion-experienced marks
+    /// back to the sender (RFC 3168 / DCTCP).
+    pub ece: bool,
 }
 
 impl TcpFlags {
     /// Plain data/ack segment.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
+    pub const ACK: TcpFlags =
+        TcpFlags { syn: false, ack: true, fin: false, rst: false, ece: false };
     /// Connection request.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
+    pub const SYN: TcpFlags =
+        TcpFlags { syn: true, ack: false, fin: false, rst: false, ece: false };
     /// Connection accept.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    pub const SYN_ACK: TcpFlags =
+        TcpFlags { syn: true, ack: true, fin: false, rst: false, ece: false };
     /// Half-close.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false };
+    pub const FIN_ACK: TcpFlags =
+        TcpFlags { syn: false, ack: true, fin: true, rst: false, ece: false };
     /// Abort.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true };
+    pub const RST: TcpFlags =
+        TcpFlags { syn: false, ack: false, fin: false, rst: true, ece: false };
+
+    /// Builder-style setter for the ECN-Echo bit.
+    #[must_use]
+    pub const fn with_ece(mut self, ece: bool) -> Self {
+        self.ece = ece;
+        self
+    }
 }
 
 /// Marks the completion of an application message within a TCP byte stream:
@@ -198,6 +213,9 @@ pub struct IpPacket {
     pub src: NodeAddr,
     /// Receiving node.
     pub dst: NodeAddr,
+    /// Congestion Experienced: set by a switch whose egress queue exceeded
+    /// its ECN marking threshold while this packet was enqueued.
+    pub ce: bool,
     /// Transport payload.
     pub transport: Transport,
 }
@@ -205,12 +223,12 @@ pub struct IpPacket {
 impl IpPacket {
     /// Creates a TCP packet.
     pub fn tcp(src: NodeAddr, dst: NodeAddr, seg: TcpSegment) -> Self {
-        IpPacket { src, dst, transport: Transport::Tcp(seg) }
+        IpPacket { src, dst, ce: false, transport: Transport::Tcp(seg) }
     }
 
     /// Creates a UDP packet.
     pub fn udp(src: NodeAddr, dst: NodeAddr, dgram: UdpDatagram) -> Self {
-        IpPacket { src, dst, transport: Transport::Udp(dgram) }
+        IpPacket { src, dst, ce: false, transport: Transport::Udp(dgram) }
     }
 
     /// Total IP bytes (header + transport).

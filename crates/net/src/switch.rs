@@ -56,6 +56,34 @@ pub enum ForwardingMode {
     CutThrough,
 }
 
+/// Where a switch sits in a fat-tree, for per-hop ECMP port selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClosRole {
+    /// An edge switch: `edge` is its global edge index.
+    Edge {
+        /// Global edge-switch index (`pod * k/2 + position`).
+        edge: usize,
+    },
+    /// An aggregation switch of `pod` (any of the pod's `k/2`).
+    Aggregation {
+        /// Pod index.
+        pod: usize,
+    },
+    /// A core switch (port number = destination pod, no hashing needed).
+    Core,
+}
+
+/// Parameters for flow-consistent ECMP over a `k`-ary fat-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcmpConfig {
+    /// Fat-tree arity.
+    pub k: usize,
+    /// Hosts per edge switch (fixes the host → edge mapping).
+    pub hosts_per_edge: usize,
+    /// This switch's position in the fabric.
+    pub role: ClosRole,
+}
+
 /// How the functional model picks an output port.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RoutingMode {
@@ -65,6 +93,36 @@ pub enum RoutingMode {
     /// (`table[dst.index()] = output port`), standing in for the TCAM flow
     /// tables of SDN-style switches.
     Table(Vec<u16>),
+    /// Flow-consistent ECMP on a fat-tree: downward ports are fixed by the
+    /// destination address, upward ports are picked by a deterministic
+    /// 5-tuple hash seeded per-switch, so a flow always takes the same
+    /// path and serial/partition-parallel runs stay bit-identical.
+    Ecmp(EcmpConfig),
+}
+
+/// SplitMix64 finalizer: the avalanche core of the ECMP flow hash.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic ECMP flow hash: a pure function of the switch seed and
+/// the flow 5-tuple (src, dst, src port, dst port, protocol). Public so
+/// tests can assert path choice is history-independent.
+pub fn ecmp_hash(seed: u64, src: u32, dst: u32, src_port: u16, dst_port: u16, proto: u8) -> u64 {
+    let mut x = splitmix(seed ^ ((src as u64) << 32 | dst as u64));
+    x = splitmix(x ^ ((src_port as u64) << 24 | (dst_port as u64) << 8 | proto as u64));
+    x
+}
+
+/// The flow 5-tuple's transport part: `(src_port, dst_port, protocol)`.
+fn transport_tuple(packet: &crate::payload::IpPacket) -> (u16, u16, u8) {
+    match &packet.transport {
+        crate::payload::Transport::Tcp(s) => (s.src_port, s.dst_port, 6),
+        crate::payload::Transport::Udp(d) => (d.src_port, d.dst_port, 17),
+    }
 }
 
 /// Static switch parameters. All are runtime-configurable, enabling
@@ -84,6 +142,11 @@ pub struct SwitchConfig {
     pub forwarding: ForwardingMode,
     /// Output-port selection.
     pub routing: RoutingMode,
+    /// ECN marking threshold in queued IP bytes per output port: a frame
+    /// admitted while its output queue exceeds the threshold gets its
+    /// Congestion Experienced bit set (DCTCP's step-function AQM). `None`
+    /// disables marking.
+    pub ecn_threshold: Option<u32>,
 }
 
 impl SwitchConfig {
@@ -98,6 +161,7 @@ impl SwitchConfig {
             buffer: BufferConfig::PerPort { bytes_per_port: 4096 },
             forwarding: ForwardingMode::StoreAndForward,
             routing: RoutingMode::Source,
+            ecn_threshold: None,
         }
     }
 
@@ -111,6 +175,7 @@ impl SwitchConfig {
             buffer: BufferConfig::PerPort { bytes_per_port },
             forwarding: ForwardingMode::CutThrough,
             routing: RoutingMode::Source,
+            ecn_threshold: None,
         }
     }
 }
@@ -137,6 +202,9 @@ pub struct SwitchStats {
     /// link. Part of the frame-conservation book, so `DropAccounting`
     /// balances under every fault class.
     pub drops_fault: Counter,
+    /// Frames whose Congestion Experienced bit this switch set (admitted
+    /// while the output queue exceeded [`SwitchConfig::ecn_threshold`]).
+    pub ecn_marked: Counter,
     /// High-water mark of total buffered bytes.
     pub max_buffered_bytes: u64,
     /// Per-output-port buffer-drop counts.
@@ -289,6 +357,10 @@ pub struct PacketSwitch {
     /// Whole-switch power state (`SwitchDown`/`SwitchUp` faults).
     switch_down: bool,
     rng: DetRng,
+    /// ECMP hash seed, fixed at construction from the identity-derived RNG
+    /// (never re-drawn per packet: the per-packet loss draws on `rng` are
+    /// arrival-order dependent, which would break flow consistency).
+    ecmp_seed: u64,
     trace: Option<FlightRing>,
     stats: SwitchStats,
 }
@@ -297,6 +369,7 @@ impl PacketSwitch {
     /// Creates a switch with all ports unwired.
     pub fn new(cfg: SwitchConfig, rng: DetRng) -> Self {
         let n = cfg.ports as usize;
+        let ecmp_seed = rng.derive(0xEC4B).next_u64();
         PacketSwitch {
             stats: SwitchStats {
                 port_drops: vec![0; n],
@@ -317,8 +390,42 @@ impl PacketSwitch {
             link_state: vec![LinkState::Up; n],
             switch_down: false,
             rng,
+            ecmp_seed,
             trace: None,
             cfg,
+        }
+    }
+
+    /// This switch's fixed ECMP hash seed.
+    pub fn ecmp_seed(&self) -> u64 {
+        self.ecmp_seed
+    }
+
+    /// Resolves the ECMP output port for `packet` — a pure function of the
+    /// switch seed, the fabric position and the flow 5-tuple. Downward
+    /// ports (toward the destination's pod/edge/host) are deterministic;
+    /// upward ports hash the flow over the `k/2` uplinks.
+    pub fn ecmp_port(ecmp: &EcmpConfig, seed: u64, packet: &crate::payload::IpPacket) -> u16 {
+        let half = ecmp.k / 2;
+        let (src_port, dst_port, proto) = transport_tuple(packet);
+        let h = ecmp_hash(seed, packet.src.0, packet.dst.0, src_port, dst_port, proto);
+        let dst_edge = packet.dst.index() / ecmp.hosts_per_edge;
+        match ecmp.role {
+            ClosRole::Edge { edge } => {
+                if dst_edge == edge {
+                    (packet.dst.index() % ecmp.hosts_per_edge) as u16
+                } else {
+                    (ecmp.hosts_per_edge + h as usize % half) as u16
+                }
+            }
+            ClosRole::Aggregation { pod } => {
+                if dst_edge / half == pod {
+                    (dst_edge % half) as u16
+                } else {
+                    (half + h as usize % half) as u16
+                }
+            }
+            ClosRole::Core => (dst_edge / half) as u16,
         }
     }
 
@@ -669,6 +776,7 @@ impl Component<Frame> for PacketSwitch {
         let out = match &self.cfg.routing {
             RoutingMode::Source => frame.route.port_at(frame.hop),
             RoutingMode::Table(t) => t.get(frame.packet.dst.index()).copied(),
+            RoutingMode::Ecmp(e) => Some(Self::ecmp_port(e, self.ecmp_seed, &frame.packet)),
         };
         // A powered-off switch receives frames (the sender committed them
         // to the wire and counted them) but forwards nothing: count the rx
@@ -693,6 +801,14 @@ impl Component<Frame> for PacketSwitch {
         if !self.admit(out, ip_bytes) {
             self.drop_for_buffer(out, ctx.now(), ip_bytes);
             return;
+        }
+        // DCTCP-style step marking: instantaneous queue occupancy at
+        // admission (including this frame) against the threshold.
+        if let Some(th) = self.cfg.ecn_threshold {
+            if self.queued_bytes[out as usize] > th as u64 {
+                frame.packet.ce = true;
+                self.stats.ecn_marked.incr();
+            }
         }
         if let Some(tr) = &mut self.trace {
             tr.push(FlightRecord {
@@ -745,6 +861,7 @@ impl Instrumented for PacketSwitch {
         v.counter("drops_error", self.stats.drops_error.get());
         v.counter("drops_route", self.stats.drops_route.get());
         v.counter("drops_fault", self.stats.drops_fault.get());
+        v.counter("ecn_marked", self.stats.ecn_marked.get());
         v.counter("max_buffered_bytes", self.stats.max_buffered_bytes);
         v.counter("frames_in_transit", self.frames_in_transit());
         v.gauge("buffered_bytes", self.total_buffered as f64);
@@ -1081,6 +1198,84 @@ mod tests {
         sim.run().unwrap();
         let stats = sim.component::<PacketSwitch>(sw).unwrap().stats();
         assert_eq!(stats.drops_route.get(), 3);
+    }
+
+    #[test]
+    fn ecn_marks_only_above_threshold() {
+        let mut cfg = SwitchConfig::shallow_gbe("t", 4);
+        cfg.ecn_threshold = Some(2000);
+        let (mut sim, sw, sink) = build(cfg);
+        // 1028-byte IP packets: occupancy after admit is 1028, 2056, 3084 —
+        // the second and third land above the 2000-byte threshold.
+        for _ in 0..3 {
+            sim.inject_message(SimTime::from_micros(1), sw, PortNo(0), udp_frame(1000, 1));
+        }
+        sim.run().unwrap();
+        let got = &sim.component::<Sink>(sink).unwrap().got;
+        let ce: Vec<bool> = got.iter().map(|(_, f)| f.packet.ce).collect();
+        assert_eq!(ce, vec![false, true, true]);
+        assert_eq!(sim.component::<PacketSwitch>(sw).unwrap().stats().ecn_marked.get(), 2);
+    }
+
+    #[test]
+    fn ecmp_hash_is_pure_and_seed_sensitive() {
+        let h = ecmp_hash(7, 1, 2, 10, 20, 6);
+        assert_eq!(h, ecmp_hash(7, 1, 2, 10, 20, 6), "same inputs, same hash");
+        assert_ne!(h, ecmp_hash(8, 1, 2, 10, 20, 6), "seed must matter");
+        assert_ne!(h, ecmp_hash(7, 1, 2, 11, 20, 6), "source port must matter");
+        assert_ne!(h, ecmp_hash(7, 1, 2, 10, 20, 17), "protocol must matter");
+    }
+
+    #[test]
+    fn ecmp_port_downward_is_deterministic_upward_hashes_uplinks() {
+        // k=4, 2 hosts per edge: edge 0 holds hosts 0-1, pod 0 = edges 0-1.
+        let pkt = |src: u32, dst: u32| {
+            let d = UdpDatagram {
+                src_port: 9,
+                dst_port: 9,
+                msg: AppMessage::new(0, 0, 100, SimTime::ZERO),
+            };
+            IpPacket::udp(NodeAddr(src), NodeAddr(dst), d)
+        };
+        let edge = EcmpConfig { k: 4, hosts_per_edge: 2, role: ClosRole::Edge { edge: 0 } };
+        // Local host: the host's own port, no hashing.
+        assert_eq!(PacketSwitch::ecmp_port(&edge, 42, &pkt(0, 1)), 1);
+        // Remote host: one of the uplinks (ports 2-3), same flow same port.
+        let up = PacketSwitch::ecmp_port(&edge, 42, &pkt(0, 7));
+        assert!((2..4).contains(&up));
+        assert_eq!(up, PacketSwitch::ecmp_port(&edge, 42, &pkt(0, 7)));
+
+        let agg = EcmpConfig { k: 4, hosts_per_edge: 2, role: ClosRole::Aggregation { pod: 0 } };
+        // Destination in my pod: fixed down port = edge position in pod.
+        assert_eq!(PacketSwitch::ecmp_port(&agg, 42, &pkt(8, 3)), 1);
+        // Other pod: one of the core uplinks (ports 2-3).
+        assert!((2..4).contains(&PacketSwitch::ecmp_port(&agg, 42, &pkt(0, 7))));
+
+        let core = EcmpConfig { k: 4, hosts_per_edge: 2, role: ClosRole::Core };
+        // Core port = destination pod, always.
+        assert_eq!(PacketSwitch::ecmp_port(&core, 42, &pkt(0, 7)), 1);
+        assert_eq!(PacketSwitch::ecmp_port(&core, 42, &pkt(0, 15)), 3);
+    }
+
+    #[test]
+    fn ecmp_routing_forwards_without_a_source_route() {
+        let mut cfg = SwitchConfig::shallow_gbe("t", 4);
+        // Edge 0 of a k=4 tree with 2 hosts: host 1 sits on port 1.
+        cfg.routing = RoutingMode::Ecmp(EcmpConfig {
+            k: 4,
+            hosts_per_edge: 2,
+            role: ClosRole::Edge { edge: 0 },
+        });
+        let (mut sim, sw, sink) = build(cfg);
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            msg: AppMessage::new(0, 0, 100, SimTime::ZERO),
+        };
+        let f = Frame::new(IpPacket::udp(NodeAddr(0), NodeAddr(1), d), Route::empty());
+        sim.inject_message(SimTime::from_micros(1), sw, PortNo(0), f);
+        sim.run().unwrap();
+        assert_eq!(sim.component::<Sink>(sink).unwrap().got.len(), 1);
     }
 
     #[test]

@@ -1147,7 +1147,7 @@ impl Kernel {
     /// time already charged).
     fn handle_packet(&mut self, pkt: IpPacket, env: &mut dyn KernelEnv) {
         match pkt.transport {
-            Transport::Tcp(seg) => self.handle_tcp(pkt.src, seg, env),
+            Transport::Tcp(seg) => self.handle_tcp(pkt.src, seg, pkt.ce, env),
             Transport::Udp(d) => self.handle_udp(pkt.src, d),
         }
     }
@@ -1177,14 +1177,14 @@ impl Kernel {
         }
     }
 
-    fn handle_tcp(&mut self, src: NodeAddr, seg: TcpSegment, env: &mut dyn KernelEnv) {
+    fn handle_tcp(&mut self, src: NodeAddr, seg: TcpSegment, ce: bool, env: &mut dyn KernelEnv) {
         let remote = SockAddr::new(src, seg.src_port);
         let flow = (seg.dst_port, remote);
         if let Some(&sid) = self.conns.get(&flow) {
             let now = env.now();
             if let Some(out) = self.with_conn(sid, |conn| {
                 let mut out = TcpOutput::default();
-                conn.on_segment(now, seg, &mut out);
+                conn.on_segment(now, seg, ce, &mut out);
                 out
             }) {
                 self.apply_tcp_output(sid, out, env);

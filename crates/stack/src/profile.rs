@@ -13,6 +13,29 @@
 
 use diablo_engine::time::SimDuration;
 
+/// The congestion-control algorithm a kernel profile runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CongestionControl {
+    /// Loss-driven NewReno-style control (the modeled kernels' default).
+    #[default]
+    Reno,
+    /// DCTCP: the receiver echoes ECN marks, the sender keeps a per-window
+    /// marked-fraction estimate and cuts its window proportionally.
+    /// Effective only on fabrics whose switches mark (see
+    /// `SwitchConfig::ecn_threshold`); without marks it behaves as Reno.
+    Dctcp,
+}
+
+impl CongestionControl {
+    /// Name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            CongestionControl::Reno => "reno",
+            CongestionControl::Dctcp => "dctcp",
+        }
+    }
+}
+
 /// Per-operation instruction costs and policy parameters for a modeled
 /// kernel.
 ///
@@ -81,6 +104,8 @@ pub struct KernelProfile {
     /// Whether the TX path uses scatter/gather zero-copy (skips the
     /// per-byte TX copy; the NIC model supports it, §3.3).
     pub zero_copy_tx: bool,
+    /// Congestion-control algorithm (`net.ipv4.tcp_congestion_control`).
+    pub cc: CongestionControl,
 }
 
 impl KernelProfile {
@@ -111,6 +136,7 @@ impl KernelProfile {
             rcvbuf: 128 * 1024,
             udp_rcvbuf: 160 * 1024,
             zero_copy_tx: true,
+            cc: CongestionControl::Reno,
         }
     }
 
@@ -141,6 +167,7 @@ impl KernelProfile {
             rcvbuf: 128 * 1024,
             udp_rcvbuf: 160 * 1024,
             zero_copy_tx: true,
+            cc: CongestionControl::Reno,
         }
     }
 
@@ -172,6 +199,7 @@ impl KernelProfile {
             rcvbuf: 128 * 1024,
             udp_rcvbuf: 160 * 1024,
             zero_copy_tx: true,
+            cc: CongestionControl::Reno,
         }
     }
 

@@ -18,7 +18,7 @@
 //! [`TcpOutput`]. The kernel (`crate::kernel`) wires it to sockets, CPU
 //! cost accounting and the NIC.
 
-use crate::profile::KernelProfile;
+use crate::profile::{CongestionControl, KernelProfile};
 use diablo_engine::time::{SimDuration, SimTime};
 use diablo_net::addr::SockAddr;
 use diablo_net::payload::{AppMessage, StreamMarker, TcpFlags, TcpSegment, TCP_MSS};
@@ -51,6 +51,10 @@ pub struct TcpParams {
     /// Disable Nagle's algorithm (`TCP_NODELAY`; both modeled applications
     /// set it).
     pub nodelay: bool,
+    /// Congestion-control algorithm. DCTCP layers an ECN-driven
+    /// proportional window cut on top of the NewReno machinery (loss
+    /// handling, RTO, fast retransmit are unchanged).
+    pub cc: CongestionControl,
 }
 
 impl TcpParams {
@@ -67,6 +71,7 @@ impl TcpParams {
             max_rto_retries: p.tcp_retries,
             delayed_ack: p.delayed_ack,
             nodelay: true,
+            cc: p.cc,
         }
     }
 }
@@ -185,6 +190,19 @@ pub struct TcpConn {
     /// Offset of our FIN, once transmitted.
     fin_seq: Option<u64>,
 
+    // -------------------------------------------------------------- DCTCP
+    /// Running estimate of the fraction of marked bytes (DCTCP's α),
+    /// updated once per window with gain 1/16. Starts at 1.0 so the first
+    /// marked window reacts as strongly as a Reno halving.
+    dctcp_alpha: f64,
+    /// Bytes newly acknowledged in the current observation window.
+    dctcp_acked: u64,
+    /// Of those, bytes acknowledged by ECE-bearing ACKs.
+    dctcp_marked: u64,
+    /// Stream offset ending the current observation window (≈ one RTT:
+    /// the `snd_nxt` captured when the previous window closed).
+    dctcp_window_end: u64,
+
     // ---------------------------------------------------------------- RTO
     rto: SimDuration,
     srtt: Option<SimDuration>,
@@ -224,6 +242,10 @@ pub struct TcpConn {
     segs_since_ack: u32,
     /// Last advertised window (to detect zero-window openings).
     last_adv_wnd: u64,
+    /// DCTCP receiver state: the CE value of the most recent data segment;
+    /// every outgoing ACK echoes it as ECE, and a CE *change* forces an
+    /// immediate ACK so the sender sees exact mark boundaries.
+    ce_state: bool,
 
     stats: TcpStats,
 }
@@ -251,6 +273,10 @@ impl TcpConn {
             recover: None,
             fin_queued: false,
             fin_seq: None,
+            dctcp_alpha: 1.0,
+            dctcp_acked: 0,
+            dctcp_marked: 0,
+            dctcp_window_end: DATA_START,
             rto,
             srtt: None,
             rttvar: SimDuration::ZERO,
@@ -273,6 +299,7 @@ impl TcpConn {
             ack_owed: false,
             segs_since_ack: 0,
             last_adv_wnd: params.rcvbuf as u64,
+            ce_state: false,
             stats: TcpStats::default(),
             params,
         }
@@ -530,12 +557,23 @@ impl TcpConn {
 
     // ----------------------------------------------------------- segments
 
-    /// Processes one arriving segment.
-    pub fn on_segment(&mut self, now: SimTime, seg: TcpSegment, out: &mut TcpOutput) {
+    /// Processes one arriving segment; `ce` is the IP header's Congestion
+    /// Experienced bit (set by a marking switch en route).
+    pub fn on_segment(&mut self, now: SimTime, seg: TcpSegment, ce: bool, out: &mut TcpOutput) {
         if self.state == TcpState::Closed {
             return;
         }
         self.stats.segs_in += 1;
+        // DCTCP receiver: track the CE state of the data stream; a state
+        // change forces the next ACK out immediately so the sender's
+        // marked-byte accounting stays exact.
+        if self.params.cc == CongestionControl::Dctcp
+            && (seg.payload_len > 0 || seg.flags.fin)
+            && ce != self.ce_state
+        {
+            self.ce_state = ce;
+            self.segs_since_ack = 2;
+        }
 
         if seg.flags.rst {
             self.state = TcpState::Closed;
@@ -604,7 +642,7 @@ impl TcpConn {
             return; // acks data never sent; ignore
         }
         if ack > self.snd_una {
-            let _acked = ack - self.snd_una;
+            let acked_bytes = ack - self.snd_una;
             self.snd_una = ack;
             self.consecutive_rtos = 0;
             // After a go-back-N rewind the ack may cover data beyond
@@ -634,10 +672,13 @@ impl TcpConn {
                 // Normal window growth (byte-counting).
                 let mss = self.params.mss as u64;
                 if self.cwnd < self.ssthresh {
-                    self.cwnd += _acked.min(mss);
+                    self.cwnd += acked_bytes.min(mss);
                 } else {
                     self.cwnd += (mss * mss / self.cwnd).max(1);
                 }
+            }
+            if self.params.cc == CongestionControl::Dctcp {
+                self.dctcp_on_ack(acked_bytes, seg.flags.ece);
             }
             if self.fin_seq.is_some_and(|f| ack > f) {
                 self.fin_acked = true;
@@ -672,6 +713,33 @@ impl TcpConn {
                 // Window inflation per extra dupack.
                 self.cwnd += self.params.mss as u64;
             }
+        }
+    }
+
+    /// DCTCP sender: accumulate acked/ECE-marked bytes and, once per
+    /// congestion window, fold the marked fraction F into the EWMA
+    /// `alpha = (1 - g)*alpha + g*F` (g = 1/16) and cut the window
+    /// proportionally — `cwnd *= 1 - alpha/2` — if the window saw any marks.
+    /// Loss handling (fast retransmit, RTO) stays pure NewReno.
+    fn dctcp_on_ack(&mut self, acked_bytes: u64, ece: bool) {
+        self.dctcp_acked += acked_bytes;
+        if ece {
+            self.dctcp_marked += acked_bytes;
+        }
+        if self.snd_una >= self.dctcp_window_end {
+            if self.dctcp_acked > 0 {
+                let f = self.dctcp_marked as f64 / self.dctcp_acked as f64;
+                self.dctcp_alpha = self.dctcp_alpha * (15.0 / 16.0) + f / 16.0;
+                if self.dctcp_marked > 0 && self.recover.is_none() {
+                    let floor = 2 * self.params.mss as u64;
+                    self.cwnd =
+                        ((self.cwnd as f64 * (1.0 - self.dctcp_alpha / 2.0)) as u64).max(floor);
+                    self.ssthresh = self.cwnd;
+                }
+            }
+            self.dctcp_acked = 0;
+            self.dctcp_marked = 0;
+            self.dctcp_window_end = self.snd_nxt;
         }
     }
 
@@ -925,11 +993,16 @@ impl TcpConn {
         &mut self,
         seq: u64,
         payload_len: u32,
-        flags: TcpFlags,
+        mut flags: TcpFlags,
         markers: Vec<StreamMarker>,
     ) -> TcpSegment {
         let wnd = self.adv_wnd().min(u32::MAX as u64) as u32;
         self.last_adv_wnd = wnd as u64;
+        // DCTCP receiver half: every ACK echoes the current CE state, so the
+        // sender can reconstruct exactly which bytes were marked.
+        if self.params.cc == CongestionControl::Dctcp && flags.ack {
+            flags.ece = self.ce_state;
+        }
         TcpSegment {
             src_port: self.local.port,
             dst_port: self.remote.port,
@@ -1027,10 +1100,13 @@ mod tests {
         now: SimTime,
         delay: SimDuration,
         heap: BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
-        segs: std::collections::HashMap<SegKey, TcpSegment>,
+        segs: std::collections::HashMap<SegKey, (TcpSegment, bool)>,
         seq: u64,
         /// Transmission indices (per sender) to drop.
         drops: [Vec<u64>; 2],
+        /// Transmission indices (per sender) delivered with the IP CE bit
+        /// set, as if a switch queue en route exceeded its ECN threshold.
+        marks: [Vec<u64>; 2],
         sent: [u64; 2],
         established: [bool; 2],
         closed: [bool; 2],
@@ -1059,6 +1135,7 @@ mod tests {
                 segs: std::collections::HashMap::new(),
                 seq: 0,
                 drops: [drops_a, Vec::new()],
+                marks: [Vec::new(), Vec::new()],
                 sent: [0, 0],
                 established: [false, false],
                 closed: [false, false],
@@ -1078,7 +1155,8 @@ mod tests {
                 }
                 let key = self.seq;
                 self.seq += 1;
-                self.segs.insert(key, seg);
+                let ce = self.marks[side].contains(&n);
+                self.segs.insert(key, (seg, ce));
                 let other = 1 - side;
                 self.heap.push(Reverse((self.now + self.delay, key, Ev::Deliver(other, key))));
             }
@@ -1120,7 +1198,7 @@ mod tests {
                 let mut out = TcpOutput::default();
                 match ev {
                     Ev::Deliver(side, key) => {
-                        let seg = self.segs.remove(&key).expect("segment vanished");
+                        let (seg, ce) = self.segs.remove(&key).expect("segment vanished");
                         if side == B
                             && self.conns[B].state() == TcpState::Closed
                             && !self.established[B]
@@ -1133,7 +1211,7 @@ mod tests {
                             self.conns[B] =
                                 TcpConn::server_from_syn(params, local, remote, &seg, t, &mut out);
                         } else {
-                            self.conns[side].on_segment(t, seg, &mut out);
+                            self.conns[side].on_segment(t, seg, ce, &mut out);
                         }
                         self.absorb(side, out);
                     }
@@ -1399,5 +1477,74 @@ mod tests {
         h.run(SimTime::from_millis(50));
         assert_eq!(h.conns[A].state(), TcpState::Closed);
         assert!(h.closed[A]);
+    }
+
+    fn dctcp_params() -> TcpParams {
+        TcpParams { cc: CongestionControl::Dctcp, ..TcpParams::default() }
+    }
+
+    #[test]
+    fn dctcp_without_marks_matches_reno() {
+        // On a clean path DCTCP must be indistinguishable from Reno: the
+        // estimator sees zero marked bytes and never cuts.
+        let mut reno = Harness::new(TcpParams::default());
+        let mut dctcp = Harness::new(dctcp_params());
+        for h in [&mut reno, &mut dctcp] {
+            h.run(SimTime::from_millis(10));
+            h.send(A, msg(1, 100_000));
+            h.run(SimTime::from_secs(1));
+        }
+        assert_eq!(reno.received[B].len(), 1);
+        assert_eq!(dctcp.received[B].len(), 1);
+        assert_eq!(reno.conns[A].cwnd(), dctcp.conns[A].cwnd());
+        assert_eq!(reno.conns[A].stats(), dctcp.conns[A].stats());
+    }
+
+    #[test]
+    fn dctcp_echoes_marks_and_cuts_proportionally() {
+        // Two identical DCTCP transfers; one path CE-marks a run of data
+        // segments. The marked sender must end with a smaller window —
+        // without a single loss or retransmission.
+        let mut marked = Harness::new(dctcp_params());
+        let mut clean = Harness::new(dctcp_params());
+        for h in [&mut marked, &mut clean] {
+            h.run(SimTime::from_millis(10));
+        }
+        let base = marked.sent[A];
+        marked.marks[A] = (base..base + 40).collect();
+        for h in [&mut marked, &mut clean] {
+            h.send(A, msg(1, 100_000));
+            h.run(SimTime::from_secs(1));
+        }
+        assert_eq!(marked.received[B].len(), 1, "marks must not corrupt delivery");
+        assert_eq!(clean.received[B].len(), 1);
+        assert_eq!(marked.conns[A].stats().retransmits, 0);
+        assert!(
+            marked.conns[A].cwnd() < clean.conns[A].cwnd(),
+            "marked cwnd {} must stay below clean cwnd {}",
+            marked.conns[A].cwnd(),
+            clean.conns[A].cwnd()
+        );
+        // The estimator converged away from its conservative init toward the
+        // observed mark pattern, and the cut respects the two-segment floor.
+        assert!(marked.conns[A].dctcp_alpha <= 1.0);
+        assert!(marked.conns[A].cwnd() >= 2 * marked.conns[A].params.mss as u64);
+    }
+
+    #[test]
+    fn dctcp_receiver_flips_ece_with_ce_state() {
+        // Delayed-ACK coalescing must not blur mark boundaries: a CE state
+        // change forces an immediate ACK carrying the new ECE value.
+        let mut h = Harness::new(dctcp_params());
+        h.run(SimTime::from_millis(10));
+        let base = h.sent[A];
+        h.marks[A] = vec![base + 1]; // mark only the second data segment
+        h.send(A, msg(1, 3 * 1460));
+        h.run(SimTime::from_millis(100));
+        assert_eq!(h.received[B].len(), 1);
+        // Receiver's CE state ended false (last segment unmarked)...
+        assert!(!h.conns[B].ce_state);
+        // ...and the sender accounted some bytes as marked, fewer than all.
+        assert!(h.conns[A].dctcp_alpha < 1.0, "alpha {}", h.conns[A].dctcp_alpha);
     }
 }

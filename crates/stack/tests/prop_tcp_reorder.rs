@@ -75,7 +75,7 @@ fn established_receiver() -> TcpConn {
         markers: Vec::new(),
     };
     let mut out = TcpOutput::default();
-    conn.on_segment(SimTime::from_micros(2), ack, &mut out);
+    conn.on_segment(SimTime::from_micros(2), ack, false, &mut out);
     conn
 }
 
@@ -105,7 +105,7 @@ proptest! {
         let mut t = SimTime::from_micros(3);
         for &idx in &schedule {
             let mut out = TcpOutput::default();
-            conn.on_segment(t, segs[idx].clone(), &mut out);
+            conn.on_segment(t, segs[idx].clone(), false, &mut out);
             t += diablo_engine::time::SimDuration::from_micros(1);
             let (msgs, _eof) = conn.app_recv(usize::MAX, t, &mut out);
             delivered.extend(msgs);
@@ -135,7 +135,7 @@ proptest! {
         let mut t = SimTime::from_micros(3);
         for &idx in &order {
             let mut out = TcpOutput::default();
-            conn.on_segment(t, segs[idx].clone(), &mut out);
+            conn.on_segment(t, segs[idx].clone(), false, &mut out);
             t += diablo_engine::time::SimDuration::from_micros(1);
             for seg in &out.segs {
                 last_ack = last_ack.max(seg.ack);

@@ -36,6 +36,7 @@ fn main() {
                 buffer: BufferConfig::PerPort { bytes_per_port: 64 * 1024 },
                 latency: SimDuration::from_nanos(100),
                 forwarding: ForwardingMode::CutThrough,
+                ..SwitchTemplate::gbe_shallow()
             },
         ),
     ];

@@ -72,7 +72,9 @@ pub mod prelude {
         PaFrontend, PaFrontendConfig, PaLeaf, PaLeafConfig,
     };
     pub use diablo_apps::workload::EtcWorkload;
-    pub use diablo_core::cluster::{Cluster, ClusterSpec, RunMode, SimHost, SwitchTemplate};
+    pub use diablo_core::cluster::{
+        Cluster, ClusterSpec, FabricKind, RunMode, SimHost, SwitchTemplate,
+    };
     pub use diablo_core::experiment::{
         ExperimentBase, ExperimentError, ExperimentHarness, RunEnvelope, Workload,
     };
@@ -82,9 +84,9 @@ pub mod prelude {
     };
     pub use diablo_core::observe::DropAccounting;
     pub use diablo_engine::prelude::*;
-    pub use diablo_net::topology::{HopClass, Topology, TopologyConfig};
+    pub use diablo_net::topology::{FatTreeConfig, HopClass, Topology, TopologyConfig};
     pub use diablo_net::{NodeAddr, SockAddr};
     pub use diablo_node::ServerNode;
     pub use diablo_stack::process::{Proto, Tid};
-    pub use diablo_stack::profile::KernelProfile;
+    pub use diablo_stack::profile::{CongestionControl, KernelProfile};
 }

@@ -365,3 +365,116 @@ fn open_loop_partition_aggregate_conforms_across_partitionings() {
         }
     }
 }
+
+/// ECMP path choice is a pure function of the flow 5-tuple and the
+/// switch's fixed seed — never of arrival order, time, or per-packet
+/// randomness. Recomputing any (tuple, seed) pair must reproduce the
+/// same hash and output port, the port must be in range for the switch's
+/// role, and distinct seeds must actually spread flows across uplinks
+/// (the point of seeding per switch).
+#[test]
+fn ecmp_path_choice_is_a_pure_function_of_flow_and_seed() {
+    use diablo::net::payload::{AppMessage, IpPacket, UdpDatagram};
+    use diablo::net::switch::{ecmp_hash, ClosRole, EcmpConfig, PacketSwitch};
+
+    let k = 4usize;
+    let hosts_per_edge = 2usize;
+    let packet = |src: u32, dst: u32, sp: u16, dp: u16| {
+        IpPacket::udp(
+            NodeAddr(src),
+            NodeAddr(dst),
+            UdpDatagram {
+                src_port: sp,
+                dst_port: dp,
+                msg: AppMessage::new(0, 0, 64, SimTime::ZERO),
+            },
+        )
+    };
+    let roles = [ClosRole::Edge { edge: 0 }, ClosRole::Aggregation { pod: 0 }, ClosRole::Core];
+    let mut uplink_spread = std::collections::BTreeSet::new();
+    for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+        for src in 0..4u32 {
+            for dst in 4..8u32 {
+                for sp in [1000u16, 1001, 5000] {
+                    let p = packet(src, dst, sp, 7);
+                    let h = ecmp_hash(seed, src, dst, sp, 7, 17);
+                    assert_eq!(h, ecmp_hash(seed, src, dst, sp, 7, 17), "hash must be pure");
+                    for role in roles {
+                        let ecmp = EcmpConfig { k, hosts_per_edge, role };
+                        let port = PacketSwitch::ecmp_port(&ecmp, seed, &p);
+                        assert_eq!(
+                            port,
+                            PacketSwitch::ecmp_port(&ecmp, seed, &p),
+                            "port choice must be pure (seed={seed} src={src} dst={dst} sp={sp})"
+                        );
+                        let limit = match role {
+                            ClosRole::Edge { .. } => hosts_per_edge + k / 2,
+                            ClosRole::Aggregation { .. } | ClosRole::Core => k,
+                        };
+                        assert!(
+                            (port as usize) < limit,
+                            "{role:?} port {port} out of range (limit {limit})"
+                        );
+                        if let ClosRole::Edge { .. } = role {
+                            // dst 4..8 is always off-edge for edge 0, so
+                            // this is an uplink choice.
+                            assert!((port as usize) >= hosts_per_edge);
+                            uplink_spread.insert((seed, port));
+                        }
+                    }
+                }
+            }
+        }
+        // One seed must spread distinct flows over more than one uplink.
+        assert!(
+            uplink_spread.iter().filter(|(s, _)| *s == seed).count() > 1,
+            "seed {seed} pinned every flow to one uplink"
+        );
+    }
+    // And different seeds must not all agree on every flow's uplink.
+    let per_seed: Vec<Vec<u16>> = [0u64, 1, 0xDEAD_BEEF, u64::MAX]
+        .iter()
+        .map(|&seed| {
+            let ecmp = EcmpConfig { k, hosts_per_edge, role: ClosRole::Edge { edge: 0 } };
+            (0..16u32)
+                .map(|f| PacketSwitch::ecmp_port(&ecmp, seed, &packet(0, 4, 1000 + f as u16, 7)))
+                .collect()
+        })
+        .collect();
+    assert!(
+        per_seed.windows(2).any(|w| w[0] != w[1]),
+        "per-switch seeding must change path assignments"
+    );
+}
+
+/// The fat-tree fabric under ECMP keeps the executor-conformance
+/// contract: the same incast model run serial, 2-partition and
+/// 4-partition must scrape byte-identical metrics — flow-consistent
+/// hashing means path choice cannot depend on partition scheduling.
+#[test]
+fn fat_tree_incast_conforms_across_partitionings() {
+    use diablo::core::{run_incast, IncastConfig};
+    use diablo::stack::profile::CongestionControl;
+    for cc in [CongestionControl::Reno, CongestionControl::Dctcp] {
+        let run = |mode: RunMode| {
+            let mut cfg = IncastConfig::fig6a(6).on_fat_tree(FatTreeConfig::new(4));
+            cfg.cc = cc;
+            cfg.iterations = 2;
+            cfg.mode = mode;
+            let r = run_incast(&cfg);
+            (r.metrics.to_json(), r.goodput_mbps.to_bits(), r.iteration_times, r.events)
+        };
+        let reference = run(RunMode::Serial);
+        for partitions in [2usize, 4] {
+            let got = run(RunMode::parallel(partitions));
+            assert_eq!(
+                reference.1, got.1,
+                "fat-tree incast ({cc:?}) goodput diverged at {partitions} partitions"
+            );
+            assert_eq!(
+                reference, got,
+                "fat-tree incast ({cc:?}) diverged at {partitions} partitions"
+            );
+        }
+    }
+}

@@ -60,6 +60,36 @@ fn periodic_sampling_builds_identical_series_across_executors() {
     assert_eq!(ss.to_csv(), sp.to_csv(), "interval samples must match across executors");
 }
 
+/// A node crash mid-series resets that node's counters to zero, so the
+/// raw sample values genuinely decrease across the reboot — but the
+/// rate-shaped view must saturate at zero rather than report a negative
+/// per-interval rate.
+#[test]
+fn counter_resets_across_node_crash_yield_no_negative_deltas() {
+    use diablo::core::FaultPlan;
+    let mut cfg = McExperimentConfig::mini(1, 40);
+    cfg.sample_every = Some(SimDuration::from_millis(1));
+    cfg.faults = Some(FaultPlan::parse("5ms node-crash node1 reboot=1ms").expect("valid plan"));
+    let r = run_memcached(&cfg);
+    assert!(r.failure.crash_lost > 0, "the crash must catch work in flight: {:?}", r.failure);
+    let series = r.series.expect("sampled series");
+
+    // The reset must actually be visible in the raw samples — otherwise
+    // this test would pass vacuously.
+    let resets = series
+        .names()
+        .filter(|name| series.series(name).expect("known name").windows(2).any(|w| w[1].1 < w[0].1))
+        .count();
+    assert!(resets > 0, "the crash must reset at least one counter series");
+
+    // ...and the per-interval rate view must clamp those resets to zero.
+    for name in series.names() {
+        for (at, d) in series.deltas(name).expect("known name") {
+            assert!(d >= 0.0, "negative per-interval rate for {name} at {at}: {d}");
+        }
+    }
+}
+
 #[test]
 fn flight_recorder_merges_cross_layer_events() {
     let spec =

@@ -216,3 +216,62 @@ fn diurnal_overload_recovers_when_load_drops() {
     );
     assert!(recovered < 0.2, "the trough must mostly meet the SLO, got {recovered:.3}");
 }
+
+/// DCTCP on the fabric where it was discovered: a 3-tier fat-tree under
+/// synchronized reads. At the same incast degree, ECN-driven
+/// proportional backoff holds the deepest switch queue below what
+/// NewReno fills and keeps every iteration at transfer-time scale, while
+/// NewReno overruns the buffer and pays retransmission timeouts —
+/// tail latency two orders of magnitude apart on identical hardware.
+#[test]
+fn dctcp_tames_fat_tree_incast_that_collapses_under_reno() {
+    let run = |cc: CongestionControl| {
+        let mut cfg = IncastConfig::fig6a(12).on_fat_tree(FatTreeConfig::new(4));
+        cfg.cc = cc;
+        cfg.iterations = 6;
+        // One commodity switch model across all tiers, deep enough that
+        // ECN marking (16 KB default) engages well before tail drop.
+        cfg.switch = Some(SwitchTemplate {
+            buffer: BufferConfig::PerPort { bytes_per_port: 96 * 1024 },
+            ..SwitchTemplate::gbe_shallow()
+        });
+        let r = run_incast(&cfg);
+        let max_queue = r
+            .metrics
+            .iter()
+            .filter(|(n, _)| n.ends_with(".max_buffered_bytes"))
+            .map(|(_, v)| match v {
+                diablo::engine::metrics::MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .max()
+            .expect("switch queue metrics");
+        let worst = *r.iteration_times.iter().max().expect("iterations ran");
+        (max_queue, worst, r.switch_drops, r.metrics.sum_counters("*.ecn_marked"))
+    };
+
+    let (reno_q, reno_worst, reno_drops, reno_marked) = run(CongestionControl::Reno);
+    let (dctcp_q, dctcp_worst, dctcp_drops, dctcp_marked) = run(CongestionControl::Dctcp);
+
+    // Reno probes until loss: the queue pegs at the buffer and the
+    // synchronized losses turn into RTO-scale iterations.
+    assert_eq!(reno_marked, 0, "reno must run without ECN marking");
+    assert!(reno_drops > 0, "reno must overrun the buffer, got {reno_drops} drops");
+    assert!(
+        reno_worst > SimDuration::from_millis(100),
+        "reno's worst iteration must be RTO-driven, got {reno_worst}"
+    );
+
+    // DCTCP reacts to marks before the buffer fills: no drops, a
+    // strictly shallower worst-case queue, and transfer-time iterations.
+    assert!(dctcp_marked > 0, "dctcp must see ECN marks");
+    assert_eq!(dctcp_drops, 0, "dctcp must avoid tail drops, got {dctcp_drops}");
+    assert!(
+        dctcp_q * 100 < reno_q * 95,
+        "dctcp max queue ({dctcp_q} B) must sit below reno's ({reno_q} B)"
+    );
+    assert!(
+        dctcp_worst * 20 < reno_worst,
+        "dctcp p99 ({dctcp_worst}) must be well below reno's RTO tail ({reno_worst})"
+    );
+}
