@@ -9,6 +9,7 @@
 //! took — scraped into the metrics registry under each process's prefix.
 
 use diablo_engine::metrics::MetricsVisitor;
+use diablo_engine::rng::DetRng;
 use diablo_engine::time::{SimDuration, SimTime};
 
 /// First retry delay after a failure.
@@ -22,6 +23,20 @@ const BACKOFF_CAP: SimDuration = SimDuration::from_millis(640);
 pub fn backoff_delay(attempt: u32) -> SimDuration {
     let exp = attempt.min(BACKOFF_CAP.as_picos().ilog2() - BACKOFF_BASE.as_picos().ilog2());
     BACKOFF_CAP.min(SimDuration::from_picos(BACKOFF_BASE.as_picos() << exp))
+}
+
+/// [`backoff_delay`] plus a deterministic uniform jitter in
+/// `[0, base/2)` drawn from the caller's [`DetRng`].
+///
+/// A mass failure (rack power-cycle, rolling crash) leaves every client
+/// observing the error at nearly the same instant; with the bare
+/// exponential delay they would all reconnect in lockstep and re-collide
+/// each round. Each client seeds its backoff rng from its own address, so
+/// the retry instants de-correlate while staying a pure function of
+/// (address, attempt sequence) — byte-identical serial vs. partitioned.
+pub fn backoff_delay_jittered(attempt: u32, rng: &mut DetRng) -> SimDuration {
+    let base = backoff_delay(attempt);
+    base + SimDuration::from_picos(rng.next_below(base.as_picos() / 2))
 }
 
 /// Failure/recovery accounting for one client process. Counters only ever
@@ -128,6 +143,49 @@ mod tests {
         assert_eq!(backoff_delay(6), SimDuration::from_millis(640));
         assert_eq!(backoff_delay(7), SimDuration::from_millis(640));
         assert_eq!(backoff_delay(u32::MAX), SimDuration::from_millis(640));
+    }
+
+    /// Address-seeded jitter must de-correlate a synchronized retry storm:
+    /// clients that fail at the same instant reconnect at (mostly)
+    /// distinct instants, each within `[base, 1.5*base)`, and each
+    /// client's draw is a pure function of its seed.
+    #[test]
+    fn jittered_backoff_decorrelates_reconnect_instants() {
+        let base = backoff_delay(0);
+        let cap = base + SimDuration::from_picos(base.as_picos() / 2);
+        let delays: Vec<SimDuration> = (0..16u64)
+            .map(|addr| {
+                let mut rng = DetRng::new(addr).derive(0xBACC0FF);
+                backoff_delay_jittered(0, &mut rng)
+            })
+            .collect();
+        for d in &delays {
+            assert!(*d >= base && *d < cap, "jitter out of range: {d:?}");
+        }
+        let mut distinct = delays.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 14,
+            "16 address-seeded clients produced only {} distinct reconnect \
+             instants — retries are still synchronized",
+            distinct.len()
+        );
+        // Same seed, same attempt sequence => same delays (replayable).
+        let mut a = DetRng::new(7).derive(0xBACC0FF);
+        let mut b = DetRng::new(7).derive(0xBACC0FF);
+        for attempt in 0..8 {
+            assert_eq!(
+                backoff_delay_jittered(attempt, &mut a),
+                backoff_delay_jittered(attempt, &mut b)
+            );
+        }
+        // Jitter never breaches the next power-of-two rung: base*1.5 of
+        // attempt N stays below the bare delay of attempt N+1.
+        for attempt in 0..6 {
+            let mut rng = DetRng::new(99);
+            assert!(backoff_delay_jittered(attempt, &mut rng) < backoff_delay(attempt + 1) * 2);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! backpressure behaves like a real `write()` loop.
 
 use crate::arrival::{ArrivalProcess, ArrivalSpec, SloStats};
-use crate::failure::{backoff_delay, FailureStats};
+use crate::failure::{backoff_delay_jittered, FailureStats};
 use diablo_engine::metrics::MetricsVisitor;
 use diablo_engine::rng::DetRng;
 use diablo_engine::time::{SimDuration, SimTime};
@@ -247,6 +247,9 @@ pub struct IncastWorker {
     attempts: u32,
     /// A request was interrupted; re-send it once reconnected.
     resend: bool,
+    /// Reconnect-jitter stream, seeded from the target server's address so
+    /// the per-server workers of a mass failure back off de-correlated.
+    backoff_rng: DetRng,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,7 +272,6 @@ impl IncastWorker {
     /// Creates a worker fetching `fragment` bytes per iteration.
     pub fn new(server: SockAddr, fragment: u32, shared: SharedHandle) -> Self {
         IncastWorker {
-            server,
             fragment,
             failure: FailureStats::default(),
             shared,
@@ -280,6 +282,8 @@ impl IncastWorker {
             got_bytes: 0,
             attempts: 0,
             resend: false,
+            backoff_rng: DetRng::new(u64::from(server.node.0)).derive(0xBACC0FF),
+            server,
         }
     }
 
@@ -427,8 +431,9 @@ impl Process for IncastWorker {
                     // Close result (if any) is irrelevant; sleep, then
                     // rebuild the socket through the Start chain.
                     self.state = WrkState::Start;
-                    return Step::Syscall(Syscall::Nanosleep(backoff_delay(
+                    return Step::Syscall(Syscall::Nanosleep(backoff_delay_jittered(
                         self.attempts.saturating_sub(1),
+                        &mut self.backoff_rng,
                     )));
                 }
                 WrkState::Closing => {
@@ -652,6 +657,9 @@ pub struct IncastEpollClient {
     pub offered: u64,
     /// Open-loop mode: SLO accounting over iteration times.
     pub slo: SloStats,
+    /// Reconnect-jitter stream (seeded from the server list) so repeated
+    /// reconnect rounds against a flapping fabric don't stay phase-locked.
+    backoff_rng: DetRng,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -695,7 +703,9 @@ enum ReconnStage {
 impl IncastEpollClient {
     /// Creates an epoll client striping `fragment` bytes over `servers`.
     pub fn new(servers: Vec<SockAddr>, fragment: u32, iterations: u64) -> Self {
+        let seed = servers.first().map_or(0, |s| u64::from(s.node.0));
         IncastEpollClient {
+            backoff_rng: DetRng::new(seed).derive(0xBACC0FF),
             servers,
             fragment,
             iterations,
@@ -833,8 +843,9 @@ impl Process for IncastEpollClient {
                 }
                 EpState::InitRetry => {
                     self.state = EpState::Start;
-                    return Step::Syscall(Syscall::Nanosleep(backoff_delay(
+                    return Step::Syscall(Syscall::Nanosleep(backoff_delay_jittered(
                         self.attempts.saturating_sub(1),
+                        &mut self.backoff_rng,
                     )));
                 }
                 EpState::EpollCreated => {
@@ -1037,8 +1048,9 @@ impl Process for IncastEpollClient {
                     }
                     ReconnStage::Backoff => {
                         self.state = EpState::Reconn(ReconnStage::Socket);
-                        return Step::Syscall(Syscall::Nanosleep(backoff_delay(
+                        return Step::Syscall(Syscall::Nanosleep(backoff_delay_jittered(
                             self.attempts.saturating_sub(1),
+                            &mut self.backoff_rng,
                         )));
                     }
                     ReconnStage::Socket => {

@@ -6,6 +6,12 @@
 //!   rate-driven admission schedules ([`arrival::ArrivalProcess`]) parsed
 //!   from a piecewise text grammar, plus SLO/load-shed accounting
 //!   ([`arrival::SloStats`]).
+//! * [`control`] — the cluster control plane: a scheduler process with a
+//!   heartbeat-driven health state machine, failover placement and
+//!   SLO-driven autoscaling ([`control::ControlPlane`]), the per-node
+//!   agent that executes its commands ([`control::ControlAgent`]), and
+//!   the registry-lookup protocol clients use to discover live
+//!   endpoints.
 //! * [`echo`] — TCP/UDP echo servers and clients plus a CPU spinner;
 //!   building blocks and smoke tests.
 //! * [`failure`] — client-side failure accounting ([`failure::FailureStats`])
@@ -24,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod control;
 pub mod echo;
 pub mod failure;
 pub mod incast;

@@ -17,7 +17,8 @@
 //! latency in HDR histograms — overall and per hop-class (Figure 10).
 
 use crate::arrival::{ArrivalProcess, ArrivalSpec, SloStats};
-use crate::failure::{backoff_delay, FailureStats};
+use crate::control::{pick_live, DiscoveryConfig, ServiceGate, KIND_ENDPOINTS, KIND_LOOKUP};
+use crate::failure::{backoff_delay_jittered, FailureStats};
 use crate::workload::{etc_value_size_for_key, EtcWorkload, KvOp};
 use diablo_engine::metrics::MetricsVisitor;
 use diablo_engine::prelude::Histogram;
@@ -116,6 +117,13 @@ impl Default for McServerConfig {
 
 /// The memcached dispatcher: accepts connections and assigns them
 /// round-robin to worker epolls; creates the shared UDP socket.
+///
+/// Under the control plane a dispatcher can be *gated*
+/// ([`McDispatcher::with_gate`]): a standby replica parks on a futex
+/// until the co-located [`ControlAgent`](crate::control::ControlAgent)
+/// activates its [`ServiceGate`], modeling cold-start warmup — the
+/// replica boots its whole socket machinery (and its workers fill a cold
+/// cache) only after placement.
 #[derive(Debug)]
 pub struct McDispatcher {
     cfg: McServerConfig,
@@ -126,6 +134,10 @@ pub struct McDispatcher {
     next_worker: usize,
     udp_reg_idx: usize,
     pending_conn: Option<Fd>,
+    /// Activation gate and its futex key (`None` = always serve).
+    gate: Option<(ServiceGate, u64)>,
+    /// Last futex eventcount observed while parked on the gate.
+    last_futex: u64,
     /// Connections accepted.
     pub accepted: u64,
 }
@@ -133,6 +145,7 @@ pub struct McDispatcher {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DispState {
     Start,
+    Standby,
     TcpSocketed,
     TcpBound,
     TcpListening,
@@ -157,8 +170,18 @@ impl McDispatcher {
             next_worker: 0,
             udp_reg_idx: 0,
             pending_conn: None,
+            gate: None,
+            last_futex: 0,
             accepted: 0,
         }
+    }
+
+    /// Gates this dispatcher behind a control-plane activation flag: it
+    /// parks on `futex_key` until the gate turns active.
+    #[must_use]
+    pub fn with_gate(mut self, gate: ServiceGate, futex_key: u64) -> Self {
+        self.gate = Some((gate, futex_key));
+        self
     }
 
     fn worker_epfd(&self, i: usize) -> Option<Fd> {
@@ -175,8 +198,28 @@ impl Process for McDispatcher {
         loop {
             match self.state {
                 DispState::Start => {
+                    if let Some((gate, key)) = &self.gate {
+                        if !gate.lock().expect("gate poisoned").active {
+                            // Standby: park until the control agent
+                            // activates this replica and wakes the futex.
+                            self.state = DispState::Standby;
+                            return Step::Syscall(Syscall::FutexWait {
+                                key: *key,
+                                seen: self.last_futex,
+                            });
+                        }
+                    }
                     self.state = DispState::TcpSocketed;
                     return Step::Syscall(Syscall::Socket(Proto::Tcp));
+                }
+                DispState::Standby => {
+                    if let SysResult::FutexVal(v) = ctx.result {
+                        self.last_futex = v;
+                    }
+                    // Re-check the gate — a wake may carry a deactivate
+                    // or a stale generation; Start re-parks if so.
+                    self.state = DispState::Start;
+                    continue;
                 }
                 DispState::TcpSocketed => {
                     let SysResult::NewFd(fd) = ctx.result else { panic!("socket failed") };
@@ -279,6 +322,10 @@ impl Process for McDispatcher {
 
     fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
         v.counter("accepted", self.accepted);
+        if let Some((gate, _)) = &self.gate {
+            let active = gate.lock().expect("gate poisoned").active;
+            v.gauge("service_active", if active { 1.0 } else { 0.0 });
+        }
     }
 
     fn reset(&mut self) -> bool {
@@ -294,6 +341,9 @@ impl Process for McDispatcher {
         self.next_worker = 0;
         self.udp_reg_idx = 0;
         self.pending_conn = None;
+        // The crash wiped the kernel's futex table; its eventcount
+        // restarts from zero, so the parked-on value must too.
+        self.last_futex = 0;
         true
     }
 
@@ -644,6 +694,11 @@ pub struct McClientConfig {
     pub window: usize,
     /// Open-loop mode: latency SLO target checked on every completion.
     pub slo: Option<SimDuration>,
+    /// Open-loop mode: discover live endpoints through the control
+    /// plane's registry instead of treating every entry of `servers` as
+    /// live. The `servers` list becomes the fixed address *pool* the
+    /// registry's liveness mask indexes into.
+    pub discovery: Option<DiscoveryConfig>,
 }
 
 impl std::fmt::Debug for McClientConfig {
@@ -675,6 +730,7 @@ impl McClientConfig {
             arrival: None,
             window: 64,
             slo: None,
+            discovery: None,
         }
     }
 
@@ -715,6 +771,10 @@ pub struct McClient {
     /// Consecutive TCP failures of the in-flight request (backoff
     /// exponent).
     attempts: u32,
+    /// Dedicated stream for reconnect-backoff jitter. Derived from the
+    /// client's address-seeded rng, so a mass crash de-correlates into
+    /// per-client retry instants instead of a synchronized storm.
+    backoff_rng: DetRng,
     /// Finished cleanly.
     pub done: bool,
     /// When the last request completed.
@@ -753,9 +813,11 @@ impl McClient {
     /// Creates a client with a deterministic RNG stream.
     pub fn new(cfg: McClientConfig, rng: DetRng) -> Self {
         let workload = EtcWorkload::new(rng.derive(1), cfg.keyspace);
+        let backoff_rng = rng.derive(0xBACC0FF);
         McClient {
             workload,
             rng,
+            backoff_rng,
             state: CliState::Start,
             conns: HashMap::new(),
             udp_fd: None,
@@ -1017,8 +1079,9 @@ impl Process for McClient {
                         continue;
                     }
                     self.state = CliState::TcpBackoff;
-                    return Step::Syscall(Syscall::Nanosleep(backoff_delay(
+                    return Step::Syscall(Syscall::Nanosleep(backoff_delay_jittered(
                         self.attempts.saturating_sub(1),
+                        &mut self.backoff_rng,
                     )));
                 }
                 CliState::TcpBackoff => {
@@ -1184,6 +1247,21 @@ pub struct McOpenLoopClient {
     pub slo: SloStats,
     /// Crash-loss accounting (requests wiped by a node reset).
     pub failure: FailureStats,
+    /// Liveness mask over the server pool (discovery mode; all requests
+    /// route to set bits). Starts from the discovery config's initial
+    /// mask and tracks [`KIND_ENDPOINTS`] replies thereafter.
+    live_mask: u128,
+    /// When the next registry lookup is due (`None` until the pump arms
+    /// it; discovery mode only).
+    next_refresh: Option<SimTime>,
+    /// SLO totals already reported to the registry (lookups carry
+    /// deltas).
+    reported_completed: u64,
+    reported_violations: u64,
+    /// Registry lookups sent (discovery mode).
+    pub lookups_sent: u64,
+    /// Endpoint-mask updates applied (discovery mode).
+    pub endpoint_updates: u64,
     /// Finished: schedule exhausted and no request left in flight.
     pub done: bool,
     /// When the client finished.
@@ -1242,6 +1320,12 @@ impl McOpenLoopClient {
             latency: Histogram::new(),
             slo: SloStats::with_target(cfg.slo),
             failure: FailureStats::default(),
+            live_mask: cfg.discovery.as_ref().map_or(0, |d| d.initial_mask),
+            next_refresh: None,
+            reported_completed: 0,
+            reported_violations: 0,
+            lookups_sent: 0,
+            endpoint_updates: 0,
             done: false,
             finished_at: SimTime::ZERO,
             cfg,
@@ -1273,7 +1357,18 @@ impl McOpenLoopClient {
             }
             self.offered += 1;
             if self.in_flight() < self.cfg.window {
-                let server = self.rng.next_below(self.cfg.servers.len() as u64) as usize;
+                // With discovery, route to a live replica from the
+                // registry mask; with every replica down, fall back to a
+                // blind pool pick (it will time out — exactly the
+                // outage the SLO accounting should see). Either path
+                // draws exactly one value, keeping the stream replayable.
+                let server = if self.cfg.discovery.is_some() {
+                    pick_live(self.live_mask, self.cfg.servers.len(), &mut self.rng).unwrap_or_else(
+                        || self.rng.next_below(self.cfg.servers.len() as u64) as usize,
+                    )
+                } else {
+                    self.rng.next_below(self.cfg.servers.len() as u64) as usize
+                };
                 let op = self.workload.next_op();
                 self.sendq.push_back((server, op));
             } else {
@@ -1346,6 +1441,32 @@ impl Process for McOpenLoopClient {
                 }
                 OlState::Pump => {
                     self.expire_and_admit(ctx.now);
+                    // Registry refresh rides the same pump: checked before
+                    // request sends so a deep send queue cannot starve
+                    // endpoint discovery during an outage.
+                    if let Some(d) = &self.cfg.discovery {
+                        let due = self.next_refresh.get_or_insert(ctx.now);
+                        if *due <= ctx.now {
+                            while *due <= ctx.now {
+                                *due += d.refresh_every;
+                            }
+                            let dc = self.slo.completed - self.reported_completed;
+                            let dv = self.slo.violations - self.reported_violations;
+                            self.reported_completed = self.slo.completed;
+                            self.reported_violations = self.slo.violations;
+                            self.lookups_sent += 1;
+                            let lookup =
+                                AppMessage::new(KIND_LOOKUP, u64::from(d.service), 64, ctx.now)
+                                    .with_arg0(dc)
+                                    .with_arg1(dv);
+                            self.state = OlState::SendDone;
+                            return Step::Syscall(Syscall::SendTo {
+                                fd: self.udp_fd.expect("no udp fd"),
+                                to: d.control,
+                                msg: lookup,
+                            });
+                        }
+                    }
                     if let Some((server, op)) = self.sendq.pop_front() {
                         self.issued += 1;
                         let id = self.issued - 1;
@@ -1360,11 +1481,16 @@ impl Process for McOpenLoopClient {
                             msg: Self::request_msg(op, id, ctx.now),
                         });
                     }
-                    let Some(deadline) = self.next_deadline() else {
+                    let Some(mut deadline) = self.next_deadline() else {
                         // Schedule exhausted, nothing in flight: finished.
+                        // (The registry refresh deliberately does not keep
+                        // an otherwise-finished client alive.)
                         self.state = OlState::Done;
                         continue;
                     };
+                    if let Some(refresh) = self.next_refresh {
+                        deadline = deadline.min(refresh);
+                    }
                     // Everything due was processed above, so the deadline
                     // is strictly in the future.
                     self.state = OlState::Waiting;
@@ -1396,7 +1522,14 @@ impl Process for McOpenLoopClient {
                 OlState::Recv => {
                     match std::mem::replace(&mut ctx.result, SysResult::Computed) {
                         SysResult::Datagram { msg, .. } => {
-                            if let Some(req) = self.inflight.remove(&msg.id) {
+                            // Registry replies share the socket and their
+                            // `id` is a service id, so the kind check must
+                            // precede the in-flight match.
+                            if msg.kind == KIND_ENDPOINTS {
+                                self.live_mask =
+                                    u128::from(msg.arg0) | (u128::from(msg.arg1) << 64);
+                                self.endpoint_updates += 1;
+                            } else if let Some(req) = self.inflight.remove(&msg.id) {
                                 let ns = ctx.now.saturating_duration_since(req.sent_at);
                                 self.latency.record(ns.as_nanos());
                                 self.completed += 1;
@@ -1438,6 +1571,10 @@ impl Process for McOpenLoopClient {
         v.histogram("latency_ns", &self.latency);
         self.slo.visit(v);
         self.failure.visit(v);
+        if self.cfg.discovery.is_some() {
+            v.counter("discovery.lookups", self.lookups_sent);
+            v.counter("discovery.endpoint_updates", self.endpoint_updates);
+        }
     }
 
     fn reset(&mut self) -> bool {
@@ -1453,6 +1590,9 @@ impl Process for McOpenLoopClient {
         self.state = OlState::Start;
         self.udp_fd = None;
         self.epfd = None;
+        // The cached endpoint mask survives (it is client memory, not
+        // kernel state); the refresh timer re-arms on the next pump.
+        self.next_refresh = None;
         self.done = false;
         true
     }

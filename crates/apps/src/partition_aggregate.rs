@@ -14,6 +14,7 @@
 //! UDP socket, like the modern WSC software the paper's §4.2 models.
 
 use crate::arrival::{ArrivalProcess, ArrivalSpec, SloStats};
+use crate::control::{DiscoveryConfig, KIND_ENDPOINTS, KIND_LOOKUP};
 use diablo_engine::metrics::MetricsVisitor;
 use diablo_engine::prelude::Histogram;
 use diablo_engine::rng::DetRng;
@@ -237,6 +238,11 @@ pub struct PaFrontendConfig {
     /// Open-loop mode: latency SLO target; a deadline miss always counts
     /// as a violation.
     pub slo: Option<SimDuration>,
+    /// Discover live leaves through the control plane's registry: the
+    /// fan-out skips pool entries whose liveness bit is clear, so a dead
+    /// leaf degrades answer quality only until the registry notices.
+    /// `leaves` becomes the fixed pool the mask indexes into.
+    pub discovery: Option<DiscoveryConfig>,
 }
 
 impl std::fmt::Debug for PaFrontendConfig {
@@ -261,6 +267,7 @@ impl PaFrontendConfig {
             start_delay: SimDuration::ZERO,
             arrival: None,
             slo: None,
+            discovery: None,
         }
     }
 }
@@ -301,6 +308,17 @@ pub struct PaFrontend {
     pub offered: u64,
     /// Open-loop mode: SLO accounting (deadline misses always violate).
     pub slo: SloStats,
+    /// Liveness mask over the leaf pool (discovery mode).
+    live_mask: u128,
+    /// When the next registry lookup is due (discovery mode).
+    next_refresh: Option<SimTime>,
+    /// Totals already reported to the registry (lookups carry deltas).
+    reported_completed: u64,
+    reported_violations: u64,
+    /// Registry lookups sent (discovery mode).
+    pub lookups_sent: u64,
+    /// Endpoint-mask updates applied (discovery mode).
+    pub endpoint_updates: u64,
     /// Finished cleanly.
     pub done: bool,
     /// When the last query completed.
@@ -317,6 +335,8 @@ enum FeState {
     Think,
     /// Open-loop: sleeping until the next scheduled admission.
     Paced,
+    /// A registry lookup is in flight.
+    LookupSent,
     Fanout,
     Collect,
     Drain,
@@ -358,7 +378,6 @@ impl PaFrontend {
         assert!(n > 0, "a front-end needs at least one leaf");
         let slo = SloStats::with_target(cfg.slo);
         PaFrontend {
-            cfg,
             state: FeState::Start,
             fd: None,
             epfd: None,
@@ -376,14 +395,35 @@ impl PaFrontend {
             next_arrival,
             offered: 0,
             slo,
+            live_mask: cfg.discovery.as_ref().map_or(0, |d| d.initial_mask),
+            next_refresh: None,
+            reported_completed: 0,
+            reported_violations: 0,
+            lookups_sent: 0,
+            endpoint_updates: 0,
             done: false,
             finished_at: SimTime::ZERO,
+            cfg,
         }
     }
 
     /// `true` when admissions come from an arrival schedule.
     pub fn is_open_loop(&self) -> bool {
         self.arrivals.is_some()
+    }
+
+    /// Whether pool index `i` should receive queries: every index without
+    /// discovery, the registry's liveness bit with it.
+    fn is_live(&self, i: usize) -> bool {
+        self.cfg.discovery.is_none() || self.live_mask >> i & 1 == 1
+    }
+
+    /// Leaves the current fan-out will target.
+    fn live_leaves(&self) -> usize {
+        if self.cfg.discovery.is_none() {
+            return self.cfg.leaves.len();
+        }
+        (0..self.cfg.leaves.len()).filter(|&i| self.is_live(i)).count()
     }
 
     /// Closes out the in-flight query as a deadline miss.
@@ -399,11 +439,14 @@ impl PaFrontend {
         self.state = FeState::Think;
     }
 
-    /// Starts the next query's fan-out (shared by both loop modes).
+    /// Starts the next query's fan-out (shared by both loop modes). With
+    /// discovery, the aggregate spans only the registry's live leaves —
+    /// a smaller but complete answer, the classic quality/availability
+    /// trade.
     fn begin_query(&mut self) {
         self.issued += 1;
         self.answered.iter_mut().for_each(|a| *a = false);
-        self.pending = self.cfg.leaves.len();
+        self.pending = self.live_leaves();
         self.fanout_idx = 0;
         self.state = FeState::Fanout;
     }
@@ -449,6 +492,37 @@ impl Process for PaFrontend {
                     continue;
                 }
                 FeState::Think => {
+                    // Registry refresh rides the think path: between
+                    // queries the front-end reports its SLO deltas and
+                    // re-reads the liveness mask.
+                    if let Some(d) = &self.cfg.discovery {
+                        let due = self.next_refresh.get_or_insert(ctx.now);
+                        if *due <= ctx.now {
+                            while *due <= ctx.now {
+                                *due += d.refresh_every;
+                            }
+                            let (completed, violations) = if self.arrivals.is_some() {
+                                (self.slo.completed, self.slo.violations)
+                            } else {
+                                (self.completed, self.deadline_misses)
+                            };
+                            let dc = completed - self.reported_completed;
+                            let dv = violations - self.reported_violations;
+                            self.reported_completed = completed;
+                            self.reported_violations = violations;
+                            self.lookups_sent += 1;
+                            let lookup =
+                                AppMessage::new(KIND_LOOKUP, u64::from(d.service), 64, ctx.now)
+                                    .with_arg0(dc)
+                                    .with_arg1(dv);
+                            self.state = FeState::LookupSent;
+                            return Step::Syscall(Syscall::SendTo {
+                                fd: self.fd.expect("no fd"),
+                                to: d.control,
+                                msg: lookup,
+                            });
+                        }
+                    }
                     if let Some(arrivals) = self.arrivals.as_mut() {
                         // Open loop: the schedule, not completion, decides
                         // when the next query starts. Arrivals that fired
@@ -470,7 +544,13 @@ impl Process for PaFrontend {
                                 continue;
                             };
                             self.state = FeState::Paced;
-                            return Step::Syscall(Syscall::Nanosleep(at.duration_since(ctx.now)));
+                            // Wake early for a due registry refresh so a
+                            // sparse schedule cannot stall discovery.
+                            let wake = match self.next_refresh {
+                                Some(r) => at.min(r),
+                                None => at,
+                            };
+                            return Step::Syscall(Syscall::Nanosleep(wake.duration_since(ctx.now)));
                         }
                         for _ in 1..due {
                             self.slo.on_shed();
@@ -486,14 +566,31 @@ impl Process for PaFrontend {
                     return Step::Compute(self.cfg.think);
                 }
                 FeState::Paced => {
-                    // Sleep finished exactly at the admission instant; let
-                    // Think observe it as due and admit it.
+                    // Sleep finished at the admission instant (or a due
+                    // registry refresh); let Think observe and act.
+                    self.state = FeState::Think;
+                    continue;
+                }
+                FeState::LookupSent => {
+                    // UDP send never blocks; back to Think, which now
+                    // sees the refresh armed in the future.
                     self.state = FeState::Think;
                     continue;
                 }
                 FeState::Fanout => {
                     if self.fanout_idx == 0 {
                         self.sent_at = ctx.now;
+                        if self.pending == 0 {
+                            // Registry says no leaf is live: the query
+                            // cannot produce an answer — an immediate,
+                            // total miss.
+                            self.miss();
+                            continue;
+                        }
+                    }
+                    while self.fanout_idx < self.cfg.leaves.len() && !self.is_live(self.fanout_idx)
+                    {
+                        self.fanout_idx += 1;
                     }
                     if self.fanout_idx < self.cfg.leaves.len() {
                         let to = self.cfg.leaves[self.fanout_idx];
@@ -540,6 +637,17 @@ impl Process for PaFrontend {
                             });
                         }
                         SysResult::Datagram { msg, .. } => {
+                            if msg.kind == KIND_ENDPOINTS {
+                                // Registry reply landing mid-collect: take
+                                // the mask for the *next* fan-out; the
+                                // in-flight aggregate keeps its span.
+                                self.live_mask =
+                                    u128::from(msg.arg0) | (u128::from(msg.arg1) << 64);
+                                self.endpoint_updates += 1;
+                                return Step::Syscall(Syscall::RecvFrom {
+                                    fd: self.fd.expect("no fd"),
+                                });
+                            }
                             if msg.kind == KIND_ANSWER && msg.id == self.issued - 1 {
                                 let idx = msg.arg0 as usize;
                                 if !self.answered[idx] {
@@ -597,6 +705,10 @@ impl Process for PaFrontend {
             v.gauge("open_loop.in_flight", if self.pending > 0 { 1.0 } else { 0.0 });
             self.slo.visit(v);
         }
+        if self.cfg.discovery.is_some() {
+            v.counter("discovery.lookups", self.lookups_sent);
+            v.counter("discovery.endpoint_updates", self.endpoint_updates);
+        }
     }
 
     fn reset(&mut self) -> bool {
@@ -610,6 +722,9 @@ impl Process for PaFrontend {
         self.epfd = None;
         self.answered.iter_mut().for_each(|a| *a = false);
         self.fanout_idx = 0;
+        // The cached liveness mask is client memory and survives; the
+        // refresh timer re-arms on the next think.
+        self.next_refresh = None;
         self.done = false;
         true
     }

@@ -12,9 +12,9 @@ use diablo_apps::memcached::McVersion;
 use diablo_bench::{banner, cc, fabric, parallel_mode, write_metrics_artifacts, Args};
 use diablo_core::report::percentiles_us;
 use diablo_core::{
-    run_incast, run_memcached, run_partition_aggregate, ArrivalSpec, DropAccounting, FabricKind,
-    FaultPlan, IncastClientKind, IncastConfig, McExperimentConfig, PaExperimentConfig, SloStats,
-    SwitchTemplate,
+    run_incast, run_memcached, run_partition_aggregate, ArrivalSpec, ControlConfig, ControlReport,
+    DropAccounting, FabricKind, FaultPlan, IncastClientKind, IncastConfig, McExperimentConfig,
+    PaExperimentConfig, SloStats, SwitchTemplate,
 };
 use diablo_engine::prelude::{ExecReport, MetricsRegistry, SimDuration};
 use diablo_engine::time::Frequency;
@@ -66,7 +66,22 @@ fn usage() -> ! {
                                line); memcached requires --proto udp, incast\n\
                                requires --client epoll\n\
            --slo NS            per-request SLO target in nanoseconds\n\
-           --window N          memcached in-flight window per client (64)"
+           --window N          memcached in-flight window per client (64)\n\
+         \n\
+         cluster control plane (all workloads):\n\
+           --control-plane     run a scheduler process inside the simulation:\n\
+                               per-node heartbeat health checking, failover\n\
+                               placement onto spares, registry-based endpoint\n\
+                               discovery (memcached needs --arrival; the\n\
+                               search tier needs --cross-rack; incast gets\n\
+                               monitoring only)\n\
+           --spares N          standby replicas per rack (1, memcached only)\n\
+           --heartbeat-us N    agent heartbeat period (2000)\n\
+           --suspect-us N      silence before a node is suspect (5000)\n\
+           --dead-us N         silence before a node is dead (11000)\n\
+           --scale-up F        p99-violation fraction that adds a replica (0.25)\n\
+           --scale-down F      violation fraction that removes one (0.05)\n\
+           --autoscale         scale replicas against the SLO signal"
     );
     std::process::exit(2);
 }
@@ -166,6 +181,93 @@ fn slo_target(args: &Args) -> Option<SimDuration> {
         std::process::exit(2);
     }
     Some(SimDuration::from_nanos(ns))
+}
+
+/// Parses the `--control-plane` flag family into a scheduler config.
+///
+/// Exits non-zero on contradictions: a tuning flag without
+/// `--control-plane` itself, or thresholds [`ControlConfig::validate`]
+/// rejects (zero periods, suspect/dead out of order, inverted scaling
+/// hysteresis).
+fn control_config(args: &Args) -> Option<ControlConfig> {
+    const TUNING: [&str; 7] = [
+        "--spares",
+        "--heartbeat-us",
+        "--suspect-us",
+        "--dead-us",
+        "--scale-up",
+        "--scale-down",
+        "--autoscale",
+    ];
+    if !args.flag("--control-plane") {
+        for f in TUNING {
+            if args.flag(f) {
+                eprintln!("error: {f} requires --control-plane");
+                std::process::exit(2);
+            }
+        }
+        return None;
+    }
+    let d = ControlConfig::default();
+    let mut ctl = ControlConfig {
+        spares_per_rack: args.get("--spares", d.spares_per_rack),
+        scale_up_frac: args.get("--scale-up", d.scale_up_frac),
+        scale_down_frac: args.get("--scale-down", d.scale_down_frac),
+        autoscale: args.flag("--autoscale"),
+        ..d
+    };
+    if args.flag("--heartbeat-us") {
+        ctl.heartbeat_every = SimDuration::from_micros(args.get("--heartbeat-us", 0));
+    }
+    if args.flag("--suspect-us") {
+        ctl.suspect_after = SimDuration::from_micros(args.get("--suspect-us", 0));
+    }
+    if args.flag("--dead-us") {
+        ctl.dead_after = SimDuration::from_micros(args.get("--dead-us", 0));
+    }
+    if let Err(e) = ctl.validate() {
+        eprintln!("error: --control-plane: {e}");
+        std::process::exit(2);
+    }
+    Some(ctl)
+}
+
+/// Prints the scheduler's counters after a controlled run.
+fn print_control(ctl: Option<&ControlReport>) {
+    let Some(ctl) = ctl else { return };
+    println!(
+        "control plane: heartbeats={} lookups={} suspicions={} (false={}) detections={} \
+         rejoins={}",
+        ctl.heartbeats,
+        ctl.lookups,
+        ctl.suspicions,
+        ctl.false_positive_suspicions,
+        ctl.detections,
+        ctl.rejoins
+    );
+    println!(
+        "  failovers={} scale_ups={} scale_downs={} commands sent={} retried={} acked={} \
+         dropped={} stalls={}",
+        ctl.failovers,
+        ctl.scale_ups,
+        ctl.scale_downs,
+        ctl.commands_sent,
+        ctl.commands_retried,
+        ctl.commands_acked,
+        ctl.commands_dropped,
+        ctl.placement_stalls
+    );
+    for (id, desired, ready) in &ctl.replicas {
+        println!("  service {id}: desired={desired} ready={ready}");
+    }
+    if !ctl.replacement_latency.is_empty() {
+        println!(
+            "  replacement latency: n={} p50={:.1}us max={:.1}us",
+            ctl.replacement_latency.count(),
+            ctl.replacement_latency.quantile(0.5) as f64 / 1e3,
+            ctl.replacement_latency.quantile(1.0) as f64 / 1e3
+        );
+    }
 }
 
 /// Prints the open-loop offered/violation/shed summary after a run.
@@ -291,6 +393,23 @@ fn memcached(args: &Args) {
         eprintln!("error: --arrival requires --proto udp (open-loop memcached is UDP-only)");
         std::process::exit(2);
     }
+    cfg.control = control_config(args);
+    if let Some(ctl) = &cfg.control {
+        if cfg.arrival.is_none() {
+            eprintln!(
+                "error: --control-plane memcached requires --arrival (clients discover \
+                 endpoints through the registry, which the open-loop client implements)"
+            );
+            std::process::exit(2);
+        }
+        if cfg.mc_per_rack + ctl.spares_per_rack >= cfg.servers_per_rack {
+            eprintln!(
+                "error: --mc-per-rack {} + --spares {} leaves no client slots at --spr {}",
+                cfg.mc_per_rack, ctl.spares_per_rack, cfg.servers_per_rack
+            );
+            std::process::exit(2);
+        }
+    }
     // Quantum derived from the rack-cut partition plan.
     cfg.mode = parallel_mode(args);
     println!(
@@ -314,6 +433,7 @@ fn memcached(args: &Args) {
         r.wall.as_secs_f64()
     );
     println!("served={} udp_retries={} failures={}", r.served, r.udp_retries, r.failures);
+    print_control(r.control.as_ref());
     print_slo(r.offered, &r.slo);
     if r.timed_out > 0 {
         println!("timed_out={} (expired unanswered; window slots reclaimed)", r.timed_out);
@@ -369,6 +489,7 @@ fn incast(args: &Args) {
     }
     cfg.arrival = arrival_spec(args);
     cfg.slo = slo_target(args);
+    cfg.control = control_config(args);
     if cfg.arrival.is_some() && cfg.client != IncastClientKind::Epoll {
         eprintln!("error: --arrival requires --client epoll (the pthread client is closed-loop)");
         std::process::exit(2);
@@ -408,6 +529,7 @@ fn incast(args: &Args) {
         r.switch_drops,
         r.events
     );
+    print_control(r.control.as_ref());
     print_slo(r.offered, &r.slo);
     for (i, d) in r.iteration_times.iter().enumerate() {
         println!("  iteration {:>2}: {d}", i + 1);
@@ -451,6 +573,14 @@ fn partition_aggregate(args: &Args) {
     cfg.faults = fault_plan(args);
     cfg.arrival = arrival_spec(args);
     cfg.slo = slo_target(args);
+    cfg.control = control_config(args);
+    if cfg.control.is_some() && !cfg.cross_rack {
+        eprintln!(
+            "error: --control-plane partition-aggregate requires --cross-rack \
+             (one shared leaf pool for the registry to index)"
+        );
+        std::process::exit(2);
+    }
     cfg.mode = parallel_mode(args);
     println!(
         "{} racks x {} servers: {} front-ends fanning {} over {} leaves each, \
@@ -477,6 +607,7 @@ fn partition_aggregate(args: &Args) {
         "full_aggregates={} deadline_misses={} missing_answers={} leaf_served={}",
         r.full_aggregates, r.deadline_misses, r.missing_answers, r.served
     );
+    print_control(r.control.as_ref());
     print_slo(r.offered, &r.slo);
     if !r.latency.is_empty() {
         println!("full-aggregate latency:");

@@ -322,3 +322,156 @@ fn bundled_diurnal_scenario_runs_identically_serial_and_parallel() {
     let b = std::fs::read(parallel).expect("parallel metrics");
     assert_eq!(a, b, "serial and 4-partition open-loop scrapes must be byte-identical");
 }
+
+// ---------------------------------------------------------------------------
+// Control-plane flags: --control-plane and its tuning family
+// ---------------------------------------------------------------------------
+
+#[test]
+fn control_tuning_flags_require_control_plane() {
+    for flags in [
+        &["memcached", "--spares", "2"][..],
+        &["memcached", "--heartbeat-us", "1000"][..],
+        &["incast", "--suspect-us", "4000"][..],
+        &["incast", "--dead-us", "9000"][..],
+        &["partition-aggregate", "--scale-up", "0.5"][..],
+        &["partition-aggregate", "--scale-down", "0.01"][..],
+        &["memcached", "--autoscale"][..],
+    ] {
+        expect_reject(flags, "requires --control-plane");
+    }
+}
+
+#[test]
+fn contradictory_control_thresholds_are_rejected() {
+    let p = write_arrival("ctl_ok.arrv", "10ms const 500\n");
+    let arrv = p.to_str().expect("utf-8");
+    // Suspect threshold at/below the heartbeat period: one in-flight
+    // heartbeat would permanently flap every node.
+    expect_reject(
+        &[
+            "memcached",
+            "--arrival",
+            arrv,
+            "--control-plane",
+            "--heartbeat-us",
+            "2000",
+            "--suspect-us",
+            "2000",
+        ],
+        "suspect threshold",
+    );
+    // Dead threshold not beyond suspect.
+    expect_reject(
+        &[
+            "memcached",
+            "--arrival",
+            arrv,
+            "--control-plane",
+            "--suspect-us",
+            "5000",
+            "--dead-us",
+            "5000",
+        ],
+        "dead threshold",
+    );
+    // Inverted autoscale hysteresis: scale-down at/above scale-up flaps.
+    expect_reject(
+        &[
+            "memcached",
+            "--arrival",
+            arrv,
+            "--control-plane",
+            "--scale-up",
+            "0.1",
+            "--scale-down",
+            "0.2",
+        ],
+        "hysteresis",
+    );
+    // Fractions outside [0, 1].
+    expect_reject(
+        &["memcached", "--arrival", arrv, "--control-plane", "--scale-up", "1.5"],
+        "scaling thresholds",
+    );
+}
+
+#[test]
+fn controlled_memcached_requires_open_loop_and_room_for_clients() {
+    // Closed-loop memcached has no registry-driven client.
+    expect_reject(&["memcached", "--control-plane"], "requires --arrival");
+    // Serving replicas + spares must leave client slots in each rack.
+    let p = write_arrival("ctl_full.arrv", "10ms const 500\n");
+    expect_reject(
+        &[
+            "memcached",
+            "--arrival",
+            p.to_str().expect("utf-8"),
+            "--control-plane",
+            "--spr",
+            "3",
+            "--mc-per-rack",
+            "2",
+            "--spares",
+            "1",
+        ],
+        "leaves no client slots",
+    );
+}
+
+#[test]
+fn controlled_partition_aggregate_requires_cross_rack() {
+    expect_reject(&["partition-aggregate", "--control-plane"], "requires --cross-rack");
+}
+
+/// The churn headline through the CLI: the bundled rolling-crash wave
+/// over the bundled diurnal trace with the control plane on, serial and
+/// 2-partition — failovers must be reported, books must balance, and the
+/// two scrapes must be byte-identical.
+#[test]
+fn bundled_rolling_crash_with_control_plane_runs_identically_serial_and_parallel() {
+    let plan = repo_root().join("scenarios/rolling_crash.fplan");
+    let spec = repo_root().join("scenarios/diurnal.arrv");
+    assert!(plan.exists(), "bundled scenario missing: {}", plan.display());
+    assert!(spec.exists(), "bundled scenario missing: {}", spec.display());
+    let dir = std::env::temp_dir().join("wsc_sim_cli_churn");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let run = |tag: &str, parallel: Option<&str>| -> PathBuf {
+        let json = dir.join(format!("{tag}.json"));
+        let mut cmd = wsc_sim();
+        cmd.args([
+            "memcached",
+            "--racks",
+            "2",
+            "--control-plane",
+            "--arrival",
+            spec.to_str().expect("utf-8 path"),
+            "--slo",
+            "1000000",
+            "--fault-plan",
+            plan.to_str().expect("utf-8 path"),
+            "--check-invariants",
+            "--metrics",
+            json.to_str().expect("utf-8 path"),
+        ]);
+        if let Some(p) = parallel {
+            cmd.args(["--parallel", p]);
+        }
+        let out = cmd.output().expect("spawn wsc_sim");
+        assert!(
+            out.status.success(),
+            "{tag} run failed (status {:?}): {}",
+            out.status.code(),
+            stderr(&out)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains("control plane:"), "run must report the scheduler: {stdout}");
+        assert!(stdout.contains("failovers="), "run must report failovers: {stdout}");
+        json
+    };
+    let serial = run("serial", None);
+    let parallel = run("parallel", Some("2"));
+    let a = std::fs::read(serial).expect("serial metrics");
+    let b = std::fs::read(parallel).expect("parallel metrics");
+    assert_eq!(a, b, "controlled churn scrapes must be byte-identical serial vs parallel");
+}

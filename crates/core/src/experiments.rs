@@ -12,6 +12,10 @@ use crate::experiment::{ExperimentBase, ExperimentError, ExperimentHarness, Work
 use crate::fault::FaultPlan;
 use crate::observe::DropAccounting;
 use diablo_apps::arrival::{ArrivalSpec, SloStats};
+use diablo_apps::control::{
+    gate_futex_key, service_gate, ControlAgent, ControlConfig, ControlPlane, ControlReport,
+    DiscoveryConfig, ServiceSpec, AGENT_PORT, CONTROL_PORT,
+};
 use diablo_apps::failure::FailureStats;
 use diablo_apps::incast::{
     shared, IncastEpollClient, IncastMaster, IncastServer, IncastWorker, INCAST_PORT,
@@ -31,6 +35,7 @@ use diablo_net::topology::{FatTreeConfig, HopClass, TopologyConfig};
 use diablo_net::{NodeAddr, SockAddr};
 use diablo_stack::process::{Proto, Tid};
 use diablo_stack::profile::{CongestionControl, KernelProfile};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 // ====================================================================
@@ -97,6 +102,12 @@ pub struct IncastConfig {
     pub arrival: Option<ArrivalSpec>,
     /// Per-iteration SLO target (open-loop accounting).
     pub slo: Option<SimDuration>,
+    /// When set, a monitoring-only [`ControlPlane`] joins the topology
+    /// on one extra node: every storage server runs a health-beacon
+    /// [`ControlAgent`] and the scheduler tracks their liveness, without
+    /// steering the incast client. Exercises the control protocol under
+    /// the congestion the incast burst creates.
+    pub control: Option<ControlConfig>,
 }
 
 impl IncastConfig {
@@ -123,6 +134,7 @@ impl IncastConfig {
             request_deadline: None,
             arrival: None,
             slo: None,
+            control: None,
         }
     }
 
@@ -142,11 +154,13 @@ impl IncastConfig {
 
     /// The shared experiment base this config describes.
     fn base(&self) -> ExperimentBase {
+        // A monitoring control plane adds one node for the scheduler.
+        let extra = usize::from(self.control.is_some());
         let topology = match self.fabric {
             FabricKind::FatTree(ft) => {
                 let view = ft.view();
                 assert!(
-                    view.racks * view.servers_per_rack > self.servers,
+                    view.racks * view.servers_per_rack > self.servers + extra,
                     "fat-tree k={} with {} hosts/edge has no room for {} servers + 1 client",
                     ft.k,
                     ft.hosts_per_edge,
@@ -158,7 +172,7 @@ impl IncastConfig {
                 let racks = self.racks.max(1);
                 TopologyConfig {
                     racks,
-                    servers_per_rack: (self.servers + 1).div_ceil(racks),
+                    servers_per_rack: (self.servers + 1 + extra).div_ceil(racks),
                     racks_per_array: racks,
                 }
             }
@@ -216,6 +230,9 @@ pub struct IncastResult {
     /// Open-loop SLO report: iteration-time violations and shed
     /// admissions (empty in closed-loop runs).
     pub slo: SloStats,
+    /// Monitoring control-plane counters (`None` unless
+    /// [`IncastConfig::control`] was set).
+    pub control: Option<ControlReport>,
 }
 
 /// The incast scenario behind the [`Workload`] trait: storage servers on
@@ -231,9 +248,17 @@ struct IncastSummary {
     iteration_times: Vec<SimDuration>,
     switch_drops: u64,
     offered: u64,
+    control: Option<ControlReport>,
 }
 
 const INCAST_CLIENT: NodeAddr = NodeAddr(0);
+
+impl IncastWorkload<'_> {
+    /// The monitoring scheduler's node: one past the last server.
+    fn cp_node(&self) -> Option<NodeAddr> {
+        self.cfg.control.as_ref().map(|_| NodeAddr(self.cfg.servers as u32 + 1))
+    }
+}
 
 impl Workload for IncastWorkload<'_> {
     type Summary = IncastSummary;
@@ -264,6 +289,45 @@ impl Workload for IncastWorkload<'_> {
             self.cfg.arrival.is_none() || self.cfg.client == IncastClientKind::Epoll,
             "incast open-loop mode requires the epoll client"
         );
+        // Monitoring control plane: a health beacon on every server, the
+        // scheduler on one extra node past the last server. It observes
+        // liveness through the same congested fabric the incast burst
+        // saturates but does not steer the client.
+        if let Some(ctl) = &self.cfg.control {
+            ctl.validate().expect("invalid ControlConfig");
+            assert!(n <= 128, "service pool is limited to 128 replicas");
+            let cp_node = self.cp_node().expect("control set");
+            let mut agents = Vec::new();
+            let mut racks = Vec::new();
+            for (idx, s) in servers.iter().enumerate() {
+                let stagger =
+                    SimDuration::from_picos(ctl.heartbeat_every.as_picos() * idx as u64 / n as u64);
+                cluster.spawn(
+                    host,
+                    s.node,
+                    Box::new(ControlAgent::new(
+                        SockAddr::new(cp_node, CONTROL_PORT),
+                        ctl.heartbeat_every,
+                        stagger,
+                        BTreeMap::new(),
+                    )),
+                );
+                agents.push(SockAddr::new(s.node, AGENT_PORT));
+                racks.push(cluster.topo.rack_of(s.node) as u32);
+            }
+            let spec = ServiceSpec {
+                id: 0,
+                pool: servers.clone(),
+                agents,
+                racks,
+                initial: (0..n).collect(),
+            };
+            cluster.spawn(
+                host,
+                cp_node,
+                Box::new(ControlPlane::new(ctl.clone(), vec![spec], CONTROL_PORT)),
+            );
+        }
         match self.cfg.client {
             IncastClientKind::Pthread => {
                 let sh = shared(n);
@@ -325,11 +389,18 @@ impl Workload for IncastWorkload<'_> {
                 (c.goodput_bps(), c.iteration_times.clone(), c.offered)
             }
         };
+        let control = self.cp_node().map(|cp| {
+            cluster
+                .process::<ControlPlane>(host, cp, Tid(0))
+                .expect("control plane missing")
+                .report()
+        });
         IncastSummary {
             goodput_bps,
             iteration_times,
             switch_drops: cluster.total_switch_drops(host),
             offered,
+            control,
         }
     }
 
@@ -383,6 +454,7 @@ pub fn try_run_incast(cfg: &IncastConfig) -> Result<IncastResult, ExperimentErro
         failure: env.failure,
         offered: summary.offered,
         slo: env.slo,
+        control: summary.control,
     })
 }
 
@@ -462,6 +534,14 @@ pub struct McExperimentConfig {
     /// Open-loop in-flight window per client: admissions past this bound
     /// are shed, not queued.
     pub window: usize,
+    /// When set, a [`ControlPlane`] scheduler runs inside the simulation:
+    /// every rack hosts `mc_per_rack + spares_per_rack` pool nodes (the
+    /// spares parked on a service gate), each pool node runs a
+    /// [`ControlAgent`] heartbeating to the scheduler, and clients
+    /// discover live endpoints through registry lookups instead of the
+    /// static server list. Requires an open-loop [`Self::arrival`]
+    /// schedule (UDP).
+    pub control: Option<ControlConfig>,
 }
 
 impl McExperimentConfig {
@@ -492,6 +572,7 @@ impl McExperimentConfig {
             arrival: None,
             slo: None,
             window: 64,
+            control: None,
         }
     }
 
@@ -600,6 +681,9 @@ pub struct McExperimentResult {
     /// Open-loop SLO report: latency violations and shed admissions
     /// (empty in closed-loop runs).
     pub slo: SloStats,
+    /// Control-plane counters (`None` unless
+    /// [`McExperimentConfig::control`] was set).
+    pub control: Option<ControlReport>,
 }
 
 /// The memcached-at-scale scenario: the first `mc_per_rack` nodes of each
@@ -608,6 +692,7 @@ struct McWorkload<'a> {
     cfg: &'a McExperimentConfig,
     shareds: Vec<McSharedHandle>,
     client_addrs: Vec<NodeAddr>,
+    cp: Option<NodeAddr>,
 }
 
 /// What [`McWorkload`] measures.
@@ -620,6 +705,127 @@ struct McSummary {
     completed_at: SimTime,
     offered: u64,
     timed_out: u64,
+    control: Option<ControlReport>,
+}
+
+impl McWorkload<'_> {
+    /// Control-plane variant of [`Workload::build`]: every rack hosts
+    /// `mc_per_rack + spares_per_rack` pool nodes (the spares parked on
+    /// an inactive service gate), each pool node runs a [`ControlAgent`]
+    /// heartbeating to the scheduler on the cluster's last node, and the
+    /// remaining nodes run open-loop clients that discover live servers
+    /// through registry lookups.
+    fn build_controlled(&mut self, host: &mut SimHost, cluster: &Cluster, ctl: &ControlConfig) {
+        let cfg = self.cfg;
+        let root_rng = DetRng::new(cfg.seed);
+        ctl.validate().expect("invalid ControlConfig");
+        assert!(
+            cfg.arrival.is_some() && cfg.proto == Proto::Udp,
+            "the control plane requires the open-loop UDP memcached workload"
+        );
+        let pool_slots = cfg.mc_per_rack + ctl.spares_per_rack;
+        assert!(
+            pool_slots < cfg.servers_per_rack,
+            "mc_per_rack + spares_per_rack must leave room for clients"
+        );
+        assert!(cfg.racks * pool_slots <= 128, "service pool is limited to 128 replicas");
+
+        // The scheduler claims the cluster's last node (a client slot).
+        let cp_node = NodeAddr((cfg.racks * cfg.servers_per_rack - 1) as u32);
+
+        // Pool nodes: gated dispatcher + workers, plus the agent that
+        // heartbeats to the scheduler and flips the gate on command.
+        let mut pool = Vec::new();
+        let mut agents = Vec::new();
+        let mut racks = Vec::new();
+        let mut initial = Vec::new();
+        let pool_len = (cfg.racks * pool_slots) as u64;
+        for rack in 0..cfg.racks {
+            for slot in 0..pool_slots {
+                let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
+                let idx = pool.len();
+                let active = slot < cfg.mc_per_rack;
+                if active {
+                    initial.push(idx);
+                }
+                let gate = service_gate(active);
+                let scfg = McServerConfig {
+                    port: MEMCACHED_PORT,
+                    workers: cfg.workers,
+                    version: cfg.version,
+                    udp: true,
+                    request_work: cfg.request_work,
+                };
+                let sh = mc_shared(scfg.workers);
+                cluster.spawn(
+                    host,
+                    addr,
+                    Box::new(
+                        McDispatcher::new(scfg.clone(), sh.clone())
+                            .with_gate(gate.clone(), gate_futex_key(0)),
+                    ),
+                );
+                for w in 0..scfg.workers {
+                    cluster.spawn(host, addr, Box::new(McWorker::new(w, scfg.clone(), sh.clone())));
+                }
+                self.shareds.push(sh);
+                // Stagger heartbeats evenly across one period so the
+                // scheduler never sees a synchronized burst.
+                let stagger =
+                    SimDuration::from_picos(ctl.heartbeat_every.as_picos() * idx as u64 / pool_len);
+                let gates = BTreeMap::from([(0u32, gate)]);
+                cluster.spawn(
+                    host,
+                    addr,
+                    Box::new(ControlAgent::new(
+                        SockAddr::new(cp_node, CONTROL_PORT),
+                        ctl.heartbeat_every,
+                        stagger,
+                        gates,
+                    )),
+                );
+                pool.push(SockAddr::new(addr, MEMCACHED_PORT));
+                agents.push(SockAddr::new(addr, AGENT_PORT));
+                racks.push(rack as u32);
+            }
+        }
+        let initial_mask = initial.iter().fold(0u128, |m, &i| m | (1u128 << i));
+        let spec = ServiceSpec { id: 0, pool: pool.clone(), agents, racks, initial };
+        cluster.spawn(
+            host,
+            cp_node,
+            Box::new(ControlPlane::new(ctl.clone(), vec![spec], CONTROL_PORT)),
+        );
+        self.cp = Some(cp_node);
+
+        // Clients: every remaining node except the scheduler's, each
+        // restricting its per-request server draw to the registry's
+        // live-endpoint mask.
+        let pool_socks: Arc<[SockAddr]> = pool.into();
+        for rack in 0..cfg.racks {
+            for slot in pool_slots..cfg.servers_per_rack {
+                let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
+                if addr == cp_node {
+                    continue;
+                }
+                let mut ccfg = McClientConfig::udp(pool_socks.clone(), cfg.requests_per_client);
+                ccfg.reconnect_every = cfg.reconnect_every;
+                ccfg.request_deadline = cfg.request_deadline;
+                ccfg.arrival = cfg.arrival.clone();
+                ccfg.window = cfg.window;
+                ccfg.slo = cfg.slo;
+                ccfg.discovery = Some(DiscoveryConfig {
+                    control: SockAddr::new(cp_node, CONTROL_PORT),
+                    service: 0,
+                    refresh_every: ctl.refresh_every,
+                    initial_mask,
+                });
+                let rng = root_rng.derive(addr.0 as u64);
+                cluster.spawn(host, addr, Box::new(McOpenLoopClient::new(ccfg, rng)));
+                self.client_addrs.push(addr);
+            }
+        }
+    }
 }
 
 impl Workload for McWorkload<'_> {
@@ -644,6 +850,10 @@ impl Workload for McWorkload<'_> {
 
     fn build(&mut self, host: &mut SimHost, cluster: &Cluster) {
         let cfg = self.cfg;
+        if let Some(ctl) = cfg.control.clone() {
+            self.build_controlled(host, cluster, &ctl);
+            return;
+        }
         let topo = cluster.topo.clone();
         let root_rng = DetRng::new(cfg.seed);
 
@@ -759,6 +969,12 @@ impl Workload for McWorkload<'_> {
             }
         }
         let served = self.shareds.iter().map(|s| s.lock().expect("poisoned").served).sum();
+        let control = self.cp.map(|cp| {
+            cluster
+                .process::<ControlPlane>(host, cp, Tid(0))
+                .expect("control plane missing")
+                .report()
+        });
         McSummary {
             latency,
             by_class,
@@ -768,6 +984,7 @@ impl Workload for McWorkload<'_> {
             completed_at,
             offered,
             timed_out,
+            control,
         }
     }
 
@@ -805,7 +1022,7 @@ impl Workload for McWorkload<'_> {
 ///
 /// See [`ExperimentHarness::run`].
 pub fn try_run_memcached(cfg: &McExperimentConfig) -> Result<McExperimentResult, ExperimentError> {
-    let mut workload = McWorkload { cfg, shareds: Vec::new(), client_addrs: Vec::new() };
+    let mut workload = McWorkload { cfg, shareds: Vec::new(), client_addrs: Vec::new(), cp: None };
     let (summary, env) = ExperimentHarness::new(cfg.base()).run(&mut workload)?;
     Ok(McExperimentResult {
         latency: summary.latency,
@@ -825,6 +1042,7 @@ pub fn try_run_memcached(cfg: &McExperimentConfig) -> Result<McExperimentResult,
         offered: summary.offered,
         timed_out: summary.timed_out,
         slo: env.slo,
+        control: summary.control,
     })
 }
 
@@ -898,6 +1116,12 @@ pub struct PaExperimentConfig {
     pub arrival: Option<ArrivalSpec>,
     /// Per-query SLO target (open-loop accounting).
     pub slo: Option<SimDuration>,
+    /// When set, a [`ControlPlane`] scheduler claims the last leaf slot,
+    /// every remaining leaf runs a health-beacon [`ControlAgent`], and
+    /// front-ends fan out only to leaves the registry reports live.
+    /// Requires [`Self::cross_rack`] so every front-end shares the one
+    /// cluster-wide leaf pool the registry indexes.
+    pub control: Option<ControlConfig>,
 }
 
 impl PaExperimentConfig {
@@ -926,6 +1150,7 @@ impl PaExperimentConfig {
             faults: None,
             arrival: None,
             slo: None,
+            control: None,
         }
     }
 
@@ -1047,6 +1272,9 @@ pub struct PaExperimentResult {
     /// Open-loop SLO report: query-latency violations and shed
     /// admissions (empty in closed-loop runs).
     pub slo: SloStats,
+    /// Control-plane counters (`None` unless
+    /// [`PaExperimentConfig::control`] was set).
+    pub control: Option<ControlReport>,
 }
 
 /// The search-tier scenario: slot 0 of each rack is a front-end, the
@@ -1055,6 +1283,7 @@ pub struct PaExperimentResult {
 struct PaWorkload<'a> {
     cfg: &'a PaExperimentConfig,
     frontends: Vec<NodeAddr>,
+    cp: Option<NodeAddr>,
 }
 
 /// What [`PaWorkload`] measures.
@@ -1067,6 +1296,7 @@ struct PaSummary {
     served: u64,
     completed_at: SimTime,
     offered: u64,
+    control: Option<ControlReport>,
 }
 
 impl PaWorkload<'_> {
@@ -1081,6 +1311,105 @@ impl PaWorkload<'_> {
             (0..cfg.racks).flat_map(leaves_of_rack).collect()
         } else {
             leaves_of_rack(rack).collect()
+        }
+    }
+
+    /// Control-plane variant of [`Workload::build`]: the scheduler
+    /// claims the last leaf slot, every remaining leaf runs a
+    /// health-beacon [`ControlAgent`], and front-ends fan out only to
+    /// leaves the registry's live-endpoint mask reports up — so a
+    /// crashed leaf stops costing every query its full deadline as soon
+    /// as detection lands.
+    fn build_controlled(&mut self, host: &mut SimHost, cluster: &Cluster, ctl: &ControlConfig) {
+        let cfg = self.cfg;
+        let root_rng = DetRng::new(cfg.seed);
+        ctl.validate().expect("invalid ControlConfig");
+        assert!(
+            cfg.cross_rack,
+            "the control plane requires the cross-rack search tier (one shared leaf pool)"
+        );
+        // The scheduler claims the last leaf slot of the last rack.
+        let cp_node = NodeAddr((cfg.racks * cfg.servers_per_rack - 1) as u32);
+        let pool_len = (cfg.racks * (cfg.servers_per_rack - 1) - 1) as u64;
+        assert!(pool_len >= 1, "need at least one leaf besides the scheduler");
+        assert!(pool_len <= 128, "service pool is limited to 128 replicas");
+
+        // Leaves: every non-zero slot except the scheduler's, each with
+        // a pure health-beacon agent (no gate — leaves are always
+        // willing; the registry only tracks their liveness).
+        let mut pool = Vec::new();
+        let mut agents = Vec::new();
+        let mut racks = Vec::new();
+        for rack in 0..cfg.racks {
+            for slot in 1..cfg.servers_per_rack {
+                let addr = NodeAddr((rack * cfg.servers_per_rack + slot) as u32);
+                if addr == cp_node {
+                    continue;
+                }
+                let lcfg = PaLeafConfig {
+                    port: PA_PORT,
+                    service_work: cfg.service_work,
+                    service_jitter: cfg.service_jitter,
+                    answer_bytes: cfg.answer_bytes,
+                };
+                cluster.spawn(
+                    host,
+                    addr,
+                    Box::new(PaLeaf::new(lcfg, root_rng.derive(addr.0 as u64))),
+                );
+                let idx = pool.len() as u64;
+                let stagger =
+                    SimDuration::from_picos(ctl.heartbeat_every.as_picos() * idx / pool_len);
+                cluster.spawn(
+                    host,
+                    addr,
+                    Box::new(ControlAgent::new(
+                        SockAddr::new(cp_node, CONTROL_PORT),
+                        ctl.heartbeat_every,
+                        stagger,
+                        BTreeMap::new(),
+                    )),
+                );
+                pool.push(SockAddr::new(addr, PA_PORT));
+                agents.push(SockAddr::new(addr, AGENT_PORT));
+                racks.push(rack as u32);
+            }
+        }
+        let initial: Vec<usize> = (0..pool.len()).collect();
+        let initial_mask = initial.iter().fold(0u128, |m, &i| m | (1u128 << i));
+        let spec = ServiceSpec { id: 0, pool: pool.clone(), agents, racks, initial };
+        cluster.spawn(
+            host,
+            cp_node,
+            Box::new(ControlPlane::new(ctl.clone(), vec![spec], CONTROL_PORT)),
+        );
+        self.cp = Some(cp_node);
+
+        // Front-ends: slot 0 of each rack, fanning out over the shared
+        // pool filtered by the registry mask.
+        let leaves: Arc<[SockAddr]> = pool.into();
+        for rack in 0..cfg.racks {
+            let addr = NodeAddr((rack * cfg.servers_per_rack) as u32);
+            let mut fcfg = PaFrontendConfig::new(leaves.clone(), cfg.queries);
+            fcfg.deadline = cfg.deadline;
+            fcfg.query_bytes = cfg.query_bytes;
+            fcfg.think = cfg.think;
+            fcfg.discovery = Some(DiscoveryConfig {
+                control: SockAddr::new(cp_node, CONTROL_PORT),
+                service: 0,
+                refresh_every: ctl.refresh_every,
+                initial_mask,
+            });
+            let fe: Box<PaFrontend> = if let Some(spec) = &cfg.arrival {
+                fcfg.arrival = Some(spec.clone());
+                fcfg.slo = cfg.slo;
+                Box::new(PaFrontend::open_loop(fcfg, root_rng.derive(addr.0 as u64)))
+            } else {
+                fcfg.start_delay = SimDuration::from_micros((addr.0 as u64 * 7) % 2_000);
+                Box::new(PaFrontend::new(fcfg))
+            };
+            cluster.spawn(host, addr, fe);
+            self.frontends.push(addr);
         }
     }
 }
@@ -1113,6 +1442,10 @@ impl Workload for PaWorkload<'_> {
 
     fn build(&mut self, host: &mut SimHost, cluster: &Cluster) {
         let cfg = self.cfg;
+        if let Some(ctl) = cfg.control.clone() {
+            self.build_controlled(host, cluster, &ctl);
+            return;
+        }
         let root_rng = DetRng::new(cfg.seed);
         // Leaves first: every non-zero slot of each rack.
         for rack in 0..cfg.racks {
@@ -1190,10 +1523,19 @@ impl Workload for PaWorkload<'_> {
         for rack in 0..self.cfg.racks {
             for slot in 1..self.cfg.servers_per_rack {
                 let addr = NodeAddr((rack * self.cfg.servers_per_rack + slot) as u32);
+                if Some(addr) == self.cp {
+                    continue;
+                }
                 let l: &PaLeaf = cluster.process(host, addr, Tid(0)).expect("leaf missing");
                 served += l.served;
             }
         }
+        let control = self.cp.map(|cp| {
+            cluster
+                .process::<ControlPlane>(host, cp, Tid(0))
+                .expect("control plane missing")
+                .report()
+        });
         PaSummary {
             latency,
             queries,
@@ -1203,6 +1545,7 @@ impl Workload for PaWorkload<'_> {
             served,
             completed_at,
             offered,
+            control,
         }
     }
 
@@ -1224,7 +1567,7 @@ impl Workload for PaWorkload<'_> {
 pub fn try_run_partition_aggregate(
     cfg: &PaExperimentConfig,
 ) -> Result<PaExperimentResult, ExperimentError> {
-    let mut workload = PaWorkload { cfg, frontends: Vec::new() };
+    let mut workload = PaWorkload { cfg, frontends: Vec::new(), cp: None };
     let (summary, env) = ExperimentHarness::new(cfg.base()).run(&mut workload)?;
     Ok(PaExperimentResult {
         latency: summary.latency,
@@ -1244,6 +1587,7 @@ pub fn try_run_partition_aggregate(
         failure: env.failure,
         offered: summary.offered,
         slo: env.slo,
+        control: summary.control,
     })
 }
 
@@ -1405,6 +1749,88 @@ mod tests {
         // 8 front-ends (one per edge) x 4 queries.
         assert_eq!(r.queries, 32);
         assert!(r.conservation.is_balanced());
+    }
+
+    #[test]
+    fn memcached_control_plane_steady_state_stays_clean() {
+        // Fault-free controlled run: the scheduler must observe a
+        // healthy fleet (no suspicions, no failovers, spares standing
+        // by) while the serving replicas absorb the whole offered load.
+        let mut cfg = McExperimentConfig::mini(2, 0);
+        cfg.arrival = Some(ArrivalSpec::poisson(2_000.0, SimDuration::from_millis(30)).unwrap());
+        cfg.slo = Some(SimDuration::from_millis(1));
+        cfg.control = Some(ControlConfig::default());
+        let r = run_memcached(&cfg);
+        assert!(r.offered > 0, "the schedule must admit requests");
+        assert_eq!(r.offered, r.slo.completed + r.slo.shed);
+        let ctl = r.control.expect("control report present");
+        assert!(ctl.heartbeats > 0, "agents must heartbeat");
+        assert!(ctl.lookups > 0, "clients must refresh endpoints");
+        assert_eq!(ctl.suspicions, 0, "a healthy fleet raises no suspicions");
+        assert_eq!(ctl.failovers, 0);
+        assert_eq!(ctl.commands_dropped, 0);
+        // One service, mc_per_rack x racks = 2 desired, 2 ready.
+        assert_eq!(ctl.replicas, vec![(0, 2, 2)]);
+        // The fleet the clients see is exactly the ready replicas: the
+        // spares never serve while gated off.
+        assert!(r.latency.count() > 0);
+    }
+
+    #[test]
+    fn memcached_control_plane_fails_over_a_crashed_replica() {
+        // Crash serving replica node0 at 10 ms without reboot: the
+        // scheduler must detect it through missed heartbeats and
+        // activate the rack's spare, and clients must finish the run
+        // against the re-placed fleet.
+        let mut cfg = McExperimentConfig::mini(2, 0);
+        cfg.arrival = Some(ArrivalSpec::poisson(2_000.0, SimDuration::from_millis(60)).unwrap());
+        cfg.slo = Some(SimDuration::from_millis(1));
+        cfg.control = Some(ControlConfig::default());
+        cfg.faults = Some(FaultPlan::parse("10ms node-crash node0").expect("valid plan"));
+        let r = run_memcached(&cfg);
+        let ctl = r.control.expect("control report present");
+        assert!(ctl.detections >= 1, "the dead replica must be detected");
+        assert_eq!(ctl.failovers, 1, "exactly one replacement activation");
+        assert_eq!(ctl.replicas, vec![(0, 2, 2)], "the fleet must be whole again");
+        assert_eq!(ctl.replacement_latency.count(), 1);
+        // Detection + command round trip is bounded by the config: dead
+        // threshold + command timeout budget + fabric slack.
+        let bound = SimDuration::from_millis(20).as_nanos();
+        assert!(
+            ctl.replacement_latency.quantile(1.0) <= bound,
+            "replacement took {} ns (bound {bound} ns)",
+            ctl.replacement_latency.quantile(1.0)
+        );
+    }
+
+    #[test]
+    fn partition_aggregate_control_plane_drops_dead_leaf_from_fanout() {
+        // Crash one leaf mid-run: front-ends shrink their fan-out to the
+        // remaining live leaves once detection lands, so late queries
+        // aggregate fully instead of eating the deadline forever.
+        let mut cfg = PaExperimentConfig::new(2, 40);
+        cfg.cross_rack = true;
+        cfg.control = Some(ControlConfig::default());
+        cfg.faults = Some(FaultPlan::parse("5ms node-crash node1").expect("valid plan"));
+        let r = run_partition_aggregate(&cfg);
+        let ctl = r.control.expect("control report present");
+        assert_eq!(r.queries, 80, "deadline-bounded queries always complete");
+        assert!(ctl.detections >= 1, "the dead leaf must be detected");
+        assert!(r.deadline_misses > 0, "queries in the detection window miss");
+        assert!(r.full_aggregates > 0, "queries after the fleet shrank must aggregate fully again");
+    }
+
+    #[test]
+    fn incast_monitoring_control_plane_observes_servers() {
+        let mut cfg = IncastConfig::fig6a(4);
+        cfg.iterations = 3;
+        cfg.control = Some(ControlConfig::default());
+        let r = run_incast(&cfg);
+        assert_eq!(r.iteration_times.len(), 3);
+        let ctl = r.control.expect("control report present");
+        assert!(ctl.heartbeats > 0);
+        assert_eq!(ctl.suspicions, 0, "servers stay alive through the burst");
+        assert_eq!(ctl.replicas, vec![(0, 4, 4)]);
     }
 
     #[test]

@@ -23,11 +23,21 @@
 //! 2500ms switch-up   tor0
 //! # crash node 4 and bring it back half a second later
 //! 1200ms node-crash  node4 reboot=500ms
+//! # flap node 5's link every 200 ms, 4 flaps total
+//! 100ms  link-down  node5 repeat 200ms x4
+//! 150ms  link-up    node5 repeat 200ms x4
 //! ```
 //!
 //! Times accept `ns`, `us`, `ms`, and `s` suffixes. `#` starts a comment.
 //! Node targets are `node<N>` (global node index); switch targets are
-//! `tor<rack>`, `array<array>`, or `datacenter`.
+//! `tor<rack>`, `array<array>`, or `datacenter`. A trailing
+//! `repeat <period> x<count>` suffix fires the event `count` times total,
+//! spaced `period` apart — periodic link flaps and rolling crash waves
+//! without hand-unrolled scripts.
+//!
+//! [`FaultPlan`] implements a canonical [`Display`](core::fmt::Display)
+//! (every duration in nanoseconds) whose output reparses to an equal plan,
+//! mirroring the arrival-spec grammar.
 //!
 //! Node link faults are symmetric: the directive lands both on the node's
 //! kernel (NIC carrier/degrade) and on the node-facing port of its ToR, so
@@ -92,15 +102,39 @@ impl core::fmt::Display for FaultTarget {
     }
 }
 
+/// Periodic repetition of one scheduled fault: `repeat <period> x<count>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepeatSpec {
+    /// Spacing between consecutive occurrences (strictly positive).
+    pub period: SimDuration,
+    /// Total occurrences including the first (at least 2 — a single
+    /// occurrence is just the bare event).
+    pub count: u32,
+}
+
 /// One scheduled fault.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEventSpec {
-    /// When the fault fires.
+    /// When the fault (first) fires.
     pub at: SimTime,
     /// The component it hits.
     pub target: FaultTarget,
     /// What it does.
     pub kind: FaultKind,
+    /// Optional periodic repetition.
+    pub repeat: Option<RepeatSpec>,
+}
+
+impl FaultEventSpec {
+    /// Every instant this event fires at, in order: just `at` without a
+    /// repeat, `at + k*period` for `k in 0..count` with one.
+    pub fn occurrences(&self) -> impl Iterator<Item = SimTime> + '_ {
+        let (period, count) = match self.repeat {
+            Some(r) => (r.period, r.count),
+            None => (SimDuration::ZERO, 1),
+        };
+        (0..count).map(move |k| self.at + period * u64::from(k))
+    }
 }
 
 /// Why a plan failed to parse or apply.
@@ -201,8 +235,35 @@ impl FaultPlan {
             let target_tok = toks.next().ok_or_else(|| err("missing fault target".into()))?;
             let target = parse_target(target_tok);
 
+            // The trailing `repeat <period> x<count>` suffix, if present,
+            // separates key=value arguments from repetition.
+            let rest: Vec<&str> = toks.collect();
+            let (args, repeat) = match rest.iter().position(|t| *t == "repeat") {
+                None => (&rest[..], None),
+                Some(p) => {
+                    let tail = &rest[p + 1..];
+                    let [period_tok, count_tok] = tail else {
+                        return Err(err(
+                            "repeat needs `repeat <period> x<count>` (e.g. `repeat 200ms x4`)"
+                                .into(),
+                        ));
+                    };
+                    let period = parse_duration(period_tok).map_err(err)?;
+                    if period == SimDuration::ZERO {
+                        return Err(err("repeat period must be positive".into()));
+                    }
+                    let count: u32 = count_tok
+                        .strip_prefix('x')
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(|| err(format!("bad repeat count `{count_tok}`")))?;
+                    if count < 2 {
+                        return Err(err("repeat count must be at least 2".into()));
+                    }
+                    (&rest[..p], Some(RepeatSpec { period, count }))
+                }
+            };
             let mut kv: HashMap<&str, &str> = HashMap::new();
-            for tok in toks {
+            for tok in args {
                 let (k, v) = tok
                     .split_once('=')
                     .ok_or_else(|| err(format!("expected key=value, got `{tok}`")))?;
@@ -256,19 +317,23 @@ impl FaultPlan {
                 }
             }
 
-            events.push(FaultEventSpec { at, target, kind });
+            events.push(FaultEventSpec { at, target, kind, repeat });
         }
         Ok(FaultPlan { events })
     }
 
     /// The latest instant at which this plan fires anything (including
-    /// scheduled reboots). `SimTime::ZERO` for an empty plan.
+    /// scheduled reboots and repeat occurrences). `SimTime::ZERO` for an
+    /// empty plan.
     pub fn horizon(&self) -> SimTime {
         self.events
             .iter()
-            .map(|e| match e.kind {
-                FaultKind::NodeCrash { reboot_after: Some(d) } => e.at + d,
-                _ => e.at,
+            .flat_map(|e| {
+                let tail = match e.kind {
+                    FaultKind::NodeCrash { reboot_after: Some(d) } => d,
+                    _ => SimDuration::ZERO,
+                };
+                e.occurrences().map(move |at| at + tail)
             })
             .max()
             .unwrap_or(SimTime::ZERO)
@@ -296,92 +361,128 @@ impl FaultPlan {
         }
 
         for ev in &self.events {
-            match (&ev.target, ev.kind) {
-                (FaultTarget::Node(addr), kind) => {
-                    let node_id = *cluster
-                        .nodes
-                        .get(addr.index())
-                        .ok_or(FaultPlanError::NodeOutOfRange(*addr))?;
-                    let (tor, port) = cluster.topo.node_attachment(*addr);
-                    let tor_id = cluster.switches[tor];
-                    match kind {
-                        FaultKind::LinkDown => {
-                            host.inject_timer(ev.at, node_id, NodeFault::LinkDown.timer_key());
-                            host.inject_timer(
-                                ev.at,
-                                tor_id,
-                                SwitchFault::PortDown { port }.timer_key(),
-                            );
-                        }
-                        FaultKind::LinkUp => {
-                            host.inject_timer(ev.at, node_id, NodeFault::LinkUp.timer_key());
-                            host.inject_timer(
-                                ev.at,
-                                tor_id,
-                                SwitchFault::PortUp { port }.timer_key(),
-                            );
-                        }
-                        FaultKind::LinkDegraded { bandwidth_factor, loss_rate } => {
-                            let bw = fp20_encode(bandwidth_factor).max(1);
-                            let loss = fp20_encode(loss_rate);
-                            host.inject_timer(
-                                ev.at,
-                                node_id,
-                                NodeFault::LinkDegraded {
-                                    bandwidth_factor_fp20: bw,
-                                    loss_rate_fp20: loss,
-                                }
-                                .timer_key(),
-                            );
-                            host.inject_timer(
-                                ev.at,
-                                tor_id,
-                                SwitchFault::PortDegraded {
-                                    port,
-                                    bandwidth_factor_fp20: bw,
-                                    loss_rate_fp20: loss,
-                                }
-                                .timer_key(),
-                            );
-                        }
-                        FaultKind::NodeCrash { reboot_after } => {
-                            host.inject_timer(ev.at, node_id, NodeFault::Crash.timer_key());
-                            if let Some(d) = reboot_after {
+            for at in ev.occurrences() {
+                match (&ev.target, ev.kind) {
+                    (FaultTarget::Node(addr), kind) => {
+                        let node_id = *cluster
+                            .nodes
+                            .get(addr.index())
+                            .ok_or(FaultPlanError::NodeOutOfRange(*addr))?;
+                        let (tor, port) = cluster.topo.node_attachment(*addr);
+                        let tor_id = cluster.switches[tor];
+                        match kind {
+                            FaultKind::LinkDown => {
+                                host.inject_timer(at, node_id, NodeFault::LinkDown.timer_key());
                                 host.inject_timer(
-                                    ev.at + d,
-                                    node_id,
-                                    NodeFault::Reboot.timer_key(),
+                                    at,
+                                    tor_id,
+                                    SwitchFault::PortDown { port }.timer_key(),
                                 );
                             }
-                        }
-                        FaultKind::NodeReboot => {
-                            host.inject_timer(ev.at, node_id, NodeFault::Reboot.timer_key());
-                        }
-                        FaultKind::SwitchDown | FaultKind::SwitchUp => {
-                            return Err(FaultPlanError::BadTarget(format!(
-                                "{:?} cannot target node{}",
-                                ev.kind, addr.0
-                            )));
+                            FaultKind::LinkUp => {
+                                host.inject_timer(at, node_id, NodeFault::LinkUp.timer_key());
+                                host.inject_timer(
+                                    at,
+                                    tor_id,
+                                    SwitchFault::PortUp { port }.timer_key(),
+                                );
+                            }
+                            FaultKind::LinkDegraded { bandwidth_factor, loss_rate } => {
+                                let bw = fp20_encode(bandwidth_factor).max(1);
+                                let loss = fp20_encode(loss_rate);
+                                host.inject_timer(
+                                    at,
+                                    node_id,
+                                    NodeFault::LinkDegraded {
+                                        bandwidth_factor_fp20: bw,
+                                        loss_rate_fp20: loss,
+                                    }
+                                    .timer_key(),
+                                );
+                                host.inject_timer(
+                                    at,
+                                    tor_id,
+                                    SwitchFault::PortDegraded {
+                                        port,
+                                        bandwidth_factor_fp20: bw,
+                                        loss_rate_fp20: loss,
+                                    }
+                                    .timer_key(),
+                                );
+                            }
+                            FaultKind::NodeCrash { reboot_after } => {
+                                host.inject_timer(at, node_id, NodeFault::Crash.timer_key());
+                                if let Some(d) = reboot_after {
+                                    host.inject_timer(
+                                        at + d,
+                                        node_id,
+                                        NodeFault::Reboot.timer_key(),
+                                    );
+                                }
+                            }
+                            FaultKind::NodeReboot => {
+                                host.inject_timer(at, node_id, NodeFault::Reboot.timer_key());
+                            }
+                            FaultKind::SwitchDown | FaultKind::SwitchUp => {
+                                return Err(FaultPlanError::BadTarget(format!(
+                                    "{:?} cannot target node{}",
+                                    ev.kind, addr.0
+                                )));
+                            }
                         }
                     }
-                }
-                (FaultTarget::Switch(name), kind) => {
-                    let &idx = switch_names
-                        .get(name.as_str())
-                        .ok_or_else(|| FaultPlanError::UnknownSwitch(name.clone()))?;
-                    let sw_id = cluster.switches[idx];
-                    let fault = match kind {
-                        FaultKind::SwitchDown => SwitchFault::SwitchDown,
-                        FaultKind::SwitchUp => SwitchFault::SwitchUp,
-                        other => {
-                            return Err(FaultPlanError::BadTarget(format!(
-                                "{other:?} cannot target switch `{name}`"
-                            )));
-                        }
-                    };
-                    host.inject_timer(ev.at, sw_id, fault.timer_key());
+                    (FaultTarget::Switch(name), kind) => {
+                        let &idx = switch_names
+                            .get(name.as_str())
+                            .ok_or_else(|| FaultPlanError::UnknownSwitch(name.clone()))?;
+                        let sw_id = cluster.switches[idx];
+                        let fault = match kind {
+                            FaultKind::SwitchDown => SwitchFault::SwitchDown,
+                            FaultKind::SwitchUp => SwitchFault::SwitchUp,
+                            other => {
+                                return Err(FaultPlanError::BadTarget(format!(
+                                    "{other:?} cannot target switch `{name}`"
+                                )));
+                            }
+                        };
+                        host.inject_timer(at, sw_id, fault.timer_key());
+                    }
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+/// Canonical plan text: one event per line in file order, every duration
+/// rendered as integer nanoseconds (the grammar's exact grid), so
+/// `FaultPlan::parse(&plan.to_string())` reproduces an equal plan.
+impl core::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for ev in &self.events {
+            write!(f, "{}ns", ev.at.as_nanos())?;
+            match ev.kind {
+                FaultKind::LinkDown => write!(f, " link-down {}", ev.target)?,
+                FaultKind::LinkUp => write!(f, " link-up {}", ev.target)?,
+                FaultKind::LinkDegraded { bandwidth_factor, loss_rate } => write!(
+                    f,
+                    " link-degraded {} bandwidth={bandwidth_factor} loss={loss_rate}",
+                    ev.target
+                )?,
+                FaultKind::SwitchDown => write!(f, " switch-down {}", ev.target)?,
+                FaultKind::SwitchUp => write!(f, " switch-up {}", ev.target)?,
+                FaultKind::NodeCrash { reboot_after } => {
+                    write!(f, " node-crash {}", ev.target)?;
+                    if let Some(d) = reboot_after {
+                        write!(f, " reboot={}ns", d.as_nanos())?;
+                    }
+                }
+                FaultKind::NodeReboot => write!(f, " node-reboot {}", ev.target)?,
+            }
+            if let Some(r) = ev.repeat {
+                write!(f, " repeat {}ns x{}", r.period.as_nanos(), r.count)?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -460,6 +561,92 @@ mod tests {
             let e = FaultPlan::parse(text).expect_err(text).to_string();
             assert!(e.contains("finite and non-negative"), "`{text}` gave `{e}`");
         }
+    }
+
+    #[test]
+    fn parses_repeat_suffix_and_expands_occurrences() {
+        let plan = FaultPlan::parse(
+            "100ms link-down node5 repeat 200ms x4\n\
+             1200ms node-crash node4 reboot=50ms repeat 300ms x2\n",
+        )
+        .expect("repeat plan parses");
+        assert_eq!(
+            plan.events[0].repeat,
+            Some(RepeatSpec { period: SimDuration::from_millis(200), count: 4 })
+        );
+        let at: Vec<SimTime> = plan.events[0].occurrences().collect();
+        assert_eq!(
+            at,
+            [100, 300, 500, 700].map(SimTime::from_millis).to_vec(),
+            "occurrences are at + k*period"
+        );
+        // Horizon covers the last occurrence plus its reboot tail:
+        // 1200ms + 300ms + 50ms.
+        assert_eq!(plan.horizon(), SimTime::from_millis(1550));
+        // A bare event fires exactly once.
+        let single = FaultPlan::parse("7ms link-up node1").unwrap();
+        assert_eq!(single.events[0].occurrences().count(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_repeats() {
+        for (text, needle) in [
+            ("100ms link-down node5 repeat", "repeat needs"),
+            ("100ms link-down node5 repeat 200ms", "repeat needs"),
+            ("100ms link-down node5 repeat 200ms x4 extra", "repeat needs"),
+            ("100ms link-down node5 repeat 200 x4", "suffix"),
+            ("100ms link-down node5 repeat -5ms x4", "finite and non-negative"),
+            ("100ms link-down node5 repeat 0ms x4", "must be positive"),
+            ("100ms link-down node5 repeat 200ms 4", "bad repeat count"),
+            ("100ms link-down node5 repeat 200ms xzero", "bad repeat count"),
+            ("100ms link-down node5 repeat 200ms x1", "at least 2"),
+            ("100ms link-down node5 repeat 200ms x0", "at least 2"),
+        ] {
+            let e = FaultPlan::parse(text).expect_err(text);
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "`{text}` gave `{msg}`, wanted `{needle}`");
+        }
+    }
+
+    /// The canonical `Display` form reparses to an equal plan, like the
+    /// arrival grammar's.
+    #[test]
+    fn display_round_trips() {
+        let plan = FaultPlan::parse(
+            "# everything the grammar can express\n\
+             500ms  link-down  node3\n\
+             1s     link-up    node3\n\
+             750ms  link-degraded node2 bandwidth=0.5 loss=0.01\n\
+             2s     switch-down tor0\n\
+             2500ms switch-up   tor0\n\
+             1200ms node-crash  node4 reboot=500ms\n\
+             4s     node-reboot node4\n\
+             100ms  link-down   node5 repeat 200ms x4\n\
+             150ms  link-up     node5 repeat 200ms x4\n\
+             20ms   node-crash  node6 reboot=35ms repeat 240ms x2\n",
+        )
+        .expect("plan parses");
+        let text = plan.to_string();
+        let reparsed = FaultPlan::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical form must reparse: {e}\n{text}"));
+        assert_eq!(reparsed, plan, "round-trip changed the plan:\n{text}");
+        // Canonical output is itself a fixed point.
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn bundled_rolling_crash_plan_parses_and_round_trips() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/rolling_crash.fplan"
+        ))
+        .expect("scenarios/rolling_crash.fplan exists");
+        let plan = FaultPlan::parse(&text).expect("bundled plan parses");
+        assert!(
+            plan.events.iter().any(|e| e.repeat.is_some()),
+            "rolling_crash.fplan should exercise the repeat suffix"
+        );
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
     }
 
     #[test]

@@ -21,11 +21,12 @@ pub mod survey;
 
 pub use cluster::{Cluster, ClusterSpec, FabricKind, RunMode, SimHost, SwitchTemplate};
 pub use diablo_apps::arrival::{ArrivalError, ArrivalProcess, ArrivalSpec, SloStats};
+pub use diablo_apps::control::{ControlConfig, ControlReport};
 pub use experiment::{ExperimentBase, ExperimentError, ExperimentHarness, RunEnvelope, Workload};
 pub use experiments::{
     run_incast, run_memcached, run_partition_aggregate, try_run_incast, try_run_memcached,
     try_run_partition_aggregate, IncastClientKind, IncastConfig, IncastResult, McExperimentConfig,
     McExperimentResult, PaExperimentConfig, PaExperimentResult,
 };
-pub use fault::{FaultEventSpec, FaultKind, FaultPlan, FaultPlanError, FaultTarget};
+pub use fault::{FaultEventSpec, FaultKind, FaultPlan, FaultPlanError, FaultTarget, RepeatSpec};
 pub use observe::DropAccounting;

@@ -1,0 +1,84 @@
+//! Serial-vs-partitioned determinism for control-plane runs.
+//!
+//! The control plane is pure guest traffic — heartbeats, lookups and
+//! placement commands ride the same simulated fabric as the workload —
+//! so a controlled run must produce byte-identical metric scrapes under
+//! the serial executor and any partition count, with and without an
+//! injected crash schedule.
+
+use diablo_core::{
+    run_memcached, run_partition_aggregate, ArrivalSpec, ControlConfig, FaultPlan,
+    McExperimentConfig, PaExperimentConfig, RunMode,
+};
+use diablo_engine::prelude::SimDuration;
+
+/// The bundled rolling-crash wave over the two-rack mini serving tier.
+fn rolling_crash() -> FaultPlan {
+    let text = include_str!("../../../scenarios/rolling_crash.fplan");
+    FaultPlan::parse(text).expect("bundled plan parses")
+}
+
+/// A small controlled memcached run: two racks, one serving replica and
+/// one spare per rack, open-loop clients discovering endpoints through
+/// the registry.
+fn controlled_mc() -> McExperimentConfig {
+    let mut cfg = McExperimentConfig::mini(2, 0);
+    cfg.arrival = Some(ArrivalSpec::poisson(2_000.0, SimDuration::from_millis(40)).unwrap());
+    cfg.slo = Some(SimDuration::from_millis(1));
+    cfg.control = Some(ControlConfig::default());
+    cfg
+}
+
+/// Runs the config serially and at the given partition counts, asserting
+/// every scrape matches the serial one byte for byte.
+fn assert_partition_invariant(mut cfg: McExperimentConfig, partitions: &[usize]) {
+    cfg.mode = RunMode::Serial;
+    let baseline = run_memcached(&cfg).metrics.to_json();
+    for &p in partitions {
+        cfg.mode = RunMode::parallel(p);
+        let scrape = run_memcached(&cfg).metrics.to_json();
+        assert_eq!(baseline, scrape, "metrics diverged between serial and {p}-partition runs");
+    }
+}
+
+#[test]
+fn controlled_memcached_is_partition_invariant() {
+    assert_partition_invariant(controlled_mc(), &[2, 4]);
+}
+
+#[test]
+fn controlled_memcached_under_rolling_crash_is_partition_invariant() {
+    let mut cfg = controlled_mc();
+    cfg.faults = Some(rolling_crash());
+    assert_partition_invariant(cfg, &[2, 4]);
+}
+
+#[test]
+fn controlled_partition_aggregate_is_partition_invariant() {
+    let mut cfg = PaExperimentConfig::new(2, 25);
+    cfg.cross_rack = true;
+    cfg.control = Some(ControlConfig::default());
+    cfg.faults = Some(FaultPlan::parse("5ms node-crash node1 reboot=20ms").unwrap());
+    cfg.mode = RunMode::Serial;
+    let baseline = run_partition_aggregate(&cfg).metrics.to_json();
+    for p in [2, 4] {
+        cfg.mode = RunMode::parallel(p);
+        let scrape = run_partition_aggregate(&cfg).metrics.to_json();
+        assert_eq!(baseline, scrape, "metrics diverged between serial and {p}-partition runs");
+    }
+}
+
+#[test]
+fn control_plane_off_legacy_runs_are_unchanged_by_the_new_fields() {
+    // The control field defaults to None and the legacy spawn path is
+    // untouched: two identical configs must still scrape identically
+    // (guards against accidental coupling of the new wiring into the
+    // uncontrolled path).
+    let mut cfg = McExperimentConfig::mini(2, 0);
+    cfg.arrival = Some(ArrivalSpec::poisson(2_000.0, SimDuration::from_millis(20)).unwrap());
+    cfg.slo = Some(SimDuration::from_millis(1));
+    let a = run_memcached(&cfg).metrics.to_json();
+    let b = run_memcached(&cfg).metrics.to_json();
+    assert_eq!(a, b);
+    assert!(!a.contains("control."), "uncontrolled runs must not emit control metrics");
+}
