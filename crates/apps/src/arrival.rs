@@ -405,6 +405,32 @@ impl SloStats {
     }
 }
 
+use diablo_engine::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for ArrivalKind {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(match self {
+            ArrivalKind::Constant => 0,
+            ArrivalKind::Poisson => 1,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.take_u64()? {
+            0 => Ok(ArrivalKind::Constant),
+            1 => Ok(ArrivalKind::Poisson),
+            tag => Err(SnapError::Tag { what: "ArrivalKind", tag }),
+        }
+    }
+}
+
+diablo_engine::impl_snap_struct!(ArrivalPhase { duration, kind, rate });
+diablo_engine::impl_snap_struct!(ArrivalSpec { phases });
+// The spec rides the snapshot with the generator's position: a restored
+// sweep point cannot re-shape the arrival profile mid-run (the remaining
+// schedule is already committed state, like TCP params on live flows).
+diablo_engine::impl_snap_struct!(ArrivalProcess { spec, rng, phase, cursor, phase_end });
+diablo_engine::impl_snap_struct!(SloStats { target, completed, violations, shed });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -131,6 +131,17 @@ impl FailureStats {
     }
 }
 
+diablo_engine::impl_snap_struct!(FailureStats {
+    failed,
+    retried,
+    reconnects,
+    recovered,
+    gave_up,
+    crash_lost,
+    recovery_time,
+    first_failure_at
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -190,6 +190,14 @@ impl Process for PaLeaf {
         "pa-leaf"
     }
 
+    fn persist(&self) -> Option<&dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
+
+    fn persist_mut(&mut self) -> Option<&mut dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
+
     fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
         v.counter("served", self.served);
     }
@@ -692,6 +700,14 @@ impl Process for PaFrontend {
         "pa-frontend"
     }
 
+    fn persist(&self) -> Option<&dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
+
+    fn persist_mut(&mut self) -> Option<&mut dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
+
     fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
         v.counter("queries_issued", self.issued);
         v.counter("queries_completed", self.completed);
@@ -733,6 +749,117 @@ impl Process for PaFrontend {
         self
     }
 }
+
+// ====================================================================
+// Snapshot layer
+// ====================================================================
+
+use diablo_engine::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for LeafState {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(match self {
+            LeafState::Start => 0,
+            LeafState::Socketed => 1,
+            LeafState::NbSet => 2,
+            LeafState::Bound => 3,
+            LeafState::EpollCreated => 4,
+            LeafState::Registered => 5,
+            LeafState::Wait => 6,
+            LeafState::Drain => 7,
+            LeafState::SendReply => 8,
+            LeafState::AfterReply => 9,
+        });
+    }
+
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match r.take_u64()? {
+            0 => LeafState::Start,
+            1 => LeafState::Socketed,
+            2 => LeafState::NbSet,
+            3 => LeafState::Bound,
+            4 => LeafState::EpollCreated,
+            5 => LeafState::Registered,
+            6 => LeafState::Wait,
+            7 => LeafState::Drain,
+            8 => LeafState::SendReply,
+            9 => LeafState::AfterReply,
+            tag => return Err(SnapError::Tag { what: "pa LeafState", tag }),
+        })
+    }
+}
+
+impl Snap for FeState {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(match self {
+            FeState::Start => 0,
+            FeState::Socketed => 1,
+            FeState::NbSet => 2,
+            FeState::EpollCreated => 3,
+            FeState::Registered => 4,
+            FeState::Think => 5,
+            FeState::Paced => 6,
+            FeState::LookupSent => 7,
+            FeState::Fanout => 8,
+            FeState::Collect => 9,
+            FeState::Drain => 10,
+            FeState::Done => 11,
+        });
+    }
+
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match r.take_u64()? {
+            0 => FeState::Start,
+            1 => FeState::Socketed,
+            2 => FeState::NbSet,
+            3 => FeState::EpollCreated,
+            4 => FeState::Registered,
+            5 => FeState::Think,
+            6 => FeState::Paced,
+            7 => FeState::LookupSent,
+            8 => FeState::Fanout,
+            9 => FeState::Collect,
+            10 => FeState::Drain,
+            11 => FeState::Done,
+            tag => return Err(SnapError::Tag { what: "pa FeState", tag }),
+        })
+    }
+}
+
+// The config (port, service work, jitter bounds) is rebuilt; only the
+// jitter stream and the serving loop's position evolve.
+diablo_engine::impl_persist_fields!(PaLeaf { rng, state, fd, epfd, reply, served });
+
+// `cfg` (leaf pool, deadline, arrival spec) is rebuilt from the scenario;
+// everything the run accumulated — including the arrival process, whose
+// spec rides its own snapshot — is state.
+diablo_engine::impl_persist_fields!(PaFrontend {
+    state,
+    fd,
+    epfd,
+    answered,
+    pending,
+    issued,
+    sent_at,
+    fanout_idx,
+    latency,
+    completed,
+    full_aggregates,
+    deadline_misses,
+    missing_answers,
+    arrivals,
+    next_arrival,
+    offered,
+    slo,
+    live_mask,
+    next_refresh,
+    reported_completed,
+    reported_violations,
+    lookups_sent,
+    endpoint_updates,
+    done,
+    finished_at
+});
 
 #[cfg(test)]
 mod tests {

@@ -6,25 +6,31 @@
 //! $ wsc_sim incast --servers 12 --iterations 10 --client epoll --ghz 2 --10g
 //! $ wsc_sim partition-aggregate --racks 4 --queries 200 --deadline-us 800
 //! $ wsc_sim memcached --parallel 4        # partition-parallel, identical results
+//! $ wsc_sim memcached --checkpoint warm.snap --checkpoint-at 2ms
+//! $ wsc_sim memcached --restore warm.snap # resume bit-identically
+//! $ wsc_sim sweep --spec grid.sweep       # parallel grid, one merged table
 //! ```
 
 use diablo_apps::memcached::McVersion;
-use diablo_bench::{banner, cc, fabric, parallel_mode, write_metrics_artifacts, Args};
+use diablo_bench::{banner, cc, fabric, parallel_mode, results_dir, write_metrics_artifacts, Args};
 use diablo_core::report::percentiles_us;
+use diablo_core::sweep::parse_duration;
 use diablo_core::{
-    run_incast, run_memcached, run_partition_aggregate, ArrivalSpec, ControlConfig, ControlReport,
-    DropAccounting, FabricKind, FaultPlan, IncastClientKind, IncastConfig, McExperimentConfig,
-    PaExperimentConfig, SloStats, SwitchTemplate,
+    try_run_incast_with, try_run_memcached_with, try_run_partition_aggregate_with, warm_incast,
+    warm_memcached, warm_partition_aggregate, ArrivalSpec, CheckpointPolicy, ControlConfig,
+    ControlReport, DropAccounting, ExperimentError, FabricKind, FaultPlan, IncastClientKind,
+    IncastConfig, McExperimentConfig, PaExperimentConfig, SloStats, SweepEngine, SweepError,
+    SweepPoint, SweepRunner, SweepSpec, SwitchTemplate,
 };
-use diablo_engine::prelude::{ExecReport, MetricsRegistry, SimDuration};
+use diablo_engine::prelude::{ExecReport, Histogram, MetricsRegistry, SimDuration, SimTime};
 use diablo_engine::time::Frequency;
 use diablo_stack::process::Proto;
 use diablo_stack::profile::KernelProfile;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wsc_sim <memcached|incast|partition-aggregate> [options]\n\
+        "usage: wsc_sim <memcached|incast|partition-aggregate|sweep> [options]\n\
          \n\
          memcached options:\n\
            --racks N (16)  --spr N (6)  --mc-per-rack N (1)  --requests N (150)\n\
@@ -43,6 +49,19 @@ fn usage() -> ! {
            --query-bytes N (64)  --answer-bytes N (2048)  --cross-rack  --10g\n\
            --parallel N  --seed N\n\
          \n\
+         sweep options:\n\
+           --spec PATH         sweep grid spec: scenario/warm/jobs/set/axis\n\
+                               directives (see DESIGN.md §15); the cartesian\n\
+                               product of the axes fans out over worker\n\
+                               threads, optionally seeded from one shared\n\
+                               warmed checkpoint, into a single merged table\n\
+           --jobs N            worker threads (overrides the spec's jobs)\n\
+           --out PATH          merged results table (default under results/)\n\
+           --progress PATH     resumable progress ledger (default results/;\n\
+                               delete it to re-run from scratch)\n\
+           --warm-checkpoint PATH  shared warm snapshot location (default\n\
+                               results/, keyed by the spec digest)\n\
+         \n\
          fabric (all workloads):\n\
            --topology tree|fat-tree:k=K[,hosts=N]  (tree)\n\
                                fat-tree is a 3-tier folded Clos with K pods\n\
@@ -54,6 +73,15 @@ fn usage() -> ! {
          observability (all workloads):\n\
            --metrics PATH      write the metrics JSON here instead of results/\n\
            --check-invariants  exit 1 if frame conservation does not balance\n\
+         \n\
+         checkpoint/restore (all workloads):\n\
+           --checkpoint PATH   snapshot the full simulation state to PATH\n\
+                               mid-run (requires --checkpoint-at)\n\
+           --checkpoint-at DUR simulated instant to snapshot at, with a\n\
+                               ns/us/ms/s suffix (e.g. 2ms)\n\
+           --restore PATH      seed the run from a snapshot instead of time\n\
+                               zero; the restored run finishes bit-identical\n\
+                               to an uninterrupted one\n\
          \n\
          fault injection (all workloads):\n\
            --fault-plan PATH   scripted fault schedule (link flaps, switch and\n\
@@ -125,9 +153,19 @@ fn fabric_desc(f: &FabricKind) -> String {
     }
 }
 
+/// Short fabric token for namespacing `results/` artifacts
+/// (`memcached_fattree_metrics.json` and friends).
+fn fabric_short(f: &FabricKind) -> &'static str {
+    match f {
+        FabricKind::Tree => "tree",
+        FabricKind::FatTree(_) => "fattree",
+    }
+}
+
 /// Loads and parses `--fault-plan`, exiting non-zero on a missing file or
-/// a malformed schedule.
-fn fault_plan(args: &Args) -> Option<FaultPlan> {
+/// a malformed schedule. `verbose` gates the loader chatter so parallel
+/// sweep workers stay quiet.
+fn fault_plan(args: &Args, verbose: bool) -> Option<FaultPlan> {
     let path = args.get("--fault-plan", String::new());
     if path.is_empty() {
         return None;
@@ -140,13 +178,19 @@ fn fault_plan(args: &Args) -> Option<FaultPlan> {
         eprintln!("error: {path}: {e}");
         std::process::exit(2);
     });
-    println!("fault plan: {} events from {path} (horizon {})", plan.events.len(), plan.horizon());
+    if verbose {
+        println!(
+            "fault plan: {} events from {path} (horizon {})",
+            plan.events.len(),
+            plan.horizon()
+        );
+    }
     Some(plan)
 }
 
 /// Loads and parses `--arrival`, exiting non-zero on a missing file or a
 /// malformed profile.
-fn arrival_spec(args: &Args) -> Option<ArrivalSpec> {
+fn arrival_spec(args: &Args, verbose: bool) -> Option<ArrivalSpec> {
     let path = args.get("--arrival", String::new());
     if path.is_empty() {
         return None;
@@ -159,12 +203,14 @@ fn arrival_spec(args: &Args) -> Option<ArrivalSpec> {
         eprintln!("error: {path}: {e}");
         std::process::exit(2);
     });
-    println!(
-        "arrival profile: {} phases from {path} (horizon {}, ~{:.0} arrivals per client)",
-        spec.phases().len(),
-        spec.horizon(),
-        spec.expected_arrivals()
-    );
+    if verbose {
+        println!(
+            "arrival profile: {} phases from {path} (horizon {}, ~{:.0} arrivals per client)",
+            spec.phases().len(),
+            spec.horizon(),
+            spec.expected_arrivals()
+        );
+    }
     Some(spec)
 }
 
@@ -232,6 +278,138 @@ fn control_config(args: &Args) -> Option<ControlConfig> {
     Some(ctl)
 }
 
+/// Parses the `--checkpoint`/`--checkpoint-at`/`--restore` flag family.
+///
+/// Exits 2 on contradictions: a snapshot path without an instant (or the
+/// reverse), a malformed duration token, a restore file that does not
+/// exist, or a checkpoint that would clobber the snapshot it restores
+/// from.
+fn checkpoint_policy(args: &Args) -> CheckpointPolicy {
+    let save_path = args.get("--checkpoint", String::new());
+    let has_at = args.flag("--checkpoint-at");
+    if save_path.is_empty() && has_at {
+        eprintln!("error: --checkpoint-at requires --checkpoint <path>");
+        std::process::exit(2);
+    }
+    if !save_path.is_empty() && !has_at {
+        eprintln!("error: --checkpoint requires --checkpoint-at <duration>");
+        std::process::exit(2);
+    }
+    let save = (!save_path.is_empty()).then(|| {
+        let tok: String = args.get("--checkpoint-at", String::new());
+        let at = parse_duration(&tok).unwrap_or_else(|e| {
+            eprintln!("error: --checkpoint-at: {e}");
+            std::process::exit(2);
+        });
+        (PathBuf::from(&save_path), SimTime::ZERO + at)
+    });
+    let restore_path = args.get("--restore", String::new());
+    let restore_from = (!restore_path.is_empty()).then(|| {
+        let p = PathBuf::from(&restore_path);
+        if !p.is_file() {
+            eprintln!("error: --restore: cannot read snapshot {restore_path}: no such file");
+            std::process::exit(2);
+        }
+        p
+    });
+    if let (Some((s, _)), Some(r)) = (&save, &restore_from) {
+        if s == r {
+            eprintln!("error: --checkpoint and --restore must not share a path");
+            std::process::exit(2);
+        }
+    }
+    CheckpointPolicy { save, restore_from }
+}
+
+/// Announces what the checkpoint policy will do to this run.
+fn print_checkpoint(ckpt: &CheckpointPolicy) {
+    if let Some(p) = &ckpt.restore_from {
+        println!("restore: seeding simulation state from {}", p.display());
+    }
+    if let Some((p, at)) = &ckpt.save {
+        println!("checkpoint: will snapshot to {} at {at}", p.display());
+    }
+}
+
+/// Unwraps an experiment result, turning structured failures (snapshot
+/// validation, unreachable checkpoint instants) into `exit 1`.
+fn run_or_die<T>(r: Result<T, ExperimentError>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let args = Args::parse();
+    match mode.as_str() {
+        "memcached" => memcached(&args),
+        "incast" => incast(&args),
+        "partition-aggregate" => partition_aggregate(&args),
+        "sweep" => sweep(&args),
+        _ => usage(),
+    }
+}
+
+/// Writes the run's metrics artifacts, prints the conservation audit, and
+/// (under `--check-invariants`) exits non-zero on an unbalanced book.
+///
+/// `tag` is namespaced by subcommand and fabric (e.g.
+/// `memcached_fattree`), so scenario variants never clobber each other's
+/// default artifacts under `results/`.
+fn emit_observability(
+    tag: &str,
+    args: &Args,
+    metrics: &MetricsRegistry,
+    conservation: &DropAccounting,
+    exec: Option<&ExecReport>,
+) {
+    let json_override = {
+        let p = args.get("--metrics", String::new());
+        (!p.is_empty()).then(|| PathBuf::from(p))
+    };
+    // A redirected run keeps every artifact (CSV twin, exec stats) next
+    // to the redirected JSON instead of clobbering the defaults under
+    // results/.
+    let exec_override = json_override.as_ref().map(|p| {
+        let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("metrics");
+        p.with_file_name(format!("{stem}_exec.json"))
+    });
+    match write_metrics_artifacts(tag, metrics, json_override) {
+        Ok(path) => println!("\nmetrics: {} ({} metrics)", path.display(), metrics.len()),
+        Err(e) => eprintln!("warning: failed to write metrics artifacts: {e}"),
+    }
+    if let Some(exec) = exec {
+        // Executor statistics differ between serial and parallel runs by
+        // construction; keep them out of the comparable model scrape.
+        let mut reg = MetricsRegistry::new();
+        reg.record("exec", exec);
+        if let Err(e) = write_metrics_artifacts(&format!("{tag}_exec"), &reg, exec_override) {
+            eprintln!("warning: failed to write executor metrics: {e}");
+        }
+    }
+    if conservation.is_balanced() {
+        println!(
+            "frame conservation: balanced (nodes tx {} + lost {}, switches tx-to-nodes {}, \
+             nic rx {} + ring drops {})",
+            conservation.node_tx_frames,
+            conservation.node_tx_loss,
+            conservation.switch_tx_to_nodes,
+            conservation.node_rx_frames,
+            conservation.node_rx_ring_drops
+        );
+    } else {
+        eprintln!("frame conservation VIOLATED:");
+        for v in &conservation.violations {
+            eprintln!("  {v}");
+        }
+        if args.flag("--check-invariants") {
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Prints the scheduler's counters after a controlled run.
 fn print_control(ctl: Option<&ControlReport>) {
     let Some(ctl) = ctl else { return };
@@ -286,73 +464,10 @@ fn print_slo(offered: u64, slo: &SloStats) {
     );
 }
 
-fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_default();
-    let args = Args::parse();
-    match mode.as_str() {
-        "memcached" => memcached(&args),
-        "incast" => incast(&args),
-        "partition-aggregate" => partition_aggregate(&args),
-        _ => usage(),
-    }
-}
-
-/// Writes the run's metrics artifacts, prints the conservation audit, and
-/// (under `--check-invariants`) exits non-zero on an unbalanced book.
-fn emit_observability(
-    tag: &str,
-    args: &Args,
-    metrics: &MetricsRegistry,
-    conservation: &DropAccounting,
-    exec: Option<&ExecReport>,
-) {
-    let json_override = {
-        let p = args.get("--metrics", String::new());
-        (!p.is_empty()).then(|| PathBuf::from(p))
-    };
-    // A redirected run keeps every artifact (CSV twin, exec stats) next
-    // to the redirected JSON instead of clobbering the defaults under
-    // results/.
-    let exec_override = json_override.as_ref().map(|p| {
-        let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("metrics");
-        p.with_file_name(format!("{stem}_exec.json"))
-    });
-    match write_metrics_artifacts(tag, metrics, json_override) {
-        Ok(path) => println!("\nmetrics: {} ({} metrics)", path.display(), metrics.len()),
-        Err(e) => eprintln!("warning: failed to write metrics artifacts: {e}"),
-    }
-    if let Some(exec) = exec {
-        // Executor statistics differ between serial and parallel runs by
-        // construction; keep them out of the comparable model scrape.
-        let mut reg = MetricsRegistry::new();
-        reg.record("exec", exec);
-        if let Err(e) = write_metrics_artifacts(&format!("{tag}_exec"), &reg, exec_override) {
-            eprintln!("warning: failed to write executor metrics: {e}");
-        }
-    }
-    if conservation.is_balanced() {
-        println!(
-            "frame conservation: balanced (nodes tx {} + lost {}, switches tx-to-nodes {}, \
-             nic rx {} + ring drops {})",
-            conservation.node_tx_frames,
-            conservation.node_tx_loss,
-            conservation.switch_tx_to_nodes,
-            conservation.node_rx_frames,
-            conservation.node_rx_ring_drops
-        );
-    } else {
-        eprintln!("frame conservation VIOLATED:");
-        for v in &conservation.violations {
-            eprintln!("  {v}");
-        }
-        if args.flag("--check-invariants") {
-            std::process::exit(1);
-        }
-    }
-}
-
-fn memcached(args: &Args) {
-    banner("wsc_sim", "memcached at scale");
+/// Builds the memcached configuration from CLI flags. Shared between the
+/// `memcached` subcommand and sweep warm/point runs (which pass
+/// `verbose: false` to keep parallel workers quiet).
+fn memcached_cfg(args: &Args, verbose: bool) -> McExperimentConfig {
     let mut cfg = McExperimentConfig::mini(
         positive("--racks", args.get("--racks", 16)),
         positive("--requests", args.get("--requests", 150)),
@@ -366,7 +481,7 @@ fn memcached(args: &Args) {
         cfg = cfg.on_fat_tree(ft);
     }
     cfg.cc = cc(args);
-    cfg.faults = fault_plan(args);
+    cfg.faults = fault_plan(args, verbose);
     let deadline_ms: u64 = args.get("--deadline", 0);
     if deadline_ms > 0 {
         cfg.request_deadline = Some(diablo_engine::time::SimDuration::from_millis(deadline_ms));
@@ -386,7 +501,7 @@ fn memcached(args: &Args) {
         "1.4.17" => McVersion::V1_4_17,
         _ => usage(),
     };
-    cfg.arrival = arrival_spec(args);
+    cfg.arrival = arrival_spec(args, verbose);
     cfg.slo = slo_target(args);
     cfg.window = positive("--window", args.get("--window", cfg.window));
     if cfg.arrival.is_some() && cfg.proto != Proto::Udp {
@@ -412,6 +527,13 @@ fn memcached(args: &Args) {
     }
     // Quantum derived from the rack-cut partition plan.
     cfg.mode = parallel_mode(args);
+    cfg
+}
+
+fn memcached(args: &Args) {
+    banner("wsc_sim", "memcached at scale");
+    let cfg = memcached_cfg(args, true);
+    let ckpt = checkpoint_policy(args);
     println!(
         "{} nodes ({} racks x {}), {} memcached servers, {:?}, kernel {}, memcached {}, {}",
         cfg.nodes(),
@@ -424,7 +546,8 @@ fn memcached(args: &Args) {
         if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
     );
     println!("fabric: {}, congestion control: {}", fabric_desc(&cfg.fabric), cfg.cc.name());
-    let r = run_memcached(&cfg);
+    print_checkpoint(&ckpt);
+    let r = run_or_die(try_run_memcached_with(&cfg, &ckpt));
     println!(
         "\n{} requests in {} simulated ({} events, {:.2}s wall)",
         r.latency.count(),
@@ -465,11 +588,13 @@ fn memcached(args: &Args) {
             );
         }
     }
-    emit_observability("wsc_sim_memcached", args, &r.metrics, &r.conservation, r.exec.as_ref());
+    let tag = format!("memcached_{}", fabric_short(&cfg.fabric));
+    emit_observability(&tag, args, &r.metrics, &r.conservation, r.exec.as_ref());
 }
 
-fn incast(args: &Args) {
-    banner("wsc_sim", "TCP incast");
+/// Builds the incast configuration from CLI flags. Shared between the
+/// `incast` subcommand and sweep warm/point runs.
+fn incast_cfg(args: &Args, verbose: bool) -> IncastConfig {
     let client = match args.get("--client", "pthread".to_string()).as_str() {
         "pthread" => IncastClientKind::Pthread,
         "epoll" => IncastClientKind::Epoll,
@@ -482,12 +607,12 @@ fn incast(args: &Args) {
     cfg.cpu = Frequency::ghz(positive("--ghz", args.get("--ghz", 4)));
     cfg.ten_gig = args.flag("--10g");
     cfg.seed = args.get("--seed", cfg.seed);
-    cfg.faults = fault_plan(args);
+    cfg.faults = fault_plan(args, verbose);
     let deadline_ms: u64 = args.get("--deadline", 0);
     if deadline_ms > 0 {
         cfg.request_deadline = Some(diablo_engine::time::SimDuration::from_millis(deadline_ms));
     }
-    cfg.arrival = arrival_spec(args);
+    cfg.arrival = arrival_spec(args, verbose);
     cfg.slo = slo_target(args);
     cfg.control = control_config(args);
     if cfg.arrival.is_some() && cfg.client != IncastClientKind::Epoll {
@@ -511,6 +636,13 @@ fn incast(args: &Args) {
         });
     }
     cfg.mode = parallel_mode(args);
+    cfg
+}
+
+fn incast(args: &Args) {
+    banner("wsc_sim", "TCP incast");
+    let cfg = incast_cfg(args, true);
+    let ckpt = checkpoint_policy(args);
     println!(
         "{} servers, {} iterations, {} B blocks, {:?} client, {} CPU, {}",
         cfg.servers,
@@ -521,7 +653,8 @@ fn incast(args: &Args) {
         if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
     );
     println!("fabric: {}, congestion control: {}", fabric_desc(&cfg.fabric), cfg.cc.name());
-    let r = run_incast(&cfg);
+    print_checkpoint(&ckpt);
+    let r = run_or_die(try_run_incast_with(&cfg, &ckpt));
     println!(
         "\ngoodput {:.1} Mbps over {} iterations ({} switch drops, {} events)",
         r.goodput_mbps,
@@ -547,11 +680,14 @@ fn incast(args: &Args) {
             r.failure.recovery_time.as_nanos()
         );
     }
-    emit_observability("wsc_sim_incast", args, &r.metrics, &r.conservation, r.exec.as_ref());
+    let tag = format!("incast_{}", fabric_short(&cfg.fabric));
+    emit_observability(&tag, args, &r.metrics, &r.conservation, r.exec.as_ref());
 }
 
-fn partition_aggregate(args: &Args) {
-    banner("wsc_sim", "partition-aggregate search tier");
+/// Builds the partition-aggregate configuration from CLI flags. Shared
+/// between the `partition-aggregate` subcommand and sweep warm/point
+/// runs.
+fn pa_cfg(args: &Args, verbose: bool) -> PaExperimentConfig {
     let mut cfg = PaExperimentConfig::new(
         positive("--racks", args.get("--racks", 4)),
         positive("--queries", args.get("--queries", 100)),
@@ -570,8 +706,8 @@ fn partition_aggregate(args: &Args) {
         cfg = cfg.on_fat_tree(ft);
     }
     cfg.cc = cc(args);
-    cfg.faults = fault_plan(args);
-    cfg.arrival = arrival_spec(args);
+    cfg.faults = fault_plan(args, verbose);
+    cfg.arrival = arrival_spec(args, verbose);
     cfg.slo = slo_target(args);
     cfg.control = control_config(args);
     if cfg.control.is_some() && !cfg.cross_rack {
@@ -582,6 +718,13 @@ fn partition_aggregate(args: &Args) {
         std::process::exit(2);
     }
     cfg.mode = parallel_mode(args);
+    cfg
+}
+
+fn partition_aggregate(args: &Args) {
+    banner("wsc_sim", "partition-aggregate search tier");
+    let cfg = pa_cfg(args, true);
+    let ckpt = checkpoint_policy(args);
     println!(
         "{} racks x {} servers: {} front-ends fanning {} over {} leaves each, \
          {} queries under a {} deadline, {}",
@@ -595,7 +738,8 @@ fn partition_aggregate(args: &Args) {
         if cfg.ten_gig { "10 Gbps" } else { "1 Gbps" },
     );
     println!("fabric: {}, congestion control: {}", fabric_desc(&cfg.fabric), cfg.cc.name());
-    let r = run_partition_aggregate(&cfg);
+    print_checkpoint(&ckpt);
+    let r = run_or_die(try_run_partition_aggregate_with(&cfg, &ckpt));
     println!(
         "\n{} queries in {} simulated ({} events, {:.2}s wall)",
         r.queries,
@@ -615,11 +759,173 @@ fn partition_aggregate(args: &Args) {
             println!("  {name:>6}: {v:>12.1} us");
         }
     }
-    emit_observability(
-        "wsc_sim_partition_aggregate",
-        args,
-        &r.metrics,
-        &r.conservation,
-        r.exec.as_ref(),
+    let tag = format!("partition_aggregate_{}", fabric_short(&cfg.fabric));
+    emit_observability(&tag, args, &r.metrics, &r.conservation, r.exec.as_ref());
+}
+
+// ====================================================================
+// The sweep subcommand
+// ====================================================================
+
+/// Formats a latency quantile in microseconds for a sweep cell (`-` when
+/// the histogram is empty).
+fn q_us(h: &Histogram, q: f64) -> String {
+    if h.is_empty() {
+        "-".to_string()
+    } else {
+        format!("{:.1}", h.quantile(q) as f64 / 1e3)
+    }
+}
+
+/// The sweep engine's bridge into the three scenario runners: the warm
+/// prefix runs with the spec's fixed flags only, and each point adds its
+/// axis cells and restores the shared checkpoint.
+struct WscRunner<'a> {
+    spec: &'a SweepSpec,
+}
+
+impl SweepRunner for WscRunner<'_> {
+    fn warm(&self, at: SimDuration, path: &Path) -> Result<(), String> {
+        let args = Args::from_vec(self.spec.warm_args());
+        let at = SimTime::ZERO + at;
+        match self.spec.scenario.as_str() {
+            "memcached" => warm_memcached(&memcached_cfg(&args, false), path, at),
+            "incast" => warm_incast(&incast_cfg(&args, false), path, at),
+            "partition-aggregate" => warm_partition_aggregate(&pa_cfg(&args, false), path, at),
+            other => unreachable!("scenario `{other}` is validated before the sweep starts"),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn run_point(
+        &self,
+        point: &SweepPoint,
+        warm: Option<&Path>,
+    ) -> Result<Vec<(String, String)>, String> {
+        let args = Args::from_vec(self.spec.point_args(point));
+        let ckpt = CheckpointPolicy { save: None, restore_from: warm.map(Path::to_path_buf) };
+        match self.spec.scenario.as_str() {
+            "memcached" => {
+                let r = try_run_memcached_with(&memcached_cfg(&args, false), &ckpt)
+                    .map_err(|e| e.to_string())?;
+                Ok(vec![
+                    ("served".into(), r.served.to_string()),
+                    ("p50_us".into(), q_us(&r.latency, 0.5)),
+                    ("p99_us".into(), q_us(&r.latency, 0.99)),
+                    ("sim_time".into(), r.completed_at.to_string()),
+                    ("events".into(), r.events.to_string()),
+                ])
+            }
+            "incast" => {
+                let r = try_run_incast_with(&incast_cfg(&args, false), &ckpt)
+                    .map_err(|e| e.to_string())?;
+                Ok(vec![
+                    ("goodput_mbps".into(), format!("{:.1}", r.goodput_mbps)),
+                    ("switch_drops".into(), r.switch_drops.to_string()),
+                    ("events".into(), r.events.to_string()),
+                ])
+            }
+            "partition-aggregate" => {
+                let r = try_run_partition_aggregate_with(&pa_cfg(&args, false), &ckpt)
+                    .map_err(|e| e.to_string())?;
+                Ok(vec![
+                    ("full_aggregates".into(), r.full_aggregates.to_string()),
+                    ("deadline_misses".into(), r.deadline_misses.to_string()),
+                    ("p99_us".into(), q_us(&r.latency, 0.99)),
+                    ("events".into(), r.events.to_string()),
+                ])
+            }
+            other => unreachable!("scenario `{other}` is validated before the sweep starts"),
+        }
+    }
+}
+
+fn sweep(args: &Args) {
+    banner("wsc_sim", "parameter sweep");
+    let spec_path = args.get("--spec", String::new());
+    if spec_path.is_empty() {
+        eprintln!("error: sweep requires --spec <file>");
+        std::process::exit(2);
+    }
+    let text = std::fs::read_to_string(&spec_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read sweep spec {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    let spec = SweepSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {spec_path}: {e}");
+        std::process::exit(2);
+    });
+    if !matches!(spec.scenario.as_str(), "memcached" | "incast" | "partition-aggregate") {
+        eprintln!(
+            "error: {spec_path}: unknown sweep scenario `{}` \
+             (expected memcached|incast|partition-aggregate)",
+            spec.scenario
+        );
+        std::process::exit(2);
+    }
+    let points = spec.points();
+    println!(
+        "{} scenario, {} axes, {} points{}",
+        spec.scenario,
+        spec.axes.len(),
+        points.len(),
+        spec.warm.map_or(String::new(), |w| format!(", shared warm checkpoint at {w}"))
     );
+
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let scenario_file = spec.scenario.replace('-', "_");
+    // The warm snapshot default is keyed by the spec digest: editing the
+    // spec (different fixed flags, different warm instant) must re-warm,
+    // not silently reuse a checkpoint of a different prefix.
+    let warm_default = dir.join(format!("sweep_{scenario_file}_{:016x}_warm.snap", spec.digest()));
+    let pick = |flag: &str, default: PathBuf| -> PathBuf {
+        let p = args.get(flag, String::new());
+        if p.is_empty() {
+            default
+        } else {
+            PathBuf::from(p)
+        }
+    };
+    let progress = pick("--progress", dir.join(format!("sweep_{scenario_file}.progress")));
+    let warm_path = pick("--warm-checkpoint", warm_default);
+    let out_path = pick("--out", dir.join(format!("sweep_{scenario_file}.tsv")));
+
+    let runner = WscRunner { spec: &spec };
+    let mut engine =
+        SweepEngine::new(&spec, &runner).progress_file(progress.clone()).warm_checkpoint(warm_path);
+    if args.flag("--jobs") {
+        engine = engine.jobs(positive("--jobs", args.get("--jobs", 0)));
+    }
+    let started = std::time::Instant::now();
+    let outcome = engine.run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        let code = match e {
+            SweepError::Parse { .. } | SweepError::Invalid(_) => 2,
+            _ => 1,
+        };
+        std::process::exit(code);
+    });
+
+    println!();
+    print!("{}", outcome.table.render());
+    if let Err(e) = std::fs::write(&out_path, outcome.table.to_tsv()) {
+        eprintln!("warning: failed to write sweep table {}: {e}", out_path.display());
+    }
+    println!(
+        "\nsweep table: {} ({} points: {} ran, {} resumed, {} failed; {:.2}s wall)",
+        out_path.display(),
+        points.len(),
+        outcome.ran,
+        outcome.resumed,
+        outcome.failed,
+        started.elapsed().as_secs_f64()
+    );
+    println!("progress: {} (delete to re-run from scratch)", progress.display());
+    if outcome.failed > 0 {
+        std::process::exit(1);
+    }
 }

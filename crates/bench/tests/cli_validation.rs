@@ -475,3 +475,129 @@ fn bundled_rolling_crash_with_control_plane_runs_identically_serial_and_parallel
     let b = std::fs::read(parallel).expect("parallel metrics");
     assert_eq!(a, b, "controlled churn scrapes must be byte-identical serial vs parallel");
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore flags: --checkpoint / --checkpoint-at / --restore
+// ---------------------------------------------------------------------------
+
+#[test]
+fn checkpoint_requires_both_path_and_instant() {
+    expect_reject(&["memcached", "--checkpoint", "/tmp/x.snap"], "--checkpoint-at");
+    expect_reject(&["memcached", "--checkpoint-at", "1ms"], "--checkpoint <path>");
+    expect_reject(&["incast", "--checkpoint", "/tmp/x.snap"], "--checkpoint-at");
+    expect_reject(&["partition-aggregate", "--checkpoint-at", "1ms"], "--checkpoint <path>");
+}
+
+#[test]
+fn checkpoint_instant_requires_a_unit_suffix() {
+    // A bare number is ambiguous (ns? ms?) — the duration grammar
+    // demands a suffix.
+    expect_reject(&["memcached", "--checkpoint", "/tmp/x.snap", "--checkpoint-at", "5"], "suffix");
+    expect_reject(
+        &["memcached", "--checkpoint", "/tmp/x.snap", "--checkpoint-at", "fast"],
+        "--checkpoint-at",
+    );
+}
+
+#[test]
+fn missing_restore_snapshot_is_rejected() {
+    expect_reject(&["memcached", "--restore", "/nonexistent/warm.snap"], "cannot read snapshot");
+}
+
+#[test]
+fn checkpoint_and_restore_must_not_share_a_path() {
+    let dir = std::env::temp_dir().join("wsc_sim_cli_ckpt");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let p = dir.join("shared.snap");
+    std::fs::write(&p, b"placeholder").expect("write placeholder");
+    let p = p.to_str().expect("utf-8");
+    expect_reject(
+        &["memcached", "--checkpoint", p, "--checkpoint-at", "1ms", "--restore", p],
+        "share a path",
+    );
+}
+
+#[test]
+fn restoring_a_corrupt_snapshot_fails_loudly() {
+    let dir = std::env::temp_dir().join("wsc_sim_cli_ckpt_corrupt");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let p = dir.join("garbage.snap");
+    std::fs::write(&p, b"this is not a snapshot").expect("write garbage");
+    let out = wsc_sim()
+        .args(["memcached", "--racks", "1", "--restore", p.to_str().expect("utf-8")])
+        .output()
+        .expect("spawn wsc_sim");
+    assert!(!out.status.success(), "a corrupt snapshot must exit non-zero");
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("snapshot"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn restoring_into_a_different_shape_is_rejected() {
+    // Warm a 1-rack memcached run, then try to restore it into a 2-rack
+    // cluster: the structural fingerprint must refuse.
+    let dir = std::env::temp_dir().join("wsc_sim_cli_ckpt_shape");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let snap = dir.join("one_rack.snap");
+    let out = wsc_sim()
+        .args([
+            "memcached",
+            "--racks",
+            "1",
+            "--requests",
+            "20",
+            "--checkpoint",
+            snap.to_str().expect("utf-8"),
+            "--checkpoint-at",
+            "200us",
+            "--metrics",
+            dir.join("warm.json").to_str().expect("utf-8"),
+        ])
+        .output()
+        .expect("spawn wsc_sim");
+    assert!(out.status.success(), "warm run failed: {}", stderr(&out));
+    let out = wsc_sim()
+        .args([
+            "memcached",
+            "--racks",
+            "2",
+            "--requests",
+            "20",
+            "--restore",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn wsc_sim");
+    assert!(!out.status.success(), "a shape-mismatched restore must exit non-zero");
+    assert!(stderr(&out).contains("fingerprint"), "stderr: {}", stderr(&out));
+}
+
+// ---------------------------------------------------------------------------
+// Sweep flags: --spec and the grid grammar
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sweep_requires_a_spec() {
+    expect_reject(&["sweep"], "--spec");
+    expect_reject(&["sweep", "--spec", "/nonexistent/grid.sweep"], "cannot read sweep spec");
+}
+
+fn write_sweep(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("wsc_sim_cli_sweep");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, body).expect("write sweep spec");
+    path
+}
+
+#[test]
+fn malformed_sweep_specs_are_rejected() {
+    let p = write_sweep("bad_directive.sweep", "scenario memcached\nfrobnicate 3\n");
+    expect_reject(&["sweep", "--spec", p.to_str().expect("utf-8")], "frobnicate");
+
+    let p = write_sweep("no_scenario.sweep", "axis --requests = 10, 20\n");
+    expect_reject(&["sweep", "--spec", p.to_str().expect("utf-8")], "scenario");
+
+    let p = write_sweep("bogus_scenario.sweep", "scenario tensorflow\naxis --requests = 10\n");
+    expect_reject(&["sweep", "--spec", p.to_str().expect("utf-8")], "unknown sweep scenario");
+}

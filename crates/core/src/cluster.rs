@@ -162,6 +162,34 @@ impl SimHost {
         }
     }
 
+    /// Serializes the full deterministic simulation state — clock,
+    /// per-component blobs, the pending event queue — in the executors'
+    /// common snapshot format, so a snapshot taken under either executor
+    /// restores under either.
+    pub fn save_state(&mut self, w: &mut diablo_engine::snap::SnapWriter) {
+        match self {
+            SimHost::Serial(s) => s.save_state(w),
+            SimHost::Parallel(p) => p.save_state(w),
+        }
+    }
+
+    /// Restores state saved by [`SimHost::save_state`] into a freshly
+    /// built (and software-loaded) host of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`](diablo_engine::snap::SnapError) from a
+    /// truncated, corrupt, or shape-mismatched stream.
+    pub fn load_state(
+        &mut self,
+        r: &mut diablo_engine::snap::SnapReader<'_>,
+    ) -> Result<(), diablo_engine::snap::SnapError> {
+        match self {
+            SimHost::Serial(s) => s.load_state(r),
+            SimHost::Parallel(p) => p.load_state(r),
+        }
+    }
+
     /// Visits every component that exposes metrics (see
     /// [`Instrumented`](diablo_engine::metrics::Instrumented)), in
     /// component-id order under either executor.

@@ -29,6 +29,7 @@
 use crate::cluster::{Cluster, ClusterSpec, FabricKind, RunMode, SimHost, SwitchTemplate};
 use crate::fault::{FaultPlan, FaultPlanError};
 use crate::observe::DropAccounting;
+use crate::snapshot::{self, DriveState, SnapshotError};
 use diablo_apps::arrival::SloStats;
 use diablo_apps::failure::FailureStats;
 use diablo_engine::prelude::{
@@ -234,6 +235,18 @@ pub enum ExperimentError {
     Engine(EngineError),
     /// The fault plan references targets outside the cluster.
     FaultPlan(FaultPlanError),
+    /// A checkpoint file could not be written/read or failed validation
+    /// (bad magic, version skew, structural-fingerprint mismatch).
+    Snapshot(SnapshotError),
+    /// The run finished before the requested checkpoint instant, so no
+    /// snapshot was written — surfaced loudly instead of leaving a
+    /// stale or missing file for the next stage to trip over.
+    CheckpointUnreached {
+        /// The requested snapshot instant.
+        at: SimTime,
+        /// When the workload actually completed.
+        finished_at: SimTime,
+    },
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -246,11 +259,23 @@ impl std::fmt::Display for ExperimentError {
             ),
             ExperimentError::Engine(e) => write!(f, "engine error: {e}"),
             ExperimentError::FaultPlan(e) => write!(f, "fault plan error: {e}"),
+            ExperimentError::Snapshot(e) => write!(f, "{e}"),
+            ExperimentError::CheckpointUnreached { at, finished_at } => write!(
+                f,
+                "checkpoint requested at {at} but the workload completed at {finished_at}; \
+                 no snapshot was written"
+            ),
         }
     }
 }
 
 impl std::error::Error for ExperimentError {}
+
+impl From<SnapshotError> for ExperimentError {
+    fn from(e: SnapshotError) -> Self {
+        ExperimentError::Snapshot(e)
+    }
+}
 
 impl From<EngineError> for ExperimentError {
     fn from(e: EngineError) -> Self {
@@ -348,6 +373,25 @@ fn settle(host: &mut SimHost, cluster: &Cluster) -> Result<DropAccounting, Engin
     Ok(cluster.drop_accounting(host))
 }
 
+/// Where a run checkpoints itself and/or restores from: the harness's
+/// side of the `--checkpoint`/`--checkpoint-at`/`--restore` CLI flags.
+/// The default policy does neither.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPolicy {
+    /// Write a snapshot of the full simulation state to this path when
+    /// simulated time reaches this instant, then keep running. The run
+    /// fails with [`ExperimentError::CheckpointUnreached`] if it
+    /// completes first — a silent missing snapshot would poison the
+    /// stage that expects to restore it.
+    pub save: Option<(std::path::PathBuf, SimTime)>,
+    /// Seed the run from this snapshot instead of starting at time
+    /// zero. The cluster and guest software are rebuilt from the
+    /// scenario config first; the snapshot then overwrites every piece
+    /// of evolving state (including fault timers still in the event
+    /// queue — the fault plan is *not* re-applied).
+    pub restore_from: Option<std::path::PathBuf>,
+}
+
 /// The generic experiment runner: owns the lifecycle every workload
 /// shares. See the module docs for the phase-by-phase description.
 #[derive(Debug, Clone)]
@@ -360,6 +404,22 @@ impl ExperimentHarness {
     /// Creates a harness over the shared configuration.
     pub fn new(base: ExperimentBase) -> Self {
         ExperimentHarness { base }
+    }
+
+    /// The structural fingerprint stamped into (and demanded of) this
+    /// harness's snapshots: topology shape, fabric kind, and workload
+    /// name — never sweepable knobs, so one warmed checkpoint can seed
+    /// many differently-tuned sweep points, but never a cluster of a
+    /// different shape.
+    pub fn fingerprint(&self, workload_name: &str) -> u64 {
+        let t = &self.base.topology;
+        snapshot::fingerprint([
+            format!("racks={}", t.racks),
+            format!("servers_per_rack={}", t.servers_per_rack),
+            format!("racks_per_array={}", t.racks_per_array),
+            format!("fabric={}", self.base.fabric.name()),
+            format!("workload={workload_name}"),
+        ])
     }
 
     /// Runs `workload` through the full lifecycle.
@@ -375,46 +435,148 @@ impl ExperimentHarness {
         &self,
         workload: &mut W,
     ) -> Result<(W::Summary, RunEnvelope), ExperimentError> {
+        self.run_with(workload, &CheckpointPolicy::default())
+    }
+
+    /// Runs only the warm-up prefix of `workload` — build the cluster,
+    /// apply the fault schedule, drive to `at` — and snapshots there
+    /// without running to completion. The shared first leg of a
+    /// checkpoint-seeded sweep: warm once, restore many.
+    ///
+    /// The snapshotted drive horizon is exactly the one the doubling
+    /// loop of [`run_with`](ExperimentHarness::run_with) would carry at
+    /// that instant, so a run restored from a warm checkpoint is
+    /// indistinguishable from one that checkpointed mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::CheckpointUnreached`] when `at` lies beyond
+    /// the workload's budget, plus the fault-plan/engine/snapshot
+    /// failures of a normal run.
+    pub fn warm<W: Workload>(
+        &self,
+        workload: &mut W,
+        path: &std::path::Path,
+        at: SimTime,
+    ) -> Result<(), ExperimentError> {
+        let spec = self.base.spec();
+        let (mut host, cluster) = Cluster::instantiate(&spec, self.base.mode);
+        let fingerprint = self.fingerprint(workload.name());
+        let budget = workload.budget();
+        if at > budget {
+            return Err(ExperimentError::CheckpointUnreached { at, finished_at: budget });
+        }
+        if let Some(plan) = &self.base.faults {
+            plan.apply(&mut host, &cluster)?;
+        }
+        workload.build(&mut host, &cluster);
+        // Replay the doubling schedule up to the first horizon covering
+        // `at` — the horizon run_with would hold when it snapshots.
+        let mut horizon = workload.initial_horizon().min(budget);
+        while horizon < at {
+            horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
+        }
+        let mut drive = DriveState {
+            horizon,
+            next_sample: self.base.sample_every.map_or(SimTime::ZERO, |d| SimTime::ZERO + d),
+            series: self.base.sample_every.map(|_| SeriesRecorder::new()),
+        };
+        advance(
+            &mut host,
+            &cluster,
+            at,
+            self.base.sample_every,
+            &mut drive.next_sample,
+            drive.series.as_mut(),
+        )?;
+        snapshot::write_snapshot_file(path, &mut host, fingerprint, &drive)?;
+        Ok(())
+    }
+
+    /// Runs `workload` through the full lifecycle, optionally writing a
+    /// mid-run checkpoint and/or seeding from a restored one.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ExperimentHarness::run`] can return, plus
+    /// [`ExperimentError::Snapshot`] on checkpoint I/O or validation
+    /// failures and [`ExperimentError::CheckpointUnreached`] when the
+    /// run completes before the requested snapshot instant.
+    pub fn run_with<W: Workload>(
+        &self,
+        workload: &mut W,
+        ckpt: &CheckpointPolicy,
+    ) -> Result<(W::Summary, RunEnvelope), ExperimentError> {
         let wall_start = std::time::Instant::now();
 
         // 1. Assemble the cluster.
         let spec = self.base.spec();
         let (mut host, cluster) = Cluster::instantiate(&spec, self.base.mode);
-
-        // 2. Apply the scripted fault schedule.
-        if let Some(plan) = &self.base.faults {
-            plan.apply(&mut host, &cluster)?;
-        }
-
-        // 3. Load the software.
-        workload.build(&mut host, &cluster);
-
-        // 4. Drive with a doubling horizon until the workload completes.
+        let fingerprint = self.fingerprint(workload.name());
         let budget = workload.budget();
-        let mut horizon = workload.initial_horizon().min(budget);
-        let mut series = self.base.sample_every.map(|_| SeriesRecorder::new());
-        let mut next_sample = self.base.sample_every.map_or(SimTime::ZERO, |d| SimTime::ZERO + d);
+
+        // 2-3. Fault schedule and software — or a restored snapshot.
+        let mut drive = if let Some(path) = &ckpt.restore_from {
+            // Restore: rebuild structure and guest software from the
+            // scenario config, then overwrite all evolving state. Fault
+            // timers ride the snapshot's event queue, so the plan is
+            // not re-applied (doing so would double-fire every fault).
+            workload.build(&mut host, &cluster);
+            snapshot::read_snapshot_file(path, &mut host, fingerprint)?
+        } else {
+            if let Some(plan) = &self.base.faults {
+                plan.apply(&mut host, &cluster)?;
+            }
+            workload.build(&mut host, &cluster);
+            DriveState {
+                horizon: workload.initial_horizon().min(budget),
+                next_sample: self.base.sample_every.map_or(SimTime::ZERO, |d| SimTime::ZERO + d),
+                series: self.base.sample_every.map(|_| SeriesRecorder::new()),
+            }
+        };
+
+        // 4. Drive with a doubling horizon until the workload completes,
+        // snapshotting exactly at the requested instant along the way.
+        let mut pending_save = ckpt.save.clone();
         loop {
+            if let Some((path, at)) = &pending_save {
+                if *at <= drive.horizon && *at >= host.now() {
+                    advance(
+                        &mut host,
+                        &cluster,
+                        *at,
+                        self.base.sample_every,
+                        &mut drive.next_sample,
+                        drive.series.as_mut(),
+                    )?;
+                    snapshot::write_snapshot_file(path, &mut host, fingerprint, &drive)?;
+                    pending_save = None;
+                }
+            }
             advance(
                 &mut host,
                 &cluster,
-                horizon,
+                drive.horizon,
                 self.base.sample_every,
-                &mut next_sample,
-                series.as_mut(),
+                &mut drive.next_sample,
+                drive.series.as_mut(),
             )?;
             if workload.is_done(&host, &cluster) {
                 break;
             }
-            if horizon >= budget {
+            if drive.horizon >= budget {
                 return Err(ExperimentError::BudgetExhausted {
                     workload: workload.name().to_string(),
                     budget,
                     at: host.now(),
                 });
             }
-            horizon = SimTime::from_picos(horizon.as_picos() * 2).min(budget);
+            drive.horizon = SimTime::from_picos(drive.horizon.as_picos() * 2).min(budget);
         }
+        if let Some((_, at)) = pending_save {
+            return Err(ExperimentError::CheckpointUnreached { at, finished_at: host.now() });
+        }
+        let series = drive.series;
 
         // 5. Extract results, then settle trailing traffic and audit.
         let failure = workload.failure_stats(&host, &cluster);

@@ -8,7 +8,9 @@
 //! *what* runs (which guest processes, where) and *what to measure*.
 
 use crate::cluster::{Cluster, FabricKind, RunMode, SimHost, SwitchTemplate};
-use crate::experiment::{ExperimentBase, ExperimentError, ExperimentHarness, Workload};
+use crate::experiment::{
+    CheckpointPolicy, ExperimentBase, ExperimentError, ExperimentHarness, Workload,
+};
 use crate::fault::FaultPlan;
 use crate::observe::DropAccounting;
 use diablo_apps::arrival::{ArrivalSpec, SloStats};
@@ -441,7 +443,21 @@ impl Workload for IncastWorkload<'_> {
 ///
 /// See [`ExperimentHarness::run`].
 pub fn try_run_incast(cfg: &IncastConfig) -> Result<IncastResult, ExperimentError> {
-    let (summary, env) = ExperimentHarness::new(cfg.base()).run(&mut IncastWorkload { cfg })?;
+    try_run_incast_with(cfg, &CheckpointPolicy::default())
+}
+
+/// Runs one incast configuration to completion under a checkpoint
+/// policy (mid-run snapshot and/or restore-from-snapshot).
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::run_with`].
+pub fn try_run_incast_with(
+    cfg: &IncastConfig,
+    ckpt: &CheckpointPolicy,
+) -> Result<IncastResult, ExperimentError> {
+    let (summary, env) =
+        ExperimentHarness::new(cfg.base()).run_with(&mut IncastWorkload { cfg }, ckpt)?;
     Ok(IncastResult {
         goodput_mbps: summary.goodput_bps / 1e6,
         iteration_times: summary.iteration_times,
@@ -470,6 +486,20 @@ pub fn run_incast(cfg: &IncastConfig) -> IncastResult {
         Ok(r) => r,
         Err(e) => panic!("incast experiment failed ({} servers): {e}", cfg.servers),
     }
+}
+
+/// Runs only the incast warm-up prefix — build, drive to `at` — and
+/// writes a restorable checkpoint there.
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::warm`].
+pub fn warm_incast(
+    cfg: &IncastConfig,
+    path: &std::path::Path,
+    at: SimTime,
+) -> Result<(), ExperimentError> {
+    ExperimentHarness::new(cfg.base()).warm(&mut IncastWorkload { cfg }, path, at)
 }
 
 // ====================================================================
@@ -1022,8 +1052,21 @@ impl Workload for McWorkload<'_> {
 ///
 /// See [`ExperimentHarness::run`].
 pub fn try_run_memcached(cfg: &McExperimentConfig) -> Result<McExperimentResult, ExperimentError> {
+    try_run_memcached_with(cfg, &CheckpointPolicy::default())
+}
+
+/// Runs one memcached experiment to completion under a checkpoint
+/// policy (mid-run snapshot and/or restore-from-snapshot).
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::run_with`].
+pub fn try_run_memcached_with(
+    cfg: &McExperimentConfig,
+    ckpt: &CheckpointPolicy,
+) -> Result<McExperimentResult, ExperimentError> {
     let mut workload = McWorkload { cfg, shareds: Vec::new(), client_addrs: Vec::new(), cp: None };
-    let (summary, env) = ExperimentHarness::new(cfg.base()).run(&mut workload)?;
+    let (summary, env) = ExperimentHarness::new(cfg.base()).run_with(&mut workload, ckpt)?;
     Ok(McExperimentResult {
         latency: summary.latency,
         by_class: summary.by_class,
@@ -1057,6 +1100,21 @@ pub fn run_memcached(cfg: &McExperimentConfig) -> McExperimentResult {
         Ok(r) => r,
         Err(e) => panic!("memcached experiment failed ({} racks): {e}", cfg.racks),
     }
+}
+
+/// Runs only the memcached warm-up prefix — build, drive to `at` — and
+/// writes a restorable checkpoint there.
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::warm`].
+pub fn warm_memcached(
+    cfg: &McExperimentConfig,
+    path: &std::path::Path,
+    at: SimTime,
+) -> Result<(), ExperimentError> {
+    let mut workload = McWorkload { cfg, shareds: Vec::new(), client_addrs: Vec::new(), cp: None };
+    ExperimentHarness::new(cfg.base()).warm(&mut workload, path, at)
 }
 
 // ====================================================================
@@ -1567,8 +1625,21 @@ impl Workload for PaWorkload<'_> {
 pub fn try_run_partition_aggregate(
     cfg: &PaExperimentConfig,
 ) -> Result<PaExperimentResult, ExperimentError> {
+    try_run_partition_aggregate_with(cfg, &CheckpointPolicy::default())
+}
+
+/// Runs one partition-aggregate experiment to completion under a
+/// checkpoint policy (mid-run snapshot and/or restore-from-snapshot).
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::run_with`].
+pub fn try_run_partition_aggregate_with(
+    cfg: &PaExperimentConfig,
+    ckpt: &CheckpointPolicy,
+) -> Result<PaExperimentResult, ExperimentError> {
     let mut workload = PaWorkload { cfg, frontends: Vec::new(), cp: None };
-    let (summary, env) = ExperimentHarness::new(cfg.base()).run(&mut workload)?;
+    let (summary, env) = ExperimentHarness::new(cfg.base()).run_with(&mut workload, ckpt)?;
     Ok(PaExperimentResult {
         latency: summary.latency,
         queries: summary.queries,
@@ -1603,6 +1674,21 @@ pub fn run_partition_aggregate(cfg: &PaExperimentConfig) -> PaExperimentResult {
         Ok(r) => r,
         Err(e) => panic!("partition-aggregate experiment failed ({} racks): {e}", cfg.racks),
     }
+}
+
+/// Runs only the partition-aggregate warm-up prefix — build, drive to
+/// `at` — and writes a restorable checkpoint there.
+///
+/// # Errors
+///
+/// See [`ExperimentHarness::warm`].
+pub fn warm_partition_aggregate(
+    cfg: &PaExperimentConfig,
+    path: &std::path::Path,
+    at: SimTime,
+) -> Result<(), ExperimentError> {
+    let mut workload = PaWorkload { cfg, frontends: Vec::new(), cp: None };
+    ExperimentHarness::new(cfg.base()).warm(&mut workload, path, at)
 }
 
 #[cfg(test)]

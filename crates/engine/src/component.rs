@@ -70,6 +70,19 @@ pub trait Component<M>: Send + 'static {
     fn instrumented(&self) -> Option<&dyn crate::metrics::Instrumented> {
         None
     }
+
+    /// The component's snapshot surface, if it has checkpointable state.
+    /// Components that participate in checkpoint/restore override this
+    /// (returning `Some(self)`); stateless components keep the default.
+    fn persist(&self) -> Option<&dyn crate::snap::Persist> {
+        None
+    }
+
+    /// Mutable snapshot surface, for restoring state in place. Must return
+    /// `Some` exactly when [`Component::persist`] does.
+    fn persist_mut(&mut self) -> Option<&mut dyn crate::snap::Persist> {
+        None
+    }
 }
 
 /// Scheduling context passed to component handlers.

@@ -56,6 +56,7 @@ pub mod parallel;
 pub mod rng;
 pub mod sched;
 pub mod sim;
+pub mod snap;
 pub mod stats;
 pub mod time;
 
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::rng::DetRng;
     pub use crate::sched::{CalendarQueue, EventQueue, HeapQueue};
     pub use crate::sim::{RunStats, Simulation};
+    pub use crate::snap::{Persist, Snap, SnapError, SnapReader, SnapWriter};
     pub use crate::stats::{Counter, ExecReport, Histogram, PartitionExec, Series, WorkerExec};
     pub use crate::time::{Bandwidth, Frequency, SimDuration, SimTime};
 }

@@ -624,6 +624,8 @@ impl Instrumented for crate::stats::ExecReport {
     }
 }
 
+crate::impl_snap_struct!(SeriesRecorder { points });
+
 #[cfg(test)]
 mod tests {
     use super::*;

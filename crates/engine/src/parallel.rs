@@ -109,6 +109,7 @@ use crate::error::EngineError;
 use crate::event::{ComponentId, Event, EventKey, EventKind, PortNo, TimerKey};
 use crate::sched::{CalendarQueue, EventQueue};
 use crate::sim::{RunStats, Simulation};
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::stats::{ExecReport, PartitionExec, WorkerExec};
 use crate::time::{SimDuration, SimTime};
 use std::cell::UnsafeCell;
@@ -1303,6 +1304,163 @@ impl<M: Send + 'static> ParallelSimulation<M> {
     }
 }
 
+impl<M: Snap + Send + 'static> ParallelSimulation<M> {
+    /// Serializes the executor's deterministic state in the *same format*
+    /// as [`Simulation::save_state`]: clock, per-component sequence
+    /// counters and state blobs in global component-id order, and all
+    /// queued events merged into [`EventKey`] total order. A snapshot
+    /// saved by either executor restores into the other.
+    ///
+    /// Must be called between runs: cross-worker lanes and outboxes are
+    /// provably empty at every `run_until` boundary (each round drains the
+    /// previous round's flush before the break decision), so worker queues
+    /// hold the complete pending-event set. Scheduling diagnostics
+    /// (barrier waits, lane occupancy, batching) are deliberately not
+    /// saved — they describe the host, not the model.
+    pub fn save_state(&mut self, w: &mut SnapWriter) {
+        self.now.save(w);
+        // `started` / `stop` slots of the common format: a restored run
+        // never re-fires `on_start`, and parallel stop flags are
+        // re-derived per run.
+        true.save(w);
+        false.save(w);
+        self.external_seq.save(w);
+        self.events_processed().save(w);
+        let directory: Vec<(u32, u32)> = self.directory().to_vec();
+        let mut seqs = Vec::with_capacity(directory.len());
+        for &(p, f) in &directory {
+            let wk = self.part_worker[p as usize] as usize;
+            seqs.push(self.workers[wk].seqs[f as usize]);
+        }
+        seqs.save(w);
+        w.put_len(directory.len());
+        for &(p, f) in &directory {
+            let wk = self.part_worker[p as usize] as usize;
+            match self.workers[wk].comps[f as usize].persist() {
+                Some(pers) => {
+                    true.save(w);
+                    let mut cw = SnapWriter::new();
+                    pers.save_state(&mut cw);
+                    w.put_blob(&cw.into_bytes());
+                }
+                None => false.save(w),
+            }
+        }
+        let mut events = Vec::new();
+        for ws in &mut self.workers {
+            while let Some(ev) = ws.queue.pop() {
+                events.push(ev);
+            }
+        }
+        events.sort_by_key(|e| e.key);
+        w.put_len(events.len());
+        for ev in &events {
+            ev.save(w);
+        }
+        // Re-push in sorted order: each worker receives its own events in
+        // ascending key order, which rebuilds its queue exactly.
+        for ev in events {
+            let (p, _) = directory[ev.key.target.index()];
+            let wk = self.part_worker[p as usize] as usize;
+            self.workers[wk].queue.push(ev);
+        }
+    }
+
+    /// Overwrites this executor's state from a stream written by either
+    /// executor's `save_state`. The model must be freshly built from the
+    /// same structural configuration; partition/worker layout may differ
+    /// freely from the saving run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] on truncation, corruption, or a component-count /
+    /// persist-surface mismatch.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = Snap::load(r)?;
+        self.started = bool::load(r)?;
+        let _serial_stop = bool::load(r)?;
+        self.external_seq = Snap::load(r)?;
+        let events_total = u64::load(r)?;
+        let directory: Vec<(u32, u32)> = self.directory().to_vec();
+        let seqs: Vec<u64> = Snap::load(r)?;
+        if seqs.len() != directory.len() {
+            return Err(SnapError::Malformed(format!(
+                "snapshot has {} components, model has {}",
+                seqs.len(),
+                directory.len()
+            )));
+        }
+        for (i, &s) in seqs.iter().enumerate() {
+            let (p, f) = directory[i];
+            let wk = self.part_worker[p as usize] as usize;
+            self.workers[wk].seqs[f as usize] = s;
+        }
+        let ncomp = r.take_len()?;
+        if ncomp != directory.len() {
+            return Err(SnapError::Malformed(format!(
+                "snapshot component table has {ncomp} entries, model has {}",
+                directory.len()
+            )));
+        }
+        for (i, &(p, f)) in directory.iter().enumerate() {
+            let wk = self.part_worker[p as usize] as usize;
+            let has = bool::load(r)?;
+            match (has, self.workers[wk].comps[f as usize].persist_mut()) {
+                (true, Some(pers)) => {
+                    let blob = r.take_blob()?;
+                    let mut cr = SnapReader::new(blob);
+                    pers.load_state(&mut cr)?;
+                    if cr.remaining() != 0 {
+                        return Err(SnapError::Malformed(format!(
+                            "component {i} left {} trailing bytes",
+                            cr.remaining()
+                        )));
+                    }
+                }
+                (false, None) => {}
+                (true, None) => {
+                    return Err(SnapError::Malformed(format!(
+                        "snapshot has state for component {i}, which is not persistable"
+                    )));
+                }
+                (false, Some(_)) => {
+                    return Err(SnapError::Malformed(format!(
+                        "snapshot lacks state for persistable component {i}"
+                    )));
+                }
+            }
+        }
+        // The global dispatched-event total is representation-independent;
+        // park it on the first partition's counter so `events_processed()`
+        // continues from the saved value regardless of layout.
+        for ws in &mut self.workers {
+            for c in &mut ws.counters {
+                *c = PartCounters::default();
+            }
+            ws.last_time = self.now;
+        }
+        self.workers[0].counters[0].events_processed = events_total;
+        for ws in &mut self.workers {
+            while ws.queue.pop().is_some() {}
+        }
+        let n = r.take_len()?;
+        for _ in 0..n {
+            let ev = Event::<M>::load(r)?;
+            let idx = ev.key.target.index();
+            if idx >= directory.len() {
+                return Err(SnapError::Malformed(format!(
+                    "snapshot event targets unknown component {}",
+                    ev.key.target
+                )));
+            }
+            let (p, _) = directory[idx];
+            let wk = self.part_worker[p as usize] as usize;
+            self.workers[wk].queue.push(ev);
+        }
+        Ok(())
+    }
+}
+
 impl<M: Send + 'static> ComponentHost<M> for ParallelSimulation<M> {
     fn add_in_partition(
         &mut self,
@@ -1384,7 +1542,17 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+        fn persist(&self) -> Option<&dyn crate::snap::Persist> {
+            Some(self)
+        }
+        fn persist_mut(&mut self) -> Option<&mut dyn crate::snap::Persist> {
+            Some(self)
+        }
     }
+
+    // `peer` and `latency` are configuration; `remaining`/`received` are
+    // the checkpointable state.
+    crate::impl_persist_fields!(Chatter { remaining, received });
 
     fn chatter(latency_ns: u64, count: u64) -> Chatter {
         Chatter {
@@ -1473,6 +1641,67 @@ mod tests {
                 let cp = par.component::<Chatter>(idp).unwrap();
                 assert_eq!(cs.received, cp.received, "workers={workers}: logs diverged for {ids}");
             }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_matches_uninterrupted_across_executors() {
+        fn build(parts: usize, workers: usize) -> (ParallelSimulation<u64>, Vec<ComponentId>) {
+            let mut sim = ParallelSimulation::<u64>::with_workers(
+                parts,
+                workers,
+                SimDuration::from_micros(1),
+            );
+            let ids: Vec<ComponentId> = (0..4)
+                .map(|i| sim.add_in_partition(i % parts, Box::new(chatter(2_000, 200))))
+                .collect();
+            for (i, &id) in ids.iter().enumerate() {
+                sim.component_mut::<Chatter>(id).unwrap().peer = Some(ids[(i + 1) % 4]);
+            }
+            (sim, ids)
+        }
+        // Uninterrupted reference run.
+        let (mut reference, ref_ids) = build(2, 2);
+        reference.run().unwrap();
+
+        // Checkpoint a separate run part-way through.
+        let (mut sim, _) = build(2, 2);
+        sim.run_until(SimTime::from_micros(8)).unwrap();
+        let mut w = SnapWriter::new();
+        sim.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // The snapshot restores under any worker layout.
+        for workers in [1usize, 2] {
+            let (mut restored, ids) = build(2, workers);
+            restored.load_state(&mut SnapReader::new(&bytes)).unwrap();
+            restored.run().unwrap();
+            assert_eq!(restored.events_processed(), reference.events_processed());
+            for (&ir, &id) in ref_ids.iter().zip(&ids) {
+                assert_eq!(
+                    reference.component::<Chatter>(ir).unwrap().received,
+                    restored.component::<Chatter>(id).unwrap().received,
+                    "workers={workers}"
+                );
+            }
+        }
+
+        // ... and into the serial executor: the format is shared.
+        let mut serial = Simulation::<u64>::new();
+        let ids_s: Vec<ComponentId> =
+            (0..4).map(|_| serial.add_component(Box::new(chatter(2_000, 200)))).collect();
+        for (i, &id) in ids_s.iter().enumerate() {
+            serial.component_mut::<Chatter>(id).unwrap().peer = Some(ids_s[(i + 1) % 4]);
+        }
+        serial.load_state(&mut SnapReader::new(&bytes)).unwrap();
+        serial.run().unwrap();
+        assert_eq!(serial.events_processed(), reference.events_processed());
+        for (&ir, &id) in ref_ids.iter().zip(&ids_s) {
+            assert_eq!(
+                reference.component::<Chatter>(ir).unwrap().received,
+                serial.component::<Chatter>(id).unwrap().received,
+                "serial restore diverged"
+            );
         }
     }
 

@@ -42,6 +42,17 @@ impl DetRng {
         DetRng { s }
     }
 
+    /// The raw xoshiro256** state, for snapshotting. Restoring through
+    /// [`DetRng::from_state`] resumes the sequence exactly.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a [`DetRng::state`] snapshot.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        DetRng { s }
+    }
+
     /// Derives an independent stream for a sub-component.
     ///
     /// The same `(seed, stream)` pair always produces the same stream, and

@@ -4,6 +4,7 @@ use crate::component::{Component, Ctx};
 use crate::error::EngineError;
 use crate::event::{ComponentId, Event, EventKey, EventKind, TimerKey};
 use crate::sched::{CalendarQueue, EventQueue};
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::SimTime;
 
 /// Statistics returned by a completed run.
@@ -237,6 +238,119 @@ impl<M: 'static, Q: EventQueue<M> + Default> Simulation<M, Q> {
     }
 }
 
+impl<M: Snap + 'static, Q: EventQueue<M>> Simulation<M, Q> {
+    /// Serializes the executor's complete deterministic state: clock,
+    /// sequence counters, per-component state (via
+    /// [`Component::persist`]), and every queued event in total order.
+    ///
+    /// Takes `&mut self` because the event queue is drained (and exactly
+    /// re-pushed) to enumerate events in order; the simulation is
+    /// unchanged when this returns.
+    pub fn save_state(&mut self, w: &mut SnapWriter) {
+        self.now.save(w);
+        // A restored run must never re-fire `on_start`: the snapshotted
+        // queue already contains everything start produced.
+        true.save(w);
+        self.stop.save(w);
+        self.external_seq.save(w);
+        self.events_processed.save(w);
+        self.seqs.save(w);
+        w.put_len(self.components.len());
+        for c in &self.components {
+            match c.persist() {
+                Some(p) => {
+                    true.save(w);
+                    let mut cw = SnapWriter::new();
+                    p.save_state(&mut cw);
+                    w.put_blob(&cw.into_bytes());
+                }
+                None => false.save(w),
+            }
+        }
+        let mut events = Vec::new();
+        while let Some(ev) = self.queue.pop() {
+            events.push(ev);
+        }
+        w.put_len(events.len());
+        for ev in &events {
+            ev.save(w);
+        }
+        // Re-pushing in ascending key order restores the exact queue.
+        for ev in events {
+            self.queue.push(ev);
+        }
+    }
+
+    /// Overwrites this executor's state from a [`Simulation::save_state`]
+    /// stream. The simulation must hold the same components (built from
+    /// the same structural configuration) as the one that was saved;
+    /// component *state* is overwritten, configuration is kept.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] on truncation, corruption, or a component-count /
+    /// persist-surface mismatch.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = Snap::load(r)?;
+        self.started = bool::load(r)?;
+        self.stop = bool::load(r)?;
+        self.external_seq = Snap::load(r)?;
+        self.events_processed = Snap::load(r)?;
+        let seqs: Vec<u64> = Snap::load(r)?;
+        if seqs.len() != self.components.len() {
+            return Err(SnapError::Malformed(format!(
+                "snapshot has {} components, model has {}",
+                seqs.len(),
+                self.components.len()
+            )));
+        }
+        self.seqs = seqs;
+        let ncomp = r.take_len()?;
+        if ncomp != self.components.len() {
+            return Err(SnapError::Malformed(format!(
+                "snapshot component table has {ncomp} entries, model has {}",
+                self.components.len()
+            )));
+        }
+        for (i, c) in self.components.iter_mut().enumerate() {
+            let has = bool::load(r)?;
+            match (has, c.persist_mut()) {
+                (true, Some(p)) => {
+                    let blob = r.take_blob()?;
+                    let mut cr = SnapReader::new(blob);
+                    p.load_state(&mut cr)?;
+                    if cr.remaining() != 0 {
+                        return Err(SnapError::Malformed(format!(
+                            "component {i} left {} trailing bytes",
+                            cr.remaining()
+                        )));
+                    }
+                }
+                (false, None) => {}
+                (true, None) => {
+                    return Err(SnapError::Malformed(format!(
+                        "snapshot has state for component {i}, which is not persistable"
+                    )));
+                }
+                (false, Some(_)) => {
+                    return Err(SnapError::Malformed(format!(
+                        "snapshot lacks state for persistable component {i}"
+                    )));
+                }
+            }
+        }
+        // Discard whatever the freshly-built model scheduled (on_start has
+        // not run, but external injections may have happened): the
+        // snapshotted queue is the complete authoritative event set.
+        while self.queue.pop().is_some() {}
+        let n = r.take_len()?;
+        for _ in 0..n {
+            self.queue.push(Event::load(r)?);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +479,98 @@ mod tests {
             EventKind::Message(PortNo(0), 0),
         );
         assert_eq!(sim.run().unwrap_err(), EngineError::UnknownComponent(ComponentId(42)));
+    }
+
+    /// Persistable ticker: `limit` is configuration, `fired`/`log` are
+    /// state.
+    struct Ticker {
+        limit: u64,
+        fired: u64,
+        log: Vec<SimTime>,
+    }
+    crate::impl_persist_fields!(Ticker { fired, log });
+
+    impl Component<u64> for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.set_timer(SimDuration::from_micros(1), 0);
+        }
+        fn on_timer(&mut self, _key: TimerKey, ctx: &mut Ctx<'_, u64>) {
+            self.fired += 1;
+            self.log.push(ctx.now());
+            if self.fired < self.limit {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+        }
+        fn on_message(&mut self, _p: PortNo, _m: u64, _c: &mut Ctx<'_, u64>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn persist(&self) -> Option<&dyn crate::snap::Persist> {
+            Some(self)
+        }
+        fn persist_mut(&mut self) -> Option<&mut dyn crate::snap::Persist> {
+            Some(self)
+        }
+    }
+
+    fn ticker_sim() -> (Simulation<u64>, ComponentId) {
+        let mut sim = Simulation::<u64>::new();
+        let id = sim.add_component(Box::new(Ticker { limit: 100, fired: 0, log: Vec::new() }));
+        (sim, id)
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let (mut sim, id) = ticker_sim();
+        sim.run_until(SimTime::from_micros(40)).unwrap();
+        let mut w = crate::snap::SnapWriter::new();
+        sim.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // The uninterrupted reference continues from the save point.
+        sim.run().unwrap();
+        let reference_fired = sim.component::<Ticker>(id).unwrap().fired;
+        let reference_log = sim.component::<Ticker>(id).unwrap().log.clone();
+        let reference_events = sim.events_processed();
+        let reference_now = sim.now();
+
+        // Restore into a freshly built simulation and run to completion.
+        let (mut restored, rid) = ticker_sim();
+        restored.load_state(&mut crate::snap::SnapReader::new(&bytes)).unwrap();
+        assert_eq!(restored.now(), SimTime::from_micros(40));
+        restored.run().unwrap();
+        assert_eq!(restored.component::<Ticker>(rid).unwrap().fired, reference_fired);
+        assert_eq!(restored.component::<Ticker>(rid).unwrap().log, reference_log);
+        assert_eq!(restored.events_processed(), reference_events);
+        assert_eq!(restored.now(), reference_now);
+    }
+
+    #[test]
+    fn save_state_leaves_simulation_unchanged() {
+        let (mut sim, id) = ticker_sim();
+        sim.run_until(SimTime::from_micros(40)).unwrap();
+        let mut w = crate::snap::SnapWriter::new();
+        sim.save_state(&mut w);
+        sim.run().unwrap();
+        assert_eq!(sim.component::<Ticker>(id).unwrap().fired, 100);
+    }
+
+    #[test]
+    fn restore_rejects_component_count_mismatch() {
+        let (mut sim, _) = ticker_sim();
+        sim.run_until(SimTime::from_micros(10)).unwrap();
+        let mut w = crate::snap::SnapWriter::new();
+        sim.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut other = Simulation::<u64>::new();
+        other.add_component(Box::new(Ticker { limit: 1, fired: 0, log: Vec::new() }));
+        other.add_component(Box::new(Ticker { limit: 1, fired: 0, log: Vec::new() }));
+        let err = other.load_state(&mut crate::snap::SnapReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, crate::snap::SnapError::Malformed(_)));
     }
 
     #[test]

@@ -500,6 +500,9 @@ impl ExecReport {
     }
 }
 
+crate::impl_snap_struct!(Histogram { precision_bits, buckets, count, sum, min, max });
+crate::impl_snap_struct!(Series { values });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -250,7 +250,23 @@ impl Component<Frame> for CircuitSwitch {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn persist(&self) -> Option<&dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
+
+    fn persist_mut(&mut self) -> Option<&mut dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
 }
+
+diablo_engine::impl_snap_struct!(Circuit { out_port, tx, reserved_bps });
+diablo_engine::impl_snap_struct!(CircuitStats { forwarded, no_circuit_drops, bytes });
+
+// Circuits are runtime state (the control plane establishes and tears them
+// down mid-run, and each carries a serializer's `busy_until`); `cfg` and
+// the port wiring are rebuilt from configuration.
+diablo_engine::impl_persist_fields!(CircuitSwitch { circuits, reserved, stats });
 
 #[cfg(test)]
 mod tests {

@@ -281,6 +281,60 @@ impl TxPort {
     }
 }
 
+use diablo_engine::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for LinkParams {
+    fn save(&self, w: &mut SnapWriter) {
+        self.bandwidth.save(w);
+        self.propagation.save(w);
+        self.loss_rate.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let bandwidth = Snap::load(r)?;
+        let propagation = Snap::load(r)?;
+        let loss_rate: f64 = Snap::load(r)?;
+        // Re-check the `try_with_loss_rate` invariant rather than trusting
+        // the snapshot bytes.
+        LinkParams::new(bandwidth, propagation)
+            .try_with_loss_rate(loss_rate)
+            .map_err(|e| SnapError::Malformed(format!("LinkParams: {e}")))
+    }
+}
+
+impl Snap for LinkState {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            LinkState::Up => w.put_u64(0),
+            LinkState::Down => w.put_u64(1),
+            LinkState::Degraded { bandwidth_factor_fp20, loss_rate_fp20 } => {
+                w.put_u64(2);
+                bandwidth_factor_fp20.save(w);
+                loss_rate_fp20.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.take_u64()? {
+            0 => Ok(LinkState::Up),
+            1 => Ok(LinkState::Down),
+            2 => Ok(LinkState::Degraded {
+                bandwidth_factor_fp20: Snap::load(r)?,
+                loss_rate_fp20: Snap::load(r)?,
+            }),
+            tag => Err(SnapError::Tag { what: "LinkState", tag }),
+        }
+    }
+}
+
+diablo_engine::impl_snap_struct!(PortPeer { component, port, params });
+
+// TxPort rides snapshots whole — wiring included. The wiring half restores
+// to the identical config-derived value; persisting it alongside
+// `busy_until` keeps fault-mutated `peer.params` (degraded bandwidth/loss)
+// exact across a checkpoint, including a degrade-then-down sequence whose
+// params are no longer derivable from the current [`LinkState`].
+diablo_engine::impl_snap_struct!(TxPort { peer, busy_until });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -228,6 +228,23 @@ struct QueuedFrame {
     arrival: SimTime,
 }
 
+diablo_engine::impl_snap_struct!(QueuedFrame { frame, in_port, rx_start, arrival });
+diablo_engine::impl_snap_struct!(SwitchStats {
+    rx_frames,
+    tx_frames,
+    rx_bytes,
+    tx_bytes,
+    drops_buffer,
+    drops_error,
+    drops_route,
+    drops_fault,
+    ecn_marked,
+    max_buffered_bytes,
+    port_drops,
+    rx_per_port,
+    tx_per_port
+});
+
 const KIND_FORWARD: u64 = 0;
 const KIND_DEPART: u64 = 1;
 const KIND_FAULT: u64 = 2;
@@ -849,7 +866,38 @@ impl Component<Frame> for PacketSwitch {
     fn instrumented(&self) -> Option<&dyn Instrumented> {
         Some(self)
     }
+
+    fn persist(&self) -> Option<&dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
+
+    fn persist_mut(&mut self) -> Option<&mut dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
 }
+
+// Snapshot surface: everything that evolves during a run. `ports` rides
+// whole (wiring restores to the identical config-derived value; carrying it
+// keeps fault-mutated `peer.params` exact — see the note on `TxPort`'s
+// `Snap` impl). Rebuilt from config and deliberately NOT serialized:
+// `cfg`, `base_params`, `ecmp_seed` (a pure function of the identity RNG
+// seed). `trace` holds `&'static str` records and is excluded — checkpoint
+// scenarios must not enable flight recording.
+diablo_engine::impl_persist_fields!(PacketSwitch {
+    ports,
+    voqs,
+    queued_frames,
+    rr_next,
+    queued_bytes,
+    total_buffered,
+    depart_pending,
+    in_flight,
+    forward_seq,
+    link_state,
+    switch_down,
+    rng,
+    stats
+});
 
 impl Instrumented for PacketSwitch {
     fn visit_metrics(&self, v: &mut dyn MetricsVisitor) {
@@ -907,7 +955,15 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
         }
+        fn persist(&self) -> Option<&dyn diablo_engine::snap::Persist> {
+            Some(self)
+        }
+        fn persist_mut(&mut self) -> Option<&mut dyn diablo_engine::snap::Persist> {
+            Some(self)
+        }
     }
+
+    diablo_engine::impl_persist_fields!(Sink { got });
 
     fn udp_frame(payload: u32, out_port: u16) -> Frame {
         let d = UdpDatagram {
@@ -937,6 +993,66 @@ mod tests {
         let s = sim.add_component(Box::new(Sink::default()));
         assert_eq!(s, sink_id);
         (sim, sw_id, sink_id)
+    }
+
+    /// Checkpoint taken mid-burst — while a degradation fault is active and
+    /// frames sit in VOQs / the forwarding pipeline — restores into a fresh
+    /// sim and finishes bit-identically to the uninterrupted run,
+    /// including the RNG-driven loss draws and the later `PortUp` that
+    /// resets params from `base_params`.
+    #[test]
+    fn checkpoint_mid_fault_restores_bit_identically() {
+        use diablo_engine::snap::{SnapReader, SnapWriter};
+
+        let cfg = SwitchConfig::shallow_gbe("t", 4);
+        let degrade = SwitchFault::PortDegraded {
+            port: 1,
+            bandwidth_factor_fp20: crate::link::fp20_encode(0.5),
+            loss_rate_fp20: crate::link::fp20_encode(0.9),
+        };
+        let setup = |cfg: SwitchConfig| {
+            let (mut sim, sw, sink) = build(cfg);
+            sim.inject_timer(SimTime::from_micros(5), sw, degrade.timer_key());
+            sim.inject_timer(
+                SimTime::from_micros(40),
+                sw,
+                SwitchFault::PortUp { port: 1 }.timer_key(),
+            );
+            for i in 0..12u64 {
+                sim.inject_message(
+                    SimTime::from_micros(2 + 4 * i),
+                    sw,
+                    PortNo(0),
+                    udp_frame(1000, 1),
+                );
+            }
+            (sim, sw, sink)
+        };
+
+        let (mut reference, rsw, rsink) = setup(cfg.clone());
+        reference.run().unwrap();
+        let ref_got = reference.component::<Sink>(rsink).unwrap().got.clone();
+        let ref_stats = reference.component::<PacketSwitch>(rsw).unwrap().stats().clone();
+
+        // Checkpoint while degraded and mid-burst.
+        let (mut warm, _, _) = setup(cfg.clone());
+        warm.run_until(SimTime::from_micros(12)).unwrap();
+        let mut w = SnapWriter::new();
+        warm.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let (mut restored, sw2, sink2) = setup(cfg);
+        restored.load_state(&mut SnapReader::new(&bytes)).unwrap();
+        restored.run().unwrap();
+        let got = &restored.component::<Sink>(sink2).unwrap().got;
+        let stats = restored.component::<PacketSwitch>(sw2).unwrap().stats();
+
+        assert_eq!(*got, ref_got);
+        assert_eq!(stats.rx_frames.get(), ref_stats.rx_frames.get());
+        assert_eq!(stats.tx_frames.get(), ref_stats.tx_frames.get());
+        assert_eq!(stats.drops_error.get(), ref_stats.drops_error.get());
+        assert!(ref_stats.drops_error.get() > 0, "loss fault never exercised the RNG");
+        assert_eq!(stats.tx_per_port, ref_stats.tx_per_port);
     }
 
     #[test]

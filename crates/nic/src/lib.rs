@@ -456,6 +456,35 @@ impl Instrumented for Nic {
     }
 }
 
+diablo_engine::impl_snap_struct!(NicStats {
+    tx_frames,
+    rx_frames,
+    rx_ring_drops,
+    tx_ring_rejects,
+    tx_loss_drops,
+    tx_carrier_drops,
+    rx_carrier_drops,
+    interrupts,
+    rx_ring_highwater
+});
+
+// Device state for checkpoint/restore, chained into the hosting server
+// component's snapshot. `tx_port` rides whole so fault-degraded uplink
+// params restore exactly; `cfg` and `base_params` are rebuilt from
+// configuration and `trace` (static-str flight records) is excluded.
+diablo_engine::impl_persist_fields!(Nic {
+    tx_port,
+    tx_ring,
+    tx_busy,
+    rx_ring,
+    intr_masked,
+    intr_pending,
+    last_intr,
+    link_state,
+    rng,
+    stats
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

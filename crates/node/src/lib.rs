@@ -103,6 +103,28 @@ impl Component<Frame> for ServerNode {
     fn instrumented(&self) -> Option<&dyn Instrumented> {
         Some(self)
     }
+
+    fn persist(&self) -> Option<&dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
+
+    fn persist_mut(&mut self) -> Option<&mut dyn diablo_engine::snap::Persist> {
+        Some(self)
+    }
+}
+
+impl diablo_engine::snap::Persist for ServerNode {
+    // `uplink` is config-derived wiring; only the kernel evolves.
+    fn save_state(&self, w: &mut diablo_engine::snap::SnapWriter) {
+        self.kernel.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut diablo_engine::snap::SnapReader<'_>,
+    ) -> Result<(), diablo_engine::snap::SnapError> {
+        self.kernel.load_state(r)
+    }
 }
 
 impl Instrumented for ServerNode {

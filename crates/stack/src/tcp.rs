@@ -1073,6 +1073,105 @@ impl TcpConn {
     }
 }
 
+diablo_engine::impl_snap_struct!(TcpParams {
+    mss,
+    sndbuf,
+    rcvbuf,
+    initial_cwnd_segments,
+    rto_min,
+    rto_initial,
+    rto_max,
+    max_rto_retries,
+    delayed_ack,
+    nodelay,
+    cc
+});
+
+impl diablo_engine::snap::Snap for TcpState {
+    fn save(&self, w: &mut diablo_engine::snap::SnapWriter) {
+        w.put_u64(match self {
+            TcpState::SynSent => 0,
+            TcpState::SynRcvd => 1,
+            TcpState::Established => 2,
+            TcpState::Closed => 3,
+        });
+    }
+    fn load(
+        r: &mut diablo_engine::snap::SnapReader<'_>,
+    ) -> Result<Self, diablo_engine::snap::SnapError> {
+        Ok(match r.take_u64()? {
+            0 => TcpState::SynSent,
+            1 => TcpState::SynRcvd,
+            2 => TcpState::Established,
+            3 => TcpState::Closed,
+            tag => return Err(diablo_engine::snap::SnapError::Tag { what: "TcpState", tag }),
+        })
+    }
+}
+
+diablo_engine::impl_snap_struct!(TcpStats {
+    segs_in,
+    segs_out,
+    bytes_in,
+    bytes_out,
+    retransmits,
+    fast_retransmits,
+    rtos
+});
+diablo_engine::impl_snap_struct!(RttSample { end_seq, sent_at });
+
+// Connections are created dynamically mid-run, so the whole endpoint —
+// `params` included — rides the snapshot as a value. Consequence: a sweep
+// point restored from a shared warm checkpoint applies new TCP tunables
+// only to connections opened *after* the checkpoint; established flows
+// keep the warm run's parameters (documented in DESIGN.md §15).
+diablo_engine::impl_snap_struct!(TcpConn {
+    params,
+    local,
+    remote,
+    state,
+    snd_una,
+    snd_nxt,
+    snd_max,
+    buf_end,
+    tx_markers,
+    rwnd,
+    cwnd,
+    ssthresh,
+    dupacks,
+    recover,
+    fin_queued,
+    fin_seq,
+    dctcp_alpha,
+    dctcp_acked,
+    dctcp_marked,
+    dctcp_window_end,
+    rto,
+    srtt,
+    rttvar,
+    rtt_sample,
+    rto_gen,
+    rto_armed,
+    consecutive_rtos,
+    timed_out,
+    handshake_sent,
+    rcv_nxt,
+    ooo,
+    rx_markers,
+    ready_msgs,
+    delivered_up_to,
+    consumed,
+    remote_fin,
+    fin_acked,
+    delack_gen,
+    delack_armed,
+    ack_owed,
+    segs_since_ack,
+    last_adv_wnd,
+    ce_state,
+    stats
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

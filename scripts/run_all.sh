@@ -30,5 +30,14 @@ for bin in "${BINS[@]}"; do
   echo
   cargo run --release -q -p diablo-bench --bin "$bin" -- "$@"
 done
+
+# The sensitivity grid: one warmed checkpoint fanned over worker
+# threads by the sweep orchestrator (resumable — delete the .progress
+# file under results/ to start over). Replaces the old ad-hoc
+# per-configuration wsc_sim loop.
+echo
+cargo run --release -q -p diablo-bench --bin wsc_sim -- sweep \
+  --spec scenarios/paper_grid.sweep
+
 echo
 echo "All regenerators complete. CSVs: results/"
